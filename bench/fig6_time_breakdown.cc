@@ -1,0 +1,76 @@
+// Regenerates Figure 6 (§5.4): wall-clock breakdown of the extraction
+// pipeline — bootstrap resampling, (bagged) KDE, and the greedy CIO — as the
+// uniS sample size grows from 100 to 800, plus the stability score cost and
+// the paper's 200 ms/viable-answer sampling accounting.
+//
+// Paper's shape to check: KDE dominates extraction and grows with the
+// sample size; bootstrap resampling is cheap; CIO cost is flat (it works on
+// a fixed 4096-point grid); stability is negligible; and under the 200 ms
+// remote-sampling model the uniS phase dwarfs all extraction combined.
+
+#include <cstdio>
+#include <vector>
+
+#include "vastats/vastats.h"
+#include "workloads.h"
+
+namespace vastats::bench {
+namespace {
+
+int Run() {
+  std::printf("Figure 6 reproduction: time breakdown of operations "
+              "(50 bootstrap sets, 4096-point KDE grid)\n\n");
+  std::printf("%-8s %12s %12s %12s %12s %16s\n", "|S|", "bootstrap(ms)",
+              "KDE(ms)", "CIO(ms)", "stability(ms)",
+              "sampling@200ms/ans(s)");
+
+  Workload workload = MakeD2Workload();
+  const auto extractor = AnswerStatisticsExtractor::Create(
+      workload.sources.get(), workload.query, ExtractorOptions{});
+  if (!extractor.ok()) {
+    std::fprintf(stderr, "%s\n", extractor.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const int sample_size : {100, 200, 400, 600, 800}) {
+    Rng rng(6000 + static_cast<uint64_t>(sample_size));
+    const auto samples = extractor->sampler().Sample(sample_size, rng);
+    if (!samples.ok()) return 1;
+
+    // Run the extraction phases on the pre-drawn sample; average over a few
+    // repetitions to stabilize the clock.
+    constexpr int kReps = 3;
+    PhaseTimings totals;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Rng phase_rng(7000 + static_cast<uint64_t>(rep));
+      const auto stats =
+          extractor->ExtractFromSamples(*samples, phase_rng);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      totals.bootstrap_seconds += stats->timings.bootstrap_seconds;
+      totals.kde_seconds += stats->timings.kde_seconds;
+      totals.cio_seconds += stats->timings.cio_seconds;
+      totals.stability_seconds += stats->timings.stability_seconds;
+    }
+    std::printf("%-8d %12.2f %12.2f %12.2f %12.3f %16.1f\n", sample_size,
+                totals.bootstrap_seconds / kReps * 1e3,
+                totals.kde_seconds / kReps * 1e3,
+                totals.cio_seconds / kReps * 1e3,
+                totals.stability_seconds / kReps * 1e3,
+                sample_size * 0.2);
+  }
+
+  std::printf(
+      "\nPaper's observations: KDE dominates extraction (~5 s on 50x800 in "
+      "Matlab), bootstrap < 60 ms/run,\nCIO constant in |S| (fixed 4096-pt "
+      "density), stability < 1 ms, and sampling at ~200 ms per viable\n"
+      "answer (e.g. 80 s for 400 answers) dwarfs the extraction stages.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vastats::bench
+
+int main() { return vastats::bench::Run(); }

@@ -1,0 +1,66 @@
+// Distributed evaluation economics on the aggregation hierarchy — the
+// substrate claim of §4.2 ("partial-final aggregates helps to distribute
+// the computational load of each aggregation") and the §6 comparison with
+// sensor networks, made measurable: for one uniS assignment, how much state
+// crosses the network and how long the critical path is, hierarchical vs
+// flat, algebraic vs holistic, across fanouts.
+
+#include <cstdio>
+
+#include "vastats/vastats.h"
+#include "workloads.h"
+
+namespace vastats::bench {
+namespace {
+
+int Run() {
+  Workload workload = MakeD2Workload();  // |D| = 100, |C| = 500
+  const auto sampler =
+      UniSSampler::Create(workload.sources.get(), workload.query);
+  if (!sampler.ok()) return 1;
+  Rng rng(47);
+  const auto assignment = sampler->SampleAssignment(rng);
+  if (!assignment.ok()) return 1;
+
+  std::printf("Hierarchical vs flat evaluation of one uniS assignment "
+              "(|D| = 100, |C| = 500; flat plan ships all 500 values to "
+              "the mediator)\n\n");
+  std::printf("%-7s %-9s %9s %16s %12s %16s\n", "fanout", "agg", "depth",
+              "state shipped", "messages", "critical path");
+  for (const int fanout : {2, 4, 8, 16}) {
+    HierarchyOptions options;
+    options.fanout = fanout;
+    const auto hierarchy = AggregationHierarchy::Build(100, options);
+    if (!hierarchy.ok()) return 1;
+    for (const AggregateKind kind :
+         {AggregateKind::kSum, AggregateKind::kMedian}) {
+      AggregateQuery query = workload.query;
+      query.kind = kind;
+      const auto evaluation = hierarchy->EvaluateAssignment(
+          *workload.sources, query, *assignment);
+      if (!evaluation.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     evaluation.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-7d %-9s %9d %10d vs %d %12d %13.1f ms\n", fanout,
+                  std::string(AggregateKindToString(kind)).c_str(),
+                  hierarchy->Depth(), evaluation->state_transferred,
+                  evaluation->flat_transferred, evaluation->messages,
+                  evaluation->critical_path_ms);
+    }
+  }
+  std::printf(
+      "\nReading: the algebraic sum ships a constant-size partial per edge "
+      "(~3 scalars x messages),\nfar below the flat plan's 500 values; the "
+      "holistic median cannot be decomposed and re-ships\nits buffer at "
+      "every hop, costing MORE than flat as the tree deepens. Fanout trades "
+      "per-node\nload (more children to merge) against critical-path depth "
+      "— the sensor-network trade-off\nof §6 in miniature.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vastats::bench
+
+int main() { return vastats::bench::Run(); }

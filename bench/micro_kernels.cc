@@ -1,0 +1,113 @@
+// Microbenchmarks for the low-level kernels: FFT/DCT, KDE (direct vs
+// binned, bandwidth selectors), distances, and the mutual impact factor Psi
+// that drives the analytic stability scores.
+
+#include <benchmark/benchmark.h>
+
+#include "vastats/vastats.h"
+
+namespace vastats {
+namespace {
+
+std::vector<double> Samples(int n, uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) {
+    v = rng.Bernoulli(0.5) ? rng.Normal(0.0, 1.0) : rng.Normal(8.0, 2.0);
+  }
+  return values;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::complex<double>> data(n);
+  Rng rng(1);
+  for (auto& c : data) c = {rng.Uniform01(), rng.Uniform01()};
+  for (auto _ : state) {
+    std::vector<std::complex<double>> copy = data;
+    benchmark::DoNotOptimize(Fft(copy, false));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Range(256, 16384)->Complexity(benchmark::oNLogN);
+
+void BM_Dct2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> data(n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dct2(data));
+  }
+}
+BENCHMARK(BM_Dct2)->Range(256, 16384);
+
+void BM_KdeDirect(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  KdeOptions options;
+  options.rule = BandwidthRule::kSilverman;
+  options.binned = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateKde(samples, options));
+  }
+}
+BENCHMARK(BM_KdeDirect)->Range(100, 3200);
+
+void BM_KdeBinned(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  KdeOptions options;
+  options.rule = BandwidthRule::kSilverman;
+  options.binned = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateKde(samples, options));
+  }
+}
+BENCHMARK(BM_KdeBinned)->Range(100, 3200);
+
+void BM_BotevBandwidth(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BotevBandwidth(samples));
+  }
+}
+BENCHMARK(BM_BotevBandwidth)->Range(100, 3200);
+
+void BM_MutualImpactPsi(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  const double h = SilvermanBandwidth(samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualImpactPsi(samples, h));
+  }
+}
+BENCHMARK(BM_MutualImpactPsi)->Range(100, 3200);
+
+void BM_MutualImpactPsiExact(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  const double h = SilvermanBandwidth(samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualImpactPsiExact(samples, h));
+  }
+}
+BENCHMARK(BM_MutualImpactPsiExact)->Range(100, 3200);
+
+void BM_DensityDistanceL2(benchmark::State& state) {
+  KdeOptions options;
+  options.rule = BandwidthRule::kSilverman;
+  const Kde p = EstimateKde(Samples(400, 1), options).value();
+  const Kde q = EstimateKde(Samples(400, 2), options).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DensityDistance(p.density, q.density, DistanceKind::kL2));
+  }
+}
+BENCHMARK(BM_DensityDistanceL2);
+
+void BM_AnalyticStability(benchmark::State& state) {
+  const std::vector<double> samples = Samples(400);
+  const double h = SilvermanBandwidth(samples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StabilityL2(samples, h, 0.05));
+  }
+}
+BENCHMARK(BM_AnalyticStability);
+
+}  // namespace
+}  // namespace vastats

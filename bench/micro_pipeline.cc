@@ -1,0 +1,105 @@
+// Microbenchmarks for the pipeline stages: uniS sampling, bootstrap
+// resampling, BCa interval computation, greedy CIO (both expansions), and
+// the end-to-end extractor.
+
+#include <benchmark/benchmark.h>
+
+#include "vastats/vastats.h"
+#include "workloads.h"
+
+namespace vastats::bench {
+namespace {
+
+const Workload& D2() {
+  static const Workload* workload = new Workload(MakeD2Workload());
+  return *workload;
+}
+
+const UniSSampler& D2Sampler() {
+  static const UniSSampler* sampler = new UniSSampler(
+      UniSSampler::Create(D2().sources.get(), D2().query).value());
+  return *sampler;
+}
+
+void BM_UniSSampleOne(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(D2Sampler().SampleOne(rng));
+  }
+}
+BENCHMARK(BM_UniSSampleOne);
+
+void BM_UniSSampleBatch(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(D2Sampler().Sample(n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UniSSampleBatch)->Arg(100)->Arg(400);
+
+void BM_BootstrapResample(benchmark::State& state) {
+  Rng rng(3);
+  const std::vector<double> samples =
+      D2Sampler().Sample(static_cast<int>(state.range(0)), rng).value();
+  BootstrapOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BootstrapSets(samples, options, rng));
+  }
+}
+BENCHMARK(BM_BootstrapResample)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_BcaInterval(benchmark::State& state) {
+  Rng rng(4);
+  const std::vector<double> samples = D2Sampler().Sample(400, rng).value();
+  const auto replicates =
+      BootstrapReplicates(samples, MomentStatisticFn(MomentStatistic::kMean),
+                          BootstrapOptions{}, rng)
+          .value();
+  const double mean = ComputeMoments(samples).mean();
+  for (auto _ : state) {
+    const auto jackknife =
+        JackknifeMoment(samples, MomentStatistic::kMean).value();
+    benchmark::DoNotOptimize(BcaCi(replicates, mean, 0.9, jackknife));
+  }
+}
+BENCHMARK(BM_BcaInterval);
+
+void BM_GreedyCio(benchmark::State& state) {
+  Rng rng(5);
+  const std::vector<double> samples = D2Sampler().Sample(400, rng).value();
+  const Kde kde = EstimateKde(samples, KdeOptions{}).value();
+  CioOptions options;
+  options.expansion = state.range(0) == 0 ? CioExpansion::kWaterLevel
+                                          : CioExpansion::kSymmetric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyCio(kde.density, options));
+  }
+}
+BENCHMARK(BM_GreedyCio)->Arg(0)->Arg(1);
+
+void BM_SlicingCio(benchmark::State& state) {
+  Rng rng(6);
+  const std::vector<double> samples = D2Sampler().Sample(400, rng).value();
+  const Kde kde = EstimateKde(samples, KdeOptions{}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SlicingCio(kde.density, 0.9));
+  }
+}
+BENCHMARK(BM_SlicingCio);
+
+void BM_EndToEndExtract(benchmark::State& state) {
+  ExtractorOptions options;
+  options.initial_sample_size = static_cast<int>(state.range(0));
+  options.weight_probes = 10;
+  const auto extractor = AnswerStatisticsExtractor::Create(
+      D2().sources.get(), D2().query, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->Extract());
+  }
+}
+BENCHMARK(BM_EndToEndExtract)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vastats::bench

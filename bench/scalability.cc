@@ -1,0 +1,103 @@
+// Scalability sweep — "the synthetic tests allowed us to scale various
+// parameters to verify the observations and predictions made in the
+// analysis" (§5). Three axes:
+//
+//  (1) aggregation size |C|: per-draw uniS cost grows with the number of
+//      components to cover;
+//  (2) source count |D|: more sources to visit, but each holds a smaller
+//      share, so per-draw work stays roughly linear in |C| + |D|;
+//  (3) the simulated remote-hierarchy economics: per-answer source-time
+//      under the cost model of integration/cost_model.h, and how many
+//      answers a fixed source-time budget buys.
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+#include "vastats/vastats.h"
+
+namespace vastats {
+namespace {
+
+Result<SourceSet> BuildWorkload(int num_sources, int num_components,
+                                uint64_t seed) {
+  const auto mixture = MakeD2(seed);
+  SyntheticSourceSetOptions options;
+  options.num_sources = num_sources;
+  options.num_components = num_components;
+  options.min_copies = 2;
+  options.max_copies = 6;
+  options.seed = seed + 1;
+  return BuildSyntheticSourceSet(*mixture, options);
+}
+
+int Run() {
+  std::printf("(1) uniS draw cost vs aggregation size |C| (|D| = 100)\n");
+  std::printf("%-8s %14s %16s\n", "|C|", "us/draw", "draws/s");
+  for (const int c : {100, 250, 500, 1000, 2000}) {
+    auto sources = BuildWorkload(100, c, 10);
+    if (!sources.ok()) return 1;
+    const auto sampler = UniSSampler::Create(
+        &sources.value(), MakeRangeQuery("q", AggregateKind::kSum, 0, c));
+    if (!sampler.ok()) return 1;
+    Rng rng(11);
+    Stopwatch watch;
+    const int kDraws = 2000;
+    if (!sampler->Sample(kDraws, rng).ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    std::printf("%-8d %14.1f %16.0f\n", c, seconds / kDraws * 1e6,
+                kDraws / seconds);
+  }
+
+  std::printf("\n(2) uniS draw cost vs source count |D| (|C| = 500)\n");
+  std::printf("%-8s %14s %16s\n", "|D|", "us/draw", "draws/s");
+  for (const int d : {25, 50, 100, 200, 400}) {
+    auto sources = BuildWorkload(d, 500, 20);
+    if (!sources.ok()) return 1;
+    const auto sampler = UniSSampler::Create(
+        &sources.value(), MakeRangeQuery("q", AggregateKind::kSum, 0, 500));
+    if (!sampler.ok()) return 1;
+    Rng rng(21);
+    Stopwatch watch;
+    const int kDraws = 2000;
+    if (!sampler->Sample(kDraws, rng).ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    std::printf("%-8d %14.1f %16.0f\n", d, seconds / kDraws * 1e6,
+                kDraws / seconds);
+  }
+
+  std::printf("\n(3) Remote-hierarchy economics (simulated cost model: "
+              "20 ms/contact base, per-source spread, jitter)\n");
+  std::printf("%-8s %18s %22s\n", "|D|", "ms/answer (sim)",
+              "answers per 60 s budget");
+  for (const int d : {25, 50, 100, 200}) {
+    auto sources = BuildWorkload(d, 500, 30);
+    if (!sources.ok()) return 1;
+    const auto sampler = UniSSampler::Create(
+        &sources.value(), MakeRangeQuery("q", AggregateKind::kSum, 0, 500));
+    if (!sampler.ok()) return 1;
+    const auto model = SourceCostModel::Create(d, SourceCostModelOptions{});
+    if (!model.ok()) return 1;
+    const auto costed =
+        CostAwareSampler::Create(&sampler.value(), &model.value());
+    if (!costed.ok()) return 1;
+    Rng rng(31);
+    const auto batch = costed->SampleWithBudget(60'000.0, 0, rng);
+    if (!batch.ok()) return 1;
+    std::printf("%-8d %18.1f %22zu\n", d,
+                batch->total_cost_ms /
+                    static_cast<double>(batch->values.size()),
+                batch->values.size());
+  }
+  std::printf(
+      "\nReading: with every source contacted per draw, the simulated\n"
+      "per-answer cost grows ~linearly in |D| — the quantified version of\n"
+      "the paper's 'sampling dominates, optimize aggregate computation'\n"
+      "conclusion, and the economic case for its adaptive sample-growth\n"
+      "loop (stop as soon as the CI is tight enough).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vastats
+
+int main() { return vastats::Run(); }

@@ -1,0 +1,186 @@
+// Shared workload builders for the experiment harnesses in bench/.
+//
+// The four §5.2/§5.3 aggregations:
+//   S1, S2 — Sum(Temp) over the synthetic climate archive C (42 districts x
+//            12 months ~= 500 components each); a couple of Fahrenheit
+//            stations split the answer distribution into the two modes of
+//            Figure 7(a)/(b).
+//   S3, S4 — Sum over dataset D3 (500 components, 100 sources) with three
+//            semantic-ambiguity conflict components whose shift lattices
+//            produce the 7- and 8-mode densities of Figure 7(c)/(d).
+// Plus the Table-2 default D2 workload used by Table 3 and Figure 6.
+
+#ifndef VASTATS_BENCH_WORKLOADS_H_
+#define VASTATS_BENCH_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vastats/vastats.h"
+
+namespace vastats::bench {
+
+struct Workload {
+  std::string label;
+  std::unique_ptr<SourceSet> sources;
+  AggregateQuery query;
+};
+
+// Table 2 defaults: |D| = 100, |C| = 500, Sum over D2 values.
+inline Workload MakeD2Workload(uint64_t seed = 2) {
+  const auto mixture = MakeD2(seed);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 100;
+  options.num_components = 500;
+  options.min_copies = 2;
+  options.max_copies = 6;
+  options.conflict_model = ConflictModel::kSharedBaseNoise;
+  options.conflict_sigma = 0.5;
+  options.seed = seed + 1;
+  Workload workload;
+  workload.label = "Sum(D2)";
+  workload.sources = std::make_unique<SourceSet>(
+      BuildSyntheticSourceSet(*mixture, options).value());
+  workload.query = MakeRangeQuery("sum-d2", AggregateKind::kSum, 0, 500);
+  return workload;
+}
+
+// D3 workload with semantic-conflict components. `shifts` controls the mode
+// lattice: shifts {d1, d2, d3} yield modes at every subset sum.
+inline Workload MakeD3Workload(const std::string& label,
+                               const std::vector<double>& shifts,
+                               uint64_t seed) {
+  const auto mixture = MakeD3(seed);
+  const int num_regular = 500 - static_cast<int>(shifts.size());
+  SyntheticSourceSetOptions options;
+  options.num_sources = 100;
+  options.num_components = num_regular;
+  options.min_copies = 2;
+  options.max_copies = 6;
+  options.conflict_model = ConflictModel::kSharedBaseNoise;
+  options.conflict_sigma = 0.5;
+  options.seed = seed + 1;
+  Workload workload;
+  workload.label = label;
+  workload.sources = std::make_unique<SourceSet>(
+      BuildSyntheticSourceSet(*mixture, options).value());
+
+  Rng rng(seed + 2);
+  ComponentId next_component = num_regular;
+  for (const double shift : shifts) {
+    const int source_a = static_cast<int>(rng.UniformInt(0, 99));
+    int source_b = static_cast<int>(rng.UniformInt(0, 99));
+    while (source_b == source_a) {
+      source_b = static_cast<int>(rng.UniformInt(0, 99));
+    }
+    const double value = mixture->Sample(rng);
+    AddConflictComponent(*workload.sources, next_component, source_a,
+                         source_b, value, shift);
+    ++next_component;
+  }
+  workload.query = MakeRangeQuery(label, AggregateKind::kSum, 0, 500);
+  return workload;
+}
+
+// Figure 7(c): shifts 90/180/270 collide on subset sums -> 7 modes.
+inline Workload MakeS3(uint64_t seed = 33) {
+  return MakeD3Workload("S3=Sum(D3)", {90.0, 180.0, 270.0}, seed);
+}
+
+// Figure 7(d): incommensurate shifts -> 8 distinct modes.
+inline Workload MakeS4(uint64_t seed = 44) {
+  return MakeD3Workload("S4=Sum(D3)", {80.0, 170.0, 350.0}, seed);
+}
+
+// Rewrites district `district` so it has exactly three temperature
+// reporters, one of which stores Fahrenheit. Because the same three sources
+// compete for all 12 months, the Fahrenheit station supplies either all of
+// the district's months (probability 1/3 under uniS) or none — producing
+// the crisp secondary mode of Figure 7(a) instead of a smeared shoulder.
+inline void InjectUnitErrorDistrict(SourceSet& sources,
+                                    const ClimateArchive& archive,
+                                    int district) {
+  const int stride = archive.options().num_districts;
+  const int num_stations = archive.options().num_stations;
+  std::vector<ComponentId> district_components;
+  for (int month = 1; month <= 12; ++month) {
+    district_components.push_back(ClimateArchive::ComponentFor(
+        ClimateAttribute::kMeanTemperature, district, month));
+  }
+  int keep_rank = 0;
+  for (int station = district; station < num_stations; station += stride) {
+    DataSource& source = sources.mutable_source(station);
+    if (keep_rank >= 3) {
+      // Surplus station: drop its temperature bindings for this district.
+      for (const ComponentId component : district_components) {
+        source.Unbind(component);
+      }
+    } else if (keep_rank == 1) {
+      // The Fahrenheit reporter: convert its Celsius values.
+      for (const ComponentId component : district_components) {
+        const auto value = source.Value(component);
+        if (value.ok()) {
+          source.Bind(component, value.value() * 9.0 / 5.0 + 32.0);
+        }
+      }
+    }
+    ++keep_rank;
+  }
+}
+
+// Climate sum over 42 districts x 12 months. `district_offset` selects the
+// slice (S1 uses districts 0..41, S2 uses 42..83).
+inline Workload MakeClimateWorkload(const std::string& label,
+                                    int district_offset, uint64_t seed) {
+  ClimateArchiveOptions options;
+  options.seed = seed;
+  // Unit errors are injected structurally below rather than at random, so
+  // the secondary mode shows up deterministically.
+  options.fahrenheit_station_fraction = 0.0;
+  // Mild station biases: a station visited early supplies all 12 of its
+  // district's months with its bias, so the bias is the block-correlated
+  // part of the answer variance; keeping it small keeps the two modes of
+  // Figure 7(a) narrow relative to their ~430-degree separation.
+  options.station_bias_sigma = 0.25;
+  options.measurement_noise_sigma = 0.5;
+  Workload workload;
+  workload.label = label;
+  const ClimateArchive archive = ClimateArchive::Build(options).value();
+  workload.sources =
+      std::make_unique<SourceSet>(archive.MakeSourceSet().value());
+  // One supposedly-cleaned-but-actually-Fahrenheit station inside the slice
+  // (the paper's §7 explanation of Figure 7(a)'s second interval).
+  InjectUnitErrorDistrict(*workload.sources, archive, district_offset + 7);
+  workload.query.name = label;
+  workload.query.kind = AggregateKind::kSum;
+  for (int d = district_offset; d < district_offset + 42; ++d) {
+    for (int month = 1; month <= 12; ++month) {
+      workload.query.components.push_back(ClimateArchive::ComponentFor(
+          ClimateAttribute::kMeanTemperature, d, month));
+    }
+  }
+  return workload;
+}
+
+inline Workload MakeS1(uint64_t seed = 2006) {
+  return MakeClimateWorkload("S1=Sum(C)", 0, seed);
+}
+
+inline Workload MakeS2(uint64_t seed = 2006) {
+  return MakeClimateWorkload("S2=Sum(C)", 42, seed);
+}
+
+// All four Figure 7 / Figure 8 aggregations, in paper order (a)-(d).
+inline std::vector<Workload> MakeFigure7Workloads() {
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeS1());
+  workloads.push_back(MakeS2());
+  workloads.push_back(MakeS3());
+  workloads.push_back(MakeS4());
+  return workloads;
+}
+
+}  // namespace vastats::bench
+
+#endif  // VASTATS_BENCH_WORKLOADS_H_

@@ -1,0 +1,327 @@
+#include "core/cio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vastats {
+namespace {
+
+using RawInterval = std::pair<double, double>;
+
+// Expands from the mode at grid index `mode_index` outwards until the
+// density falls to `level`, returning the crossing points with sub-cell
+// (linear interpolation) precision. This realizes lines 5-6 / 9-10 of
+// Algorithm 2: the largest x < x_i and smallest x > x_i with f(x) = level.
+RawInterval ExpandModeToLevel(const GridDensity& density, size_t mode_index,
+                              double level) {
+  const std::span<const double> f = density.values();
+  const size_t n = f.size();
+
+  double lo = density.x_min();
+  for (size_t k = mode_index; k > 0; --k) {
+    if (f[k - 1] <= level) {
+      const double denom = f[k] - f[k - 1];
+      const double frac = (denom > 0.0) ? (level - f[k - 1]) / denom : 0.0;
+      lo = density.XAt(k - 1) + frac * density.step();
+      break;
+    }
+  }
+
+  double hi = density.x_max();
+  for (size_t k = mode_index; k + 1 < n; ++k) {
+    if (f[k + 1] <= level) {
+      const double denom = f[k] - f[k + 1];
+      const double frac = (denom > 0.0) ? (f[k] - level) / denom : 1.0;
+      hi = density.XAt(k) + frac * density.step();
+      break;
+    }
+  }
+  return {lo, hi};
+}
+
+// Sorts and merges overlapping raw intervals.
+std::vector<RawInterval> MergeIntervals(std::vector<RawInterval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<RawInterval> merged;
+  for (const RawInterval& interval : intervals) {
+    if (!merged.empty() && interval.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, interval.second);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  return merged;
+}
+
+double MassOf(const GridDensity& density,
+              const std::vector<RawInterval>& merged) {
+  double mass = 0.0;
+  for (const RawInterval& interval : merged) {
+    mass += density.IntegrateRange(interval.first, interval.second);
+  }
+  return mass;
+}
+
+double LengthOf(const std::vector<RawInterval>& merged) {
+  double length = 0.0;
+  for (const RawInterval& interval : merged) {
+    length += interval.second - interval.first;
+  }
+  return length;
+}
+
+CoverageResult Finalize(const GridDensity& density,
+                        const std::vector<RawInterval>& merged) {
+  CoverageResult result;
+  result.intervals.reserve(merged.size());
+  for (const RawInterval& interval : merged) {
+    CoverageInterval out;
+    out.lo = interval.first;
+    out.hi = interval.second;
+    out.coverage = density.IntegrateRange(interval.first, interval.second);
+    result.intervals.push_back(out);
+    result.total_coverage += out.coverage;
+    result.total_length_fraction += out.Length();
+  }
+  result.total_length_fraction /= density.range();
+  return result;
+}
+
+// Union of the expansions of the top `active` modes at `level`.
+std::vector<RawInterval> LevelIntervals(const GridDensity& density,
+                                        const std::vector<Mode>& modes,
+                                        size_t active, double level,
+                                        CioExpansion expansion) {
+  std::vector<RawInterval> raw;
+  raw.reserve(active);
+  for (size_t j = 0; j < active; ++j) {
+    RawInterval interval = ExpandModeToLevel(density, modes[j].index, level);
+    if (expansion == CioExpansion::kSymmetric) {
+      const double x = modes[j].x;
+      const double half =
+          std::max(x - interval.first, interval.second - x);
+      interval.first = std::max(density.x_min(), x - half);
+      interval.second = std::min(density.x_max(), x + half);
+    }
+    raw.push_back(interval);
+  }
+  return MergeIntervals(std::move(raw));
+}
+
+// Grows a cell-granularity interval around `mode_index`, always extending
+// towards the denser neighbor, until `target_mass` has been added (lines
+// 17-18 of Algorithm 2).
+RawInterval GrowAroundMode(const GridDensity& density, size_t mode_index,
+                           double target_mass) {
+  const std::span<const double> f = density.values();
+  const size_t n = f.size();
+  size_t lo = mode_index;
+  size_t hi = mode_index;
+  double mass = 0.0;
+  while (mass < target_mass && (lo > 0 || hi + 1 < n)) {
+    const double left = (lo > 0) ? f[lo - 1] : -1.0;
+    const double right = (hi + 1 < n) ? f[hi + 1] : -1.0;
+    if (left >= right) {
+      mass += density.IntegrateRange(density.XAt(lo - 1), density.XAt(lo));
+      --lo;
+    } else {
+      mass += density.IntegrateRange(density.XAt(hi), density.XAt(hi + 1));
+      ++hi;
+    }
+  }
+  return {density.XAt(lo), density.XAt(hi)};
+}
+
+// Mode list filtered and truncated per the options; tallest first.
+Result<std::vector<Mode>> SelectModes(const GridDensity& density,
+                                      const CioOptions& options) {
+  std::vector<Mode> modes = density.FindModes(options.min_mode_relative_height);
+  if (options.min_mode_prominence > 0.0 && !modes.empty()) {
+    const double threshold = options.min_mode_prominence * modes[0].height;
+    std::vector<Mode> prominent;
+    for (const Mode& mode : modes) {
+      if (density.ModeProminence(mode.index) >= threshold) {
+        prominent.push_back(mode);
+      }
+    }
+    modes = std::move(prominent);
+  }
+  if (modes.empty()) {
+    return Status::FailedPrecondition("density has no modes");
+  }
+  if (options.max_modes > 0 &&
+      modes.size() > static_cast<size_t>(options.max_modes)) {
+    modes.resize(static_cast<size_t>(options.max_modes));
+  }
+  return modes;
+}
+
+// Smallest level whose mode expansions reach `target` mass (continuous
+// water-level descent below the last mode height); bisection on the level.
+std::vector<RawInterval> DescendToMass(const GridDensity& density,
+                                       const std::vector<Mode>& modes,
+                                       double target,
+                                       CioExpansion expansion) {
+  std::vector<RawInterval> best =
+      LevelIntervals(density, modes, modes.size(), 0.0, expansion);
+  double level_lo = 0.0;
+  double level_hi = modes.back().height;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double level = 0.5 * (level_lo + level_hi);
+    std::vector<RawInterval> candidate =
+        LevelIntervals(density, modes, modes.size(), level, expansion);
+    if (MassOf(density, candidate) >= target) {
+      level_lo = level;
+      best = std::move(candidate);
+    } else {
+      level_hi = level;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double CoverageResult::TotalLength() const {
+  double length = 0.0;
+  for (const CoverageInterval& interval : intervals) {
+    length += interval.Length();
+  }
+  return length;
+}
+
+Status CioOptions::Validate() const {
+  if (!(theta > 0.0 && theta < 1.0)) {
+    return Status::InvalidArgument("CioOptions.theta must be in (0,1)");
+  }
+  if (min_mode_relative_height < 0.0 || min_mode_relative_height >= 1.0) {
+    return Status::InvalidArgument(
+        "CioOptions.min_mode_relative_height must be in [0,1)");
+  }
+  if (min_mode_prominence < 0.0 || min_mode_prominence >= 1.0) {
+    return Status::InvalidArgument(
+        "CioOptions.min_mode_prominence must be in [0,1)");
+  }
+  if (max_modes < 0) {
+    return Status::InvalidArgument("CioOptions.max_modes must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<CoverageResult> GreedyCio(const GridDensity& density,
+                                 const CioOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<Mode> modes,
+                           SelectModes(density, options));
+  const size_t t = modes.size();
+
+  std::vector<RawInterval> merged;
+  double coverage = 0.0;
+  // Water-level descent: at step i the intervals around the top-i modes are
+  // carved at the height of mode i+1 (Algorithm 2 lines 4-15).
+  for (size_t i = 1; i <= t - 1 && coverage < options.theta; ++i) {
+    merged =
+        LevelIntervals(density, modes, i, modes[i].height, options.expansion);
+    coverage = MassOf(density, merged);
+  }
+
+  if (coverage <= options.theta) {
+    if (options.top_up_to_theta) {
+      merged =
+          DescendToMass(density, modes, options.theta, options.expansion);
+    } else {
+      // Paper's final step: one more interval around the last mode covering
+      // (theta - C) / t additional mass.
+      const double target =
+          (options.theta - coverage) / static_cast<double>(t);
+      if (target > 0.0) {
+        merged.push_back(GrowAroundMode(density, modes[t - 1].index, target));
+        merged = MergeIntervals(std::move(merged));
+      }
+    }
+  }
+  return Finalize(density, merged);
+}
+
+Result<CoverageResult> DualGreedyCio(const GridDensity& density,
+                                     double total_length,
+                                     const CioOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (!(total_length > 0.0)) {
+    return Status::InvalidArgument("DualGreedyCio requires total_length > 0");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<Mode> modes,
+                           SelectModes(density, options));
+  const size_t t = modes.size();
+
+  std::vector<RawInterval> merged;
+  for (size_t i = 1; i <= t - 1; ++i) {
+    std::vector<RawInterval> candidate =
+        LevelIntervals(density, modes, i, modes[i].height,
+                       options.expansion);
+    if (LengthOf(candidate) > total_length) break;
+    merged = std::move(candidate);
+    if (LengthOf(merged) >= total_length) break;
+  }
+  if (LengthOf(merged) < total_length) {
+    // Continuous descent below the last explored level until the budget is
+    // spent; interval length grows monotonically as the level drops.
+    double level_lo = 0.0;
+    double level_hi = modes.back().height;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double level = 0.5 * (level_lo + level_hi);
+      std::vector<RawInterval> candidate =
+          LevelIntervals(density, modes, t, level, options.expansion);
+      if (LengthOf(candidate) <= total_length) {
+        merged = std::move(candidate);
+        level_hi = level;
+      } else {
+        level_lo = level;
+      }
+    }
+  }
+  if (merged.empty()) {
+    // Budget smaller than even the tallest mode's first carve: spend it
+    // symmetrically around the tallest mode.
+    const double x = modes[0].x;
+    merged.push_back({std::max(density.x_min(), x - total_length / 2.0),
+                      std::min(density.x_max(), x + total_length / 2.0)});
+  }
+  return Finalize(density, merged);
+}
+
+Result<CoverageResult> SlicingCio(const GridDensity& density, double theta,
+                                  int num_slices) {
+  if (!(theta > 0.0 && theta < 1.0)) {
+    return Status::InvalidArgument("SlicingCio requires theta in (0,1)");
+  }
+  if (num_slices < 2) {
+    return Status::InvalidArgument("SlicingCio requires num_slices >= 2");
+  }
+  const double width = density.range() / static_cast<double>(num_slices);
+  struct Slice {
+    int index;
+    double mass;
+  };
+  std::vector<Slice> slices;
+  slices.reserve(static_cast<size_t>(num_slices));
+  for (int i = 0; i < num_slices; ++i) {
+    const double lo = density.x_min() + width * static_cast<double>(i);
+    slices.push_back(Slice{i, density.IntegrateRange(lo, lo + width)});
+  }
+  std::sort(slices.begin(), slices.end(),
+            [](const Slice& a, const Slice& b) { return a.mass > b.mass; });
+
+  std::vector<RawInterval> raw;
+  double covered = 0.0;
+  const double target = theta * density.TotalMass();
+  for (const Slice& slice : slices) {
+    if (covered >= target) break;
+    const double lo = density.x_min() + width * static_cast<double>(slice.index);
+    raw.push_back({lo, lo + width});
+    covered += slice.mass;
+  }
+  return Finalize(density, MergeIntervals(std::move(raw)));
+}
+
+}  // namespace vastats

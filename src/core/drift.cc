@@ -1,0 +1,51 @@
+#include "core/drift.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vastats {
+
+Status DriftOptions::Validate() const {
+  if (!(tolerance_factor > 0.0)) {
+    return Status::InvalidArgument("tolerance_factor must be > 0");
+  }
+  return Status::Ok();
+}
+
+Result<DriftReport> AssessDrift(const GridDensity& previous_density,
+                                double previous_stab_l2,
+                                const GridDensity& current_density,
+                                const DriftOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  DriftReport report;
+  VASTATS_ASSIGN_OR_RETURN(
+      report.realized_l2,
+      DensityDistance(previous_density, current_density, DistanceKind::kL2));
+  if (std::isinf(previous_stab_l2)) {
+    // An infinitely stable epoch predicts zero drift: any realized change
+    // is anomalous by definition.
+    report.predicted_rms_l2 = 0.0;
+    report.ratio =
+        report.realized_l2 > 0.0
+            ? std::numeric_limits<double>::infinity()
+            : 0.0;
+    report.anomalous = report.realized_l2 > 0.0;
+    return report;
+  }
+  if (!std::isfinite(previous_stab_l2)) {
+    return Status::InvalidArgument("previous_stab_l2 must not be NaN");
+  }
+  report.predicted_rms_l2 = std::exp(-previous_stab_l2);
+  report.ratio = report.realized_l2 / report.predicted_rms_l2;
+  report.anomalous = report.ratio > options.tolerance_factor;
+  return report;
+}
+
+Result<DriftReport> AssessDrift(const AnswerStatistics& previous,
+                                const AnswerStatistics& current,
+                                const DriftOptions& options) {
+  return AssessDrift(previous.density, previous.stability.stab_l2,
+                     current.density, options);
+}
+
+}  // namespace vastats

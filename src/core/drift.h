@@ -1,0 +1,58 @@
+// Drift assessment between extraction epochs — the operational closure of
+// §4.4's stability analysis. The analytic score predicts the change a
+// source departure would cause *before it happens*:
+//
+//   Stab_L2 = -1/2 log E[d_L2^2]   =>   predicted RMS L2 drift = exp(-Stab_L2).
+//
+// When the query is later re-extracted (source churn, value updates), the
+// realized drift is the L2 distance between the two epochs' densities.
+// Comparing realized against predicted tells the maintainer whether the
+// change was within expectations (ordinary churn at the assumed rate) or an
+// anomaly worth investigating (mass source loss, a semantic break, a
+// mapping regression).
+
+#ifndef VASTATS_CORE_DRIFT_H_
+#define VASTATS_CORE_DRIFT_H_
+
+#include "core/extractor.h"
+#include "density/distance.h"
+#include "density/grid_density.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct DriftReport {
+  // Realized L2 distance between the two epochs' densities.
+  double realized_l2 = 0.0;
+  // exp(-Stab_L2) of the *previous* epoch: the RMS distance expected from
+  // one r-source removal at that time.
+  double predicted_rms_l2 = 0.0;
+  // realized / predicted; <= ~1 means "within one churn event's worth".
+  double ratio = 0.0;
+  // realized exceeds `tolerance_factor` times the prediction.
+  bool anomalous = false;
+};
+
+struct DriftOptions {
+  // How many predicted churn-events' worth of drift counts as ordinary.
+  double tolerance_factor = 3.0;
+
+  Status Validate() const;
+};
+
+// Compares the previous epoch's density and stability score against the
+// current epoch's density. `previous_stab_l2` must be finite (an infinitely
+// stable previous epoch makes every non-zero drift anomalous).
+Result<DriftReport> AssessDrift(const GridDensity& previous_density,
+                                double previous_stab_l2,
+                                const GridDensity& current_density,
+                                const DriftOptions& options = {});
+
+// Convenience over two full extraction results.
+Result<DriftReport> AssessDrift(const AnswerStatistics& previous,
+                                const AnswerStatistics& current,
+                                const DriftOptions& options = {});
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_DRIFT_H_

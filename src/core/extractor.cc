@@ -1,0 +1,167 @@
+#include "core/extractor.h"
+
+#include <utility>
+
+#include "stats/descriptive.h"
+#include "stats/jackknife.h"
+#include "util/stopwatch.h"
+
+namespace vastats {
+
+Status ExtractorOptions::Validate() const {
+  if (initial_sample_size < 8) {
+    return Status::InvalidArgument(
+        "ExtractorOptions.initial_sample_size must be >= 8");
+  }
+  VASTATS_RETURN_IF_ERROR(bootstrap.Validate());
+  if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
+    return Status::InvalidArgument("confidence_level must be in (0,1)");
+  }
+  VASTATS_RETURN_IF_ERROR(kde.Validate());
+  VASTATS_RETURN_IF_ERROR(cio.Validate());
+  if (stability_r <= 0) {
+    return Status::InvalidArgument("stability_r must be > 0");
+  }
+  if (weight_probes <= 0) {
+    return Status::InvalidArgument("weight_probes must be > 0");
+  }
+  if (adaptive.has_value()) {
+    VASTATS_RETURN_IF_ERROR(adaptive->Validate());
+  }
+  if (sampling_threads < 0) {
+    return Status::InvalidArgument("sampling_threads must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<AnswerStatisticsExtractor> AnswerStatisticsExtractor::Create(
+    const SourceSet* sources, AggregateQuery query, ExtractorOptions options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  VASTATS_ASSIGN_OR_RETURN(UniSSampler sampler,
+                           UniSSampler::Create(sources, std::move(query)));
+  return AnswerStatisticsExtractor(std::move(sampler), std::move(options));
+}
+
+Result<PointEstimate> AnswerStatisticsExtractor::EstimatePoint(
+    MomentStatistic statistic, std::span<const double> samples,
+    std::span<const std::vector<double>> sets) const {
+  // Replicates over the shared bootstrap sets, bagged into the estimate.
+  VASTATS_ASSIGN_OR_RETURN(
+      const std::vector<double> replicates,
+      ReplicatesFromSets(sets, MomentStatisticFn(statistic)));
+  PointEstimate estimate;
+  VASTATS_ASSIGN_OR_RETURN(estimate.value,
+                           Bag(replicates, options_.bag_aggregator));
+
+  std::vector<double> jackknife;
+  if (options_.ci_method == CiMethod::kBca) {
+    VASTATS_ASSIGN_OR_RETURN(jackknife, JackknifeMoment(samples, statistic));
+  }
+  // BCa centers on the plug-in estimate of the original sample.
+  const double plug_in = EvaluateMomentStatistic(statistic, samples);
+  VASTATS_ASSIGN_OR_RETURN(
+      estimate.ci,
+      ComputeBootstrapCi(options_.ci_method, replicates, plug_in,
+                         options_.confidence_level, jackknife));
+  return estimate;
+}
+
+Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
+  Rng rng(options_.seed);
+  Stopwatch watch;
+
+  // Phase 1: uniS sampling (Algorithm 1 line 2).
+  std::vector<double> samples;
+  if (options_.adaptive.has_value()) {
+    VASTATS_ASSIGN_OR_RETURN(
+        AdaptiveSamplingResult adaptive,
+        AdaptiveUniSSampling(sampler_, *options_.adaptive, rng));
+    samples = std::move(adaptive.samples);
+  } else if (options_.sampling_threads != 1) {
+    ParallelSampleOptions parallel;
+    parallel.num_threads = options_.sampling_threads;
+    parallel.seed = options_.seed ^ 0xfeedfaceULL;
+    VASTATS_ASSIGN_OR_RETURN(
+        samples, ParallelUniSSample(sampler_, options_.initial_sample_size,
+                                    parallel));
+  } else {
+    VASTATS_ASSIGN_OR_RETURN(
+        samples, sampler_.Sample(options_.initial_sample_size, rng));
+  }
+  const double sampling_seconds = watch.ElapsedSeconds();
+
+  VASTATS_ASSIGN_OR_RETURN(AnswerStatistics stats,
+                           ExtractFromSamples(std::move(samples), rng));
+  stats.timings.sampling_seconds = sampling_seconds;
+  return stats;
+}
+
+Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
+    std::vector<double> samples, Rng& rng) const {
+  if (samples.size() < 8) {
+    return Status::InvalidArgument(
+        "ExtractFromSamples requires >= 8 viable answer samples");
+  }
+  AnswerStatistics stats{
+      .mean = {},
+      .variance = {},
+      .std_dev = {},
+      .skewness = {},
+      .density = GridDensity::Create(0.0, 1.0, {0.0, 0.0}).value(),
+      .coverage = {},
+      .stability = {},
+      .samples = std::move(samples),
+      .answer_weight_y = 0.0,
+      .timings = {}};
+  Stopwatch watch;
+
+  // Phase 2: bootstrap resampling (line 3).
+  VASTATS_ASSIGN_OR_RETURN(
+      const std::vector<std::vector<double>> sets,
+      BootstrapSets(stats.samples, options_.bootstrap, rng));
+  stats.timings.bootstrap_seconds = watch.ElapsedSeconds();
+
+  // Phases 3-4: bagged point statistics + confidence intervals (lines 4-5).
+  watch.Restart();
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.mean, EstimatePoint(MomentStatistic::kMean, stats.samples, sets));
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.variance,
+      EstimatePoint(MomentStatistic::kVariance, stats.samples, sets));
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.std_dev,
+      EstimatePoint(MomentStatistic::kStdDev, stats.samples, sets));
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.skewness,
+      EstimatePoint(MomentStatistic::kSkewness, stats.samples, sets));
+  stats.timings.point_statistics_seconds = watch.ElapsedSeconds();
+
+  // Phase 5: bagged density estimation (line 6).
+  watch.Restart();
+  VASTATS_ASSIGN_OR_RETURN(
+      const BaggedKde kde,
+      EstimateBaggedKde(sets, stats.samples, options_.kde));
+  stats.density = kde.density;
+  stats.timings.kde_seconds = watch.ElapsedSeconds();
+
+  // Phase 6: high coverage intervals (line 7).
+  watch.Restart();
+  VASTATS_ASSIGN_OR_RETURN(stats.coverage,
+                           GreedyCio(stats.density, options_.cio));
+  stats.timings.cio_seconds = watch.ElapsedSeconds();
+
+  // Phase 7: stability score (line 8) — analytic, no removal simulation.
+  watch.Restart();
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.answer_weight_y,
+      sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng));
+  VASTATS_ASSIGN_OR_RETURN(
+      stats.stability,
+      ComputeStability(stats.samples, kde.bandwidth, stats.answer_weight_y,
+                       sampler_.sources().NumSources(), options_.stability_r,
+                       options_.change_ratio_estimator));
+  stats.timings.stability_seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace vastats

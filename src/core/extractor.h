@@ -1,0 +1,129 @@
+// AnswerStatisticsExtractor — the paper's Algorithm 1, end to end:
+//
+//   1. uniS-sample viable answers from the data sources        (§4.2)
+//   2. bootstrap-resample the answer set                        (§2.1)
+//   3. bagged point estimates: mean, variance, skewness         (§4.2)
+//   4. BCa confidence intervals for each point estimate         (§4.2)
+//   5. bagged KDE of the viable answer distribution             (§4.3)
+//   6. greedy CIO high-coverage intervals                       (§4.3)
+//   7. analytic stability scores                                (§4.4)
+//
+// Defaults follow Table 2: |S_uniS| = 400, |S_boot| = 50,
+// |B^i_boot| = |S_uniS|, confidence level 90%, theta = 0.9, L2 distance.
+
+#ifndef VASTATS_CORE_EXTRACTOR_H_
+#define VASTATS_CORE_EXTRACTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/cio.h"
+#include "core/stability.h"
+#include "density/bagged_kde.h"
+#include "sampling/adaptive.h"
+#include "sampling/parallel.h"
+#include "sampling/unis.h"
+#include "stats/bootstrap.h"
+#include "stats/confidence.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct ExtractorOptions {
+  // |S_uniS| (Table 2 default 400); ignored when `adaptive` is set.
+  int initial_sample_size = 400;
+  BootstrapOptions bootstrap;           // 50 sets, |B| = |S_uniS|
+  double confidence_level = 0.90;       // 1 - alpha
+  CiMethod ci_method = CiMethod::kBca;  // paper uses BCa
+  BagAggregator bag_aggregator = BagAggregator::kMean;
+  KdeOptions kde;                       // 4096-point grid, Botev bandwidth
+  CioOptions cio;                       // theta = 0.9
+  // Stability parameters: r sources removed, c_r estimator, probes used to
+  // estimate the per-answer weight y.
+  int stability_r = 1;
+  ChangeRatioEstimator change_ratio_estimator = ChangeRatioEstimator::kGeometric;
+  int weight_probes = 20;
+  // Optional adaptive sample growth (§4.2) replacing the fixed initial size.
+  std::optional<AdaptiveSamplingOptions> adaptive;
+  // uniS worker threads for the sampling phase: 1 = in-line (default),
+  // 0 = hardware concurrency, k = k threads. Ignored under `adaptive`
+  // (whose growth loop is inherently sequential). Thread counts other than
+  // 1 change the RNG stream partitioning, so results match only runs with
+  // the same thread count.
+  int sampling_threads = 1;
+  // RNG seed; runs with equal seeds and options are bit-identical.
+  uint64_t seed = 0x5eed;
+
+  Status Validate() const;
+};
+
+struct PointEstimate {
+  double value = 0.0;  // bagged estimate
+  ConfidenceInterval ci;
+};
+
+// Wall-clock breakdown of the pipeline phases (drives Figure 6).
+struct PhaseTimings {
+  double sampling_seconds = 0.0;
+  double bootstrap_seconds = 0.0;
+  double point_statistics_seconds = 0.0;
+  double kde_seconds = 0.0;
+  double cio_seconds = 0.0;
+  double stability_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return sampling_seconds + bootstrap_seconds + point_statistics_seconds +
+           kde_seconds + cio_seconds + stability_seconds;
+  }
+};
+
+// Everything Algorithm 1 returns (its grey-shaded outputs in Figure 3).
+struct AnswerStatistics {
+  PointEstimate mean;
+  PointEstimate variance;
+  PointEstimate std_dev;
+  PointEstimate skewness;
+
+  GridDensity density;          // the estimated viable answer distribution
+  CoverageResult coverage;      // (I, L, C)
+  StabilityReport stability;
+
+  // Sampling metadata.
+  std::vector<double> samples;  // S_uniS
+  double answer_weight_y = 0.0;
+  PhaseTimings timings;
+};
+
+class AnswerStatisticsExtractor {
+ public:
+  // `sources` must outlive the extractor.
+  static Result<AnswerStatisticsExtractor> Create(const SourceSet* sources,
+                                                  AggregateQuery query,
+                                                  ExtractorOptions options);
+
+  // Runs the full pipeline (draws fresh samples).
+  Result<AnswerStatistics> Extract() const;
+
+  // Runs phases 2-7 on a pre-drawn viable answer sample (used by the
+  // experiment harnesses to share one expensive sampling pass).
+  Result<AnswerStatistics> ExtractFromSamples(std::vector<double> samples,
+                                              Rng& rng) const;
+
+  const UniSSampler& sampler() const { return sampler_; }
+  const ExtractorOptions& options() const { return options_; }
+
+ private:
+  AnswerStatisticsExtractor(UniSSampler sampler, ExtractorOptions options)
+      : sampler_(std::move(sampler)), options_(std::move(options)) {}
+
+  Result<PointEstimate> EstimatePoint(
+      MomentStatistic statistic, std::span<const double> samples,
+      std::span<const std::vector<double>> sets) const;
+
+  UniSSampler sampler_;
+  ExtractorOptions options_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_EXTRACTOR_H_

@@ -1,0 +1,112 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vastats {
+
+ContinuousQueryMonitor::ContinuousQueryMonitor(const SourceSet* sources,
+                                               ExtractorOptions base_options)
+    : sources_(sources), base_options_(std::move(base_options)) {}
+
+Status ContinuousQueryMonitor::CheckId(QueryId id) const {
+  if (id < 0 || id >= NumQueries()) {
+    return Status::OutOfRange("unknown query id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+Result<QueryId> ContinuousQueryMonitor::Register(AggregateQuery query) {
+  if (sources_ == nullptr) {
+    return Status::FailedPrecondition("monitor has no source set");
+  }
+  const QueryId id = NumQueries();
+  ExtractorOptions options = base_options_;
+  options.seed = base_options_.seed + static_cast<uint64_t>(id) * 7919;
+  VASTATS_ASSIGN_OR_RETURN(
+      const AnswerStatisticsExtractor extractor,
+      AnswerStatisticsExtractor::Create(sources_, query, options));
+  VASTATS_ASSIGN_OR_RETURN(AnswerStatistics stats, extractor.Extract());
+  entries_.push_back(Entry{std::move(query), std::move(stats), 1});
+  return id;
+}
+
+Result<AnswerStatistics> ContinuousQueryMonitor::Statistics(
+    QueryId id) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  return entries_[static_cast<size_t>(id)].statistics;
+}
+
+Result<double> ContinuousQueryMonitor::Stability(QueryId id) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  return entries_[static_cast<size_t>(id)].statistics.stability.stab_l2;
+}
+
+std::vector<QueryId> ContinuousQueryMonitor::RefreshOrder() const {
+  std::vector<QueryId> order(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    order[i] = static_cast<QueryId>(i);
+  }
+  std::sort(order.begin(), order.end(), [this](QueryId a, QueryId b) {
+    return entries_[static_cast<size_t>(a)].statistics.stability.stab_l2 <
+           entries_[static_cast<size_t>(b)].statistics.stability.stab_l2;
+  });
+  return order;
+}
+
+Status ContinuousQueryMonitor::Refresh(QueryId id) {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  Entry& entry = entries_[static_cast<size_t>(id)];
+  ExtractorOptions options = base_options_;
+  options.seed = base_options_.seed + static_cast<uint64_t>(id) * 7919 +
+                 static_cast<uint64_t>(entry.refreshes);
+  // Re-create the extractor so changed bindings (and broken coverage) are
+  // observed.
+  auto extractor =
+      AnswerStatisticsExtractor::Create(sources_, entry.query, options);
+  if (!extractor.ok()) return extractor.status();
+  auto stats = extractor->Extract();
+  if (!stats.ok()) return stats.status();
+  entry.statistics = std::move(stats).value();
+  ++entry.refreshes;
+  return Status::Ok();
+}
+
+Result<DriftReport> ContinuousQueryMonitor::RefreshWithDrift(
+    QueryId id, const DriftOptions& options) {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  // Snapshot what the drift must be measured against before refreshing.
+  const GridDensity previous_density =
+      entries_[static_cast<size_t>(id)].statistics.density;
+  const double previous_stability =
+      entries_[static_cast<size_t>(id)].statistics.stability.stab_l2;
+  VASTATS_RETURN_IF_ERROR(Refresh(id));
+  return AssessDrift(previous_density, previous_stability,
+                     entries_[static_cast<size_t>(id)].statistics.density,
+                     options);
+}
+
+Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
+    int budget, std::vector<QueryId>* failed) {
+  if (budget <= 0) {
+    return Status::InvalidArgument("RefreshLeastStable needs budget > 0");
+  }
+  std::vector<QueryId> refreshed;
+  for (const QueryId id : RefreshOrder()) {
+    if (static_cast<int>(refreshed.size()) >= budget) break;
+    const Status status = Refresh(id);
+    if (status.ok()) {
+      refreshed.push_back(id);
+    } else if (failed != nullptr) {
+      failed->push_back(id);
+    }
+  }
+  return refreshed;
+}
+
+Result<int> ContinuousQueryMonitor::RefreshCount(QueryId id) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  return entries_[static_cast<size_t>(id)].refreshes;
+}
+
+}  // namespace vastats

@@ -1,0 +1,85 @@
+// Stability-driven maintenance of continuous aggregate queries.
+//
+// Paper §4.4: "the stability score ... can be used to prioritize the
+// re-evaluation and update of queries, especially in a scenario where
+// multiple continuous queries are managed. Note that the system needs to
+// maintain neither the sampled viable answers nor the density estimation. A
+// priority queue of the stability scores for the continuous queries is
+// sufficient for maintenance."
+//
+// ContinuousQueryMonitor keeps that priority queue: register queries once,
+// ask for the refresh order whenever sources churn, and refresh the least
+// stable queries first under a budget.
+
+#ifndef VASTATS_CORE_MONITOR_H_
+#define VASTATS_CORE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/drift.h"
+#include "core/extractor.h"
+
+namespace vastats {
+
+// Identifier of a registered continuous query.
+using QueryId = int;
+
+class ContinuousQueryMonitor {
+ public:
+  // `sources` must outlive the monitor; `base_options` seeds each query's
+  // extractor (per-query/per-refresh seeds are derived from it).
+  explicit ContinuousQueryMonitor(const SourceSet* sources,
+                                  ExtractorOptions base_options = {});
+
+  // Registers a query and runs its initial extraction.
+  Result<QueryId> Register(AggregateQuery query);
+
+  int NumQueries() const { return static_cast<int>(entries_.size()); }
+
+  // Latest statistics of a registered query.
+  Result<AnswerStatistics> Statistics(QueryId id) const;
+
+  // Latest stability score of a registered query.
+  Result<double> Stability(QueryId id) const;
+
+  // Query ids ordered least stable first — the refresh priority.
+  std::vector<QueryId> RefreshOrder() const;
+
+  // Re-extracts one query (e.g. after source churn). Queries whose coverage
+  // broke return the failure without corrupting the stored statistics.
+  Status Refresh(QueryId id);
+
+  // Refresh(id) plus a drift assessment of the new epoch against the
+  // previous one: how much the answer distribution actually moved, compared
+  // with what the previous epoch's stability score predicted (see
+  // core/drift.h). On failure the stored statistics stay untouched.
+  Result<DriftReport> RefreshWithDrift(QueryId id,
+                                       const DriftOptions& options = {});
+
+  // Refreshes the `budget` least stable queries; returns the ids refreshed
+  // (queries that fail to refresh are skipped and not counted against the
+  // budget result, but are reported in `failed` when non-null).
+  Result<std::vector<QueryId>> RefreshLeastStable(
+      int budget, std::vector<QueryId>* failed = nullptr);
+
+  // How often each query has been (re-)extracted.
+  Result<int> RefreshCount(QueryId id) const;
+
+ private:
+  struct Entry {
+    AggregateQuery query;
+    AnswerStatistics statistics;
+    int refreshes = 0;
+  };
+
+  Status CheckId(QueryId id) const;
+
+  const SourceSet* sources_;
+  ExtractorOptions base_options_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_MONITOR_H_

@@ -1,0 +1,132 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace vastats {
+namespace {
+
+void WritePointEstimate(JsonWriter& json, std::string_view name,
+                        const PointEstimate& estimate) {
+  json.Key(name);
+  json.BeginObject();
+  json.KeyValue("value", estimate.value);
+  json.Key("ci");
+  json.BeginObject();
+  json.KeyValue("lo", estimate.ci.lo);
+  json.KeyValue("hi", estimate.ci.hi);
+  json.KeyValue("level", estimate.ci.level);
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string AnswerStatisticsToJson(const AnswerStatistics& stats,
+                                   const ReportOptions& options) {
+  JsonWriter json;
+  json.BeginObject();
+
+  json.Key("point_estimates");
+  json.BeginObject();
+  WritePointEstimate(json, "mean", stats.mean);
+  WritePointEstimate(json, "variance", stats.variance);
+  WritePointEstimate(json, "stddev", stats.std_dev);
+  WritePointEstimate(json, "skewness", stats.skewness);
+  json.EndObject();
+
+  json.Key("coverage");
+  json.BeginObject();
+  json.KeyValue("total_coverage", stats.coverage.total_coverage);
+  json.KeyValue("total_length_fraction",
+                stats.coverage.total_length_fraction);
+  json.Key("intervals");
+  json.BeginArray();
+  for (const CoverageInterval& interval : stats.coverage.intervals) {
+    json.BeginObject();
+    json.KeyValue("lo", interval.lo);
+    json.KeyValue("hi", interval.hi);
+    json.KeyValue("coverage", interval.coverage);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  json.Key("stability");
+  json.BeginObject();
+  json.KeyValue("stab_l2", stats.stability.stab_l2);
+  json.KeyValue("stab_bh", stats.stability.stab_bh);
+  json.KeyValue("change_ratio", stats.stability.change_ratio);
+  json.KeyValue("sources_per_answer", stats.stability.y);
+  json.KeyValue("bandwidth", stats.stability.bandwidth);
+  json.KeyValue("r", static_cast<int64_t>(stats.stability.r));
+  json.EndObject();
+
+  json.Key("sampling");
+  json.BeginObject();
+  json.KeyValue("num_samples",
+                static_cast<int64_t>(stats.samples.size()));
+  json.KeyValue("answer_weight_y", stats.answer_weight_y);
+  json.KeyValue("sampling_seconds", stats.timings.sampling_seconds);
+  json.KeyValue("extraction_seconds",
+                stats.timings.TotalSeconds() -
+                    stats.timings.sampling_seconds);
+  json.EndObject();
+
+  if (options.density_points > 1) {
+    json.Key("density");
+    json.BeginObject();
+    json.KeyValue("x_min", stats.density.x_min());
+    json.KeyValue("x_max", stats.density.x_max());
+    json.Key("f");
+    json.BeginArray();
+    const int points = options.density_points;
+    for (int i = 0; i < points; ++i) {
+      const double x = stats.density.x_min() +
+                       stats.density.range() * static_cast<double>(i) /
+                           static_cast<double>(points - 1);
+      json.Number(stats.density.ValueAt(x));
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
+  if (options.include_samples) {
+    json.Key("samples");
+    json.BeginArray();
+    for (const double v : stats.samples) json.Number(v);
+    json.EndArray();
+  }
+
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+std::string AnswerStatisticsToText(const AnswerStatistics& stats) {
+  std::string out;
+  char line[256];
+  auto append = [&](const char* format, auto... args) {
+    std::snprintf(line, sizeof(line), format, args...);
+    out += line;
+  };
+  const double level = stats.mean.ci.level * 100.0;
+  append("mean:       %.6g   %.0f%% CI [%.6g, %.6g]\n", stats.mean.value,
+         level, stats.mean.ci.lo, stats.mean.ci.hi);
+  append("stddev:     %.6g   %.0f%% CI [%.6g, %.6g]\n", stats.std_dev.value,
+         level, stats.std_dev.ci.lo, stats.std_dev.ci.hi);
+  append("skewness:   %.6g\n", stats.skewness.value);
+  append("coverage intervals:\n");
+  for (const CoverageInterval& interval : stats.coverage.intervals) {
+    append("  [%.6g, %.6g]  %.1f%%\n", interval.lo, interval.hi,
+           interval.coverage * 100.0);
+  }
+  append("  L = %.4f of range, C = %.4f\n",
+         stats.coverage.total_length_fraction,
+         stats.coverage.total_coverage);
+  append("stability:  Stab_L2 = %.4f, Stab_Bh = %.4f (r = %d)\n",
+         stats.stability.stab_l2, stats.stability.stab_bh, stats.stability.r);
+  return out;
+}
+
+}  // namespace vastats

@@ -1,0 +1,34 @@
+// Rendering of answer statistics for downstream consumption: a JSON
+// document (for services) and a plain-text summary (for terminals). The
+// JSON covers every Algorithm-1 output — point estimates with CIs, the
+// coverage intervals with (I, L, C), stability, sampling metadata, and an
+// optional downsampled density series for plotting.
+
+#ifndef VASTATS_CORE_REPORT_H_
+#define VASTATS_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/extractor.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct ReportOptions {
+  // Number of (x, f) pairs of the density included in the JSON; 0 omits the
+  // series.
+  int density_points = 0;
+  // Include the raw uniS samples (can be large).
+  bool include_samples = false;
+};
+
+// Serializes `stats` as a single JSON object.
+std::string AnswerStatisticsToJson(const AnswerStatistics& stats,
+                                   const ReportOptions& options = {});
+
+// Multi-line human-readable summary (the csv_query_tool output format).
+std::string AnswerStatisticsToText(const AnswerStatistics& stats);
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_REPORT_H_

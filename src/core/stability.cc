@@ -1,0 +1,229 @@
+#include "core/stability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "stats/descriptive.h"
+#include "util/math.h"
+
+namespace vastats {
+
+Result<double> ChangeRatio(double y, int num_sources, int r,
+                           ChangeRatioEstimator estimator) {
+  if (num_sources < 2) {
+    return Status::InvalidArgument("ChangeRatio requires >= 2 sources");
+  }
+  if (r <= 0 || r >= num_sources) {
+    return Status::InvalidArgument(
+        "ChangeRatio requires 0 < r < num_sources");
+  }
+  const double d = static_cast<double>(num_sources);
+  y = std::clamp(y, 0.0, d);
+  switch (estimator) {
+    case ChangeRatioEstimator::kGeometric:
+      return 1.0 - std::pow(1.0 - y / d, static_cast<double>(r));
+    case ChangeRatioEstimator::kCombinatorial: {
+      // (C(|D|,r) - C(|D|-y,r)) / C(|D|,r), with y rounded to an integer
+      // source count.
+      const int yi = static_cast<int>(std::lround(y));
+      if (num_sources - yi < r) return 1.0;  // removal always hits
+      VASTATS_ASSIGN_OR_RETURN(const double log_all,
+                               LogBinomial(num_sources, r));
+      VASTATS_ASSIGN_OR_RETURN(const double log_miss,
+                               LogBinomial(num_sources - yi, r));
+      return 1.0 - std::exp(log_miss - log_all);
+    }
+  }
+  return Status::Internal("unknown ChangeRatioEstimator");
+}
+
+double MutualImpactPsiExact(std::span<const double> samples,
+                            double bandwidth) {
+  const double inv = 1.0 / (4.0 * bandwidth * bandwidth);
+  double psi = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    for (size_t j = i + 1; j < samples.size(); ++j) {
+      const double d = samples[i] - samples[j];
+      psi += std::exp(-d * d * inv);
+    }
+  }
+  return psi;
+}
+
+double MutualImpactPsi(std::span<const double> samples, double bandwidth) {
+  // exp(-d^2/4h^2) < 1e-16 once d > ~12.14 h; such pairs are dropped.
+  const double cutoff = 12.15 * bandwidth;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double inv = 1.0 / (4.0 * bandwidth * bandwidth);
+  double psi = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = i + 1; j < sorted.size(); ++j) {
+      const double d = sorted[j] - sorted[i];
+      if (d > cutoff) break;
+      psi += std::exp(-d * d * inv);
+    }
+  }
+  return psi;
+}
+
+namespace {
+
+Status ValidateSamplesAndBandwidth(std::span<const double> samples,
+                                   double bandwidth) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("stability scores require >= 2 samples");
+  }
+  if (!(bandwidth > 0.0)) {
+    return Status::InvalidArgument("stability scores require bandwidth > 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
+                           double change_ratio) {
+  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  if (!(change_ratio > 0.0 && change_ratio < 1.0)) {
+    return Status::InvalidArgument("change_ratio must be in (0,1)");
+  }
+  const double n = static_cast<double>(samples.size());
+  const double psi = MutualImpactPsi(samples, bandwidth);
+  // Eq. (4.3); the factor (1 - 2 Psi / (n(n-1))) is 0 when every sample
+  // coincides, in which case the distribution cannot change -> +inf score.
+  const double spread = 1.0 - 2.0 * psi / (n * (n - 1.0));
+  const double expected_sq_distance =
+      (1.0 / (2.0 * n * bandwidth * std::sqrt(kPi))) *
+      (change_ratio / (1.0 - change_ratio)) * std::max(0.0, spread);
+  if (expected_sq_distance <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -0.5 * std::log(expected_sq_distance);
+}
+
+Result<double> StabilityBhattacharyya(std::span<const double> samples,
+                                      double bandwidth) {
+  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  const double n = static_cast<double>(samples.size());
+  const double psi = MutualImpactPsi(samples, bandwidth);
+  // Eq. (4.4).
+  const double value = 1.0 / (2.0 * n * bandwidth * std::sqrt(kPi)) +
+                       psi / (n * n * bandwidth * std::sqrt(kPi));
+  return -std::log(value);
+}
+
+Result<StabilityReport> ComputeStability(std::span<const double> samples,
+                                         double bandwidth, double y,
+                                         int num_sources, int r,
+                                         ChangeRatioEstimator estimator) {
+  StabilityReport report;
+  report.bandwidth = bandwidth;
+  report.y = y;
+  report.r = r;
+  VASTATS_ASSIGN_OR_RETURN(report.change_ratio,
+                           ChangeRatio(y, num_sources, r, estimator));
+  report.psi = MutualImpactPsi(samples, bandwidth);
+  VASTATS_ASSIGN_OR_RETURN(report.stab_l2,
+                           StabilityL2(samples, bandwidth,
+                                       report.change_ratio));
+  VASTATS_ASSIGN_OR_RETURN(report.stab_bh,
+                           StabilityBhattacharyya(samples, bandwidth));
+  return report;
+}
+
+Result<double> SimulateStability(const UniSSampler& sampler,
+                                 const GridDensity& base_density,
+                                 const SimulatedStabilityOptions& options,
+                                 Rng& rng) {
+  if (options.trials <= 0 || options.samples_per_trial < 2) {
+    return Status::InvalidArgument(
+        "SimulateStability needs trials > 0 and samples_per_trial >= 2");
+  }
+  const int num_sources = sampler.sources().NumSources();
+  if (options.r <= 0 || options.r >= num_sources) {
+    return Status::InvalidArgument(
+        "SimulateStability requires 0 < r < num_sources");
+  }
+  const bool squared = options.distance == DistanceKind::kL2 ||
+                       options.distance == DistanceKind::kSquaredL2;
+
+  // Fix the KDE grid to the base density's so distances are well-posed.
+  KdeOptions kde = options.kde;
+  kde.x_min = base_density.x_min();
+  kde.x_max = base_density.x_max();
+  kde.grid_size = base_density.size();
+
+  double total = 0.0;
+  int completed = 0;
+  constexpr int kMaxRetriesPerTrial = 50;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<int> removed;
+    bool found = false;
+    for (int attempt = 0; attempt < kMaxRetriesPerTrial; ++attempt) {
+      removed.clear();
+      while (static_cast<int>(removed.size()) < options.r) {
+        const int s = static_cast<int>(rng.UniformInt(0, num_sources - 1));
+        if (std::find(removed.begin(), removed.end(), s) == removed.end()) {
+          removed.push_back(s);
+        }
+      }
+      if (sampler.CoverableWithout(removed)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+
+    VASTATS_ASSIGN_OR_RETURN(
+        const std::vector<double> samples,
+        sampler.SampleExcluding(options.samples_per_trial, removed, rng));
+    VASTATS_ASSIGN_OR_RETURN(const Kde removed_kde,
+                             EstimateKde(samples, kde));
+    VASTATS_ASSIGN_OR_RETURN(
+        const double distance,
+        DensityDistance(base_density, removed_kde.density,
+                        squared ? DistanceKind::kSquaredL2
+                                : options.distance));
+    total += distance;
+    ++completed;
+  }
+  if (completed == 0) {
+    return Status::FailedPrecondition(
+        "SimulateStability: no removal left the query coverable");
+  }
+  const double expected = total / static_cast<double>(completed);
+  if (!(expected > 0.0)) return std::numeric_limits<double>::infinity();
+  return squared ? -0.5 * std::log(expected) : -std::log(expected);
+}
+
+Result<std::vector<DeviationPoint>> DeviationMap(const UniSSampler& sampler,
+                                                 double base_mean,
+                                                 int samples_per_removal,
+                                                 Rng& rng) {
+  if (samples_per_removal <= 0) {
+    return Status::InvalidArgument(
+        "DeviationMap requires samples_per_removal > 0");
+  }
+  if (base_mean == 0.0) {
+    return Status::InvalidArgument(
+        "DeviationMap: base mean of 0 makes relative deviation undefined");
+  }
+  std::vector<DeviationPoint> points;
+  const int num_sources = sampler.sources().NumSources();
+  for (int s = 0; s < num_sources; ++s) {
+    const int removed[] = {s};
+    if (!sampler.CoverableWithout(removed)) continue;
+    VASTATS_ASSIGN_OR_RETURN(
+        const std::vector<double> samples,
+        sampler.SampleExcluding(samples_per_removal, removed, rng));
+    const double mean = ComputeMoments(samples).mean();
+    points.push_back(DeviationPoint{
+        s, std::fabs(mean - base_mean) / std::fabs(base_mean)});
+  }
+  return points;
+}
+
+}  // namespace vastats

@@ -1,0 +1,119 @@
+// Stability scores for aggregate answers (paper §4.4 and Appendix A).
+//
+// Stability measures how much the viable answer distribution would change if
+// r of the |D| sources left the system:
+//   Stab_d = -log( E[ d(f^D, f^{D\Q}) ] )
+// with the expectation over the uniformly random removed set Q. Theorem 4.2
+// shows that for the squared-L2 distance and a Gaussian-KDE density this
+// expectation is available in closed form from the sample set alone:
+//   Stab_L2 = -1/2 log( 1/(2nh*sqrt(pi)) * c_r/(1-c_r)
+//                       * (1 - 2*Psi/(n(n-1))) )
+// where Psi = sum_{i<j} exp(-(x_i-x_j)^2 / 4h^2) is the mutual impact
+// factor and c_r estimates the fraction of answers invalidated by the
+// removal. Corollary 4.1 gives the analogous Bhattacharyya-based score
+//   Stab_Bh = -log( 1/(2nh*sqrt(pi)) + Psi/(n^2 h sqrt(pi)) ).
+// Neither requires simulating source removal; a simulation baseline and the
+// Figure 8 deviation map are provided for validation.
+
+#ifndef VASTATS_CORE_STABILITY_H_
+#define VASTATS_CORE_STABILITY_H_
+
+#include <span>
+#include <vector>
+
+#include "density/distance.h"
+#include "density/kde.h"
+#include "sampling/unis.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// How the change ratio c_r (expected fraction of invalidated answers when r
+// of |D| sources are removed) is estimated from the answer weight y (average
+// sources per answer). Both estimators come from the proof of Theorem 4.2.
+enum class ChangeRatioEstimator {
+  // c_r = 1 - (1 - y/|D|)^r (uniform contribution assumption; the paper's
+  // primary estimate).
+  kGeometric,
+  // c_r = (C(|D|,r) - C(|D|-y,r)) / C(|D|,r).
+  kCombinatorial,
+};
+
+// Estimates c_r; `y` is clamped to [0, num_sources]. Requires
+// 0 < r < num_sources.
+Result<double> ChangeRatio(double y, int num_sources, int r,
+                           ChangeRatioEstimator estimator);
+
+// Psi = sum_{i<j} exp(-(x_i - x_j)^2 / (4 h^2)). Sorts a copy and truncates
+// pairs farther apart than ~12h (contribution < 1e-16), giving near-linear
+// cost on well-spread data.
+double MutualImpactPsi(std::span<const double> samples, double bandwidth);
+
+// Exact O(n^2) evaluation, kept for validation.
+double MutualImpactPsiExact(std::span<const double> samples,
+                            double bandwidth);
+
+// Theorem 4.2. Returns +infinity when all samples coincide (zero distance).
+// Requires n >= 2, h > 0, and change_ratio in (0, 1).
+Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
+                           double change_ratio);
+
+// Corollary 4.1. Requires n >= 2 and h > 0.
+Result<double> StabilityBhattacharyya(std::span<const double> samples,
+                                      double bandwidth);
+
+struct StabilityReport {
+  double stab_l2 = 0.0;
+  double stab_bh = 0.0;
+  double change_ratio = 0.0;
+  double y = 0.0;          // average sources per answer
+  double bandwidth = 0.0;  // h used
+  double psi = 0.0;
+  int r = 1;
+};
+
+// Computes both analytic scores from a sample set, its KDE bandwidth, and
+// the sampler-estimated weight y.
+Result<StabilityReport> ComputeStability(std::span<const double> samples,
+                                         double bandwidth, double y,
+                                         int num_sources, int r,
+                                         ChangeRatioEstimator estimator =
+                                             ChangeRatioEstimator::kGeometric);
+
+struct SimulatedStabilityOptions {
+  int r = 1;                  // sources removed per trial
+  int trials = 20;            // number of random removal sets Q
+  int samples_per_trial = 200;  // uniS draws for each f^{D\Q}
+  DistanceKind distance = DistanceKind::kL2;
+  KdeOptions kde;
+};
+
+// Monte-Carlo baseline: actually removes sources, re-samples, re-estimates
+// the density, and averages the distance. For the L2 distance the squared
+// distance is averaged and the score halved, matching Theorem 4.2's
+// Stab_{L2} convention. Trials whose removal breaks coverage are redrawn
+// (and counted as failures after too many retries).
+Result<double> SimulateStability(const UniSSampler& sampler,
+                                 const GridDensity& base_density,
+                                 const SimulatedStabilityOptions& options,
+                                 Rng& rng);
+
+// One point of the Figure 8 deviation map.
+struct DeviationPoint {
+  int source = 0;
+  // |mu^{D\{s}} - mu^D| / |mu^D|.
+  double relative_deviation = 0.0;
+};
+
+// Removes each source in turn (skipping removals that break coverage),
+// draws `samples_per_removal` answers from the remainder, and reports the
+// relative shift of the sample mean.
+Result<std::vector<DeviationPoint>> DeviationMap(const UniSSampler& sampler,
+                                                 double base_mean,
+                                                 int samples_per_removal,
+                                                 Rng& rng);
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_STABILITY_H_

@@ -1,0 +1,51 @@
+#include "core/uncertain_export.h"
+
+namespace vastats {
+
+double UncertainAttribute::TotalProbability() const {
+  double total = 0.0;
+  for (const UncertainAlternative& alternative : alternatives) {
+    total += alternative.probability;
+  }
+  return total;
+}
+
+Result<UncertainAttribute> ToUncertainAttribute(
+    const CoverageResult& coverage, std::string name, bool normalized) {
+  if (coverage.intervals.empty()) {
+    return Status::InvalidArgument(
+        "cannot export an empty coverage result");
+  }
+  if (normalized && !(coverage.total_coverage > 0.0)) {
+    return Status::FailedPrecondition(
+        "cannot normalize a zero-coverage result");
+  }
+  UncertainAttribute attribute;
+  attribute.name = std::move(name);
+  attribute.alternatives.reserve(coverage.intervals.size());
+  for (const CoverageInterval& interval : coverage.intervals) {
+    UncertainAlternative alternative;
+    alternative.lo = interval.lo;
+    alternative.hi = interval.hi;
+    alternative.probability =
+        normalized ? interval.coverage / coverage.total_coverage
+                   : interval.coverage;
+    attribute.alternatives.push_back(alternative);
+  }
+  return attribute;
+}
+
+Result<double> UncertainExpectedValue(const UncertainAttribute& attribute) {
+  const double total = attribute.TotalProbability();
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition(
+        "attribute has zero total probability");
+  }
+  double expectation = 0.0;
+  for (const UncertainAlternative& alternative : attribute.alternatives) {
+    expectation += alternative.probability * alternative.Midpoint();
+  }
+  return expectation / total;
+}
+
+}  // namespace vastats

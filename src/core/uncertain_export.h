@@ -1,0 +1,51 @@
+// Export of high coverage intervals as uncertain-database attributes
+// (paper §4.3: "high coverage intervals can be applied in uncertain and
+// probabilistic databases [22]. Such databases represent an attribute as a
+// set of value and probability pairs att = {(A, Pr(A))} ... High coverage
+// intervals can be used to produce normalized probability measures
+// att = (I_i, C_i / C), or simply att = (I_i, C_i)").
+
+#ifndef VASTATS_CORE_UNCERTAIN_EXPORT_H_
+#define VASTATS_CORE_UNCERTAIN_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cio.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// One alternative of an uncertain attribute: a value interval with its
+// probability.
+struct UncertainAlternative {
+  double lo = 0.0;
+  double hi = 0.0;
+  double probability = 0.0;
+
+  double Midpoint() const { return 0.5 * (lo + hi); }
+};
+
+// An attribute of an uncertain/probabilistic database (x-tuple style):
+// disjoint alternatives with probabilities summing to <= 1.
+struct UncertainAttribute {
+  std::string name;
+  std::vector<UncertainAlternative> alternatives;
+
+  double TotalProbability() const;
+};
+
+// Builds the attribute from a coverage result. With `normalized` the
+// probabilities are C_i / C (summing to 1); otherwise they are the raw
+// coverages C_i (summing to C, leaving 1-C for "somewhere else").
+Result<UncertainAttribute> ToUncertainAttribute(
+    const CoverageResult& coverage, std::string name, bool normalized);
+
+// Expected value of the attribute under midpoint semantics (each
+// alternative contributes its interval midpoint). Errors for an attribute
+// with zero total probability.
+Result<double> UncertainExpectedValue(const UncertainAttribute& attribute);
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_UNCERTAIN_EXPORT_H_

@@ -1,0 +1,300 @@
+#include "datagen/climate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/csv.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace vastats {
+namespace {
+
+constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+double CelsiusToFahrenheit(double c) { return c * 9.0 / 5.0 + 32.0; }
+
+}  // namespace
+
+Status ClimateArchiveOptions::Validate() const {
+  if (num_stations < 1) {
+    return Status::InvalidArgument("num_stations must be >= 1");
+  }
+  if (daily_month < 0 || daily_month > 12) {
+    return Status::InvalidArgument("daily_month must be 0 or in [1,12]");
+  }
+  if (num_districts < 1 || num_districts > num_stations) {
+    return Status::InvalidArgument(
+        "need 1 <= num_districts <= num_stations");
+  }
+  if (missing_prob < 0.0 || missing_prob >= 1.0) {
+    return Status::InvalidArgument("missing_prob must be in [0,1)");
+  }
+  if (fahrenheit_station_fraction < 0.0 ||
+      fahrenheit_station_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "fahrenheit_station_fraction must be in [0,1]");
+  }
+  if (station_bias_sigma < 0.0 || measurement_noise_sigma < 0.0) {
+    return Status::InvalidArgument("noise sigmas must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<ClimateArchive> ClimateArchive::Build(
+    const ClimateArchiveOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  ClimateArchive archive;
+  archive.options_ = options;
+  Rng rng(options.seed);
+
+  // District climates: an annual-mean base varying with "latitude" plus a
+  // seasonal sine peaking mid-summer; rainfall is wetter in winter.
+  archive.temperature_truth_.resize(
+      static_cast<size_t>(options.num_districts) * 12);
+  archive.rainfall_truth_.resize(
+      static_cast<size_t>(options.num_districts) * 12);
+  for (int d = 0; d < options.num_districts; ++d) {
+    const double base = rng.Uniform(-3.0, 12.0);
+    const double amplitude = rng.Uniform(8.0, 15.0);
+    const double wetness = rng.Uniform(20.0, 180.0);
+    for (int month = 1; month <= 12; ++month) {
+      const double phase =
+          2.0 * kPi * (static_cast<double>(month) - 4.5) / 12.0;
+      const size_t index = static_cast<size_t>(d) * 12 +
+                           static_cast<size_t>(month - 1);
+      archive.temperature_truth_[index] = base + amplitude * std::sin(phase);
+      archive.rainfall_truth_[index] =
+          std::max(0.0, wetness * (1.0 - 0.5 * std::sin(phase)) +
+                            rng.Normal(0.0, 5.0));
+    }
+  }
+
+  // Stations: round-robin district assignment guarantees every district has
+  // at least one station; the rest of the properties are random.
+  archive.stations_.reserve(static_cast<size_t>(options.num_stations));
+  archive.temperature_obs_.resize(static_cast<size_t>(options.num_stations));
+  archive.rainfall_obs_.resize(static_cast<size_t>(options.num_stations));
+  for (int s = 0; s < options.num_stations; ++s) {
+    Station station;
+    station.id = s;
+    station.district = s % options.num_districts;
+    station.reports_fahrenheit =
+        rng.Bernoulli(options.fahrenheit_station_fraction);
+    station.bias = rng.Normal(0.0, options.station_bias_sigma);
+    station.name = "station-" + std::to_string(s);
+
+    auto& temps = archive.temperature_obs_[static_cast<size_t>(s)];
+    auto& rains = archive.rainfall_obs_[static_cast<size_t>(s)];
+    temps.assign(12, kMissing);
+    rains.assign(12, kMissing);
+    for (int month = 1; month <= 12; ++month) {
+      const size_t truth_index =
+          static_cast<size_t>(station.district) * 12 +
+          static_cast<size_t>(month - 1);
+      if (!rng.Bernoulli(options.missing_prob)) {
+        double celsius = archive.temperature_truth_[truth_index] +
+                         station.bias +
+                         rng.Normal(0.0, options.measurement_noise_sigma);
+        temps[static_cast<size_t>(month - 1)] =
+            station.reports_fahrenheit ? CelsiusToFahrenheit(celsius)
+                                       : celsius;
+      }
+      if (!rng.Bernoulli(options.missing_prob)) {
+        rains[static_cast<size_t>(month - 1)] = std::max(
+            0.0, archive.rainfall_truth_[truth_index] +
+                     rng.Normal(0.0, 4.0 * options.measurement_noise_sigma));
+      }
+    }
+    archive.stations_.push_back(std::move(station));
+  }
+
+  // Daily layer: a within-month weather trajectory per district (smooth
+  // random walk around the monthly mean) plus per-station bias and noise.
+  if (options.daily_month != 0) {
+    const int days = archive.DaysInDailyMonth();
+    archive.daily_truth_.assign(
+        static_cast<size_t>(options.num_districts) * 31, 0.0);
+    for (int d = 0; d < options.num_districts; ++d) {
+      const double monthly_mean =
+          archive.temperature_truth_[static_cast<size_t>(d) * 12 +
+                                     static_cast<size_t>(
+                                         options.daily_month - 1)];
+      double walk = 0.0;
+      for (int day = 1; day <= days; ++day) {
+        walk = 0.7 * walk + rng.Normal(0.0, 1.2);
+        archive.daily_truth_[static_cast<size_t>(d) * 31 +
+                             static_cast<size_t>(day - 1)] =
+            monthly_mean + walk;
+      }
+    }
+    archive.daily_obs_.resize(static_cast<size_t>(options.num_stations));
+    for (const Station& station : archive.stations_) {
+      auto& observations =
+          archive.daily_obs_[static_cast<size_t>(station.id)];
+      observations.assign(static_cast<size_t>(days), kMissing);
+      for (int day = 1; day <= days; ++day) {
+        if (rng.Bernoulli(options.missing_prob)) continue;
+        double celsius =
+            archive.daily_truth_[static_cast<size_t>(station.district) * 31 +
+                                 static_cast<size_t>(day - 1)] +
+            station.bias +
+            rng.Normal(0.0, options.measurement_noise_sigma);
+        observations[static_cast<size_t>(day - 1)] =
+            station.reports_fahrenheit ? CelsiusToFahrenheit(celsius)
+                                       : celsius;
+      }
+    }
+  }
+  return archive;
+}
+
+int ClimateArchive::DaysInDailyMonth() const {
+  if (options_.daily_month == 0) return 0;
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31,
+                                30, 31};
+  int days = kDays[options_.daily_month - 1];
+  const int year = options_.year;
+  const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  if (options_.daily_month == 2 && leap) days = 29;
+  return days;
+}
+
+ComponentId ClimateArchive::DailyComponentFor(int district, int day) {
+  // Attribute namespace 3 keeps daily ids disjoint from the monthly ones.
+  return ComponentId{3} * 1'000'000 +
+         static_cast<ComponentId>(district) * 32 + day;
+}
+
+Result<std::vector<ComponentId>> ClimateArchive::DailyComponents(
+    int first_day, int last_day) const {
+  const int days = DaysInDailyMonth();
+  if (days == 0) {
+    return Status::FailedPrecondition(
+        "archive was built without daily data (daily_month == 0)");
+  }
+  if (first_day < 1 || last_day > days || first_day > last_day) {
+    return Status::InvalidArgument("invalid day range");
+  }
+  std::vector<ComponentId> components;
+  components.reserve(static_cast<size_t>(options_.num_districts) *
+                     static_cast<size_t>(last_day - first_day + 1));
+  for (int d = 0; d < options_.num_districts; ++d) {
+    for (int day = first_day; day <= last_day; ++day) {
+      components.push_back(DailyComponentFor(d, day));
+    }
+  }
+  return components;
+}
+
+Result<double> ClimateArchive::DailyTruth(int district, int day) const {
+  const int days = DaysInDailyMonth();
+  if (days == 0) {
+    return Status::FailedPrecondition("archive has no daily data");
+  }
+  if (district < 0 || district >= options_.num_districts || day < 1 ||
+      day > days) {
+    return Status::OutOfRange("invalid district/day");
+  }
+  return daily_truth_[static_cast<size_t>(district) * 31 +
+                      static_cast<size_t>(day - 1)];
+}
+
+Result<double> ClimateArchive::Truth(ClimateAttribute attribute, int district,
+                                     int month) const {
+  if (district < 0 || district >= options_.num_districts || month < 1 ||
+      month > 12) {
+    return Status::OutOfRange("invalid district/month");
+  }
+  const size_t index =
+      static_cast<size_t>(district) * 12 + static_cast<size_t>(month - 1);
+  return attribute == ClimateAttribute::kMeanTemperature
+             ? temperature_truth_[index]
+             : rainfall_truth_[index];
+}
+
+ComponentId ClimateArchive::ComponentFor(ClimateAttribute attribute,
+                                         int district, int month) {
+  // Attribute namespace * 1e6 keeps ids disjoint across attributes.
+  const ComponentId attr =
+      attribute == ClimateAttribute::kMeanTemperature ? 1 : 2;
+  return attr * 1'000'000 + static_cast<ComponentId>(district) * 16 + month;
+}
+
+Result<std::vector<ComponentId>> ClimateArchive::Components(
+    ClimateAttribute attribute, int first_month, int last_month) const {
+  if (first_month < 1 || last_month > 12 || first_month > last_month) {
+    return Status::InvalidArgument("invalid month range");
+  }
+  std::vector<ComponentId> components;
+  components.reserve(static_cast<size_t>(options_.num_districts) *
+                     static_cast<size_t>(last_month - first_month + 1));
+  for (int d = 0; d < options_.num_districts; ++d) {
+    for (int month = first_month; month <= last_month; ++month) {
+      components.push_back(ComponentFor(attribute, d, month));
+    }
+  }
+  return components;
+}
+
+Result<SourceSet> ClimateArchive::MakeSourceSet() const {
+  SourceSet set;
+  for (const Station& station : stations_) {
+    DataSource source(station.name);
+    const auto& temps = temperature_obs_[static_cast<size_t>(station.id)];
+    const auto& rains = rainfall_obs_[static_cast<size_t>(station.id)];
+    for (int month = 1; month <= 12; ++month) {
+      const double temp = temps[static_cast<size_t>(month - 1)];
+      if (!std::isnan(temp)) {
+        source.Bind(ComponentFor(ClimateAttribute::kMeanTemperature,
+                                 station.district, month),
+                    temp);
+      }
+      const double rain = rains[static_cast<size_t>(month - 1)];
+      if (!std::isnan(rain)) {
+        source.Bind(ComponentFor(ClimateAttribute::kTotalRainfall,
+                                 station.district, month),
+                    rain);
+      }
+    }
+    if (!daily_obs_.empty()) {
+      const auto& daily = daily_obs_[static_cast<size_t>(station.id)];
+      for (int day = 1; day <= static_cast<int>(daily.size()); ++day) {
+        const double value = daily[static_cast<size_t>(day - 1)];
+        if (!std::isnan(value)) {
+          source.Bind(DailyComponentFor(station.district, day), value);
+        }
+      }
+    }
+    set.AddSource(std::move(source));
+  }
+  return set;
+}
+
+Status ClimateArchive::WriteCsv(const std::string& path) const {
+  std::vector<CsvRow> rows;
+  rows.push_back({"station", "district", "attribute", "month", "value"});
+  for (const Station& station : stations_) {
+    for (int month = 1; month <= 12; ++month) {
+      const double temp =
+          temperature_obs_[static_cast<size_t>(station.id)]
+                          [static_cast<size_t>(month - 1)];
+      if (!std::isnan(temp)) {
+        rows.push_back({std::to_string(station.id),
+                        std::to_string(station.district), "temp",
+                        std::to_string(month), std::to_string(temp)});
+      }
+      const double rain =
+          rainfall_obs_[static_cast<size_t>(station.id)]
+                       [static_cast<size_t>(month - 1)];
+      if (!std::isnan(rain)) {
+        rows.push_back({std::to_string(station.id),
+                        std::to_string(station.district), "rain",
+                        std::to_string(month), std::to_string(rain)});
+      }
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace vastats

@@ -1,0 +1,123 @@
+// Synthetic Canadian climate archive — the stand-in for the paper's
+// real-life dataset C (climate.weatheroffice.gc.ca monthly data for 2006:
+// 1672 stations reporting for 104 measuring districts).
+//
+// The original archive is no longer downloadable, so this module generates a
+// structurally equivalent one (documented in DESIGN.md §3): stations grouped
+// into districts, per-district seasonal temperature curves, per-station
+// systematic bias plus measurement noise, missing months, and a small
+// fraction of stations that mistakenly report Fahrenheit — the unit-error
+// mechanism the paper identifies behind the spurious second mode of
+// Figure 7(a).
+
+#ifndef VASTATS_DATAGEN_CLIMATE_H_
+#define VASTATS_DATAGEN_CLIMATE_H_
+
+#include <string>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+enum class ClimateAttribute { kMeanTemperature, kTotalRainfall };
+
+struct ClimateArchiveOptions {
+  int num_stations = 1672;  // matches the paper's archive
+  int num_districts = 104;
+  int year = 2006;
+  // When in [1, 12], the archive additionally carries *daily* mean
+  // temperatures for that month — the resolution of the paper's
+  // introductory aggregation ("1470 data points: 49 cities in BC * 30
+  // days"). 0 disables daily data.
+  int daily_month = 0;
+  // Per-station systematic offset (sensor siting, elevation, ...).
+  double station_bias_sigma = 0.8;
+  // Per-observation noise.
+  double measurement_noise_sigma = 0.6;
+  // Probability a station-month observation is missing ("data had not been
+  // observed").
+  double missing_prob = 0.05;
+  // Fraction of stations whose temperature values are stored in Fahrenheit.
+  double fahrenheit_station_fraction = 0.02;
+  uint64_t seed = 2006;
+
+  Status Validate() const;
+};
+
+struct Station {
+  int id = 0;
+  int district = 0;
+  bool reports_fahrenheit = false;
+  double bias = 0.0;
+  std::string name;
+};
+
+class ClimateArchive {
+ public:
+  static Result<ClimateArchive> Build(const ClimateArchiveOptions& options);
+
+  const ClimateArchiveOptions& options() const { return options_; }
+  const std::vector<Station>& stations() const { return stations_; }
+
+  // Ground-truth district-month value in Celsius (or mm for rainfall);
+  // month in [1, 12], district in [0, num_districts).
+  Result<double> Truth(ClimateAttribute attribute, int district,
+                       int month) const;
+
+  // Component id for (attribute, district, month): stable across runs.
+  static ComponentId ComponentFor(ClimateAttribute attribute, int district,
+                                  int month);
+
+  // Component id for the daily temperature of (district, day) within the
+  // configured daily month; disjoint from the monthly ids.
+  static ComponentId DailyComponentFor(int district, int day);
+
+  // Daily components for every district and days [first_day, last_day]
+  // within the configured daily month. Fails when daily data is disabled
+  // or the day range is invalid (days are 1..28/29/30/31 per the month).
+  Result<std::vector<ComponentId>> DailyComponents(int first_day,
+                                                   int last_day) const;
+
+  // Ground-truth daily Celsius temperature.
+  Result<double> DailyTruth(int district, int day) const;
+
+  // Components for `attribute` over every district and months
+  // [first_month, last_month].
+  Result<std::vector<ComponentId>> Components(ClimateAttribute attribute,
+                                              int first_month,
+                                              int last_month) const;
+
+  // One DataSource per station, binding the station's non-missing
+  // observations for both attributes. Fahrenheit stations store converted
+  // temperature values.
+  Result<SourceSet> MakeSourceSet() const;
+
+  // Exports station observations as CSV rows
+  // (station, district, attribute, month, value).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  ClimateArchive() = default;
+
+  ClimateArchiveOptions options_;
+  std::vector<Station> stations_;
+  int DaysInDailyMonth() const;
+
+  // truth_[attribute][district * 12 + month - 1]
+  std::vector<double> temperature_truth_;
+  std::vector<double> rainfall_truth_;
+  // observations_[station][month-1] per attribute; NaN = missing.
+  std::vector<std::vector<double>> temperature_obs_;
+  std::vector<std::vector<double>> rainfall_obs_;
+  // Daily layer (present when options_.daily_month != 0):
+  // daily_truth_[district * 31 + day - 1]; daily_obs_[station][day - 1].
+  std::vector<double> daily_truth_;
+  std::vector<std::vector<double>> daily_obs_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_CLIMATE_H_

@@ -1,0 +1,65 @@
+#include "datagen/distributions.h"
+
+#include <cmath>
+
+namespace vastats {
+
+double CauchyDistribution::Sample(Rng& rng) const {
+  if (clip_ <= 0.0) return rng.Cauchy(location_, scale_);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = rng.Cauchy(location_, scale_);
+    if (std::fabs(x - location_) <= clip_) return x;
+  }
+  return location_;  // Vanishingly unlikely with any reasonable clip.
+}
+
+void MixtureDistribution::AddComponent(
+    double weight, std::unique_ptr<Distribution> component) {
+  if (weight <= 0.0 || component == nullptr) return;
+  total_weight_ += weight;
+  components_.emplace_back(weight, std::move(component));
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  double pick = rng.Uniform(0.0, total_weight_);
+  for (const auto& [weight, component] : components_) {
+    if (pick < weight) return component->Sample(rng);
+    pick -= weight;
+  }
+  // Floating-point edge: fall through to the last component.
+  return components_.back().second->Sample(rng);
+}
+
+std::unique_ptr<MixtureDistribution> MakeD2(uint64_t seed) {
+  Rng rng(seed);
+  auto mixture = std::make_unique<MixtureDistribution>();
+  constexpr double kSigma = 0.5;
+  const double weights[] = {12.0, 5.0, 2.0, 1.0};
+  const double ranges[][2] = {{10, 20}, {25, 35}, {40, 50}, {55, 65}};
+  for (int i = 0; i < 4; ++i) {
+    const double mu = rng.Uniform(ranges[i][0], ranges[i][1]);
+    mixture->AddComponent(weights[i],
+                          std::make_unique<NormalDistribution>(mu, kSigma));
+  }
+  return mixture;
+}
+
+std::unique_ptr<MixtureDistribution> MakeD3(uint64_t seed) {
+  Rng rng(seed);
+  auto mixture = std::make_unique<MixtureDistribution>();
+  const double gauss_mu = rng.Uniform(10.0, 20.0);
+  mixture->AddComponent(1.0,
+                        std::make_unique<NormalDistribution>(gauss_mu, 1.0));
+  const double cauchy_loc = rng.Uniform(30.0, 40.0);
+  mixture->AddComponent(
+      1.0, std::make_unique<CauchyDistribution>(cauchy_loc, 1.0,
+                                                /*clip=*/60.0));
+  // Gamma with shape 2, scale 1/sqrt(2) has sigma = 1 (Table 1).
+  const double gamma_offset = rng.Uniform(50.0, 60.0);
+  mixture->AddComponent(
+      1.0, std::make_unique<GammaDistribution>(2.0, 1.0 / std::sqrt(2.0),
+                                               gamma_offset));
+  return mixture;
+}
+
+}  // namespace vastats

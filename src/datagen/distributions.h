@@ -1,0 +1,107 @@
+// Synthetic value distributions from Table 1 of the paper's empirical study:
+//   D2 — a mixture of four Gaussians, means in [10,20], [25,35], [40,50],
+//        [55,65], sigma = 0.5, weights 12:5:2:1;
+//   D3 — a mixture of a Gaussian (sigma = 1), a Cauchy (undefined variance;
+//        the table's sigma = inf), and a Gamma (sigma = 1).
+// Component centers inside the listed ranges are drawn once, from the seed,
+// at construction.
+
+#ifndef VASTATS_DATAGEN_DISTRIBUTIONS_H_
+#define VASTATS_DATAGEN_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// A sampleable scalar distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double Sample(Rng& rng) const = 0;
+};
+
+class NormalDistribution : public Distribution {
+ public:
+  NormalDistribution(double mean, double sigma) : mean_(mean), sigma_(sigma) {}
+  double Sample(Rng& rng) const override { return rng.Normal(mean_, sigma_); }
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+// Cauchy, optionally truncated to [location - clip, location + clip] by
+// resampling (clip <= 0 disables truncation). Truncation keeps synthetic
+// aggregates finite-ranged without destroying the heavy-tailed shape.
+class CauchyDistribution : public Distribution {
+ public:
+  CauchyDistribution(double location, double scale, double clip = 0.0)
+      : location_(location), scale_(scale), clip_(clip) {}
+  double Sample(Rng& rng) const override;
+
+ private:
+  double location_;
+  double scale_;
+  double clip_;
+};
+
+// Gamma with the given shape/scale, shifted by `offset`.
+class GammaDistribution : public Distribution {
+ public:
+  GammaDistribution(double shape, double scale, double offset = 0.0)
+      : shape_(shape), scale_(scale), offset_(offset) {}
+  double Sample(Rng& rng) const override {
+    return offset_ + rng.Gamma(shape_, scale_);
+  }
+
+ private:
+  double shape_;
+  double scale_;
+  double offset_;
+};
+
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double Sample(Rng& rng) const override { return rng.Uniform(lo_, hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// A weighted mixture of distributions.
+class MixtureDistribution : public Distribution {
+ public:
+  // Adds a component with the given non-negative weight (weights are
+  // normalized internally).
+  void AddComponent(double weight, std::unique_ptr<Distribution> component);
+
+  size_t NumComponents() const { return components_.size(); }
+
+  // Samples a component proportionally to its weight, then samples it.
+  // Requires >= 1 component with positive total weight.
+  double Sample(Rng& rng) const override;
+
+ private:
+  std::vector<std::pair<double, std::unique_ptr<Distribution>>> components_;
+  double total_weight_ = 0.0;
+};
+
+// Table 1's D2: four Gaussians, weights 12:5:2:1, sigma 0.5, means drawn
+// uniformly from the listed ranges using `seed`.
+std::unique_ptr<MixtureDistribution> MakeD2(uint64_t seed);
+
+// Table 1's D3: Gaussian (mu in [10,20], sigma 1) + Cauchy (sigma = inf;
+// truncated at +-60 around its location for bounded synthetic ranges) +
+// Gamma (sigma = 1), equally weighted.
+std::unique_ptr<MixtureDistribution> MakeD3(uint64_t seed);
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,103 @@
+#include "datagen/source_builder.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace vastats {
+
+Status SyntheticSourceSetOptions::Validate() const {
+  if (num_sources < 2) {
+    return Status::InvalidArgument("num_sources must be >= 2");
+  }
+  if (num_components < 1) {
+    return Status::InvalidArgument("num_components must be >= 1");
+  }
+  if (min_copies < 1 || max_copies < min_copies) {
+    return Status::InvalidArgument(
+        "need 1 <= min_copies <= max_copies");
+  }
+  if (max_copies > num_sources) {
+    return Status::InvalidArgument("max_copies must be <= num_sources");
+  }
+  if (conflict_sigma < 0.0) {
+    return Status::InvalidArgument("conflict_sigma must be >= 0");
+  }
+  if (unit_error_prob < 0.0 || unit_error_prob > 1.0 ||
+      unit_error_source_fraction < 0.0 || unit_error_source_fraction > 1.0) {
+    return Status::InvalidArgument("unit error rates must be in [0,1]");
+  }
+  return Status::Ok();
+}
+
+Result<SourceSet> BuildSyntheticSourceSet(
+    const Distribution& value_distribution,
+    const SyntheticSourceSetOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  Rng rng(options.seed);
+
+  SourceSet set;
+  std::vector<char> fahrenheit_source(
+      static_cast<size_t>(options.num_sources), 0);
+  for (int s = 0; s < options.num_sources; ++s) {
+    set.AddSource(DataSource("synthetic-" + std::to_string(s)));
+    fahrenheit_source[static_cast<size_t>(s)] =
+        rng.Bernoulli(options.unit_error_source_fraction) ? 1 : 0;
+  }
+
+  std::vector<int> all_sources(static_cast<size_t>(options.num_sources));
+  for (int s = 0; s < options.num_sources; ++s) {
+    all_sources[static_cast<size_t>(s)] = s;
+  }
+
+  for (int c = 0; c < options.num_components; ++c) {
+    const ComponentId component = options.first_component_id + c;
+    const double base = value_distribution.Sample(rng);
+    const int copies = static_cast<int>(
+        rng.UniformInt(options.min_copies, options.max_copies));
+    // Random distinct owners via a partial shuffle.
+    for (int k = 0; k < copies; ++k) {
+      const int j = static_cast<int>(
+          rng.UniformInt(k, options.num_sources - 1));
+      std::swap(all_sources[static_cast<size_t>(k)],
+                all_sources[static_cast<size_t>(j)]);
+    }
+    for (int k = 0; k < copies; ++k) {
+      const int owner = all_sources[static_cast<size_t>(k)];
+      double value = base;
+      switch (options.conflict_model) {
+        case ConflictModel::kSharedBaseNoise:
+          value = base + rng.Normal(0.0, options.conflict_sigma);
+          break;
+        case ConflictModel::kIndependentRedraw:
+          value = value_distribution.Sample(rng);
+          break;
+      }
+      const bool unit_error =
+          fahrenheit_source[static_cast<size_t>(owner)] != 0 ||
+          rng.Bernoulli(options.unit_error_prob);
+      if (unit_error) value = value * 9.0 / 5.0 + 32.0;
+      set.mutable_source(owner).Bind(component, value);
+    }
+  }
+  return set;
+}
+
+Status AddConflictComponent(SourceSet& sources, ComponentId component,
+                            int source_a, int source_b, double value,
+                            double shift) {
+  if (source_a < 0 || source_a >= sources.NumSources() || source_b < 0 ||
+      source_b >= sources.NumSources() || source_a == source_b) {
+    return Status::InvalidArgument(
+        "AddConflictComponent requires two distinct valid source indices");
+  }
+  if (sources.CoverageCount(component) != 0) {
+    return Status::InvalidArgument(
+        "AddConflictComponent requires a fresh component id");
+  }
+  sources.mutable_source(source_a).Bind(component, value);
+  sources.mutable_source(source_b).Bind(component, value + shift);
+  return Status::Ok();
+}
+
+}  // namespace vastats

@@ -1,0 +1,64 @@
+// Builds synthetic heterogeneous source sets: overlapping sources holding
+// duplicated components with conflicting values — the workload shape of the
+// paper's empirical study (|D| = 100 sources, |C| = 500 components, values
+// from the D2/D3 mixtures of Table 1).
+
+#ifndef VASTATS_DATAGEN_SOURCE_BUILDER_H_
+#define VASTATS_DATAGEN_SOURCE_BUILDER_H_
+
+#include "datagen/distributions.h"
+#include "integration/source_set.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// How the duplicated copies of a component disagree across sources.
+enum class ConflictModel {
+  // One base value per component; each source's copy adds Gaussian noise of
+  // sigma `conflict_sigma` (semantic ambiguity / measurement error).
+  kSharedBaseNoise,
+  // Every copy is an independent draw from the value distribution
+  // (maximal value-level heterogeneity).
+  kIndependentRedraw,
+};
+
+struct SyntheticSourceSetOptions {
+  int num_sources = 100;    // |D| (Table 2 default)
+  int num_components = 500;  // |C| (Table 2 default)
+  // Number of sources holding each component, drawn uniformly per component.
+  int min_copies = 2;
+  int max_copies = 6;
+  ConflictModel conflict_model = ConflictModel::kSharedBaseNoise;
+  double conflict_sigma = 0.5;
+  // Probability that an individual binding is accidentally stored in
+  // Fahrenheit (v -> v * 9/5 + 32) — the unit-error mechanism the paper's
+  // §7 identifies behind the second mode of Figure 7(a).
+  double unit_error_prob = 0.0;
+  // Fraction of *sources* that store every value in Fahrenheit.
+  double unit_error_source_fraction = 0.0;
+  ComponentId first_component_id = 0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+// Generates the source set. Every component ends up bound by at least
+// `min_copies` sources; component ids are
+// [first_component_id, first_component_id + num_components).
+Result<SourceSet> BuildSyntheticSourceSet(
+    const Distribution& value_distribution,
+    const SyntheticSourceSetOptions& options);
+
+// Adds one semantic-ambiguity conflict: `component` is bound by exactly the
+// two given sources, the second storing `value + shift` (two sources that
+// apply different — individually correct — semantics, per the discussion of
+// [19] in the paper's §6). When uniS samples, the aggregate absorbs the
+// shift with probability 1/2, which is what splits the viable answer
+// distribution into the multi-modal lattices of Figure 7(c)/(d).
+Status AddConflictComponent(SourceSet& sources, ComponentId component,
+                            int source_a, int source_b, double value,
+                            double shift);
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_SOURCE_BUILDER_H_

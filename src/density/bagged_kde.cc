@@ -1,0 +1,64 @@
+#include "density/bagged_kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vastats {
+
+Result<BaggedKde> EstimateBaggedKde(
+    std::span<const std::vector<double>> sets,
+    std::span<const double> reference_samples, const KdeOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (sets.empty()) {
+    return Status::InvalidArgument("EstimateBaggedKde needs >= 1 sample set");
+  }
+  for (const std::vector<double>& set : sets) {
+    if (set.size() < 2) {
+      return Status::InvalidArgument(
+          "EstimateBaggedKde: every sample set needs >= 2 points");
+    }
+  }
+
+  // Common grid across all sets (unless the caller fixed one).
+  KdeOptions per_set = options;
+  if (!(options.x_min < options.x_max)) {
+    double lo = sets[0][0];
+    double hi = sets[0][0];
+    for (const std::vector<double>& set : sets) {
+      const auto [min_it, max_it] = std::minmax_element(set.begin(), set.end());
+      lo = std::min(lo, *min_it);
+      hi = std::max(hi, *max_it);
+    }
+    for (const double x : reference_samples) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    double span = hi - lo;
+    if (!(span > 0.0)) span = std::max(std::fabs(lo), 1.0) * 1e-6;
+    per_set.x_min = lo - options.padding_fraction * span;
+    per_set.x_max = hi + options.padding_fraction * span;
+  }
+
+  BaggedKde out{GridDensity::Create(per_set.x_min, per_set.x_max,
+                                    std::vector<double>(options.grid_size, 0.0))
+                    .value(),
+                0.0,
+                {}};
+  out.set_bandwidths.reserve(sets.size());
+  const double weight = 1.0 / static_cast<double>(sets.size());
+  for (const std::vector<double>& set : sets) {
+    VASTATS_ASSIGN_OR_RETURN(Kde kde, EstimateKde(set, per_set));
+    out.set_bandwidths.push_back(kde.bandwidth);
+    out.density.AccumulateScaled(kde.density, weight);
+  }
+  VASTATS_RETURN_IF_ERROR(out.density.Normalize());
+
+  // Report the bandwidth of the reference sample (or the first set).
+  const std::span<const double> reference =
+      reference_samples.empty() ? std::span<const double>(sets[0])
+                                : reference_samples;
+  VASTATS_ASSIGN_OR_RETURN(out.bandwidth, SelectBandwidth(reference, options));
+  return out;
+}
+
+}  // namespace vastats

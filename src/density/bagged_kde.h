@@ -1,0 +1,37 @@
+// Bagged kernel density estimation (paper §4.3): estimate a density for
+// each bootstrap sample set on one common grid and use the normalized
+// point-wise mean of the estimates as the viable answer distribution.
+// Bagging smooths out resampling noise and stabilizes the mode structure
+// that the CIO algorithm depends on.
+
+#ifndef VASTATS_DENSITY_BAGGED_KDE_H_
+#define VASTATS_DENSITY_BAGGED_KDE_H_
+
+#include <span>
+#include <vector>
+
+#include "density/kde.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct BaggedKde {
+  GridDensity density;
+  // Bandwidth selected on the pooled/original sample (reported as the h of
+  // the final estimate, e.g. for stability scores).
+  double bandwidth = 0.0;
+  // Per-bootstrap-set bandwidths actually used.
+  std::vector<double> set_bandwidths;
+};
+
+// Estimates one KDE per sample set and averages them point-wise on a grid
+// spanning all sets. `reference_samples` (typically the original uniS
+// sample) provides the reported bandwidth; it may be empty, in which case
+// the first set is used. Any fixed range in `options` is honored.
+Result<BaggedKde> EstimateBaggedKde(
+    std::span<const std::vector<double>> sets,
+    std::span<const double> reference_samples, const KdeOptions& options);
+
+}  // namespace vastats
+
+#endif  // VASTATS_DENSITY_BAGGED_KDE_H_

@@ -1,0 +1,97 @@
+#include "density/density_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace vastats {
+namespace {
+
+Result<double> ParseNumber(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string GridDensityToCsv(const GridDensity& density) {
+  std::string out = "x,f\n";
+  char line[80];
+  for (size_t i = 0; i < density.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%.17g,%.17g\n", density.XAt(i),
+                  density.values()[i]);
+    out += line;
+  }
+  return out;
+}
+
+Result<GridDensity> GridDensityFromCsv(const std::string& csv_text) {
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<CsvRow> rows,
+                           ParseCsv(csv_text));
+  if (rows.size() < 3 || rows[0].size() != 2 || rows[0][0] != "x" ||
+      rows[0][1] != "f") {
+    return Status::InvalidArgument(
+        "density CSV needs an 'x,f' header and >= 2 data rows");
+  }
+  std::vector<double> xs, fs;
+  xs.reserve(rows.size() - 1);
+  fs.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " does not have 2 fields");
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double x, ParseNumber(rows[r][0]));
+    VASTATS_ASSIGN_OR_RETURN(const double f, ParseNumber(rows[r][1]));
+    xs.push_back(x);
+    fs.push_back(f);
+  }
+  // Uniform, strictly increasing grid.
+  const double step = (xs.back() - xs.front()) /
+                      static_cast<double>(xs.size() - 1);
+  if (!(step > 0.0)) {
+    return Status::InvalidArgument("density CSV grid must be increasing");
+  }
+  const double tolerance =
+      1e-9 * std::max(std::fabs(xs.front()), std::fabs(xs.back())) +
+      1e-9 * step;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double expected = xs.front() + step * static_cast<double>(i);
+    if (std::fabs(xs[i] - expected) > tolerance) {
+      return Status::InvalidArgument(
+          "density CSV grid is not uniformly spaced at row " +
+          std::to_string(i + 1));
+    }
+  }
+  return GridDensity::Create(xs.front(), xs.back(), std::move(fs));
+}
+
+Status WriteGridDensity(const std::string& path,
+                        const GridDensity& density) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << GridDensityToCsv(density);
+  if (!out) return Status::Internal("error writing: " + path);
+  return Status::Ok();
+}
+
+Result<GridDensity> ReadGridDensity(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open density CSV: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return GridDensityFromCsv(buffer.str());
+}
+
+}  // namespace vastats

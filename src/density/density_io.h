@@ -1,0 +1,31 @@
+// Persistence for tabulated densities: (x, f) CSV series, exact enough to
+// round-trip a GridDensity. Lets a deployment snapshot the viable answer
+// distribution of each query epoch, replot it, and measure drift between
+// epochs with density/distance.h — complementing the stability score, which
+// predicts drift *before* it happens.
+
+#ifndef VASTATS_DENSITY_DENSITY_IO_H_
+#define VASTATS_DENSITY_DENSITY_IO_H_
+
+#include <string>
+
+#include "density/grid_density.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// Renders the density as CSV with an "x,f" header and one row per grid
+// point (17 significant digits, enough for exact double round-trips).
+std::string GridDensityToCsv(const GridDensity& density);
+
+// Parses the CSV form. Requires >= 2 rows, strictly increasing uniformly
+// spaced x (to 1e-9 relative tolerance), and non-negative finite f.
+Result<GridDensity> GridDensityFromCsv(const std::string& csv_text);
+
+// File wrappers.
+Status WriteGridDensity(const std::string& path, const GridDensity& density);
+Result<GridDensity> ReadGridDensity(const std::string& path);
+
+}  // namespace vastats
+
+#endif  // VASTATS_DENSITY_DENSITY_IO_H_

@@ -1,0 +1,96 @@
+#include "density/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vastats {
+namespace {
+
+// Trapezoid integral of `f(p_i, q_i)` over a shared grid.
+template <typename PointFn>
+double IntegratePair(const GridDensity& p, const GridDensity& q,
+                     PointFn&& point) {
+  const double lo = std::min(p.x_min(), q.x_min());
+  const double hi = std::max(p.x_max(), q.x_max());
+  const size_t n = std::max(p.size(), q.size());
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  double sum = 0.0;
+  double prev = point(p.ValueAt(lo), q.ValueAt(lo));
+  for (size_t i = 1; i < n; ++i) {
+    const double x = lo + static_cast<double>(i) * step;
+    const double cur = point(p.ValueAt(x), q.ValueAt(x));
+    sum += 0.5 * (prev + cur) * step;
+    prev = cur;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::string_view DistanceKindToString(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kL2:
+      return "L2";
+    case DistanceKind::kSquaredL2:
+      return "L2^2";
+    case DistanceKind::kBhattacharyyaCoefficient:
+      return "Bhattacharyya coefficient";
+    case DistanceKind::kBhattacharyyaDistance:
+      return "Bhattacharyya distance";
+    case DistanceKind::kHellinger:
+      return "Hellinger";
+    case DistanceKind::kTotalVariation:
+      return "total variation";
+    case DistanceKind::kKlDivergence:
+      return "KL divergence";
+  }
+  return "unknown";
+}
+
+Result<double> DensityDistance(const GridDensity& p, const GridDensity& q,
+                               DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kSquaredL2:
+      return IntegratePair(p, q, [](double a, double b) {
+        const double d = a - b;
+        return d * d;
+      });
+    case DistanceKind::kL2: {
+      VASTATS_ASSIGN_OR_RETURN(
+          const double sq, DensityDistance(p, q, DistanceKind::kSquaredL2));
+      return std::sqrt(sq);
+    }
+    case DistanceKind::kBhattacharyyaCoefficient:
+      return IntegratePair(
+          p, q, [](double a, double b) { return std::sqrt(a * b); });
+    case DistanceKind::kBhattacharyyaDistance: {
+      VASTATS_ASSIGN_OR_RETURN(
+          const double bc,
+          DensityDistance(p, q, DistanceKind::kBhattacharyyaCoefficient));
+      if (!(bc > 0.0)) {
+        return Status::FailedPrecondition(
+            "Bhattacharyya distance undefined for disjoint supports");
+      }
+      return -std::log(bc);
+    }
+    case DistanceKind::kHellinger: {
+      VASTATS_ASSIGN_OR_RETURN(
+          const double bc,
+          DensityDistance(p, q, DistanceKind::kBhattacharyyaCoefficient));
+      return std::sqrt(std::max(0.0, 1.0 - bc));
+    }
+    case DistanceKind::kTotalVariation:
+      return 0.5 * IntegratePair(p, q, [](double a, double b) {
+               return std::fabs(a - b);
+             });
+    case DistanceKind::kKlDivergence:
+      return IntegratePair(p, q, [](double a, double b) {
+        constexpr double kEpsilon = 1e-12;
+        if (a <= 0.0) return 0.0;
+        return a * std::log(a / std::max(b, kEpsilon));
+      });
+  }
+  return Status::Internal("unknown DistanceKind");
+}
+
+}  // namespace vastats

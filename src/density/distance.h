@@ -1,0 +1,39 @@
+// Distances between tabulated densities (paper §2.3).
+//
+// The stability analysis of §4.4 is built on the L2 norm
+// d_L2(p,q) = sqrt(int (p-q)^2) and the Bhattacharyya measure
+// d_Bh(p,q) = int sqrt(p*q) (the paper uses the coefficient form).
+// Additional classical distances are provided for experimentation.
+//
+// Densities on different grids are resampled onto a shared grid spanning
+// both supports before integrating.
+
+#ifndef VASTATS_DENSITY_DISTANCE_H_
+#define VASTATS_DENSITY_DISTANCE_H_
+
+#include <string_view>
+
+#include "density/grid_density.h"
+#include "util/status.h"
+
+namespace vastats {
+
+enum class DistanceKind {
+  kL2,                        // sqrt(int (p-q)^2 dx)
+  kSquaredL2,                 // int (p-q)^2 dx
+  kBhattacharyyaCoefficient,  // int sqrt(p q) dx   (paper's d_Bh)
+  kBhattacharyyaDistance,     // -ln of the coefficient
+  kHellinger,                 // sqrt(1 - coefficient)
+  kTotalVariation,            // 0.5 * int |p-q| dx
+  kKlDivergence,              // int p ln(p/q) dx (epsilon-regularized)
+};
+
+std::string_view DistanceKindToString(DistanceKind kind);
+
+// Computes the selected distance between `p` and `q`.
+Result<double> DensityDistance(const GridDensity& p, const GridDensity& q,
+                               DistanceKind kind);
+
+}  // namespace vastats
+
+#endif  // VASTATS_DENSITY_DISTANCE_H_

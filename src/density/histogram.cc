@@ -1,0 +1,95 @@
+#include "density/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+
+Status HistogramOptions::Validate() const {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("HistogramOptions.num_bins must be >= 1");
+  }
+  if (padding_fraction < 0.0) {
+    return Status::InvalidArgument(
+        "HistogramOptions.padding_fraction must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<int> ChooseNumBins(std::span<const double> samples,
+                          const HistogramOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("ChooseNumBins needs >= 2 samples");
+  }
+  const double n = static_cast<double>(samples.size());
+  const Moments moments = ComputeMoments(samples);
+  const double range = moments.max() - moments.min();
+
+  auto bins_from_width = [&](double width) {
+    if (!(width > 0.0) || !(range > 0.0)) return options.num_bins;
+    return std::max(1, static_cast<int>(std::ceil(range / width)));
+  };
+
+  switch (options.rule) {
+    case BinRule::kSturges:
+      return static_cast<int>(std::ceil(std::log2(n))) + 1;
+    case BinRule::kScott:
+      return bins_from_width(3.49 * moments.SampleStdDev() *
+                             std::pow(n, -1.0 / 3.0));
+    case BinRule::kFreedmanDiaconis: {
+      VASTATS_ASSIGN_OR_RETURN(const double q75, Quantile(samples, 0.75));
+      VASTATS_ASSIGN_OR_RETURN(const double q25, Quantile(samples, 0.25));
+      return bins_from_width(2.0 * (q75 - q25) * std::pow(n, -1.0 / 3.0));
+    }
+    case BinRule::kFixedCount:
+      return options.num_bins;
+  }
+  return Status::Internal("unknown BinRule");
+}
+
+Result<GridDensity> EstimateHistogram(std::span<const double> samples,
+                                      const HistogramOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("EstimateHistogram needs >= 2 samples");
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (!(hi > lo)) {
+    return Status::InvalidArgument(
+        "EstimateHistogram needs a non-degenerate sample range");
+  }
+  const double pad = options.padding_fraction * (hi - lo);
+  lo -= pad;
+  hi += pad;
+
+  VASTATS_ASSIGN_OR_RETURN(int num_bins, ChooseNumBins(samples, options));
+  num_bins = std::max(2, num_bins);
+
+  std::vector<double> counts(static_cast<size_t>(num_bins), 0.0);
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (const double x : samples) {
+    int bin = static_cast<int>((x - lo) / width);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    counts[static_cast<size_t>(bin)] += 1.0;
+  }
+  // Density value per bin: count / (n * width); tabulated at bin centers.
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * width);
+  for (double& c : counts) c *= norm;
+  const double center_lo = lo + width / 2.0;
+  const double center_hi = hi - width / 2.0;
+  VASTATS_ASSIGN_OR_RETURN(
+      GridDensity density,
+      GridDensity::Create(center_lo, center_hi, std::move(counts)));
+  VASTATS_RETURN_IF_ERROR(density.Normalize());
+  return density;
+}
+
+}  // namespace vastats

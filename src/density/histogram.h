@@ -1,0 +1,48 @@
+// Histogram density estimation — the alternative §2.2 weighs against KDE
+// ("we use kernel rather than histogram density estimation due to
+// properties such as smoothness, independence of parameters like bin size,
+// and because KDE often converges to the true density faster").
+//
+// Provided so that claim can be tested empirically (see
+// bench/ablation_density_estimators and the convergence tests): estimate a
+// GridDensity by binning, with the usual automatic bin-width rules.
+
+#ifndef VASTATS_DENSITY_HISTOGRAM_H_
+#define VASTATS_DENSITY_HISTOGRAM_H_
+
+#include <span>
+
+#include "density/grid_density.h"
+#include "util/status.h"
+
+namespace vastats {
+
+enum class BinRule {
+  kSturges,         // ceil(log2 n) + 1 bins
+  kScott,           // width 3.49 * sd * n^(-1/3)
+  kFreedmanDiaconis,  // width 2 * IQR * n^(-1/3)
+  kFixedCount,      // HistogramOptions.num_bins
+};
+
+struct HistogramOptions {
+  BinRule rule = BinRule::kFreedmanDiaconis;
+  int num_bins = 64;  // used by kFixedCount (and as fallback)
+  // Padding added on each side of the data range, as a fraction of it.
+  double padding_fraction = 0.0;
+
+  Status Validate() const;
+};
+
+// Number of bins the rule chooses for `samples` (>= 1).
+Result<int> ChooseNumBins(std::span<const double> samples,
+                          const HistogramOptions& options);
+
+// Histogram density normalized to unit mass, tabulated as a GridDensity
+// (bin centers become grid values; the returned grid has num_bins points).
+// Requires >= 2 samples spanning a non-zero range.
+Result<GridDensity> EstimateHistogram(std::span<const double> samples,
+                                      const HistogramOptions& options = {});
+
+}  // namespace vastats
+
+#endif  // VASTATS_DENSITY_HISTOGRAM_H_

@@ -1,0 +1,305 @@
+#include "density/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/fft.h"
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+// Smallest bandwidth returned for degenerate samples, relative to |mean|.
+constexpr double kDegenerateBandwidthFloor = 1e-9;
+
+double RobustSpread(std::span<const double> samples) {
+  const Moments moments = ComputeMoments(samples);
+  const double sd = moments.SampleStdDev();
+  const double q75 = Quantile(samples, 0.75).value_or(0.0);
+  const double q25 = Quantile(samples, 0.25).value_or(0.0);
+  const double iqr_sigma = (q75 - q25) / 1.34;
+  double spread = sd;
+  if (iqr_sigma > 0.0) spread = std::min(spread, iqr_sigma);
+  if (spread <= 0.0) spread = sd;
+  return spread;
+}
+
+double DegenerateFloor(std::span<const double> samples) {
+  const double scale = std::fabs(ComputeMoments(samples).mean());
+  return std::max(scale, 1.0) * kDegenerateBandwidthFloor;
+}
+
+// Counts of `samples` linearly split over `grid_size` bins spanning
+// [lo, hi]; each sample contributes weight 1 shared between its two
+// neighboring bin centers.
+std::vector<double> LinearBinning(std::span<const double> samples, double lo,
+                                  double hi, size_t grid_size) {
+  std::vector<double> bins(grid_size, 0.0);
+  const double step = (hi - lo) / static_cast<double>(grid_size - 1);
+  for (const double x : samples) {
+    double pos = (x - lo) / step;
+    pos = std::clamp(pos, 0.0, static_cast<double>(grid_size - 1));
+    const size_t idx =
+        std::min(static_cast<size_t>(pos), grid_size - 2);
+    const double frac = pos - static_cast<double>(idx);
+    bins[idx] += 1.0 - frac;
+    bins[idx + 1] += frac;
+  }
+  return bins;
+}
+
+// x^s for small non-negative integer s by repeated multiplication (the
+// inner loops below would otherwise spend most of their time in pow()).
+inline double IntPow(double x, int s) {
+  double result = 1.0;
+  while (s-- > 0) result *= x;
+  return result;
+}
+
+// sum_k i_sq[k]^s * a2[k] * exp(-i_sq[k] * pi^2 * t). i_sq is ascending, so
+// once the exponent underflows every later term is zero.
+double BotevStageSum(int s, double t, const std::vector<double>& i_sq,
+                     const std::vector<double>& a2) {
+  const double pi_sq_t = kPi * kPi * t;
+  double sum = 0.0;
+  for (size_t k = 0; k < a2.size(); ++k) {
+    const double exponent = i_sq[k] * pi_sq_t;
+    if (exponent > 745.0) break;  // exp underflows to 0
+    sum += IntPow(i_sq[k], s) * a2[k] * std::exp(-exponent);
+  }
+  return sum;
+}
+
+// One evaluation of Botev's fixed-point map gamma^[l](t) (his Algorithm 1,
+// l = 7 stages), returning the candidate t implied by plug-in stage 2.
+double BotevFixedPoint(double t, double n, const std::vector<double>& i_sq,
+                       const std::vector<double>& a2) {
+  constexpr int kStages = 7;
+  double f = 2.0 * std::pow(kPi, 2 * kStages) *
+             BotevStageSum(kStages, t, i_sq, a2);
+  for (int s = kStages - 1; s >= 2; --s) {
+    // K0 = (2s-1)!! / sqrt(2*pi).
+    double k0 = 1.0;
+    for (int j = 1; j <= 2 * s - 1; j += 2) k0 *= static_cast<double>(j);
+    k0 /= kSqrt2Pi;
+    const double c = (1.0 + std::pow(0.5, s + 0.5)) / 3.0;
+    const double time =
+        std::pow(2.0 * c * k0 / (n * f), 2.0 / (3.0 + 2.0 * s));
+    f = 2.0 * std::pow(kPi, 2 * s) * BotevStageSum(s, time, i_sq, a2);
+  }
+  return std::pow(2.0 * n * std::sqrt(kPi) * f, -0.4);
+}
+
+}  // namespace
+
+Status KdeOptions::Validate() const {
+  if (grid_size < 16) {
+    return Status::InvalidArgument("KdeOptions.grid_size must be >= 16");
+  }
+  if (bandwidth < 0.0) {
+    return Status::InvalidArgument("KdeOptions.bandwidth must be >= 0");
+  }
+  if (padding_fraction < 0.0) {
+    return Status::InvalidArgument(
+        "KdeOptions.padding_fraction must be >= 0");
+  }
+  if (binned && !IsPowerOfTwo(grid_size)) {
+    return Status::InvalidArgument(
+        "binned KDE requires a power-of-two grid_size");
+  }
+  return Status::Ok();
+}
+
+double SilvermanBandwidth(std::span<const double> samples) {
+  const double spread = RobustSpread(samples);
+  if (spread <= 0.0) return DegenerateFloor(samples);
+  return 0.9 * spread *
+         std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+double ScottBandwidth(std::span<const double> samples) {
+  const double sd = ComputeMoments(samples).SampleStdDev();
+  if (sd <= 0.0) return DegenerateFloor(samples);
+  return 1.06 * sd * std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+Result<double> BotevBandwidth(std::span<const double> samples,
+                              size_t grid_size) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("BotevBandwidth needs >= 2 samples");
+  }
+  if (!IsPowerOfTwo(grid_size) || grid_size < 16) {
+    return Status::InvalidArgument(
+        "BotevBandwidth grid_size must be a power of two >= 16");
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (!(hi > lo)) return DegenerateFloor(samples);
+  const double range = hi - lo;
+  lo -= range / 10.0;
+  hi += range / 10.0;
+  const double r = hi - lo;
+
+  // Histogram of probability mass per bin, then DCT-II coefficients.
+  std::vector<double> bins = LinearBinning(samples, lo, hi, grid_size);
+  const double n_dbl = static_cast<double>(samples.size());
+  for (double& b : bins) b /= n_dbl;
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<double> dct, Dct2(bins));
+
+  std::vector<double> i_sq(grid_size - 1);
+  std::vector<double> a2(grid_size - 1);
+  for (size_t k = 1; k < grid_size; ++k) {
+    i_sq[k - 1] = static_cast<double>(k) * static_cast<double>(k);
+    a2[k - 1] = dct[k] * dct[k];
+  }
+
+  // Bracket the root of F(t) = gamma(t) - t on (0, 0.1], then bisect.
+  auto f = [&](double t) {
+    return BotevFixedPoint(t, n_dbl, i_sq, a2) - t;
+  };
+  double t_lo = 0.0, t_hi = 0.0;
+  double prev_t = 1e-12;
+  double prev_f = f(prev_t);
+  bool bracketed = false;
+  for (int step = 1; step <= 64; ++step) {
+    const double t = 0.1 * static_cast<double>(step) / 64.0;
+    const double ft = f(t);
+    if (std::isfinite(prev_f) && std::isfinite(ft) &&
+        ((prev_f <= 0.0) != (ft <= 0.0))) {
+      t_lo = prev_t;
+      t_hi = t;
+      bracketed = true;
+      break;
+    }
+    prev_t = t;
+    prev_f = ft;
+  }
+  double t_star;
+  if (bracketed) {
+    bool lo_negative = f(t_lo) <= 0.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (t_lo + t_hi);
+      const double fm = f(mid);
+      if (!std::isfinite(fm)) break;
+      if ((fm <= 0.0) == lo_negative) {
+        t_lo = mid;
+      } else {
+        t_hi = mid;
+      }
+    }
+    t_star = 0.5 * (t_lo + t_hi);
+  } else {
+    // Reference implementation's fallback.
+    t_star = 0.28 * std::pow(n_dbl, -0.4);
+  }
+  const double h = std::sqrt(t_star) * r;
+  if (!(h > 0.0) || !std::isfinite(h)) return SilvermanBandwidth(samples);
+  return h;
+}
+
+Result<double> SelectBandwidth(std::span<const double> samples,
+                               const KdeOptions& options) {
+  if (options.bandwidth > 0.0) return options.bandwidth;
+  switch (options.rule) {
+    case BandwidthRule::kSilverman:
+      return SilvermanBandwidth(samples);
+    case BandwidthRule::kScott:
+      return ScottBandwidth(samples);
+    case BandwidthRule::kBotev: {
+      const size_t grid =
+          IsPowerOfTwo(options.grid_size) ? options.grid_size : size_t{4096};
+      return BotevBandwidth(samples, grid);
+    }
+  }
+  return Status::Internal("unknown BandwidthRule");
+}
+
+Result<Kde> EstimateKde(std::span<const double> samples,
+                        const KdeOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("EstimateKde needs >= 2 samples");
+  }
+  VASTATS_ASSIGN_OR_RETURN(double h, SelectBandwidth(samples, options));
+
+  double lo, hi;
+  if (options.x_min < options.x_max) {
+    lo = options.x_min;
+    hi = options.x_max;
+  } else {
+    const auto [min_it, max_it] =
+        std::minmax_element(samples.begin(), samples.end());
+    const double span = std::max(*max_it - *min_it, h);
+    lo = *min_it - options.padding_fraction * span;
+    hi = *max_it + options.padding_fraction * span;
+    if (!(lo < hi)) {
+      lo -= 1.0;
+      hi += 1.0;
+    }
+  }
+
+  // A kernel narrower than the grid resolution cannot be tabulated
+  // faithfully (it aliases between grid points); clamp to ~1.5 cells. This
+  // matters for near-discrete answer sets, where plug-in selectors drive h
+  // towards zero.
+  const size_t m = options.grid_size;
+  h = std::max(h, 1.5 * (hi - lo) / static_cast<double>(m - 1));
+
+  std::vector<double> values(m, 0.0);
+  const double n_dbl = static_cast<double>(samples.size());
+
+  if (!options.binned) {
+    // Direct summation: f(x) = 1/(n h) * sum K((x - x_i)/h).
+    const double step = (hi - lo) / static_cast<double>(m - 1);
+    const double inv_h = 1.0 / h;
+    const double norm = 1.0 / (n_dbl * h * kSqrt2Pi);
+    // Kernels beyond ~8.5 sigma contribute < 1e-16; skip them.
+    const double cutoff = 8.5 * h;
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < m; ++i) {
+      const double x = lo + static_cast<double>(i) * step;
+      const auto first = std::lower_bound(sorted.begin(), sorted.end(),
+                                          x - cutoff);
+      const auto last =
+          std::upper_bound(first, sorted.end(), x + cutoff);
+      double sum = 0.0;
+      for (auto it = first; it != last; ++it) {
+        const double u = (x - *it) * inv_h;
+        sum += std::exp(-0.5 * u * u);
+      }
+      values[i] = norm * sum;
+    }
+  } else {
+    // Linear binning + diffusion smoothing in the DCT domain (reflective
+    // boundaries). Exact Gaussian smoothing of the binned measure.
+    std::vector<double> bins = LinearBinning(samples, lo, hi, m);
+    for (double& b : bins) b /= n_dbl;
+    VASTATS_ASSIGN_OR_RETURN(std::vector<double> coeff, Dct2(bins));
+    const double r = hi - lo;
+    const double t = (h / r) * (h / r);
+    for (size_t k = 0; k < m; ++k) {
+      const double kk = static_cast<double>(k);
+      coeff[k] *= std::exp(-0.5 * kk * kk * kPi * kPi * t);
+    }
+    VASTATS_ASSIGN_OR_RETURN(const std::vector<double> smooth, Dct3(coeff));
+    // Dct3(Dct2(x)) = (m/2) x, so masses are (2/m) * smooth; densities
+    // divide by the bin width r/(m-1).
+    const double scale = 2.0 / static_cast<double>(m) *
+                         static_cast<double>(m - 1) / r;
+    for (size_t i = 0; i < m; ++i) {
+      values[i] = std::max(0.0, smooth[i] * scale);
+    }
+  }
+
+  VASTATS_ASSIGN_OR_RETURN(GridDensity density,
+                           GridDensity::Create(lo, hi, std::move(values)));
+  VASTATS_RETURN_IF_ERROR(density.Normalize());
+  return Kde{std::move(density), h};
+}
+
+}  // namespace vastats

@@ -1,0 +1,200 @@
+#include "fusion/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+namespace {
+
+// Clusters sorted values with the agree-within-tolerance relation
+// (single linkage) and returns (cluster mean, cluster size) pairs.
+std::vector<std::pair<double, int>> ClusterValues(std::vector<double> values,
+                                                  double tolerance) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, int>> clusters;
+  double sum = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (count > 0 && values[i] - values[i - 1] > tolerance) {
+      clusters.emplace_back(sum / count, count);
+      sum = 0.0;
+      count = 0;
+    }
+    sum += values[i];
+    ++count;
+  }
+  if (count > 0) clusters.emplace_back(sum / count, count);
+  return clusters;
+}
+
+Result<double> VoteFuse(const std::vector<double>& values, double tolerance) {
+  const auto clusters = ClusterValues(values, tolerance);
+  VASTATS_ASSIGN_OR_RETURN(const double overall_median, Median(values));
+  const std::pair<double, int>* best = nullptr;
+  for (const auto& cluster : clusters) {
+    if (best == nullptr || cluster.second > best->second ||
+        (cluster.second == best->second &&
+         std::fabs(cluster.first - overall_median) <
+             std::fabs(best->first - overall_median))) {
+      best = &cluster;
+    }
+  }
+  return best->first;
+}
+
+struct ComponentValues {
+  ComponentId component;
+  std::vector<int> sources;
+  std::vector<double> values;
+};
+
+Result<std::vector<ComponentValues>> CollectValues(
+    const SourceSet& sources, std::span<const ComponentId> components) {
+  std::vector<ComponentValues> collected;
+  collected.reserve(components.size());
+  for (const ComponentId component : components) {
+    ComponentValues entry;
+    entry.component = component;
+    entry.sources = sources.Covering(component);
+    if (entry.sources.empty()) {
+      return Status::FailedPrecondition(
+          "component " + std::to_string(component) + " is uncovered");
+    }
+    for (const int s : entry.sources) {
+      VASTATS_ASSIGN_OR_RETURN(const double v,
+                               sources.source(s).Value(component));
+      entry.values.push_back(v);
+    }
+    collected.push_back(std::move(entry));
+  }
+  return collected;
+}
+
+// Simplified TruthFinder: alternate value-confidence and source-trust
+// updates; resolve each component to its highest-confidence cluster mean.
+Result<FusionResult> TruthFinderFuse(
+    const SourceSet& sources, const std::vector<ComponentValues>& collected,
+    const FusionOptions& options) {
+  const size_t num_sources = static_cast<size_t>(sources.NumSources());
+  std::vector<double> trust(num_sources, 0.5);
+
+  for (int iteration = 0; iteration < options.truth_finder_iterations;
+       ++iteration) {
+    std::vector<double> support_sum(num_sources, 0.0);
+    std::vector<int> support_count(num_sources, 0);
+    for (const ComponentValues& entry : collected) {
+      // Confidence of each asserted value = sum of trusts of sources whose
+      // value agrees with it (within tolerance), normalized per component.
+      double max_confidence = 1e-12;
+      std::vector<double> confidence(entry.values.size(), 0.0);
+      for (size_t i = 0; i < entry.values.size(); ++i) {
+        for (size_t j = 0; j < entry.values.size(); ++j) {
+          if (std::fabs(entry.values[i] - entry.values[j]) <=
+              options.vote_tolerance) {
+            confidence[i] += trust[static_cast<size_t>(entry.sources[j])];
+          }
+        }
+        max_confidence = std::max(max_confidence, confidence[i]);
+      }
+      for (size_t i = 0; i < entry.values.size(); ++i) {
+        support_sum[static_cast<size_t>(entry.sources[i])] +=
+            confidence[i] / max_confidence;
+        ++support_count[static_cast<size_t>(entry.sources[i])];
+      }
+    }
+    for (size_t s = 0; s < num_sources; ++s) {
+      if (support_count[s] > 0) {
+        trust[s] = support_sum[s] / static_cast<double>(support_count[s]);
+      }
+    }
+  }
+
+  FusionResult result;
+  result.source_trust = trust;
+  for (const ComponentValues& entry : collected) {
+    // Trust-weighted confidence per value; pick the best-supported one.
+    double best_confidence = -1.0;
+    double best_value = entry.values.front();
+    for (size_t i = 0; i < entry.values.size(); ++i) {
+      double confidence = 0.0;
+      for (size_t j = 0; j < entry.values.size(); ++j) {
+        if (std::fabs(entry.values[i] - entry.values[j]) <=
+            options.vote_tolerance) {
+          confidence += trust[static_cast<size_t>(entry.sources[j])];
+        }
+      }
+      if (confidence > best_confidence) {
+        best_confidence = confidence;
+        best_value = entry.values[i];
+      }
+    }
+    result.fused_values[entry.component] = best_value;
+  }
+  return result;
+}
+
+}  // namespace
+
+Status FusionOptions::Validate() const {
+  if (vote_tolerance < 0.0) {
+    return Status::InvalidArgument("vote_tolerance must be >= 0");
+  }
+  if (truth_finder_iterations < 1) {
+    return Status::InvalidArgument("truth_finder_iterations must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Result<FusionResult> FuseComponents(const SourceSet& sources,
+                                    std::span<const ComponentId> components,
+                                    const FusionOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (components.empty()) {
+    return Status::InvalidArgument("FuseComponents needs >= 1 component");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<ComponentValues> collected,
+                           CollectValues(sources, components));
+  if (options.rule == FusionRule::kTruthFinder) {
+    return TruthFinderFuse(sources, collected, options);
+  }
+  FusionResult result;
+  for (const ComponentValues& entry : collected) {
+    double fused = 0.0;
+    switch (options.rule) {
+      case FusionRule::kVote: {
+        VASTATS_ASSIGN_OR_RETURN(
+            fused, VoteFuse(entry.values, options.vote_tolerance));
+        break;
+      }
+      case FusionRule::kMedian: {
+        VASTATS_ASSIGN_OR_RETURN(fused, Median(entry.values));
+        break;
+      }
+      case FusionRule::kMean:
+        fused = ComputeMoments(entry.values).mean();
+        break;
+      case FusionRule::kTruthFinder:
+        break;  // handled above
+    }
+    result.fused_values[entry.component] = fused;
+  }
+  return result;
+}
+
+Result<double> FusedAggregate(const SourceSet& sources,
+                              const AggregateQuery& query,
+                              const FusionOptions& options) {
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  VASTATS_ASSIGN_OR_RETURN(const FusionResult fused,
+                           FuseComponents(sources, query.components, options));
+  std::vector<double> values;
+  values.reserve(query.components.size());
+  for (const ComponentId component : query.components) {
+    values.push_back(fused.fused_values.at(component));
+  }
+  return EvaluateAggregate(query.kind, values, query.quantile_q);
+}
+
+}  // namespace vastats

@@ -1,0 +1,71 @@
+// Data-fusion baselines — the contrast class of the paper's §6: "Data
+// fusion [5, 11] ... assumes a single true value for each component in a
+// data set, and attempts to resolve value conflicts among the sources. ...
+// In our work, however, [we] do not assume a single true value ... instead
+// we report a range of possible answers."
+//
+// These baselines make the comparison concrete: each resolves every
+// component to ONE value (so aggregates become scalars), by majority vote,
+// median, mean, or a simplified truth-discovery iteration (joint source
+// trust / value confidence estimation in the spirit of [18]/TruthFinder).
+// bench/baseline_fusion.cc pits them against the viable answer distribution
+// on workloads where the "single truth" assumption breaks (unit errors,
+// semantic strata).
+
+#ifndef VASTATS_FUSION_FUSION_H_
+#define VASTATS_FUSION_FUSION_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+enum class FusionRule {
+  // Largest cluster of agreeing values (values within `vote_tolerance` of
+  // each other agree); the cluster mean wins. Ties break towards the
+  // cluster nearest the overall median.
+  kVote,
+  kMedian,
+  kMean,
+  // Iterative joint estimation: a value's confidence is the sum of its
+  // supporters' trust; a source's trust is the mean confidence of the
+  // values it asserts (normalized each round).
+  kTruthFinder,
+};
+
+struct FusionOptions {
+  FusionRule rule = FusionRule::kVote;
+  // Values closer than this agree (supports/votes); relative to the data's
+  // scale, must be >= 0.
+  double vote_tolerance = 0.5;
+  int truth_finder_iterations = 20;
+
+  Status Validate() const;
+};
+
+struct FusionResult {
+  // One resolved value per requested component.
+  std::unordered_map<ComponentId, double> fused_values;
+  // Per-source trust scores in [0, 1] (kTruthFinder only; empty otherwise).
+  std::vector<double> source_trust;
+};
+
+// Resolves each component of `components` to a single value. Every
+// component must be covered by >= 1 source.
+Result<FusionResult> FuseComponents(const SourceSet& sources,
+                                    std::span<const ComponentId> components,
+                                    const FusionOptions& options);
+
+// The scalar a fusion-then-aggregate system would report for `query`.
+Result<double> FusedAggregate(const SourceSet& sources,
+                              const AggregateQuery& query,
+                              const FusionOptions& options);
+
+}  // namespace vastats
+
+#endif  // VASTATS_FUSION_FUSION_H_

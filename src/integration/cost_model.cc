@@ -1,0 +1,105 @@
+#include "integration/cost_model.h"
+
+#include <cmath>
+#include <string>
+
+namespace vastats {
+
+Status SourceCostModelOptions::Validate() const {
+  if (!(base_ms >= 0.0) || !(per_component_ms >= 0.0)) {
+    return Status::InvalidArgument("cost components must be >= 0");
+  }
+  if (jitter_sigma < 0.0 || source_sigma < 0.0) {
+    return Status::InvalidArgument("sigmas must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<SourceCostModel> SourceCostModel::Create(
+    int num_sources, const SourceCostModelOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (num_sources <= 0) {
+    return Status::InvalidArgument("num_sources must be > 0");
+  }
+  Rng rng(options.seed);
+  std::vector<double> multipliers(static_cast<size_t>(num_sources));
+  for (double& multiplier : multipliers) {
+    multiplier = std::exp(rng.Normal(0.0, options.source_sigma));
+  }
+  return SourceCostModel(options, std::move(multipliers));
+}
+
+Result<double> SourceCostModel::SourceMultiplier(int source) const {
+  if (source < 0 || source >= num_sources()) {
+    return Status::OutOfRange("source index " + std::to_string(source) +
+                              " outside the cost model");
+  }
+  return multipliers_[static_cast<size_t>(source)];
+}
+
+Result<double> SourceCostModel::VisitCost(int source, int components_taken,
+                                          Rng& rng) const {
+  VASTATS_ASSIGN_OR_RETURN(const double multiplier,
+                           SourceMultiplier(source));
+  if (components_taken < 0) {
+    return Status::InvalidArgument("components_taken must be >= 0");
+  }
+  const double jitter = std::exp(rng.Normal(0.0, options_.jitter_sigma));
+  return (options_.base_ms * multiplier +
+          options_.per_component_ms * components_taken) *
+         jitter;
+}
+
+Result<CostAwareSampler> CostAwareSampler::Create(
+    const UniSSampler* sampler, const SourceCostModel* model) {
+  if (sampler == nullptr || model == nullptr) {
+    return Status::InvalidArgument(
+        "CostAwareSampler needs a sampler and a cost model");
+  }
+  if (model->num_sources() < sampler->sources().NumSources()) {
+    return Status::InvalidArgument(
+        "cost model covers fewer sources than the sampler uses");
+  }
+  return CostAwareSampler(sampler, model);
+}
+
+Result<CostedSample> CostAwareSampler::SampleOne(Rng& rng) const {
+  VASTATS_ASSIGN_OR_RETURN(const UniSSample sample,
+                           sampler_->SampleOne(rng));
+  CostedSample costed;
+  costed.value = sample.value;
+  costed.sources_visited = sample.sources_visited;
+  for (const UniSVisit& visit : sample.visits) {
+    VASTATS_ASSIGN_OR_RETURN(
+        const double cost,
+        model_->VisitCost(visit.source, visit.components_taken, rng));
+    costed.cost_ms += cost;
+  }
+  return costed;
+}
+
+Result<CostedSampleBatch> CostAwareSampler::SampleWithBudget(
+    double budget_ms, int max_n, Rng& rng) const {
+  if (!(budget_ms > 0.0)) {
+    return Status::InvalidArgument("budget_ms must be > 0");
+  }
+  if (max_n < 0) return Status::InvalidArgument("max_n must be >= 0");
+  CostedSampleBatch batch;
+  while (max_n == 0 || static_cast<int>(batch.values.size()) < max_n) {
+    VASTATS_ASSIGN_OR_RETURN(const CostedSample sample, SampleOne(rng));
+    if (batch.total_cost_ms + sample.cost_ms > budget_ms &&
+        !batch.values.empty()) {
+      batch.budget_exhausted = true;
+      break;
+    }
+    batch.total_cost_ms += sample.cost_ms;
+    batch.values.push_back(sample.value);
+    if (batch.total_cost_ms >= budget_ms) {
+      batch.budget_exhausted = true;
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace vastats

@@ -1,0 +1,107 @@
+// Source-access cost modelling — the accounting behind §5.4's conclusion:
+// "we estimate the time needed for computing one viable answer to be
+// 200 ms, which is optimistic since sampling over a distributed hierarchy
+// usually takes up to several seconds when the networking overhead is
+// considered. Therefore, sampling the viable answers dominates the overall
+// time."
+//
+// SourceCostModel assigns each source a simulated access latency (fixed
+// base + per-binding transfer + random jitter); CostAwareSampler wraps a
+// UniSSampler and accumulates the simulated cost of every draw, supporting
+// budget-capped sampling ("collect answers until X seconds of source time
+// are spent"). Costs are simulated — no clock sleeps — so experiments on
+// remote-hierarchy economics run instantly and deterministically.
+
+#ifndef VASTATS_INTEGRATION_COST_MODEL_H_
+#define VASTATS_INTEGRATION_COST_MODEL_H_
+
+#include <vector>
+
+#include "sampling/unis.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct SourceCostModelOptions {
+  // Fixed cost of contacting a source (connection + query dispatch).
+  double base_ms = 20.0;
+  // Cost per component value transferred.
+  double per_component_ms = 0.05;
+  // Lognormal-ish jitter: the per-visit cost is multiplied by
+  // exp(N(0, jitter_sigma)).
+  double jitter_sigma = 0.3;
+  // Per-source base-cost spread (some peers are slower), as a multiplier
+  // drawn once per source from exp(N(0, source_sigma)).
+  double source_sigma = 0.5;
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+// Per-source latency parameters, fixed at construction.
+class SourceCostModel {
+ public:
+  static Result<SourceCostModel> Create(int num_sources,
+                                        const SourceCostModelOptions& options);
+
+  int num_sources() const { return static_cast<int>(multipliers_.size()); }
+
+  // Simulated cost (ms) of one visit to `source` transferring
+  // `components_taken` values; draws jitter from `rng`.
+  Result<double> VisitCost(int source, int components_taken, Rng& rng) const;
+
+  // The source's deterministic base multiplier (diagnostics).
+  Result<double> SourceMultiplier(int source) const;
+
+ private:
+  SourceCostModel(SourceCostModelOptions options,
+                  std::vector<double> multipliers)
+      : options_(options), multipliers_(std::move(multipliers)) {}
+
+  SourceCostModelOptions options_;
+  std::vector<double> multipliers_;
+};
+
+// One costed uniS draw.
+struct CostedSample {
+  double value = 0.0;
+  double cost_ms = 0.0;
+  int sources_visited = 0;
+};
+
+// Result of budget-capped sampling.
+struct CostedSampleBatch {
+  std::vector<double> values;
+  double total_cost_ms = 0.0;
+  bool budget_exhausted = false;
+};
+
+// Wraps a UniSSampler with the cost model. The cost of a draw is the sum of
+// visit costs over the sources uniS touched before covering the query.
+class CostAwareSampler {
+ public:
+  // Both referents must outlive the sampler; the model must cover at least
+  // as many sources as the sampler's source set.
+  static Result<CostAwareSampler> Create(const UniSSampler* sampler,
+                                         const SourceCostModel* model);
+
+  // One draw with its simulated cost.
+  Result<CostedSample> SampleOne(Rng& rng) const;
+
+  // Draws until `budget_ms` of simulated source time is spent or `max_n`
+  // answers were collected (0 = unbounded by count).
+  Result<CostedSampleBatch> SampleWithBudget(double budget_ms, int max_n,
+                                             Rng& rng) const;
+
+ private:
+  CostAwareSampler(const UniSSampler* sampler, const SourceCostModel* model)
+      : sampler_(sampler), model_(model) {}
+
+  const UniSSampler* sampler_;
+  const SourceCostModel* model_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_COST_MODEL_H_

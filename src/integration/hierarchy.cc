@@ -1,0 +1,147 @@
+#include "integration/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace vastats {
+
+Status HierarchyOptions::Validate() const {
+  if (fanout < 2) {
+    return Status::InvalidArgument("HierarchyOptions.fanout must be >= 2");
+  }
+  if (!(edge_latency_ms >= 0.0) || latency_sigma < 0.0) {
+    return Status::InvalidArgument("latency parameters must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<AggregationHierarchy> AggregationHierarchy::Build(
+    int num_sources, const HierarchyOptions& options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (num_sources < 1) {
+    return Status::InvalidArgument("Build requires >= 1 source");
+  }
+  AggregationHierarchy hierarchy;
+  hierarchy.num_sources_ = num_sources;
+  Rng rng(options.seed);
+
+  // Leaves first; then group `fanout` nodes under fresh parents until one
+  // root remains. Node ids are allocated in creation order.
+  std::vector<int> level(static_cast<size_t>(num_sources));
+  hierarchy.leaf_of_source_.resize(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    level[static_cast<size_t>(s)] = s;
+    hierarchy.leaf_of_source_[static_cast<size_t>(s)] = s;
+  }
+  hierarchy.parent_.assign(static_cast<size_t>(num_sources), -1);
+  hierarchy.edge_latency_.assign(static_cast<size_t>(num_sources), 0.0);
+
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t begin = 0; begin < level.size();
+         begin += static_cast<size_t>(options.fanout)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options.fanout), level.size());
+      if (end - begin == 1 && !next.empty()) {
+        // Lone remainder: attach to the previous new parent instead of
+        // creating a chain of single-child nodes.
+        hierarchy.parent_[static_cast<size_t>(level[begin])] = next.back();
+        hierarchy.edge_latency_[static_cast<size_t>(level[begin])] =
+            options.edge_latency_ms *
+            std::exp(rng.Normal(0.0, options.latency_sigma));
+        continue;
+      }
+      const int parent = static_cast<int>(hierarchy.parent_.size());
+      hierarchy.parent_.push_back(-1);
+      hierarchy.edge_latency_.push_back(0.0);
+      for (size_t i = begin; i < end; ++i) {
+        hierarchy.parent_[static_cast<size_t>(level[i])] = parent;
+        hierarchy.edge_latency_[static_cast<size_t>(level[i])] =
+            options.edge_latency_ms *
+            std::exp(rng.Normal(0.0, options.latency_sigma));
+      }
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  hierarchy.root_ = level.front();
+  return hierarchy;
+}
+
+int AggregationHierarchy::Depth() const {
+  int depth = 0;
+  for (int s = 0; s < num_sources_; ++s) {
+    int node = LeafNode(s);
+    int hops = 0;
+    while (parent_[static_cast<size_t>(node)] >= 0) {
+      node = parent_[static_cast<size_t>(node)];
+      ++hops;
+    }
+    depth = std::max(depth, hops);
+  }
+  return depth;
+}
+
+Result<HierarchyEvaluation> AggregationHierarchy::EvaluateAssignment(
+    const SourceSet& sources, const AggregateQuery& query,
+    const Assignment& assignment) const {
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  if (assignment.size() != query.components.size()) {
+    return Status::InvalidArgument("assignment arity mismatch");
+  }
+
+  // Per-node partial aggregate (created on demand) and arrival time.
+  std::unordered_map<int, std::unique_ptr<PartialAggregator>> partials;
+  std::unordered_map<int, double> ready_ms;
+  auto partial_of = [&](int node) -> PartialAggregator& {
+    auto& slot = partials[node];
+    if (slot == nullptr) slot = NewAggregator(query.kind, query.quantile_q);
+    return *slot;
+  };
+
+  HierarchyEvaluation evaluation;
+  evaluation.flat_transferred = static_cast<int>(query.components.size());
+
+  // Load the leaves from the assignment.
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const int source = assignment[i];
+    if (source < 0 || source >= num_sources_) {
+      return Status::OutOfRange("assignment names invalid source " +
+                                std::to_string(source));
+    }
+    VASTATS_ASSIGN_OR_RETURN(
+        const double value,
+        sources.source(source).Value(query.components[i]));
+    partial_of(LeafNode(source)).Add(value);
+  }
+
+  // Push partials upward in node-id order. Parents are always created
+  // after their children... except the leaves (ids 0..n-1) whose parents
+  // have larger ids too, so ascending id order is a valid schedule.
+  const bool algebraic = IsAlgebraic(query.kind);
+  for (int node = 0; node < NumNodes(); ++node) {
+    const auto it = partials.find(node);
+    if (it == partials.end() || node == root_) continue;
+    const int parent = parent_[static_cast<size_t>(node)];
+    VASTATS_RETURN_IF_ERROR(partial_of(parent).Merge(*it->second));
+    ++evaluation.messages;
+    evaluation.state_transferred +=
+        algebraic ? 3 : static_cast<int>(it->second->Count());
+    const double arrival = ready_ms[node] +
+                           edge_latency_[static_cast<size_t>(node)];
+    ready_ms[parent] = std::max(ready_ms[parent], arrival);
+  }
+
+  const auto root_it = partials.find(root_);
+  if (root_it == partials.end()) {
+    return Status::Internal("no data reached the mediator");
+  }
+  VASTATS_ASSIGN_OR_RETURN(evaluation.value, root_it->second->Finalize());
+  evaluation.critical_path_ms = ready_ms[root_];
+  return evaluation;
+}
+
+}  // namespace vastats

@@ -1,0 +1,92 @@
+// Hierarchical aggregation network — the distributed substrate the paper's
+// system runs on ([25]'s decomposition aggregation queries; the §6
+// comparison with sensor networks speaks of "the hierarchical aggregate
+// network in our case"). Sources are leaves of a mediator-rooted tree;
+// the query is decomposed downwards and *partial* aggregates flow back up,
+// which is why "partial-final aggregates helps to distribute the
+// computational load of each aggregation" (§4.2).
+//
+// The tree and its per-edge latencies are simulated, so the economics of
+// hierarchical vs flat evaluation (message counts, transferred state,
+// critical-path latency) can be measured deterministically — including the
+// algebraic-vs-holistic contrast: algebraic aggregates ship O(1) state per
+// edge, the holistic median ships its whole value buffer.
+
+#ifndef VASTATS_INTEGRATION_HIERARCHY_H_
+#define VASTATS_INTEGRATION_HIERARCHY_H_
+
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "query/query_processor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct HierarchyOptions {
+  // Children per internal node (>= 2).
+  int fanout = 4;
+  // Per-edge latency: base plus a deterministic per-edge factor drawn once
+  // at build time from exp(N(0, latency_sigma)).
+  double edge_latency_ms = 10.0;
+  double latency_sigma = 0.3;
+  uint64_t seed = 13;
+
+  Status Validate() const;
+};
+
+// Cost accounting of one evaluation.
+struct HierarchyEvaluation {
+  // The final aggregate (always equal to a flat evaluation of the same
+  // assignment — checked by the tests).
+  double value = 0.0;
+  // Edges that carried a (non-empty) partial aggregate upwards.
+  int messages = 0;
+  // Scalars shipped upwards in the hierarchical plan: O(1) per message for
+  // algebraic aggregates, buffered values for holistic ones.
+  int state_transferred = 0;
+  // Scalars the flat plan ships (every contributing leaf sends its raw
+  // values straight to the mediator): exactly |C|.
+  int flat_transferred = 0;
+  // Simulated completion time: along each leaf-to-root path, a node can
+  // forward only after its slowest contributing child arrived.
+  double critical_path_ms = 0.0;
+};
+
+class AggregationHierarchy {
+ public:
+  // Builds a balanced tree whose leaves are the sources 0..num_sources-1.
+  static Result<AggregationHierarchy> Build(int num_sources,
+                                            const HierarchyOptions& options);
+
+  int num_sources() const { return num_sources_; }
+  int NumNodes() const { return static_cast<int>(parent_.size()); }
+  int Depth() const;
+
+  // Evaluates `query` under `assignment` (component i supplied by source
+  // assignment[i]) by pushing partial aggregates up the tree.
+  Result<HierarchyEvaluation> EvaluateAssignment(
+      const SourceSet& sources, const AggregateQuery& query,
+      const Assignment& assignment) const;
+
+  // The node id of source `s`'s leaf (diagnostics/tests).
+  int LeafNode(int source) const {
+    return leaf_of_source_[static_cast<size_t>(source)];
+  }
+  int root() const { return root_; }
+
+ private:
+  AggregationHierarchy() = default;
+
+  int num_sources_ = 0;
+  int root_ = 0;
+  std::vector<int> parent_;           // parent_[root_] == -1
+  std::vector<double> edge_latency_;  // edge to parent, per node
+  std::vector<int> leaf_of_source_;   // source index -> node id
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_HIERARCHY_H_

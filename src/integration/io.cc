@@ -1,0 +1,104 @@
+#include "integration/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/csv.h"
+
+namespace vastats {
+namespace {
+
+Result<double> ParseDouble(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+Result<ComponentId> ParseComponentId(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a component id: '" + text + "'");
+  }
+  return static_cast<ComponentId>(value);
+}
+
+}  // namespace
+
+std::string SourceSetToCsv(const SourceSet& sources) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"source", "component", "value"});
+  for (const DataSource& source : sources.sources()) {
+    for (const ComponentId component : source.SortedComponents()) {
+      std::ostringstream value;
+      value.precision(17);
+      value << source.Value(component).value();
+      rows.push_back(
+          {source.name(), std::to_string(component), value.str()});
+    }
+  }
+  return FormatCsv(rows);
+}
+
+Result<SourceSet> SourceSetFromCsv(const std::string& csv_text) {
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<CsvRow> rows,
+                           ParseCsv(csv_text));
+  if (rows.empty() || rows[0].size() != 3 || rows[0][0] != "source" ||
+      rows[0][1] != "component" || rows[0][2] != "value") {
+    return Status::InvalidArgument(
+        "source set CSV must start with header 'source,component,value'");
+  }
+  SourceSet sources;
+  std::unordered_map<std::string, int> source_index;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const CsvRow& row = rows[r];
+    if (row.size() != 3) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " does not have 3 fields");
+    }
+    int index;
+    const auto it = source_index.find(row[0]);
+    if (it == source_index.end()) {
+      index = sources.AddSource(DataSource(row[0]));
+      source_index[row[0]] = index;
+    } else {
+      index = it->second;
+    }
+    VASTATS_ASSIGN_OR_RETURN(const ComponentId component,
+                             ParseComponentId(row[1]));
+    VASTATS_ASSIGN_OR_RETURN(const double value, ParseDouble(row[2]));
+    if (sources.source(index).Has(component)) {
+      return Status::InvalidArgument(
+          "duplicate binding for source '" + row[0] + "', component " +
+          row[1]);
+    }
+    sources.mutable_source(index).Bind(component, value);
+  }
+  return sources;
+}
+
+Status WriteSourceSet(const std::string& path, const SourceSet& sources) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << SourceSetToCsv(sources);
+  if (!out) return Status::Internal("error writing: " + path);
+  return Status::Ok();
+}
+
+Result<SourceSet> ReadSourceSet(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open source set CSV: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return SourceSetFromCsv(buffer.str());
+}
+
+}  // namespace vastats

@@ -1,0 +1,32 @@
+// Persistence for source sets: a simple CSV interchange format so mediator
+// deployments (and the bundled CLI example) can load real binding tables.
+//
+// Format: a header row `source,component,value`, then one row per binding.
+// Source names are free-form strings; components are integer ids; values
+// are decimal numbers. Rows of the same source may be scattered; source
+// order of first appearance is preserved.
+
+#ifndef VASTATS_INTEGRATION_IO_H_
+#define VASTATS_INTEGRATION_IO_H_
+
+#include <string>
+
+#include "integration/source_set.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// Renders `sources` in the interchange format.
+std::string SourceSetToCsv(const SourceSet& sources);
+
+// Parses the interchange format. Fails with InvalidArgument on a malformed
+// header, non-numeric fields, or duplicate (source, component) rows.
+Result<SourceSet> SourceSetFromCsv(const std::string& csv_text);
+
+// File wrappers.
+Status WriteSourceSet(const std::string& path, const SourceSet& sources);
+Result<SourceSet> ReadSourceSet(const std::string& path);
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_IO_H_

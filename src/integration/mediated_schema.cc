@@ -1,0 +1,217 @@
+#include "integration/mediated_schema.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace vastats {
+namespace {
+
+constexpr const char* kMonthNames[12] = {
+    "january", "february", "march",     "april",   "may",      "june",
+    "july",    "august",   "september", "october", "november", "december"};
+
+// Days per month in a non-leap year.
+constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+Status InvalidDate(std::string_view text) {
+  return Status::InvalidArgument("unrecognized date: '" + std::string(text) +
+                                 "'");
+}
+
+int ExpandTwoDigitYear(int yy) { return yy < 70 ? 2000 + yy : 1900 + yy; }
+
+// Matches a (possibly abbreviated, case-insensitive) month name; 0 on miss.
+int MonthFromName(const std::string& name) {
+  if (name.size() < 3) return 0;
+  for (int m = 0; m < 12; ++m) {
+    const std::string& full = kMonthNames[m];
+    if (name.size() > full.size()) continue;
+    if (std::equal(name.begin(), name.end(), full.begin())) return m + 1;
+  }
+  return 0;
+}
+
+Result<CivilDay> ValidateDay(CivilDay day, std::string_view original) {
+  if (day.month < 1 || day.month > 12) return InvalidDate(original);
+  int max_day = kDaysInMonth[day.month - 1];
+  if (day.month == 2 && IsLeap(day.year)) max_day = 29;
+  if (day.day < 1 || day.day > max_day) return InvalidDate(original);
+  if (day.year < 1000 || day.year > 9999) return InvalidDate(original);
+  return day;
+}
+
+}  // namespace
+
+int64_t CivilDay::Ordinal() const {
+  // Days since 0000-03-01 (Howard Hinnant's civil-days algorithm).
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>(
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe);
+}
+
+Result<CivilDay> ParseDate(std::string_view text) {
+  // Tokenize on '-', '/', and spaces.
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (c == '-' || c == '/' || c == ' ') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  if (tokens.size() != 3) return InvalidDate(text);
+
+  auto is_number = [](const std::string& token) {
+    return !token.empty() &&
+           std::all_of(token.begin(), token.end(), [](unsigned char c) {
+             return std::isdigit(c) != 0;
+           });
+  };
+  auto to_int = [](const std::string& token) {
+    return static_cast<int>(std::strtol(token.c_str(), nullptr, 10));
+  };
+
+  CivilDay day;
+  if (is_number(tokens[0]) && !is_number(tokens[1]) && is_number(tokens[2])) {
+    // "10-June-06" / "10 Jun 2006": day, month-name, year.
+    day.day = to_int(tokens[0]);
+    day.month = MonthFromName(tokens[1]);
+    if (day.month == 0) return InvalidDate(text);
+    const int y = to_int(tokens[2]);
+    day.year = tokens[2].size() <= 2 ? ExpandTwoDigitYear(y) : y;
+    return ValidateDay(day, text);
+  }
+  if (is_number(tokens[0]) && is_number(tokens[1]) && is_number(tokens[2])) {
+    if (tokens[0].size() == 4) {
+      // ISO "2006-06-10": year, month, day.
+      day.year = to_int(tokens[0]);
+      day.month = to_int(tokens[1]);
+      day.day = to_int(tokens[2]);
+      return ValidateDay(day, text);
+    }
+    // US "06/10/06" or "06/10/2006": month, day, year.
+    day.month = to_int(tokens[0]);
+    day.day = to_int(tokens[1]);
+    const int y = to_int(tokens[2]);
+    day.year = tokens[2].size() <= 2 ? ExpandTwoDigitYear(y) : y;
+    return ValidateDay(day, text);
+  }
+  return InvalidDate(text);
+}
+
+std::string MediatedSchema::Normalize(std::string_view text) {
+  // Trim and lowercase; collapse internal whitespace runs to one space.
+  std::string out;
+  bool pending_space = false;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+int MediatedSchema::DeclareAttribute(const std::string& canonical) {
+  const std::string key = Normalize(canonical);
+  const auto it = attribute_index_.find(key);
+  if (it != attribute_index_.end()) return it->second;
+  const int index = static_cast<int>(attributes_.size());
+  attributes_.push_back(key);
+  attribute_index_[key] = index;
+  return index;
+}
+
+void MediatedSchema::AddAttributeSynonym(const std::string& source_name,
+                                         const std::string& canonical) {
+  const int index = DeclareAttribute(canonical);
+  attribute_index_[Normalize(source_name)] = index;
+}
+
+int MediatedSchema::DeclareEntity(const std::string& canonical) {
+  const std::string key = Normalize(canonical);
+  const auto it = entity_index_.find(key);
+  if (it != entity_index_.end()) return it->second;
+  const int index = static_cast<int>(entities_.size());
+  entities_.push_back(key);
+  entity_index_[key] = index;
+  return index;
+}
+
+void MediatedSchema::AddEntityAlias(const std::string& alias,
+                                    const std::string& canonical) {
+  const int index = DeclareEntity(canonical);
+  entity_index_[Normalize(alias)] = index;
+}
+
+Result<int> MediatedSchema::ResolveAttribute(
+    std::string_view source_name) const {
+  const auto it = attribute_index_.find(Normalize(source_name));
+  if (it == attribute_index_.end()) {
+    return Status::NotFound("unmapped attribute: '" +
+                            std::string(source_name) + "'");
+  }
+  return it->second;
+}
+
+Result<int> MediatedSchema::ResolveEntity(std::string_view source_name) const {
+  const auto it = entity_index_.find(Normalize(source_name));
+  if (it == entity_index_.end()) {
+    return Status::NotFound("unmapped entity: '" + std::string(source_name) +
+                            "'");
+  }
+  return it->second;
+}
+
+ComponentId MediatedSchema::ComponentFor(int attribute, int entity,
+                                         const CivilDay& day) const {
+  // Layout: attribute * 1e13 + entity * 1e7 + day ordinal. Day ordinals for
+  // years 1000..9999 fit comfortably in 1e7; entity counts in 1e6.
+  const ComponentId id = static_cast<ComponentId>(attribute) *
+                             10'000'000'000'000LL +
+                         static_cast<ComponentId>(entity) * 10'000'000LL +
+                         day.Ordinal();
+  ComponentInfo info;
+  info.id = id;
+  if (attribute >= 0 && attribute < static_cast<int>(attributes_.size())) {
+    info.attribute = attributes_[static_cast<size_t>(attribute)];
+  }
+  if (entity >= 0 && entity < static_cast<int>(entities_.size())) {
+    info.entity = entities_[static_cast<size_t>(entity)];
+  }
+  info.time_key = std::to_string(day.year) + "-" +
+                  (day.month < 10 ? "0" : "") + std::to_string(day.month) +
+                  "-" + (day.day < 10 ? "0" : "") + std::to_string(day.day);
+  issued_[id] = std::move(info);
+  return id;
+}
+
+Result<ComponentInfo> MediatedSchema::Describe(ComponentId id) const {
+  const auto it = issued_.find(id);
+  if (it == issued_.end()) {
+    return Status::NotFound("unknown component id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+}  // namespace vastats

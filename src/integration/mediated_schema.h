@@ -1,0 +1,100 @@
+// The mediated schema and mapping meta-information the paper assumes
+// exists (§1/§3, citing [25]): before value-level heterogeneity can even be
+// studied, schema-level heterogeneity ("temp" vs "temperature") and
+// instance-level heterogeneity ("Vancouver Weather 2006/06/11" vs
+// "06/11/2006") must be resolved. This module holds that meta-information:
+//
+//  * attribute synonyms mapping source-local column names onto canonical
+//    mediated attributes;
+//  * an entity dictionary mapping source-local entity spellings onto
+//    canonical entities;
+//  * date normalization covering the formats of the paper's Figure 1
+//    ("10-June-06", "06/10/06", ISO "2006-06-10");
+//  * a deterministic ComponentId assignment for each resolved
+//    (attribute, entity, day) triple, with reverse lookup.
+
+#ifndef VASTATS_INTEGRATION_MEDIATED_SCHEMA_H_
+#define VASTATS_INTEGRATION_MEDIATED_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "integration/component.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// A calendar day; the normalization target for all source date formats.
+struct CivilDay {
+  int year = 0;   // four digits
+  int month = 0;  // 1..12
+  int day = 0;    // 1..31
+
+  // Days since a fixed epoch; total order and compact encoding.
+  int64_t Ordinal() const;
+
+  friend bool operator==(const CivilDay& a, const CivilDay& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+};
+
+// Parses "10-June-06", "10-Jun-06", "06/10/06" (month/day/yy),
+// "2006-06-10", and "06/10/2006". Two-digit years are 20xx below 70,
+// 19xx otherwise. Month names are case-insensitive.
+Result<CivilDay> ParseDate(std::string_view text);
+
+// The mediated schema: canonical attributes and entities plus the synonym /
+// alias tables that map source vocabularies onto them.
+class MediatedSchema {
+ public:
+  MediatedSchema() = default;
+
+  // Declares a canonical attribute (e.g. "temperature"); returns its index.
+  // Re-declaring an existing attribute returns the existing index.
+  int DeclareAttribute(const std::string& canonical);
+
+  // Maps a source-local attribute name onto a canonical one (e.g.
+  // "Avg Temp" -> "temperature"). The canonical attribute is declared on
+  // demand.
+  void AddAttributeSynonym(const std::string& source_name,
+                           const std::string& canonical);
+
+  // Declares a canonical entity (e.g. "vancouver"); returns its index.
+  int DeclareEntity(const std::string& canonical);
+
+  // Maps a source-local entity spelling onto a canonical entity.
+  void AddEntityAlias(const std::string& alias, const std::string& canonical);
+
+  // Resolution: source vocabulary -> canonical index. Lookup is
+  // case-insensitive and whitespace-trimmed; unmapped names resolve to a
+  // NotFound status.
+  Result<int> ResolveAttribute(std::string_view source_name) const;
+  Result<int> ResolveEntity(std::string_view source_name) const;
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::vector<std::string>& entities() const { return entities_; }
+
+  // Deterministic component id for a resolved (attribute, entity, day).
+  ComponentId ComponentFor(int attribute, int entity,
+                           const CivilDay& day) const;
+
+  // Reverse lookup of ComponentFor; NotFound for ids this schema never
+  // produced.
+  Result<ComponentInfo> Describe(ComponentId id) const;
+
+ private:
+  static std::string Normalize(std::string_view text);
+
+  std::vector<std::string> attributes_;
+  std::vector<std::string> entities_;
+  std::unordered_map<std::string, int> attribute_index_;
+  std::unordered_map<std::string, int> entity_index_;
+  // Remembers issued ids for Describe().
+  mutable std::unordered_map<ComponentId, ComponentInfo> issued_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_MEDIATED_SCHEMA_H_

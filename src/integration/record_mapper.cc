@@ -1,0 +1,97 @@
+#include "integration/record_mapper.h"
+
+#include <utility>
+
+namespace vastats {
+namespace {
+
+std::string UnitKey(const std::string& source, int attribute) {
+  return source + "\x1f" + std::to_string(attribute);
+}
+
+}  // namespace
+
+UnitConverter FahrenheitToCelsius() {
+  return [](double fahrenheit) { return (fahrenheit - 32.0) * 5.0 / 9.0; };
+}
+
+UnitConverter IdentityUnit() {
+  return [](double value) { return value; };
+}
+
+UnitConverter LinearUnit(double scale, double offset) {
+  return [scale, offset](double value) { return value * scale + offset; };
+}
+
+Status RecordMapper::DeclareSourceUnit(const std::string& source,
+                                       const std::string& canonical_attribute,
+                                       UnitConverter converter) {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("mapper has no schema");
+  }
+  if (!converter) {
+    return Status::InvalidArgument("unit converter must be callable");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const int attribute,
+                           schema_->ResolveAttribute(canonical_attribute));
+  unit_converters_[UnitKey(source, attribute)] = std::move(converter);
+  return Status::Ok();
+}
+
+Result<SourceSet> RecordMapper::MapRecords(
+    const std::vector<RawRecord>& records, MapperReport* report,
+    bool strict) const {
+  if (schema_ == nullptr) {
+    return Status::FailedPrecondition("mapper has no schema");
+  }
+  SourceSet sources;
+  std::unordered_map<std::string, int> source_index;
+  MapperReport local_report;
+  MapperReport& out = report != nullptr ? *report : local_report;
+
+  for (const RawRecord& record : records) {
+    // Resolve the three dimensions of heterogeneity in turn.
+    const auto attribute = schema_->ResolveAttribute(record.attribute);
+    const auto entity = schema_->ResolveEntity(record.entity);
+    const auto day = ParseDate(record.date);
+    Status failure;
+    if (!attribute.ok()) {
+      failure = attribute.status();
+    } else if (!entity.ok()) {
+      failure = entity.status();
+    } else if (!day.ok()) {
+      failure = day.status();
+    }
+    if (!failure.ok()) {
+      if (strict) return failure;
+      out.skipped.push_back(record.source + "/" + record.entity + "/" +
+                            record.date + ": " + failure.ToString());
+      continue;
+    }
+
+    int index;
+    const auto it = source_index.find(record.source);
+    if (it == source_index.end()) {
+      index = sources.AddSource(DataSource(record.source));
+      source_index[record.source] = index;
+    } else {
+      index = it->second;
+    }
+
+    double value = record.value;
+    const auto converter_it =
+        unit_converters_.find(UnitKey(record.source, attribute.value()));
+    if (converter_it != unit_converters_.end()) {
+      value = converter_it->second(value);
+    }
+
+    const ComponentId component = schema_->ComponentFor(
+        attribute.value(), entity.value(), day.value());
+    if (sources.source(index).Has(component)) ++out.duplicate_bindings;
+    sources.mutable_source(index).Bind(component, value);
+    ++out.mapped_records;
+  }
+  return sources;
+}
+
+}  // namespace vastats

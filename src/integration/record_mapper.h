@@ -1,0 +1,78 @@
+// RecordMapper — turns raw per-source records (source-local vocabulary,
+// source-local date formats, source-local units) into a SourceSet over the
+// mediated schema. This is the ingestion half of the mapping/binding layer
+// the paper assumes from [25]: after mapping, only value-level heterogeneity
+// remains, which is what the rest of the library quantifies.
+//
+// Unit handling: a per-source, per-attribute unit declaration (e.g. "D5
+// reports temperature in Fahrenheit") converts values into the mediated
+// unit at ingestion. Undeclared units pass through — exactly how silent
+// unit errors enter integrated data, which the answer-distribution tools
+// then surface (see examples/source_quality_audit).
+
+#ifndef VASTATS_INTEGRATION_RECORD_MAPPER_H_
+#define VASTATS_INTEGRATION_RECORD_MAPPER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "integration/mediated_schema.h"
+#include "integration/source_set.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// One raw observation as a source publishes it.
+struct RawRecord {
+  std::string source;     // e.g. "D1"
+  std::string entity;     // e.g. "Vancouver" / "VANCOUVER CITY"
+  std::string date;       // e.g. "10-June-06" / "06/10/06" / "2006-06-10"
+  std::string attribute;  // e.g. "Avg Temp" / "Temp" / "temperature"
+  double value = 0.0;
+};
+
+// A value transformation applied at ingestion (unit conversion).
+using UnitConverter = std::function<double(double)>;
+
+// Common converters.
+UnitConverter FahrenheitToCelsius();
+UnitConverter IdentityUnit();
+UnitConverter LinearUnit(double scale, double offset);
+
+struct MapperReport {
+  int mapped_records = 0;
+  // Records skipped because of unmapped vocabulary or bad dates, with the
+  // reason (kept small; one line per skipped record).
+  std::vector<std::string> skipped;
+  // (source, component) pairs seen more than once; the last value wins.
+  int duplicate_bindings = 0;
+};
+
+class RecordMapper {
+ public:
+  // `schema` must outlive the mapper.
+  explicit RecordMapper(const MediatedSchema* schema) : schema_(schema) {}
+
+  // Declares that `source` reports `canonical_attribute` in a non-mediated
+  // unit, to be converted by `converter` at ingestion.
+  Status DeclareSourceUnit(const std::string& source,
+                           const std::string& canonical_attribute,
+                           UnitConverter converter);
+
+  // Maps records into a SourceSet. Unresolvable records are skipped and
+  // reported (strict = false) or fail the whole call (strict = true).
+  Result<SourceSet> MapRecords(const std::vector<RawRecord>& records,
+                               MapperReport* report = nullptr,
+                               bool strict = false) const;
+
+ private:
+  const MediatedSchema* schema_;
+  // (normalized source name, attribute index) -> converter.
+  std::unordered_map<std::string, UnitConverter> unit_converters_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_RECORD_MAPPER_H_

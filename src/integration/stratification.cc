@@ -1,0 +1,102 @@
+#include "integration/stratification.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+
+Result<std::vector<SourceBias>> EstimateSourceBiases(
+    const SourceSet& sources, std::span<const ComponentId> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument(
+        "EstimateSourceBiases needs a component scope");
+  }
+  const size_t num_sources = static_cast<size_t>(sources.NumSources());
+  std::vector<std::vector<double>> deviations(num_sources);
+
+  for (const ComponentId component : components) {
+    const std::vector<int> covering = sources.Covering(component);
+    if (covering.size() < 2) continue;
+    std::vector<double> values;
+    values.reserve(covering.size());
+    for (const int s : covering) {
+      VASTATS_ASSIGN_OR_RETURN(const double v,
+                               sources.source(s).Value(component));
+      values.push_back(v);
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double consensus, Median(values));
+    for (size_t i = 0; i < covering.size(); ++i) {
+      deviations[static_cast<size_t>(covering[i])].push_back(values[i] -
+                                                             consensus);
+    }
+  }
+
+  std::vector<SourceBias> biases(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    biases[s].source = static_cast<int>(s);
+    biases[s].support = static_cast<int>(deviations[s].size());
+    if (!deviations[s].empty()) {
+      VASTATS_ASSIGN_OR_RETURN(biases[s].bias, Median(deviations[s]));
+    }
+  }
+  return biases;
+}
+
+Result<StratificationResult> StratifySources(
+    const SourceSet& sources, std::span<const ComponentId> components,
+    const StratificationOptions& options) {
+  if (!(options.gap > 0.0)) {
+    return Status::InvalidArgument("StratificationOptions.gap must be > 0");
+  }
+  if (options.min_support < 1) {
+    return Status::InvalidArgument(
+        "StratificationOptions.min_support must be >= 1");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<SourceBias> biases,
+                           EstimateSourceBiases(sources, components));
+
+  StratificationResult result;
+  std::vector<SourceBias> placeable;
+  for (const SourceBias& bias : biases) {
+    if (bias.support >= options.min_support) {
+      placeable.push_back(bias);
+    } else {
+      result.unplaced.push_back(bias.source);
+    }
+  }
+  if (placeable.empty()) return result;
+
+  std::sort(placeable.begin(), placeable.end(),
+            [](const SourceBias& a, const SourceBias& b) {
+              return a.bias < b.bias;
+            });
+
+  // Single-linkage: a gap wider than `options.gap` splits strata.
+  SourceStratum current;
+  double bias_sum = 0.0;
+  auto flush = [&]() {
+    if (current.sources.empty()) return;
+    current.bias_center =
+        bias_sum / static_cast<double>(current.sources.size());
+    result.strata.push_back(current);
+    current = SourceStratum{};
+    bias_sum = 0.0;
+  };
+  for (size_t i = 0; i < placeable.size(); ++i) {
+    if (!current.sources.empty() &&
+        placeable[i].bias - placeable[i - 1].bias > options.gap) {
+      flush();
+    }
+    if (current.sources.empty()) {
+      current.bias_min = placeable[i].bias;
+    }
+    current.sources.push_back(placeable[i].source);
+    current.bias_max = placeable[i].bias;
+    bias_sum += placeable[i].bias;
+  }
+  flush();
+  return result;
+}
+
+}  // namespace vastats

@@ -1,0 +1,71 @@
+// Source stratification — the last future-work item of §7: "using data
+// stratification we can identify homogeneous data sources that apply
+// similar semantics in their computations."
+//
+// Sources that apply the same semantics (same units, same aggregation
+// window, same rounding) sit at a common systematic offset from the
+// per-component consensus. Estimating each source's offset and clustering
+// the offsets therefore recovers the semantic strata — e.g. the Celsius
+// majority vs the Fahrenheit stragglers, or year-window vs half-year-window
+// reporters.
+
+#ifndef VASTATS_INTEGRATION_STRATIFICATION_H_
+#define VASTATS_INTEGRATION_STRATIFICATION_H_
+
+#include <span>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// A source's estimated systematic offset from consensus.
+struct SourceBias {
+  int source = 0;
+  // Median of (source value - per-component consensus) over the scored
+  // bindings; 0 for sources with no overlap.
+  double bias = 0.0;
+  // Number of components the estimate is based on.
+  int support = 0;
+};
+
+// One semantic stratum: sources whose biases cluster together.
+struct SourceStratum {
+  std::vector<int> sources;
+  double bias_center = 0.0;  // mean bias of the members
+  double bias_min = 0.0;
+  double bias_max = 0.0;
+};
+
+struct StratificationOptions {
+  // Two adjacent (sorted-by-bias) sources belong to different strata when
+  // their biases differ by more than `gap`. Chosen relative to the data's
+  // noise level; must be > 0.
+  double gap = 1.0;
+  // Sources with fewer scored components than this are left out of the
+  // strata (their bias estimate is unreliable) and reported separately.
+  int min_support = 3;
+};
+
+// Estimates each source's systematic bias against the per-component median
+// over `components`. Sources binding none of the components get support 0.
+Result<std::vector<SourceBias>> EstimateSourceBiases(
+    const SourceSet& sources, std::span<const ComponentId> components);
+
+struct StratificationResult {
+  // Strata ordered by bias_center ascending; the largest stratum is usually
+  // the "mainstream semantics" one.
+  std::vector<SourceStratum> strata;
+  // Sources with insufficient overlap to place.
+  std::vector<int> unplaced;
+};
+
+// Single-linkage clustering of the biases with the given gap threshold.
+Result<StratificationResult> StratifySources(
+    const SourceSet& sources, std::span<const ComponentId> components,
+    const StratificationOptions& options = {});
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_STRATIFICATION_H_

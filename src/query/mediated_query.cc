@@ -1,0 +1,97 @@
+#include "query/mediated_query.h"
+
+#include <string>
+
+namespace vastats {
+namespace {
+
+// Iterates days first_day..last_day inclusive via ordinals.
+Result<std::vector<CivilDay>> ExpandDays(const CivilDay& first,
+                                         const CivilDay& last) {
+  const int64_t begin = first.Ordinal();
+  const int64_t end = last.Ordinal();
+  if (begin > end) {
+    return Status::InvalidArgument("first_day is after last_day");
+  }
+  if (end - begin > 100'000) {
+    return Status::InvalidArgument("day range too large (> 100000 days)");
+  }
+  std::vector<CivilDay> days;
+  days.reserve(static_cast<size_t>(end - begin + 1));
+  CivilDay cursor = first;
+  for (int64_t ordinal = begin; ordinal <= end; ++ordinal) {
+    days.push_back(cursor);
+    // Advance one civil day.
+    static const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+    const bool leap = (cursor.year % 4 == 0 && cursor.year % 100 != 0) ||
+                      cursor.year % 400 == 0;
+    int month_days = kDaysInMonth[cursor.month - 1];
+    if (cursor.month == 2 && leap) month_days = 29;
+    if (++cursor.day > month_days) {
+      cursor.day = 1;
+      if (++cursor.month > 12) {
+        cursor.month = 1;
+        ++cursor.year;
+      }
+    }
+  }
+  return days;
+}
+
+}  // namespace
+
+Result<PlannedQuery> PlanMediatedQuery(const MediatedSchema& schema,
+                                       const SourceSet& sources,
+                                       const MediatedQuery& spec,
+                                       bool require_full_coverage) {
+  VASTATS_ASSIGN_OR_RETURN(const int attribute,
+                           schema.ResolveAttribute(spec.attribute));
+
+  std::vector<int> entities;
+  if (spec.entities.empty()) {
+    for (int e = 0; e < static_cast<int>(schema.entities().size()); ++e) {
+      entities.push_back(e);
+    }
+    if (entities.empty()) {
+      return Status::InvalidArgument("schema declares no entities");
+    }
+  } else {
+    entities.reserve(spec.entities.size());
+    for (const std::string& name : spec.entities) {
+      VASTATS_ASSIGN_OR_RETURN(const int entity,
+                               schema.ResolveEntity(name));
+      entities.push_back(entity);
+    }
+  }
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<CivilDay> days,
+                           ExpandDays(spec.first_day, spec.last_day));
+
+  PlannedQuery plan;
+  plan.query.name = spec.name;
+  plan.query.kind = spec.kind;
+  for (const int entity : entities) {
+    for (const CivilDay& day : days) {
+      const ComponentId component =
+          schema.ComponentFor(attribute, entity, day);
+      if (sources.CoverageCount(component) > 0) {
+        plan.query.components.push_back(component);
+      } else {
+        plan.uncovered.push_back(component);
+      }
+    }
+  }
+  if (!plan.uncovered.empty() && require_full_coverage) {
+    return Status::FailedPrecondition(
+        "plan has " + std::to_string(plan.uncovered.size()) +
+        " uncovered components (e.g. component " +
+        std::to_string(plan.uncovered.front()) + ")");
+  }
+  if (plan.query.components.empty()) {
+    return Status::FailedPrecondition(
+        "no covered components match the query spec");
+  }
+  return plan;
+}
+
+}  // namespace vastats

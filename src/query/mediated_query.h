@@ -1,0 +1,50 @@
+// Mediated-schema query planning: phrase an aggregate against the mediated
+// vocabulary ("Sum of temperature over {Vancouver, Burnaby, Surrey} for
+// June 2006") and derive the concrete component list — the decomposition
+// step of the decomposition-aggregation queries of [25] that the paper's
+// system sits on.
+
+#ifndef VASTATS_QUERY_MEDIATED_QUERY_H_
+#define VASTATS_QUERY_MEDIATED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "integration/mediated_schema.h"
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct MediatedQuery {
+  std::string name;
+  AggregateKind kind = AggregateKind::kSum;
+  // Canonical (or aliased) attribute, e.g. "temperature".
+  std::string attribute;
+  // Canonical (or aliased) entities; empty = every declared entity.
+  std::vector<std::string> entities;
+  // Inclusive day range.
+  CivilDay first_day;
+  CivilDay last_day;
+};
+
+struct PlannedQuery {
+  AggregateQuery query;
+  // Components the sources cannot cover (dropped from `query` when
+  // `require_full_coverage` is false).
+  std::vector<ComponentId> uncovered;
+};
+
+// Expands `spec` into one component per (entity, day) pair and checks
+// coverage against `sources`. With `require_full_coverage` (default) any
+// uncovered component fails the plan; otherwise uncovered components are
+// dropped and reported, so the aggregate runs over the covered subset.
+Result<PlannedQuery> PlanMediatedQuery(const MediatedSchema& schema,
+                                       const SourceSet& sources,
+                                       const MediatedQuery& spec,
+                                       bool require_full_coverage = true);
+
+}  // namespace vastats
+
+#endif  // VASTATS_QUERY_MEDIATED_QUERY_H_

@@ -1,0 +1,77 @@
+#include "sampling/adaptive.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/jackknife.h"
+
+namespace vastats {
+
+Status AdaptiveSamplingOptions::Validate() const {
+  if (initial_size < 4) {
+    return Status::InvalidArgument("initial_size must be >= 4");
+  }
+  if (increment <= 0) return Status::InvalidArgument("increment must be > 0");
+  if (max_size < initial_size) {
+    return Status::InvalidArgument("max_size must be >= initial_size");
+  }
+  if (target_ci_length <= 0.0 && target_relative_length <= 0.0) {
+    return Status::InvalidArgument(
+        "one of target_ci_length / target_relative_length must be > 0");
+  }
+  if (!(confidence_level > 0.0 && confidence_level < 1.0)) {
+    return Status::InvalidArgument("confidence_level must be in (0,1)");
+  }
+  return bootstrap.Validate();
+}
+
+Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
+    const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
+    Rng& rng) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+
+  AdaptiveSamplingResult result;
+  VASTATS_ASSIGN_OR_RETURN(result.samples,
+                           sampler.Sample(options.initial_size, rng));
+  for (;;) {
+    const double mean = ComputeMoments(result.samples).mean();
+    VASTATS_ASSIGN_OR_RETURN(
+        const std::vector<double> replicates,
+        BootstrapReplicates(result.samples,
+                            MomentStatisticFn(MomentStatistic::kMean),
+                            options.bootstrap, rng));
+    std::vector<double> jackknife;
+    if (options.ci_method == CiMethod::kBca) {
+      VASTATS_ASSIGN_OR_RETURN(
+          jackknife, JackknifeMoment(result.samples, MomentStatistic::kMean));
+    }
+    VASTATS_ASSIGN_OR_RETURN(
+        const ConfidenceInterval ci,
+        ComputeBootstrapCi(options.ci_method, replicates, mean,
+                           options.confidence_level, jackknife));
+    result.trace.push_back(
+        AdaptiveStep{static_cast<int>(result.samples.size()), ci});
+
+    double target = options.target_ci_length;
+    if (options.target_relative_length > 0.0) {
+      const double relative =
+          options.target_relative_length * std::fabs(mean);
+      target = (target > 0.0) ? std::min(target, relative) : relative;
+    }
+    if (ci.Length() <= target) {
+      result.satisfied = true;
+      break;
+    }
+    if (static_cast<int>(result.samples.size()) >= options.max_size) break;
+
+    const int grow =
+        std::min(options.increment,
+                 options.max_size - static_cast<int>(result.samples.size()));
+    VASTATS_ASSIGN_OR_RETURN(const std::vector<double> extra,
+                             sampler.Sample(grow, rng));
+    result.samples.insert(result.samples.end(), extra.begin(), extra.end());
+  }
+  return result;
+}
+
+}  // namespace vastats

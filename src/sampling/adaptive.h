@@ -1,0 +1,55 @@
+// Adaptive sample growth (paper §4.2): start from a fixed initial uniS
+// sample, bootstrap it, check the confidence-interval length at the
+// requested level, and keep drawing increments until the interval is tight
+// enough (or a budget is hit). Minimizing |S_uniS| matters because each uniS
+// draw touches the (possibly remote) data sources.
+
+#ifndef VASTATS_SAMPLING_ADAPTIVE_H_
+#define VASTATS_SAMPLING_ADAPTIVE_H_
+
+#include <vector>
+
+#include "sampling/unis.h"
+#include "stats/bootstrap.h"
+#include "stats/confidence.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct AdaptiveSamplingOptions {
+  int initial_size = 400;
+  int increment = 100;
+  // Hard budget on |S_uniS|.
+  int max_size = 4000;
+  // Stop once len(CI_mean) <= target_ci_length (absolute units), or — when
+  // target_relative_length > 0 — once len <= target_relative_length * |mean|.
+  double target_ci_length = 0.0;
+  double target_relative_length = 0.0;
+  double confidence_level = 0.90;
+  CiMethod ci_method = CiMethod::kBca;
+  BootstrapOptions bootstrap;
+
+  Status Validate() const;
+};
+
+struct AdaptiveStep {
+  int sample_size = 0;
+  ConfidenceInterval mean_ci;
+};
+
+struct AdaptiveSamplingResult {
+  std::vector<double> samples;
+  std::vector<AdaptiveStep> trace;
+  // Whether the length target was met within the budget.
+  bool satisfied = false;
+};
+
+// Runs the grow-bootstrap-check loop against `sampler`.
+Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
+    const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
+    Rng& rng);
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_ADAPTIVE_H_

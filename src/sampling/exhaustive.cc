@@ -1,0 +1,149 @@
+#include "sampling/exhaustive.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "query/query_processor.h"
+
+namespace vastats {
+namespace {
+
+// Per-source (query position, value) lists plus the per-position coverage,
+// shared by both enumerations.
+struct QueryIndex {
+  std::vector<std::vector<std::pair<int, double>>> per_source;
+  std::vector<std::vector<int>> covering;
+};
+
+Result<QueryIndex> BuildIndex(const SourceSet& sources,
+                              const AggregateQuery& query) {
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  VASTATS_RETURN_IF_ERROR(sources.ValidateCoverage(query.components));
+  QueryIndex index;
+  const size_t m = query.components.size();
+  std::unordered_map<ComponentId, int> position;
+  for (size_t i = 0; i < m; ++i) {
+    position[query.components[i]] = static_cast<int>(i);
+  }
+  index.per_source.assign(static_cast<size_t>(sources.NumSources()), {});
+  index.covering.assign(m, {});
+  for (int s = 0; s < sources.NumSources(); ++s) {
+    for (const auto& [component, value] : sources.source(s).bindings()) {
+      const auto it = position.find(component);
+      if (it == position.end()) continue;
+      index.per_source[static_cast<size_t>(s)].emplace_back(it->second, value);
+      index.covering[static_cast<size_t>(it->second)].push_back(s);
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<std::vector<double>> EnumerateOrderAnswers(const SourceSet& sources,
+                                                  const AggregateQuery& query,
+                                                  int max_sources) {
+  if (sources.NumSources() > max_sources) {
+    return Status::InvalidArgument(
+        "EnumerateOrderAnswers: too many sources (" +
+        std::to_string(sources.NumSources()) + " > " +
+        std::to_string(max_sources) + ")");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const QueryIndex index,
+                           BuildIndex(sources, query));
+  const int m = static_cast<int>(query.components.size());
+
+  std::vector<int> order(static_cast<size_t>(sources.NumSources()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  std::vector<double> answers;
+  do {
+    std::vector<char> covered(static_cast<size_t>(m), 0);
+    int num_covered = 0;
+    const std::unique_ptr<PartialAggregator> agg =
+        NewAggregator(query.kind, query.quantile_q);
+    for (const int s : order) {
+      for (const auto& [pos, value] : index.per_source[static_cast<size_t>(s)]) {
+        if (covered[static_cast<size_t>(pos)]) continue;
+        covered[static_cast<size_t>(pos)] = 1;
+        ++num_covered;
+        agg->Add(value);
+      }
+      if (num_covered == m) break;
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double answer, agg->Finalize());
+    answers.push_back(answer);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return answers;
+}
+
+Result<std::vector<double>> EnumerateAssignmentAnswers(
+    const SourceSet& sources, const AggregateQuery& query,
+    int64_t max_answers) {
+  VASTATS_ASSIGN_OR_RETURN(const QueryIndex index,
+                           BuildIndex(sources, query));
+  const size_t m = query.components.size();
+
+  int64_t total = 1;
+  for (const auto& covering : index.covering) {
+    total *= static_cast<int64_t>(covering.size());
+    if (total > max_answers) {
+      return Status::InvalidArgument(
+          "EnumerateAssignmentAnswers: combination count exceeds cap of " +
+          std::to_string(max_answers));
+    }
+  }
+
+  const QueryProcessor processor;
+  std::vector<size_t> odometer(m, 0);
+  Assignment assignment(m, 0);
+  std::vector<double> answers;
+  answers.reserve(static_cast<size_t>(total));
+  for (int64_t step = 0; step < total; ++step) {
+    for (size_t i = 0; i < m; ++i) {
+      assignment[i] = index.covering[i][odometer[i]];
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double answer,
+                             processor.Evaluate(sources, query, assignment));
+    answers.push_back(answer);
+    // Advance the odometer.
+    for (size_t i = 0; i < m; ++i) {
+      if (++odometer[i] < index.covering[i].size()) break;
+      odometer[i] = 0;
+    }
+  }
+  return answers;
+}
+
+Result<std::pair<double, double>> ViableRange(const SourceSet& sources,
+                                              const AggregateQuery& query,
+                                              int64_t max_answers) {
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  VASTATS_RETURN_IF_ERROR(sources.ValidateCoverage(query.components));
+  if (IsComponentwiseMonotone(query.kind)) {
+    std::vector<double> lows, highs;
+    lows.reserve(query.components.size());
+    highs.reserve(query.components.size());
+    for (const ComponentId component : query.components) {
+      VASTATS_ASSIGN_OR_RETURN(const auto range,
+                               sources.ValueRange(component));
+      lows.push_back(range.first);
+      highs.push_back(range.second);
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double lo,
+                             EvaluateAggregate(query.kind, lows, query.quantile_q));
+    VASTATS_ASSIGN_OR_RETURN(const double hi,
+                             EvaluateAggregate(query.kind, highs, query.quantile_q));
+    return std::make_pair(lo, hi);
+  }
+  // Non-monotone aggregate (variance/stddev): enumerate when feasible.
+  VASTATS_ASSIGN_OR_RETURN(
+      const std::vector<double> answers,
+      EnumerateAssignmentAnswers(sources, query, max_answers));
+  const auto [min_it, max_it] =
+      std::minmax_element(answers.begin(), answers.end());
+  return std::make_pair(*min_it, *max_it);
+}
+
+}  // namespace vastats

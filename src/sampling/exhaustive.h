@@ -1,0 +1,49 @@
+// Exhaustive enumeration of viable answers — ground truth for small inputs.
+//
+// Definition 1 derives viable answers from "all possible source
+// combinations". Two enumerations are provided:
+//  * order-based: every permutation of the sources run through the uniS
+//    take-all-uncovered rule (exactly the answers uniS can produce);
+//  * assignment-based: every component independently picks any covering
+//    source (the superset of value combinations; its envelope defines the
+//    viable range W = [inf V, sup V]).
+//
+// Both explode combinatorially; they are capped and exist to validate the
+// samplers and to compute exact ranges on toy scenarios like Figure 1.
+
+#ifndef VASTATS_SAMPLING_EXHAUSTIVE_H_
+#define VASTATS_SAMPLING_EXHAUSTIVE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// One viable answer per source permutation (n! entries, in permutation
+// order). Fails when sources.NumSources() > max_sources (default keeps the
+// cost <= 8! evaluations) or when coverage is incomplete.
+Result<std::vector<double>> EnumerateOrderAnswers(const SourceSet& sources,
+                                                  const AggregateQuery& query,
+                                                  int max_sources = 8);
+
+// One viable answer per component->source assignment (product of coverage
+// counts). Fails when that product exceeds `max_answers`.
+Result<std::vector<double>> EnumerateAssignmentAnswers(
+    const SourceSet& sources, const AggregateQuery& query,
+    int64_t max_answers = 1'000'000);
+
+// The viable answer range W = [inf V, sup V] over all assignments.
+// Exact in O(|C|) for componentwise-monotone aggregates (sum, avg, min,
+// max, median); falls back to assignment enumeration otherwise.
+Result<std::pair<double, double>> ViableRange(const SourceSet& sources,
+                                              const AggregateQuery& query,
+                                              int64_t max_answers = 1'000'000);
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_EXHAUSTIVE_H_

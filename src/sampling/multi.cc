@@ -1,0 +1,105 @@
+#include "sampling/multi.h"
+
+#include <unordered_map>
+
+namespace vastats {
+
+MultiAggregateSampler::MultiAggregateSampler(
+    const SourceSet* sources, std::vector<ComponentId> components,
+    std::vector<AggregateSpec> specs)
+    : sources_(sources),
+      components_(std::move(components)),
+      specs_(std::move(specs)) {
+  BuildIndex();
+}
+
+Result<MultiAggregateSampler> MultiAggregateSampler::Create(
+    const SourceSet* sources, std::vector<ComponentId> components,
+    std::vector<AggregateSpec> specs) {
+  if (sources == nullptr) {
+    return Status::InvalidArgument("MultiAggregateSampler needs a SourceSet");
+  }
+  if (components.empty()) {
+    return Status::InvalidArgument(
+        "MultiAggregateSampler needs >= 1 component");
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument(
+        "MultiAggregateSampler needs >= 1 aggregate spec");
+  }
+  for (const AggregateSpec& spec : specs) {
+    if (!(spec.quantile_q >= 0.0 && spec.quantile_q <= 1.0)) {
+      return Status::InvalidArgument("quantile_q must be in [0,1]");
+    }
+  }
+  VASTATS_RETURN_IF_ERROR(sources->ValidateCoverage(components));
+  return MultiAggregateSampler(sources, std::move(components),
+                               std::move(specs));
+}
+
+void MultiAggregateSampler::BuildIndex() {
+  const size_t m = components_.size();
+  std::unordered_map<ComponentId, int> position;
+  position.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    position[components_[i]] = static_cast<int>(i);
+  }
+  per_source_.assign(static_cast<size_t>(sources_->NumSources()), {});
+  for (int s = 0; s < sources_->NumSources(); ++s) {
+    for (const auto& [component, value] : sources_->source(s).bindings()) {
+      const auto it = position.find(component);
+      if (it == position.end()) continue;
+      per_source_[static_cast<size_t>(s)].emplace_back(it->second, value);
+    }
+  }
+}
+
+Result<std::vector<double>> MultiAggregateSampler::SampleOne(Rng& rng) const {
+  const int m = static_cast<int>(components_.size());
+  std::vector<int> order = rng.Permutation(sources_->NumSources());
+
+  std::vector<char> covered(static_cast<size_t>(m), 0);
+  int num_covered = 0;
+  // One aggregator per spec, all fed the same assignment.
+  std::vector<std::unique_ptr<PartialAggregator>> aggregators;
+  aggregators.reserve(specs_.size());
+  for (const AggregateSpec& spec : specs_) {
+    aggregators.push_back(NewAggregator(spec.kind, spec.quantile_q));
+  }
+  for (const int s : order) {
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (covered[static_cast<size_t>(pos)]) continue;
+      covered[static_cast<size_t>(pos)] = 1;
+      ++num_covered;
+      for (const auto& aggregator : aggregators) aggregator->Add(value);
+    }
+    if (num_covered == m) break;
+  }
+  if (num_covered < m) {
+    return Status::FailedPrecondition(
+        "sources no longer cover every component");
+  }
+  std::vector<double> answers(specs_.size());
+  for (size_t i = 0; i < aggregators.size(); ++i) {
+    VASTATS_ASSIGN_OR_RETURN(answers[i], aggregators[i]->Finalize());
+  }
+  return answers;
+}
+
+Result<std::vector<std::vector<double>>> MultiAggregateSampler::Sample(
+    int n, Rng& rng) const {
+  if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
+  std::vector<std::vector<double>> results(
+      specs_.size(), std::vector<double>());
+  for (auto& series : results) series.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const std::vector<double> answers,
+                             SampleOne(rng));
+    for (size_t a = 0; a < answers.size(); ++a) {
+      results[a].push_back(answers[a]);
+    }
+  }
+  return results;
+}
+
+}  // namespace vastats

@@ -1,0 +1,62 @@
+// Multi-aggregate uniS: evaluate several aggregate functions over the SAME
+// component set from one shared stream of value assignments.
+//
+// Each uniS draw is expensive (it touches the — possibly remote — sources;
+// see integration/cost_model.h), but the random part of a draw is only the
+// source visiting order. When a client wants Sum, Average and a quantile of
+// the same components, drawing three independent assignment streams would
+// triple the source traffic for no statistical benefit: one assignment
+// yields one *consistent* viable answer per aggregate. This sampler draws
+// the assignment once and finalizes every registered aggregate on it.
+
+#ifndef VASTATS_SAMPLING_MULTI_H_
+#define VASTATS_SAMPLING_MULTI_H_
+
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// One aggregate to evaluate on the shared assignment stream.
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kSum;
+  double quantile_q = 0.5;  // used by kQuantile
+};
+
+class MultiAggregateSampler {
+ public:
+  // All aggregates range over the same `components`. `sources` must outlive
+  // the sampler; needs >= 1 spec and full coverage.
+  static Result<MultiAggregateSampler> Create(
+      const SourceSet* sources, std::vector<ComponentId> components,
+      std::vector<AggregateSpec> specs);
+
+  size_t NumAggregates() const { return specs_.size(); }
+
+  // One draw: answers[i] is the viable answer of specs[i], all computed
+  // from the same source-order assignment.
+  Result<std::vector<double>> SampleOne(Rng& rng) const;
+
+  // n draws; result[i] holds the n viable answers of specs[i].
+  Result<std::vector<std::vector<double>>> Sample(int n, Rng& rng) const;
+
+ private:
+  MultiAggregateSampler(const SourceSet* sources,
+                        std::vector<ComponentId> components,
+                        std::vector<AggregateSpec> specs);
+
+  void BuildIndex();
+
+  const SourceSet* sources_;
+  std::vector<ComponentId> components_;
+  std::vector<AggregateSpec> specs_;
+  std::vector<std::vector<std::pair<int, double>>> per_source_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_MULTI_H_

@@ -1,0 +1,60 @@
+#include "sampling/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace vastats {
+
+Result<std::vector<double>> ParallelUniSSample(
+    const UniSSampler& sampler, int n,
+    const ParallelSampleOptions& options) {
+  if (n <= 0) {
+    return Status::InvalidArgument("ParallelUniSSample requires n > 0");
+  }
+  int num_threads = options.num_threads;
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (num_threads == 0) {
+    num_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, n);
+
+  std::vector<double> values(static_cast<size_t>(n));
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&](int thread_index) {
+    Rng rng(options.seed + 0x9e3779b97f4a7c15ULL *
+                               static_cast<uint64_t>(thread_index + 1));
+    // Contiguous slice [begin, end) for this thread.
+    const int base = n / num_threads;
+    const int extra = n % num_threads;
+    const int begin = thread_index * base + std::min(thread_index, extra);
+    const int count = base + (thread_index < extra ? 1 : 0);
+    for (int i = 0; i < count && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      const auto sample = sampler.SampleOne(rng);
+      if (!sample.ok()) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = sample.status();
+        return;
+      }
+      values[static_cast<size_t>(begin + i)] = sample->value;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& thread : threads) thread.join();
+
+  if (failed.load()) return first_error;
+  return values;
+}
+
+}  // namespace vastats

@@ -1,0 +1,37 @@
+// Parallel uniS sampling — the paper's §7: "uniS can be fully parallelized
+// as samples are obtained independently. Future work should examine how the
+// algorithm scales when parallelized."
+//
+// Each worker thread owns an independent RNG stream derived from the master
+// seed and fills a pre-assigned slice of the output, so the result is
+// bit-identical for a given (seed, num_threads) regardless of scheduling.
+// Note the determinism contract: the stream partitioning depends on
+// num_threads, so runs with different thread counts produce different (but
+// equally valid) samples.
+
+#ifndef VASTATS_SAMPLING_PARALLEL_H_
+#define VASTATS_SAMPLING_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/unis.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct ParallelSampleOptions {
+  // 0 means std::thread::hardware_concurrency() (at least 1).
+  int num_threads = 0;
+  uint64_t seed = 0x5eed;
+};
+
+// Draws `n` viable answers from `sampler` using multiple threads. The
+// sampler is shared read-only across threads (UniSSampler::SampleOne is
+// const and carries no mutable state).
+Result<std::vector<double>> ParallelUniSSample(
+    const UniSSampler& sampler, int n, const ParallelSampleOptions& options);
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_PARALLEL_H_

@@ -1,0 +1,179 @@
+#include "sampling/unis.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace vastats {
+
+UniSSampler::UniSSampler(const SourceSet* sources, AggregateQuery query,
+                         UniSOptions options)
+    : sources_(sources), query_(std::move(query)), options_(options) {
+  BuildIndex();
+}
+
+Result<UniSSampler> UniSSampler::Create(const SourceSet* sources,
+                                        AggregateQuery query,
+                                        UniSOptions options) {
+  if (sources == nullptr) {
+    return Status::InvalidArgument("UniSSampler requires a SourceSet");
+  }
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  VASTATS_RETURN_IF_ERROR(sources->ValidateCoverage(query.components));
+  return UniSSampler(sources, std::move(query), options);
+}
+
+void UniSSampler::BuildIndex() {
+  const size_t m = query_.components.size();
+  std::unordered_map<ComponentId, int> position;
+  position.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    position[query_.components[i]] = static_cast<int>(i);
+  }
+  const int num_sources = sources_->NumSources();
+  per_source_.assign(static_cast<size_t>(num_sources), {});
+  covering_.assign(m, {});
+  for (int s = 0; s < num_sources; ++s) {
+    const DataSource& source = sources_->source(s);
+    auto& list = per_source_[static_cast<size_t>(s)];
+    for (const auto& [component, value] : source.bindings()) {
+      const auto it = position.find(component);
+      if (it == position.end()) continue;
+      list.emplace_back(it->second, value);
+      covering_[static_cast<size_t>(it->second)].push_back(s);
+    }
+  }
+}
+
+Result<UniSSample> UniSSampler::SampleOne(
+    Rng& rng, std::span<const char> excluded) const {
+  const int num_sources = sources_->NumSources();
+  const int m = NumComponents();
+
+  // Random visiting order over the allowed sources.
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    if (!excluded.empty() && excluded[static_cast<size_t>(s)]) continue;
+    order.push_back(s);
+  }
+  rng.Shuffle(order);
+
+  std::vector<char> covered(static_cast<size_t>(m), 0);
+  int num_covered = 0;
+  const std::unique_ptr<PartialAggregator> partial =
+      NewAggregator(query_.kind, query_.quantile_q);
+
+  UniSSample sample;
+  sample.visits.reserve(order.size());
+  for (const int s : order) {
+    ++sample.sources_visited;
+    int taken = 0;
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (covered[static_cast<size_t>(pos)]) continue;
+      covered[static_cast<size_t>(pos)] = 1;
+      ++num_covered;
+      partial->Add(value);
+      ++taken;
+    }
+    sample.visits.push_back(UniSVisit{s, taken});
+    if (taken > 0) ++sample.sources_contributing;
+    if (num_covered == m) break;
+  }
+
+  sample.coverage = static_cast<double>(num_covered) / static_cast<double>(m);
+  if (num_covered < m && options_.require_full_coverage) {
+    return Status::FailedPrecondition(
+        "uniS covered only " + std::to_string(num_covered) + " of " +
+        std::to_string(m) + " components (sources missing or excluded)");
+  }
+  VASTATS_ASSIGN_OR_RETURN(sample.value, partial->Finalize());
+  return sample;
+}
+
+Result<std::vector<double>> UniSSampler::Sample(int n, Rng& rng) const {
+  if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng));
+    values.push_back(s.value);
+  }
+  return values;
+}
+
+bool UniSSampler::CoverableWithout(std::span<const int> excluded) const {
+  std::vector<char> mask(static_cast<size_t>(sources_->NumSources()), false);
+  for (const int s : excluded) {
+    if (s >= 0 && s < sources_->NumSources()) mask[static_cast<size_t>(s)] = 1;
+  }
+  for (const auto& covering : covering_) {
+    bool ok = false;
+    for (const int s : covering) {
+      if (!mask[static_cast<size_t>(s)]) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::vector<double>> UniSSampler::SampleExcluding(
+    int n, std::span<const int> excluded, Rng& rng) const {
+  if (n <= 0) return Status::InvalidArgument("SampleExcluding requires n > 0");
+  if (options_.require_full_coverage && !CoverableWithout(excluded)) {
+    return Status::FailedPrecondition(
+        "query is not coverable with the given sources excluded");
+  }
+  std::vector<char> mask(static_cast<size_t>(sources_->NumSources()), false);
+  for (const int s : excluded) {
+    if (s < 0 || s >= sources_->NumSources()) {
+      return Status::OutOfRange("excluded source index out of range");
+    }
+    mask[static_cast<size_t>(s)] = 1;
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng, mask));
+    values.push_back(s.value);
+  }
+  return values;
+}
+
+Result<std::vector<int>> UniSSampler::SampleAssignment(Rng& rng) const {
+  const int m = NumComponents();
+  std::vector<int> order = rng.Permutation(sources_->NumSources());
+  std::vector<int> assignment(static_cast<size_t>(m), -1);
+  int num_covered = 0;
+  for (const int s : order) {
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (assignment[static_cast<size_t>(pos)] >= 0) continue;
+      assignment[static_cast<size_t>(pos)] = s;
+      ++num_covered;
+    }
+    if (num_covered == m) break;
+  }
+  if (num_covered < m) {
+    return Status::FailedPrecondition(
+        "uniS assignment covered only " + std::to_string(num_covered) +
+        " of " + std::to_string(m) + " components");
+  }
+  return assignment;
+}
+
+Result<double> UniSSampler::EstimateSourcesPerAnswer(int probes,
+                                                     Rng& rng) const {
+  if (probes <= 0) {
+    return Status::InvalidArgument("EstimateSourcesPerAnswer needs probes > 0");
+  }
+  double total = 0.0;
+  for (int i = 0; i < probes; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng));
+    total += static_cast<double>(s.sources_contributing);
+  }
+  return total / static_cast<double>(probes);
+}
+
+}  // namespace vastats

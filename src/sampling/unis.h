@@ -1,0 +1,113 @@
+// uniS — the paper's unbiased viable-answer sampler (§4.2).
+//
+// One uniS draw: visit the data sources in a uniformly random order; at each
+// source, take *every* still-uncovered component the source binds, updating
+// an incrementally-maintained partial aggregate; stop once all components of
+// the query are covered (or all sources are exhausted); finalize the partial
+// aggregate into one viable answer.
+//
+// Sources are selected uniformly and independently, with no quality or
+// coverage priors — the paper's correctness requirement when no source
+// meta-knowledge is available.
+
+#ifndef VASTATS_SAMPLING_UNIS_H_
+#define VASTATS_SAMPLING_UNIS_H_
+
+#include <span>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct UniSOptions {
+  // When true (default), a draw fails unless every query component was
+  // covered. When false, partially-covered draws finalize over the covered
+  // subset (coverage is reported on the sample).
+  bool require_full_coverage = true;
+};
+
+// One source visit within a uniS draw.
+struct UniSVisit {
+  int source = 0;
+  // Components this visit supplied (0 when everything it binds was already
+  // covered).
+  int components_taken = 0;
+};
+
+// One viable answer drawn by uniS.
+struct UniSSample {
+  double value = 0.0;
+  // Fraction of the query's components that were covered (1.0 normally).
+  double coverage = 1.0;
+  // Number of sources visited before coverage completed.
+  int sources_visited = 0;
+  // Number of sources that contributed at least one component — the
+  // per-answer weight y of the stability analysis (Theorem 4.2).
+  int sources_contributing = 0;
+  // The visits in order (drives the cost model in integration/cost_model.h).
+  std::vector<UniSVisit> visits;
+};
+
+class UniSSampler {
+ public:
+  // Validates that `sources` covers every component of `query` and
+  // precomputes the per-source component lists. `sources` must outlive the
+  // sampler.
+  static Result<UniSSampler> Create(const SourceSet* sources,
+                                    AggregateQuery query,
+                                    UniSOptions options = {});
+
+  // Draws one viable answer. `excluded` marks source indices that must not
+  // be visited (used by the stability simulations); it may be empty.
+  Result<UniSSample> SampleOne(Rng& rng,
+                               std::span<const char> excluded = {}) const;
+
+  // Draws `n` viable answer values.
+  Result<std::vector<double>> Sample(int n, Rng& rng) const;
+
+  // Draws `n` viable answers with the given sources excluded. Fails when the
+  // remaining sources cannot cover the query (under full-coverage options).
+  Result<std::vector<double>> SampleExcluding(int n,
+                                              std::span<const int> excluded,
+                                              Rng& rng) const;
+
+  // Monte-Carlo estimate of y, the average number of sources contributing
+  // to an answer.
+  Result<double> EstimateSourcesPerAnswer(int probes, Rng& rng) const;
+
+  // Draws one uniS value *assignment* instead of the aggregated answer:
+  // result[i] is the source index supplying query().components[i]. Useful
+  // when the evaluation itself happens elsewhere (e.g. pushed down an
+  // aggregation hierarchy). Requires full coverage.
+  Result<std::vector<int>> SampleAssignment(Rng& rng) const;
+
+  // True when `query` remains fully coverable with `excluded` removed.
+  bool CoverableWithout(std::span<const int> excluded) const;
+
+  const AggregateQuery& query() const { return query_; }
+  const SourceSet& sources() const { return *sources_; }
+  int NumComponents() const { return static_cast<int>(query_.components.size()); }
+
+ private:
+  UniSSampler(const SourceSet* sources, AggregateQuery query,
+              UniSOptions options);
+
+  void BuildIndex();
+
+  const SourceSet* sources_;
+  AggregateQuery query_;
+  UniSOptions options_;
+  // per_source_[s] lists (query position, value) for the query components
+  // source s binds.
+  std::vector<std::vector<std::pair<int, double>>> per_source_;
+  // covering_[pos] lists the source indices binding component `pos`.
+  std::vector<std::vector<int>> covering_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_UNIS_H_

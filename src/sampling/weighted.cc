@@ -1,0 +1,156 @@
+#include "sampling/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "query/aggregate.h"
+#include "stats/descriptive.h"
+
+namespace vastats {
+
+Result<std::vector<double>> EstimateSourceQuality(
+    const SourceSet& sources, std::span<const ComponentId> components,
+    const SourceQualityOptions& options) {
+  if (components.empty()) {
+    return Status::InvalidArgument(
+        "EstimateSourceQuality needs a component scope");
+  }
+  if (!(options.softness > 0.0) || !(options.default_weight > 0.0)) {
+    return Status::InvalidArgument(
+        "softness and default_weight must be > 0");
+  }
+  const size_t num_sources = static_cast<size_t>(sources.NumSources());
+  std::vector<double> deviation_sum(num_sources, 0.0);
+  std::vector<int> scored(num_sources, 0);
+  std::vector<double> all_deviations;
+
+  for (const ComponentId component : components) {
+    const std::vector<int> covering = sources.Covering(component);
+    if (covering.size() < 2) continue;  // no cross-check possible
+    std::vector<double> values;
+    values.reserve(covering.size());
+    for (const int s : covering) {
+      VASTATS_ASSIGN_OR_RETURN(const double v,
+                               sources.source(s).Value(component));
+      values.push_back(v);
+    }
+    VASTATS_ASSIGN_OR_RETURN(const double consensus, Median(values));
+    for (size_t i = 0; i < covering.size(); ++i) {
+      const double deviation = std::fabs(values[i] - consensus);
+      deviation_sum[static_cast<size_t>(covering[i])] += deviation;
+      ++scored[static_cast<size_t>(covering[i])];
+      all_deviations.push_back(deviation);
+    }
+  }
+  if (all_deviations.empty()) {
+    // No overlap anywhere: all sources equally credible.
+    return std::vector<double>(num_sources, options.default_weight);
+  }
+  VASTATS_ASSIGN_OR_RETURN(double scale, Median(all_deviations));
+  if (scale <= 0.0) {
+    // Majority of bindings agree exactly; fall back to the mean deviation,
+    // and finally to 1 so the weight map stays defined.
+    scale = ComputeMoments(all_deviations).mean();
+    if (scale <= 0.0) scale = 1.0;
+  }
+
+  std::vector<double> weights(num_sources, options.default_weight);
+  for (size_t s = 0; s < num_sources; ++s) {
+    if (scored[s] == 0) continue;
+    const double avg_deviation =
+        deviation_sum[s] / static_cast<double>(scored[s]);
+    weights[s] = 1.0 / (1.0 + avg_deviation / (options.softness * scale));
+  }
+  return weights;
+}
+
+WeightedUniSSampler::WeightedUniSSampler(const SourceSet* sources,
+                                         AggregateQuery query,
+                                         std::vector<double> weights)
+    : sources_(sources),
+      query_(std::move(query)),
+      weights_(std::move(weights)) {
+  BuildIndex();
+}
+
+Result<WeightedUniSSampler> WeightedUniSSampler::Create(
+    const SourceSet* sources, AggregateQuery query,
+    std::vector<double> weights) {
+  if (sources == nullptr) {
+    return Status::InvalidArgument("WeightedUniSSampler needs a SourceSet");
+  }
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  VASTATS_RETURN_IF_ERROR(sources->ValidateCoverage(query.components));
+  if (static_cast<int>(weights.size()) != sources->NumSources()) {
+    return Status::InvalidArgument(
+        "weights must have one entry per source");
+  }
+  for (const double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and > 0");
+    }
+  }
+  return WeightedUniSSampler(sources, std::move(query), std::move(weights));
+}
+
+void WeightedUniSSampler::BuildIndex() {
+  const size_t m = query_.components.size();
+  std::unordered_map<ComponentId, int> position;
+  position.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    position[query_.components[i]] = static_cast<int>(i);
+  }
+  per_source_.assign(static_cast<size_t>(sources_->NumSources()), {});
+  for (int s = 0; s < sources_->NumSources(); ++s) {
+    for (const auto& [component, value] : sources_->source(s).bindings()) {
+      const auto it = position.find(component);
+      if (it == position.end()) continue;
+      per_source_[static_cast<size_t>(s)].emplace_back(it->second, value);
+    }
+  }
+}
+
+Result<double> WeightedUniSSampler::SampleOne(Rng& rng) const {
+  const int num_sources = sources_->NumSources();
+  const int m = static_cast<int>(query_.components.size());
+
+  // Weighted-random permutation via exponential keys: sorting ascending by
+  // Exp(w_s) realizes successive sampling proportional to the weights.
+  std::vector<std::pair<double, int>> keyed(
+      static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    keyed[static_cast<size_t>(s)] = {
+        rng.Exponential(weights_[static_cast<size_t>(s)]), s};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<char> covered(static_cast<size_t>(m), 0);
+  int num_covered = 0;
+  const std::unique_ptr<PartialAggregator> partial =
+      NewAggregator(query_.kind, query_.quantile_q);
+  for (const auto& [key, s] : keyed) {
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (covered[static_cast<size_t>(pos)]) continue;
+      covered[static_cast<size_t>(pos)] = 1;
+      ++num_covered;
+      partial->Add(value);
+    }
+    if (num_covered == m) break;
+  }
+  return partial->Finalize();
+}
+
+Result<std::vector<double>> WeightedUniSSampler::Sample(int n,
+                                                        Rng& rng) const {
+  if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const double v, SampleOne(rng));
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace vastats

@@ -1,0 +1,78 @@
+// Provenance-aware sampling — the paper's §7 future work made concrete:
+// "the current uniS sampling algorithm assumes equal importance for the
+// sources and samples them uniformly and independently. However, the
+// sources may have different levels of quality and coverage. Future work
+// should consider some notion of provenance."
+//
+// Two pieces:
+//  * EstimateSourceQuality — a data-driven quality score per source, from
+//    how far its values sit from the per-component consensus (median across
+//    covering sources). No external truth is needed.
+//  * WeightedUniSSampler — uniS with a weighted-random visiting order
+//    (successive sampling proportional to weight), so higher-quality
+//    sources supply components more often while every source keeps a
+//    non-zero chance of contributing.
+
+#ifndef VASTATS_SAMPLING_WEIGHTED_H_
+#define VASTATS_SAMPLING_WEIGHTED_H_
+
+#include <span>
+#include <vector>
+
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct SourceQualityOptions {
+  // Deviation-to-weight softness: weight = 1 / (1 + dev / (softness * s))
+  // where s is the median absolute deviation across all bindings. Smaller
+  // values punish disagreement harder.
+  double softness = 1.0;
+  // Weight assigned to sources with no scored bindings (no overlap with any
+  // other source on the scoped components).
+  double default_weight = 1.0;
+};
+
+// Per-source quality weights in (0, 1], derived from agreement with the
+// per-component median over `components`. Requires a non-empty scope.
+Result<std::vector<double>> EstimateSourceQuality(
+    const SourceSet& sources, std::span<const ComponentId> components,
+    const SourceQualityOptions& options = {});
+
+// uniS with a weighted-random source visiting order. With equal weights it
+// coincides with UniSSampler (in distribution).
+class WeightedUniSSampler {
+ public:
+  // `weights` must have one strictly positive entry per source.
+  // `sources` must outlive the sampler.
+  static Result<WeightedUniSSampler> Create(const SourceSet* sources,
+                                            AggregateQuery query,
+                                            std::vector<double> weights);
+
+  // Draws one viable answer.
+  Result<double> SampleOne(Rng& rng) const;
+
+  // Draws `n` viable answers.
+  Result<std::vector<double>> Sample(int n, Rng& rng) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  WeightedUniSSampler(const SourceSet* sources, AggregateQuery query,
+                      std::vector<double> weights);
+
+  void BuildIndex();
+
+  const SourceSet* sources_;
+  AggregateQuery query_;
+  std::vector<double> weights_;
+  // per_source_[s] lists (query position, value) pairs, as in UniSSampler.
+  std::vector<std::vector<std::pair<int, double>>> per_source_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_WEIGHTED_H_

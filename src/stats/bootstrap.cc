@@ -1,0 +1,89 @@
+#include "stats/bootstrap.h"
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+
+Status BootstrapOptions::Validate() const {
+  if (num_sets <= 0) {
+    return Status::InvalidArgument("BootstrapOptions.num_sets must be > 0");
+  }
+  if (set_size < 0) {
+    return Status::InvalidArgument("BootstrapOptions.set_size must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<double>>> BootstrapSets(
+    std::span<const double> data, const BootstrapOptions& options, Rng& rng) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (data.empty()) {
+    return Status::InvalidArgument("BootstrapSets requires non-empty data");
+  }
+  const int n = static_cast<int>(data.size());
+  const int set_size = options.set_size > 0 ? options.set_size : n;
+  std::vector<std::vector<double>> sets;
+  sets.reserve(static_cast<size_t>(options.num_sets));
+  for (int s = 0; s < options.num_sets; ++s) {
+    std::vector<double> set(static_cast<size_t>(set_size));
+    for (double& value : set) {
+      value = data[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+Result<std::vector<double>> BootstrapReplicates(std::span<const double> data,
+                                                const StatisticFn& statistic,
+                                                const BootstrapOptions& options,
+                                                Rng& rng) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (data.empty()) {
+    return Status::InvalidArgument(
+        "BootstrapReplicates requires non-empty data");
+  }
+  const int n = static_cast<int>(data.size());
+  const int set_size = options.set_size > 0 ? options.set_size : n;
+  std::vector<double> buffer(static_cast<size_t>(set_size));
+  std::vector<double> replicates(static_cast<size_t>(options.num_sets));
+  for (int s = 0; s < options.num_sets; ++s) {
+    for (double& value : buffer) {
+      value = data[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    replicates[static_cast<size_t>(s)] = statistic(buffer);
+  }
+  return replicates;
+}
+
+Result<std::vector<double>> ReplicatesFromSets(
+    std::span<const std::vector<double>> sets, const StatisticFn& statistic) {
+  if (sets.empty()) {
+    return Status::InvalidArgument("ReplicatesFromSets requires >= 1 set");
+  }
+  std::vector<double> replicates;
+  replicates.reserve(sets.size());
+  for (const std::vector<double>& set : sets) {
+    if (set.empty()) {
+      return Status::InvalidArgument("ReplicatesFromSets: empty sample set");
+    }
+    replicates.push_back(statistic(set));
+  }
+  return replicates;
+}
+
+Result<double> Bag(std::span<const double> replicates,
+                   BagAggregator aggregator) {
+  if (replicates.empty()) {
+    return Status::InvalidArgument("Bag requires >= 1 replicate");
+  }
+  switch (aggregator) {
+    case BagAggregator::kMean:
+      return ComputeMoments(replicates).mean();
+    case BagAggregator::kMedian:
+      return Median(replicates);
+  }
+  return Status::Internal("unknown BagAggregator");
+}
+
+}  // namespace vastats

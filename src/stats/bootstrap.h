@@ -1,0 +1,56 @@
+// Bootstrap resampling and bagging (Breiman 1996), per paper §2.1.
+//
+// Starting from an initial uniS sample set, the library draws
+// `num_sets` bootstrap sample sets of `set_size` points each (with
+// replacement), applies an estimator to each set to get an ensemble of
+// replicates, and bags (aggregates) the ensemble into a single, lower
+// variance estimate. The replicates also feed the confidence-interval
+// machinery in stats/confidence.h.
+
+#ifndef VASTATS_STATS_BOOTSTRAP_H_
+#define VASTATS_STATS_BOOTSTRAP_H_
+
+#include <span>
+#include <vector>
+
+#include "stats/jackknife.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct BootstrapOptions {
+  // Number of bootstrap sample sets, |S_boot| (paper default 50).
+  int num_sets = 50;
+  // Size of each bootstrap set, |B^i_boot|; 0 means "same as the data".
+  int set_size = 0;
+
+  Status Validate() const;
+};
+
+// Draws `options.num_sets` bootstrap sample sets from `data`.
+Result<std::vector<std::vector<double>>> BootstrapSets(
+    std::span<const double> data, const BootstrapOptions& options, Rng& rng);
+
+// Evaluates `statistic` on each bootstrap set of `data` and returns the
+// ensemble of replicates (one value per set).
+Result<std::vector<double>> BootstrapReplicates(std::span<const double> data,
+                                                const StatisticFn& statistic,
+                                                const BootstrapOptions& options,
+                                                Rng& rng);
+
+// Evaluates `statistic` on already-materialized bootstrap sets.
+Result<std::vector<double>> ReplicatesFromSets(
+    std::span<const std::vector<double>> sets, const StatisticFn& statistic);
+
+// How the replicate ensemble is bagged into a single estimate.
+enum class BagAggregator { kMean, kMedian };
+
+// Aggregates a replicate ensemble (paper §2.1: "combining, e.g. averaging,
+// this ensemble of estimates").
+Result<double> Bag(std::span<const double> replicates,
+                   BagAggregator aggregator);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_BOOTSTRAP_H_

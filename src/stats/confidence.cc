@@ -1,0 +1,144 @@
+#include "stats/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/jackknife.h"
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+Status ValidateLevel(double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    return Status::InvalidArgument("confidence level must be in (0,1)");
+  }
+  return Status::Ok();
+}
+
+Status ValidateReplicates(std::span<const double> replicates) {
+  if (replicates.size() < 2) {
+    return Status::InvalidArgument(
+        "confidence interval needs >= 2 bootstrap replicates");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view CiMethodToString(CiMethod method) {
+  switch (method) {
+    case CiMethod::kNormal:
+      return "normal";
+    case CiMethod::kPercentile:
+      return "percentile";
+    case CiMethod::kBasic:
+      return "basic";
+    case CiMethod::kBca:
+      return "BCa";
+  }
+  return "unknown";
+}
+
+Result<ConfidenceInterval> NormalCi(std::span<const double> replicates,
+                                    double point_estimate, double level) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  VASTATS_RETURN_IF_ERROR(ValidateReplicates(replicates));
+  const double alpha = 1.0 - level;
+  VASTATS_ASSIGN_OR_RETURN(const double z, NormalQuantile(1.0 - alpha / 2.0));
+  const double sd = ComputeMoments(replicates).SampleStdDev();
+  return ConfidenceInterval{point_estimate - z * sd, point_estimate + z * sd,
+                            level};
+}
+
+Result<ConfidenceInterval> PercentileCi(std::span<const double> replicates,
+                                        double level) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  VASTATS_RETURN_IF_ERROR(ValidateReplicates(replicates));
+  const double alpha = 1.0 - level;
+  std::vector<double> sorted(replicates.begin(), replicates.end());
+  std::sort(sorted.begin(), sorted.end());
+  VASTATS_ASSIGN_OR_RETURN(const double lo,
+                           QuantileSorted(sorted, alpha / 2.0));
+  VASTATS_ASSIGN_OR_RETURN(const double hi,
+                           QuantileSorted(sorted, 1.0 - alpha / 2.0));
+  return ConfidenceInterval{lo, hi, level};
+}
+
+Result<ConfidenceInterval> BasicCi(std::span<const double> replicates,
+                                   double point_estimate, double level) {
+  VASTATS_ASSIGN_OR_RETURN(const ConfidenceInterval pct,
+                           PercentileCi(replicates, level));
+  return ConfidenceInterval{2.0 * point_estimate - pct.hi,
+                            2.0 * point_estimate - pct.lo, level};
+}
+
+Result<ConfidenceInterval> BcaCi(std::span<const double> replicates,
+                                 double point_estimate, double level,
+                                 std::span<const double> jackknife_estimates) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  VASTATS_RETURN_IF_ERROR(ValidateReplicates(replicates));
+  const double alpha = 1.0 - level;
+  const double b = static_cast<double>(replicates.size());
+
+  // Bias correction z0 from the fraction of replicates below theta_hat.
+  double below = 0.0;
+  for (const double r : replicates) {
+    if (r < point_estimate) below += 1.0;
+  }
+  // Clamp away from 0 and 1 so z0 stays finite for extreme ensembles.
+  double fraction = below / b;
+  fraction = std::clamp(fraction, 0.5 / b, 1.0 - 0.5 / b);
+  VASTATS_ASSIGN_OR_RETURN(const double z0, NormalQuantile(fraction));
+
+  // Acceleration from the jackknife replicates.
+  VASTATS_ASSIGN_OR_RETURN(const double a,
+                           JackknifeAcceleration(jackknife_estimates));
+
+  VASTATS_ASSIGN_OR_RETURN(const double z_lo, NormalQuantile(alpha / 2.0));
+  VASTATS_ASSIGN_OR_RETURN(const double z_hi,
+                           NormalQuantile(1.0 - alpha / 2.0));
+
+  auto adjusted = [&](double z) {
+    const double num = z0 + z;
+    const double denom = 1.0 - a * num;
+    // Degenerate acceleration: fall back to the unadjusted percentile.
+    if (denom == 0.0) return NormalCdf(num);
+    return NormalCdf(z0 + num / denom);
+  };
+  double alpha1 = adjusted(z_lo);
+  double alpha2 = adjusted(z_hi);
+  alpha1 = std::clamp(alpha1, 0.0, 1.0);
+  alpha2 = std::clamp(alpha2, 0.0, 1.0);
+  if (alpha1 > alpha2) std::swap(alpha1, alpha2);
+
+  std::vector<double> sorted(replicates.begin(), replicates.end());
+  std::sort(sorted.begin(), sorted.end());
+  VASTATS_ASSIGN_OR_RETURN(const double lo, QuantileSorted(sorted, alpha1));
+  VASTATS_ASSIGN_OR_RETURN(const double hi, QuantileSorted(sorted, alpha2));
+  return ConfidenceInterval{lo, hi, level};
+}
+
+Result<ConfidenceInterval> ComputeBootstrapCi(
+    CiMethod method, std::span<const double> replicates, double point_estimate,
+    double level, std::span<const double> jackknife_estimates) {
+  switch (method) {
+    case CiMethod::kNormal:
+      return NormalCi(replicates, point_estimate, level);
+    case CiMethod::kPercentile:
+      return PercentileCi(replicates, level);
+    case CiMethod::kBasic:
+      return BasicCi(replicates, point_estimate, level);
+    case CiMethod::kBca:
+      if (jackknife_estimates.empty()) {
+        return Status::InvalidArgument(
+            "BCa requires jackknife estimates of the statistic");
+      }
+      return BcaCi(replicates, point_estimate, level, jackknife_estimates);
+  }
+  return Status::Internal("unknown CiMethod");
+}
+
+}  // namespace vastats

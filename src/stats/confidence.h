@@ -1,0 +1,56 @@
+// Bootstrap confidence intervals: normal, percentile, basic, and BCa
+// (bias-corrected and accelerated, Efron 1987 — the method Algorithm 1 uses
+// to get tight intervals from small initial uniS samples).
+
+#ifndef VASTATS_STATS_CONFIDENCE_H_
+#define VASTATS_STATS_CONFIDENCE_H_
+
+#include <span>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace vastats {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  // Confidence level 1 - alpha (e.g. 0.90).
+  double level = 0.0;
+
+  double Length() const { return hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+};
+
+enum class CiMethod { kNormal, kPercentile, kBasic, kBca };
+
+std::string_view CiMethodToString(CiMethod method);
+
+// Normal-approximation interval: theta_hat +- z * sd(replicates).
+Result<ConfidenceInterval> NormalCi(std::span<const double> replicates,
+                                    double point_estimate, double level);
+
+// Percentile interval: [q_{alpha/2}, q_{1-alpha/2}] of the replicates.
+Result<ConfidenceInterval> PercentileCi(std::span<const double> replicates,
+                                        double level);
+
+// Basic (reverse-percentile) interval:
+// [2*theta_hat - q_{1-alpha/2}, 2*theta_hat - q_{alpha/2}].
+Result<ConfidenceInterval> BasicCi(std::span<const double> replicates,
+                                   double point_estimate, double level);
+
+// BCa interval. `jackknife_estimates` are the leave-one-out replicates of
+// the same statistic on the original data (see stats/jackknife.h).
+Result<ConfidenceInterval> BcaCi(std::span<const double> replicates,
+                                 double point_estimate, double level,
+                                 std::span<const double> jackknife_estimates);
+
+// Dispatches on `method`; `jackknife_estimates` may be empty for non-BCa
+// methods.
+Result<ConfidenceInterval> ComputeBootstrapCi(
+    CiMethod method, std::span<const double> replicates, double point_estimate,
+    double level, std::span<const double> jackknife_estimates = {});
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_CONFIDENCE_H_

@@ -1,0 +1,140 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vastats {
+
+void Moments::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(count_);
+  ++count_;
+  const double n = static_cast<double>(count_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void Moments::Merge(const Moments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double merged_mean = mean_ + delta * nb / n;
+  const double merged_m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double merged_m3 = m3_ + other.m3_ +
+                           delta3 * na * nb * (na - nb) / (n * n) +
+                           3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double merged_m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = merged_mean;
+  m2_ = merged_m2;
+  m3_ = merged_m3;
+  m4_ = merged_m4;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Moments::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Moments::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Moments::SampleStdDev() const { return std::sqrt(SampleVariance()); }
+
+double Moments::Skewness() const {
+  if (count_ < 3) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double variance = m2_ / n;
+  if (variance <= 0.0) return 0.0;
+  return (m3_ / n) / std::pow(variance, 1.5);
+}
+
+double Moments::ExcessKurtosis() const {
+  if (count_ < 4) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double variance = m2_ / n;
+  if (variance <= 0.0) return 0.0;
+  return (m4_ / n) / (variance * variance) - 3.0;
+}
+
+Moments ComputeMoments(std::span<const double> values) {
+  Moments moments;
+  for (const double v : values) moments.Add(v);
+  return moments;
+}
+
+Result<double> QuantileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    return Status::InvalidArgument("Quantile of empty sample");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("Quantile requires q in [0,1]");
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Result<double> Quantile(std::span<const double> values, double q) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return QuantileSorted(copy, q);
+}
+
+Result<double> Median(std::span<const double> values) {
+  return Quantile(values, 0.5);
+}
+
+Result<SampleSummary> Summarize(std::span<const double> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Summarize of empty sample");
+  }
+  const Moments moments = ComputeMoments(values);
+  SampleSummary summary;
+  summary.count = moments.count();
+  summary.mean = moments.mean();
+  summary.variance = moments.SampleVariance();
+  summary.std_dev = moments.SampleStdDev();
+  summary.skewness = moments.Skewness();
+  summary.excess_kurtosis = moments.ExcessKurtosis();
+  summary.min = moments.min();
+  summary.max = moments.max();
+  VASTATS_ASSIGN_OR_RETURN(summary.median, Median(values));
+  return summary;
+}
+
+}  // namespace vastats

@@ -1,0 +1,97 @@
+// Descriptive statistics: numerically stable streaming moments (Welford /
+// Pebay update with merge support), quantiles, and a one-call summary.
+//
+// Skewness follows the moment-coefficient convention used by the paper
+// (gamma_1 = m3 / m2^(3/2) on central sample moments); variance is the
+// unbiased sample variance.
+
+#ifndef VASTATS_STATS_DESCRIPTIVE_H_
+#define VASTATS_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vastats {
+
+// Streaming accumulator of the first four central moments.
+//
+// Supports one-pass `Add` and pairwise `Merge` (the merge property makes it
+// usable for the partial/final aggregate decomposition in the query layer).
+class Moments {
+ public:
+  Moments() = default;
+
+  // Incorporates one observation.
+  void Add(double x);
+
+  // Incorporates every observation of `other` (Chan/Pebay parallel update).
+  void Merge(const Moments& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  // Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double SampleVariance() const;
+
+  // Population variance (n denominator); 0 when count == 0.
+  double PopulationVariance() const;
+
+  double SampleStdDev() const;
+
+  // Moment-coefficient skewness gamma_1 = m3 / m2^(3/2); 0 for degenerate
+  // samples (fewer than 3 points or zero variance).
+  double Skewness() const;
+
+  // Excess kurtosis m4 / m2^2 - 3; 0 for degenerate samples.
+  double ExcessKurtosis() const;
+
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum (x - mean)^2
+  double m3_ = 0.0;  // sum (x - mean)^3
+  double m4_ = 0.0;  // sum (x - mean)^4
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Computes `Moments` over a whole span in one call.
+Moments ComputeMoments(std::span<const double> values);
+
+// Linear-interpolation quantile (R type-7) for q in [0, 1].
+// Sorts a copy of `values`; requires a non-empty span.
+Result<double> Quantile(std::span<const double> values, double q);
+
+// Quantile for data that is already sorted ascending.
+Result<double> QuantileSorted(std::span<const double> sorted, double q);
+
+// Median convenience wrapper.
+Result<double> Median(std::span<const double> values);
+
+// A compact snapshot of a sample's distributional properties.
+struct SampleSummary {
+  int64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased
+  double std_dev = 0.0;
+  double skewness = 0.0;
+  double excess_kurtosis = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+// Summarizes `values`; requires a non-empty span.
+Result<SampleSummary> Summarize(std::span<const double> values);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_DESCRIPTIVE_H_

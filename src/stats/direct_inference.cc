@@ -1,0 +1,91 @@
+#include "stats/direct_inference.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+Status ValidateLevel(double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    return Status::InvalidArgument("confidence level must be in (0,1)");
+  }
+  return Status::Ok();
+}
+
+// Multiplier k such that the CI is mean +- k * s / sqrt(n).
+Result<double> MeanMultiplier(double level, DirectMethod method) {
+  const double alpha = 1.0 - level;
+  switch (method) {
+    case DirectMethod::kChebyshev:
+      return 1.0 / std::sqrt(alpha);
+    case DirectMethod::kClt:
+      return NormalQuantile(1.0 - alpha / 2.0);
+  }
+  return Status::Internal("unknown DirectMethod");
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> DirectMeanCi(const Moments& moments, double level,
+                                        DirectMethod method) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  if (moments.count() < 2) {
+    return Status::InvalidArgument("DirectMeanCi needs >= 2 observations");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const double k, MeanMultiplier(level, method));
+  const double half_width =
+      k * moments.SampleStdDev() / std::sqrt(static_cast<double>(moments.count()));
+  return ConfidenceInterval{moments.mean() - half_width,
+                            moments.mean() + half_width, level};
+}
+
+Result<ConfidenceInterval> DirectVarianceCi(const Moments& moments,
+                                            double level) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  if (moments.count() < 2) {
+    return Status::InvalidArgument("DirectVarianceCi needs >= 2 observations");
+  }
+  const double alpha = 1.0 - level;
+  const double dof = static_cast<double>(moments.count() - 1);
+  VASTATS_ASSIGN_OR_RETURN(const double chi_hi,
+                           ChiSquareQuantile(1.0 - alpha / 2.0, dof));
+  VASTATS_ASSIGN_OR_RETURN(const double chi_lo,
+                           ChiSquareQuantile(alpha / 2.0, dof));
+  const double scaled = dof * moments.SampleVariance();
+  return ConfidenceInterval{scaled / chi_hi, scaled / chi_lo, level};
+}
+
+Result<ConfidenceInterval> DirectSkewnessCi(const Moments& moments,
+                                            double level) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  const double n = static_cast<double>(moments.count());
+  if (moments.count() < 4) {
+    return Status::InvalidArgument("DirectSkewnessCi needs >= 4 observations");
+  }
+  const double alpha = 1.0 - level;
+  VASTATS_ASSIGN_OR_RETURN(const double z, NormalQuantile(1.0 - alpha / 2.0));
+  const double se =
+      std::sqrt(6.0 * n * (n - 1.0) / ((n - 2.0) * (n + 1.0) * (n + 3.0)));
+  const double g1 = moments.Skewness();
+  return ConfidenceInterval{g1 - z * se, g1 + z * se, level};
+}
+
+Result<double> DirectMeanRequiredSampleSize(double std_dev, double level,
+                                            double target_length,
+                                            DirectMethod method) {
+  VASTATS_RETURN_IF_ERROR(ValidateLevel(level));
+  if (!(std_dev >= 0.0)) {
+    return Status::InvalidArgument("std_dev must be >= 0");
+  }
+  if (!(target_length > 0.0)) {
+    return Status::InvalidArgument("target_length must be > 0");
+  }
+  VASTATS_ASSIGN_OR_RETURN(const double k, MeanMultiplier(level, method));
+  // Solve 2 * k * s / sqrt(n) = target_length for n.
+  const double root = 2.0 * k * std_dev / target_length;
+  return root * root;
+}
+
+}  // namespace vastats

@@ -1,0 +1,49 @@
+// Direct-inference confidence intervals — the baseline Table 3 compares
+// bootstrapping against.
+//
+// "Direct inference" derives an interval from the sample and a theoretical
+// bound, without resampling:
+//  * kChebyshev (the paper's distribution-free baseline, driven by the
+//    "theoretical upper-bound of variance"): P(|Xbar - mu| >= k*s/sqrt(n))
+//    <= 1/k^2 gives a level-(1-alpha) interval of half-width
+//    s / sqrt(alpha * n).
+//  * kClt: the classical normal-approximation interval z * s / sqrt(n).
+//
+// Variance and skewness get their classical direct intervals (chi-square and
+// asymptotic-normal respectively) for completeness.
+
+#ifndef VASTATS_STATS_DIRECT_INFERENCE_H_
+#define VASTATS_STATS_DIRECT_INFERENCE_H_
+
+#include "stats/confidence.h"
+#include "stats/descriptive.h"
+#include "util/status.h"
+
+namespace vastats {
+
+enum class DirectMethod { kChebyshev, kClt };
+
+// CI for the mean from summary statistics of a sample.
+Result<ConfidenceInterval> DirectMeanCi(const Moments& moments, double level,
+                                        DirectMethod method);
+
+// Chi-square CI for the variance (assumes approximate normality; used as the
+// classical textbook baseline).
+Result<ConfidenceInterval> DirectVarianceCi(const Moments& moments,
+                                            double level);
+
+// Asymptotic-normal CI for skewness with
+// SE = sqrt(6n(n-1) / ((n-2)(n+1)(n+3))).
+Result<ConfidenceInterval> DirectSkewnessCi(const Moments& moments,
+                                            double level);
+
+// The sample size direct inference would need for its mean CI to reach
+// `target_length` — the quantity behind Table 3's saving ratio
+// s_r = |S_di| / |S_uniS|.
+Result<double> DirectMeanRequiredSampleSize(double std_dev, double level,
+                                            double target_length,
+                                            DirectMethod method);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_DIRECT_INFERENCE_H_

@@ -1,0 +1,113 @@
+#include "stats/jackknife.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+
+double EvaluateMomentStatistic(MomentStatistic statistic,
+                               std::span<const double> values) {
+  const Moments moments = ComputeMoments(values);
+  switch (statistic) {
+    case MomentStatistic::kMean:
+      return moments.mean();
+    case MomentStatistic::kVariance:
+      return moments.SampleVariance();
+    case MomentStatistic::kStdDev:
+      return moments.SampleStdDev();
+    case MomentStatistic::kSkewness:
+      return moments.Skewness();
+  }
+  return 0.0;
+}
+
+StatisticFn MomentStatisticFn(MomentStatistic statistic) {
+  return [statistic](std::span<const double> values) {
+    return EvaluateMomentStatistic(statistic, values);
+  };
+}
+
+Result<std::vector<double>> JackknifeGeneric(std::span<const double> values,
+                                             const StatisticFn& statistic) {
+  const size_t n = values.size();
+  if (n < 2) {
+    return Status::InvalidArgument("Jackknife requires at least 2 points");
+  }
+  std::vector<double> holdout(n - 1);
+  std::vector<double> estimates(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t k = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) holdout[k++] = values[j];
+    }
+    estimates[i] = statistic(holdout);
+  }
+  return estimates;
+}
+
+Result<std::vector<double>> JackknifeMoment(std::span<const double> values,
+                                            MomentStatistic statistic) {
+  const size_t n = values.size();
+  const size_t min_n = (statistic == MomentStatistic::kSkewness) ? 4 : 3;
+  if (n < min_n) {
+    return Status::InvalidArgument(
+        "JackknifeMoment requires more observations");
+  }
+  // Raw power sums; leave-one-out sums are O(1) each.
+  double p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  for (const double x : values) {
+    p1 += x;
+    p2 += x * x;
+    p3 += x * x * x;
+  }
+  std::vector<double> estimates(n);
+  const double m = static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = values[i];
+    const double s1 = p1 - x;
+    const double s2 = p2 - x * x;
+    const double s3 = p3 - x * x * x;
+    const double mean = s1 / m;
+    // Central moments of the leave-one-out sample from raw sums.
+    const double c2 = s2 / m - mean * mean;
+    const double c3 = s3 / m - 3.0 * mean * (s2 / m) + 2.0 * mean * mean * mean;
+    switch (statistic) {
+      case MomentStatistic::kMean:
+        estimates[i] = mean;
+        break;
+      case MomentStatistic::kVariance:
+        estimates[i] = (m > 1.0) ? c2 * m / (m - 1.0) : 0.0;
+        break;
+      case MomentStatistic::kStdDev:
+        estimates[i] =
+            (m > 1.0 && c2 > 0.0) ? std::sqrt(c2 * m / (m - 1.0)) : 0.0;
+        break;
+      case MomentStatistic::kSkewness:
+        estimates[i] = (c2 > 0.0) ? c3 / std::pow(c2, 1.5) : 0.0;
+        break;
+    }
+  }
+  return estimates;
+}
+
+Result<double> JackknifeAcceleration(
+    std::span<const double> jackknife_estimates) {
+  if (jackknife_estimates.size() < 2) {
+    return Status::InvalidArgument(
+        "JackknifeAcceleration requires at least 2 replicates");
+  }
+  double sum = 0.0;
+  for (const double t : jackknife_estimates) sum += t;
+  const double mean = sum / static_cast<double>(jackknife_estimates.size());
+  double sum_sq = 0.0, sum_cu = 0.0;
+  for (const double t : jackknife_estimates) {
+    const double d = mean - t;
+    sum_sq += d * d;
+    sum_cu += d * d * d;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum_cu / (6.0 * std::pow(sum_sq, 1.5));
+}
+
+}  // namespace vastats

@@ -1,0 +1,51 @@
+// Jackknife (leave-one-out) resampling.
+//
+// Used by the BCa confidence-interval method (Efron 1987), which needs the
+// acceleration constant a-hat computed from leave-one-out replicates of the
+// point estimator. Moment statistics (mean/variance/skewness) have an O(n)
+// fast path based on raw power sums; arbitrary statistics fall back to the
+// O(n^2) generic path.
+
+#ifndef VASTATS_STATS_JACKKNIFE_H_
+#define VASTATS_STATS_JACKKNIFE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vastats {
+
+// A statistic evaluated over a sample (e.g. mean, variance, skewness).
+using StatisticFn = std::function<double(std::span<const double>)>;
+
+// The moment statistics the paper reports (Table 2 / Algorithm 1).
+enum class MomentStatistic { kMean, kVariance, kStdDev, kSkewness };
+
+// Evaluates a moment statistic over `values` (variance is unbiased,
+// skewness is gamma_1); convenience for building StatisticFn closures.
+double EvaluateMomentStatistic(MomentStatistic statistic,
+                               std::span<const double> values);
+
+// Returns a StatisticFn wrapper for `statistic`.
+StatisticFn MomentStatisticFn(MomentStatistic statistic);
+
+// Leave-one-out replicates of an arbitrary statistic. O(n^2) evaluations of
+// O(n) work each. Requires at least 2 observations.
+Result<std::vector<double>> JackknifeGeneric(std::span<const double> values,
+                                             const StatisticFn& statistic);
+
+// Leave-one-out replicates of a moment statistic in O(n) total, using raw
+// power sums. Requires at least 3 observations (4 for skewness).
+Result<std::vector<double>> JackknifeMoment(std::span<const double> values,
+                                            MomentStatistic statistic);
+
+// BCa acceleration a-hat = sum((tbar - ti)^3) / (6 * (sum((tbar - ti)^2))^1.5)
+// over the leave-one-out replicates; 0 when the replicates are constant.
+Result<double> JackknifeAcceleration(
+    std::span<const double> jackknife_estimates);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_JACKKNIFE_H_

@@ -1,0 +1,51 @@
+// Kolmogorov-Smirnov goodness-of-fit utilities.
+//
+// Used by the test suite and the validation harnesses to check sampler
+// correctness *statistically*: e.g. that uniS's empirical answer
+// distribution matches the exhaustive permutation enumeration, or that two
+// sampler implementations draw from the same distribution.
+
+#ifndef VASTATS_STATS_KS_TEST_H_
+#define VASTATS_STATS_KS_TEST_H_
+
+#include <functional>
+#include <span>
+
+#include "util/status.h"
+
+namespace vastats {
+
+// One-sample KS statistic D_n = sup_x |F_n(x) - F(x)| against a reference
+// CDF. Requires a non-empty sample. The CDF must be *continuous*; for
+// distributions with atoms use KsStatisticDiscrete (the order-statistic
+// formula used here overestimates D at ties).
+Result<double> KsStatistic(std::span<const double> samples,
+                           const std::function<double(double)>& cdf);
+
+// One-sample KS statistic against a discrete distribution given by its
+// atoms (strictly ascending) and their probabilities (non-negative, summing
+// to ~1). Evaluates the supremum at each atom and just left of it, which is
+// where it can occur. The Kolmogorov p-value is conservative for discrete
+// distributions.
+Result<double> KsStatisticDiscrete(std::span<const double> samples,
+                                   std::span<const double> atoms,
+                                   std::span<const double> probabilities);
+
+// Two-sample KS statistic sup_x |F_n(x) - G_m(x)|.
+Result<double> KsStatisticTwoSample(std::span<const double> a,
+                                    std::span<const double> b);
+
+// The Kolmogorov distribution K(x) = P(sup|B(t)| <= x)
+// = 1 - 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); 0 for x <= 0.
+double KolmogorovCdf(double x);
+
+// Asymptotic p-value of the one-sample statistic `d` at sample size n
+// (with the Stephens small-sample correction).
+Result<double> KsPValue(double d, int n);
+
+// Asymptotic p-value of the two-sample statistic for sizes n and m.
+Result<double> KsPValueTwoSample(double d, int n, int m);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_KS_TEST_H_

@@ -1,0 +1,116 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vastats {
+
+Result<std::vector<CsvRow>> ParseCsv(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // Handled together with the following '\n'.
+      case '\n':
+        if (row_has_content || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("ParseCsv: unterminated quoted field");
+  }
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(std::string& out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string FormatCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open CSV file for write: " + path);
+  out << FormatCsv(rows);
+  if (!out) return Status::Internal("error writing CSV file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace vastats

@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing.
+//
+// Supports the subset of RFC 4180 the project needs: comma separation,
+// double-quote quoting with "" escapes, and both \n and \r\n line endings.
+// Used to export synthetic archives and experiment series for plotting.
+
+#ifndef VASTATS_UTIL_CSV_H_
+#define VASTATS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vastats {
+
+using CsvRow = std::vector<std::string>;
+
+// Parses CSV text into rows of fields. Empty trailing line is ignored.
+Result<std::vector<CsvRow>> ParseCsv(const std::string& text);
+
+// Renders rows as CSV text, quoting fields that contain commas, quotes, or
+// newlines.
+std::string FormatCsv(const std::vector<CsvRow>& rows);
+
+// Reads and parses a CSV file from disk.
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path);
+
+// Writes rows to `path`, replacing any existing file.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows);
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_CSV_H_

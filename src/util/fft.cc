@@ -1,0 +1,121 @@
+#include "util/fft.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace vastats {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+Status Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("Fft size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative Cooley-Tukey butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<double> NaiveDct2(const std::vector<double>& input) {
+  const size_t n = input.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += input[i] * std::cos(kPi * (static_cast<double>(i) + 0.5) *
+                                 static_cast<double>(k) /
+                                 static_cast<double>(n));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<double> NaiveDct3(const std::vector<double>& input) {
+  const size_t n = input.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.5 * input[0];
+    for (size_t k = 1; k < n; ++k) {
+      sum += input[k] * std::cos(kPi * static_cast<double>(k) *
+                                 (static_cast<double>(i) + 0.5) /
+                                 static_cast<double>(n));
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> Dct2(const std::vector<double>& input) {
+  const size_t n = input.size();
+  if (n == 0) return Status::InvalidArgument("Dct2 input must be non-empty");
+  if (!IsPowerOfTwo(n) || n < 4) return NaiveDct2(input);
+
+  // Makhoul's reordering: v holds the even-indexed entries followed by the
+  // odd-indexed entries reversed; then y[k] = Re(exp(-i*pi*k/(2N)) * V[k]).
+  std::vector<std::complex<double>> v(n);
+  for (size_t i = 0; i * 2 < n; ++i) v[i] = input[2 * i];
+  for (size_t i = 0; 2 * i + 1 < n; ++i) v[n - 1 - i] = input[2 * i + 1];
+  VASTATS_RETURN_IF_ERROR(Fft(v, /*inverse=*/false));
+
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double angle = -kPi * static_cast<double>(k) /
+                         (2.0 * static_cast<double>(n));
+    const std::complex<double> tw(std::cos(angle), std::sin(angle));
+    out[k] = (tw * v[k]).real();
+  }
+  return out;
+}
+
+Result<std::vector<double>> Dct3(const std::vector<double>& input) {
+  const size_t n = input.size();
+  if (n == 0) return Status::InvalidArgument("Dct3 input must be non-empty");
+  if (!IsPowerOfTwo(n) || n < 4) return NaiveDct3(input);
+
+  // Inverse of the Makhoul DCT-II: rebuild V[k], inverse FFT, de-interleave.
+  std::vector<std::complex<double>> v(n);
+  v[0] = std::complex<double>(input[0], 0.0);
+  for (size_t k = 1; k < n; ++k) {
+    const double angle = kPi * static_cast<double>(k) /
+                         (2.0 * static_cast<double>(n));
+    const std::complex<double> tw(std::cos(angle), std::sin(angle));
+    v[k] = tw * std::complex<double>(input[k], -input[n - k]);
+  }
+  VASTATS_RETURN_IF_ERROR(Fft(v, /*inverse=*/true));
+
+  std::vector<double> out(n);
+  const double scale = 0.5;  // Matches the Dct3 convention in the header.
+  for (size_t i = 0; i * 2 < n; ++i) {
+    out[2 * i] = scale * v[i].real();
+  }
+  for (size_t i = 0; 2 * i + 1 < n; ++i) {
+    out[2 * i + 1] = scale * v[n - 1 - i].real();
+  }
+  return out;
+}
+
+}  // namespace vastats

@@ -1,0 +1,45 @@
+// Radix-2 FFT and discrete cosine transforms.
+//
+// Used by the density layer: the Botev-Grotowski-Kroese bandwidth selector
+// works in the DCT domain, and the linear-binned KDE path convolves bin
+// counts with a Gaussian kernel via the DCT (equivalently, an FFT with
+// reflective boundary handling).
+//
+// Conventions:
+//   Fft:  X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N)      (unnormalized)
+//   Dct2: y[k] = sum_n x[n] * cos(pi*(n+0.5)*k/N)     (unnormalized)
+//   Dct3: x[n] = 0.5*y[0] + sum_{k>=1} y[k]*cos(pi*k*(n+0.5)/N)
+// so Dct3(Dct2(x)) == (N/2) * x.
+
+#ifndef VASTATS_UTIL_FFT_H_
+#define VASTATS_UTIL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vastats {
+
+// In-place FFT of `data`; size must be a power of two (and non-empty).
+// When `inverse` is true, computes the unnormalized inverse transform
+// (divide by N afterwards to invert Fft).
+Status Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+// DCT-II of `input`. Uses the O(N log N) FFT path for power-of-two sizes and
+// an O(N^2) direct evaluation otherwise.
+Result<std::vector<double>> Dct2(const std::vector<double>& input);
+
+// DCT-III of `input` (see the convention above).
+Result<std::vector<double>> Dct3(const std::vector<double>& input);
+
+// O(N^2) reference implementations used by tests to validate the fast paths.
+std::vector<double> NaiveDct2(const std::vector<double>& input);
+std::vector<double> NaiveDct3(const std::vector<double>& input);
+
+// True when n is a non-zero power of two.
+bool IsPowerOfTwo(size_t n);
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_FFT_H_

@@ -1,0 +1,131 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vastats {
+
+void JsonWriter::AppendEscaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma handling needed
+  }
+  if (needs_comma_.back()) out_.push_back(',');
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (needs_comma_.back()) out_.push_back(',');
+  needs_comma_.back() = true;
+  AppendEscaped(out_, name);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(out_, value);
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::KeyValue(std::string_view name, std::string_view value) {
+  Key(name);
+  String(value);
+}
+
+void JsonWriter::KeyValue(std::string_view name, double value) {
+  Key(name);
+  Number(value);
+}
+
+void JsonWriter::KeyValue(std::string_view name, int64_t value) {
+  Key(name);
+  Int(value);
+}
+
+void JsonWriter::KeyValue(std::string_view name, bool value) {
+  Key(name);
+  Bool(value);
+}
+
+}  // namespace vastats

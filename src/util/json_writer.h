@@ -1,0 +1,76 @@
+// Minimal JSON emitter (objects, arrays, strings, numbers, booleans, null)
+// used to publish answer statistics to downstream consumers. Writing only;
+// the library has no need to parse JSON.
+
+#ifndef VASTATS_UTIL_JSON_WRITER_H_
+#define VASTATS_UTIL_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vastats {
+
+// Builds a JSON document incrementally:
+//
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("mean");
+//   json.Number(92.7);
+//   json.Key("intervals");
+//   json.BeginArray();
+//   ...
+//   json.EndArray();
+//   json.EndObject();
+//   std::string text = std::move(json).Finish();
+//
+// The writer inserts commas automatically. Mis-nesting (EndArray without
+// BeginArray etc.) is a programmer error and aborts in debug builds via the
+// internal checks; Finish() returns whatever was built.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Writes an object key; must be followed by exactly one value.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  // Non-finite doubles are emitted as null (JSON has no NaN/inf).
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key + value. The const char* overload exists because a
+  // string literal would otherwise prefer the bool overload (pointer->bool
+  // is a standard conversion, beating the user-defined string_view one).
+  void KeyValue(std::string_view name, std::string_view value);
+  void KeyValue(std::string_view name, const char* value) {
+    KeyValue(name, std::string_view(value));
+  }
+  void KeyValue(std::string_view name, double value);
+  void KeyValue(std::string_view name, int64_t value);
+  void KeyValue(std::string_view name, bool value);
+
+  // Returns the document (call once, at the end).
+  std::string Finish() && { return std::move(out_); }
+  const std::string& Peek() const { return out_; }
+
+ private:
+  void BeforeValue();
+  static void AppendEscaped(std::string& out, std::string_view text);
+
+  std::string out_;
+  // Whether a comma is needed before the next value at each nesting level.
+  std::vector<bool> needs_comma_ = {false};
+  bool pending_key_ = false;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_JSON_WRITER_H_

@@ -1,0 +1,160 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace vastats {
+
+double NormalPdf(double x) { return std::exp(-0.5 * x * x) / kSqrt2Pi; }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+Result<double> NormalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::InvalidArgument("NormalQuantile requires p in (0,1), got " +
+                                   std::to_string(p));
+  }
+  // Acklam's approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step against the exact CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e * kSqrt2Pi * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+Result<double> RegularizedGammaP(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) {
+    return Status::InvalidArgument(
+        "RegularizedGammaP requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a, x) (modified Lentz).
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+Result<double> ChiSquareCdf(double x, double dof) {
+  if (!(dof > 0.0)) {
+    return Status::InvalidArgument("ChiSquareCdf requires dof > 0");
+  }
+  if (x < 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+Result<double> ChiSquareQuantile(double p, double dof) {
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::InvalidArgument(
+        "ChiSquareQuantile requires p in (0,1), got " + std::to_string(p));
+  }
+  if (!(dof > 0.0)) {
+    return Status::InvalidArgument("ChiSquareQuantile requires dof > 0");
+  }
+  // Wilson-Hilferty starting point.
+  VASTATS_ASSIGN_OR_RETURN(const double z, NormalQuantile(p));
+  const double wh = 1.0 - 2.0 / (9.0 * dof) + z * std::sqrt(2.0 / (9.0 * dof));
+  double x = dof * wh * wh * wh;
+  if (!(x > 0.0)) x = dof * 1e-6;
+
+  // Bracket the root, then bisect with Newton acceleration.
+  double lo = 0.0;
+  double hi = x;
+  for (int i = 0; i < 200; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const double cdf_hi, ChiSquareCdf(hi, dof));
+    if (cdf_hi >= p) break;
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    VASTATS_ASSIGN_OR_RETURN(const double cdf_x, ChiSquareCdf(x, dof));
+    const double err = cdf_x - p;
+    if (std::fabs(err) < 1e-13) break;
+    if (err > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the chi-square density; fall back to bisection when
+    // it leaves the bracket.
+    const double log_pdf = (dof / 2.0 - 1.0) * std::log(x) - x / 2.0 -
+                           std::lgamma(dof / 2.0) -
+                           (dof / 2.0) * std::log(2.0);
+    const double pdf = std::exp(log_pdf);
+    double next = (pdf > 0.0) ? x - err / pdf : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  return x;
+}
+
+Result<double> LogBinomial(int64_t n, int64_t k) {
+  if (n < 0 || k < 0 || k > n) {
+    return Status::InvalidArgument("LogBinomial requires 0 <= k <= n");
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+bool IsFinite(double x) { return std::isfinite(x); }
+
+}  // namespace vastats

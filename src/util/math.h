@@ -1,0 +1,48 @@
+// Special functions and numeric helpers used by the statistics layers:
+// normal pdf/cdf/quantile, regularized incomplete gamma, chi-square
+// cdf/quantile, and log-binomial coefficients.
+
+#ifndef VASTATS_UTIL_MATH_H_
+#define VASTATS_UTIL_MATH_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace vastats {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;
+
+// Standard normal density at `x`.
+double NormalPdf(double x);
+
+// Standard normal CDF at `x` (via erfc; accurate in both tails).
+double NormalCdf(double x);
+
+// Standard normal quantile (inverse CDF) for p in (0, 1).
+// Acklam's rational approximation refined with one Halley step
+// (absolute error far below 1e-12).
+Result<double> NormalQuantile(double p);
+
+// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0
+// (series for x < a+1, continued fraction otherwise).
+Result<double> RegularizedGammaP(double a, double x);
+
+// Chi-square CDF with `dof` degrees of freedom at x >= 0.
+Result<double> ChiSquareCdf(double x, double dof);
+
+// Chi-square quantile for p in (0, 1): Wilson-Hilferty start, then
+// bisection/Newton refinement against ChiSquareCdf.
+Result<double> ChiSquareQuantile(double p, double dof);
+
+// log(C(n, k)); returns -inf conceptually as error for invalid input.
+Result<double> LogBinomial(int64_t n, int64_t k);
+
+// True when x is finite (not NaN or +-inf).
+bool IsFinite(double x);
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_MATH_H_

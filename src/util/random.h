@@ -1,0 +1,90 @@
+// Deterministic, seedable random number generation.
+//
+// `Rng` wraps a xoshiro256++ engine seeded through splitmix64 and provides
+// the sampling primitives used across the library (uniforms, normals, gammas,
+// Cauchy draws, shuffles, bootstrap index resampling). Unlike the <random>
+// distributions, every draw is implemented here, so streams are reproducible
+// across standard library implementations — a requirement for the
+// experiment harnesses in bench/.
+//
+// Rng is cheap to construct and copy; distinct seeds give independent-looking
+// streams. Not thread-safe; use one Rng per thread.
+
+#ifndef VASTATS_UTIL_RANDOM_H_
+#define VASTATS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vastats {
+
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the engine; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+  result_type operator()() { return NextUint64(); }
+
+  // Returns the next raw 64-bit word from the engine.
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double Uniform01();
+
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal draw (Marsaglia polar method; one value cached).
+  double StandardNormal();
+
+  // Normal draw with the given mean and standard deviation (sigma >= 0).
+  double Normal(double mean, double sigma);
+
+  // Exponential draw with the given rate (lambda > 0).
+  double Exponential(double lambda);
+
+  // Cauchy draw with the given location and scale (scale > 0).
+  double Cauchy(double location, double scale);
+
+  // Gamma draw with the given shape k > 0 and scale theta > 0
+  // (Marsaglia-Tsang; handles k < 1 via the boosting transform).
+  double Gamma(double shape, double scale);
+
+  // In-place Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Returns a uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  // Returns `count` indices drawn uniformly with replacement from [0, n).
+  // This is the bootstrap resampling primitive. Requires n > 0.
+  std::vector<int> ResampleIndices(int n, int count);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_RANDOM_H_

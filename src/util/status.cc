@@ -1,0 +1,45 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vastats {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void DieBadAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T>::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vastats

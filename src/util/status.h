@@ -1,0 +1,156 @@
+// Error-handling primitives for the vastats library.
+//
+// The library does not use C++ exceptions. Fallible operations return either
+// a `Status` (for functions without a payload) or a `Result<T>` (a value or a
+// `Status`). This mirrors the error model of Arrow and RocksDB.
+//
+// Example:
+//   Result<GridDensity> density = EstimateKde(samples, options);
+//   if (!density.ok()) return density.status();
+//   Use(density.value());
+
+#ifndef VASTATS_UTIL_STATUS_H_
+#define VASTATS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vastats {
+
+// Machine-readable category for a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+// The outcome of a fallible operation: either OK, or a code plus a message.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value of type `T` or the `Status` explaining why it is absent.
+//
+// `value()` may only be called when `ok()`; this is checked and aborts on
+// violation (programmer error, not a recoverable condition).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return SomeStatus;` and `return SomeT;` both
+  // work inside functions returning Result<T>.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Aborts the process with `what` on programmer error (bad Result access).
+[[noreturn]] void DieBadAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckHasValue() const {
+  if (!ok()) internal::DieBadAccess(status_);
+}
+
+}  // namespace vastats
+
+// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define VASTATS_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::vastats::Status vastats_status_ = (expr);       \
+    if (!vastats_status_.ok()) return vastats_status_; \
+  } while (false)
+
+// Evaluates `expr` (a Result<T>); on success assigns the value to `lhs`,
+// otherwise returns the error from the enclosing function.
+#define VASTATS_ASSIGN_OR_RETURN(lhs, expr)            \
+  VASTATS_ASSIGN_OR_RETURN_IMPL(                       \
+      VASTATS_STATUS_CONCAT(vastats_result_, __LINE__), lhs, expr)
+
+#define VASTATS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define VASTATS_STATUS_CONCAT(a, b) VASTATS_STATUS_CONCAT_IMPL(a, b)
+#define VASTATS_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // VASTATS_UTIL_STATUS_H_

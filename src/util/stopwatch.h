@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch for the benchmark harnesses.
+
+#ifndef VASTATS_UTIL_STOPWATCH_H_
+#define VASTATS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vastats {
+
+// Starts on construction; `ElapsedSeconds` may be called repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_STOPWATCH_H_

@@ -1,0 +1,322 @@
+#include "core/cio.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+using testing::Bump;
+using testing::MakeBumpDensity;
+
+TEST(CioOptionsTest, Validation) {
+  CioOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.theta = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.theta = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.min_mode_relative_height = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.max_modes = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(GreedyCioTest, UnimodalMatchesClassicalInterval) {
+  // For a single Gaussian, the theta-coverage solution is the central
+  // interval of half-width z_{(1+theta)/2} * sigma.
+  const GridDensity density =
+      MakeBumpDensity(-6.0, 6.0, 4097, {{1.0, 0.0, 1.0}});
+  CioOptions options;
+  options.theta = 0.9;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->intervals.size(), 1u);
+  EXPECT_GE(result->total_coverage, 0.89);
+  const double z = NormalQuantile(0.95).value();
+  EXPECT_NEAR(result->intervals[0].lo, -z, 0.15);
+  EXPECT_NEAR(result->intervals[0].hi, z, 0.15);
+}
+
+TEST(GreedyCioTest, CoverageAtLeastThetaWithTopUp) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097,
+      {{0.5, 8.0, 1.0}, {0.3, 20.0, 1.0}, {0.2, 32.0, 1.0}});
+  CioOptions options;
+  options.theta = 0.9;
+  options.top_up_to_theta = true;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->total_coverage, 0.9 - 1e-6);
+}
+
+TEST(GreedyCioTest, MultiModalReturnsIntervalPerMode) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097,
+      {{0.4, 8.0, 1.0}, {0.35, 20.0, 1.0}, {0.25, 32.0, 1.0}});
+  CioOptions options;
+  options.theta = 0.9;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 3u);
+  // Intervals should be disjoint, sorted, and each should contain a mode.
+  for (size_t i = 1; i < result->intervals.size(); ++i) {
+    EXPECT_GT(result->intervals[i].lo, result->intervals[i - 1].hi);
+  }
+  EXPECT_LE(result->intervals[0].lo, 8.0);
+  EXPECT_GE(result->intervals[0].hi, 8.0);
+}
+
+TEST(GreedyCioTest, ModeContainmentProperty) {
+  // Theorem 4.1: the reported intervals contain the largest modes.
+  const GridDensity density = MakeBumpDensity(
+      0.0, 60.0, 4097,
+      {{0.45, 10.0, 1.2}, {0.3, 30.0, 1.0}, {0.25, 50.0, 1.5}});
+  CioOptions options;
+  options.theta = 0.85;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  const std::vector<Mode> modes = density.FindModes(0.05);
+  for (size_t m = 0; m < std::min<size_t>(modes.size(),
+                                          result->intervals.size());
+       ++m) {
+    bool contained = false;
+    for (const CoverageInterval& interval : result->intervals) {
+      if (modes[m].x >= interval.lo && modes[m].x <= interval.hi) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "mode at " << modes[m].x << " not covered";
+  }
+}
+
+TEST(GreedyCioTest, IntervalsMuchShorterThanRangeOnPeakedDensity) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 100.0, 4097, {{0.6, 20.0, 1.0}, {0.4, 80.0, 1.0}});
+  CioOptions options;
+  options.theta = 0.9;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->total_length_fraction, 0.25);
+  EXPECT_GT(result->total_coverage, 0.5);
+}
+
+TEST(GreedyCioTest, PerIntervalCoverageSumsToTotal) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097, {{0.5, 10.0, 1.0}, {0.5, 30.0, 2.0}});
+  CioOptions options;
+  options.theta = 0.8;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (const CoverageInterval& interval : result->intervals) {
+    sum += interval.coverage;
+    EXPECT_GT(interval.coverage, 0.0);
+    EXPECT_LT(interval.lo, interval.hi);
+  }
+  EXPECT_NEAR(sum, result->total_coverage, 1e-9);
+  EXPECT_NEAR(result->TotalLength() / density.range(),
+              result->total_length_fraction, 1e-9);
+}
+
+TEST(GreedyCioTest, MergesOverlappingBasins) {
+  // Two modes so close their theta-level basins overlap: intervals merge.
+  const GridDensity density = MakeBumpDensity(
+      -10.0, 10.0, 4097, {{0.5, -1.0, 1.0}, {0.5, 1.0, 1.0}});
+  CioOptions options;
+  options.theta = 0.9;
+  options.top_up_to_theta = true;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 1u);
+}
+
+TEST(GreedyCioTest, ConstantDensityHasNoModes) {
+  const GridDensity density =
+      GridDensity::Create(0.0, 1.0, std::vector<double>(128, 1.0)).value();
+  CioOptions options;
+  EXPECT_EQ(GreedyCio(density, options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SlicingCioTest, ReachesTheta) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4096, {{0.6, 10.0, 1.0}, {0.4, 30.0, 1.5}});
+  const auto result = SlicingCio(density, 0.9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->total_coverage, 0.9 - 1e-6);
+}
+
+TEST(SlicingCioTest, GreedyOverOptimalRatioAtLeastOne) {
+  // The slicing baseline picks globally densest slices, so its total length
+  // is a lower bound for the greedy solution at equal coverage.
+  const GridDensity density = MakeBumpDensity(
+      0.0, 80.0, 4097,
+      {{0.35, 10.0, 1.0}, {0.25, 30.0, 2.0}, {0.2, 50.0, 0.8},
+       {0.2, 70.0, 1.6}});
+  CioOptions options;
+  options.theta = 0.9;
+  options.top_up_to_theta = true;
+  const auto greedy = GreedyCio(density, options);
+  ASSERT_TRUE(greedy.ok());
+  const auto optimal = SlicingCio(density, greedy->total_coverage - 1e-9);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_GE(greedy->TotalLength() / optimal->TotalLength(), 1.0 - 0.02);
+}
+
+TEST(SlicingCioTest, InputValidation) {
+  const GridDensity density =
+      MakeBumpDensity(0.0, 10.0, 512, {{1.0, 5.0, 1.0}});
+  EXPECT_FALSE(SlicingCio(density, 0.0).ok());
+  EXPECT_FALSE(SlicingCio(density, 1.0).ok());
+  EXPECT_FALSE(SlicingCio(density, 0.9, 1).ok());
+}
+
+TEST(DualCioTest, RespectsLengthBudget) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097, {{0.5, 10.0, 1.0}, {0.5, 30.0, 1.0}});
+  const double budget = 6.0;
+  const auto result = DualGreedyCio(density, budget);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->TotalLength(), budget * 1.05);
+  EXPECT_GT(result->total_coverage, 0.5);
+}
+
+TEST(DualCioTest, MoreBudgetMoreCoverage) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097, {{0.5, 10.0, 1.0}, {0.5, 30.0, 1.0}});
+  const auto small = DualGreedyCio(density, 2.0);
+  const auto large = DualGreedyCio(density, 12.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->total_coverage, small->total_coverage);
+}
+
+TEST(DualCioTest, TinyBudgetCentersOnTallestMode) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 40.0, 4097, {{0.7, 10.0, 1.0}, {0.3, 30.0, 1.0}});
+  const auto result = DualGreedyCio(density, 0.5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->intervals.size(), 1u);
+  EXPECT_LE(result->intervals[0].lo, 10.0);
+  EXPECT_GE(result->intervals[0].hi, 10.0);
+  EXPECT_FALSE(DualGreedyCio(density, 0.0).ok());
+}
+
+TEST(CioOptionsTest, ProminenceValidation) {
+  CioOptions options;
+  options.min_mode_prominence = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.min_mode_prominence = -0.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.min_mode_prominence = 0.5;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(GreedyCioTest, ProminenceFilterIgnoresRipples) {
+  // A big hump with a flank ripple: with the prominence filter the greedy
+  // must see a single mode and return one interval.
+  const GridDensity density = testing::MakeAnalyticDensity(
+      -6.0, 6.0, 4097, [](double x) {
+        return NormalPdf(x) + 0.008 * NormalPdf((x - 1.2) / 0.05) / 0.05;
+      });
+  CioOptions options;
+  options.theta = 0.8;
+  options.min_mode_prominence = 0.2;
+  options.top_up_to_theta = true;
+  const auto result = GreedyCio(density, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->intervals.size(), 1u);
+  EXPECT_GE(result->total_coverage, 0.8 - 1e-6);
+}
+
+TEST(CioExpansionTest, SymmetricNeverShorterThanWaterLevel) {
+  // The symmetric rule extends each interval to the farther crossing, so at
+  // identical descent steps it is a superset of the water-level intervals.
+  const GridDensity density = MakeBumpDensity(
+      0.0, 60.0, 4097,
+      {{0.5, 10.0, 1.0}, {0.3, 30.0, 3.0}, {0.2, 50.0, 0.7}});
+  CioOptions water;
+  water.theta = 0.85;
+  CioOptions symmetric = water;
+  symmetric.expansion = CioExpansion::kSymmetric;
+  const auto w = GreedyCio(density, water);
+  const auto s = GreedyCio(density, symmetric);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(s->TotalLength() + 1e-9, w->TotalLength());
+  EXPECT_GE(s->total_coverage + 1e-9, w->total_coverage);
+}
+
+TEST(CioExpansionTest, EquivalentOnSymmetricDensity) {
+  // On a symmetric unimodal density both rules carve the same interval.
+  const GridDensity density =
+      MakeBumpDensity(-6.0, 6.0, 4097, {{1.0, 0.0, 1.0}});
+  CioOptions water;
+  water.theta = 0.9;
+  CioOptions symmetric = water;
+  symmetric.expansion = CioExpansion::kSymmetric;
+  const auto w = GreedyCio(density, water);
+  const auto s = GreedyCio(density, symmetric);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(w->TotalLength(), s->TotalLength(), 0.05);
+}
+
+TEST(CioExpansionTest, SymmetricPaysOnAsymmetricModes) {
+  // A mode with a heavy right shoulder: the symmetric interval must include
+  // the mirror image of the long side, wasting length on the thin side.
+  const GridDensity density = testing::MakeAnalyticDensity(
+      0.0, 30.0, 4097, [](double x) {
+        // Sharp rise at 10, slow exponential decay to the right, plus a
+        // second smaller bump so the descent has a level to stop at.
+        double f = 0.0;
+        if (x >= 10.0) f += std::exp(-(x - 10.0) / 3.0);
+        f += 0.25 * NormalPdf((x - 25.0) / 0.8) / 0.8;
+        return f;
+      });
+  CioOptions water;
+  water.theta = 0.7;
+  CioOptions symmetric = water;
+  symmetric.expansion = CioExpansion::kSymmetric;
+  const auto w = GreedyCio(density, water);
+  const auto s = GreedyCio(density, symmetric);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->TotalLength(), w->TotalLength() * 1.05);
+}
+
+// Property: the greedy total coverage never decreases as theta grows.
+class GreedyCioMonotoneInTheta : public ::testing::TestWithParam<double> {};
+
+TEST_P(GreedyCioMonotoneInTheta, CoverageGrowsWithTheta) {
+  const GridDensity density = MakeBumpDensity(
+      0.0, 60.0, 4097,
+      {{0.4, 10.0, 1.0}, {0.35, 30.0, 1.3}, {0.25, 50.0, 0.9}});
+  CioOptions lo_options;
+  lo_options.theta = GetParam();
+  lo_options.top_up_to_theta = true;
+  CioOptions hi_options = lo_options;
+  hi_options.theta = std::min(0.99, GetParam() + 0.15);
+  const auto lo = GreedyCio(density, lo_options);
+  const auto hi = GreedyCio(density, hi_options);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_GE(hi->total_coverage + 1e-9, lo->total_coverage);
+  EXPECT_GE(hi->TotalLength() + 1e-9, lo->TotalLength());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, GreedyCioMonotoneInTheta,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.8));
+
+}  // namespace
+}  // namespace vastats

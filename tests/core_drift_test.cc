@@ -1,0 +1,139 @@
+#include "core/drift.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(DriftOptionsTest, Validation) {
+  DriftOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.tolerance_factor = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(AssessDriftTest, IdenticalEpochsHaveZeroDrift) {
+  const GridDensity density =
+      testing::MakeBumpDensity(0.0, 10.0, 257, {{1.0, 5.0, 1.0}});
+  const auto report = AssessDrift(density, 4.0, density);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->realized_l2, 0.0, 1e-9);
+  EXPECT_NEAR(report->predicted_rms_l2, std::exp(-4.0), 1e-12);
+  EXPECT_FALSE(report->anomalous);
+}
+
+TEST(AssessDriftTest, LargeShiftFlaggedAgainstHighStability) {
+  const GridDensity before =
+      testing::MakeBumpDensity(0.0, 20.0, 513, {{1.0, 5.0, 1.0}});
+  const GridDensity after =
+      testing::MakeBumpDensity(0.0, 20.0, 513, {{1.0, 12.0, 1.0}});
+  // A very stable epoch (score 6 => predicted RMS drift ~0.0025) followed
+  // by a full mode relocation: clearly anomalous.
+  const auto report = AssessDrift(before, 6.0, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->realized_l2, 0.1);
+  EXPECT_GT(report->ratio, 10.0);
+  EXPECT_TRUE(report->anomalous);
+  // The same shift against a very unstable epoch (score -1 => predicted
+  // drift ~2.7) is ordinary.
+  const auto tolerant = AssessDrift(before, -1.0, after);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_FALSE(tolerant->anomalous);
+}
+
+TEST(AssessDriftTest, InfiniteStabilityMakesAnyDriftAnomalous) {
+  const GridDensity before =
+      testing::MakeBumpDensity(0.0, 10.0, 257, {{1.0, 4.0, 0.5}});
+  const GridDensity after =
+      testing::MakeBumpDensity(0.0, 10.0, 257, {{1.0, 4.2, 0.5}});
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto report = AssessDrift(before, inf, after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->anomalous);
+  const auto no_change = AssessDrift(before, inf, before);
+  ASSERT_TRUE(no_change.ok());
+  EXPECT_FALSE(no_change->anomalous);
+  EXPECT_FALSE(AssessDrift(before, std::nan(""), after).ok());
+}
+
+TEST(AssessDriftTest, EndToEndReextractionWithinPrediction) {
+  // Re-extracting the same unchanged workload with a different seed should
+  // drift far less than one churn event's worth.
+  const auto mixture = MakeD2(80);
+  SyntheticSourceSetOptions source_options;
+  source_options.num_sources = 30;
+  source_options.num_components = 60;
+  source_options.seed = 81;
+  SourceSet sources = BuildSyntheticSourceSet(*mixture, source_options).value();
+  const AggregateQuery query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 60);
+
+  ExtractorOptions options_a;
+  options_a.initial_sample_size = 300;
+  options_a.weight_probes = 10;
+  options_a.seed = 1;
+  ExtractorOptions options_b = options_a;
+  options_b.seed = 2;
+  const auto epoch_a = AnswerStatisticsExtractor::Create(&sources, query,
+                                                         options_a)
+                           ->Extract();
+  const auto epoch_b = AnswerStatisticsExtractor::Create(&sources, query,
+                                                         options_b)
+                           ->Extract();
+  ASSERT_TRUE(epoch_a.ok());
+  ASSERT_TRUE(epoch_b.ok());
+  const auto report = AssessDrift(*epoch_a, *epoch_b);
+  ASSERT_TRUE(report.ok());
+  // Pure re-sampling noise: the finite-sample KDE wobble is of the same
+  // order as the one-removal prediction (Theorem 4.2's expectation includes
+  // the same estimation noise), so it stays within the default tolerance.
+  EXPECT_LT(report->ratio, 3.0);
+  EXPECT_FALSE(report->anomalous);
+}
+
+TEST(AssessDriftTest, EndToEndMassRemovalExceedsPrediction) {
+  // Removing a third of the sources should move the distribution more than
+  // the single-removal prediction tolerates.
+  const auto mixture = MakeD2(90);
+  SyntheticSourceSetOptions source_options;
+  source_options.num_sources = 30;
+  source_options.num_components = 60;
+  source_options.min_copies = 3;
+  source_options.max_copies = 6;
+  source_options.conflict_sigma = 3.0;
+  source_options.seed = 91;
+  SourceSet sources = BuildSyntheticSourceSet(*mixture, source_options).value();
+  const AggregateQuery query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 60);
+
+  ExtractorOptions options;
+  options.initial_sample_size = 300;
+  options.weight_probes = 10;
+  const auto before =
+      AnswerStatisticsExtractor::Create(&sources, query, options)->Extract();
+  ASSERT_TRUE(before.ok());
+
+  // Knock out every third source's bindings (keeping coverage).
+  for (int s = 0; s < sources.NumSources(); s += 3) {
+    DataSource& source = sources.mutable_source(s);
+    for (const ComponentId component : source.SortedComponents()) {
+      if (sources.CoverageCount(component) > 1) source.Unbind(component);
+    }
+  }
+  const auto after =
+      AnswerStatisticsExtractor::Create(&sources, query, options)->Extract();
+  ASSERT_TRUE(after.ok());
+  const auto report = AssessDrift(*before, *after);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace vastats

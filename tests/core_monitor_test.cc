@@ -1,0 +1,170 @@
+#include "core/monitor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto d2 = MakeD2(50);
+    SyntheticSourceSetOptions options;
+    options.num_sources = 30;
+    options.num_components = 60;
+    options.min_copies = 3;
+    options.max_copies = 5;
+    options.seed = 51;
+    sources_ = BuildSyntheticSourceSet(*d2, options).value();
+    base_options_.initial_sample_size = 100;
+    base_options_.weight_probes = 5;
+  }
+
+  SourceSet sources_;
+  ExtractorOptions base_options_;
+};
+
+TEST_F(MonitorTest, RegisterRunsInitialExtraction) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const auto id =
+      monitor.Register(MakeRangeQuery("q0", AggregateKind::kSum, 0, 20));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(monitor.NumQueries(), 1);
+  const auto stats = monitor.Statistics(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->samples.size(), 100u);
+  EXPECT_EQ(monitor.RefreshCount(*id).value(), 1);
+  EXPECT_TRUE(monitor.Stability(*id).ok());
+}
+
+TEST_F(MonitorTest, RegisterRejectsUncoveredQuery) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  AggregateQuery bad = MakeRangeQuery("bad", AggregateKind::kSum, 0, 20);
+  bad.components.push_back(9999);
+  EXPECT_FALSE(monitor.Register(bad).ok());
+  EXPECT_EQ(monitor.NumQueries(), 0);
+}
+
+TEST_F(MonitorTest, RefreshOrderIsLeastStableFirst) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  std::vector<QueryId> ids;
+  for (int q = 0; q < 4; ++q) {
+    ids.push_back(monitor
+                      .Register(MakeRangeQuery("q" + std::to_string(q),
+                                               AggregateKind::kSum, q * 15,
+                                               15))
+                      .value());
+  }
+  const std::vector<QueryId> order = monitor.RefreshOrder();
+  ASSERT_EQ(order.size(), 4u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(monitor.Stability(order[i - 1]).value(),
+              monitor.Stability(order[i]).value());
+  }
+}
+
+TEST_F(MonitorTest, RefreshUpdatesCountAndStatistics) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const QueryId id =
+      monitor.Register(MakeRangeQuery("q", AggregateKind::kSum, 0, 30))
+          .value();
+  const double first_mean = monitor.Statistics(id)->mean.value;
+  ASSERT_TRUE(monitor.Refresh(id).ok());
+  EXPECT_EQ(monitor.RefreshCount(id).value(), 2);
+  // Different refresh seed => different samples => (almost surely) a
+  // slightly different mean estimate.
+  EXPECT_NE(monitor.Statistics(id)->mean.value, first_mean);
+}
+
+TEST_F(MonitorTest, RefreshLeastStableHonorsBudget) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(monitor
+                    .Register(MakeRangeQuery("q" + std::to_string(q),
+                                             AggregateKind::kSum, q * 15,
+                                             15))
+                    .ok());
+  }
+  const std::vector<QueryId> expected_order = monitor.RefreshOrder();
+  const auto refreshed = monitor.RefreshLeastStable(2);
+  ASSERT_TRUE(refreshed.ok());
+  ASSERT_EQ(refreshed->size(), 2u);
+  EXPECT_EQ((*refreshed)[0], expected_order[0]);
+  EXPECT_EQ((*refreshed)[1], expected_order[1]);
+  EXPECT_EQ(monitor.RefreshCount(expected_order[0]).value(), 2);
+  EXPECT_EQ(monitor.RefreshCount(expected_order[3]).value(), 1);
+}
+
+TEST_F(MonitorTest, BrokenCoverageReportedOnRefresh) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const QueryId id =
+      monitor.Register(MakeRangeQuery("q", AggregateKind::kSum, 0, 30))
+          .value();
+  // Make component 0 uncoverable by unbinding it everywhere.
+  for (int s = 0; s < sources_.NumSources(); ++s) {
+    sources_.mutable_source(s).Unbind(0);
+  }
+  EXPECT_FALSE(monitor.Refresh(id).ok());
+  // The stale statistics survive the failed refresh.
+  EXPECT_TRUE(monitor.Statistics(id).ok());
+  EXPECT_EQ(monitor.RefreshCount(id).value(), 1);
+  // RefreshLeastStable skips it and reports it as failed.
+  std::vector<QueryId> failed;
+  const auto refreshed = monitor.RefreshLeastStable(1, &failed);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_TRUE(refreshed->empty());
+  EXPECT_EQ(failed, (std::vector<QueryId>{id}));
+}
+
+TEST_F(MonitorTest, RefreshWithDriftReportsReextractionNoise) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const QueryId id =
+      monitor.Register(MakeRangeQuery("q", AggregateKind::kSum, 0, 30))
+          .value();
+  const auto report = monitor.RefreshWithDrift(id);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Nothing changed in the sources: the drift is re-sampling noise, within
+  // the default tolerance of the stability prediction.
+  EXPECT_GT(report->realized_l2, 0.0);
+  EXPECT_FALSE(report->anomalous);
+  EXPECT_EQ(monitor.RefreshCount(id).value(), 2);
+}
+
+TEST_F(MonitorTest, RefreshWithDriftFlagsStructuralChange) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const QueryId id =
+      monitor.Register(MakeRangeQuery("q", AggregateKind::kSum, 0, 30))
+          .value();
+  // A structural break: every value shifts by +50 (e.g. a unit/semantic
+  // regression upstream).
+  for (int s = 0; s < sources_.NumSources(); ++s) {
+    DataSource& source = sources_.mutable_source(s);
+    for (const ComponentId component : source.SortedComponents()) {
+      source.Bind(component, source.Value(component).value() + 50.0);
+    }
+  }
+  const auto report = monitor.RefreshWithDrift(id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->anomalous);
+  EXPECT_GT(report->ratio, 3.0);
+  // Broken ids still rejected.
+  EXPECT_FALSE(monitor.RefreshWithDrift(99).ok());
+}
+
+TEST_F(MonitorTest, InvalidIdsRejected) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  EXPECT_FALSE(monitor.Statistics(0).ok());
+  EXPECT_FALSE(monitor.Stability(-1).ok());
+  EXPECT_FALSE(monitor.Refresh(7).ok());
+  EXPECT_FALSE(monitor.RefreshCount(7).ok());
+  EXPECT_FALSE(monitor.RefreshLeastStable(0).ok());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,264 @@
+#include "core/stability.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(ChangeRatioTest, GeometricFormula) {
+  // c_r = 1 - (1 - y/D)^r.
+  EXPECT_NEAR(ChangeRatio(10.0, 100, 1, ChangeRatioEstimator::kGeometric)
+                  .value(),
+              0.1, 1e-12);
+  EXPECT_NEAR(ChangeRatio(10.0, 100, 2, ChangeRatioEstimator::kGeometric)
+                  .value(),
+              1.0 - 0.81, 1e-12);
+}
+
+TEST(ChangeRatioTest, CombinatorialFormula) {
+  // For r=1: c_r = 1 - C(D-y,1)/C(D,1) = y/D.
+  EXPECT_NEAR(ChangeRatio(10.0, 100, 1, ChangeRatioEstimator::kCombinatorial)
+                  .value(),
+              0.1, 1e-12);
+  // For r=2, D=10, y=3: 1 - C(7,2)/C(10,2) = 1 - 21/45.
+  EXPECT_NEAR(ChangeRatio(3.0, 10, 2, ChangeRatioEstimator::kCombinatorial)
+                  .value(),
+              1.0 - 21.0 / 45.0, 1e-12);
+}
+
+TEST(ChangeRatioTest, EstimatorsAgreeForSmallR) {
+  // Both estimators should be close when r << |D|.
+  for (const double y : {2.0, 5.0, 20.0}) {
+    const double geometric =
+        ChangeRatio(y, 100, 1, ChangeRatioEstimator::kGeometric).value();
+    const double combinatorial =
+        ChangeRatio(y, 100, 1, ChangeRatioEstimator::kCombinatorial).value();
+    EXPECT_NEAR(geometric, combinatorial, 0.01) << "y=" << y;
+  }
+}
+
+TEST(ChangeRatioTest, MonotoneInRAndY) {
+  double prev = 0.0;
+  for (int r = 1; r <= 5; ++r) {
+    const double c =
+        ChangeRatio(8.0, 100, r, ChangeRatioEstimator::kGeometric).value();
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  prev = 0.0;
+  for (const double y : {1.0, 4.0, 16.0, 64.0}) {
+    const double c =
+        ChangeRatio(y, 100, 1, ChangeRatioEstimator::kGeometric).value();
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ChangeRatioTest, Validation) {
+  EXPECT_FALSE(ChangeRatio(5.0, 1, 1, ChangeRatioEstimator::kGeometric).ok());
+  EXPECT_FALSE(
+      ChangeRatio(5.0, 100, 0, ChangeRatioEstimator::kGeometric).ok());
+  EXPECT_FALSE(
+      ChangeRatio(5.0, 100, 100, ChangeRatioEstimator::kGeometric).ok());
+  // y is clamped rather than rejected.
+  EXPECT_NEAR(ChangeRatio(1000.0, 100, 1, ChangeRatioEstimator::kGeometric)
+                  .value(),
+              1.0, 1e-12);
+}
+
+TEST(MutualImpactPsiTest, TruncatedMatchesExact) {
+  const std::vector<double> samples = testing::NormalSample(300, 1, 50.0, 10.0);
+  for (const double h : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(MutualImpactPsi(samples, h),
+                MutualImpactPsiExact(samples, h),
+                MutualImpactPsiExact(samples, h) * 1e-9 + 1e-9)
+        << "h=" << h;
+  }
+}
+
+TEST(MutualImpactPsiTest, CoincidentPointsGiveMaximalPsi) {
+  const std::vector<double> samples(20, 3.0);
+  // All pairs contribute exactly 1: C(20,2) = 190.
+  EXPECT_NEAR(MutualImpactPsi(samples, 1.0), 190.0, 1e-9);
+}
+
+TEST(MutualImpactPsiTest, FarApartPointsGiveZero) {
+  const std::vector<double> samples = {0.0, 1000.0, 2000.0};
+  EXPECT_NEAR(MutualImpactPsi(samples, 1.0), 0.0, 1e-12);
+}
+
+TEST(StabilityL2Test, CoincidentSamplesInfinitelyStable) {
+  const std::vector<double> samples(50, 7.0);
+  const auto score = StabilityL2(samples, 1.0, 0.1);
+  ASSERT_TRUE(score.ok());
+  EXPECT_TRUE(std::isinf(score.value()));
+}
+
+TEST(StabilityL2Test, TighterDistributionMoreStable) {
+  const std::vector<double> tight = testing::NormalSample(400, 2, 100.0, 1.0);
+  const std::vector<double> loose = testing::NormalSample(400, 3, 100.0, 30.0);
+  // Same bandwidth and change ratio isolates the spread effect.
+  const double tight_score = StabilityL2(tight, 1.0, 0.1).value();
+  const double loose_score = StabilityL2(loose, 1.0, 0.1).value();
+  EXPECT_GT(tight_score, loose_score);
+}
+
+TEST(StabilityL2Test, SmallerChangeRatioMoreStable) {
+  const std::vector<double> samples = testing::NormalSample(400, 4, 0.0, 5.0);
+  const double low = StabilityL2(samples, 1.0, 0.01).value();
+  const double high = StabilityL2(samples, 1.0, 0.5).value();
+  EXPECT_GT(low, high);
+}
+
+TEST(StabilityL2Test, Validation) {
+  const std::vector<double> samples = testing::NormalSample(50, 5);
+  EXPECT_FALSE(StabilityL2(samples, 0.0, 0.1).ok());
+  EXPECT_FALSE(StabilityL2(samples, 1.0, 0.0).ok());
+  EXPECT_FALSE(StabilityL2(samples, 1.0, 1.0).ok());
+  EXPECT_FALSE(StabilityL2(std::vector<double>{1.0}, 1.0, 0.1).ok());
+}
+
+TEST(StabilityBhTest, FormulaMatchesHandComputation) {
+  const std::vector<double> samples = {0.0, 2.0};
+  const double h = 1.0;
+  const double n = 2.0;
+  const double psi = std::exp(-4.0 / 4.0);
+  const double expected =
+      -std::log(1.0 / (2.0 * n * h * std::sqrt(M_PI)) +
+                psi / (n * n * h * std::sqrt(M_PI)));
+  EXPECT_NEAR(StabilityBhattacharyya(samples, h).value(), expected, 1e-12);
+}
+
+TEST(ComputeStabilityTest, ReportFieldsConsistent) {
+  const std::vector<double> samples = testing::NormalSample(200, 6, 10.0, 2.0);
+  const auto report = ComputeStability(samples, 0.5, 8.0, 100, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->bandwidth, 0.5);
+  EXPECT_DOUBLE_EQ(report->y, 8.0);
+  EXPECT_EQ(report->r, 1);
+  EXPECT_NEAR(report->change_ratio, 0.08, 1e-12);
+  EXPECT_NEAR(report->psi, MutualImpactPsiExact(samples, 0.5), 1e-6);
+  EXPECT_DOUBLE_EQ(report->stab_l2,
+                   StabilityL2(samples, 0.5, report->change_ratio).value());
+  EXPECT_DOUBLE_EQ(report->stab_bh,
+                   StabilityBhattacharyya(samples, 0.5).value());
+}
+
+// End-to-end agreement: the analytic L2 score should rank workloads the same
+// way the simulation baseline does.
+struct StabilityWorkload {
+  SourceSet sources;
+  AggregateQuery query;
+};
+
+StabilityWorkload MakeWorkload(double conflict_sigma, uint64_t seed) {
+  const auto mixture = MakeD2(seed);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 40;
+  options.num_components = 60;
+  options.min_copies = 3;
+  options.max_copies = 6;
+  options.conflict_sigma = conflict_sigma;
+  options.seed = seed + 1;
+  StabilityWorkload workload{
+      BuildSyntheticSourceSet(*mixture, options).value(),
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 60)};
+  return workload;
+}
+
+TEST(StabilityAgreementTest, AnalyticMatchesSimulationRanking) {
+  // The analytic Theorem-4.2 score must rank workloads the same way the
+  // brute-force removal simulation does. (Note the direction: the L2
+  // distance is scale-sensitive, so a *tighter* answer distribution — with
+  // larger point-wise density values and a smaller KDE bandwidth — shows a
+  // larger absolute L2 change on source removal and thus a *lower* score.)
+  double analytic[2], simulated[2];
+  const double sigmas[2] = {0.05, 5.0};
+  for (int w = 0; w < 2; ++w) {
+    StabilityWorkload workload = MakeWorkload(sigmas[w], 77 + w);
+    const UniSSampler sampler =
+        UniSSampler::Create(&workload.sources, workload.query).value();
+    Rng rng(99);
+    const std::vector<double> samples = sampler.Sample(300, rng).value();
+
+    KdeOptions kde_options;
+    kde_options.rule = BandwidthRule::kSilverman;
+    const Kde kde = EstimateKde(samples, kde_options).value();
+    const double y = sampler.EstimateSourcesPerAnswer(30, rng).value();
+    analytic[w] = StabilityL2(samples, kde.bandwidth,
+                              ChangeRatio(y, 40, 1,
+                                          ChangeRatioEstimator::kGeometric)
+                                  .value())
+                      .value();
+
+    SimulatedStabilityOptions sim_options;
+    sim_options.trials = 12;
+    sim_options.samples_per_trial = 150;
+    sim_options.kde = kde_options;
+    simulated[w] =
+        SimulateStability(sampler, kde.density, sim_options, rng).value();
+  }
+  ASSERT_NE(analytic[0], analytic[1]);
+  ASSERT_NE(simulated[0], simulated[1]);
+  EXPECT_EQ(analytic[0] < analytic[1], simulated[0] < simulated[1])
+      << "analytic: " << analytic[0] << " vs " << analytic[1]
+      << ", simulated: " << simulated[0] << " vs " << simulated[1];
+  // The analytic score should also be in the same ballpark as the
+  // simulation, not just ordered consistently.
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_NEAR(analytic[w], simulated[w], 2.0) << "workload " << w;
+  }
+}
+
+TEST(DeviationMapTest, LowConflictWorkloadHasSmallDeviations) {
+  StabilityWorkload workload = MakeWorkload(0.05, 123);
+  const UniSSampler sampler =
+      UniSSampler::Create(&workload.sources, workload.query).value();
+  Rng rng(5);
+  const std::vector<double> base = sampler.Sample(300, rng).value();
+  const double base_mean = ComputeMoments(base).mean();
+  const auto map = DeviationMap(sampler, base_mean, 100, rng);
+  ASSERT_TRUE(map.ok());
+  EXPECT_GT(map->size(), 30u);  // most single removals keep coverage
+  for (const DeviationPoint& point : *map) {
+    EXPECT_GE(point.relative_deviation, 0.0);
+    EXPECT_LT(point.relative_deviation, 0.05);
+  }
+}
+
+TEST(DeviationMapTest, Validation) {
+  StabilityWorkload workload = MakeWorkload(1.0, 5);
+  const UniSSampler sampler =
+      UniSSampler::Create(&workload.sources, workload.query).value();
+  Rng rng(6);
+  EXPECT_FALSE(DeviationMap(sampler, 10.0, 0, rng).ok());
+  EXPECT_FALSE(DeviationMap(sampler, 0.0, 10, rng).ok());
+}
+
+TEST(SimulateStabilityTest, Validation) {
+  StabilityWorkload workload = MakeWorkload(1.0, 7);
+  const UniSSampler sampler =
+      UniSSampler::Create(&workload.sources, workload.query).value();
+  Rng rng(8);
+  KdeOptions kde_options;
+  const Kde kde =
+      EstimateKde(sampler.Sample(100, rng).value(), kde_options).value();
+  SimulatedStabilityOptions options;
+  options.trials = 0;
+  EXPECT_FALSE(SimulateStability(sampler, kde.density, options, rng).ok());
+  options = {};
+  options.r = 40;  // == num_sources
+  EXPECT_FALSE(SimulateStability(sampler, kde.density, options, rng).ok());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,71 @@
+#include "core/uncertain_export.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+CoverageResult MakeCoverage() {
+  CoverageResult coverage;
+  coverage.intervals.push_back(CoverageInterval{0.0, 2.0, 0.6});
+  coverage.intervals.push_back(CoverageInterval{5.0, 6.0, 0.3});
+  coverage.total_coverage = 0.9;
+  coverage.total_length_fraction = 0.3;
+  return coverage;
+}
+
+TEST(UncertainExportTest, RawProbabilitiesAreCoverages) {
+  const auto attribute =
+      ToUncertainAttribute(MakeCoverage(), "temp", /*normalized=*/false);
+  ASSERT_TRUE(attribute.ok());
+  EXPECT_EQ(attribute->name, "temp");
+  ASSERT_EQ(attribute->alternatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(attribute->alternatives[0].probability, 0.6);
+  EXPECT_DOUBLE_EQ(attribute->alternatives[1].probability, 0.3);
+  EXPECT_NEAR(attribute->TotalProbability(), 0.9, 1e-12);
+}
+
+TEST(UncertainExportTest, NormalizedProbabilitiesSumToOne) {
+  const auto attribute =
+      ToUncertainAttribute(MakeCoverage(), "temp", /*normalized=*/true);
+  ASSERT_TRUE(attribute.ok());
+  EXPECT_NEAR(attribute->TotalProbability(), 1.0, 1e-12);
+  EXPECT_NEAR(attribute->alternatives[0].probability, 0.6 / 0.9, 1e-12);
+}
+
+TEST(UncertainExportTest, ExpectedValueUsesMidpoints) {
+  const auto attribute =
+      ToUncertainAttribute(MakeCoverage(), "temp", /*normalized=*/true);
+  ASSERT_TRUE(attribute.ok());
+  // Midpoints 1.0 and 5.5, weights 2/3 and 1/3.
+  EXPECT_NEAR(UncertainExpectedValue(*attribute).value(),
+              (2.0 / 3.0) * 1.0 + (1.0 / 3.0) * 5.5, 1e-12);
+}
+
+TEST(UncertainExportTest, ExpectedValueInvariantToNormalization) {
+  const auto raw =
+      ToUncertainAttribute(MakeCoverage(), "t", /*normalized=*/false);
+  const auto normalized =
+      ToUncertainAttribute(MakeCoverage(), "t", /*normalized=*/true);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_NEAR(UncertainExpectedValue(*raw).value(),
+              UncertainExpectedValue(*normalized).value(), 1e-12);
+}
+
+TEST(UncertainExportTest, Validation) {
+  CoverageResult empty;
+  EXPECT_FALSE(ToUncertainAttribute(empty, "x", false).ok());
+  CoverageResult zero;
+  zero.intervals.push_back(CoverageInterval{0.0, 1.0, 0.0});
+  zero.total_coverage = 0.0;
+  EXPECT_FALSE(ToUncertainAttribute(zero, "x", true).ok());
+  EXPECT_TRUE(ToUncertainAttribute(zero, "x", false).ok());
+  const auto attribute = ToUncertainAttribute(zero, "x", false);
+  EXPECT_FALSE(UncertainExpectedValue(*attribute).ok());
+}
+
+}  // namespace
+}  // namespace vastats

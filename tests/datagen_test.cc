@@ -1,0 +1,487 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/climate.h"
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "query/aggregate_query.h"
+#include "sampling/unis.h"
+#include "stats/descriptive.h"
+#include "util/csv.h"
+
+namespace vastats {
+namespace {
+
+TEST(DistributionsTest, NormalMatchesParameters) {
+  NormalDistribution dist(5.0, 2.0);
+  Rng rng(1);
+  Moments moments;
+  for (int i = 0; i < 50000; ++i) moments.Add(dist.Sample(rng));
+  EXPECT_NEAR(moments.mean(), 5.0, 0.05);
+  EXPECT_NEAR(moments.SampleStdDev(), 2.0, 0.05);
+}
+
+TEST(DistributionsTest, TruncatedCauchyStaysInClip) {
+  CauchyDistribution dist(10.0, 1.0, 5.0);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LE(x, 15.0);
+  }
+}
+
+TEST(DistributionsTest, GammaOffsetShiftsSupport) {
+  GammaDistribution dist(2.0, 1.0, 100.0);
+  Rng rng(3);
+  Moments moments;
+  for (int i = 0; i < 20000; ++i) moments.Add(dist.Sample(rng));
+  EXPECT_GT(moments.min(), 100.0);
+  EXPECT_NEAR(moments.mean(), 102.0, 0.1);  // offset + shape*scale
+}
+
+TEST(DistributionsTest, MixtureWeightsRespected) {
+  MixtureDistribution mixture;
+  mixture.AddComponent(3.0, std::make_unique<NormalDistribution>(0.0, 0.1));
+  mixture.AddComponent(1.0, std::make_unique<NormalDistribution>(100.0, 0.1));
+  Rng rng(4);
+  int high = 0;
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (mixture.Sample(rng) > 50.0) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kDraws, 0.25, 0.01);
+}
+
+TEST(DistributionsTest, MixtureIgnoresBadComponents) {
+  MixtureDistribution mixture;
+  mixture.AddComponent(0.0, std::make_unique<NormalDistribution>(0.0, 1.0));
+  mixture.AddComponent(-1.0, std::make_unique<NormalDistribution>(0.0, 1.0));
+  mixture.AddComponent(1.0, std::make_unique<NormalDistribution>(7.0, 0.01));
+  EXPECT_EQ(mixture.NumComponents(), 1u);
+  Rng rng(5);
+  EXPECT_NEAR(mixture.Sample(rng), 7.0, 0.1);
+}
+
+TEST(DistributionsTest, D2HasFourWellSeparatedClusters) {
+  const auto d2 = MakeD2(6);
+  ASSERT_EQ(d2->NumComponents(), 4u);
+  Rng rng(7);
+  std::vector<int> cluster_counts(4, 0);
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = d2->Sample(rng);
+    if (x < 22.5) {
+      ++cluster_counts[0];
+    } else if (x < 37.5) {
+      ++cluster_counts[1];
+    } else if (x < 52.5) {
+      ++cluster_counts[2];
+    } else {
+      ++cluster_counts[3];
+    }
+  }
+  // Weights 12:5:2:1 of 20 total.
+  EXPECT_NEAR(cluster_counts[0] / static_cast<double>(kDraws), 12.0 / 20.0,
+              0.02);
+  EXPECT_NEAR(cluster_counts[1] / static_cast<double>(kDraws), 5.0 / 20.0,
+              0.02);
+  EXPECT_NEAR(cluster_counts[2] / static_cast<double>(kDraws), 2.0 / 20.0,
+              0.01);
+  EXPECT_NEAR(cluster_counts[3] / static_cast<double>(kDraws), 1.0 / 20.0,
+              0.01);
+}
+
+TEST(DistributionsTest, D2DeterministicPerSeed) {
+  const auto a = MakeD2(9);
+  const auto b = MakeD2(9);
+  Rng rng_a(1), rng_b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a->Sample(rng_a), b->Sample(rng_b));
+  }
+}
+
+TEST(DistributionsTest, D3MixesThreeFamilies) {
+  const auto d3 = MakeD3(10);
+  ASSERT_EQ(d3->NumComponents(), 3u);
+  Rng rng(11);
+  Moments moments;
+  for (int i = 0; i < 30000; ++i) moments.Add(d3->Sample(rng));
+  // Gaussian around [10,20], Cauchy around [30,40], Gamma offset [50,60]:
+  // overall spread is wide but bounded by the Cauchy clip.
+  EXPECT_GT(moments.min(), -40.0);
+  EXPECT_LT(moments.max(), 110.0);
+  EXPECT_GT(moments.SampleStdDev(), 10.0);
+}
+
+TEST(SourceBuilderTest, OptionsValidation) {
+  SyntheticSourceSetOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_sources = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.min_copies = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.max_copies = 1000;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.unit_error_prob = 1.5;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(SourceBuilderTest, CoverageWithinBounds) {
+  const auto d2 = MakeD2(20);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 50;
+  options.num_components = 200;
+  options.min_copies = 2;
+  options.max_copies = 5;
+  options.seed = 21;
+  const auto set = BuildSyntheticSourceSet(*d2, options);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->NumSources(), 50);
+  for (ComponentId c = 0; c < 200; ++c) {
+    const int coverage = set->CoverageCount(c);
+    EXPECT_GE(coverage, 2) << "component " << c;
+    EXPECT_LE(coverage, 5) << "component " << c;
+  }
+  const std::vector<ComponentId> universe = set->Universe();
+  EXPECT_EQ(universe.size(), 200u);
+  EXPECT_EQ(universe.front(), 0);
+  EXPECT_EQ(universe.back(), 199);
+}
+
+TEST(SourceBuilderTest, SharedBaseNoiseKeepsValuesNear) {
+  const auto d2 = MakeD2(22);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 20;
+  options.num_components = 50;
+  options.min_copies = 3;
+  options.max_copies = 3;
+  options.conflict_model = ConflictModel::kSharedBaseNoise;
+  options.conflict_sigma = 0.1;
+  options.seed = 23;
+  const auto set = BuildSyntheticSourceSet(*d2, options);
+  ASSERT_TRUE(set.ok());
+  for (ComponentId c = 0; c < 50; ++c) {
+    const auto range = set->ValueRange(c);
+    ASSERT_TRUE(range.ok());
+    EXPECT_LT(range->second - range->first, 1.5) << "component " << c;
+  }
+}
+
+TEST(SourceBuilderTest, UnitErrorSourcesShiftValues) {
+  const auto d2 = MakeD2(24);
+  SyntheticSourceSetOptions clean;
+  clean.num_sources = 30;
+  clean.num_components = 100;
+  clean.seed = 25;
+  SyntheticSourceSetOptions dirty = clean;
+  dirty.unit_error_source_fraction = 0.5;
+  const auto clean_set = BuildSyntheticSourceSet(*d2, clean);
+  const auto dirty_set = BuildSyntheticSourceSet(*d2, dirty);
+  ASSERT_TRUE(clean_set.ok());
+  ASSERT_TRUE(dirty_set.ok());
+  // Fahrenheit conversion v*9/5+32 inflates the max bound far beyond D2's
+  // Celsius range (< ~66).
+  double clean_max = -1e30, dirty_max = -1e30;
+  for (ComponentId c = 0; c < 100; ++c) {
+    clean_max = std::max(clean_max, clean_set->ValueRange(c)->second);
+    dirty_max = std::max(dirty_max, dirty_set->ValueRange(c)->second);
+  }
+  EXPECT_LT(clean_max, 70.0);
+  EXPECT_GT(dirty_max, 80.0);
+}
+
+TEST(SourceBuilderTest, DeterministicPerSeed) {
+  const auto d2 = MakeD2(26);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 10;
+  options.num_components = 20;
+  options.seed = 27;
+  const auto a = BuildSyntheticSourceSet(*d2, options);
+  const auto d2_again = MakeD2(26);
+  const auto b = BuildSyntheticSourceSet(*d2_again, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_EQ(a->source(s).bindings(), b->source(s).bindings());
+  }
+}
+
+TEST(AddConflictComponentTest, BindsBothSources) {
+  const auto d2 = MakeD2(30);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 10;
+  options.num_components = 20;
+  options.seed = 31;
+  auto set = BuildSyntheticSourceSet(*d2, options);
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(AddConflictComponent(*set, 100, 2, 7, 10.0, 50.0).ok());
+  EXPECT_EQ(set->CoverageCount(100), 2);
+  EXPECT_DOUBLE_EQ(set->source(2).Value(100).value(), 10.0);
+  EXPECT_DOUBLE_EQ(set->source(7).Value(100).value(), 60.0);
+  const auto range = set->ValueRange(100);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->second - range->first, 50.0);
+}
+
+TEST(AddConflictComponentTest, Validation) {
+  const auto d2 = MakeD2(32);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 5;
+  options.num_components = 5;
+  options.min_copies = 1;
+  options.max_copies = 3;
+  options.seed = 33;
+  auto set = BuildSyntheticSourceSet(*d2, options);
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(AddConflictComponent(*set, 100, 1, 1, 1.0, 1.0).ok());
+  EXPECT_FALSE(AddConflictComponent(*set, 100, -1, 2, 1.0, 1.0).ok());
+  EXPECT_FALSE(AddConflictComponent(*set, 100, 0, 9, 1.0, 1.0).ok());
+  // Existing component ids are rejected.
+  EXPECT_FALSE(AddConflictComponent(*set, 0, 0, 1, 1.0, 1.0).ok());
+}
+
+TEST(AddConflictComponentTest, UniSAbsorbsShiftHalfTheTime) {
+  // With a two-source conflict component the aggregate picks up the shift
+  // with probability 1/2 — the mode-splitting mechanism of Figure 7(c)/(d).
+  const auto d2 = MakeD2(34);
+  SyntheticSourceSetOptions options;
+  options.num_sources = 20;
+  options.num_components = 10;
+  options.conflict_sigma = 0.0;
+  options.seed = 35;
+  auto set = BuildSyntheticSourceSet(*d2, options);
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(AddConflictComponent(*set, 500, 3, 11, 0.0, 1000.0).ok());
+  AggregateQuery query = MakeRangeQuery("sum", AggregateKind::kSum, 0, 10);
+  query.components.push_back(500);
+  const auto sampler = UniSSampler::Create(&*set, query);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(36);
+  const int kDraws = 2000;
+  const auto samples = sampler->Sample(kDraws, rng);
+  ASSERT_TRUE(samples.ok());
+  // The 1000-wide shift dwarfs the base sum; split at the midpoint of the
+  // observed range and count the shifted cluster.
+  const Moments moments = ComputeMoments(*samples);
+  const double midpoint = (moments.min() + moments.max()) / 2.0;
+  int shifted = 0;
+  for (const double v : *samples) {
+    if (v > midpoint) ++shifted;
+  }
+  EXPECT_NEAR(static_cast<double>(shifted) / kDraws, 0.5, 0.05);
+}
+
+TEST(ClimateArchiveTest, OptionsValidation) {
+  ClimateArchiveOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_districts = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.num_districts = options.num_stations + 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.missing_prob = 1.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+ClimateArchiveOptions SmallArchiveOptions() {
+  ClimateArchiveOptions options;
+  options.num_stations = 160;
+  options.num_districts = 10;
+  options.seed = 2006;
+  return options;
+}
+
+TEST(ClimateArchiveTest, StructureMatchesOptions) {
+  const auto archive = ClimateArchive::Build(SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->stations().size(), 160u);
+  std::set<int> districts;
+  for (const Station& station : archive->stations()) {
+    districts.insert(station.district);
+  }
+  EXPECT_EQ(districts.size(), 10u);  // every district populated
+}
+
+TEST(ClimateArchiveTest, TruthHasSeasonalShape) {
+  const auto archive = ClimateArchive::Build(SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  // Summer (July) warmer than winter (January) in every district.
+  for (int d = 0; d < 10; ++d) {
+    const double january =
+        archive->Truth(ClimateAttribute::kMeanTemperature, d, 1).value();
+    const double july =
+        archive->Truth(ClimateAttribute::kMeanTemperature, d, 7).value();
+    EXPECT_GT(july, january) << "district " << d;
+  }
+  EXPECT_FALSE(archive->Truth(ClimateAttribute::kMeanTemperature, 0, 13).ok());
+  EXPECT_FALSE(
+      archive->Truth(ClimateAttribute::kMeanTemperature, 99, 1).ok());
+}
+
+TEST(ClimateArchiveTest, ComponentIdsDisjointAcrossAttributes) {
+  std::set<ComponentId> ids;
+  for (int d = 0; d < 104; ++d) {
+    for (int m = 1; m <= 12; ++m) {
+      ids.insert(ClimateArchive::ComponentFor(
+          ClimateAttribute::kMeanTemperature, d, m));
+      ids.insert(
+          ClimateArchive::ComponentFor(ClimateAttribute::kTotalRainfall, d, m));
+    }
+  }
+  EXPECT_EQ(ids.size(), 104u * 12u * 2u);
+}
+
+TEST(ClimateArchiveTest, SourceSetCoversComponents) {
+  const auto archive = ClimateArchive::Build(SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  const auto sources = archive->MakeSourceSet();
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(sources->NumSources(), 160);
+  const auto components =
+      archive->Components(ClimateAttribute::kMeanTemperature, 1, 12);
+  ASSERT_TRUE(components.ok());
+  EXPECT_EQ(components->size(), 120u);
+  // 16 stations per district with 5% missing: coverage should be complete.
+  EXPECT_TRUE(sources->ValidateCoverage(*components).ok());
+  const double coverage = sources->AverageCoverage(*components).value();
+  EXPECT_GT(coverage, 12.0);
+  EXPECT_LE(coverage, 16.0);
+}
+
+TEST(ClimateArchiveTest, StationValuesNearDistrictTruth) {
+  ClimateArchiveOptions options = SmallArchiveOptions();
+  options.fahrenheit_station_fraction = 0.0;
+  const auto archive = ClimateArchive::Build(options);
+  ASSERT_TRUE(archive.ok());
+  const auto sources = archive->MakeSourceSet();
+  ASSERT_TRUE(sources.ok());
+  const ComponentId component =
+      ClimateArchive::ComponentFor(ClimateAttribute::kMeanTemperature, 3, 7);
+  const double truth =
+      archive->Truth(ClimateAttribute::kMeanTemperature, 3, 7).value();
+  const auto range = sources->ValueRange(component);
+  ASSERT_TRUE(range.ok());
+  EXPECT_NEAR(range->first, truth, 5.0);
+  EXPECT_NEAR(range->second, truth, 5.0);
+}
+
+TEST(ClimateArchiveTest, FahrenheitStationsCreateOutliers) {
+  ClimateArchiveOptions options = SmallArchiveOptions();
+  options.fahrenheit_station_fraction = 0.3;
+  options.seed = 77;
+  const auto archive = ClimateArchive::Build(options);
+  ASSERT_TRUE(archive.ok());
+  int fahrenheit = 0;
+  for (const Station& station : archive->stations()) {
+    if (station.reports_fahrenheit) ++fahrenheit;
+  }
+  EXPECT_GT(fahrenheit, 20);
+  EXPECT_LT(fahrenheit, 80);
+}
+
+TEST(ClimateArchiveTest, DailyLayerDisabledByDefault) {
+  const auto archive = ClimateArchive::Build(SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  EXPECT_FALSE(archive->DailyComponents(1, 30).ok());
+  EXPECT_FALSE(archive->DailyTruth(0, 1).ok());
+}
+
+TEST(ClimateArchiveTest, IntroductionAggregationScenario) {
+  // The paper's introduction: averaging June temperatures over BC "requires
+  // 1470 data points (49 cities in BC * 30 days), each of which could have
+  // several duplicates across the sources".
+  ClimateArchiveOptions options;
+  options.num_stations = 49 * 8;  // ~8 stations per district
+  options.num_districts = 49;
+  options.daily_month = 6;  // June: 30 days
+  options.fahrenheit_station_fraction = 0.0;  // no unit errors here
+  options.seed = 1470;
+  const auto archive = ClimateArchive::Build(options);
+  ASSERT_TRUE(archive.ok());
+
+  const auto components = archive->DailyComponents(1, 30);
+  ASSERT_TRUE(components.ok());
+  EXPECT_EQ(components->size(), 1470u);  // 49 * 30
+  EXPECT_FALSE(archive->DailyComponents(1, 31).ok());  // June has 30 days
+  EXPECT_FALSE(archive->DailyComponents(5, 2).ok());
+
+  const auto sources = archive->MakeSourceSet();
+  ASSERT_TRUE(sources.ok());
+  ASSERT_TRUE(sources->ValidateCoverage(*components).ok());
+  // Duplicates across the sources: ~8 stations per district, minus missing.
+  EXPECT_GT(sources->AverageCoverage(*components).value(), 4.0);
+
+  // Eq. (1.1): the correct average uses one value per data point; uniS
+  // samples exactly such assignments, and the answers hover around the
+  // ground-truth average.
+  AggregateQuery query;
+  query.name = "Average(Temp) June BC";
+  query.kind = AggregateKind::kAverage;
+  query.components = *components;
+  const auto sampler = UniSSampler::Create(&sources.value(), query);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(2);
+  const auto samples = sampler->Sample(100, rng);
+  ASSERT_TRUE(samples.ok());
+  double truth = 0.0;
+  for (int d = 0; d < 49; ++d) {
+    for (int day = 1; day <= 30; ++day) {
+      truth += archive->DailyTruth(d, day).value();
+    }
+  }
+  truth /= 1470.0;
+  EXPECT_NEAR(ComputeMoments(*samples).mean(), truth, 0.5);
+  // The daily trajectory actually varies within the month.
+  const double first = archive->DailyTruth(0, 1).value();
+  bool varies = false;
+  for (int day = 2; day <= 30; ++day) {
+    if (std::fabs(archive->DailyTruth(0, day).value() - first) > 0.5) {
+      varies = true;
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(ClimateArchiveTest, DailyComponentIdsDisjointFromMonthly) {
+  std::set<ComponentId> ids;
+  for (int d = 0; d < 104; ++d) {
+    for (int m = 1; m <= 12; ++m) {
+      ids.insert(ClimateArchive::ComponentFor(
+          ClimateAttribute::kMeanTemperature, d, m));
+      ids.insert(
+          ClimateArchive::ComponentFor(ClimateAttribute::kTotalRainfall, d, m));
+    }
+    for (int day = 1; day <= 31; ++day) {
+      ids.insert(ClimateArchive::DailyComponentFor(d, day));
+    }
+  }
+  EXPECT_EQ(ids.size(), 104u * (12u * 2u + 31u));
+}
+
+TEST(ClimateArchiveTest, CsvExportRoundTrips) {
+  ClimateArchiveOptions options = SmallArchiveOptions();
+  options.num_stations = 20;
+  options.num_districts = 4;
+  const auto archive = ClimateArchive::Build(options);
+  ASSERT_TRUE(archive.ok());
+  const std::string path = ::testing::TempDir() + "/climate_test.csv";
+  ASSERT_TRUE(archive->WriteCsv(path).ok());
+  const auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GT(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0],
+            (CsvRow{"station", "district", "attribute", "month", "value"}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vastats

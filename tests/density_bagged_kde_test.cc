@@ -1,0 +1,101 @@
+#include "density/bagged_kde.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace vastats {
+namespace {
+
+std::vector<std::vector<double>> MakeSets(const std::vector<double>& data,
+                                          int num_sets, uint64_t seed) {
+  Rng rng(seed);
+  BootstrapOptions options;
+  options.num_sets = num_sets;
+  return BootstrapSets(data, options, rng).value();
+}
+
+TEST(BaggedKdeTest, UnitMassAndCommonGrid) {
+  const std::vector<double> data = testing::NormalSample(300, 1, 4.0, 1.5);
+  const auto sets = MakeSets(data, 20, 2);
+  const auto bagged = EstimateBaggedKde(sets, data, KdeOptions{});
+  ASSERT_TRUE(bagged.ok());
+  EXPECT_NEAR(bagged->density.TotalMass(), 1.0, 1e-9);
+  EXPECT_EQ(bagged->set_bandwidths.size(), 20u);
+  EXPECT_GT(bagged->bandwidth, 0.0);
+  // Grid must cover all the data.
+  EXPECT_LT(bagged->density.x_min(), 0.0);
+  EXPECT_GT(bagged->density.x_max(), 8.0);
+}
+
+TEST(BaggedKdeTest, CloseToSingleKdeOnLargeData) {
+  const std::vector<double> data = testing::NormalSample(2000, 3, 0.0, 1.0);
+  const auto sets = MakeSets(data, 30, 4);
+  KdeOptions options;
+  options.rule = BandwidthRule::kSilverman;
+  const auto bagged = EstimateBaggedKde(sets, data, options);
+  const auto single = EstimateKde(data, options);
+  ASSERT_TRUE(bagged.ok());
+  ASSERT_TRUE(single.ok());
+  for (const double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    EXPECT_NEAR(bagged->density.ValueAt(x), single->density.ValueAt(x), 0.03)
+        << "x=" << x;
+  }
+}
+
+TEST(BaggedKdeTest, BaggingStabilizesDensityEstimates) {
+  // Point-wise variability of the bagged estimate across independent
+  // bootstrap draws should not exceed the variability of single-set KDEs.
+  const std::vector<double> data = testing::NormalSample(150, 5, 0.0, 1.0);
+  KdeOptions options;
+  options.rule = BandwidthRule::kSilverman;
+  options.x_min = -4.0;
+  options.x_max = 4.0;
+
+  Moments single_at_zero, bagged_at_zero;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sets = MakeSets(data, 25, 100 + static_cast<uint64_t>(trial));
+    const auto bagged = EstimateBaggedKde(sets, data, options);
+    ASSERT_TRUE(bagged.ok());
+    bagged_at_zero.Add(bagged->density.ValueAt(0.0));
+    const auto single = EstimateKde(sets[0], options);
+    ASSERT_TRUE(single.ok());
+    single_at_zero.Add(single->density.ValueAt(0.0));
+  }
+  EXPECT_LE(bagged_at_zero.SampleVariance(),
+            single_at_zero.SampleVariance() + 1e-12);
+}
+
+TEST(BaggedKdeTest, HonorsFixedRange) {
+  const std::vector<double> data = testing::NormalSample(100, 7, 2.0);
+  const auto sets = MakeSets(data, 5, 8);
+  KdeOptions options;
+  options.x_min = -10.0;
+  options.x_max = 14.0;
+  const auto bagged = EstimateBaggedKde(sets, data, options);
+  ASSERT_TRUE(bagged.ok());
+  EXPECT_DOUBLE_EQ(bagged->density.x_min(), -10.0);
+  EXPECT_DOUBLE_EQ(bagged->density.x_max(), 14.0);
+}
+
+TEST(BaggedKdeTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(EstimateBaggedKde({}, {}, KdeOptions{}).ok());
+  const std::vector<std::vector<double>> bad_sets = {{1.0}};
+  EXPECT_FALSE(EstimateBaggedKde(bad_sets, {}, KdeOptions{}).ok());
+}
+
+TEST(BaggedKdeTest, EmptyReferenceFallsBackToFirstSet) {
+  const std::vector<double> data = testing::NormalSample(100, 9);
+  const auto sets = MakeSets(data, 3, 10);
+  const auto bagged = EstimateBaggedKde(sets, {}, KdeOptions{});
+  ASSERT_TRUE(bagged.ok());
+  EXPECT_GT(bagged->bandwidth, 0.0);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,173 @@
+#include "density/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace vastats {
+namespace {
+
+GridDensity Gaussian(double mean, double sigma, double lo, double hi,
+                     size_t points = 2048) {
+  return testing::MakeAnalyticDensity(lo, hi, points, [&](double x) {
+    return NormalPdf((x - mean) / sigma) / sigma;
+  });
+}
+
+TEST(DistanceTest, IdenticalDensitiesAreZeroApart) {
+  const GridDensity p = Gaussian(0.0, 1.0, -8.0, 8.0);
+  EXPECT_NEAR(DensityDistance(p, p, DistanceKind::kL2).value(), 0.0, 1e-9);
+  EXPECT_NEAR(DensityDistance(p, p, DistanceKind::kSquaredL2).value(), 0.0,
+              1e-12);
+  EXPECT_NEAR(DensityDistance(p, p, DistanceKind::kTotalVariation).value(),
+              0.0, 1e-9);
+  EXPECT_NEAR(DensityDistance(p, p, DistanceKind::kHellinger).value(), 0.0,
+              1e-4);
+  // Bhattacharyya *coefficient* of identical normalized densities is 1.
+  EXPECT_NEAR(
+      DensityDistance(p, p, DistanceKind::kBhattacharyyaCoefficient).value(),
+      1.0, 1e-6);
+  EXPECT_NEAR(
+      DensityDistance(p, p, DistanceKind::kBhattacharyyaDistance).value(),
+      0.0, 1e-6);
+  EXPECT_NEAR(DensityDistance(p, p, DistanceKind::kKlDivergence).value(), 0.0,
+              1e-9);
+}
+
+TEST(DistanceTest, SymmetricKinds) {
+  const GridDensity p = Gaussian(0.0, 1.0, -8.0, 12.0);
+  const GridDensity q = Gaussian(3.0, 1.5, -8.0, 12.0);
+  for (const DistanceKind kind :
+       {DistanceKind::kL2, DistanceKind::kSquaredL2,
+        DistanceKind::kBhattacharyyaCoefficient,
+        DistanceKind::kBhattacharyyaDistance, DistanceKind::kHellinger,
+        DistanceKind::kTotalVariation}) {
+    EXPECT_NEAR(DensityDistance(p, q, kind).value(),
+                DensityDistance(q, p, kind).value(), 1e-9)
+        << DistanceKindToString(kind);
+  }
+}
+
+TEST(DistanceTest, SquaredL2MatchesClosedFormForGaussians) {
+  // For N(0,s) vs N(m,s): int (p-q)^2 = (1 - exp(-m^2/(4s^2))) / (s*sqrt(pi)).
+  const double s = 1.0, m = 2.0;
+  const GridDensity p = Gaussian(0.0, s, -10.0, 12.0, 8192);
+  const GridDensity q = Gaussian(m, s, -10.0, 12.0, 8192);
+  const double expected =
+      (1.0 - std::exp(-m * m / (4.0 * s * s))) / (s * std::sqrt(kPi));
+  EXPECT_NEAR(DensityDistance(p, q, DistanceKind::kSquaredL2).value(),
+              expected, 1e-4);
+  EXPECT_NEAR(DensityDistance(p, q, DistanceKind::kL2).value(),
+              std::sqrt(expected), 1e-4);
+}
+
+TEST(DistanceTest, BhattacharyyaCoefficientForShiftedGaussians) {
+  // BC(N(0,s), N(m,s)) = exp(-m^2 / (8 s^2)).
+  const double s = 1.0, m = 2.0;
+  const GridDensity p = Gaussian(0.0, s, -10.0, 12.0, 8192);
+  const GridDensity q = Gaussian(m, s, -10.0, 12.0, 8192);
+  EXPECT_NEAR(
+      DensityDistance(p, q, DistanceKind::kBhattacharyyaCoefficient).value(),
+      std::exp(-m * m / (8.0 * s * s)), 1e-4);
+}
+
+TEST(DistanceTest, DistanceGrowsWithSeparation) {
+  const GridDensity p = Gaussian(0.0, 1.0, -10.0, 20.0);
+  double prev_l2 = 0.0, prev_tv = 0.0;
+  for (const double shift : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const GridDensity q = Gaussian(shift, 1.0, -10.0, 20.0);
+    const double l2 = DensityDistance(p, q, DistanceKind::kL2).value();
+    const double tv =
+        DensityDistance(p, q, DistanceKind::kTotalVariation).value();
+    EXPECT_GT(l2, prev_l2);
+    EXPECT_GT(tv, prev_tv);
+    prev_l2 = l2;
+    prev_tv = tv;
+  }
+}
+
+TEST(DistanceTest, TotalVariationBounded) {
+  const GridDensity p = Gaussian(0.0, 0.5, -5.0, 45.0);
+  const GridDensity q = Gaussian(40.0, 0.5, -5.0, 45.0);
+  const double tv =
+      DensityDistance(p, q, DistanceKind::kTotalVariation).value();
+  EXPECT_GT(tv, 0.99);
+  EXPECT_LE(tv, 1.0 + 1e-6);
+}
+
+TEST(DistanceTest, DisjointSupportsBhattacharyyaDistanceFails) {
+  const GridDensity p = Gaussian(0.0, 0.1, -1.0, 1.0);
+  const GridDensity q = Gaussian(100.0, 0.1, 99.0, 101.0);
+  EXPECT_FALSE(
+      DensityDistance(p, q, DistanceKind::kBhattacharyyaDistance).ok());
+  // The coefficient itself is fine (it is just 0).
+  EXPECT_NEAR(
+      DensityDistance(p, q, DistanceKind::kBhattacharyyaCoefficient).value(),
+      0.0, 1e-9);
+}
+
+TEST(DistanceTest, KlDivergenceAsymmetric) {
+  const GridDensity p = Gaussian(0.0, 1.0, -8.0, 10.0);
+  const GridDensity q = Gaussian(2.0, 2.0, -8.0, 10.0);
+  const double pq = DensityDistance(p, q, DistanceKind::kKlDivergence).value();
+  const double qp = DensityDistance(q, p, DistanceKind::kKlDivergence).value();
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+  EXPECT_NE(pq, qp);
+}
+
+TEST(DistanceTest, DifferentGridsAreResampledConsistently) {
+  const GridDensity p = Gaussian(0.0, 1.0, -6.0, 6.0, 1024);
+  const GridDensity q = Gaussian(1.0, 1.0, -9.0, 7.0, 3000);
+  const GridDensity q_same_grid = Gaussian(1.0, 1.0, -6.0, 6.0, 1024);
+  const double cross = DensityDistance(p, q, DistanceKind::kL2).value();
+  const double same = DensityDistance(p, q_same_grid, DistanceKind::kL2).value();
+  EXPECT_NEAR(cross, same, 0.01);
+}
+
+// Property: metric axioms (triangle inequality) for the true metrics among
+// the distances, over random Gaussian-mixture triples.
+class DistanceTriangleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceTriangleProperty, L2AndHellingerSatisfyTriangle) {
+  Rng rng(GetParam());
+  auto random_density = [&]() {
+    std::vector<testing::Bump> bumps;
+    const int k = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < k; ++i) {
+      bumps.push_back(testing::Bump{rng.Uniform(0.2, 1.0),
+                                    rng.Uniform(-5.0, 5.0),
+                                    rng.Uniform(0.4, 1.5)});
+    }
+    return testing::MakeBumpDensity(-10.0, 10.0, 1024, bumps);
+  };
+  const GridDensity p = random_density();
+  const GridDensity q = random_density();
+  const GridDensity r = random_density();
+  for (const DistanceKind kind :
+       {DistanceKind::kL2, DistanceKind::kHellinger,
+        DistanceKind::kTotalVariation}) {
+    const double pq = DensityDistance(p, q, kind).value();
+    const double qr = DensityDistance(q, r, kind).value();
+    const double pr = DensityDistance(p, r, kind).value();
+    EXPECT_LE(pr, pq + qr + 1e-9) << DistanceKindToString(kind);
+    EXPECT_GE(pq, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceTriangleProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(DistanceKindToStringTest, AllNamed) {
+  EXPECT_EQ(DistanceKindToString(DistanceKind::kL2), "L2");
+  EXPECT_EQ(DistanceKindToString(DistanceKind::kSquaredL2), "L2^2");
+  EXPECT_EQ(DistanceKindToString(DistanceKind::kHellinger), "Hellinger");
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,77 @@
+#include "density/density_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "density/distance.h"
+#include "density/kde.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(DensityIoTest, RoundTripIsExact) {
+  const GridDensity original = testing::MakeBumpDensity(
+      -3.0, 17.0, 513, {{0.7, 2.0, 1.0}, {0.3, 12.0, 2.0}});
+  const auto restored = GridDensityFromCsv(GridDensityToCsv(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original.size());
+  EXPECT_DOUBLE_EQ(restored->x_min(), original.x_min());
+  EXPECT_DOUBLE_EQ(restored->x_max(), original.x_max());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->values()[i], original.values()[i]) << i;
+  }
+  // Distance between original and restored is exactly 0.
+  EXPECT_DOUBLE_EQ(
+      DensityDistance(original, *restored, DistanceKind::kSquaredL2).value(),
+      0.0);
+}
+
+TEST(DensityIoTest, KdeOutputRoundTrips) {
+  const std::vector<double> samples = testing::NormalSample(300, 9, 5.0, 2.0);
+  KdeOptions options;
+  options.grid_size = 256;
+  options.rule = BandwidthRule::kSilverman;
+  const auto kde = EstimateKde(samples, options);
+  ASSERT_TRUE(kde.ok());
+  const auto restored = GridDensityFromCsv(GridDensityToCsv(kde->density));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_NEAR(restored->TotalMass(), 1.0, 1e-9);
+}
+
+TEST(DensityIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(GridDensityFromCsv("").ok());
+  EXPECT_FALSE(GridDensityFromCsv("a,b\n1,2\n2,3\n").ok());
+  EXPECT_FALSE(GridDensityFromCsv("x,f\n1,2\n").ok());  // one data row
+  EXPECT_FALSE(GridDensityFromCsv("x,f\n1,2\n1,3\n").ok());  // flat grid
+  EXPECT_FALSE(GridDensityFromCsv("x,f\n0,1\n1,1\n5,1\n").ok());  // uneven
+  EXPECT_FALSE(GridDensityFromCsv("x,f\n0,1\n1,oops\n").ok());
+  EXPECT_FALSE(GridDensityFromCsv("x,f\n0,1\n1,-2\n2,1\n").ok());  // negative
+}
+
+TEST(DensityIoTest, FileRoundTripAndDriftMeasurement) {
+  // Snapshot two epochs and measure drift between them.
+  const GridDensity epoch1 =
+      testing::MakeBumpDensity(0.0, 10.0, 257, {{1.0, 4.0, 1.0}});
+  const GridDensity epoch2 =
+      testing::MakeBumpDensity(0.0, 10.0, 257, {{1.0, 5.0, 1.0}});
+  const std::string path1 = ::testing::TempDir() + "/epoch1.csv";
+  const std::string path2 = ::testing::TempDir() + "/epoch2.csv";
+  ASSERT_TRUE(WriteGridDensity(path1, epoch1).ok());
+  ASSERT_TRUE(WriteGridDensity(path2, epoch2).ok());
+  const auto loaded1 = ReadGridDensity(path1);
+  const auto loaded2 = ReadGridDensity(path2);
+  ASSERT_TRUE(loaded1.ok());
+  ASSERT_TRUE(loaded2.ok());
+  const double drift =
+      DensityDistance(*loaded1, *loaded2, DistanceKind::kL2).value();
+  EXPECT_GT(drift, 0.1);  // a one-sigma shift is clearly visible
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+  EXPECT_FALSE(ReadGridDensity("/no/such/density.csv").ok());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,226 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "integration/cost_model.h"
+#include "integration/stratification.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+// Three semantic strata: baseline sources, +10-biased sources, and
+// +40-biased sources (e.g. different aggregation windows / units).
+SourceSet MakeStratifiedSources() {
+  SourceSet set;
+  Rng rng(1);
+  const double biases[] = {0.0, 0.0, 0.0, 10.0, 10.0, 40.0};
+  for (int s = 0; s < 6; ++s) {
+    DataSource source("s" + std::to_string(s));
+    for (ComponentId c = 0; c < 30; ++c) {
+      source.Bind(c, 50.0 + static_cast<double>(c) + biases[s] +
+                         rng.Normal(0.0, 0.2));
+    }
+    set.AddSource(std::move(source));
+  }
+  return set;
+}
+
+std::vector<ComponentId> Scope30() {
+  std::vector<ComponentId> scope;
+  for (ComponentId c = 0; c < 30; ++c) scope.push_back(c);
+  return scope;
+}
+
+TEST(EstimateSourceBiasesTest, RecoversSystematicOffsets) {
+  const SourceSet sources = MakeStratifiedSources();
+  const auto biases = EstimateSourceBiases(sources, Scope30());
+  ASSERT_TRUE(biases.ok());
+  ASSERT_EQ(biases->size(), 6u);
+  // The consensus is the median over all six sources, which with values
+  // {0,0,0,+10,+10,+40} sits at +5 — biases are offsets from it, so the
+  // *relative* structure (gaps of 10 and 30) is what stratification uses.
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_NEAR((*biases)[static_cast<size_t>(s)].bias, -5.0, 1.0) << s;
+  }
+  EXPECT_NEAR((*biases)[3].bias, 5.0, 1.0);
+  EXPECT_NEAR((*biases)[4].bias, 5.0, 1.0);
+  EXPECT_NEAR((*biases)[5].bias, 35.0, 1.0);
+  for (const SourceBias& bias : *biases) EXPECT_EQ(bias.support, 30);
+}
+
+TEST(StratifySourcesTest, FindsThreeStrata) {
+  const SourceSet sources = MakeStratifiedSources();
+  StratificationOptions options;
+  options.gap = 3.0;
+  const auto result = StratifySources(sources, Scope30(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->strata.size(), 3u);
+  EXPECT_TRUE(result->unplaced.empty());
+  // Ascending by bias center: {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(result->strata[0].sources.size(), 3u);
+  EXPECT_EQ(result->strata[1].sources.size(), 2u);
+  EXPECT_EQ(result->strata[2].sources, (std::vector<int>{5}));
+  EXPECT_NEAR(result->strata[0].bias_center, -5.0, 1.0);
+  EXPECT_NEAR(result->strata[1].bias_center, 5.0, 1.0);
+  EXPECT_NEAR(result->strata[2].bias_center, 35.0, 1.0);
+  EXPECT_LE(result->strata[0].bias_min, result->strata[0].bias_max);
+}
+
+TEST(StratifySourcesTest, WideGapMergesEverything) {
+  const SourceSet sources = MakeStratifiedSources();
+  StratificationOptions options;
+  options.gap = 100.0;
+  const auto result = StratifySources(sources, Scope30(), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->strata.size(), 1u);
+  EXPECT_EQ(result->strata[0].sources.size(), 6u);
+}
+
+TEST(StratifySourcesTest, LowSupportSourcesUnplaced) {
+  SourceSet sources = MakeStratifiedSources();
+  DataSource lonely("lonely");
+  lonely.Bind(0, 55.0);  // overlaps on one component only
+  sources.AddSource(std::move(lonely));
+  StratificationOptions options;
+  options.gap = 3.0;
+  options.min_support = 3;
+  const auto result = StratifySources(sources, Scope30(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->unplaced, (std::vector<int>{6}));
+}
+
+TEST(StratifySourcesTest, Validation) {
+  const SourceSet sources = MakeStratifiedSources();
+  StratificationOptions bad;
+  bad.gap = 0.0;
+  EXPECT_FALSE(StratifySources(sources, Scope30(), bad).ok());
+  bad = {};
+  bad.min_support = 0;
+  EXPECT_FALSE(StratifySources(sources, Scope30(), bad).ok());
+  EXPECT_FALSE(EstimateSourceBiases(sources, {}).ok());
+}
+
+TEST(SourceCostModelTest, Validation) {
+  SourceCostModelOptions options;
+  EXPECT_TRUE(SourceCostModel::Create(5, options).ok());
+  EXPECT_FALSE(SourceCostModel::Create(0, options).ok());
+  options.base_ms = -1.0;
+  EXPECT_FALSE(SourceCostModel::Create(5, options).ok());
+}
+
+TEST(SourceCostModelTest, VisitCostScalesWithComponents) {
+  SourceCostModelOptions options;
+  options.base_ms = 10.0;
+  options.per_component_ms = 1.0;
+  options.jitter_sigma = 0.0;
+  options.source_sigma = 0.0;
+  const auto model = SourceCostModel::Create(3, options);
+  ASSERT_TRUE(model.ok());
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(model->VisitCost(0, 0, rng).value(), 10.0);
+  EXPECT_DOUBLE_EQ(model->VisitCost(0, 5, rng).value(), 15.0);
+  EXPECT_FALSE(model->VisitCost(7, 1, rng).ok());
+  EXPECT_FALSE(model->VisitCost(0, -1, rng).ok());
+  EXPECT_DOUBLE_EQ(model->SourceMultiplier(1).value(), 1.0);
+}
+
+TEST(CostAwareSamplerTest, CostAccumulatesOverVisits) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = UniSSampler::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(sampler.ok());
+  SourceCostModelOptions options;
+  options.base_ms = 100.0;
+  options.per_component_ms = 1.0;
+  options.jitter_sigma = 0.0;
+  options.source_sigma = 0.0;
+  const auto model = SourceCostModel::Create(4, options);
+  ASSERT_TRUE(model.ok());
+  const auto costed = CostAwareSampler::Create(&sampler.value(),
+                                               &model.value());
+  ASSERT_TRUE(costed.ok());
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto sample = costed->SampleOne(rng);
+    ASSERT_TRUE(sample.ok());
+    // Figure 1 needs 2 to 4 visits (D2+D3 alone cover everything); with 5
+    // components transferred the cost is visits * 100 + 5.
+    EXPECT_DOUBLE_EQ(sample->cost_ms,
+                     100.0 * sample->sources_visited + 5.0);
+    EXPECT_GE(sample->sources_visited, 2);
+    EXPECT_LE(sample->sources_visited, 4);
+  }
+}
+
+TEST(CostAwareSamplerTest, BudgetCapsSampling) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = UniSSampler::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  SourceCostModelOptions options;
+  options.base_ms = 100.0;
+  options.jitter_sigma = 0.0;
+  options.source_sigma = 0.0;
+  const auto model = SourceCostModel::Create(4, options);
+  const auto costed =
+      CostAwareSampler::Create(&sampler.value(), &model.value());
+  ASSERT_TRUE(costed.ok());
+  Rng rng(4);
+  // 205-405 ms per answer: a 2-second budget buys only a handful.
+  const auto batch = costed->SampleWithBudget(2000.0, 0, rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->budget_exhausted);
+  EXPECT_GE(batch->values.size(), 4u);
+  EXPECT_LE(batch->values.size(), 10u);
+  EXPECT_LE(batch->total_cost_ms, 2000.0 + 410.0);  // one answer overshoot
+
+  // Count cap dominates a generous budget.
+  const auto capped = costed->SampleWithBudget(1e9, 3, rng);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->values.size(), 3u);
+  EXPECT_FALSE(capped->budget_exhausted);
+}
+
+TEST(CostAwareSamplerTest, Validation) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = UniSSampler::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  const auto small_model =
+      SourceCostModel::Create(2, SourceCostModelOptions{});
+  EXPECT_FALSE(
+      CostAwareSampler::Create(&sampler.value(), &small_model.value()).ok());
+  EXPECT_FALSE(CostAwareSampler::Create(nullptr, &small_model.value()).ok());
+  const auto model = SourceCostModel::Create(4, SourceCostModelOptions{});
+  const auto costed =
+      CostAwareSampler::Create(&sampler.value(), &model.value());
+  ASSERT_TRUE(costed.ok());
+  Rng rng(5);
+  EXPECT_FALSE(costed->SampleWithBudget(0.0, 10, rng).ok());
+  EXPECT_FALSE(costed->SampleWithBudget(100.0, -1, rng).ok());
+}
+
+TEST(UniSVisitTraceTest, TraceIsConsistent) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = UniSSampler::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  Rng rng(6);
+  const auto sample = sampler->SampleOne(rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(static_cast<int>(sample->visits.size()),
+            sample->sources_visited);
+  int taken = 0;
+  int contributing = 0;
+  std::set<int> seen;
+  for (const UniSVisit& visit : sample->visits) {
+    taken += visit.components_taken;
+    if (visit.components_taken > 0) ++contributing;
+    EXPECT_TRUE(seen.insert(visit.source).second) << "source visited twice";
+  }
+  EXPECT_EQ(taken, 5);  // all Figure 1 components covered
+  EXPECT_EQ(contributing, sample->sources_contributing);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,170 @@
+#include "integration/hierarchy.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "sampling/unis.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(HierarchyOptionsTest, Validation) {
+  HierarchyOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.fanout = 1;
+  EXPECT_FALSE(options.Validate().ok());
+  options = {};
+  options.edge_latency_ms = -1.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(AggregationHierarchyTest, BuildShapes) {
+  HierarchyOptions options;
+  options.fanout = 4;
+  const auto hierarchy = AggregationHierarchy::Build(16, options);
+  ASSERT_TRUE(hierarchy.ok());
+  // 16 leaves + 4 relays + 1 root.
+  EXPECT_EQ(hierarchy->NumNodes(), 21);
+  EXPECT_EQ(hierarchy->Depth(), 2);
+  EXPECT_EQ(hierarchy->num_sources(), 16);
+
+  const auto single = AggregationHierarchy::Build(1, options);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->NumNodes(), 1);
+  EXPECT_EQ(single->Depth(), 0);
+  EXPECT_FALSE(AggregationHierarchy::Build(0, options).ok());
+}
+
+TEST(AggregationHierarchyTest, DepthShrinksWithFanout) {
+  HierarchyOptions narrow;
+  narrow.fanout = 2;
+  HierarchyOptions wide;
+  wide.fanout = 16;
+  EXPECT_GT(AggregationHierarchy::Build(100, narrow)->Depth(),
+            AggregationHierarchy::Build(100, wide)->Depth());
+}
+
+class HierarchyEvaluationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto mixture = MakeD2(70);
+    SyntheticSourceSetOptions options;
+    options.num_sources = 20;
+    options.num_components = 40;
+    options.seed = 71;
+    sources_ = BuildSyntheticSourceSet(*mixture, options).value();
+  }
+
+  SourceSet sources_;
+};
+
+TEST_F(HierarchyEvaluationTest, MatchesFlatEvaluationForEveryKind) {
+  // The partial-final push up the tree must agree exactly with the direct
+  // (flat) evaluation of the same assignment, for every aggregate kind.
+  HierarchyOptions hierarchy_options;
+  hierarchy_options.fanout = 3;
+  const auto hierarchy =
+      AggregationHierarchy::Build(20, hierarchy_options);
+  ASSERT_TRUE(hierarchy.ok());
+  const QueryProcessor processor;
+  for (const AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kAverage, AggregateKind::kMedian,
+        AggregateKind::kVariance, AggregateKind::kMin, AggregateKind::kMax,
+        AggregateKind::kQuantile}) {
+    AggregateQuery query = MakeRangeQuery("q", kind, 0, 40);
+    query.quantile_q = 0.75;
+    const auto sampler = UniSSampler::Create(&sources_, query);
+    ASSERT_TRUE(sampler.ok());
+    Rng rng(72);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto assignment = sampler->SampleAssignment(rng);
+      ASSERT_TRUE(assignment.ok());
+      const auto flat = processor.Evaluate(sources_, query, *assignment);
+      const auto tree =
+          hierarchy->EvaluateAssignment(sources_, query, *assignment);
+      ASSERT_TRUE(flat.ok());
+      ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+      EXPECT_NEAR(tree->value, flat.value(), 1e-9)
+          << AggregateKindToString(kind);
+    }
+  }
+}
+
+TEST_F(HierarchyEvaluationTest, AlgebraicShipsLessStateThanHolistic) {
+  HierarchyOptions hierarchy_options;
+  hierarchy_options.fanout = 4;
+  const auto hierarchy =
+      AggregationHierarchy::Build(20, hierarchy_options);
+  const AggregateQuery sum_query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 40);
+  const AggregateQuery median_query =
+      MakeRangeQuery("median", AggregateKind::kMedian, 0, 40);
+  const auto sampler = UniSSampler::Create(&sources_, sum_query);
+  Rng rng(73);
+  const auto assignment = sampler->SampleAssignment(rng);
+  ASSERT_TRUE(assignment.ok());
+
+  const auto sum_eval =
+      hierarchy->EvaluateAssignment(sources_, sum_query, *assignment);
+  const auto median_eval =
+      hierarchy->EvaluateAssignment(sources_, median_query, *assignment);
+  ASSERT_TRUE(sum_eval.ok());
+  ASSERT_TRUE(median_eval.ok());
+  // Same routing, different payloads.
+  EXPECT_EQ(sum_eval->messages, median_eval->messages);
+  EXPECT_LT(sum_eval->state_transferred, median_eval->state_transferred);
+  // The holistic plan ships every value at least once per hop past a relay.
+  EXPECT_GE(median_eval->state_transferred, median_eval->flat_transferred);
+  EXPECT_EQ(sum_eval->flat_transferred, 40);
+  EXPECT_GT(sum_eval->critical_path_ms, 0.0);
+}
+
+TEST_F(HierarchyEvaluationTest, Validation) {
+  const auto hierarchy =
+      AggregationHierarchy::Build(20, HierarchyOptions{});
+  const AggregateQuery query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 40);
+  Assignment short_assignment(10, 0);
+  EXPECT_FALSE(
+      hierarchy->EvaluateAssignment(sources_, query, short_assignment).ok());
+  Assignment bad_source(40, 99);
+  EXPECT_FALSE(
+      hierarchy->EvaluateAssignment(sources_, query, bad_source).ok());
+}
+
+TEST(SampleAssignmentTest, AssignmentsAreValidAndUniSDistributed) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  const auto sampler = UniSSampler::Create(&sources, query);
+  ASSERT_TRUE(sampler.ok());
+  const QueryProcessor processor;
+  Rng rng(74);
+  std::map<double, int> counts;
+  const int kDraws = 3000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto assignment = sampler->SampleAssignment(rng);
+    ASSERT_TRUE(assignment.ok());
+    // Every component assigned to a source that actually binds it.
+    for (size_t p = 0; p < assignment->size(); ++p) {
+      EXPECT_TRUE(sources.source((*assignment)[p])
+                      .Has(query.components[p]));
+    }
+    const auto value = processor.Evaluate(sources, query, *assignment);
+    ASSERT_TRUE(value.ok());
+    ++counts[value.value()];
+  }
+  // The induced answer distribution matches uniS: {89, 93, 96} at ~1/3.
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [answer, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(kDraws), 1.0 / 3.0, 0.04)
+        << answer;
+  }
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,86 @@
+#include "integration/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(SourceSetIoTest, RoundTripPreservesBindings) {
+  const SourceSet original = testing::MakeFigure1Sources();
+  const std::string csv = SourceSetToCsv(original);
+  const auto restored = SourceSetFromCsv(csv);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->NumSources(), original.NumSources());
+  for (int s = 0; s < original.NumSources(); ++s) {
+    EXPECT_EQ(restored->source(s).name(), original.source(s).name());
+    EXPECT_EQ(restored->source(s).bindings(), original.source(s).bindings());
+  }
+}
+
+TEST(SourceSetIoTest, HeaderRequired) {
+  EXPECT_FALSE(SourceSetFromCsv("a,b,c\nD1,1,2\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv("").ok());
+  EXPECT_TRUE(SourceSetFromCsv("source,component,value\n").ok());
+}
+
+TEST(SourceSetIoTest, MalformedRowsRejected) {
+  const std::string header = "source,component,value\n";
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,x,2.0\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,two\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,1.5\nD1,1,2.5\n").ok());
+}
+
+TEST(SourceSetIoTest, ScatteredSourceRowsMerge) {
+  const auto set = SourceSetFromCsv(
+      "source,component,value\nA,1,10\nB,1,11\nA,2,12\n");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->NumSources(), 2);
+  EXPECT_EQ(set->source(0).name(), "A");
+  EXPECT_EQ(set->source(0).NumBindings(), 2u);
+  EXPECT_DOUBLE_EQ(set->source(1).Value(1).value(), 11.0);
+}
+
+TEST(SourceSetIoTest, PreservesFullDoublePrecision) {
+  SourceSet set;
+  DataSource source("precise");
+  source.Bind(1, 0.1234567890123456789);
+  source.Bind(2, 1e-300);
+  source.Bind(3, -98765.4321);
+  set.AddSource(std::move(source));
+  const auto restored = SourceSetFromCsv(SourceSetToCsv(set));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->source(0).Value(1).value(),
+                   0.1234567890123456789);
+  EXPECT_DOUBLE_EQ(restored->source(0).Value(2).value(), 1e-300);
+  EXPECT_DOUBLE_EQ(restored->source(0).Value(3).value(), -98765.4321);
+}
+
+TEST(SourceSetIoTest, QuotedSourceNames) {
+  SourceSet set;
+  DataSource source("weather, bc \"official\"");
+  source.Bind(1, 5.0);
+  set.AddSource(std::move(source));
+  const auto restored = SourceSetFromCsv(SourceSetToCsv(set));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->source(0).name(), "weather, bc \"official\"");
+}
+
+TEST(SourceSetIoTest, FileRoundTrip) {
+  const SourceSet original = testing::MakeFigure1Sources();
+  const std::string path = ::testing::TempDir() + "/vastats_sources.csv";
+  ASSERT_TRUE(WriteSourceSet(path, original).ok());
+  const auto restored = ReadSourceSet(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumSources(), original.NumSources());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadSourceSet("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,279 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "integration/mediated_schema.h"
+#include "integration/record_mapper.h"
+#include "query/mediated_query.h"
+#include "sampling/exhaustive.h"
+
+namespace vastats {
+namespace {
+
+TEST(ParseDateTest, Figure1Formats) {
+  // The literal formats visible in the paper's Figure 1.
+  const auto a = ParseDate("10-June-06");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), (CivilDay{2006, 6, 10}));
+  const auto b = ParseDate("06/10/06");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), (CivilDay{2006, 6, 10}));
+  // Same calendar day through either format.
+  EXPECT_EQ(a->Ordinal(), b->Ordinal());
+}
+
+TEST(ParseDateTest, MoreFormats) {
+  EXPECT_EQ(ParseDate("2006-06-10").value(), (CivilDay{2006, 6, 10}));
+  EXPECT_EQ(ParseDate("06/10/2006").value(), (CivilDay{2006, 6, 10}));
+  EXPECT_EQ(ParseDate("11-Jun-06").value(), (CivilDay{2006, 6, 11}));
+  EXPECT_EQ(ParseDate("1-january-99").value(), (CivilDay{1999, 1, 1}));
+  EXPECT_EQ(ParseDate("29-Feb-2024").value(), (CivilDay{2024, 2, 29}));
+}
+
+TEST(ParseDateTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDate("").ok());
+  EXPECT_FALSE(ParseDate("June").ok());
+  EXPECT_FALSE(ParseDate("32-June-06").ok());
+  EXPECT_FALSE(ParseDate("29-Feb-2023").ok());  // not a leap year
+  EXPECT_FALSE(ParseDate("13/40/06").ok());
+  EXPECT_FALSE(ParseDate("ab-cd-ef").ok());
+}
+
+TEST(CivilDayTest, OrdinalIsMonotone) {
+  const int64_t a = CivilDay{2006, 6, 10}.Ordinal();
+  const int64_t b = CivilDay{2006, 6, 11}.Ordinal();
+  const int64_t c = CivilDay{2006, 7, 1}.Ordinal();
+  const int64_t d = CivilDay{2007, 1, 1}.Ordinal();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  // 2006 is not a leap year: 365 days.
+  EXPECT_EQ((CivilDay{2007, 6, 10}).Ordinal() - a, 365);
+}
+
+TEST(MediatedSchemaTest, SynonymsAndAliasesResolve) {
+  MediatedSchema schema;
+  schema.AddAttributeSynonym("Avg Temp", "temperature");
+  schema.AddAttributeSynonym("Temp", "temperature");
+  schema.AddEntityAlias("VANCOUVER CITY", "vancouver");
+  EXPECT_EQ(schema.ResolveAttribute("avg temp").value(),
+            schema.ResolveAttribute("TEMP").value());
+  EXPECT_EQ(schema.ResolveAttribute("temperature").value(),
+            schema.ResolveAttribute("Temp").value());
+  EXPECT_EQ(schema.ResolveEntity("Vancouver City").value(),
+            schema.ResolveEntity("vancouver").value());
+  EXPECT_FALSE(schema.ResolveAttribute("humidity").ok());
+  EXPECT_FALSE(schema.ResolveEntity("toronto").ok());
+}
+
+TEST(MediatedSchemaTest, NormalizationCollapsesWhitespaceAndCase) {
+  MediatedSchema schema;
+  schema.DeclareEntity("  New   Westminster ");
+  EXPECT_TRUE(schema.ResolveEntity("new westminster").ok());
+  EXPECT_TRUE(schema.ResolveEntity("NEW  WESTMINSTER").ok());
+}
+
+TEST(MediatedSchemaTest, ComponentIdsUniqueAndDescribable) {
+  MediatedSchema schema;
+  const int temp = schema.DeclareAttribute("temperature");
+  const int rain = schema.DeclareAttribute("rainfall");
+  const int vancouver = schema.DeclareEntity("vancouver");
+  const int burnaby = schema.DeclareEntity("burnaby");
+  const CivilDay day{2006, 6, 10};
+  const CivilDay next{2006, 6, 11};
+
+  const ComponentId a = schema.ComponentFor(temp, vancouver, day);
+  EXPECT_NE(a, schema.ComponentFor(rain, vancouver, day));
+  EXPECT_NE(a, schema.ComponentFor(temp, burnaby, day));
+  EXPECT_NE(a, schema.ComponentFor(temp, vancouver, next));
+  EXPECT_EQ(a, schema.ComponentFor(temp, vancouver, day));  // deterministic
+
+  const auto info = schema.Describe(a);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->attribute, "temperature");
+  EXPECT_EQ(info->entity, "vancouver");
+  EXPECT_EQ(info->time_key, "2006-06-10");
+  EXPECT_FALSE(schema.Describe(424242).ok());
+}
+
+// The paper's Figure 1 as raw heterogeneous tables: D1 says "Avg Temp" with
+// "10-June-06" dates, D2 says "Temp" with "06/10/06" dates, etc.
+std::vector<RawRecord> Figure1Records() {
+  return {
+      {"D1", "Burnaby", "10-June-06", "Avg Temp", 21.0},
+      {"D1", "Vancouver", "11-June-06", "Avg Temp", 19.0},
+      {"D2", "Burnaby", "06/10/06", "Temp", 21.0},
+      {"D2", "Vancouver", "06/11/06", "Temp", 22.0},
+      {"D2", "Richmond", "06/12/06", "Temp", 18.0},
+      {"D3", "Burnaby", "10-June-06", "Temp", 19.0},
+      {"D3", "Vancouver", "11-June-06", "Temp", 17.0},
+      {"D3", "Surrey", "11-June-06", "Temp", 15.0},
+      {"D3", "Vancouver", "12-June-06", "Temp", 20.0},
+      {"D4", "SURREY", "06/11/06", "Temp", 15.0},
+  };
+}
+
+MediatedSchema Figure1Schema() {
+  MediatedSchema schema;
+  schema.AddAttributeSynonym("Avg Temp", "temperature");
+  schema.AddAttributeSynonym("Temp", "temperature");
+  for (const char* city : {"burnaby", "vancouver", "surrey", "richmond"}) {
+    schema.DeclareEntity(city);
+  }
+  return schema;
+}
+
+TEST(RecordMapperTest, MapsFigure1AcrossFormats) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  MapperReport report;
+  const auto sources = mapper.MapRecords(Figure1Records(), &report);
+  ASSERT_TRUE(sources.ok()) << sources.status().ToString();
+  EXPECT_EQ(report.mapped_records, 10);
+  EXPECT_TRUE(report.skipped.empty());
+  EXPECT_EQ(sources->NumSources(), 4);
+
+  // The Vancouver 06-11 component must be shared by D1, D2, D3 despite the
+  // different date formats, with three conflicting values.
+  const int temp = schema.ResolveAttribute("temperature").value();
+  const int vancouver = schema.ResolveEntity("vancouver").value();
+  const ComponentId component =
+      schema.ComponentFor(temp, vancouver, CivilDay{2006, 6, 11});
+  EXPECT_EQ(sources->CoverageCount(component), 3);
+  const auto range = sources->ValueRange(component);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 17.0);
+  EXPECT_DOUBLE_EQ(range->second, 22.0);
+}
+
+TEST(RecordMapperTest, UnitConversionAtIngestion) {
+  MediatedSchema schema = Figure1Schema();
+  RecordMapper mapper(&schema);
+  ASSERT_TRUE(
+      mapper.DeclareSourceUnit("D5", "temperature", FahrenheitToCelsius())
+          .ok());
+  const std::vector<RawRecord> records = {
+      {"D5", "Vancouver", "2006-06-11", "Temp", 62.6},  // = 17 C
+  };
+  const auto sources = mapper.MapRecords(records);
+  ASSERT_TRUE(sources.ok());
+  const int temp = schema.ResolveAttribute("temperature").value();
+  const int vancouver = schema.ResolveEntity("vancouver").value();
+  const ComponentId component =
+      schema.ComponentFor(temp, vancouver, CivilDay{2006, 6, 11});
+  EXPECT_NEAR(sources->source(0).Value(component).value(), 17.0, 1e-9);
+}
+
+TEST(RecordMapperTest, SkipsAndReportsUnmappableRecords) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const std::vector<RawRecord> records = {
+      {"D1", "Burnaby", "10-June-06", "Avg Temp", 21.0},
+      {"D1", "Atlantis", "10-June-06", "Avg Temp", 30.0},   // bad entity
+      {"D1", "Burnaby", "June-zz", "Avg Temp", 30.0},        // bad date
+      {"D1", "Burnaby", "10-June-06", "Wind", 5.0},          // bad attribute
+  };
+  MapperReport report;
+  const auto sources = mapper.MapRecords(records, &report);
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(report.mapped_records, 1);
+  EXPECT_EQ(report.skipped.size(), 3u);
+  // Strict mode fails the whole call instead.
+  EXPECT_FALSE(mapper.MapRecords(records, nullptr, /*strict=*/true).ok());
+}
+
+TEST(RecordMapperTest, DuplicateBindingsCountedLastWins) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const std::vector<RawRecord> records = {
+      {"D1", "Burnaby", "10-June-06", "Temp", 20.0},
+      {"D1", "Burnaby", "06/10/06", "Avg Temp", 23.0},  // same component!
+  };
+  MapperReport report;
+  const auto sources = mapper.MapRecords(records, &report);
+  ASSERT_TRUE(sources.ok());
+  EXPECT_EQ(report.duplicate_bindings, 1);
+  EXPECT_EQ(sources->source(0).NumBindings(), 1u);
+}
+
+TEST(PlanMediatedQueryTest, ExpandsEntitiesAndDays) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const auto sources = mapper.MapRecords(Figure1Records());
+  ASSERT_TRUE(sources.ok());
+
+  MediatedQuery spec;
+  spec.name = "sum-temp";
+  spec.kind = AggregateKind::kSum;
+  spec.attribute = "Temp";  // synonym resolution applies here too
+  spec.entities = {"vancouver"};
+  spec.first_day = CivilDay{2006, 6, 11};
+  spec.last_day = CivilDay{2006, 6, 12};
+  const auto plan = PlanMediatedQuery(schema, *sources, spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->query.components.size(), 2u);
+  EXPECT_TRUE(plan->uncovered.empty());
+
+  // The planned query runs end-to-end: viable range = [17+20, 22+20].
+  const auto range = ViableRange(*sources, plan->query);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 37.0);
+  EXPECT_DOUBLE_EQ(range->second, 42.0);
+}
+
+TEST(PlanMediatedQueryTest, UncoveredComponentsHandledPerPolicy) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const auto sources = mapper.MapRecords(Figure1Records());
+  ASSERT_TRUE(sources.ok());
+
+  MediatedQuery spec;
+  spec.name = "sum-temp";
+  spec.attribute = "temperature";
+  spec.entities = {"vancouver", "richmond"};
+  spec.first_day = CivilDay{2006, 6, 10};
+  spec.last_day = CivilDay{2006, 6, 12};
+  // Vancouver 06-10 exists only via Burnaby... actually: Vancouver has
+  // 06-11, 06-12; Richmond only 06-12 -> several uncovered days.
+  EXPECT_FALSE(PlanMediatedQuery(schema, *sources, spec).ok());
+  const auto relaxed =
+      PlanMediatedQuery(schema, *sources, spec, /*require_full_coverage=*/false);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed->query.components.size(), 3u);  // V11, V12, R12
+  EXPECT_EQ(relaxed->uncovered.size(), 3u);         // V10, R10, R11
+}
+
+TEST(PlanMediatedQueryTest, EmptyEntityListMeansAllEntities) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const auto sources = mapper.MapRecords(Figure1Records());
+  MediatedQuery spec;
+  spec.name = "all";
+  spec.attribute = "temperature";
+  spec.first_day = CivilDay{2006, 6, 11};
+  spec.last_day = CivilDay{2006, 6, 11};
+  const auto plan =
+      PlanMediatedQuery(schema, *sources, spec, /*require_full_coverage=*/false);
+  ASSERT_TRUE(plan.ok());
+  // Covered on 06-11: Vancouver + Surrey.
+  EXPECT_EQ(plan->query.components.size(), 2u);
+}
+
+TEST(PlanMediatedQueryTest, Validation) {
+  const MediatedSchema schema = Figure1Schema();
+  const RecordMapper mapper(&schema);
+  const auto sources = mapper.MapRecords(Figure1Records());
+  MediatedQuery spec;
+  spec.attribute = "nonexistent";
+  spec.first_day = CivilDay{2006, 6, 11};
+  spec.last_day = CivilDay{2006, 6, 11};
+  EXPECT_FALSE(PlanMediatedQuery(schema, *sources, spec).ok());
+  spec.attribute = "temperature";
+  spec.first_day = CivilDay{2006, 6, 12};
+  spec.last_day = CivilDay{2006, 6, 11};  // reversed
+  EXPECT_FALSE(PlanMediatedQuery(schema, *sources, spec).ok());
+}
+
+}  // namespace
+}  // namespace vastats

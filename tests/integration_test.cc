@@ -1,0 +1,112 @@
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "integration/data_source.h"
+#include "integration/source_set.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(DataSourceTest, BindAndLookup) {
+  DataSource source("weather-bc");
+  EXPECT_EQ(source.name(), "weather-bc");
+  EXPECT_EQ(source.NumBindings(), 0u);
+  source.Bind(1, 21.0);
+  source.Bind(2, 19.0);
+  EXPECT_TRUE(source.Has(1));
+  EXPECT_FALSE(source.Has(3));
+  EXPECT_DOUBLE_EQ(source.Value(1).value(), 21.0);
+  EXPECT_EQ(source.Value(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataSourceTest, RebindReplacesValue) {
+  DataSource source("s");
+  source.Bind(1, 10.0);
+  source.Bind(1, 12.0);
+  EXPECT_EQ(source.NumBindings(), 1u);
+  EXPECT_DOUBLE_EQ(source.Value(1).value(), 12.0);
+}
+
+TEST(DataSourceTest, Unbind) {
+  DataSource source("s");
+  source.Bind(1, 10.0);
+  EXPECT_TRUE(source.Unbind(1));
+  EXPECT_FALSE(source.Unbind(1));
+  EXPECT_FALSE(source.Has(1));
+}
+
+TEST(DataSourceTest, SortedComponents) {
+  DataSource source("s");
+  source.Bind(5, 1.0);
+  source.Bind(1, 2.0);
+  source.Bind(3, 3.0);
+  EXPECT_EQ(source.SortedComponents(), (std::vector<ComponentId>{1, 3, 5}));
+}
+
+TEST(SourceSetTest, Figure1CoverageIndex) {
+  const SourceSet set = testing::MakeFigure1Sources();
+  EXPECT_EQ(set.NumSources(), 4);
+  // Component 1 (Burnaby 06-10) is held by D1, D2, D3.
+  EXPECT_EQ(set.Covering(1), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(set.CoverageCount(2), 3);
+  EXPECT_EQ(set.Covering(4), (std::vector<int>{2}));
+  EXPECT_EQ(set.CoverageCount(99), 0);
+  EXPECT_TRUE(set.Covering(99).empty());
+}
+
+TEST(SourceSetTest, Universe) {
+  const SourceSet set = testing::MakeFigure1Sources();
+  EXPECT_EQ(set.Universe(), (std::vector<ComponentId>{1, 2, 3, 4, 5}));
+}
+
+TEST(SourceSetTest, ValidateCoverage) {
+  const SourceSet set = testing::MakeFigure1Sources();
+  const std::vector<ComponentId> good = {1, 2, 3};
+  EXPECT_TRUE(set.ValidateCoverage(good).ok());
+  const std::vector<ComponentId> bad = {1, 42};
+  const Status status = set.ValidateCoverage(bad);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SourceSetTest, AverageCoverage) {
+  const SourceSet set = testing::MakeFigure1Sources();
+  // Coverage counts: c1=3, c2=3, c3=2, c4=1, c5=1 => avg = 2.0.
+  const std::vector<ComponentId> components = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(set.AverageCoverage(components).value(), 2.0);
+  EXPECT_FALSE(set.AverageCoverage({}).ok());
+}
+
+TEST(SourceSetTest, ValueRange) {
+  const SourceSet set = testing::MakeFigure1Sources();
+  // Vancouver 06-11 has values 19 (D1), 22 (D2), 17 (D3).
+  const auto range = set.ValueRange(2);
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range->first, 17.0);
+  EXPECT_DOUBLE_EQ(range->second, 22.0);
+  EXPECT_FALSE(set.ValueRange(42).ok());
+}
+
+TEST(SourceSetTest, IndexRebuiltAfterAddSource) {
+  SourceSet set = testing::MakeFigure1Sources();
+  EXPECT_EQ(set.CoverageCount(4), 1);
+  DataSource d5("D5");
+  d5.Bind(4, 21.5);
+  set.AddSource(std::move(d5));
+  EXPECT_EQ(set.CoverageCount(4), 2);
+  EXPECT_EQ(set.NumSources(), 5);
+}
+
+TEST(SourceSetTest, MutableSourceEditsPropagate) {
+  SourceSet set = testing::MakeFigure1Sources();
+  EXPECT_EQ(set.CoverageCount(99), 0);  // force the index to build
+  set.mutable_source(0).Bind(99, 1.0);
+  EXPECT_TRUE(set.source(0).Has(99));
+  // The coverage index must reflect the mutation.
+  EXPECT_EQ(set.CoverageCount(99), 1);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,162 @@
+#include "query/grouped_query.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/grouped_extractor.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(HavingClauseTest, AllComparators) {
+  HavingClause clause;
+  clause.threshold = 10.0;
+  clause.comparator = HavingComparator::kGreater;
+  EXPECT_TRUE(clause.Test(10.5));
+  EXPECT_FALSE(clause.Test(10.0));
+  clause.comparator = HavingComparator::kGreaterEqual;
+  EXPECT_TRUE(clause.Test(10.0));
+  EXPECT_FALSE(clause.Test(9.9));
+  clause.comparator = HavingComparator::kLess;
+  EXPECT_TRUE(clause.Test(9.0));
+  EXPECT_FALSE(clause.Test(10.0));
+  clause.comparator = HavingComparator::kLessEqual;
+  EXPECT_TRUE(clause.Test(10.0));
+  EXPECT_FALSE(clause.Test(10.1));
+}
+
+TEST(GroupedAggregateQueryTest, Validation) {
+  GroupedAggregateQuery query;
+  query.name = "q";
+  EXPECT_FALSE(query.Validate().ok());  // no groups
+  query.groups.push_back(QueryGroup{"empty", {}});
+  EXPECT_FALSE(query.Validate().ok());  // empty group
+  query.groups[0].components = {1, 2};
+  EXPECT_TRUE(query.Validate().ok());
+}
+
+TEST(GroupedAggregateQueryTest, GroupQueryFlattens) {
+  GroupedAggregateQuery query;
+  query.name = "avg-temp";
+  query.aggregate = AggregateKind::kAverage;
+  query.groups.push_back(QueryGroup{"june", {1, 2, 3}});
+  query.groups.push_back(QueryGroup{"july", {4, 5}});
+  const AggregateQuery june = query.GroupQuery(0);
+  EXPECT_EQ(june.name, "avg-temp/june");
+  EXPECT_EQ(june.kind, AggregateKind::kAverage);
+  EXPECT_EQ(june.components, (std::vector<ComponentId>{1, 2, 3}));
+  EXPECT_EQ(query.GroupQuery(1).components,
+            (std::vector<ComponentId>{4, 5}));
+}
+
+TEST(GroupComponentsByTest, PartitionsByKey) {
+  const std::vector<ComponentId> components = {10, 11, 12, 13, 14};
+  const std::vector<std::string> keys = {"a", "b", "a", "c", "b"};
+  const GroupedAggregateQuery query =
+      GroupComponentsBy("g", AggregateKind::kSum, components, keys);
+  ASSERT_EQ(query.groups.size(), 3u);
+  EXPECT_EQ(query.groups[0].key, "a");
+  EXPECT_EQ(query.groups[0].components, (std::vector<ComponentId>{10, 12}));
+  EXPECT_EQ(query.groups[1].key, "b");
+  EXPECT_EQ(query.groups[1].components, (std::vector<ComponentId>{11, 14}));
+  EXPECT_EQ(query.groups[2].key, "c");
+  EXPECT_EQ(query.groups[2].components, (std::vector<ComponentId>{13}));
+}
+
+class GroupedEvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sources_ = testing::MakeFigure1Sources();
+    // Two groups over the Figure 1 components: "cold" = Surrey+Richmond
+    // (values 15 and 18), "warm" = Burnaby+Vancouver (values 17..22).
+    query_.name = "avg-by-area";
+    query_.aggregate = AggregateKind::kAverage;
+    query_.groups.push_back(QueryGroup{"warm", {1, 2, 4}});
+    query_.groups.push_back(QueryGroup{"cold", {3, 5}});
+    options_.initial_sample_size = 150;
+    options_.weight_probes = 5;
+    options_.kde.rule = BandwidthRule::kSilverman;
+  }
+
+  SourceSet sources_;
+  GroupedAggregateQuery query_;
+  ExtractorOptions options_;
+};
+
+TEST_F(GroupedEvaluatorTest, PerGroupStatistics) {
+  const auto evaluator =
+      GroupedQueryEvaluator::Create(&sources_, query_, options_);
+  ASSERT_TRUE(evaluator.ok()) << evaluator.status().ToString();
+  const auto answer = evaluator->Evaluate();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->groups.size(), 2u);
+  // Warm group: averages of (19..21, 17..22, 20) => around 19-21.
+  EXPECT_GT(answer->groups[0].statistics.mean.value, 18.5);
+  EXPECT_LT(answer->groups[0].statistics.mean.value, 21.5);
+  // Cold group: average of 15 and 18 = 16.5 always.
+  EXPECT_NEAR(answer->groups[1].statistics.mean.value, 16.5, 0.01);
+  // No HAVING: both groups pass trivially.
+  EXPECT_DOUBLE_EQ(answer->groups[0].having_probability, 1.0);
+  EXPECT_EQ(answer->PassingKeys(0.99).size(), 2u);
+}
+
+TEST_F(GroupedEvaluatorTest, HavingProbabilityIsFractionOfViableAnswers) {
+  query_.has_having = true;
+  query_.having.aggregate = AggregateKind::kAverage;
+  query_.having.comparator = HavingComparator::kGreater;
+  query_.having.threshold = 17.0;
+  const auto evaluator =
+      GroupedQueryEvaluator::Create(&sources_, query_, options_);
+  ASSERT_TRUE(evaluator.ok());
+  const auto answer = evaluator->Evaluate();
+  ASSERT_TRUE(answer.ok());
+  // Warm group always averages > 17; cold group always 16.5 < 17.
+  EXPECT_DOUBLE_EQ(answer->groups[0].having_probability, 1.0);
+  EXPECT_DOUBLE_EQ(answer->groups[1].having_probability, 0.0);
+  EXPECT_EQ(answer->PassingKeys(0.95),
+            (std::vector<std::string>{"warm"}));
+}
+
+TEST_F(GroupedEvaluatorTest, ProbabilisticHavingOnBoundaryThreshold) {
+  // Threshold inside the warm group's viable range: pass probability must
+  // be strictly between 0 and 1.
+  query_.has_having = true;
+  query_.having.aggregate = AggregateKind::kAverage;
+  query_.having.comparator = HavingComparator::kGreater;
+  // Warm viable averages: (c1 in {19,21}, c2 in {17,19,22}, c4=20)/3,
+  // so between 18.67 and 21. Use 19.5.
+  query_.having.threshold = 19.5;
+  const auto evaluator =
+      GroupedQueryEvaluator::Create(&sources_, query_, options_);
+  ASSERT_TRUE(evaluator.ok());
+  const auto answer = evaluator->Evaluate();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->groups[0].having_probability, 0.05);
+  EXPECT_LT(answer->groups[0].having_probability, 0.95);
+}
+
+TEST_F(GroupedEvaluatorTest, HavingOnDifferentAggregate) {
+  // SELECT average but HAVING on the max: cold group max = 18 > 17.
+  query_.has_having = true;
+  query_.having.aggregate = AggregateKind::kMax;
+  query_.having.comparator = HavingComparator::kGreater;
+  query_.having.threshold = 17.0;
+  const auto evaluator =
+      GroupedQueryEvaluator::Create(&sources_, query_, options_);
+  ASSERT_TRUE(evaluator.ok());
+  const auto answer = evaluator->Evaluate();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer->groups[1].having_probability, 1.0);
+}
+
+TEST_F(GroupedEvaluatorTest, UncoveredGroupRejectedAtCreate) {
+  query_.groups.push_back(QueryGroup{"ghost", {999}});
+  const auto evaluator =
+      GroupedQueryEvaluator::Create(&sources_, query_, options_);
+  EXPECT_FALSE(evaluator.ok());
+}
+
+}  // namespace
+}  // namespace vastats

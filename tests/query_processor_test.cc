@@ -1,0 +1,95 @@
+#include "query/query_processor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(AggregateQueryTest, ValidateRequiresComponents) {
+  AggregateQuery query;
+  query.name = "empty";
+  EXPECT_FALSE(query.Validate().ok());
+  query.components = {1};
+  EXPECT_TRUE(query.Validate().ok());
+}
+
+TEST(MakeRangeQueryTest, BuildsContiguousComponents) {
+  const AggregateQuery query =
+      MakeRangeQuery("range", AggregateKind::kSum, 100, 5);
+  EXPECT_EQ(query.name, "range");
+  EXPECT_EQ(query.kind, AggregateKind::kSum);
+  EXPECT_EQ(query.components,
+            (std::vector<ComponentId>{100, 101, 102, 103, 104}));
+}
+
+TEST(QueryProcessorTest, EvaluatesFigure1Assignment) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const QueryProcessor processor;
+  // c1 from D1 (21), c2 from D3 (17), c3 from D4 (15), c4 from D3 (20),
+  // c5 from D2 (18) => 91.
+  const Assignment assignment = {0, 2, 3, 2, 1};
+  const auto answer = processor.Evaluate(sources, query, assignment);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer.value(), 91.0);
+}
+
+TEST(QueryProcessorTest, DifferentAssignmentsDifferentAnswers) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const QueryProcessor processor;
+  const double a =
+      processor.Evaluate(sources, query, {0, 0, 2, 2, 1}).value();
+  const double b =
+      processor.Evaluate(sources, query, {2, 2, 2, 2, 1}).value();
+  EXPECT_NE(a, b);  // D1 vs D3 disagree on components 1 and 2
+}
+
+TEST(QueryProcessorTest, ArityMismatchRejected) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const QueryProcessor processor;
+  EXPECT_FALSE(processor.Evaluate(sources, query, {0, 1}).ok());
+}
+
+TEST(QueryProcessorTest, InvalidSourceIndexRejected) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const QueryProcessor processor;
+  EXPECT_EQ(processor.Evaluate(sources, query, {0, 1, 2, 2, 9})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(processor.Evaluate(sources, query, {0, 1, 2, 2, -1})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(QueryProcessorTest, SourceMissingBindingRejected) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const QueryProcessor processor;
+  // D1 (index 0) does not bind component 3.
+  const auto answer = processor.Evaluate(sources, query, {0, 1, 0, 2, 1});
+  EXPECT_EQ(answer.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryProcessorTest, EvaluateValuesDelegates) {
+  const QueryProcessor processor;
+  AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kAverage);
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(processor.EvaluateValues(query, values).value(), 2.0);
+}
+
+}  // namespace
+}  // namespace vastats

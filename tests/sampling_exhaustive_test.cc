@@ -1,0 +1,124 @@
+#include "sampling/exhaustive.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(EnumerateOrderAnswersTest, Figure1PermutationCount) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto answers = EnumerateOrderAnswers(
+      sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 24u);  // 4! permutations
+}
+
+TEST(EnumerateOrderAnswersTest, HandComputedPath) {
+  // Path (D1, D2, D3, D4): take c1=21, c2=19 from D1; c5=18 from D2;
+  // c3=15, c4=20 from D3 => sum 93. Identity permutation is the first one.
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto answers = EnumerateOrderAnswers(
+      sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(answers.ok());
+  EXPECT_DOUBLE_EQ((*answers)[0], 93.0);
+}
+
+TEST(EnumerateOrderAnswersTest, CapEnforced) {
+  SourceSet sources;
+  for (int s = 0; s < 9; ++s) {
+    DataSource source("s" + std::to_string(s));
+    source.Bind(1, static_cast<double>(s));
+    sources.AddSource(std::move(source));
+  }
+  AggregateQuery query = MakeRangeQuery("q", AggregateKind::kSum, 1, 1);
+  EXPECT_FALSE(EnumerateOrderAnswers(sources, query, 8).ok());
+  EXPECT_TRUE(EnumerateOrderAnswers(sources, query, 9).ok());
+}
+
+TEST(EnumerateAssignmentAnswersTest, CountsIsProductOfCoverage) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto answers = EnumerateAssignmentAnswers(
+      sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(answers.ok());
+  // Coverage: 3 * 3 * 2 * 1 * 1 = 18 assignments.
+  EXPECT_EQ(answers->size(), 18u);
+}
+
+TEST(EnumerateAssignmentAnswersTest, SupersetOfOrderAnswers) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kSum);
+  const auto order = EnumerateOrderAnswers(sources, query);
+  const auto assignment = EnumerateAssignmentAnswers(sources, query);
+  ASSERT_TRUE(order.ok());
+  ASSERT_TRUE(assignment.ok());
+  const std::set<double> assignment_set(assignment->begin(),
+                                        assignment->end());
+  for (const double v : *order) {
+    EXPECT_TRUE(assignment_set.count(v) > 0);
+  }
+}
+
+TEST(EnumerateAssignmentAnswersTest, CapEnforced) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  EXPECT_FALSE(EnumerateAssignmentAnswers(
+                   sources, testing::MakeFigure1Query(AggregateKind::kSum),
+                   10)
+                   .ok());
+}
+
+TEST(ViableRangeTest, SumEnvelope) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto range =
+      ViableRange(sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(range.ok());
+  // Min: 19 + 17 + 15 + 20 + 18 = 89. Max: 21 + 22 + 15 + 20 + 18 = 96.
+  EXPECT_DOUBLE_EQ(range->first, 89.0);
+  EXPECT_DOUBLE_EQ(range->second, 96.0);
+}
+
+TEST(ViableRangeTest, MatchesAssignmentEnumerationExtremes) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  for (const AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kAverage, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kMedian}) {
+    const AggregateQuery query = testing::MakeFigure1Query(kind);
+    const auto range = ViableRange(sources, query);
+    const auto all = EnumerateAssignmentAnswers(sources, query);
+    ASSERT_TRUE(range.ok());
+    ASSERT_TRUE(all.ok());
+    const auto [min_it, max_it] = std::minmax_element(all->begin(),
+                                                      all->end());
+    EXPECT_DOUBLE_EQ(range->first, *min_it) << AggregateKindToString(kind);
+    EXPECT_DOUBLE_EQ(range->second, *max_it) << AggregateKindToString(kind);
+  }
+}
+
+TEST(ViableRangeTest, NonMonotoneFallsBackToEnumeration) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query =
+      testing::MakeFigure1Query(AggregateKind::kVariance);
+  const auto range = ViableRange(sources, query);
+  const auto all = EnumerateAssignmentAnswers(sources, query);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(all.ok());
+  const auto [min_it, max_it] = std::minmax_element(all->begin(), all->end());
+  EXPECT_DOUBLE_EQ(range->first, *min_it);
+  EXPECT_DOUBLE_EQ(range->second, *max_it);
+}
+
+TEST(ViableRangeTest, UncoveredComponentRejected) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  query.components.push_back(42);
+  EXPECT_FALSE(ViableRange(sources, query).ok());
+}
+
+}  // namespace
+}  // namespace vastats

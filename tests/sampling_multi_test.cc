@@ -1,0 +1,96 @@
+#include "sampling/multi.h"
+
+#include "sampling/unis.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+std::vector<ComponentId> Figure1Components() { return {1, 2, 3, 4, 5}; }
+
+TEST(MultiAggregateSamplerTest, Validation) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  EXPECT_FALSE(MultiAggregateSampler::Create(nullptr, Figure1Components(),
+                                             {{AggregateKind::kSum, 0.5}})
+                   .ok());
+  EXPECT_FALSE(
+      MultiAggregateSampler::Create(&sources, {}, {{AggregateKind::kSum, 0.5}})
+          .ok());
+  EXPECT_FALSE(
+      MultiAggregateSampler::Create(&sources, Figure1Components(), {}).ok());
+  EXPECT_FALSE(MultiAggregateSampler::Create(
+                   &sources, Figure1Components(),
+                   {{AggregateKind::kQuantile, 1.5}})
+                   .ok());
+  EXPECT_FALSE(MultiAggregateSampler::Create(&sources, {1, 42},
+                                             {{AggregateKind::kSum, 0.5}})
+                   .ok());
+}
+
+TEST(MultiAggregateSamplerTest, AnswersAreMutuallyConsistent) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = MultiAggregateSampler::Create(
+      &sources, Figure1Components(),
+      {{AggregateKind::kSum, 0.5},
+       {AggregateKind::kAverage, 0.5},
+       {AggregateKind::kMin, 0.5},
+       {AggregateKind::kMax, 0.5}});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto answers = sampler->SampleOne(rng);
+    ASSERT_TRUE(answers.ok());
+    ASSERT_EQ(answers->size(), 4u);
+    const double sum = (*answers)[0];
+    const double avg = (*answers)[1];
+    const double min = (*answers)[2];
+    const double max = (*answers)[3];
+    // All four come from the same assignment, so they cohere exactly.
+    EXPECT_NEAR(avg, sum / 5.0, 1e-12);
+    EXPECT_LE(min, avg);
+    EXPECT_GE(max, avg);
+  }
+}
+
+TEST(MultiAggregateSamplerTest, MarginalsMatchSingleAggregateSampler) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto multi = MultiAggregateSampler::Create(
+      &sources, Figure1Components(), {{AggregateKind::kSum, 0.5}});
+  ASSERT_TRUE(multi.ok());
+  const auto single = UniSSampler::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum));
+  ASSERT_TRUE(single.ok());
+  Rng rng_multi(2), rng_single(2);
+  const auto multi_samples = multi->Sample(4000, rng_multi);
+  const auto single_samples = single->Sample(4000, rng_single);
+  ASSERT_TRUE(multi_samples.ok());
+  ASSERT_TRUE(single_samples.ok());
+  // Same answer distribution: compare means of the {89, 93, 96} atoms.
+  const double multi_mean = ComputeMoments((*multi_samples)[0]).mean();
+  const double single_mean = ComputeMoments(*single_samples).mean();
+  EXPECT_NEAR(multi_mean, single_mean, 0.2);
+}
+
+TEST(MultiAggregateSamplerTest, SampleShapesSeries) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto sampler = MultiAggregateSampler::Create(
+      &sources, Figure1Components(),
+      {{AggregateKind::kSum, 0.5}, {AggregateKind::kQuantile, 0.8}});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  const auto series = sampler->Sample(50, rng);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ((*series)[0].size(), 50u);
+  EXPECT_EQ((*series)[1].size(), 50u);
+  EXPECT_FALSE(sampler->Sample(0, rng).ok());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,124 @@
+#include "sampling/parallel.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "datagen/source_builder.h"
+#include "sampling/exhaustive.h"
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+class ParallelSamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto d2 = MakeD2(60);
+    SyntheticSourceSetOptions options;
+    options.num_sources = 40;
+    options.num_components = 80;
+    options.seed = 61;
+    sources_ = BuildSyntheticSourceSet(*d2, options).value();
+    query_ = MakeRangeQuery("sum", AggregateKind::kSum, 0, 80);
+    sampler_.emplace(UniSSampler::Create(&sources_, query_).value());
+  }
+
+  SourceSet sources_;
+  AggregateQuery query_;
+  std::optional<UniSSampler> sampler_;
+};
+
+TEST_F(ParallelSamplingTest, ProducesRequestedCount) {
+  ParallelSampleOptions options;
+  options.num_threads = 4;
+  const auto samples = ParallelUniSSample(*sampler_, 1000, options);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 1000u);
+}
+
+TEST_F(ParallelSamplingTest, DeterministicForFixedSeedAndThreads) {
+  ParallelSampleOptions options;
+  options.num_threads = 3;
+  options.seed = 77;
+  const auto a = ParallelUniSSample(*sampler_, 500, options);
+  const auto b = ParallelUniSSample(*sampler_, 500, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST_F(ParallelSamplingTest, SingleThreadMatchesMultiThreadDistribution) {
+  ParallelSampleOptions one;
+  one.num_threads = 1;
+  one.seed = 88;
+  ParallelSampleOptions four;
+  four.num_threads = 4;
+  four.seed = 88;
+  const auto serial = ParallelUniSSample(*sampler_, 2000, one);
+  const auto parallel = ParallelUniSSample(*sampler_, 2000, four);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  // Not bit-identical (different stream partitioning) but statistically the
+  // same distribution.
+  const Moments ms = ComputeMoments(*serial);
+  const Moments mp = ComputeMoments(*parallel);
+  const double se = ms.SampleStdDev() / std::sqrt(2000.0);
+  EXPECT_NEAR(ms.mean(), mp.mean(), 6.0 * se);
+  EXPECT_NEAR(ms.SampleStdDev(), mp.SampleStdDev(),
+              0.2 * ms.SampleStdDev());
+}
+
+TEST_F(ParallelSamplingTest, UnevenSplitCoversAllSlots) {
+  // 7 is not divisible by 3: every slot must still be written.
+  ParallelSampleOptions options;
+  options.num_threads = 3;
+  const auto samples = ParallelUniSSample(*sampler_, 7, options);
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 7u);
+  // All uniS sums of this workload are far from zero; an unwritten slot
+  // would remain exactly 0.
+  for (const double v : *samples) EXPECT_NE(v, 0.0);
+}
+
+TEST_F(ParallelSamplingTest, MoreThreadsThanSamplesClamps) {
+  ParallelSampleOptions options;
+  options.num_threads = 64;
+  const auto samples = ParallelUniSSample(*sampler_, 5, options);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 5u);
+}
+
+TEST_F(ParallelSamplingTest, DefaultThreadCountWorks) {
+  ParallelSampleOptions options;  // num_threads = 0 -> hardware concurrency
+  const auto samples = ParallelUniSSample(*sampler_, 100, options);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 100u);
+}
+
+TEST_F(ParallelSamplingTest, Validation) {
+  ParallelSampleOptions options;
+  EXPECT_FALSE(ParallelUniSSample(*sampler_, 0, options).ok());
+  options.num_threads = -1;
+  EXPECT_FALSE(ParallelUniSSample(*sampler_, 10, options).ok());
+}
+
+TEST_F(ParallelSamplingTest, AnswersWithinViableRange) {
+  const auto range = ViableRange(sources_, query_);
+  ASSERT_TRUE(range.ok());
+  ParallelSampleOptions options;
+  options.num_threads = 4;
+  const auto samples = ParallelUniSSample(*sampler_, 500, options);
+  ASSERT_TRUE(samples.ok());
+  for (const double v : *samples) {
+    EXPECT_GE(v, range->first);
+    EXPECT_LE(v, range->second);
+  }
+}
+
+}  // namespace
+}  // namespace vastats

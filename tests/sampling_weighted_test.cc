@@ -1,0 +1,173 @@
+#include "sampling/weighted.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+// Two sources disagreeing on one component, with a third corroborating one
+// of them — the minimal quality-estimation scenario.
+SourceSet MakeDisagreementSources() {
+  SourceSet set;
+  DataSource good_a("good-a");
+  DataSource good_b("good-b");
+  DataSource bad("bad");
+  for (ComponentId c = 0; c < 20; ++c) {
+    good_a.Bind(c, 10.0 + static_cast<double>(c));
+    good_b.Bind(c, 10.0 + static_cast<double>(c));
+    bad.Bind(c, 10.0 + static_cast<double>(c) + 50.0);  // way off
+  }
+  set.AddSource(std::move(good_a));
+  set.AddSource(std::move(good_b));
+  set.AddSource(std::move(bad));
+  return set;
+}
+
+TEST(EstimateSourceQualityTest, OutlierSourceGetsLowWeight) {
+  const SourceSet sources = MakeDisagreementSources();
+  std::vector<ComponentId> scope;
+  for (ComponentId c = 0; c < 20; ++c) scope.push_back(c);
+  const auto weights = EstimateSourceQuality(sources, scope);
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), 3u);
+  EXPECT_GT((*weights)[0], (*weights)[2] * 2.0);
+  EXPECT_GT((*weights)[1], (*weights)[2] * 2.0);
+  for (const double w : *weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+}
+
+TEST(EstimateSourceQualityTest, NoOverlapGivesDefaultWeights) {
+  SourceSet set;
+  DataSource a("a"), b("b");
+  a.Bind(1, 1.0);
+  b.Bind(2, 2.0);
+  set.AddSource(std::move(a));
+  set.AddSource(std::move(b));
+  const std::vector<ComponentId> scope = {1, 2};
+  SourceQualityOptions options;
+  options.default_weight = 0.7;
+  const auto weights = EstimateSourceQuality(set, scope, options);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_DOUBLE_EQ((*weights)[0], 0.7);
+  EXPECT_DOUBLE_EQ((*weights)[1], 0.7);
+}
+
+TEST(EstimateSourceQualityTest, PerfectAgreementGivesEqualWeights) {
+  SourceSet set;
+  DataSource a("a"), b("b");
+  for (ComponentId c = 0; c < 10; ++c) {
+    a.Bind(c, 5.0);
+    b.Bind(c, 5.0);
+  }
+  set.AddSource(std::move(a));
+  set.AddSource(std::move(b));
+  std::vector<ComponentId> scope;
+  for (ComponentId c = 0; c < 10; ++c) scope.push_back(c);
+  const auto weights = EstimateSourceQuality(set, scope);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_DOUBLE_EQ((*weights)[0], (*weights)[1]);
+  EXPECT_GT((*weights)[0], 0.9);
+}
+
+TEST(EstimateSourceQualityTest, Validation) {
+  const SourceSet sources = MakeDisagreementSources();
+  EXPECT_FALSE(EstimateSourceQuality(sources, {}).ok());
+  const std::vector<ComponentId> scope = {0};
+  SourceQualityOptions bad;
+  bad.softness = 0.0;
+  EXPECT_FALSE(EstimateSourceQuality(sources, scope, bad).ok());
+}
+
+TEST(WeightedUniSSamplerTest, CreateValidatesWeights) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  EXPECT_FALSE(
+      WeightedUniSSampler::Create(&sources, query, {1.0, 1.0}).ok());
+  EXPECT_FALSE(
+      WeightedUniSSampler::Create(&sources, query, {1.0, 1.0, 0.0, 1.0})
+          .ok());
+  EXPECT_FALSE(
+      WeightedUniSSampler::Create(&sources, query, {1.0, -1.0, 1.0, 1.0})
+          .ok());
+  EXPECT_TRUE(
+      WeightedUniSSampler::Create(&sources, query, {1.0, 1.0, 1.0, 1.0})
+          .ok());
+}
+
+TEST(WeightedUniSSamplerTest, EqualWeightsMatchUniformDistribution) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  const auto weighted =
+      WeightedUniSSampler::Create(&sources, query, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  Rng rng(5);
+  const auto samples = weighted->Sample(8000, rng);
+  ASSERT_TRUE(samples.ok());
+  // uniS over Figure 1 yields 89/93/96 each with probability 1/3.
+  int counts[3] = {0, 0, 0};
+  for (const double v : *samples) {
+    if (v == 89.0) ++counts[0];
+    if (v == 93.0) ++counts[1];
+    if (v == 96.0) ++counts[2];
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 8000);
+  for (const int c : counts) {
+    EXPECT_NEAR(c / 8000.0, 1.0 / 3.0, 0.03);
+  }
+}
+
+TEST(WeightedUniSSamplerTest, HighWeightSourceDominates) {
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  // Give D1 overwhelming weight: answers where D1 supplies c1, c2 (i.e.
+  // sum 93: 21 + 19 + 15 + 20 + 18) should dominate.
+  const auto weighted = WeightedUniSSampler::Create(
+      &sources, query, {1000.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  Rng rng(6);
+  const auto samples = weighted->Sample(2000, rng);
+  ASSERT_TRUE(samples.ok());
+  int dominant = 0;
+  for (const double v : *samples) {
+    if (v == 93.0) ++dominant;
+  }
+  EXPECT_GT(dominant / 2000.0, 0.95);
+}
+
+TEST(WeightedUniSSamplerTest, QualityWeightsSuppressOutlierSource) {
+  // End-to-end: estimate quality, sample weighted, and verify the answer
+  // distribution tightens around the consensus.
+  const SourceSet sources = MakeDisagreementSources();
+  AggregateQuery query;
+  query.name = "sum";
+  query.kind = AggregateKind::kSum;
+  for (ComponentId c = 0; c < 20; ++c) query.components.push_back(c);
+
+  const auto weights = EstimateSourceQuality(sources, query.components);
+  ASSERT_TRUE(weights.ok());
+  const auto uniform = WeightedUniSSampler::Create(
+      &sources, query, {1.0, 1.0, 1.0});
+  const auto weighted =
+      WeightedUniSSampler::Create(&sources, query, *weights);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(weighted.ok());
+  Rng rng_u(7), rng_w(7);
+  const auto uniform_samples = uniform->Sample(500, rng_u);
+  const auto weighted_samples = weighted->Sample(500, rng_w);
+  // Consensus sum = sum(10..29) = 390; the bad source pulls answers up.
+  const double uniform_mean = ComputeMoments(*uniform_samples).mean();
+  const double weighted_mean = ComputeMoments(*weighted_samples).mean();
+  EXPECT_LT(weighted_mean, uniform_mean);
+  EXPECT_LT(std::fabs(weighted_mean - 390.0),
+            std::fabs(uniform_mean - 390.0));
+}
+
+}  // namespace
+}  // namespace vastats

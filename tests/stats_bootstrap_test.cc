@@ -1,0 +1,141 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(BootstrapOptionsTest, Validation) {
+  BootstrapOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_sets = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.num_sets = 10;
+  options.set_size = -1;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(BootstrapSetsTest, ShapeAndMembership) {
+  const std::vector<double> data = {1, 2, 3, 4, 5};
+  Rng rng(1);
+  BootstrapOptions options;
+  options.num_sets = 7;
+  options.set_size = 12;
+  const auto sets = BootstrapSets(data, options, rng);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->size(), 7u);
+  for (const auto& set : *sets) {
+    ASSERT_EQ(set.size(), 12u);
+    for (const double v : set) {
+      EXPECT_TRUE(std::find(data.begin(), data.end(), v) != data.end());
+    }
+  }
+}
+
+TEST(BootstrapSetsTest, DefaultSetSizeIsDataSize) {
+  const std::vector<double> data = {1, 2, 3};
+  Rng rng(2);
+  const auto sets = BootstrapSets(data, BootstrapOptions{}, rng);
+  ASSERT_TRUE(sets.ok());
+  EXPECT_EQ((*sets)[0].size(), 3u);
+}
+
+TEST(BootstrapSetsTest, DeterministicUnderSeed) {
+  const std::vector<double> data = testing::NormalSample(50, 3);
+  Rng rng_a(42), rng_b(42);
+  const auto a = BootstrapSets(data, BootstrapOptions{}, rng_a);
+  const auto b = BootstrapSets(data, BootstrapOptions{}, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(BootstrapSetsTest, EmptyDataRejected) {
+  Rng rng(1);
+  EXPECT_FALSE(BootstrapSets({}, BootstrapOptions{}, rng).ok());
+}
+
+TEST(BootstrapReplicatesTest, MeanReplicatesCenterOnSampleMean) {
+  const std::vector<double> data = testing::NormalSample(400, 5, 10.0, 2.0);
+  const double sample_mean = ComputeMoments(data).mean();
+  Rng rng(7);
+  BootstrapOptions options;
+  options.num_sets = 200;
+  const auto replicates = BootstrapReplicates(
+      data, MomentStatisticFn(MomentStatistic::kMean), options, rng);
+  ASSERT_TRUE(replicates.ok());
+  ASSERT_EQ(replicates->size(), 200u);
+  const Moments moments = ComputeMoments(*replicates);
+  EXPECT_NEAR(moments.mean(), sample_mean, 0.05);
+  // Replicate spread approximates the standard error s/sqrt(n).
+  const double expected_se =
+      ComputeMoments(data).SampleStdDev() / std::sqrt(400.0);
+  EXPECT_NEAR(moments.SampleStdDev(), expected_se, expected_se * 0.3);
+}
+
+TEST(BootstrapReplicatesTest, MatchesReplicatesFromSets) {
+  const std::vector<double> data = testing::NormalSample(100, 9);
+  BootstrapOptions options;
+  options.num_sets = 25;
+  Rng rng_a(11), rng_b(11);
+  const auto direct = BootstrapReplicates(
+      data, MomentStatisticFn(MomentStatistic::kVariance), options, rng_a);
+  const auto sets = BootstrapSets(data, options, rng_b);
+  ASSERT_TRUE(sets.ok());
+  const auto via_sets = ReplicatesFromSets(
+      *sets, MomentStatisticFn(MomentStatistic::kVariance));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_sets.ok());
+  ASSERT_EQ(direct->size(), via_sets->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*direct)[i], (*via_sets)[i]);
+  }
+}
+
+TEST(ReplicatesFromSetsTest, RejectsEmptyInput) {
+  EXPECT_FALSE(
+      ReplicatesFromSets({}, MomentStatisticFn(MomentStatistic::kMean)).ok());
+  const std::vector<std::vector<double>> sets = {{}};
+  EXPECT_FALSE(
+      ReplicatesFromSets(sets, MomentStatisticFn(MomentStatistic::kMean))
+          .ok());
+}
+
+TEST(BagTest, MeanAndMedianAggregators) {
+  const std::vector<double> replicates = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(Bag(replicates, BagAggregator::kMean).value(), 22.0);
+  EXPECT_DOUBLE_EQ(Bag(replicates, BagAggregator::kMedian).value(), 3.0);
+  EXPECT_FALSE(Bag({}, BagAggregator::kMean).ok());
+}
+
+TEST(BagTest, BaggingReducesEstimatorVariance) {
+  // Variance of bagged means across independent runs should be smaller than
+  // variance of single-set estimates.
+  const std::vector<double> data = testing::NormalSample(100, 21, 0.0, 5.0);
+  BootstrapOptions one_set;
+  one_set.num_sets = 1;
+  BootstrapOptions many_sets;
+  many_sets.num_sets = 40;
+
+  Moments single, bagged;
+  for (int trial = 0; trial < 60; ++trial) {
+    Rng rng(1000 + static_cast<uint64_t>(trial));
+    const auto single_rep = BootstrapReplicates(
+        data, MomentStatisticFn(MomentStatistic::kMean), one_set, rng);
+    single.Add((*single_rep)[0]);
+    const auto many_rep = BootstrapReplicates(
+        data, MomentStatisticFn(MomentStatistic::kMean), many_sets, rng);
+    bagged.Add(Bag(*many_rep, BagAggregator::kMean).value());
+  }
+  EXPECT_LT(bagged.SampleVariance(), single.SampleVariance());
+}
+
+}  // namespace
+}  // namespace vastats

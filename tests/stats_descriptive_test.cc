@@ -1,0 +1,176 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace vastats {
+namespace {
+
+TEST(MomentsTest, EmptyIsZero) {
+  Moments moments;
+  EXPECT_EQ(moments.count(), 0);
+  EXPECT_EQ(moments.mean(), 0.0);
+  EXPECT_EQ(moments.SampleVariance(), 0.0);
+  EXPECT_EQ(moments.Skewness(), 0.0);
+}
+
+TEST(MomentsTest, SmallKnownSample) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Moments moments = ComputeMoments(values);
+  EXPECT_EQ(moments.count(), 8);
+  EXPECT_DOUBLE_EQ(moments.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(moments.PopulationVariance(), 4.0);
+  EXPECT_NEAR(moments.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(moments.min(), 2.0);
+  EXPECT_DOUBLE_EQ(moments.max(), 9.0);
+  EXPECT_DOUBLE_EQ(moments.Sum(), 40.0);
+}
+
+TEST(MomentsTest, SkewnessSignReflectsAsymmetry) {
+  // Right-skewed sample.
+  const std::vector<double> right = {1, 1, 1, 2, 2, 3, 10};
+  EXPECT_GT(ComputeMoments(right).Skewness(), 0.5);
+  // Mirrored sample is left-skewed with opposite sign.
+  std::vector<double> left;
+  for (const double v : right) left.push_back(-v);
+  EXPECT_NEAR(ComputeMoments(left).Skewness(),
+              -ComputeMoments(right).Skewness(), 1e-12);
+}
+
+TEST(MomentsTest, SkewnessOfSymmetricSampleIsZero) {
+  const std::vector<double> values = {-3, -1, 0, 1, 3};
+  EXPECT_NEAR(ComputeMoments(values).Skewness(), 0.0, 1e-12);
+}
+
+TEST(MomentsTest, ConstantSampleDegenerates) {
+  const std::vector<double> values(10, 4.2);
+  const Moments moments = ComputeMoments(values);
+  EXPECT_DOUBLE_EQ(moments.mean(), 4.2);
+  EXPECT_NEAR(moments.SampleVariance(), 0.0, 1e-20);
+  EXPECT_EQ(moments.Skewness(), 0.0);
+  EXPECT_EQ(moments.ExcessKurtosis(), 0.0);
+}
+
+TEST(MomentsTest, MergeMatchesBulkComputation) {
+  Rng rng(5);
+  std::vector<double> all;
+  Moments merged;
+  for (int part = 0; part < 5; ++part) {
+    Moments chunk;
+    const int size = 10 + part * 17;
+    for (int i = 0; i < size; ++i) {
+      const double x = rng.Normal(part * 3.0, 1.0 + part);
+      chunk.Add(x);
+      all.push_back(x);
+    }
+    merged.Merge(chunk);
+  }
+  const Moments bulk = ComputeMoments(all);
+  EXPECT_EQ(merged.count(), bulk.count());
+  EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-10);
+  EXPECT_NEAR(merged.SampleVariance(), bulk.SampleVariance(), 1e-8);
+  EXPECT_NEAR(merged.Skewness(), bulk.Skewness(), 1e-8);
+  EXPECT_NEAR(merged.ExcessKurtosis(), bulk.ExcessKurtosis(), 1e-8);
+  EXPECT_EQ(merged.min(), bulk.min());
+  EXPECT_EQ(merged.max(), bulk.max());
+}
+
+TEST(MomentsTest, MergeWithEmptySides) {
+  Moments empty;
+  Moments filled = ComputeMoments(std::vector<double>{1.0, 2.0, 3.0});
+  Moments target;
+  target.Merge(filled);  // empty.Merge(filled)
+  EXPECT_EQ(target.count(), 3);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  filled.Merge(empty);  // filled.Merge(empty) is a no-op
+  EXPECT_EQ(filled.count(), 3);
+}
+
+TEST(MomentsTest, NormalSampleMomentsConverge) {
+  const std::vector<double> values =
+      testing::NormalSample(100000, 71, 10.0, 3.0);
+  const Moments moments = ComputeMoments(values);
+  EXPECT_NEAR(moments.mean(), 10.0, 0.05);
+  EXPECT_NEAR(moments.SampleStdDev(), 3.0, 0.05);
+  EXPECT_NEAR(moments.Skewness(), 0.0, 0.05);
+  EXPECT_NEAR(moments.ExcessKurtosis(), 0.0, 0.1);
+}
+
+TEST(QuantileTest, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3, 1, 2}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4, 1, 3, 2}).value(), 2.5);
+}
+
+TEST(QuantileTest, Type7Interpolation) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0).value(), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0 / 3.0).value(), 2.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> values = {42.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0).value(), 42.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.7).value(), 42.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_FALSE(Quantile(values, -0.1).ok());
+  EXPECT_FALSE(Quantile(values, 1.1).ok());
+}
+
+TEST(QuantileTest, MonotoneInQ) {
+  const std::vector<double> values = testing::NormalSample(500, 3);
+  double prev = Quantile(values, 0.0).value();
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = Quantile(values, q).value();
+    EXPECT_GE(current, prev);
+    prev = current;
+  }
+}
+
+TEST(SummarizeTest, AllFieldsFilled) {
+  const std::vector<double> values = {1, 2, 3, 4, 100};
+  const auto summary = Summarize(values);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->count, 5);
+  EXPECT_DOUBLE_EQ(summary->mean, 22.0);
+  EXPECT_DOUBLE_EQ(summary->median, 3.0);
+  EXPECT_DOUBLE_EQ(summary->min, 1.0);
+  EXPECT_DOUBLE_EQ(summary->max, 100.0);
+  EXPECT_GT(summary->skewness, 1.0);  // strongly right-skewed
+  EXPECT_NEAR(summary->std_dev, std::sqrt(summary->variance), 1e-12);
+}
+
+TEST(SummarizeTest, RejectsEmpty) { EXPECT_FALSE(Summarize({}).ok()); }
+
+// Property sweep: merged moments must equal bulk moments for any split.
+class MomentsMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MomentsMergeProperty, SplitInvariance) {
+  const int split = GetParam();
+  const std::vector<double> values = testing::NormalSample(200, 13, 5.0, 2.0);
+  Moments left, right;
+  for (int i = 0; i < 200; ++i) {
+    (i < split ? left : right).Add(values[static_cast<size_t>(i)]);
+  }
+  left.Merge(right);
+  const Moments bulk = ComputeMoments(values);
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-10);
+  EXPECT_NEAR(left.SampleVariance(), bulk.SampleVariance(), 1e-9);
+  EXPECT_NEAR(left.Skewness(), bulk.Skewness(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, MomentsMergeProperty,
+                         ::testing::Values(0, 1, 7, 50, 100, 150, 199, 200));
+
+}  // namespace
+}  // namespace vastats

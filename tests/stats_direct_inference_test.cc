@@ -1,0 +1,130 @@
+#include "stats/direct_inference.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+Moments GaussianMoments(int n, uint64_t seed, double mean, double sigma) {
+  return ComputeMoments(testing::NormalSample(n, seed, mean, sigma));
+}
+
+TEST(DirectMeanCiTest, CltWidthMatchesFormula) {
+  const Moments moments = GaussianMoments(400, 1, 10.0, 2.0);
+  const auto ci = DirectMeanCi(moments, 0.90, DirectMethod::kClt);
+  ASSERT_TRUE(ci.ok());
+  const double z = NormalQuantile(0.95).value();
+  const double expected = 2.0 * z * moments.SampleStdDev() / 20.0;
+  EXPECT_NEAR(ci->Length(), expected, 1e-12);
+  EXPECT_TRUE(ci->Contains(moments.mean()));
+}
+
+TEST(DirectMeanCiTest, ChebyshevWiderThanClt) {
+  const Moments moments = GaussianMoments(400, 2, 0.0, 1.0);
+  const auto cheb = DirectMeanCi(moments, 0.90, DirectMethod::kChebyshev);
+  const auto clt = DirectMeanCi(moments, 0.90, DirectMethod::kClt);
+  ASSERT_TRUE(cheb.ok());
+  ASSERT_TRUE(clt.ok());
+  // 1/sqrt(0.1) = 3.162 vs z_{0.95} = 1.645: ~1.9x wider.
+  EXPECT_NEAR(cheb->Length() / clt->Length(),
+              (1.0 / std::sqrt(0.1)) / NormalQuantile(0.95).value(), 1e-9);
+}
+
+TEST(DirectMeanCiTest, ChebyshevGuaranteesCoverage) {
+  // Chebyshev is distribution-free: coverage across trials must exceed the
+  // nominal level even on skewed data.
+  int covered = 0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(3000 + static_cast<uint64_t>(t));
+    std::vector<double> data(100);
+    for (double& v : data) v = rng.Exponential(0.5);  // mean 2
+    const auto ci = DirectMeanCi(ComputeMoments(data), 0.90,
+                                 DirectMethod::kChebyshev);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(2.0)) ++covered;
+  }
+  EXPECT_GT(static_cast<double>(covered) / kTrials, 0.95);
+}
+
+TEST(DirectMeanCiTest, RejectsDegenerateInput) {
+  Moments one;
+  one.Add(1.0);
+  EXPECT_FALSE(DirectMeanCi(one, 0.9, DirectMethod::kClt).ok());
+  const Moments two = ComputeMoments(std::vector<double>{1.0, 2.0});
+  EXPECT_FALSE(DirectMeanCi(two, 1.5, DirectMethod::kClt).ok());
+}
+
+TEST(DirectVarianceCiTest, CoversTrueVarianceOnGaussianData) {
+  int covered = 0;
+  const int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    const Moments moments =
+        GaussianMoments(200, 4000 + static_cast<uint64_t>(t), 0.0, 3.0);
+    const auto ci = DirectVarianceCi(moments, 0.90);
+    ASSERT_TRUE(ci.ok());
+    EXPECT_LT(ci->lo, ci->hi);
+    if (ci->Contains(9.0)) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / kTrials, 0.90, 0.08);
+}
+
+TEST(DirectVarianceCiTest, IntervalBracketsSampleVariance) {
+  const Moments moments = GaussianMoments(100, 5, 1.0, 2.0);
+  const auto ci = DirectVarianceCi(moments, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lo, moments.SampleVariance());
+  EXPECT_GT(ci->hi, moments.SampleVariance());
+}
+
+TEST(DirectSkewnessCiTest, CentersOnSampleSkewness) {
+  const Moments moments = GaussianMoments(500, 6, 0.0, 1.0);
+  const auto ci = DirectSkewnessCi(moments, 0.90);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(0.5 * (ci->lo + ci->hi), moments.Skewness(), 1e-12);
+  // SE of skewness at n=500 is ~0.109; the 90% interval ~0.36 wide.
+  EXPECT_NEAR(ci->Length(), 2.0 * 1.645 * 0.109, 0.02);
+}
+
+TEST(DirectSkewnessCiTest, RejectsTinySamples) {
+  const Moments three = ComputeMoments(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_FALSE(DirectSkewnessCi(three, 0.9).ok());
+}
+
+TEST(RequiredSampleSizeTest, SolvesTheWidthEquation) {
+  // n such that 2 * k * s / sqrt(n) = L.
+  const double n =
+      DirectMeanRequiredSampleSize(2.0, 0.90, 0.5, DirectMethod::kChebyshev)
+          .value();
+  const double k = 1.0 / std::sqrt(0.1);
+  const double width = 2.0 * k * 2.0 / std::sqrt(n);
+  EXPECT_NEAR(width, 0.5, 1e-9);
+}
+
+TEST(RequiredSampleSizeTest, ScalesInverselyWithSquaredLength) {
+  const double n1 =
+      DirectMeanRequiredSampleSize(1.0, 0.90, 0.2, DirectMethod::kClt)
+          .value();
+  const double n2 =
+      DirectMeanRequiredSampleSize(1.0, 0.90, 0.1, DirectMethod::kClt)
+          .value();
+  EXPECT_NEAR(n2 / n1, 4.0, 1e-9);
+}
+
+TEST(RequiredSampleSizeTest, RejectsBadInput) {
+  EXPECT_FALSE(
+      DirectMeanRequiredSampleSize(-1.0, 0.9, 0.5, DirectMethod::kClt).ok());
+  EXPECT_FALSE(
+      DirectMeanRequiredSampleSize(1.0, 0.9, 0.0, DirectMethod::kClt).ok());
+  EXPECT_FALSE(
+      DirectMeanRequiredSampleSize(1.0, 1.5, 0.5, DirectMethod::kClt).ok());
+}
+
+}  // namespace
+}  // namespace vastats

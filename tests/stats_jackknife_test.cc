@@ -1,0 +1,101 @@
+#include "stats/jackknife.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(EvaluateMomentStatisticTest, MatchesMoments) {
+  const std::vector<double> values = {1, 2, 3, 4, 10};
+  const Moments moments = ComputeMoments(values);
+  EXPECT_DOUBLE_EQ(
+      EvaluateMomentStatistic(MomentStatistic::kMean, values), moments.mean());
+  EXPECT_DOUBLE_EQ(EvaluateMomentStatistic(MomentStatistic::kVariance, values),
+                   moments.SampleVariance());
+  EXPECT_DOUBLE_EQ(EvaluateMomentStatistic(MomentStatistic::kStdDev, values),
+                   moments.SampleStdDev());
+  EXPECT_DOUBLE_EQ(EvaluateMomentStatistic(MomentStatistic::kSkewness, values),
+                   moments.Skewness());
+}
+
+TEST(JackknifeGenericTest, LeaveOneOutMeans) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const auto estimates =
+      JackknifeGeneric(values, MomentStatisticFn(MomentStatistic::kMean));
+  ASSERT_TRUE(estimates.ok());
+  ASSERT_EQ(estimates->size(), 3u);
+  EXPECT_DOUBLE_EQ((*estimates)[0], 2.5);  // drop 1 -> mean(2,3)
+  EXPECT_DOUBLE_EQ((*estimates)[1], 2.0);  // drop 2 -> mean(1,3)
+  EXPECT_DOUBLE_EQ((*estimates)[2], 1.5);  // drop 3 -> mean(1,2)
+}
+
+TEST(JackknifeGenericTest, RequiresTwoPoints) {
+  EXPECT_FALSE(
+      JackknifeGeneric(std::vector<double>{1.0},
+                       MomentStatisticFn(MomentStatistic::kMean))
+          .ok());
+}
+
+class JackknifeMomentMatchesGeneric
+    : public ::testing::TestWithParam<MomentStatistic> {};
+
+TEST_P(JackknifeMomentMatchesGeneric, FastPathAgreesWithGeneric) {
+  const MomentStatistic statistic = GetParam();
+  const std::vector<double> values =
+      testing::NormalSample(60, 17, 5.0, 2.0);
+  const auto fast = JackknifeMoment(values, statistic);
+  const auto slow = JackknifeGeneric(values, MomentStatisticFn(statistic));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(fast->size(), slow->size());
+  for (size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_NEAR((*fast)[i], (*slow)[i], 1e-8) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMomentStatistics, JackknifeMomentMatchesGeneric,
+                         ::testing::Values(MomentStatistic::kMean,
+                                           MomentStatistic::kVariance,
+                                           MomentStatistic::kStdDev,
+                                           MomentStatistic::kSkewness));
+
+TEST(JackknifeMomentTest, MinimumSizeEnforced) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_FALSE(JackknifeMoment(two, MomentStatistic::kMean).ok());
+  const std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(JackknifeMoment(three, MomentStatistic::kMean).ok());
+  EXPECT_FALSE(JackknifeMoment(three, MomentStatistic::kSkewness).ok());
+  const std::vector<double> four = {1.0, 2.0, 3.0, 5.0};
+  EXPECT_TRUE(JackknifeMoment(four, MomentStatistic::kSkewness).ok());
+}
+
+TEST(JackknifeAccelerationTest, ZeroForSymmetricReplicates) {
+  const std::vector<double> estimates = {-2, -1, 0, 1, 2};
+  EXPECT_NEAR(JackknifeAcceleration(estimates).value(), 0.0, 1e-12);
+}
+
+TEST(JackknifeAccelerationTest, ZeroForConstantReplicates) {
+  const std::vector<double> estimates(10, 3.0);
+  EXPECT_DOUBLE_EQ(JackknifeAcceleration(estimates).value(), 0.0);
+}
+
+TEST(JackknifeAccelerationTest, SignTracksSkewOfInfluence) {
+  // One very low leave-one-out estimate => (tbar - ti)^3 dominated by a
+  // positive cube => positive acceleration.
+  const std::vector<double> estimates = {1.0, 1.0, 1.0, 1.0, -10.0};
+  EXPECT_GT(JackknifeAcceleration(estimates).value(), 0.0);
+  const std::vector<double> mirrored = {-1.0, -1.0, -1.0, -1.0, 10.0};
+  EXPECT_LT(JackknifeAcceleration(mirrored).value(), 0.0);
+}
+
+TEST(JackknifeAccelerationTest, RequiresTwoReplicates) {
+  EXPECT_FALSE(JackknifeAcceleration(std::vector<double>{1.0}).ok());
+}
+
+}  // namespace
+}  // namespace vastats

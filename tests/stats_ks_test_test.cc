@@ -1,0 +1,133 @@
+#include "stats/ks_test.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sampling/exhaustive.h"
+#include "sampling/unis.h"
+#include "test_util.h"
+#include "util/math.h"
+
+namespace vastats {
+namespace {
+
+TEST(KolmogorovCdfTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(KolmogorovCdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(KolmogorovCdf(-1.0), 0.0);
+  // K(1.36) ~ 0.9505 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovCdf(1.36), 0.95, 0.002);
+  // K(1.63) ~ 0.99.
+  EXPECT_NEAR(KolmogorovCdf(1.63), 0.99, 0.002);
+  EXPECT_NEAR(KolmogorovCdf(5.0), 1.0, 1e-12);
+}
+
+TEST(KsStatisticTest, ZeroForPerfectFit) {
+  // Sample at exact uniform quantile positions: D_n = 1/(2n) shifted; use
+  // the midpoints so D_n = 1/(2n).
+  const int n = 100;
+  std::vector<double> samples;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back((static_cast<double>(i) + 0.5) / n);
+  }
+  const auto d = KsStatistic(samples, [](double x) { return x; });
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 0.5 / n, 1e-12);
+}
+
+TEST(KsStatisticTest, DetectsWrongDistribution) {
+  const std::vector<double> samples = testing::NormalSample(500, 1, 2.0, 1.0);
+  // Against the true N(2,1) CDF: small statistic.
+  const double good =
+      KsStatistic(samples, [](double x) { return NormalCdf(x - 2.0); })
+          .value();
+  // Against a shifted CDF: large statistic.
+  const double bad =
+      KsStatistic(samples, [](double x) { return NormalCdf(x); }).value();
+  EXPECT_LT(good, 0.07);
+  EXPECT_GT(bad, 0.5);
+  EXPECT_GT(KsPValue(good, 500).value(), 0.01);
+  EXPECT_LT(KsPValue(bad, 500).value(), 1e-6);
+}
+
+TEST(KsStatisticTwoSampleTest, SameDistributionSmallStatistic) {
+  const std::vector<double> a = testing::NormalSample(800, 2);
+  const std::vector<double> b = testing::NormalSample(800, 3);
+  const double d = KsStatisticTwoSample(a, b).value();
+  EXPECT_LT(d, 0.08);
+  EXPECT_GT(KsPValueTwoSample(d, 800, 800).value(), 0.01);
+}
+
+TEST(KsStatisticTwoSampleTest, DifferentDistributionsLargeStatistic) {
+  const std::vector<double> a = testing::NormalSample(500, 4, 0.0, 1.0);
+  const std::vector<double> b = testing::NormalSample(500, 5, 1.5, 1.0);
+  const double d = KsStatisticTwoSample(a, b).value();
+  EXPECT_GT(d, 0.4);
+  EXPECT_LT(KsPValueTwoSample(d, 500, 500).value(), 1e-8);
+}
+
+TEST(KsStatisticTest, Validation) {
+  EXPECT_FALSE(KsStatistic({}, [](double) { return 0.5; }).ok());
+  EXPECT_FALSE(
+      KsStatistic(std::vector<double>{1.0}, std::function<double(double)>())
+          .ok());
+  EXPECT_FALSE(KsStatisticTwoSample({}, std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(KsPValue(-0.1, 10).ok());
+  EXPECT_FALSE(KsPValue(0.1, 0).ok());
+}
+
+TEST(KsStatisticDiscreteTest, Validation) {
+  const std::vector<double> samples = {1.0, 2.0};
+  const std::vector<double> atoms = {1.0, 2.0};
+  const std::vector<double> probs = {0.5, 0.5};
+  EXPECT_TRUE(KsStatisticDiscrete(samples, atoms, probs).ok());
+  EXPECT_FALSE(KsStatisticDiscrete({}, atoms, probs).ok());
+  const std::vector<double> bad_probs = {0.5, 0.2};
+  EXPECT_FALSE(KsStatisticDiscrete(samples, atoms, bad_probs).ok());
+  const std::vector<double> unsorted = {2.0, 1.0};
+  EXPECT_FALSE(KsStatisticDiscrete(samples, unsorted, probs).ok());
+}
+
+TEST(KsStatisticDiscreteTest, ExactMatchGivesTinyStatistic) {
+  // Empirical frequencies exactly matching the atom probabilities.
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) {
+    samples.push_back(i % 3 == 0 ? 1.0 : (i % 3 == 1 ? 2.0 : 3.0));
+  }
+  const std::vector<double> atoms = {1.0, 2.0, 3.0};
+  const std::vector<double> probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  EXPECT_NEAR(KsStatisticDiscrete(samples, atoms, probs).value(), 0.0, 1e-12);
+}
+
+TEST(KsValidationTest, UniSMatchesExhaustiveDistribution) {
+  // Statistical validation of the sampler: the empirical uniS answer
+  // distribution must match the exact permutation-enumeration atoms.
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  const auto all = EnumerateOrderAnswers(sources, query);
+  ASSERT_TRUE(all.ok());
+  std::map<double, double> frequency;
+  for (const double v : *all) {
+    frequency[v] += 1.0 / static_cast<double>(all->size());
+  }
+  std::vector<double> atoms, probs;
+  for (const auto& [atom, probability] : frequency) {
+    atoms.push_back(atom);
+    probs.push_back(probability);
+  }
+
+  const auto sampler = UniSSampler::Create(&sources, query);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(6);
+  const auto samples = sampler->Sample(3000, rng);
+  ASSERT_TRUE(samples.ok());
+  const double d = KsStatisticDiscrete(*samples, atoms, probs).value();
+  const double p = KsPValue(d, 3000).value();
+  EXPECT_GT(p, 0.001) << "uniS deviates from the permutation distribution "
+                      << "(D = " << d << ")";
+}
+
+}  // namespace
+}  // namespace vastats

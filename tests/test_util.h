@@ -1,0 +1,98 @@
+// Shared fixtures and builders for the vastats test suite.
+
+#ifndef VASTATS_TESTS_TEST_UTIL_H_
+#define VASTATS_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "density/grid_density.h"
+#include "integration/source_set.h"
+#include "query/aggregate_query.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace vastats::testing {
+
+// The four-source climate scenario of the paper's Figure 1, reduced to the
+// temperature components that matter:
+//   component 1: Burnaby   2006-06-10  (D1: 21, D2: 21, D3: 19)
+//   component 2: Vancouver 2006-06-11  (D1: 19, D2: 22, D3: 17)
+//   component 3: Surrey    2006-06-11  (D3: 15, D4: 15)
+//   component 4: Vancouver 2006-06-12  (D3: 20)
+//   component 5: Richmond  2006-06-12  (D2: 18)
+inline SourceSet MakeFigure1Sources() {
+  SourceSet set;
+  DataSource d1("D1");
+  d1.Bind(1, 21.0);
+  d1.Bind(2, 19.0);
+  DataSource d2("D2");
+  d2.Bind(1, 21.0);
+  d2.Bind(2, 22.0);
+  d2.Bind(5, 18.0);
+  DataSource d3("D3");
+  d3.Bind(1, 19.0);
+  d3.Bind(2, 17.0);
+  d3.Bind(3, 15.0);
+  d3.Bind(4, 20.0);
+  DataSource d4("D4");
+  d4.Bind(3, 15.0);
+  set.AddSource(std::move(d1));
+  set.AddSource(std::move(d2));
+  set.AddSource(std::move(d3));
+  set.AddSource(std::move(d4));
+  return set;
+}
+
+inline AggregateQuery MakeFigure1Query(AggregateKind kind) {
+  AggregateQuery query;
+  query.name = "figure1";
+  query.kind = kind;
+  query.components = {1, 2, 3, 4, 5};
+  return query;
+}
+
+// n standard-normal draws.
+inline std::vector<double> NormalSample(int n, uint64_t seed,
+                                        double mean = 0.0,
+                                        double sigma = 1.0) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = rng.Normal(mean, sigma);
+  return values;
+}
+
+// A GridDensity tabulating an analytic pdf over [lo, hi].
+template <typename Fn>
+GridDensity MakeAnalyticDensity(double lo, double hi, size_t points, Fn&& pdf) {
+  std::vector<double> values(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) {
+    values[i] = pdf(lo + static_cast<double>(i) * step);
+  }
+  GridDensity density = GridDensity::Create(lo, hi, std::move(values)).value();
+  density.Normalize();
+  return density;
+}
+
+// Normalized mixture of Gaussian bumps, handy for CIO tests.
+struct Bump {
+  double weight;
+  double mean;
+  double sigma;
+};
+
+inline GridDensity MakeBumpDensity(double lo, double hi, size_t points,
+                                   const std::vector<Bump>& bumps) {
+  return MakeAnalyticDensity(lo, hi, points, [&](double x) {
+    double f = 0.0;
+    for (const Bump& bump : bumps) {
+      f += bump.weight * NormalPdf((x - bump.mean) / bump.sigma) / bump.sigma;
+    }
+    return f;
+  });
+}
+
+}  // namespace vastats::testing
+
+#endif  // VASTATS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  const auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows.value()[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  const auto rows = ParseCsv("\"hello, world\",\"with \"\"quotes\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0], "hello, world");
+  EXPECT_EQ(rows.value()[0][1], "with \"quotes\"");
+}
+
+TEST(CsvTest, ParsesCrLf) {
+  const auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvTest, MissingTrailingNewlineOk) {
+  const auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto rows = ParseCsv("a,,c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (CsvRow{"a", "", "c"}));
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(ParseCsv("\"oops\n").ok());
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  const std::string text =
+      FormatCsv({{"plain", "with,comma", "with\"quote", "with\nnewline"}});
+  EXPECT_EQ(text,
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvTest, RoundTripThroughFormatAndParse) {
+  const std::vector<CsvRow> rows = {
+      {"x", "y"}, {"1.5", "hello, there"}, {"", "\"q\""}};
+  const auto parsed = ParseCsv(FormatCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vastats_csv_test.csv";
+  const std::vector<CsvRow> rows = {{"header"}, {"value,with,commas"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  const auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsNotFound) {
+  const auto read = ReadCsvFile("/nonexistent/path/to/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,151 @@
+#include "util/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace vastats {
+namespace {
+
+// O(N^2) reference DFT.
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& input, bool inverse) {
+  const size_t n = input.size();
+  std::vector<std::complex<double>> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * kPi * static_cast<double>(j) *
+                           static_cast<double>(k) / static_cast<double>(n);
+      sum += input[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> RandomComplex(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> data(n);
+  for (auto& c : data) c = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  return data;
+}
+
+TEST(FftTest, MatchesNaiveDft) {
+  for (const size_t n : {4u, 16u, 64u, 256u}) {
+    std::vector<std::complex<double>> data = RandomComplex(n, n);
+    const std::vector<std::complex<double>> expected =
+        NaiveDft(data, /*inverse=*/false);
+    ASSERT_TRUE(Fft(data, /*inverse=*/false).ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), expected[i].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(data[i].imag(), expected[i].imag(), 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftTest, RoundTrip) {
+  std::vector<std::complex<double>> data = RandomComplex(128, 99);
+  const std::vector<std::complex<double>> original = data;
+  ASSERT_TRUE(Fft(data, false).ok());
+  ASSERT_TRUE(Fft(data, true).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real() / 128.0, original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / 128.0, original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_FALSE(Fft(data, false).ok());
+  data.clear();
+  EXPECT_FALSE(Fft(data, false).ok());
+}
+
+TEST(IsPowerOfTwoTest, Basics) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(4095));
+}
+
+std::vector<double> RandomReal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (double& x : data) x = rng.Uniform(-2, 2);
+  return data;
+}
+
+TEST(DctTest, FastDct2MatchesNaive) {
+  for (const size_t n : {8u, 32u, 128u, 512u}) {
+    const std::vector<double> input = RandomReal(n, n + 1);
+    const std::vector<double> expected = NaiveDct2(input);
+    const auto fast = Dct2(input);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_EQ(fast.value().size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(fast.value()[i], expected[i], 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(DctTest, FastDct3MatchesNaive) {
+  for (const size_t n : {8u, 64u, 256u}) {
+    const std::vector<double> input = RandomReal(n, 2 * n + 1);
+    const std::vector<double> expected = NaiveDct3(input);
+    const auto fast = Dct3(input);
+    ASSERT_TRUE(fast.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(fast.value()[i], expected[i], 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(DctTest, Dct3InvertsDct2UpToScale) {
+  const size_t n = 64;
+  const std::vector<double> input = RandomReal(n, 7);
+  const auto forward = Dct2(input);
+  ASSERT_TRUE(forward.ok());
+  const auto back = Dct3(forward.value());
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back.value()[i], input[i] * static_cast<double>(n) / 2.0,
+                1e-9);
+  }
+}
+
+TEST(DctTest, NonPowerOfTwoFallsBackToNaive) {
+  const std::vector<double> input = RandomReal(12, 5);
+  const auto fast = Dct2(input);
+  ASSERT_TRUE(fast.ok());
+  const std::vector<double> expected = NaiveDct2(input);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(fast.value()[i], expected[i], 1e-9);
+  }
+}
+
+TEST(DctTest, EmptyInputRejected) {
+  EXPECT_FALSE(Dct2({}).ok());
+  EXPECT_FALSE(Dct3({}).ok());
+}
+
+TEST(DctTest, ConstantSignalHasOnlyDcCoefficient) {
+  const std::vector<double> input(32, 1.0);
+  const auto coeffs = Dct2(input);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_NEAR(coeffs.value()[0], 32.0, 1e-10);
+  for (size_t k = 1; k < 32; ++k) {
+    EXPECT_NEAR(coeffs.value()[k], 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace vastats

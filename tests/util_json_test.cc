@@ -1,0 +1,137 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "test_util.h"
+
+namespace vastats {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("name", "vastats");
+  json.KeyValue("mean", 92.5);
+  json.KeyValue("count", static_cast<int64_t>(400));
+  json.KeyValue("ok", true);
+  json.Key("missing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Finish(),
+            "{\"name\":\"vastats\",\"mean\":92.5,\"count\":400,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("intervals");
+  json.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    json.BeginObject();
+    json.KeyValue("lo", static_cast<double>(i));
+    json.KeyValue("hi", static_cast<double>(i + 1));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("empty");
+  json.BeginArray();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Finish(),
+            "{\"intervals\":[{\"lo\":0,\"hi\":1},{\"lo\":1,\"hi\":2}],"
+            "\"empty\":[]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("text", "a\"b\\c\nd\te");
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Finish(),
+            "{\"text\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::nan(""));
+  json.Number(INFINITY);
+  json.Number(1.5);
+  json.EndArray();
+  EXPECT_EQ(std::move(json).Finish(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, TopLevelArrayOfNumbers) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(1.0);
+  json.Number(2.0);
+  json.EndArray();
+  EXPECT_EQ(std::move(json).Finish(), "[1,2]");
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sources_ = testing::MakeFigure1Sources();
+    ExtractorOptions options;
+    options.initial_sample_size = 100;
+    options.weight_probes = 5;
+    options.kde.rule = BandwidthRule::kSilverman;
+    const auto extractor = AnswerStatisticsExtractor::Create(
+        &sources_, testing::MakeFigure1Query(AggregateKind::kSum), options);
+    stats_.emplace(extractor->Extract().value());
+  }
+
+  SourceSet sources_;
+  std::optional<AnswerStatistics> stats_;
+};
+
+TEST_F(ReportTest, JsonContainsAllSections) {
+  const std::string json = AnswerStatisticsToJson(*stats_);
+  EXPECT_NE(json.find("\"point_estimates\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"stability\""), std::string::npos);
+  EXPECT_NE(json.find("\"sampling\""), std::string::npos);
+  // Density/samples omitted by default.
+  EXPECT_EQ(json.find("\"density\""), std::string::npos);
+  EXPECT_EQ(json.find("\"samples\""), std::string::npos);
+  // Balanced braces (coarse well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(ReportTest, JsonDensitySeriesHasRequestedLength) {
+  ReportOptions options;
+  options.density_points = 16;
+  const std::string json = AnswerStatisticsToJson(*stats_, options);
+  const size_t f_pos = json.find("\"f\":[");
+  ASSERT_NE(f_pos, std::string::npos);
+  const size_t end = json.find(']', f_pos);
+  const std::string series = json.substr(f_pos, end - f_pos);
+  EXPECT_EQ(std::count(series.begin(), series.end(), ','), 15);
+}
+
+TEST_F(ReportTest, JsonSamplesIncludedOnRequest) {
+  ReportOptions options;
+  options.include_samples = true;
+  const std::string json = AnswerStatisticsToJson(*stats_, options);
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+}
+
+TEST_F(ReportTest, TextSummaryMentionsKeyNumbers) {
+  const std::string text = AnswerStatisticsToText(*stats_);
+  EXPECT_NE(text.find("mean:"), std::string::npos);
+  EXPECT_NE(text.find("coverage intervals:"), std::string::npos);
+  EXPECT_NE(text.find("Stab_L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vastats

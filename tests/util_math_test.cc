@@ -1,0 +1,107 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace {
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96) + NormalCdf(-1.96), 1.0, 1e-12);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+    const auto z = NormalQuantile(p);
+    ASSERT_TRUE(z.ok());
+    EXPECT_NEAR(NormalCdf(z.value()), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975).value(), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.95).value(), 1.6448536269514722, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.5).value(), 0.0, 1e-12);
+}
+
+TEST(NormalQuantileTest, RejectsOutOfRange) {
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+  EXPECT_FALSE(NormalQuantile(-0.5).ok());
+}
+
+TEST(RegularizedGammaPTest, MatchesKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x).value(), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (const double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x).value(), std::erf(std::sqrt(x)),
+                1e-10);
+  }
+}
+
+TEST(RegularizedGammaPTest, BoundaryAndErrors) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0).value(), 0.0);
+  EXPECT_FALSE(RegularizedGammaP(0.0, 1.0).ok());
+  EXPECT_FALSE(RegularizedGammaP(1.0, -1.0).ok());
+}
+
+TEST(ChiSquareCdfTest, KnownValues) {
+  // Chi-square with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquareCdf(2.0, 2.0).value(), 1.0 - std::exp(-1.0), 1e-10);
+  // Median of chi-square(1) is ~0.4549.
+  EXPECT_NEAR(ChiSquareCdf(0.454936, 1.0).value(), 0.5, 1e-4);
+}
+
+TEST(ChiSquareQuantileTest, InvertsCdf) {
+  for (const double dof : {1.0, 2.0, 5.0, 50.0, 399.0}) {
+    for (const double p : {0.05, 0.5, 0.95, 0.975}) {
+      const auto x = ChiSquareQuantile(p, dof);
+      ASSERT_TRUE(x.ok()) << "dof=" << dof << " p=" << p;
+      EXPECT_NEAR(ChiSquareCdf(x.value(), dof).value(), p, 1e-8)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquareQuantileTest, KnownCriticalValues) {
+  // chi2_{0.95, 10} = 18.307.
+  EXPECT_NEAR(ChiSquareQuantile(0.95, 10.0).value(), 18.307, 1e-3);
+  // chi2_{0.05, 10} = 3.940.
+  EXPECT_NEAR(ChiSquareQuantile(0.05, 10.0).value(), 3.940, 1e-3);
+}
+
+TEST(LogBinomialTest, SmallCases) {
+  EXPECT_NEAR(LogBinomial(5, 2).value(), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 0).value(), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(10, 10).value(), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(100, 3).value(), std::log(161700.0), 1e-9);
+}
+
+TEST(LogBinomialTest, RejectsInvalid) {
+  EXPECT_FALSE(LogBinomial(3, 5).ok());
+  EXPECT_FALSE(LogBinomial(-1, 0).ok());
+  EXPECT_FALSE(LogBinomial(3, -1).ok());
+}
+
+TEST(IsFiniteTest, Basics) {
+  EXPECT_TRUE(IsFinite(0.0));
+  EXPECT_TRUE(IsFinite(-1e300));
+  EXPECT_FALSE(IsFinite(std::nan("")));
+  EXPECT_FALSE(IsFinite(INFINITY));
+}
+
+}  // namespace
+}  // namespace vastats

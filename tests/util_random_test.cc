@@ -1,0 +1,169 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+namespace {
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 6, kDraws / 60);  // within 10% of expected
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  }
+}
+
+TEST(RngTest, StandardNormalMoments) {
+  Rng rng(17);
+  Moments moments;
+  for (int i = 0; i < 200000; ++i) moments.Add(rng.StandardNormal());
+  EXPECT_NEAR(moments.mean(), 0.0, 0.02);
+  EXPECT_NEAR(moments.SampleVariance(), 1.0, 0.03);
+  EXPECT_NEAR(moments.Skewness(), 0.0, 0.05);
+  EXPECT_NEAR(moments.ExcessKurtosis(), 0.0, 0.1);
+}
+
+TEST(RngTest, NormalScalesAndShifts) {
+  Rng rng(19);
+  Moments moments;
+  for (int i = 0; i < 100000; ++i) moments.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(moments.mean(), 5.0, 0.05);
+  EXPECT_NEAR(moments.SampleStdDev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  Moments moments;
+  for (int i = 0; i < 100000; ++i) moments.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(moments.mean(), 0.5, 0.02);
+  EXPECT_GE(moments.min(), 0.0);
+}
+
+TEST(RngTest, GammaMomentsMatchShapeScale) {
+  Rng rng(29);
+  // Gamma(k=3, theta=2): mean 6, var 12.
+  Moments moments;
+  for (int i = 0; i < 100000; ++i) moments.Add(rng.Gamma(3.0, 2.0));
+  EXPECT_NEAR(moments.mean(), 6.0, 0.1);
+  EXPECT_NEAR(moments.SampleVariance(), 12.0, 0.5);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(31);
+  // Gamma(k=0.5, theta=1): mean 0.5, var 0.5.
+  Moments moments;
+  for (int i = 0; i < 200000; ++i) moments.Add(rng.Gamma(0.5, 1.0));
+  EXPECT_NEAR(moments.mean(), 0.5, 0.02);
+  EXPECT_NEAR(moments.SampleVariance(), 0.5, 0.05);
+  EXPECT_GT(moments.min(), 0.0);
+}
+
+TEST(RngTest, CauchyMedianAtLocation) {
+  Rng rng(37);
+  std::vector<double> draws(100001);
+  for (double& d : draws) d = rng.Cauchy(10.0, 1.0);
+  std::nth_element(draws.begin(), draws.begin() + 50000, draws.end());
+  EXPECT_NEAR(draws[50000], 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(43);
+  std::vector<int> perm = rng.Permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(perm[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, PermutationIsUniformOverPositions) {
+  // Element 0 should land in each of the 4 positions ~equally often.
+  Rng rng(47);
+  std::vector<int> position_counts(4, 0);
+  const int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<int> perm = rng.Permutation(4);
+    for (int p = 0; p < 4; ++p) {
+      if (perm[static_cast<size_t>(p)] == 0) {
+        ++position_counts[static_cast<size_t>(p)];
+      }
+    }
+  }
+  for (const int c : position_counts) {
+    EXPECT_NEAR(c, kTrials / 4, kTrials / 40);
+  }
+}
+
+TEST(RngTest, ResampleIndicesInRange) {
+  Rng rng(53);
+  const std::vector<int> indices = rng.ResampleIndices(10, 1000);
+  ASSERT_EQ(indices.size(), 1000u);
+  for (const int i : indices) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 10);
+  }
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(59);
+  std::vector<int> values = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(values, original);
+}
+
+}  // namespace
+}  // namespace vastats
