@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_density_estimators.dir/ablation_density_estimators.cc.o"
+  "CMakeFiles/ablation_density_estimators.dir/ablation_density_estimators.cc.o.d"
+  "ablation_density_estimators"
+  "ablation_density_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_density_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_fusion.dir/baseline_fusion.cc.o"
+  "CMakeFiles/baseline_fusion.dir/baseline_fusion.cc.o.d"
+  "baseline_fusion"
+  "baseline_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

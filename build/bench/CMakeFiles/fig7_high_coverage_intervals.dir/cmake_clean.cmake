@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_high_coverage_intervals.dir/fig7_high_coverage_intervals.cc.o"
+  "CMakeFiles/fig7_high_coverage_intervals.dir/fig7_high_coverage_intervals.cc.o.d"
+  "fig7_high_coverage_intervals"
+  "fig7_high_coverage_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_high_coverage_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stability_deviation.dir/fig8_stability_deviation.cc.o"
+  "CMakeFiles/fig8_stability_deviation.dir/fig8_stability_deviation.cc.o.d"
+  "fig8_stability_deviation"
+  "fig8_stability_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stability_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_aggregation.dir/hierarchy_aggregation.cc.o"
+  "CMakeFiles/hierarchy_aggregation.dir/hierarchy_aggregation.cc.o.d"
+  "hierarchy_aggregation"
+  "hierarchy_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

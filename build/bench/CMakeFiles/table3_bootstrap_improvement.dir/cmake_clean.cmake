@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_bootstrap_improvement.dir/table3_bootstrap_improvement.cc.o"
+  "CMakeFiles/table3_bootstrap_improvement.dir/table3_bootstrap_improvement.cc.o.d"
+  "table3_bootstrap_improvement"
+  "table3_bootstrap_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bootstrap_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cio_approximation.dir/table4_cio_approximation.cc.o"
+  "CMakeFiles/table4_cio_approximation.dir/table4_cio_approximation.cc.o.d"
+  "table4_cio_approximation"
+  "table4_cio_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cio_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_climate_monitoring.dir/climate_monitoring.cpp.o"
+  "CMakeFiles/example_climate_monitoring.dir/climate_monitoring.cpp.o.d"
+  "climate_monitoring"
+  "climate_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_climate_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_csv_query_tool.dir/csv_query_tool.cpp.o"
+  "CMakeFiles/example_csv_query_tool.dir/csv_query_tool.cpp.o.d"
+  "csv_query_tool"
+  "csv_query_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_csv_query_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

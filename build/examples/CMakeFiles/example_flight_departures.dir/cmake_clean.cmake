@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flight_departures.dir/flight_departures.cpp.o"
+  "CMakeFiles/example_flight_departures.dir/flight_departures.cpp.o.d"
+  "flight_departures"
+  "flight_departures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flight_departures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

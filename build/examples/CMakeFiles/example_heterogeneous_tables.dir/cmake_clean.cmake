@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_tables.dir/heterogeneous_tables.cpp.o"
+  "CMakeFiles/example_heterogeneous_tables.dir/heterogeneous_tables.cpp.o.d"
+  "heterogeneous_tables"
+  "heterogeneous_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_source_quality_audit.dir/source_quality_audit.cpp.o"
+  "CMakeFiles/example_source_quality_audit.dir/source_quality_audit.cpp.o.d"
+  "source_quality_audit"
+  "source_quality_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_source_quality_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stock_quotes.dir/stock_quotes.cpp.o"
+  "CMakeFiles/example_stock_quotes.dir/stock_quotes.cpp.o.d"
+  "stock_quotes"
+  "stock_quotes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stock_quotes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cio.cc" "src/CMakeFiles/vastats.dir/core/cio.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/cio.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/vastats.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/CMakeFiles/vastats.dir/core/extractor.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/extractor.cc.o.d"
+  "/root/repo/src/core/grouped_extractor.cc" "src/CMakeFiles/vastats.dir/core/grouped_extractor.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/grouped_extractor.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/CMakeFiles/vastats.dir/core/monitor.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/monitor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/vastats.dir/core/report.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/report.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/CMakeFiles/vastats.dir/core/stability.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/stability.cc.o.d"
+  "/root/repo/src/core/uncertain_export.cc" "src/CMakeFiles/vastats.dir/core/uncertain_export.cc.o" "gcc" "src/CMakeFiles/vastats.dir/core/uncertain_export.cc.o.d"
+  "/root/repo/src/datagen/climate.cc" "src/CMakeFiles/vastats.dir/datagen/climate.cc.o" "gcc" "src/CMakeFiles/vastats.dir/datagen/climate.cc.o.d"
+  "/root/repo/src/datagen/distributions.cc" "src/CMakeFiles/vastats.dir/datagen/distributions.cc.o" "gcc" "src/CMakeFiles/vastats.dir/datagen/distributions.cc.o.d"
+  "/root/repo/src/datagen/source_builder.cc" "src/CMakeFiles/vastats.dir/datagen/source_builder.cc.o" "gcc" "src/CMakeFiles/vastats.dir/datagen/source_builder.cc.o.d"
+  "/root/repo/src/density/bagged_kde.cc" "src/CMakeFiles/vastats.dir/density/bagged_kde.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/bagged_kde.cc.o.d"
+  "/root/repo/src/density/density_io.cc" "src/CMakeFiles/vastats.dir/density/density_io.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/density_io.cc.o.d"
+  "/root/repo/src/density/distance.cc" "src/CMakeFiles/vastats.dir/density/distance.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/distance.cc.o.d"
+  "/root/repo/src/density/grid_density.cc" "src/CMakeFiles/vastats.dir/density/grid_density.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/grid_density.cc.o.d"
+  "/root/repo/src/density/histogram.cc" "src/CMakeFiles/vastats.dir/density/histogram.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/histogram.cc.o.d"
+  "/root/repo/src/density/kde.cc" "src/CMakeFiles/vastats.dir/density/kde.cc.o" "gcc" "src/CMakeFiles/vastats.dir/density/kde.cc.o.d"
+  "/root/repo/src/fusion/fusion.cc" "src/CMakeFiles/vastats.dir/fusion/fusion.cc.o" "gcc" "src/CMakeFiles/vastats.dir/fusion/fusion.cc.o.d"
+  "/root/repo/src/integration/cost_model.cc" "src/CMakeFiles/vastats.dir/integration/cost_model.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/cost_model.cc.o.d"
+  "/root/repo/src/integration/data_source.cc" "src/CMakeFiles/vastats.dir/integration/data_source.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/data_source.cc.o.d"
+  "/root/repo/src/integration/hierarchy.cc" "src/CMakeFiles/vastats.dir/integration/hierarchy.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/hierarchy.cc.o.d"
+  "/root/repo/src/integration/io.cc" "src/CMakeFiles/vastats.dir/integration/io.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/io.cc.o.d"
+  "/root/repo/src/integration/mediated_schema.cc" "src/CMakeFiles/vastats.dir/integration/mediated_schema.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/mediated_schema.cc.o.d"
+  "/root/repo/src/integration/record_mapper.cc" "src/CMakeFiles/vastats.dir/integration/record_mapper.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/record_mapper.cc.o.d"
+  "/root/repo/src/integration/source_set.cc" "src/CMakeFiles/vastats.dir/integration/source_set.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/source_set.cc.o.d"
+  "/root/repo/src/integration/stratification.cc" "src/CMakeFiles/vastats.dir/integration/stratification.cc.o" "gcc" "src/CMakeFiles/vastats.dir/integration/stratification.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/vastats.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/vastats.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/aggregate_query.cc" "src/CMakeFiles/vastats.dir/query/aggregate_query.cc.o" "gcc" "src/CMakeFiles/vastats.dir/query/aggregate_query.cc.o.d"
+  "/root/repo/src/query/grouped_query.cc" "src/CMakeFiles/vastats.dir/query/grouped_query.cc.o" "gcc" "src/CMakeFiles/vastats.dir/query/grouped_query.cc.o.d"
+  "/root/repo/src/query/mediated_query.cc" "src/CMakeFiles/vastats.dir/query/mediated_query.cc.o" "gcc" "src/CMakeFiles/vastats.dir/query/mediated_query.cc.o.d"
+  "/root/repo/src/query/query_processor.cc" "src/CMakeFiles/vastats.dir/query/query_processor.cc.o" "gcc" "src/CMakeFiles/vastats.dir/query/query_processor.cc.o.d"
+  "/root/repo/src/sampling/adaptive.cc" "src/CMakeFiles/vastats.dir/sampling/adaptive.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/adaptive.cc.o.d"
+  "/root/repo/src/sampling/exhaustive.cc" "src/CMakeFiles/vastats.dir/sampling/exhaustive.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/exhaustive.cc.o.d"
+  "/root/repo/src/sampling/multi.cc" "src/CMakeFiles/vastats.dir/sampling/multi.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/multi.cc.o.d"
+  "/root/repo/src/sampling/parallel.cc" "src/CMakeFiles/vastats.dir/sampling/parallel.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/parallel.cc.o.d"
+  "/root/repo/src/sampling/unis.cc" "src/CMakeFiles/vastats.dir/sampling/unis.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/unis.cc.o.d"
+  "/root/repo/src/sampling/weighted.cc" "src/CMakeFiles/vastats.dir/sampling/weighted.cc.o" "gcc" "src/CMakeFiles/vastats.dir/sampling/weighted.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/vastats.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/CMakeFiles/vastats.dir/stats/confidence.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/confidence.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/vastats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/direct_inference.cc" "src/CMakeFiles/vastats.dir/stats/direct_inference.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/direct_inference.cc.o.d"
+  "/root/repo/src/stats/jackknife.cc" "src/CMakeFiles/vastats.dir/stats/jackknife.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/jackknife.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/CMakeFiles/vastats.dir/stats/ks_test.cc.o" "gcc" "src/CMakeFiles/vastats.dir/stats/ks_test.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/vastats.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/fft.cc" "src/CMakeFiles/vastats.dir/util/fft.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/fft.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/CMakeFiles/vastats.dir/util/json_writer.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/json_writer.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/CMakeFiles/vastats.dir/util/math.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/math.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/vastats.dir/util/random.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/vastats.dir/util/status.cc.o" "gcc" "src/CMakeFiles/vastats.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_cio_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_cio_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_cio_test.cc.o.d"
+  "/root/repo/tests/core_drift_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_drift_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_drift_test.cc.o.d"
+  "/root/repo/tests/core_extractor_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_extractor_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_extractor_test.cc.o.d"
+  "/root/repo/tests/core_monitor_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_monitor_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_monitor_test.cc.o.d"
+  "/root/repo/tests/core_stability_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_stability_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_stability_test.cc.o.d"
+  "/root/repo/tests/core_uncertain_export_test.cc" "tests/CMakeFiles/vastats_tests.dir/core_uncertain_export_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/core_uncertain_export_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/vastats_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/density_bagged_kde_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_bagged_kde_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_bagged_kde_test.cc.o.d"
+  "/root/repo/tests/density_distance_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_distance_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_distance_test.cc.o.d"
+  "/root/repo/tests/density_grid_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_grid_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_grid_test.cc.o.d"
+  "/root/repo/tests/density_histogram_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_histogram_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_histogram_test.cc.o.d"
+  "/root/repo/tests/density_io_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_io_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_io_test.cc.o.d"
+  "/root/repo/tests/density_kde_test.cc" "tests/CMakeFiles/vastats_tests.dir/density_kde_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/density_kde_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/vastats_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/fusion_test.cc" "tests/CMakeFiles/vastats_tests.dir/fusion_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/fusion_test.cc.o.d"
+  "/root/repo/tests/integration_cost_strat_test.cc" "tests/CMakeFiles/vastats_tests.dir/integration_cost_strat_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/integration_cost_strat_test.cc.o.d"
+  "/root/repo/tests/integration_hierarchy_test.cc" "tests/CMakeFiles/vastats_tests.dir/integration_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/integration_hierarchy_test.cc.o.d"
+  "/root/repo/tests/integration_io_test.cc" "tests/CMakeFiles/vastats_tests.dir/integration_io_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/integration_io_test.cc.o.d"
+  "/root/repo/tests/integration_mapping_test.cc" "tests/CMakeFiles/vastats_tests.dir/integration_mapping_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/integration_mapping_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/vastats_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/pipeline_property_test.cc" "tests/CMakeFiles/vastats_tests.dir/pipeline_property_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/pipeline_property_test.cc.o.d"
+  "/root/repo/tests/query_aggregate_test.cc" "tests/CMakeFiles/vastats_tests.dir/query_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/query_aggregate_test.cc.o.d"
+  "/root/repo/tests/query_grouped_test.cc" "tests/CMakeFiles/vastats_tests.dir/query_grouped_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/query_grouped_test.cc.o.d"
+  "/root/repo/tests/query_processor_test.cc" "tests/CMakeFiles/vastats_tests.dir/query_processor_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/query_processor_test.cc.o.d"
+  "/root/repo/tests/sampling_adaptive_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_adaptive_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_adaptive_test.cc.o.d"
+  "/root/repo/tests/sampling_exhaustive_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_exhaustive_test.cc.o.d"
+  "/root/repo/tests/sampling_multi_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_multi_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_multi_test.cc.o.d"
+  "/root/repo/tests/sampling_parallel_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_parallel_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_parallel_test.cc.o.d"
+  "/root/repo/tests/sampling_unis_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_unis_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_unis_test.cc.o.d"
+  "/root/repo/tests/sampling_weighted_test.cc" "tests/CMakeFiles/vastats_tests.dir/sampling_weighted_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/sampling_weighted_test.cc.o.d"
+  "/root/repo/tests/stats_bootstrap_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_bootstrap_test.cc.o.d"
+  "/root/repo/tests/stats_confidence_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_confidence_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_confidence_test.cc.o.d"
+  "/root/repo/tests/stats_descriptive_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_descriptive_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_descriptive_test.cc.o.d"
+  "/root/repo/tests/stats_direct_inference_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_direct_inference_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_direct_inference_test.cc.o.d"
+  "/root/repo/tests/stats_jackknife_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_jackknife_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_jackknife_test.cc.o.d"
+  "/root/repo/tests/stats_ks_test_test.cc" "tests/CMakeFiles/vastats_tests.dir/stats_ks_test_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/stats_ks_test_test.cc.o.d"
+  "/root/repo/tests/util_csv_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_csv_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_csv_test.cc.o.d"
+  "/root/repo/tests/util_fft_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_fft_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_fft_test.cc.o.d"
+  "/root/repo/tests/util_json_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_json_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_json_test.cc.o.d"
+  "/root/repo/tests/util_math_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_math_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_math_test.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_random_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/vastats_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/vastats_tests.dir/util_status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vastats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
