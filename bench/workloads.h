@@ -13,6 +13,7 @@
 #ifndef VASTATS_BENCH_WORKLOADS_H_
 #define VASTATS_BENCH_WORKLOADS_H_
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,8 +76,12 @@ inline Workload MakeD3Workload(const std::string& label,
       source_b = static_cast<int>(rng.UniformInt(0, 99));
     }
     const double value = mixture->Sample(rng);
-    AddConflictComponent(*workload.sources, next_component, source_a,
-                         source_b, value, shift);
+    const Status added =
+        AddConflictComponent(*workload.sources, next_component, source_a,
+                             source_b, value, shift);
+    // Source indices are drawn in-range above; failure means a workload
+    // construction bug, which must not silently skew the experiment.
+    if (!added.ok()) std::abort();
     ++next_component;
   }
   workload.query = MakeRangeQuery(label, AggregateKind::kSum, 0, 500);

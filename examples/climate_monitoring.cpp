@@ -53,7 +53,7 @@ int main() {
   std::vector<MonitoredQuery> queries;
   for (int group = 0; group < 6; ++group) {
     MonitoredQuery monitored;
-    monitored.name = "region-" + std::to_string(group);
+    monitored.name = std::string("region-") + std::to_string(group);
     monitored.query.name = monitored.name;
     monitored.query.kind = AggregateKind::kSum;
     for (int d = group * 5; d < group * 5 + 5; ++d) {

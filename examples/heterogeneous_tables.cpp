@@ -51,7 +51,13 @@ int main() {
   };
 
   RecordMapper mapper(&schema);
-  mapper.DeclareSourceUnit("D5", "temperature", FahrenheitToCelsius());
+  const vastats::Status declared =
+      mapper.DeclareSourceUnit("D5", "temperature", FahrenheitToCelsius());
+  if (!declared.ok()) {
+    std::fprintf(stderr, "unit declaration failed: %s\n",
+                 declared.ToString().c_str());
+    return 1;
+  }
   MapperReport report;
   auto sources = mapper.MapRecords(records, &report);
   if (!sources.ok()) {

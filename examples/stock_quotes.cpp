@@ -97,7 +97,7 @@ int main() {
   grouped.aggregate = AggregateKind::kAverage;
   for (int sec = 0; sec < kSectors; ++sec) {
     QueryGroup group;
-    group.key = "sector-" + std::to_string(sec);
+    group.key = std::string("sector-") + std::to_string(sec);
     for (int t = 0; t < kTickers; ++t) {
       if (sector[t] == sec) group.components.push_back(AvgVolumeComponent(t));
     }

@@ -25,13 +25,26 @@ Result<int> ChooseNumBins(std::span<const double> samples,
   if (samples.size() < 2) {
     return Status::InvalidArgument("ChooseNumBins needs >= 2 samples");
   }
+  // A NaN sample would flow into the bucketing casts below (UB) and poison
+  // the moment accumulators, so reject non-finite input up front.
+  for (const double x : samples) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("histogram samples must be finite");
+    }
+  }
   const double n = static_cast<double>(samples.size());
   const Moments moments = ComputeMoments(samples);
   const double range = moments.max() - moments.min();
 
   auto bins_from_width = [&](double width) {
     if (!(width > 0.0) || !(range > 0.0)) return options.num_bins;
-    return std::max(1, static_cast<int>(std::ceil(range / width)));
+    // Heavy-tailed samples can drive the Scott/FD width arbitrarily far
+    // below the range, and a double->int cast beyond INT_MAX is UB. Cap
+    // first; 2^20 bins is already far past any useful resolution.
+    constexpr int kMaxBins = 1 << 20;
+    const double raw = std::ceil(range / width);
+    if (!(raw < static_cast<double>(kMaxBins))) return kMaxBins;
+    return std::max(1, static_cast<int>(raw));
   };
 
   switch (options.rule) {

@@ -224,6 +224,13 @@ Result<Kde> EstimateKde(std::span<const double> samples,
   if (samples.size() < 2) {
     return Status::InvalidArgument("EstimateKde needs >= 2 samples");
   }
+  // A NaN sample would reach LinearBinning's double->size_t cast (UB) and
+  // poison the bandwidth selectors, so reject non-finite input up front.
+  for (const double x : samples) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("EstimateKde samples must be finite");
+    }
+  }
   VASTATS_ASSIGN_OR_RETURN(double h, SelectBandwidth(samples, options));
 
   double lo, hi;

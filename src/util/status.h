@@ -35,7 +35,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 // The outcome of a fallible operation: either OK, or a code plus a message.
 // Cheap to copy in the OK case (empty message).
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status defeats the library's no-exception
+// error model, so every producer's return value must be consumed (checked,
+// propagated, or explicitly voided with a comment saying why).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,7 +83,7 @@ class Status {
 // `value()` may only be called when `ok()`; this is checked and aborts on
 // violation (programmer error, not a recoverable condition).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return SomeStatus;` and `return SomeT;` both
   // work inside functions returning Result<T>.

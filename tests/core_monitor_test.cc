@@ -1,5 +1,6 @@
 #include "core/monitor.h"
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -56,7 +57,7 @@ TEST_F(MonitorTest, RefreshOrderIsLeastStableFirst) {
   std::vector<QueryId> ids;
   for (int q = 0; q < 4; ++q) {
     ids.push_back(monitor
-                      .Register(MakeRangeQuery("q" + std::to_string(q),
+                      .Register(MakeRangeQuery(std::string("q") + std::to_string(q),
                                                AggregateKind::kSum, q * 15,
                                                15))
                       .value());
@@ -86,7 +87,7 @@ TEST_F(MonitorTest, RefreshLeastStableHonorsBudget) {
   ContinuousQueryMonitor monitor(&sources_, base_options_);
   for (int q = 0; q < 4; ++q) {
     ASSERT_TRUE(monitor
-                    .Register(MakeRangeQuery("q" + std::to_string(q),
+                    .Register(MakeRangeQuery(std::string("q") + std::to_string(q),
                                              AggregateKind::kSum, q * 15,
                                              15))
                     .ok());

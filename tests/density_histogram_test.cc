@@ -1,6 +1,7 @@
 #include "density/histogram.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -73,6 +74,39 @@ TEST(EstimateHistogramTest, RecoversGaussianRoughly) {
 TEST(EstimateHistogramTest, DegenerateInputsRejected) {
   EXPECT_FALSE(EstimateHistogram(std::vector<double>{1.0}).ok());
   EXPECT_FALSE(EstimateHistogram(std::vector<double>(10, 3.0)).ok());
+}
+
+TEST(EstimateHistogramTest, NonFiniteInputsRejected) {
+  // A NaN would otherwise reach the double->int bucketing cast, which is
+  // undefined behavior; the entry points must reject it as InvalidArgument.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto with_nan = EstimateHistogram(std::vector<double>{1.0, nan, 2.0});
+  ASSERT_FALSE(with_nan.ok());
+  EXPECT_EQ(with_nan.status().code(), StatusCode::kInvalidArgument);
+  const auto with_inf = EstimateHistogram(std::vector<double>{1.0, inf, 2.0});
+  ASSERT_FALSE(with_inf.ok());
+  EXPECT_EQ(with_inf.status().code(), StatusCode::kInvalidArgument);
+  HistogramOptions options;
+  options.rule = BinRule::kScott;
+  EXPECT_FALSE(ChooseNumBins(std::vector<double>{nan, 1.0}, options).ok());
+}
+
+TEST(ChooseNumBinsTest, ExtremeRangeToWidthRatioIsCapped) {
+  // One far outlier stretches the range while the IQR stays tiny, driving
+  // the Freedman-Diaconis width toward zero; range/width then exceeds
+  // INT_MAX and the unguarded cast was UB. The rule must cap instead.
+  std::vector<double> samples(1000, 0.0);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<double>(i % 7) * 1e-13;
+  }
+  samples.push_back(1e300);
+  HistogramOptions options;
+  options.rule = BinRule::kFreedmanDiaconis;
+  const auto bins = ChooseNumBins(samples, options);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_GE(bins.value(), 1);
+  EXPECT_LE(bins.value(), 1 << 20);
 }
 
 TEST(HistogramVsKdeTest, KdeConvergesFasterOnSmoothDensity) {

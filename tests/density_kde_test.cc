@@ -1,6 +1,7 @@
 #include "density/kde.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,21 @@ std::vector<double> BimodalSample(int n, uint64_t seed, double gap = 10.0) {
     v = rng.Bernoulli(0.5) ? rng.Normal(0.0, 1.0) : rng.Normal(gap, 1.0);
   }
   return values;
+}
+
+TEST(KdeTest, NonFiniteInputsRejected) {
+  // A NaN would otherwise reach LinearBinning's double->size_t cast (UB).
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  KdeOptions options;
+  const auto with_nan =
+      EstimateKde(std::vector<double>{1.0, nan, 2.0}, options);
+  ASSERT_FALSE(with_nan.ok());
+  EXPECT_EQ(with_nan.status().code(), StatusCode::kInvalidArgument);
+  const auto with_inf =
+      EstimateKde(std::vector<double>{1.0, -inf, 2.0}, options);
+  ASSERT_FALSE(with_inf.ok());
+  EXPECT_EQ(with_inf.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(KdeOptionsTest, Validation) {

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,7 +19,7 @@ SourceSet MakeStratifiedSources() {
   Rng rng(1);
   const double biases[] = {0.0, 0.0, 0.0, 10.0, 10.0, 40.0};
   for (int s = 0; s < 6; ++s) {
-    DataSource source("s" + std::to_string(s));
+    DataSource source(std::string("s") + std::to_string(s));
     for (ComponentId c = 0; c < 30; ++c) {
       source.Bind(c, 50.0 + static_cast<double>(c) + biases[s] +
                          rng.Normal(0.0, 0.2));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -32,7 +33,7 @@ TEST(EnumerateOrderAnswersTest, HandComputedPath) {
 TEST(EnumerateOrderAnswersTest, CapEnforced) {
   SourceSet sources;
   for (int s = 0; s < 9; ++s) {
-    DataSource source("s" + std::to_string(s));
+    DataSource source(std::string("s") + std::to_string(s));
     source.Bind(1, static_cast<double>(s));
     sources.AddSource(std::move(source));
   }

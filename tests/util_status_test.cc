@@ -1,11 +1,36 @@
 #include "util/status.h"
 
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 namespace vastats {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time semantics.
+//
+// [[nodiscard]] is an attribute, not part of the type, so no type trait can
+// observe it; its presence on Status and Result is enforced by rule R5 of
+// tools/lint_invariants.py (a tier-1 ctest entry) and, behaviorally, by the
+// -Werror CI builds, where any discarded Status fails compilation.  What the
+// type system can check, we check here.
+// ---------------------------------------------------------------------------
+static_assert(std::is_copy_constructible_v<Status>);
+static_assert(std::is_move_constructible_v<Status>);
+static_assert(std::is_copy_constructible_v<Result<int>>);
+static_assert(std::is_move_constructible_v<Result<int>>);
+// A move-only payload makes the whole Result move-only — copying must not
+// silently compile into a payload copy.
+static_assert(!std::is_copy_constructible_v<Result<std::unique_ptr<int>>>);
+static_assert(std::is_move_constructible_v<Result<std::unique_ptr<int>>>);
+// Both implicit conversions must stay implicit: `return SomeStatus;` and
+// `return SomeT;` from a Result-returning function are the core idiom.
+static_assert(std::is_convertible_v<Status, Result<int>>);
+static_assert(std::is_convertible_v<int, Result<int>>);
 
 TEST(StatusTest, DefaultIsOk) {
   Status status;
@@ -59,6 +84,78 @@ TEST(ResultTest, MoveOutValue) {
 TEST(ResultTest, ArrowOperator) {
   Result<std::string> result = std::string("abc");
   EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyPayloadRoundTrips) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(17);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 17);
+  const std::unique_ptr<int> extracted = std::move(result).value();
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(*extracted, 17);
+}
+
+TEST(ResultTest, MoveOnlyPayloadCarriesErrorState) {
+  Result<std::unique_ptr<int>> result = Status::Internal("boom");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "boom");
+}
+
+TEST(ResultTest, CopyPreservesErrorState) {
+  const Result<int> original = Status::OutOfRange("index 9 of 3");
+  const Result<int> copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  ASSERT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(copy.status().message(), "index 9 of 3");
+  // The source is intact after the copy.
+  EXPECT_EQ(original.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(original.status().message(), "index 9 of 3");
+}
+
+TEST(ResultTest, MovePreservesErrorState) {
+  Result<int> original = Status::FailedPrecondition("not yet fitted");
+  const Result<int> moved = std::move(original);
+  ASSERT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(moved.status().message(), "not yet fitted");
+}
+
+TEST(ResultTest, CopyPreservesValueState) {
+  const Result<std::string> original = std::string("payload");
+  const Result<std::string> copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value(), "payload");
+  EXPECT_EQ(original.value(), "payload");
+}
+
+TEST(StatusTest, EveryFactoryToStringPreservesCodeNameAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+  } cases[] = {
+      {Status::InvalidArgument("m1"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m2"), StatusCode::kNotFound},
+      {Status::OutOfRange("m3"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("m4"), StatusCode::kFailedPrecondition},
+      {Status::Internal("m5"), StatusCode::kInternal},
+      {Status::Unimplemented("m6"), StatusCode::kUnimplemented},
+  };
+  for (const auto& c : cases) {
+    // ToString renders exactly "<StatusCodeToString(code)>: <message>", so
+    // the code name survives the round trip and the message is not mangled.
+    const std::string expected =
+        std::string(StatusCodeToString(c.code)) + ": " + c.status.message();
+    EXPECT_EQ(c.status.ToString(), expected);
+    EXPECT_EQ(c.status.code(), c.code);
+  }
+}
+
+TEST(StatusTest, EmptyMessageRoundTrips) {
+  const Status status = Status::Internal("");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "Internal: ");
 }
 
 Status FailWhenNegative(int x) {

@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for vastats.
+
+Enforces policies that clang-tidy cannot express (stdlib-only, no pip deps):
+
+  R1  no-exceptions: `throw` / `try` / `catch` are forbidden in src/ library
+      code. Fallible operations return Status / Result<T> (src/util/status.h).
+  R2  seeded-RNG facade: `std::rand`, `rand()`, `std::random_device`, and
+      ad-hoc <random> engines (`std::mt19937`, `std::minstd_rand`,
+      `std::default_random_engine`, ...) are forbidden outside
+      src/util/random.* — all randomness flows through the seeded `Rng`
+      facade so determinism_test stays meaningful.
+  R3  IO discipline: `std::cout`, `std::cerr`, `printf`, `fprintf`, and
+      `puts` are forbidden in library code outside src/util. Library code
+      reports failure through Status, not the console. (Buffer formatting
+      via `snprintf` is fine anywhere.)
+  R4  header hygiene: every header under src/ uses the canonical include
+      guard `VASTATS_<PATH>_H_` (e.g. src/util/status.h ->
+      VASTATS_UTIL_STATUS_H_), and every .cc under src/ has a matching
+      sibling header that it includes first.
+  R5  nodiscard: src/util/status.h must declare both `Status` and
+      `Result` with `[[nodiscard]]` — the enforcement teeth behind R1.
+
+Usage:
+  tools/lint_invariants.py [--root DIR]   # lint the repo, exit 1 on findings
+  tools/lint_invariants.py --self-test    # verify the linter catches
+                                          # injected violations, exit 1 on bug
+
+Suppression: append `// lint-invariants: allow(<rule>)` to the offending
+line, e.g. `// lint-invariants: allow(R2)`. Use sparingly; the comment is
+grep-able and reviewed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Callable, List, NamedTuple
+
+
+class Finding(NamedTuple):
+    rule: str
+    path: str
+    line: int  # 1-based; 0 for file-level findings
+    message: str
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+ALLOW_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([A-Za-z0-9_,\s]+)\)")
+
+
+def strip_code(text: str) -> str:
+    """Replaces comments and string/char literals with spaces.
+
+    Line structure is preserved so findings can report accurate line
+    numbers. Handles //, /* */, "...", '...', and raw string literals
+    R"delim(...)delim". Escapes inside ordinary literals are honoured.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":  # block comment
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and nxt == '"':  # raw string literal
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = f"){m.group(1)}\""
+            j = text.find(close, i + m.end())
+            j = n if j == -1 else j + len(close)
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":  # ordinary string / char literal
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def scan_lines(path: str, raw: str, code: str, rule: str,
+               pattern: re.Pattern, message: Callable[[str], str]) -> List[Finding]:
+    findings = []
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        m = pattern.search(line)
+        if not m:
+            continue
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if rule in allowed_rules(raw_line):
+            continue
+        findings.append(Finding(rule, path, lineno, message(m.group(0))))
+    return findings
+
+
+# --- R1: no exceptions in library code -------------------------------------
+
+R1_PATTERN = re.compile(r"\b(throw|try|catch)\b")
+
+
+def check_no_exceptions(path: str, raw: str, code: str) -> List[Finding]:
+    return scan_lines(
+        path, raw, code, "R1", R1_PATTERN,
+        lambda tok: f"`{tok}` is forbidden in library code; return a "
+                    f"Status/Result<T> instead (src/util/status.h)")
+
+
+# --- R2: seeded-RNG facade ---------------------------------------------------
+
+R2_PATTERN = re.compile(
+    r"std::rand\b|(?<![\w:.])rand\s*\(|std::random_device\b"
+    r"|std::mt19937(?:_64)?\b|std::minstd_rand0?\b"
+    r"|std::default_random_engine\b|std::ranlux\w+\b"
+    r"|std::knuth_b\b|(?<![\w:.])srand\s*\(")
+
+
+def check_seeded_rng(path: str, raw: str, code: str) -> List[Finding]:
+    return scan_lines(
+        path, raw, code, "R2", R2_PATTERN,
+        lambda tok: f"`{tok.strip('( ')}` bypasses the seeded Rng facade; use "
+                    f"vastats::Rng (src/util/random.h) so streams stay "
+                    f"deterministic")
+
+
+# --- R3: IO discipline -------------------------------------------------------
+
+R3_PATTERN = re.compile(
+    r"std::cout\b|std::cerr\b|std::clog\b"
+    r"|(?<![\w.])(?:std::)?(?:printf|fprintf|puts|fputs)\s*\(")
+
+
+def check_io_discipline(path: str, raw: str, code: str) -> List[Finding]:
+    return scan_lines(
+        path, raw, code, "R3", R3_PATTERN,
+        lambda tok: f"`{tok.strip('( ')}` writes to the console from library "
+                    f"code; report failures via Status and leave IO to "
+                    f"callers (snprintf into a buffer is fine)")
+
+
+# --- R4: header guards and .cc/.h pairing -----------------------------------
+
+def expected_guard(rel_header: str) -> str:
+    # src/util/status.h -> VASTATS_UTIL_STATUS_H_
+    parts = rel_header.split(os.sep)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.(h|hpp|hh)$", "", stem)
+    return "VASTATS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_header_guard(path: str, raw: str) -> List[Finding]:
+    guard = expected_guard(path)
+    ifndef = re.search(r"^#ifndef\s+(\S+)", raw, re.MULTILINE)
+    define = re.search(r"^#define\s+(\S+)", raw, re.MULTILINE)
+    findings = []
+    if not ifndef or not define:
+        findings.append(Finding(
+            "R4", path, 1,
+            f"missing include guard; expected `#ifndef {guard}`"))
+        return findings
+    if ifndef.group(1) != guard or define.group(1) != guard:
+        lineno = raw[:ifndef.start()].count("\n") + 1
+        findings.append(Finding(
+            "R4", path, lineno,
+            f"include guard `{ifndef.group(1)}` does not match the canonical "
+            f"style; expected `{guard}`"))
+    return findings
+
+
+def check_cc_header_pairing(root: str, rel_cc: str, raw: str) -> List[Finding]:
+    rel_h = re.sub(r"\.cc$", ".h", rel_cc)
+    if not os.path.exists(os.path.join(root, rel_h)):
+        return [Finding(
+            "R4", rel_cc, 0,
+            f"no sibling header `{rel_h}`; every src/ .cc pairs with a "
+            f"header that declares its interface")]
+    # The paired header must be the first include (self-contained headers).
+    first_include = re.search(r'^#include\s+"([^"]+)"', raw, re.MULTILINE)
+    want = "/".join(rel_h.split(os.sep)[1:])  # include path is src/-relative
+    if not first_include or first_include.group(1) != want:
+        got = first_include.group(1) if first_include else "<none>"
+        lineno = (raw[:first_include.start()].count("\n") + 1
+                  if first_include else 1)
+        return [Finding(
+            "R4", rel_cc, lineno,
+            f"first include must be the paired header \"{want}\" "
+            f"(got \"{got}\")")]
+    return []
+
+
+# --- R5: nodiscard on Status / Result ---------------------------------------
+
+def check_nodiscard(root: str) -> List[Finding]:
+    status_h = os.path.join("src", "util", "status.h")
+    try:
+        with open(os.path.join(root, status_h), encoding="utf-8") as f:
+            raw = f.read()
+    except OSError:
+        return [Finding("R5", status_h, 0, "src/util/status.h is missing")]
+    findings = []
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", raw):
+        findings.append(Finding(
+            "R5", status_h, 0,
+            "`Status` must be declared `class [[nodiscard]] Status`"))
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", raw):
+        findings.append(Finding(
+            "R5", status_h, 0,
+            "`Result` must be declared `class [[nodiscard]] Result`"))
+    return findings
+
+
+# --- driver ------------------------------------------------------------------
+
+RNG_FACADE_FILES = {os.path.join("src", "util", "random.h"),
+                    os.path.join("src", "util", "random.cc")}
+UTIL_PREFIX = os.path.join("src", "util") + os.sep
+
+
+def iter_source_files(root: str, subdir: str):
+    base = os.path.join(root, subdir)
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith((".cc", ".h", ".hpp", ".cpp")):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root)
+
+
+def lint_repo(root: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel in iter_source_files(root, "src"):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_code(raw)
+        findings += check_no_exceptions(rel, raw, code)
+        if rel not in RNG_FACADE_FILES:
+            findings += check_seeded_rng(rel, raw, code)
+        if not rel.startswith(UTIL_PREFIX):
+            findings += check_io_discipline(rel, raw, code)
+        if rel.endswith((".h", ".hpp")):
+            findings += check_header_guard(rel, raw)
+        elif rel.endswith(".cc"):
+            findings += check_cc_header_pairing(root, rel, raw)
+    # The seeded-RNG rule also covers tests and benches: a bare std::mt19937
+    # in a test silently undermines determinism_test's guarantees.
+    for subdir in ("tests", "bench"):
+        if not os.path.isdir(os.path.join(root, subdir)):
+            continue
+        for rel in iter_source_files(root, subdir):
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                raw = f.read()
+            code = strip_code(raw)
+            findings += check_seeded_rng(rel, raw, code)
+    findings += check_nodiscard(root)
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+def self_test() -> int:
+    """Checks that each rule fires on an injected violation and stays quiet
+    on clean code. Runs entirely in memory; no files are written."""
+    failures = []
+
+    def expect(name: str, got: List[Finding], want_rule: str | None):
+        if want_rule is None and got:
+            failures.append(f"{name}: expected clean, got {got[0].render()}")
+        elif want_rule is not None and not any(f.rule == want_rule for f in got):
+            failures.append(f"{name}: expected a {want_rule} finding, got "
+                            f"{[f.rule for f in got] or 'nothing'}")
+
+    def run(checker, snippet: str) -> List[Finding]:
+        return checker("src/core/fake.cc", snippet, strip_code(snippet))
+
+    # R1 fires on throw/try/catch, ignores comments, strings, and allowances.
+    expect("R1 throw", run(check_no_exceptions, "void F() { throw 1; }"), "R1")
+    expect("R1 try", run(check_no_exceptions,
+                         "void F() { try { G(); } catch (...) {} }"), "R1")
+    expect("R1 comment", run(check_no_exceptions,
+                             "// never throw here\nvoid F();"), None)
+    expect("R1 string", run(check_no_exceptions,
+                            'const char* k = "do not throw";'), None)
+    expect("R1 identifier", run(check_no_exceptions,
+                                "int retry_count = 0;"), None)
+    expect("R1 allow", run(check_no_exceptions,
+                           "throw 1; // lint-invariants: allow(R1)"), None)
+
+    # R2 fires on every ad-hoc RNG spelling, ignores the facade's own calls.
+    expect("R2 mt19937", run(check_seeded_rng, "std::mt19937 gen(42);"), "R2")
+    expect("R2 mt19937_64", run(check_seeded_rng,
+                                "std::mt19937_64 gen(42);"), "R2")
+    expect("R2 rand", run(check_seeded_rng, "int x = rand();"), "R2")
+    expect("R2 std::rand", run(check_seeded_rng, "int x = std::rand();"), "R2")
+    expect("R2 rand at line start", run(check_seeded_rng, "rand();"), "R2")
+    expect("R2 random_device", run(check_seeded_rng,
+                                   "std::random_device rd;"), "R2")
+    expect("R2 srand", run(check_seeded_rng, "srand(7);"), "R2")
+    expect("R2 clean rng", run(check_seeded_rng, "Rng rng(seed);"), None)
+    expect("R2 operand", run(check_seeded_rng, "x = operand(1);"), None)
+
+    # R3 fires on console IO, allows snprintf formatting.
+    expect("R3 cout", run(check_io_discipline, "std::cout << x;"), "R3")
+    expect("R3 cerr", run(check_io_discipline, "std::cerr << x;"), "R3")
+    expect("R3 printf", run(check_io_discipline, 'printf("%d", x);'), "R3")
+    expect("R3 fprintf", run(check_io_discipline,
+                             'fprintf(stderr, "%d", x);'), "R3")
+    expect("R3 std::fprintf", run(check_io_discipline,
+                                  'std::fprintf(stderr, "%d", x);'), "R3")
+    expect("R3 snprintf", run(check_io_discipline,
+                              "std::snprintf(buf, sizeof buf, f);"), None)
+    expect("R3 std::snprintf in expr", run(check_io_discipline,
+                                           "n = std::snprintf(b, s, f);"),
+           None)
+
+    # R4 guard style.
+    good_guard = ("#ifndef VASTATS_CORE_FAKE_H_\n"
+                  "#define VASTATS_CORE_FAKE_H_\n#endif\n")
+    expect("R4 good guard",
+           check_header_guard("src/core/fake.h", good_guard), None)
+    bad_guard = "#ifndef FAKE_H\n#define FAKE_H\n#endif\n"
+    expect("R4 bad guard",
+           check_header_guard("src/core/fake.h", bad_guard), "R4")
+    expect("R4 no guard", check_header_guard("src/core/fake.h", "int x;\n"),
+           "R4")
+    if expected_guard(os.path.join("src", "util", "status.h")) != \
+            "VASTATS_UTIL_STATUS_H_":
+        failures.append("R4 expected_guard mapping broke")
+
+    # strip_code must preserve line numbers.
+    stripped = strip_code("a\n/* b\nc */ d\n")
+    if stripped.count("\n") != 3:
+        failures.append("strip_code changed the line count")
+    if "d" not in stripped or "c" in stripped:
+        failures.append("strip_code mangled block comments")
+    raw_str = strip_code('auto s = R"x(throw)x"; int y;')
+    if "throw" in raw_str or "int y;" not in raw_str:
+        failures.append("strip_code mangled raw strings")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("lint_invariants self-test: all checks passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter catches injected violations")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_repo(os.path.abspath(args.root))
+    for finding in findings:
+        print(finding.render(), file=sys.stderr)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
