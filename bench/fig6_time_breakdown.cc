@@ -3,12 +3,22 @@
 // uniS sample size grows from 100 to 800, plus the stability score cost and
 // the paper's 200 ms/viable-answer sampling accounting.
 //
+// The table is derived from the telemetry trace: each repetition records its
+// phase spans into one Trace, and the per-phase columns are the span totals
+// divided by the repetition count. PhaseTimings is populated from the same
+// spans, so the two views cannot drift apart.
+//
 // Paper's shape to check: KDE dominates extraction and grows with the
 // sample size; bootstrap resampling is cheap; CIO cost is flat (it works on
 // a fixed 4096-point grid); stability is negligible; and under the 200 ms
 // remote-sampling model the uniS phase dwarfs all extraction combined.
+//
+// With --json, emits the same breakdown as a JSON document instead of the
+// human-readable table.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "vastats/vastats.h"
@@ -17,49 +27,96 @@
 namespace vastats::bench {
 namespace {
 
-int Run() {
+constexpr int kReps = 3;
+
+struct BreakdownRow {
+  int sample_size = 0;
+  double bootstrap_ms = 0.0;
+  double point_statistics_ms = 0.0;
+  double kde_ms = 0.0;
+  double cio_ms = 0.0;
+  double stability_ms = 0.0;
+};
+
+Result<BreakdownRow> MeasureRow(const Workload& workload, int sample_size) {
+  Trace trace;
+  ExtractorOptions options;
+  options.obs.trace = &trace;
+  VASTATS_ASSIGN_OR_RETURN(
+      const AnswerStatisticsExtractor extractor,
+      AnswerStatisticsExtractor::Create(workload.sources.get(), workload.query,
+                                        options));
+
+  Rng rng(6000 + static_cast<uint64_t>(sample_size));
+  VASTATS_ASSIGN_OR_RETURN(const std::vector<double> samples,
+                           extractor.sampler().Sample(sample_size, rng));
+
+  // Run the extraction phases on the pre-drawn sample; average over a few
+  // repetitions (all recorded into the one trace) to stabilize the clock.
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng phase_rng(7000 + static_cast<uint64_t>(rep));
+    VASTATS_ASSIGN_OR_RETURN(const AnswerStatistics stats,
+                             extractor.ExtractFromSamples(samples, phase_rng));
+    (void)stats;
+  }
+
+  const double to_ms = 1e3 / static_cast<double>(kReps);
+  BreakdownRow row;
+  row.sample_size = sample_size;
+  row.bootstrap_ms = trace.TotalSecondsOf("bootstrap") * to_ms;
+  row.point_statistics_ms = trace.TotalSecondsOf("point_statistics") * to_ms;
+  row.kde_ms = trace.TotalSecondsOf("kde") * to_ms;
+  row.cio_ms = trace.TotalSecondsOf("cio") * to_ms;
+  row.stability_ms = trace.TotalSecondsOf("stability") * to_ms;
+  return row;
+}
+
+int Run(bool json) {
+  Workload workload = MakeD2Workload();
+  std::vector<BreakdownRow> rows;
+  for (const int sample_size : {100, 200, 400, 600, 800}) {
+    const auto row = MeasureRow(workload, sample_size);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*row);
+  }
+
+  if (json) {
+    JsonWriter out;
+    out.BeginObject();
+    out.KeyValue("figure", "fig6_time_breakdown");
+    out.KeyValue("reps", static_cast<int64_t>(kReps));
+    out.Key("rows");
+    out.BeginArray();
+    for (const BreakdownRow& row : rows) {
+      out.BeginObject();
+      out.KeyValue("sample_size", static_cast<int64_t>(row.sample_size));
+      out.KeyValue("bootstrap_ms", row.bootstrap_ms);
+      out.KeyValue("point_statistics_ms", row.point_statistics_ms);
+      out.KeyValue("kde_ms", row.kde_ms);
+      out.KeyValue("cio_ms", row.cio_ms);
+      out.KeyValue("stability_ms", row.stability_ms);
+      out.KeyValue("sampling_seconds_at_200ms",
+                   static_cast<double>(row.sample_size) * 0.2);
+      out.EndObject();
+    }
+    out.EndArray();
+    out.EndObject();
+    std::printf("%s\n", std::move(out).Finish().c_str());
+    return 0;
+  }
+
   std::printf("Figure 6 reproduction: time breakdown of operations "
-              "(50 bootstrap sets, 4096-point KDE grid)\n\n");
+              "(50 bootstrap sets, 4096-point KDE grid; span-derived)\n\n");
   std::printf("%-8s %12s %12s %12s %12s %16s\n", "|S|", "bootstrap(ms)",
               "KDE(ms)", "CIO(ms)", "stability(ms)",
               "sampling@200ms/ans(s)");
-
-  Workload workload = MakeD2Workload();
-  const auto extractor = AnswerStatisticsExtractor::Create(
-      workload.sources.get(), workload.query, ExtractorOptions{});
-  if (!extractor.ok()) {
-    std::fprintf(stderr, "%s\n", extractor.status().ToString().c_str());
-    return 1;
-  }
-
-  for (const int sample_size : {100, 200, 400, 600, 800}) {
-    Rng rng(6000 + static_cast<uint64_t>(sample_size));
-    const auto samples = extractor->sampler().Sample(sample_size, rng);
-    if (!samples.ok()) return 1;
-
-    // Run the extraction phases on the pre-drawn sample; average over a few
-    // repetitions to stabilize the clock.
-    constexpr int kReps = 3;
-    PhaseTimings totals;
-    for (int rep = 0; rep < kReps; ++rep) {
-      Rng phase_rng(7000 + static_cast<uint64_t>(rep));
-      const auto stats =
-          extractor->ExtractFromSamples(*samples, phase_rng);
-      if (!stats.ok()) {
-        std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-        return 1;
-      }
-      totals.bootstrap_seconds += stats->timings.bootstrap_seconds;
-      totals.kde_seconds += stats->timings.kde_seconds;
-      totals.cio_seconds += stats->timings.cio_seconds;
-      totals.stability_seconds += stats->timings.stability_seconds;
-    }
-    std::printf("%-8d %12.2f %12.2f %12.2f %12.3f %16.1f\n", sample_size,
-                totals.bootstrap_seconds / kReps * 1e3,
-                totals.kde_seconds / kReps * 1e3,
-                totals.cio_seconds / kReps * 1e3,
-                totals.stability_seconds / kReps * 1e3,
-                sample_size * 0.2);
+  for (const BreakdownRow& row : rows) {
+    std::printf("%-8d %12.2f %12.2f %12.2f %12.3f %16.1f\n", row.sample_size,
+                row.bootstrap_ms, row.kde_ms, row.cio_ms, row.stability_ms,
+                row.sample_size * 0.2);
   }
 
   std::printf(
@@ -73,4 +130,7 @@ int Run() {
 }  // namespace
 }  // namespace vastats::bench
 
-int main() { return vastats::bench::Run(); }
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  return vastats::bench::Run(json);
+}

@@ -1,8 +1,15 @@
 // Microbenchmarks for the pipeline stages: uniS sampling, bootstrap
 // resampling, BCa interval computation, greedy CIO (both expansions), and
 // the end-to-end extractor.
+//
+// With --json, instead of running the google-benchmark suite, one
+// telemetry-enabled extraction is profiled and its span-derived phase
+// breakdown (plus the metrics counters) is emitted as a JSON document.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "vastats/vastats.h"
 #include "workloads.h"
@@ -101,5 +108,64 @@ void BM_EndToEndExtract(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndExtract)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 
+// One fully instrumented extraction; the JSON breakdown comes from the
+// recorded spans (the same measurement PhaseTimings reports).
+int RunJsonBreakdown() {
+  Trace trace;
+  MetricsRegistry metrics;
+  ExtractorOptions options;
+  options.initial_sample_size = 400;
+  options.weight_probes = 10;
+  options.obs.trace = &trace;
+  options.obs.metrics = &metrics;
+  const auto extractor = AnswerStatisticsExtractor::Create(
+      D2().sources.get(), D2().query, options);
+  if (!extractor.ok()) {
+    std::fprintf(stderr, "%s\n", extractor.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = extractor->Extract();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  JsonWriter out;
+  out.BeginObject();
+  out.KeyValue("benchmark", "micro_pipeline");
+  out.KeyValue("sample_size",
+               static_cast<int64_t>(options.initial_sample_size));
+  out.Key("phases_seconds");
+  out.BeginObject();
+  for (const char* phase : {"sampling", "bootstrap", "point_statistics",
+                            "kde", "cio", "stability"}) {
+    out.KeyValue(phase, trace.TotalSecondsOf(phase));
+  }
+  out.EndObject();
+  out.KeyValue("total_seconds", trace.TotalSecondsOf("extract"));
+  out.Key("counters");
+  out.BeginObject();
+  for (const CounterSample& counter : metrics.Snapshot().counters) {
+    out.KeyValue(counter.name, static_cast<int64_t>(counter.value));
+  }
+  out.EndObject();
+  out.EndObject();
+  std::printf("%s\n", std::move(out).Finish().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace vastats::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return vastats::bench::RunJsonBreakdown();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,6 +42,10 @@
 #include "integration/record_mapper.h"
 #include "integration/source_set.h"
 #include "integration/stratification.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "query/aggregate.h"
 #include "query/aggregate_query.h"
 #include "query/grouped_query.h"

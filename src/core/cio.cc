@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace vastats {
 namespace {
@@ -209,20 +210,27 @@ Status CioOptions::Validate() const {
 }
 
 Result<CoverageResult> GreedyCio(const GridDensity& density,
-                                 const CioOptions& options) {
+                                 const CioOptions& options,
+                                 const ObsOptions& obs) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
   VASTATS_ASSIGN_OR_RETURN(const std::vector<Mode> modes,
                            SelectModes(density, options));
   const size_t t = modes.size();
 
+  ScopedSpan span(obs.trace, "cio_greedy");
+  span.Annotate("modes", static_cast<int64_t>(t));
+  span.Annotate("theta", options.theta);
+
   std::vector<RawInterval> merged;
   double coverage = 0.0;
+  uint64_t descents = 0;
   // Water-level descent: at step i the intervals around the top-i modes are
   // carved at the height of mode i+1 (Algorithm 2 lines 4-15).
   for (size_t i = 1; i <= t - 1 && coverage < options.theta; ++i) {
     merged =
         LevelIntervals(density, modes, i, modes[i].height, options.expansion);
     coverage = MassOf(density, merged);
+    ++descents;
   }
 
   if (coverage <= options.theta) {
@@ -240,7 +248,17 @@ Result<CoverageResult> GreedyCio(const GridDensity& density,
       }
     }
   }
-  return Finalize(density, merged);
+  CoverageResult result = Finalize(density, merged);
+  span.Annotate("water_level_iterations", static_cast<int64_t>(descents));
+  span.Annotate("intervals", static_cast<int64_t>(result.intervals.size()));
+  span.Annotate("coverage", result.total_coverage);
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("cio_runs_total").Increment();
+    obs.GetCounter("cio_water_level_iterations_total").Increment(descents);
+    obs.GetCounter("cio_intervals_total")
+        .Increment(static_cast<uint64_t>(result.intervals.size()));
+  }
+  return result;
 }
 
 Result<CoverageResult> DualGreedyCio(const GridDensity& density,
@@ -291,13 +309,16 @@ Result<CoverageResult> DualGreedyCio(const GridDensity& density,
 }
 
 Result<CoverageResult> SlicingCio(const GridDensity& density, double theta,
-                                  int num_slices) {
+                                  int num_slices, const ObsOptions& obs) {
   if (!(theta > 0.0 && theta < 1.0)) {
     return Status::InvalidArgument("SlicingCio requires theta in (0,1)");
   }
   if (num_slices < 2) {
     return Status::InvalidArgument("SlicingCio requires num_slices >= 2");
   }
+  ScopedSpan span(obs.trace, "cio_slicing");
+  span.Annotate("slices", static_cast<int64_t>(num_slices));
+  span.Annotate("theta", theta);
   const double width = density.range() / static_cast<double>(num_slices);
   struct Slice {
     int index;
@@ -321,6 +342,10 @@ Result<CoverageResult> SlicingCio(const GridDensity& density, double theta,
     raw.push_back({lo, lo + width});
     covered += slice.mass;
   }
+  span.Annotate("slices_kept", static_cast<int64_t>(raw.size()));
+  obs.GetCounter("cio_slicing_runs_total").Increment();
+  obs.GetCounter("cio_slices_kept_total")
+      .Increment(static_cast<uint64_t>(raw.size()));
   return Finalize(density, MergeIntervals(std::move(raw)));
 }
 

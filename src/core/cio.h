@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "density/grid_density.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace vastats {
@@ -83,9 +84,12 @@ struct CioOptions {
   Status Validate() const;
 };
 
-// Algorithm 2 over a normalized density.
+// Algorithm 2 over a normalized density. `obs` (optional) records a
+// `cio_greedy` span (modes, water-level iterations, resulting intervals)
+// and the CIO counters.
 Result<CoverageResult> GreedyCio(const GridDensity& density,
-                                 const CioOptions& options);
+                                 const CioOptions& options,
+                                 const ObsOptions& obs = {});
 
 // Dual CIO: stop the same greedy descent once the total interval length
 // reaches `total_length` (absolute units of the density's x axis).
@@ -94,9 +98,11 @@ Result<CoverageResult> DualGreedyCio(const GridDensity& density,
                                      const CioOptions& options = {});
 
 // Top-slices baseline: split the range into `num_slices` equal slices and
-// keep the most massive ones until theta is covered.
+// keep the most massive ones until theta is covered. `obs` (optional)
+// records a `cio_slicing` span and slice counters.
 Result<CoverageResult> SlicingCio(const GridDensity& density, double theta,
-                                  int num_slices = 4096);
+                                  int num_slices = 4096,
+                                  const ObsOptions& obs = {});
 
 }  // namespace vastats
 

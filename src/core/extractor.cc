@@ -1,10 +1,10 @@
 #include "core/extractor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "stats/descriptive.h"
 #include "stats/jackknife.h"
-#include "util/stopwatch.h"
 
 namespace vastats {
 
@@ -66,33 +66,56 @@ Result<PointEstimate> AnswerStatisticsExtractor::EstimatePoint(
   return estimate;
 }
 
+bool ReconcilePhaseTimings(PhaseTimings& timings, double total_elapsed_seconds,
+                           double tolerance_fraction) {
+  const double sum = timings.TotalSeconds();
+  if (sum <= 0.0) return true;
+  if (sum <= total_elapsed_seconds * (1.0 + tolerance_fraction)) return true;
+  const double scale = std::max(total_elapsed_seconds, 0.0) / sum;
+  timings.sampling_seconds *= scale;
+  timings.bootstrap_seconds *= scale;
+  timings.point_statistics_seconds *= scale;
+  timings.kde_seconds *= scale;
+  timings.cio_seconds *= scale;
+  timings.stability_seconds *= scale;
+  return false;
+}
+
 Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
+  const ObsOptions& obs = options_.obs;
+  ScopedSpan extract_span(obs.trace, "extract");
   Rng rng(options_.seed);
-  Stopwatch watch;
 
   // Phase 1: uniS sampling (Algorithm 1 line 2).
+  ScopedSpan sampling_span(obs.trace, "sampling");
   std::vector<double> samples;
   if (options_.adaptive.has_value()) {
     VASTATS_ASSIGN_OR_RETURN(
         AdaptiveSamplingResult adaptive,
-        AdaptiveUniSSampling(sampler_, *options_.adaptive, rng));
+        AdaptiveUniSSampling(sampler_, *options_.adaptive, rng, obs));
     samples = std::move(adaptive.samples);
   } else if (options_.sampling_threads != 1) {
     ParallelSampleOptions parallel;
     parallel.num_threads = options_.sampling_threads;
     parallel.seed = options_.seed ^ 0xfeedfaceULL;
+    parallel.obs = obs;
     VASTATS_ASSIGN_OR_RETURN(
         samples, ParallelUniSSample(sampler_, options_.initial_sample_size,
                                     parallel));
   } else {
     VASTATS_ASSIGN_OR_RETURN(
-        samples, sampler_.Sample(options_.initial_sample_size, rng));
+        samples, sampler_.Sample(options_.initial_sample_size, rng, obs));
   }
-  const double sampling_seconds = watch.ElapsedSeconds();
+  const double sampling_seconds = sampling_span.Close();
 
   VASTATS_ASSIGN_OR_RETURN(AnswerStatistics stats,
                            ExtractFromSamples(std::move(samples), rng));
   stats.timings.sampling_seconds = sampling_seconds;
+
+  const double total_seconds = extract_span.Close();
+  if (!ReconcilePhaseTimings(stats.timings, total_seconds)) {
+    obs.GetCounter("phase_timing_clamps_total").Increment();
+  }
   return stats;
 }
 
@@ -113,16 +136,22 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
       .samples = std::move(samples),
       .answer_weight_y = 0.0,
       .timings = {}};
-  Stopwatch watch;
+  const ObsOptions& obs = options_.obs;
+  ScopedSpan pipeline_span(obs.trace, "extract_from_samples");
+  pipeline_span.Annotate("samples", static_cast<int64_t>(stats.samples.size()));
+  obs.GetCounter("extractions_total").Increment();
 
-  // Phase 2: bootstrap resampling (line 3).
+  // Phase 2: bootstrap resampling (line 3). Each PhaseTimings entry is the
+  // Close() of the phase's own span, so the Figure 6 table and an exported
+  // trace are two views of one measurement.
+  ScopedSpan bootstrap_span(obs.trace, "bootstrap");
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<std::vector<double>> sets,
       BootstrapSets(stats.samples, options_.bootstrap, rng));
-  stats.timings.bootstrap_seconds = watch.ElapsedSeconds();
+  stats.timings.bootstrap_seconds = bootstrap_span.Close();
 
   // Phases 3-4: bagged point statistics + confidence intervals (lines 4-5).
-  watch.Restart();
+  ScopedSpan point_span(obs.trace, "point_statistics");
   VASTATS_ASSIGN_OR_RETURN(
       stats.mean, EstimatePoint(MomentStatistic::kMean, stats.samples, sets));
   VASTATS_ASSIGN_OR_RETURN(
@@ -134,33 +163,33 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   VASTATS_ASSIGN_OR_RETURN(
       stats.skewness,
       EstimatePoint(MomentStatistic::kSkewness, stats.samples, sets));
-  stats.timings.point_statistics_seconds = watch.ElapsedSeconds();
+  stats.timings.point_statistics_seconds = point_span.Close();
 
   // Phase 5: bagged density estimation (line 6).
-  watch.Restart();
+  ScopedSpan kde_span(obs.trace, "kde");
   VASTATS_ASSIGN_OR_RETURN(
       const BaggedKde kde,
-      EstimateBaggedKde(sets, stats.samples, options_.kde));
+      EstimateBaggedKde(sets, stats.samples, options_.kde, obs));
   stats.density = kde.density;
-  stats.timings.kde_seconds = watch.ElapsedSeconds();
+  stats.timings.kde_seconds = kde_span.Close();
 
   // Phase 6: high coverage intervals (line 7).
-  watch.Restart();
+  ScopedSpan cio_span(obs.trace, "cio");
   VASTATS_ASSIGN_OR_RETURN(stats.coverage,
-                           GreedyCio(stats.density, options_.cio));
-  stats.timings.cio_seconds = watch.ElapsedSeconds();
+                           GreedyCio(stats.density, options_.cio, obs));
+  stats.timings.cio_seconds = cio_span.Close();
 
   // Phase 7: stability score (line 8) — analytic, no removal simulation.
-  watch.Restart();
+  ScopedSpan stability_span(obs.trace, "stability");
   VASTATS_ASSIGN_OR_RETURN(
       stats.answer_weight_y,
-      sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng));
+      sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng, obs));
   VASTATS_ASSIGN_OR_RETURN(
       stats.stability,
       ComputeStability(stats.samples, kde.bandwidth, stats.answer_weight_y,
                        sampler_.sources().NumSources(), options_.stability_r,
                        options_.change_ratio_estimator));
-  stats.timings.stability_seconds = watch.ElapsedSeconds();
+  stats.timings.stability_seconds = stability_span.Close();
   return stats;
 }
 

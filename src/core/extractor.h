@@ -53,6 +53,12 @@ struct ExtractorOptions {
   int sampling_threads = 1;
   // RNG seed; runs with equal seeds and options are bit-identical.
   uint64_t seed = 0x5eed;
+  // Optional telemetry sinks (borrowed, may both be null = disabled). With a
+  // trace attached, every pipeline phase records a span under one `extract`
+  // root, and PhaseTimings is derived from those same spans; with a metrics
+  // registry attached, the samplers/KDE/CIO/stability stages publish
+  // counters and histograms through it.
+  ObsOptions obs;
 
   Status Validate() const;
 };
@@ -76,6 +82,15 @@ struct PhaseTimings {
            kde_seconds + cio_seconds + stability_seconds;
   }
 };
+
+// Guards the Figure 6 invariant that the per-phase breakdown never exceeds
+// the measured wall time of the whole pipeline (a phase counted twice would
+// silently inflate the table). Returns true when TotalSeconds() is within
+// `tolerance_fraction` of `total_elapsed_seconds`; otherwise scales every
+// phase down proportionally so the sum equals the elapsed total and returns
+// false.
+bool ReconcilePhaseTimings(PhaseTimings& timings, double total_elapsed_seconds,
+                           double tolerance_fraction = 0.05);
 
 // Everything Algorithm 1 returns (its grey-shaded outputs in Figure 3).
 struct AnswerStatistics {

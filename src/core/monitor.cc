@@ -20,7 +20,10 @@ Result<QueryId> ContinuousQueryMonitor::Register(AggregateQuery query) {
   if (sources_ == nullptr) {
     return Status::FailedPrecondition("monitor has no source set");
   }
+  const ObsOptions& obs = base_options_.obs;
+  ScopedSpan span(obs.trace, "monitor_register");
   const QueryId id = NumQueries();
+  span.Annotate("query_id", static_cast<int64_t>(id));
   ExtractorOptions options = base_options_;
   options.seed = base_options_.seed + static_cast<uint64_t>(id) * 7919;
   VASTATS_ASSIGN_OR_RETURN(
@@ -28,6 +31,10 @@ Result<QueryId> ContinuousQueryMonitor::Register(AggregateQuery query) {
       AnswerStatisticsExtractor::Create(sources_, query, options));
   VASTATS_ASSIGN_OR_RETURN(AnswerStatistics stats, extractor.Extract());
   entries_.push_back(Entry{std::move(query), std::move(stats), 1});
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("monitor_registrations_total").Increment();
+    obs.GetGauge("monitor_queue_depth").Set(static_cast<double>(NumQueries()));
+  }
   return id;
 }
 
@@ -56,6 +63,9 @@ std::vector<QueryId> ContinuousQueryMonitor::RefreshOrder() const {
 
 Status ContinuousQueryMonitor::Refresh(QueryId id) {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
+  const ObsOptions& obs = base_options_.obs;
+  ScopedSpan span(obs.trace, "monitor_refresh");
+  span.Annotate("query_id", static_cast<int64_t>(id));
   Entry& entry = entries_[static_cast<size_t>(id)];
   ExtractorOptions options = base_options_;
   options.seed = base_options_.seed + static_cast<uint64_t>(id) * 7919 +
@@ -64,26 +74,54 @@ Status ContinuousQueryMonitor::Refresh(QueryId id) {
   // observed.
   auto extractor =
       AnswerStatisticsExtractor::Create(sources_, entry.query, options);
-  if (!extractor.ok()) return extractor.status();
+  if (!extractor.ok()) {
+    obs.GetCounter("monitor_refresh_failures_total").Increment();
+    return extractor.status();
+  }
   auto stats = extractor->Extract();
-  if (!stats.ok()) return stats.status();
+  if (!stats.ok()) {
+    obs.GetCounter("monitor_refresh_failures_total").Increment();
+    return stats.status();
+  }
   entry.statistics = std::move(stats).value();
   ++entry.refreshes;
+  obs.GetCounter("monitor_refreshes_total").Increment();
   return Status::Ok();
 }
 
 Result<DriftReport> ContinuousQueryMonitor::RefreshWithDrift(
     QueryId id, const DriftOptions& options) {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
+  const ObsOptions& obs = base_options_.obs;
+  ScopedSpan span(obs.trace, "monitor_refresh_with_drift");
+  span.Annotate("query_id", static_cast<int64_t>(id));
   // Snapshot what the drift must be measured against before refreshing.
   const GridDensity previous_density =
       entries_[static_cast<size_t>(id)].statistics.density;
   const double previous_stability =
       entries_[static_cast<size_t>(id)].statistics.stability.stab_l2;
   VASTATS_RETURN_IF_ERROR(Refresh(id));
-  return AssessDrift(previous_density, previous_stability,
-                     entries_[static_cast<size_t>(id)].statistics.density,
-                     options);
+  VASTATS_ASSIGN_OR_RETURN(
+      const DriftReport report,
+      AssessDrift(previous_density, previous_stability,
+                  entries_[static_cast<size_t>(id)].statistics.density,
+                  options));
+  span.Annotate("realized_l2", report.realized_l2);
+  span.Annotate("drift_ratio", report.ratio);
+  span.Annotate("anomalous", report.anomalous);
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("monitor_drift_checks_total").Increment();
+    if (report.anomalous) {
+      obs.GetCounter("monitor_drift_anomalies_total").Increment();
+    }
+    // Buckets in units of the predicted one-churn-event drift; the
+    // anomaly threshold (tolerance_factor, default 3) sits mid-range.
+    static constexpr double kRatioBuckets[] = {0.25, 0.5, 1.0, 2.0,
+                                               3.0,  5.0, 10.0};
+    obs.GetHistogram("monitor_drift_ratio", kRatioBuckets)
+        .Observe(report.ratio);
+  }
+  return report;
 }
 
 Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
@@ -91,6 +129,9 @@ Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
   if (budget <= 0) {
     return Status::InvalidArgument("RefreshLeastStable needs budget > 0");
   }
+  const ObsOptions& obs = base_options_.obs;
+  ScopedSpan span(obs.trace, "monitor_refresh_least_stable");
+  span.Annotate("budget", static_cast<int64_t>(budget));
   std::vector<QueryId> refreshed;
   for (const QueryId id : RefreshOrder()) {
     if (static_cast<int>(refreshed.size()) >= budget) break;
@@ -101,6 +142,7 @@ Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
       failed->push_back(id);
     }
   }
+  span.Annotate("refreshed", static_cast<int64_t>(refreshed.size()));
   return refreshed;
 }
 

@@ -7,11 +7,16 @@ namespace vastats {
 
 Result<BaggedKde> EstimateBaggedKde(
     std::span<const std::vector<double>> sets,
-    std::span<const double> reference_samples, const KdeOptions& options) {
+    std::span<const double> reference_samples, const KdeOptions& options,
+    const ObsOptions& obs) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
   if (sets.empty()) {
     return Status::InvalidArgument("EstimateBaggedKde needs >= 1 sample set");
   }
+  ScopedSpan span(obs.trace, "bagged_kde");
+  span.Annotate("sets", static_cast<int64_t>(sets.size()));
+  obs.GetCounter("bagged_kde_sets_total")
+      .Increment(static_cast<uint64_t>(sets.size()));
   for (const std::vector<double>& set : sets) {
     if (set.size() < 2) {
       return Status::InvalidArgument(
@@ -47,7 +52,7 @@ Result<BaggedKde> EstimateBaggedKde(
   out.set_bandwidths.reserve(sets.size());
   const double weight = 1.0 / static_cast<double>(sets.size());
   for (const std::vector<double>& set : sets) {
-    VASTATS_ASSIGN_OR_RETURN(Kde kde, EstimateKde(set, per_set));
+    VASTATS_ASSIGN_OR_RETURN(Kde kde, EstimateKde(set, per_set, obs));
     out.set_bandwidths.push_back(kde.bandwidth);
     out.density.AccumulateScaled(kde.density, weight);
   }
@@ -57,7 +62,9 @@ Result<BaggedKde> EstimateBaggedKde(
   const std::span<const double> reference =
       reference_samples.empty() ? std::span<const double>(sets[0])
                                 : reference_samples;
-  VASTATS_ASSIGN_OR_RETURN(out.bandwidth, SelectBandwidth(reference, options));
+  VASTATS_ASSIGN_OR_RETURN(out.bandwidth,
+                           SelectBandwidth(reference, options, obs));
+  span.Annotate("bandwidth", out.bandwidth);
   return out;
 }
 

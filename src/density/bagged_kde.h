@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "density/kde.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace vastats {
@@ -27,10 +28,13 @@ struct BaggedKde {
 // Estimates one KDE per sample set and averages them point-wise on a grid
 // spanning all sets. `reference_samples` (typically the original uniS
 // sample) provides the reported bandwidth; it may be empty, in which case
-// the first set is used. Any fixed range in `options` is honored.
+// the first set is used. Any fixed range in `options` is honored. `obs`
+// (optional) records a `bagged_kde` span with one `kde_estimate` child per
+// set, plus the set counter.
 Result<BaggedKde> EstimateBaggedKde(
     std::span<const std::vector<double>> sets,
-    std::span<const double> reference_samples, const KdeOptions& options);
+    std::span<const double> reference_samples, const KdeOptions& options,
+    const ObsOptions& obs = {});
 
 }  // namespace vastats
 

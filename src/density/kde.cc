@@ -126,7 +126,7 @@ double ScottBandwidth(std::span<const double> samples) {
 }
 
 Result<double> BotevBandwidth(std::span<const double> samples,
-                              size_t grid_size) {
+                              size_t grid_size, const ObsOptions& obs) {
   if (samples.size() < 2) {
     return Status::InvalidArgument("BotevBandwidth needs >= 2 samples");
   }
@@ -158,7 +158,9 @@ Result<double> BotevBandwidth(std::span<const double> samples,
   }
 
   // Bracket the root of F(t) = gamma(t) - t on (0, 0.1], then bisect.
+  uint64_t evaluations = 0;
   auto f = [&](double t) {
+    ++evaluations;
     return BotevFixedPoint(t, n_dbl, i_sq, a2) - t;
   };
   double t_lo = 0.0, t_hi = 0.0;
@@ -195,14 +197,17 @@ Result<double> BotevBandwidth(std::span<const double> samples,
   } else {
     // Reference implementation's fallback.
     t_star = 0.28 * std::pow(n_dbl, -0.4);
+    obs.GetCounter("kde_botev_fallbacks_total").Increment();
   }
+  obs.GetCounter("kde_botev_iterations_total").Increment(evaluations);
   const double h = std::sqrt(t_star) * r;
   if (!(h > 0.0) || !std::isfinite(h)) return SilvermanBandwidth(samples);
   return h;
 }
 
 Result<double> SelectBandwidth(std::span<const double> samples,
-                               const KdeOptions& options) {
+                               const KdeOptions& options,
+                               const ObsOptions& obs) {
   if (options.bandwidth > 0.0) return options.bandwidth;
   switch (options.rule) {
     case BandwidthRule::kSilverman:
@@ -212,14 +217,14 @@ Result<double> SelectBandwidth(std::span<const double> samples,
     case BandwidthRule::kBotev: {
       const size_t grid =
           IsPowerOfTwo(options.grid_size) ? options.grid_size : size_t{4096};
-      return BotevBandwidth(samples, grid);
+      return BotevBandwidth(samples, grid, obs);
     }
   }
   return Status::Internal("unknown BandwidthRule");
 }
 
 Result<Kde> EstimateKde(std::span<const double> samples,
-                        const KdeOptions& options) {
+                        const KdeOptions& options, const ObsOptions& obs) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
   if (samples.size() < 2) {
     return Status::InvalidArgument("EstimateKde needs >= 2 samples");
@@ -231,7 +236,16 @@ Result<Kde> EstimateKde(std::span<const double> samples,
       return Status::InvalidArgument("EstimateKde samples must be finite");
     }
   }
-  VASTATS_ASSIGN_OR_RETURN(double h, SelectBandwidth(samples, options));
+  ScopedSpan span(obs.trace, "kde_estimate");
+  span.Annotate("samples", static_cast<int64_t>(samples.size()));
+  span.Annotate("grid_size", static_cast<int64_t>(options.grid_size));
+  span.Annotate("path", options.binned ? "binned_dct" : "direct");
+  if (options.binned) {
+    obs.GetCounter("kde_binned_path_total").Increment();
+  } else {
+    obs.GetCounter("kde_direct_path_total").Increment();
+  }
+  VASTATS_ASSIGN_OR_RETURN(double h, SelectBandwidth(samples, options, obs));
 
   double lo, hi;
   if (options.x_min < options.x_max) {
@@ -255,6 +269,7 @@ Result<Kde> EstimateKde(std::span<const double> samples,
   // towards zero.
   const size_t m = options.grid_size;
   h = std::max(h, 1.5 * (hi - lo) / static_cast<double>(m - 1));
+  span.Annotate("bandwidth", h);
 
   std::vector<double> values(m, 0.0);
   const double n_dbl = static_cast<double>(samples.size());

@@ -19,6 +19,7 @@
 #include <span>
 
 #include "density/grid_density.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace vastats {
@@ -59,18 +60,24 @@ double ScottBandwidth(std::span<const double> samples);
 
 // Diffusion plug-in selector; falls back to 0.28 * n^(-2/5) * range (the
 // reference implementation's fallback) if the fixed point cannot be
-// bracketed. `grid_size` is the internal DCT grid (power of two).
+// bracketed. `grid_size` is the internal DCT grid (power of two). `obs`
+// (optional) counts fixed-point evaluations and fallbacks.
 Result<double> BotevBandwidth(std::span<const double> samples,
-                              size_t grid_size = 4096);
+                              size_t grid_size = 4096,
+                              const ObsOptions& obs = {});
 
 // Applies `options.rule` (or the manual override) to `samples`.
 Result<double> SelectBandwidth(std::span<const double> samples,
-                               const KdeOptions& options);
+                               const KdeOptions& options,
+                               const ObsOptions& obs = {});
 
 // Estimates the density of `samples`; the result is normalized to unit mass
-// over its grid. Requires >= 2 samples.
+// over its grid. Requires >= 2 samples. `obs` (optional) records a
+// `kde_estimate` span (bandwidth, grid size, evaluation path) and the
+// direct-vs-binned path counters.
 Result<Kde> EstimateKde(std::span<const double> samples,
-                        const KdeOptions& options);
+                        const KdeOptions& options,
+                        const ObsOptions& obs = {});
 
 }  // namespace vastats
 

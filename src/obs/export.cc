@@ -1,0 +1,226 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/json_writer.h"
+
+namespace vastats {
+namespace {
+
+// Shortest rendering of a double that parses back exactly.
+std::string RenderDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) != 1 || parsed != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+std::string RenderUint64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+Status CheckName(std::string_view kind, std::string_view name) {
+  if (!IsSnakeCaseName(name)) {
+    return Status::InvalidArgument(std::string(kind) + " name `" +
+                                   std::string(name) +
+                                   "` is not snake_case ([a-z][a-z0-9_]*)");
+  }
+  return Status::Ok();
+}
+
+void EmitSpan(JsonWriter& json, const Trace& trace,
+              const std::vector<std::vector<int>>& children, int id) {
+  const SpanRecord& span = trace.spans()[static_cast<size_t>(id)];
+  json.BeginObject();
+  json.KeyValue("name", std::string_view(span.name));
+  json.KeyValue("start_seconds", span.start_seconds);
+  json.KeyValue("elapsed_seconds", span.elapsed_seconds);
+  if (!span.annotations.empty()) {
+    json.Key("annotations");
+    json.BeginObject();
+    for (const SpanAnnotation& annotation : span.annotations) {
+      json.KeyValue(annotation.key, std::string_view(annotation.value));
+    }
+    json.EndObject();
+  }
+  const std::vector<int>& kids = children[static_cast<size_t>(id)];
+  if (!kids.empty()) {
+    json.Key("children");
+    json.BeginArray();
+    for (const int child : kids) EmitSpan(json, trace, children, child);
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+bool IsSnakeCaseName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(name[0] >= 'a' && name[0] <= 'z')) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::string> TraceToJson(const Trace& trace) {
+  const std::span<const SpanRecord> spans = trace.spans();
+  const size_t n = spans.size();
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (size_t i = 0; i < n; ++i) {
+    const SpanRecord& span = spans[i];
+    VASTATS_RETURN_IF_ERROR(CheckName("span", span.name));
+    if (span.open) {
+      return Status::FailedPrecondition("span `" + span.name +
+                                        "` is still open; close every span "
+                                        "before exporting the trace");
+    }
+    if (span.parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[static_cast<size_t>(span.parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans");
+  json.BeginArray();
+  for (const int root : roots) EmitSpan(json, trace, children, root);
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+Result<std::string> SnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const CounterSample& sample : snapshot.counters) {
+    VASTATS_RETURN_IF_ERROR(CheckName("counter", sample.name));
+    json.KeyValue(sample.name, static_cast<int64_t>(sample.value));
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const GaugeSample& sample : snapshot.gauges) {
+    VASTATS_RETURN_IF_ERROR(CheckName("gauge", sample.name));
+    json.KeyValue(sample.name, sample.value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    VASTATS_RETURN_IF_ERROR(CheckName("histogram", sample.name));
+    json.Key(sample.name);
+    json.BeginObject();
+    json.Key("upper_bounds");
+    json.BeginArray();
+    for (const double bound : sample.upper_bounds) json.Number(bound);
+    json.EndArray();
+    json.Key("bucket_counts");
+    json.BeginArray();
+    for (const uint64_t count : sample.bucket_counts) {
+      json.Int(static_cast<int64_t>(count));
+    }
+    json.EndArray();
+    json.KeyValue("count", static_cast<int64_t>(sample.count));
+    json.KeyValue("sum", sample.sum);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+Result<std::string> SnapshotToCsv(const MetricsSnapshot& snapshot) {
+  std::vector<CsvRow> rows;
+  rows.push_back(CsvRow{"kind", "name", "field", "value"});
+  for (const CounterSample& sample : snapshot.counters) {
+    VASTATS_RETURN_IF_ERROR(CheckName("counter", sample.name));
+    rows.push_back(
+        CsvRow{"counter", sample.name, "value", RenderUint64(sample.value)});
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    VASTATS_RETURN_IF_ERROR(CheckName("gauge", sample.name));
+    rows.push_back(
+        CsvRow{"gauge", sample.name, "value", RenderDouble(sample.value)});
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    VASTATS_RETURN_IF_ERROR(CheckName("histogram", sample.name));
+    for (size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+      const std::string field =
+          b < sample.upper_bounds.size()
+              ? "le_" + RenderDouble(sample.upper_bounds[b])
+              : std::string("le_inf");
+      rows.push_back(CsvRow{"histogram", sample.name, field,
+                            RenderUint64(sample.bucket_counts[b])});
+    }
+    rows.push_back(CsvRow{"histogram", sample.name, "count",
+                          RenderUint64(sample.count)});
+    rows.push_back(
+        CsvRow{"histogram", sample.name, "sum", RenderDouble(sample.sum)});
+  }
+  return FormatCsv(rows);
+}
+
+Result<std::string> SnapshotToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& sample : snapshot.counters) {
+    VASTATS_RETURN_IF_ERROR(CheckName("counter", sample.name));
+    out += "# TYPE " + sample.name + " counter\n";
+    out += sample.name + " " + RenderUint64(sample.value) + "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    VASTATS_RETURN_IF_ERROR(CheckName("gauge", sample.name));
+    out += "# TYPE " + sample.name + " gauge\n";
+    out += sample.name + " " + RenderDouble(sample.value) + "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    VASTATS_RETURN_IF_ERROR(CheckName("histogram", sample.name));
+    out += "# TYPE " + sample.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < sample.bucket_counts.size(); ++b) {
+      cumulative += sample.bucket_counts[b];
+      const std::string le = b < sample.upper_bounds.size()
+                                 ? RenderDouble(sample.upper_bounds[b])
+                                 : std::string("+Inf");
+      out += sample.name + "_bucket{le=\"" + le + "\"} " +
+             RenderUint64(cumulative) + "\n";
+    }
+    out += sample.name + "_sum " + RenderDouble(sample.sum) + "\n";
+    out += sample.name + "_count " + RenderUint64(sample.count) + "\n";
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open `" + path + "` for writing");
+  }
+  const size_t written =
+      content.empty()
+          ? 0
+          : std::fwrite(content.data(), 1, content.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != content.size() || !flushed) {
+    return Status::Internal("short write to `" + path + "`");
+  }
+  return Status::Ok();
+}
+
+}  // namespace vastats

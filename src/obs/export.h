@@ -1,0 +1,55 @@
+// Exporters for the observability layer: traces and metric snapshots to
+// JSON (via util/json_writer), CSV (via util/csv), and Prometheus text
+// exposition format.
+//
+// This module is the only place in src/obs allowed to touch the
+// filesystem (see tools/lint_invariants.py, IO-discipline allowlist); the
+// To* functions are pure string builders, WriteTextFile is the single IO
+// escape hatch for callers that want artifacts on disk.
+//
+// Metric and span names must be snake_case (`[a-z][a-z0-9_]*`); the
+// exporters validate and fail with InvalidArgument on violations instead of
+// silently emitting series that a Prometheus scraper would reject.
+
+#ifndef VASTATS_OBS_EXPORT_H_
+#define VASTATS_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// True when `name` is non-empty snake_case: [a-z][a-z0-9_]*.
+bool IsSnakeCaseName(std::string_view name);
+
+// Span tree as nested JSON:
+//   {"spans": [{"name": ..., "start_seconds": ..., "elapsed_seconds": ...,
+//               "annotations": {...}, "children": [...]}]}
+// Fails on open spans (close them first) or non-snake_case names.
+Result<std::string> TraceToJson(const Trace& trace);
+
+// Snapshot as one JSON object:
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {name: {"upper_bounds": [...], "bucket_counts": [...],
+//                          "count": n, "sum": s}}}
+Result<std::string> SnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Snapshot as CSV rows `kind,name,field,value`; histograms emit one row per
+// bucket (field `le_<bound>` / `le_inf`) plus `count` and `sum` rows.
+Result<std::string> SnapshotToCsv(const MetricsSnapshot& snapshot);
+
+// Snapshot in the Prometheus text exposition format (version 0.0.4):
+// `# TYPE` comments, `_bucket{le="..."}` series for histograms with
+// cumulative counts, `_sum` / `_count` series.
+Result<std::string> SnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+// Writes `content` to `path`, replacing any existing file.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace vastats
+
+#endif  // VASTATS_OBS_EXPORT_H_

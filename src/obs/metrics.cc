@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vastats {
+namespace {
+
+// Registry uids start at 1 so 0 can never match a cache entry.
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+struct TlsShardEntry {
+  uint64_t registry_uid = 0;
+  void* shard = nullptr;
+};
+
+// Per-thread cache of (registry uid -> shard). Entries for destroyed
+// registries go stale but are never matched again (uids are not reused),
+// and the pointers they hold are never dereferenced.
+thread_local std::vector<TlsShardEntry> g_tls_shards;
+
+template <typename Sample>
+void SortByName(std::vector<Sample>& samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
+void Counter::Increment(uint64_t delta) {
+  if (registry_ != nullptr) registry_->CounterAdd(id_, delta);
+}
+
+void Gauge::Set(double value) {
+  if (registry_ != nullptr) registry_->GaugeSet(id_, value);
+}
+
+void Histogram::Observe(double value) {
+  if (registry_ == nullptr) return;
+  // bounds_ is immutable after registration; no lock needed to bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_->begin(), bounds_->end(), value) -
+      bounds_->begin());
+  registry_->HistogramObserve(id_, bucket, bounds_->size() + 1, value);
+}
+
+const CounterSample* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const GaugeSample& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSample& sample : histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+std::span<const double> MetricsRegistry::DefaultLatencyBucketsSeconds() {
+  static const double kBuckets[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                    1e-2, 1e-1, 1.0,  10.0};
+  return kBuckets;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  const auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return Counter(this, it->second);
+  const int id = static_cast<int>(counter_names_.size());
+  counter_names_.push_back(key);
+  counter_index_.emplace(std::move(key), id);
+  return Counter(this, id);
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  const auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return Gauge(this, it->second);
+  const int id = static_cast<int>(gauge_names_.size());
+  gauge_names_.push_back(key);
+  gauge_values_.push_back(0.0);
+  gauge_index_.emplace(std::move(key), id);
+  return Gauge(this, id);
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name,
+                                        std::span<const double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  const auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) {
+    return Histogram(this, it->second,
+                     histogram_bounds_[static_cast<size_t>(it->second)].get());
+  }
+  if (upper_bounds.empty()) upper_bounds = DefaultLatencyBucketsSeconds();
+  std::vector<double> bounds(upper_bounds.begin(), upper_bounds.end());
+  // Enforce strictly ascending bounds (sort and deduplicate rather than
+  // failing: handle getters have no error channel by design).
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  const int id = static_cast<int>(histogram_names_.size());
+  histogram_names_.push_back(key);
+  histogram_bounds_.push_back(
+      std::make_unique<const std::vector<double>>(std::move(bounds)));
+  histogram_index_.emplace(std::move(key), id);
+  return Histogram(this, id, histogram_bounds_.back().get());
+}
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() const {
+  for (const TlsShardEntry& entry : g_tls_shards) {
+    if (entry.registry_uid == uid_) {
+      return *static_cast<Shard*>(entry.shard);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  g_tls_shards.push_back(TlsShardEntry{uid_, shard});
+  return *shard;
+}
+
+void MetricsRegistry::CounterAdd(int id, uint64_t delta) {
+  Shard& shard = LocalShard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.counters.size() <= static_cast<size_t>(id)) {
+    shard.counters.resize(static_cast<size_t>(id) + 1, 0);
+  }
+  shard.counters[static_cast<size_t>(id)] += delta;
+}
+
+void MetricsRegistry::GaugeSet(int id, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauge_values_[static_cast<size_t>(id)] = value;
+}
+
+void MetricsRegistry::HistogramObserve(int id, size_t bucket,
+                                       size_t num_buckets, double value) {
+  Shard& shard = LocalShard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const size_t idx = static_cast<size_t>(id);
+  if (shard.histogram_counts.size() <= idx) {
+    shard.histogram_counts.resize(idx + 1, 0);
+    shard.histogram_sums.resize(idx + 1, 0.0);
+    shard.histogram_buckets.resize(idx + 1);
+  }
+  std::vector<uint64_t>& buckets = shard.histogram_buckets[idx];
+  if (buckets.size() < num_buckets) buckets.resize(num_buckets, 0);
+  buckets[bucket] += 1;
+  shard.histogram_counts[idx] += 1;
+  shard.histogram_sums[idx] += value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  snapshot.counters.reserve(counter_names_.size());
+  for (const std::string& name : counter_names_) {
+    snapshot.counters.push_back(CounterSample{name, 0});
+  }
+  snapshot.gauges.reserve(gauge_names_.size());
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    snapshot.gauges.push_back(GaugeSample{gauge_names_[i], gauge_values_[i]});
+  }
+  snapshot.histograms.reserve(histogram_names_.size());
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramSample sample;
+    sample.name = histogram_names_[i];
+    sample.upper_bounds = *histogram_bounds_[i];
+    sample.bucket_counts.assign(sample.upper_bounds.size() + 1, 0);
+    snapshot.histograms.push_back(std::move(sample));
+  }
+
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (size_t i = 0; i < shard->counters.size(); ++i) {
+      snapshot.counters[i].value += shard->counters[i];
+    }
+    for (size_t i = 0; i < shard->histogram_counts.size(); ++i) {
+      HistogramSample& sample = snapshot.histograms[i];
+      sample.count += shard->histogram_counts[i];
+      sample.sum += shard->histogram_sums[i];
+      const std::vector<uint64_t>& buckets = shard->histogram_buckets[i];
+      for (size_t b = 0; b < buckets.size(); ++b) {
+        sample.bucket_counts[b] += buckets[b];
+      }
+    }
+  }
+
+  SortByName(snapshot.counters);
+  SortByName(snapshot.gauges);
+  SortByName(snapshot.histograms);
+  return snapshot;
+}
+
+}  // namespace vastats

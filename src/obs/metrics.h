@@ -1,0 +1,187 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms for the
+// extraction pipeline (observability layer).
+//
+// Write-side design: counter and histogram updates land in a per-thread
+// shard, each with its own mutex, so concurrent writers (e.g. the parallel
+// uniS workers) never contend with each other — a thread only ever locks
+// its own, uncontended shard. `Snapshot()` merges the shards into one
+// consistent, name-sorted view. Gauges are last-write-wins and live at the
+// registry level.
+//
+// Handles (`Counter`, `Gauge`, `Histogram`) are cheap value types bound to
+// a registry slot; a default-constructed handle is a no-op sink, so
+// instrumentation sites can be written unconditionally:
+//
+//   Counter draws = obs.metrics == nullptr
+//       ? Counter() : obs.metrics->GetCounter("unis_draws_total");
+//   draws.Increment();
+//
+// Metric names are snake_case string literals (linter rule R6). Counter
+// names end in `_total` by convention; histogram bucket bounds are fixed at
+// first registration. Names are namespaced per metric kind — do not reuse
+// one name across kinds (the exporters would emit colliding series).
+//
+// The registry must outlive every handle bound to it. Threads may outlive
+// the registry (shard storage is owned by the registry; the thread-local
+// lookup keys on a never-reused registry uid).
+
+#ifndef VASTATS_OBS_METRICS_H_
+#define VASTATS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vastats {
+
+class MetricsRegistry;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  void Increment(uint64_t delta = 1);
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, int id) : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  int id_ = -1;
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double value);
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, int id) : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  int id_ = -1;
+};
+
+// Fixed-bucket distribution; bucket i counts observations <= bounds[i],
+// with one extra overflow bucket for values above the last bound.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(double value);
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, int id,
+            const std::vector<double>* bounds)
+      : registry_(registry), id_(id), bounds_(bounds) {}
+  MetricsRegistry* registry_ = nullptr;
+  int id_ = -1;
+  // Immutable after registration; read lock-free by Observe.
+  const std::vector<double>* bounds_ = nullptr;
+};
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> upper_bounds;
+  // upper_bounds.size() + 1 entries; the last is the +inf overflow bucket.
+  std::vector<uint64_t> bucket_counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+// A merged, name-sorted view of every registered metric.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Convenience lookups (nullptr when absent); linear scans, test-oriented.
+  const CounterSample* FindCounter(std::string_view name) const;
+  const GaugeSample* FindGauge(std::string_view name) const;
+  const HistogramSample* FindHistogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Interns `name` and returns a handle; repeated calls with one name
+  // return handles to the same slot. Safe to call from any thread.
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  // `upper_bounds` must be strictly ascending; it is fixed at the first
+  // registration of `name` (later bounds are ignored). Empty bounds select
+  // DefaultLatencyBucketsSeconds().
+  Histogram GetHistogram(std::string_view name,
+                         std::span<const double> upper_bounds = {});
+
+  // Merges every thread's shard into one consistent view. Safe to call
+  // concurrently with writers; each shard is read under its own lock.
+  MetricsSnapshot Snapshot() const;
+
+  // 1us .. 10s, decade steps — the default latency bucket ladder.
+  static std::span<const double> DefaultLatencyBucketsSeconds();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard {
+    std::mutex mutex;
+    std::vector<uint64_t> counters;          // by counter id
+    std::vector<uint64_t> histogram_counts;  // by histogram id
+    std::vector<double> histogram_sums;
+    std::vector<std::vector<uint64_t>> histogram_buckets;
+  };
+
+  // This thread's shard, created (and cached thread-locally) on first use.
+  Shard& LocalShard() const;
+
+  void CounterAdd(int id, uint64_t delta);
+  void GaugeSet(int id, double value);
+  void HistogramObserve(int id, size_t bucket, size_t num_buckets,
+                        double value);
+
+  const uint64_t uid_;  // never reused; keys the thread-local shard cache
+
+  // Guards registration tables, the shard list, and gauge values.
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::unordered_map<std::string, int> counter_index_;
+  std::vector<std::string> gauge_names_;
+  std::vector<double> gauge_values_;
+  std::unordered_map<std::string, int> gauge_index_;
+  std::vector<std::string> histogram_names_;
+  // unique_ptr keeps each bounds vector at a stable address for the
+  // lock-free reads in Histogram::Observe.
+  std::vector<std::unique_ptr<const std::vector<double>>> histogram_bounds_;
+  std::unordered_map<std::string, int> histogram_index_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_OBS_METRICS_H_

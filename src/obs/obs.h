@@ -1,0 +1,54 @@
+// Observability context threaded through the extraction pipeline.
+//
+// `ObsOptions` bundles the two telemetry sinks — a hierarchical `Trace` and
+// a sharded `MetricsRegistry` — as borrowed, nullable pointers. A
+// default-constructed ObsOptions disables telemetry: spans degenerate to a
+// stopwatch read and metric handles to a null check, so the instrumented
+// hot paths stay within noise of the uninstrumented build.
+//
+// Usage (per-run opt-in through ExtractorOptions):
+//
+//   Trace trace;
+//   MetricsRegistry metrics;
+//   ExtractorOptions options;
+//   options.obs.trace = &trace;
+//   options.obs.metrics = &metrics;
+//   auto stats = extractor->Extract();
+//   std::string json = TraceToJson(trace).value();       // obs/export.h
+//
+// Both sinks must outlive every pipeline call they are attached to. The
+// Trace may only be driven from one thread; worker threads (parallel uniS)
+// report through the registry's per-thread shards only.
+
+#ifndef VASTATS_OBS_OBS_H_
+#define VASTATS_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vastats {
+
+struct ObsOptions {
+  Trace* trace = nullptr;             // borrowed; null = tracing off
+  MetricsRegistry* metrics = nullptr;  // borrowed; null = metrics off
+
+  bool enabled() const { return trace != nullptr || metrics != nullptr; }
+
+  // Handle getters that tolerate a null registry; instrumentation sites
+  // call these unconditionally and get no-op handles when disabled.
+  Counter GetCounter(std::string_view name) const {
+    return metrics == nullptr ? Counter() : metrics->GetCounter(name);
+  }
+  Gauge GetGauge(std::string_view name) const {
+    return metrics == nullptr ? Gauge() : metrics->GetGauge(name);
+  }
+  Histogram GetHistogram(std::string_view name,
+                         std::span<const double> upper_bounds = {}) const {
+    return metrics == nullptr ? Histogram()
+                              : metrics->GetHistogram(name, upper_bounds);
+  }
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_OBS_OBS_H_

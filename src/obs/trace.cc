@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace vastats {
+namespace {
+
+// Shortest round-trippable rendering of a double (%.17g is exact; try %.15g
+// first to keep the common case readable).
+std::string RenderDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) != 1 || parsed != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int Trace::BeginSpan(std::string_view name) {
+  SpanRecord span;
+  span.name.assign(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.depth = static_cast<int>(open_stack_.size());
+  span.start_seconds = epoch_.ElapsedSeconds();
+  const int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+double Trace::EndSpan(int id) {
+  if (id < 0 || id >= NumSpans()) return 0.0;
+  SpanRecord& span = spans_[static_cast<size_t>(id)];
+  if (!span.open) return span.elapsed_seconds;
+  const double now = epoch_.ElapsedSeconds();
+  // Close any still-open descendants first: a child span cannot outlive its
+  // parent. The open stack is innermost-last, so pop until `id` goes.
+  while (!open_stack_.empty()) {
+    const int top = open_stack_.back();
+    open_stack_.pop_back();
+    SpanRecord& open_span = spans_[static_cast<size_t>(top)];
+    open_span.open = false;
+    open_span.elapsed_seconds = now - open_span.start_seconds;
+    if (top == id) break;
+  }
+  return span.elapsed_seconds;
+}
+
+void Trace::Annotate(int id, std::string_view key, std::string_view value) {
+  if (id < 0 || id >= NumSpans()) return;
+  spans_[static_cast<size_t>(id)].annotations.push_back(
+      SpanAnnotation{std::string(key), std::string(value)});
+}
+
+void Trace::Annotate(int id, std::string_view key, double value) {
+  Annotate(id, key, std::string_view(RenderDouble(value)));
+}
+
+void Trace::Annotate(int id, std::string_view key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  Annotate(id, key, std::string_view(buf));
+}
+
+void Trace::Annotate(int id, std::string_view key, bool value) {
+  Annotate(id, key, value ? std::string_view("true")
+                          : std::string_view("false"));
+}
+
+const SpanRecord* Trace::Find(std::string_view name) const {
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+double Trace::TotalSecondsOf(std::string_view name) const {
+  double total = 0.0;
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name) total += span.elapsed_seconds;
+  }
+  return total;
+}
+
+int Trace::CountOf(std::string_view name) const {
+  int count = 0;
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+}  // namespace vastats

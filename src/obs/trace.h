@@ -1,0 +1,169 @@
+// Hierarchical tracing for the extraction pipeline (observability layer).
+//
+// A `Trace` owns a flat arena of spans forming a tree: `BeginSpan` opens a
+// span under the currently open one, `EndSpan` closes it and records its
+// monotonic elapsed time. `ScopedSpan` is the RAII handle instrumentation
+// sites use; constructed with a null `Trace*` it degenerates to a bare
+// stopwatch read, so disabled telemetry costs roughly one clock query per
+// phase and no allocation.
+//
+// Span names are snake_case string literals (enforced by
+// tools/lint_invariants.py rule R6); key/value annotations attach scalar
+// facts (grid sizes, iteration counts, chosen code paths) to a span.
+//
+// Threading: a Trace may only be driven from one thread at a time. Worker
+// threads report through the sharded MetricsRegistry instead (obs/metrics.h).
+
+#ifndef VASTATS_OBS_TRACE_H_
+#define VASTATS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace vastats {
+
+// One key/value fact attached to a span. Values are stored pre-rendered;
+// numeric annotations keep enough digits to round-trip.
+struct SpanAnnotation {
+  std::string key;
+  std::string value;
+};
+
+// One node of the span tree, in begin order. `parent` indexes the owning
+// Trace's span arena; -1 marks a root.
+struct SpanRecord {
+  std::string name;
+  int parent = -1;
+  int depth = 0;
+  // Seconds since the trace was constructed, monotonic clock.
+  double start_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  bool open = true;
+  std::vector<SpanAnnotation> annotations;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // Not copyable (span ids are positions in this arena).
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  // Opens a span under the innermost open span and returns its id.
+  int BeginSpan(std::string_view name);
+
+  // Closes span `id`, recording its elapsed time, and returns that elapsed
+  // time in seconds. Any still-open descendants are closed first (a span
+  // cannot outlive its parent). Closing an already-closed span is a no-op
+  // returning the recorded time. Out-of-range ids return 0.
+  double EndSpan(int id);
+
+  void Annotate(int id, std::string_view key, std::string_view value);
+  // String literals would otherwise prefer the bool overload (const char*
+  // converts to bool by a standard conversion, beating the user-defined
+  // conversion to string_view).
+  void Annotate(int id, std::string_view key, const char* value) {
+    Annotate(id, key, std::string_view(value));
+  }
+  void Annotate(int id, std::string_view key, double value);
+  void Annotate(int id, std::string_view key, int64_t value);
+  void Annotate(int id, std::string_view key, bool value);
+
+  std::span<const SpanRecord> spans() const { return spans_; }
+  int NumSpans() const { return static_cast<int>(spans_.size()); }
+  bool empty() const { return spans_.empty(); }
+
+  // First span (in begin order) with the given name, or nullptr.
+  const SpanRecord* Find(std::string_view name) const;
+
+  // Sum of elapsed seconds over every span named `name`. Benchmarks use
+  // this to aggregate repeated runs recorded into one trace.
+  double TotalSecondsOf(std::string_view name) const;
+
+  // Number of spans named `name`.
+  int CountOf(std::string_view name) const;
+
+  // Drops all spans; the epoch is NOT reset (start times keep growing), so
+  // relative ordering across Reset calls stays meaningful.
+  void Reset() {
+    spans_.clear();
+    open_stack_.clear();
+  }
+
+ private:
+  Stopwatch epoch_;
+  std::vector<SpanRecord> spans_;
+  // Ids of the currently open spans, outermost first.
+  std::vector<int> open_stack_;
+};
+
+// RAII span handle. Always measures elapsed time (null-trace fast path is a
+// stopwatch read); records into the trace only when one is attached.
+//
+//   ScopedSpan span(obs.trace, "kde");
+//   ... work ...
+//   span.Annotate("grid_size", int64_t{4096});
+//   double seconds = span.Close();  // or let the destructor close it
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string_view name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { Close(); }
+
+  // Ends the span (idempotent) and returns its elapsed seconds. With a
+  // trace attached the trace's recorded elapsed time is returned, so
+  // PhaseTimings derived from Close() agree exactly with the exported span.
+  double Close() {
+    if (closed_) return elapsed_;
+    closed_ = true;
+    elapsed_ = (trace_ != nullptr) ? trace_->EndSpan(id_)
+                                   : watch_.ElapsedSeconds();
+    return elapsed_;
+  }
+
+  void Annotate(std::string_view key, std::string_view value) {
+    if (trace_ != nullptr && !closed_) trace_->Annotate(id_, key, value);
+  }
+  // See Trace::Annotate: keeps string literals off the bool overload.
+  void Annotate(std::string_view key, const char* value) {
+    Annotate(key, std::string_view(value));
+  }
+  void Annotate(std::string_view key, double value) {
+    if (trace_ != nullptr && !closed_) trace_->Annotate(id_, key, value);
+  }
+  void Annotate(std::string_view key, int64_t value) {
+    if (trace_ != nullptr && !closed_) trace_->Annotate(id_, key, value);
+  }
+  void Annotate(std::string_view key, bool value) {
+    if (trace_ != nullptr && !closed_) trace_->Annotate(id_, key, value);
+  }
+
+  // Elapsed seconds so far without closing the span.
+  double ElapsedSeconds() const {
+    return closed_ ? elapsed_ : watch_.ElapsedSeconds();
+  }
+
+  bool recording() const { return trace_ != nullptr; }
+
+ private:
+  Trace* trace_;
+  int id_ = -1;
+  Stopwatch watch_;
+  bool closed_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_OBS_TRACE_H_

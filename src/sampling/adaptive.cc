@@ -27,13 +27,15 @@ Status AdaptiveSamplingOptions::Validate() const {
 
 Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
     const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
-    Rng& rng) {
+    Rng& rng, const ObsOptions& obs) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
 
+  ScopedSpan span(obs.trace, "adaptive_sampling");
   AdaptiveSamplingResult result;
   VASTATS_ASSIGN_OR_RETURN(result.samples,
-                           sampler.Sample(options.initial_size, rng));
+                           sampler.Sample(options.initial_size, rng, obs));
   for (;;) {
+    obs.GetCounter("adaptive_rounds_total").Increment();
     const double mean = ComputeMoments(result.samples).mean();
     VASTATS_ASSIGN_OR_RETURN(
         const std::vector<double> replicates,
@@ -68,9 +70,12 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
         std::min(options.increment,
                  options.max_size - static_cast<int>(result.samples.size()));
     VASTATS_ASSIGN_OR_RETURN(const std::vector<double> extra,
-                             sampler.Sample(grow, rng));
+                             sampler.Sample(grow, rng, obs));
     result.samples.insert(result.samples.end(), extra.begin(), extra.end());
   }
+  span.Annotate("rounds", static_cast<int64_t>(result.trace.size()));
+  span.Annotate("final_size", static_cast<int64_t>(result.samples.size()));
+  span.Annotate("satisfied", result.satisfied);
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "obs/obs.h"
 #include "sampling/unis.h"
 #include "stats/bootstrap.h"
 #include "stats/confidence.h"
@@ -45,10 +46,12 @@ struct AdaptiveSamplingResult {
   bool satisfied = false;
 };
 
-// Runs the grow-bootstrap-check loop against `sampler`.
+// Runs the grow-bootstrap-check loop against `sampler`. `obs` (optional)
+// records an `adaptive_sampling` span (with one child per uniS batch) and
+// the grow-round counter.
 Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
     const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
-    Rng& rng);
+    Rng& rng, const ObsOptions& obs = {});
 
 }  // namespace vastats
 

@@ -23,6 +23,15 @@ Result<std::vector<double>> ParallelUniSSample(
   }
   num_threads = std::min(num_threads, n);
 
+  const ObsOptions& obs = options.obs;
+  ScopedSpan span(obs.trace, "parallel_sample");
+  span.Annotate("threads", static_cast<int64_t>(num_threads));
+  span.Annotate("draws", static_cast<int64_t>(n));
+  // Doubling buckets over per-thread draw counts; a lopsided distribution
+  // here means the static slice partitioning is imbalanced.
+  static constexpr double kDrawBuckets[] = {1,  2,   4,   8,   16,  32,
+                                            64, 128, 256, 512, 1024};
+
   std::vector<double> values(static_cast<size_t>(n));
   std::atomic<bool> failed{false};
   Status first_error;
@@ -36,15 +45,31 @@ Result<std::vector<double>> ParallelUniSSample(
     const int extra = n % num_threads;
     const int begin = thread_index * base + std::min(thread_index, extra);
     const int count = base + (thread_index < extra ? 1 : 0);
+    uint64_t draws = 0;
+    uint64_t visits = 0;
+    uint64_t contributing = 0;
     for (int i = 0; i < count && !failed.load(std::memory_order_relaxed);
          ++i) {
       const auto sample = sampler.SampleOne(rng);
       if (!sample.ok()) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) first_error = sample.status();
-        return;
+        break;
       }
       values[static_cast<size_t>(begin + i)] = sample->value;
+      ++draws;
+      visits += static_cast<uint64_t>(sample->sources_visited);
+      contributing += static_cast<uint64_t>(sample->sources_contributing);
+    }
+    // Flushed from the worker thread on purpose: each worker lands in its
+    // own registry shard, keeping the parallel path contention-free.
+    if (obs.metrics != nullptr) {
+      obs.GetCounter("unis_draws_total").Increment(draws);
+      obs.GetCounter("unis_source_visits_total").Increment(visits);
+      obs.GetCounter("unis_contributing_sources_total")
+          .Increment(contributing);
+      obs.GetHistogram("parallel_sampler_draws_per_thread", kDrawBuckets)
+          .Observe(static_cast<double>(draws));
     }
   };
 
@@ -53,6 +78,14 @@ Result<std::vector<double>> ParallelUniSSample(
   for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
   for (std::thread& thread : threads) thread.join();
 
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("parallel_sampler_runs_total").Increment();
+    obs.GetGauge("parallel_sampler_threads")
+        .Set(static_cast<double>(num_threads));
+    if (failed.load()) {
+      obs.GetCounter("parallel_sampler_failures_total").Increment();
+    }
+  }
   if (failed.load()) return first_error;
   return values;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sampling/unis.h"
 #include "util/status.h"
 
@@ -24,6 +25,11 @@ struct ParallelSampleOptions {
   // 0 means std::thread::hardware_concurrency() (at least 1).
   int num_threads = 0;
   uint64_t seed = 0x5eed;
+  // Optional telemetry. The span is recorded from the calling thread only;
+  // workers report through the (sharded, thread-safe) metrics registry:
+  // the shared uniS draw/visit counters plus a per-thread draw-count
+  // histogram that makes scheduling imbalance visible.
+  ObsOptions obs;
 };
 
 // Draws `n` viable answers from `sampler` using multiple threads. The

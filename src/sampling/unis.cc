@@ -4,6 +4,37 @@
 #include <unordered_map>
 
 namespace vastats {
+namespace {
+
+// Histogram buckets for "sources visited before coverage" — doubling steps
+// up to well past any realistic source count per draw.
+constexpr double kVisitBuckets[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+// Telemetry for a batch of uniS draws, flushed once per batch so the
+// per-draw hot path costs nothing beyond integer adds.
+struct BatchCounters {
+  uint64_t visits = 0;
+  uint64_t takeovers = 0;
+  uint64_t contributing = 0;
+
+  void Record(const UniSSample& sample) {
+    visits += static_cast<uint64_t>(sample.sources_visited);
+    contributing += static_cast<uint64_t>(sample.sources_contributing);
+    for (const UniSVisit& visit : sample.visits) {
+      takeovers += static_cast<uint64_t>(visit.components_taken);
+    }
+  }
+
+  void Flush(const ObsOptions& obs, uint64_t draws) const {
+    if (obs.metrics == nullptr) return;
+    obs.GetCounter("unis_draws_total").Increment(draws);
+    obs.GetCounter("unis_source_visits_total").Increment(visits);
+    obs.GetCounter("unis_component_takeovers_total").Increment(takeovers);
+    obs.GetCounter("unis_contributing_sources_total").Increment(contributing);
+  }
+};
+
+}  // namespace
 
 UniSSampler::UniSSampler(const SourceSet* sources, AggregateQuery query,
                          UniSOptions options)
@@ -90,14 +121,25 @@ Result<UniSSample> UniSSampler::SampleOne(
   return sample;
 }
 
-Result<std::vector<double>> UniSSampler::Sample(int n, Rng& rng) const {
+Result<std::vector<double>> UniSSampler::Sample(int n, Rng& rng,
+                                                const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
+  ScopedSpan span(obs.trace, "unis_sample");
+  Histogram visited =
+      obs.GetHistogram("unis_sources_visited_per_draw", kVisitBuckets);
+  BatchCounters batch;
   std::vector<double> values;
   values.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng));
     values.push_back(s.value);
+    if (obs.metrics != nullptr) {
+      batch.Record(s);
+      visited.Observe(static_cast<double>(s.sources_visited));
+    }
   }
+  batch.Flush(obs, static_cast<uint64_t>(n));
+  span.Annotate("draws", static_cast<int64_t>(n));
   return values;
 }
 
@@ -120,7 +162,8 @@ bool UniSSampler::CoverableWithout(std::span<const int> excluded) const {
 }
 
 Result<std::vector<double>> UniSSampler::SampleExcluding(
-    int n, std::span<const int> excluded, Rng& rng) const {
+    int n, std::span<const int> excluded, Rng& rng,
+    const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("SampleExcluding requires n > 0");
   if (options_.require_full_coverage && !CoverableWithout(excluded)) {
     return Status::FailedPrecondition(
@@ -133,12 +176,18 @@ Result<std::vector<double>> UniSSampler::SampleExcluding(
     }
     mask[static_cast<size_t>(s)] = 1;
   }
+  ScopedSpan span(obs.trace, "unis_sample_excluding");
+  BatchCounters batch;
   std::vector<double> values;
   values.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng, mask));
     values.push_back(s.value);
+    if (obs.metrics != nullptr) batch.Record(s);
   }
+  batch.Flush(obs, static_cast<uint64_t>(n));
+  span.Annotate("draws", static_cast<int64_t>(n));
+  span.Annotate("excluded", static_cast<int64_t>(excluded.size()));
   return values;
 }
 
@@ -163,17 +212,24 @@ Result<std::vector<int>> UniSSampler::SampleAssignment(Rng& rng) const {
   return assignment;
 }
 
-Result<double> UniSSampler::EstimateSourcesPerAnswer(int probes,
-                                                     Rng& rng) const {
+Result<double> UniSSampler::EstimateSourcesPerAnswer(
+    int probes, Rng& rng, const ObsOptions& obs) const {
   if (probes <= 0) {
     return Status::InvalidArgument("EstimateSourcesPerAnswer needs probes > 0");
   }
+  ScopedSpan span(obs.trace, "unis_estimate_weight");
+  BatchCounters batch;
   double total = 0.0;
   for (int i = 0; i < probes; ++i) {
     VASTATS_ASSIGN_OR_RETURN(const UniSSample s, SampleOne(rng));
     total += static_cast<double>(s.sources_contributing);
+    if (obs.metrics != nullptr) batch.Record(s);
   }
-  return total / static_cast<double>(probes);
+  batch.Flush(obs, static_cast<uint64_t>(probes));
+  const double y = total / static_cast<double>(probes);
+  span.Annotate("probes", static_cast<int64_t>(probes));
+  span.Annotate("answer_weight_y", y);
+  return y;
 }
 
 }  // namespace vastats

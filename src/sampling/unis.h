@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "integration/source_set.h"
+#include "obs/obs.h"
 #include "query/aggregate_query.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -66,18 +67,23 @@ class UniSSampler {
   Result<UniSSample> SampleOne(Rng& rng,
                                std::span<const char> excluded = {}) const;
 
-  // Draws `n` viable answer values.
-  Result<std::vector<double>> Sample(int n, Rng& rng) const;
+  // Draws `n` viable answer values. `obs` (optional) records a
+  // `unis_sample` span plus draw/visit/take-over counters and the
+  // per-draw sources-visited histogram.
+  Result<std::vector<double>> Sample(int n, Rng& rng,
+                                     const ObsOptions& obs = {}) const;
 
   // Draws `n` viable answers with the given sources excluded. Fails when the
   // remaining sources cannot cover the query (under full-coverage options).
   Result<std::vector<double>> SampleExcluding(int n,
                                               std::span<const int> excluded,
-                                              Rng& rng) const;
+                                              Rng& rng,
+                                              const ObsOptions& obs = {}) const;
 
   // Monte-Carlo estimate of y, the average number of sources contributing
   // to an answer.
-  Result<double> EstimateSourcesPerAnswer(int probes, Rng& rng) const;
+  Result<double> EstimateSourcesPerAnswer(int probes, Rng& rng,
+                                          const ObsOptions& obs = {}) const;
 
   // Draws one uniS value *assignment* instead of the aggregated answer:
   // result[i] is the source index supplying query().components[i]. Useful

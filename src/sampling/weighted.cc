@@ -141,15 +141,18 @@ Result<double> WeightedUniSSampler::SampleOne(Rng& rng) const {
   return partial->Finalize();
 }
 
-Result<std::vector<double>> WeightedUniSSampler::Sample(int n,
-                                                        Rng& rng) const {
+Result<std::vector<double>> WeightedUniSSampler::Sample(
+    int n, Rng& rng, const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
+  ScopedSpan span(obs.trace, "weighted_sample");
   std::vector<double> values;
   values.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     VASTATS_ASSIGN_OR_RETURN(const double v, SampleOne(rng));
     values.push_back(v);
   }
+  obs.GetCounter("weighted_draws_total").Increment(static_cast<uint64_t>(n));
+  span.Annotate("draws", static_cast<int64_t>(n));
   return values;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "integration/source_set.h"
+#include "obs/obs.h"
 #include "query/aggregate_query.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -55,8 +56,10 @@ class WeightedUniSSampler {
   // Draws one viable answer.
   Result<double> SampleOne(Rng& rng) const;
 
-  // Draws `n` viable answers.
-  Result<std::vector<double>> Sample(int n, Rng& rng) const;
+  // Draws `n` viable answers. `obs` (optional) records a `weighted_sample`
+  // span and the weighted draw counter.
+  Result<std::vector<double>> Sample(int n, Rng& rng,
+                                     const ObsOptions& obs = {}) const;
 
   const std::vector<double>& weights() const { return weights_; }
 

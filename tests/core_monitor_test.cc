@@ -1,5 +1,6 @@
 #include "core/monitor.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -7,6 +8,7 @@
 
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace vastats {
@@ -121,6 +123,45 @@ TEST_F(MonitorTest, BrokenCoverageReportedOnRefresh) {
   ASSERT_TRUE(refreshed.ok());
   EXPECT_TRUE(refreshed->empty());
   EXPECT_EQ(failed, (std::vector<QueryId>{id}));
+}
+
+TEST_F(MonitorTest, RefreshLeastStableReportsFailuresWithoutSpendingBudget) {
+  MetricsRegistry metrics;
+  ExtractorOptions options = base_options_;
+  options.obs.metrics = &metrics;
+  ContinuousQueryMonitor monitor(&sources_, options);
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(monitor
+                    .Register(MakeRangeQuery(std::string("q") + std::to_string(q),
+                                             AggregateKind::kSum, q * 15,
+                                             15))
+                    .ok());
+  }
+  // Break coverage for the first three queries (components 5, 20, and 35 fall
+  // in their ranges); only q3 over [45, 60) stays refreshable.
+  for (int s = 0; s < sources_.NumSources(); ++s) {
+    DataSource& source = sources_.mutable_source(s);
+    source.Unbind(5);
+    source.Unbind(20);
+    source.Unbind(35);
+  }
+  std::vector<QueryId> failed;
+  const auto refreshed = monitor.RefreshLeastStable(2, &failed);
+  ASSERT_TRUE(refreshed.ok());
+  // The three failures must not consume the budget: the walk continues past
+  // them and still refreshes the one healthy query.
+  ASSERT_EQ(refreshed->size(), 1u);
+  EXPECT_EQ((*refreshed)[0], 3);
+  std::sort(failed.begin(), failed.end());
+  EXPECT_EQ(failed, (std::vector<QueryId>{0, 1, 2}));
+  EXPECT_EQ(monitor.RefreshCount(3).value(), 2);
+  for (const QueryId id : failed) {
+    EXPECT_EQ(monitor.RefreshCount(id).value(), 1);
+  }
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.FindCounter("monitor_registrations_total")->value, 4u);
+  EXPECT_EQ(snapshot.FindCounter("monitor_refreshes_total")->value, 1u);
+  EXPECT_EQ(snapshot.FindCounter("monitor_refresh_failures_total")->value, 3u);
 }
 
 TEST_F(MonitorTest, RefreshWithDriftReportsReextractionNoise) {

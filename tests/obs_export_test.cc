@@ -1,0 +1,157 @@
+#include "obs/export.h"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vastats {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(SnakeCaseNameTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsSnakeCaseName("unis_draws_total"));
+  EXPECT_TRUE(IsSnakeCaseName("kde"));
+  EXPECT_TRUE(IsSnakeCaseName("phase2_seconds"));
+  EXPECT_FALSE(IsSnakeCaseName(""));
+  EXPECT_FALSE(IsSnakeCaseName("CamelCase"));
+  EXPECT_FALSE(IsSnakeCaseName("kebab-case"));
+  EXPECT_FALSE(IsSnakeCaseName("dotted.name"));
+  EXPECT_FALSE(IsSnakeCaseName("2leading_digit"));
+  EXPECT_FALSE(IsSnakeCaseName("_leading_underscore"));
+  EXPECT_FALSE(IsSnakeCaseName("has space"));
+}
+
+TEST(TraceExportTest, NestedSpansWithAnnotations) {
+  Trace trace;
+  const int root = trace.BeginSpan("extract");
+  const int child = trace.BeginSpan("kde");
+  trace.Annotate(child, "grid_size", int64_t{4096});
+  trace.Annotate(child, "path", "direct");
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  const auto json = TraceToJson(trace);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(Contains(*json, "\"name\":\"extract\""));
+  EXPECT_TRUE(Contains(*json, "\"children\":["));
+  EXPECT_TRUE(Contains(*json, "\"name\":\"kde\""));
+  EXPECT_TRUE(Contains(*json, "\"grid_size\":\"4096\""));
+  EXPECT_TRUE(Contains(*json, "\"path\":\"direct\""));
+  EXPECT_TRUE(Contains(*json, "\"elapsed_seconds\":"));
+}
+
+TEST(TraceExportTest, MultipleRootsAreSiblings) {
+  Trace trace;
+  trace.EndSpan(trace.BeginSpan("first"));
+  trace.EndSpan(trace.BeginSpan("second"));
+  const auto json = TraceToJson(trace);
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(Contains(*json, "\"first\""));
+  EXPECT_TRUE(Contains(*json, "\"second\""));
+}
+
+TEST(TraceExportTest, OpenSpanFailsExport) {
+  Trace trace;
+  trace.BeginSpan("still_running");
+  const auto json = TraceToJson(trace);
+  ASSERT_FALSE(json.ok());
+  EXPECT_EQ(json.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TraceExportTest, NonSnakeCaseSpanNameFailsExport) {
+  Trace trace;
+  trace.EndSpan(trace.BeginSpan("BadName"));  // lint-invariants: allow(R6)
+  const auto json = TraceToJson(trace);
+  ASSERT_FALSE(json.ok());
+  EXPECT_EQ(json.status().code(), StatusCode::kInvalidArgument);
+}
+
+MetricsRegistry& PopulatedRegistry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("unis_draws_total").Increment(400);
+    r->GetGauge("parallel_sampler_threads").Set(4.0);
+    constexpr std::array<double, 2> kBounds = {1.0, 2.0};
+    Histogram h = r->GetHistogram("visits", kBounds);
+    h.Observe(0.5);
+    h.Observe(1.5);
+    h.Observe(9.0);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(SnapshotExportTest, JsonCarriesAllKinds) {
+  const auto json = SnapshotToJson(PopulatedRegistry().Snapshot());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(Contains(*json, "\"unis_draws_total\":400"));
+  EXPECT_TRUE(Contains(*json, "\"parallel_sampler_threads\":4"));
+  EXPECT_TRUE(Contains(*json, "\"upper_bounds\":[1,2]"));
+  EXPECT_TRUE(Contains(*json, "\"bucket_counts\":[1,1,1]"));
+  EXPECT_TRUE(Contains(*json, "\"count\":3"));
+  EXPECT_TRUE(Contains(*json, "\"sum\":11"));
+}
+
+TEST(SnapshotExportTest, CsvRowsPerMetricField) {
+  const auto csv = SnapshotToCsv(PopulatedRegistry().Snapshot());
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  EXPECT_TRUE(Contains(*csv, "kind,name,field,value"));
+  EXPECT_TRUE(Contains(*csv, "counter,unis_draws_total,value,400"));
+  EXPECT_TRUE(Contains(*csv, "gauge,parallel_sampler_threads,value,4"));
+  EXPECT_TRUE(Contains(*csv, "histogram,visits,le_1,1"));
+  EXPECT_TRUE(Contains(*csv, "histogram,visits,le_inf,1"));
+  EXPECT_TRUE(Contains(*csv, "histogram,visits,count,3"));
+}
+
+TEST(SnapshotExportTest, PrometheusExposition) {
+  const auto text = SnapshotToPrometheus(PopulatedRegistry().Snapshot());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_TRUE(Contains(*text, "# TYPE unis_draws_total counter\n"
+                              "unis_draws_total 400\n"));
+  EXPECT_TRUE(Contains(*text, "# TYPE parallel_sampler_threads gauge\n"
+                              "parallel_sampler_threads 4\n"));
+  // Prometheus histogram buckets are cumulative, ending in +Inf == count.
+  EXPECT_TRUE(Contains(*text, "visits_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(Contains(*text, "visits_bucket{le=\"2\"} 2\n"));
+  EXPECT_TRUE(Contains(*text, "visits_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(Contains(*text, "visits_sum 11\n"));
+  EXPECT_TRUE(Contains(*text, "visits_count 3\n"));
+}
+
+TEST(SnapshotExportTest, BadMetricNameFailsEveryExporter) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back(CounterSample{"Not-Snake", 1});
+  EXPECT_FALSE(SnapshotToJson(snapshot).ok());
+  EXPECT_FALSE(SnapshotToCsv(snapshot).ok());
+  EXPECT_FALSE(SnapshotToPrometheus(snapshot).ok());
+}
+
+TEST(WriteTextFileTest, RoundTripsContent) {
+  const std::string path =
+      ::testing::TempDir() + "/vastats_obs_export_test.txt";
+  const std::string content = "unis_draws_total 400\n";
+  ASSERT_TRUE(WriteTextFile(path, content).ok());
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer), file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, read), content);
+}
+
+TEST(WriteTextFileTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteTextFile("/nonexistent_dir_zzz/file.txt", "x").ok());
+}
+
+}  // namespace
+}  // namespace vastats

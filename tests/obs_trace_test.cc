@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace {
+
+TEST(TraceTest, BeginEndBuildsTree) {
+  Trace trace;
+  const int root = trace.BeginSpan("extract");
+  const int child = trace.BeginSpan("sampling");
+  const int grandchild = trace.BeginSpan("unis_sample");
+  trace.EndSpan(grandchild);
+  trace.EndSpan(child);
+  const int sibling = trace.BeginSpan("kde");
+  trace.EndSpan(sibling);
+  trace.EndSpan(root);
+
+  ASSERT_EQ(trace.NumSpans(), 4);
+  const auto spans = trace.spans();
+  EXPECT_EQ(spans[0].name, "extract");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "sampling");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "unis_sample");
+  EXPECT_EQ(spans[2].parent, child);
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[3].name, "kde");
+  EXPECT_EQ(spans[3].parent, root);
+  for (const SpanRecord& span : spans) EXPECT_FALSE(span.open);
+}
+
+TEST(TraceTest, EndSpanClosesOpenDescendants) {
+  Trace trace;
+  const int root = trace.BeginSpan("extract");
+  trace.BeginSpan("sampling");
+  trace.BeginSpan("unis_sample");
+  // Closing the root must close the still-open children first.
+  trace.EndSpan(root);
+  for (const SpanRecord& span : trace.spans()) {
+    EXPECT_FALSE(span.open) << span.name;
+    EXPECT_GE(span.elapsed_seconds, 0.0);
+  }
+}
+
+TEST(TraceTest, ElapsedAndStartAreMonotonic) {
+  Trace trace;
+  const int first = trace.BeginSpan("first");
+  trace.EndSpan(first);
+  const int second = trace.BeginSpan("second");
+  const double elapsed = trace.EndSpan(second);
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_GE(trace.spans()[1].start_seconds, trace.spans()[0].start_seconds);
+  // EndSpan on an already-closed span is a no-op returning the recorded time.
+  EXPECT_EQ(trace.EndSpan(second), trace.spans()[1].elapsed_seconds);
+  // Out-of-range ids are ignored.
+  EXPECT_EQ(trace.EndSpan(99), 0.0);
+  EXPECT_EQ(trace.EndSpan(-1), 0.0);
+}
+
+TEST(TraceTest, AnnotationsRenderByType) {
+  Trace trace;
+  const int id = trace.BeginSpan("kde_estimate");
+  trace.Annotate(id, "path", "binned_dct");
+  trace.Annotate(id, "grid_size", int64_t{4096});
+  trace.Annotate(id, "bandwidth", 0.5);
+  trace.Annotate(id, "fallback", false);
+  trace.EndSpan(id);
+
+  const auto& annotations = trace.spans()[0].annotations;
+  ASSERT_EQ(annotations.size(), 4u);
+  EXPECT_EQ(annotations[0].key, "path");
+  EXPECT_EQ(annotations[0].value, "binned_dct");
+  EXPECT_EQ(annotations[1].value, "4096");
+  EXPECT_EQ(annotations[2].value, "0.5");
+  EXPECT_EQ(annotations[3].value, "false");
+}
+
+TEST(TraceTest, FindTotalsAndCounts) {
+  Trace trace;
+  for (int rep = 0; rep < 3; ++rep) {
+    const int id = trace.BeginSpan("bootstrap");
+    trace.EndSpan(id);
+  }
+  EXPECT_EQ(trace.CountOf("bootstrap"), 3);
+  EXPECT_EQ(trace.CountOf("kde"), 0);
+  EXPECT_NE(trace.Find("bootstrap"), nullptr);
+  EXPECT_EQ(trace.Find("kde"), nullptr);
+  double manual = 0.0;
+  for (const SpanRecord& span : trace.spans()) manual += span.elapsed_seconds;
+  EXPECT_DOUBLE_EQ(trace.TotalSecondsOf("bootstrap"), manual);
+  EXPECT_EQ(trace.TotalSecondsOf("kde"), 0.0);
+}
+
+TEST(TraceTest, ResetDropsSpansButKeepsEpoch) {
+  Trace trace;
+  trace.EndSpan(trace.BeginSpan("first"));
+  const double first_start = trace.spans()[0].start_seconds;
+  trace.Reset();
+  EXPECT_TRUE(trace.empty());
+  trace.EndSpan(trace.BeginSpan("second"));
+  // The epoch is not reset, so the new span starts no earlier than the old.
+  EXPECT_GE(trace.spans()[0].start_seconds, first_start);
+}
+
+TEST(ScopedSpanTest, NullTraceIsAStopwatch) {
+  ScopedSpan span(nullptr, "disabled");
+  EXPECT_FALSE(span.recording());
+  span.Annotate("ignored", int64_t{1});  // must be a harmless no-op
+  const double elapsed = span.Close();
+  EXPECT_GE(elapsed, 0.0);
+  // Close is idempotent and latches the first reading.
+  EXPECT_EQ(span.Close(), elapsed);
+  EXPECT_EQ(span.ElapsedSeconds(), elapsed);
+}
+
+TEST(ScopedSpanTest, RecordsIntoTraceAndReturnsTraceElapsed) {
+  Trace trace;
+  double closed_elapsed = 0.0;
+  {
+    ScopedSpan span(&trace, "phase");
+    EXPECT_TRUE(span.recording());
+    span.Annotate("draws", int64_t{400});
+    closed_elapsed = span.Close();
+  }
+  ASSERT_EQ(trace.NumSpans(), 1);
+  // Close() must return the exact elapsed the trace recorded, so
+  // PhaseTimings and the exported trace are the same measurement.
+  EXPECT_EQ(closed_elapsed, trace.spans()[0].elapsed_seconds);
+  ASSERT_EQ(trace.spans()[0].annotations.size(), 1u);
+  EXPECT_EQ(trace.spans()[0].annotations[0].value, "400");
+}
+
+TEST(ScopedSpanTest, DestructorClosesSpan) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "phase");
+  }
+  ASSERT_EQ(trace.NumSpans(), 1);
+  EXPECT_FALSE(trace.spans()[0].open);
+}
+
+TEST(ScopedSpanTest, AnnotateAfterCloseIsIgnored) {
+  Trace trace;
+  ScopedSpan span(&trace, "phase");
+  span.Close();
+  span.Annotate("late", int64_t{1});
+  EXPECT_TRUE(trace.spans()[0].annotations.empty());
+}
+
+}  // namespace
+}  // namespace vastats

@@ -1,0 +1,51 @@
+#include "util/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotonic) {
+  const Stopwatch watch;
+  double last = watch.ElapsedSeconds();
+  EXPECT_GE(last, 0.0);
+  // steady_clock never goes backwards, so repeated reads never decrease.
+  for (int i = 0; i < 1000; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(StopwatchTest, AdvancesAcrossASleep) {
+  const Stopwatch watch;
+  const double before = watch.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double after = watch.ElapsedSeconds();
+  // The sleep is a lower bound on the wall time that passed (sleeps can
+  // oversleep, never undersleep).
+  EXPECT_GE(after - before, 0.005);
+}
+
+TEST(StopwatchTest, RestartRewindsTheOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.ElapsedSeconds(), 0.005);
+  watch.Restart();
+  // Immediately after a restart the reading is (close to) zero — certainly
+  // less than the slept interval it would still show without the restart.
+  EXPECT_LT(watch.ElapsedSeconds(), 0.005);
+}
+
+TEST(StopwatchTest, MillisTracksSeconds) {
+  const Stopwatch watch;
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, (seconds + 1.0) * 1e3);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -20,6 +20,15 @@ Enforces policies that clang-tidy cannot express (stdlib-only, no pip deps):
       sibling header that it includes first.
   R5  nodiscard: src/util/status.h must declare both `Status` and
       `Result` with `[[nodiscard]]` — the enforcement teeth behind R1.
+  R6  telemetry naming: metric and span names passed to `GetCounter`,
+      `GetGauge`, `GetHistogram`, `BeginSpan`, and the `ScopedSpan`
+      constructor must be snake_case string literals. Literal names keep
+      the exporters total (they reject bad names at runtime, but only on
+      the paths a test happens to exercise) and make every series
+      grep-able. src/obs itself (declarations, exporters) is exempt.
+
+  IO allowlist: src/obs/export.cc is the one library file sanctioned to
+  touch the filesystem (`WriteTextFile`); R3 skips it.
 
 Usage:
   tools/lint_invariants.py [--root DIR]   # lint the repo, exit 1 on findings
@@ -54,12 +63,15 @@ class Finding(NamedTuple):
 ALLOW_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([A-Za-z0-9_,\s]+)\)")
 
 
-def strip_code(text: str) -> str:
-    """Replaces comments and string/char literals with spaces.
+def strip_code(text: str, keep_strings: bool = False) -> str:
+    """Replaces comments and (unless `keep_strings`) string/char literals
+    with spaces.
 
     Line structure is preserved so findings can report accurate line
     numbers. Handles //, /* */, "...", '...', and raw string literals
     R"delim(...)delim". Escapes inside ordinary literals are honoured.
+    `keep_strings=True` blanks only comments — R6 inspects literal metric
+    names, but must not fire on names quoted in prose.
     """
     out = []
     i = 0
@@ -86,7 +98,9 @@ def strip_code(text: str) -> str:
             close = f"){m.group(1)}\""
             j = text.find(close, i + m.end())
             j = n if j == -1 else j + len(close)
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            span = text[i:j]
+            out.append(span if keep_strings else
+                       "".join(ch if ch == "\n" else " " for ch in span))
             i = j
         elif c in "\"'":  # ordinary string / char literal
             quote = c
@@ -94,7 +108,10 @@ def strip_code(text: str) -> str:
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            span = text[i:j]
+            out.append(span if keep_strings else
+                       quote + " " * (j - i - 2) +
+                       (quote if j - i >= 2 else ""))
             i = j
         else:
             out.append(c)
@@ -220,6 +237,47 @@ def check_cc_header_pairing(root: str, rel_cc: str, raw: str) -> List[Finding]:
     return []
 
 
+# --- R6: telemetry names are snake_case string literals ----------------------
+
+R6_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+# Name is the first argument of the registry getters / BeginSpan, the second
+# of the ScopedSpan constructor. \s* spans newlines, so wrapped calls where
+# the literal sits on the next line still match.
+R6_CALL_RE = re.compile(
+    r"\b(GetCounter|GetGauge|GetHistogram|BeginSpan)\s*\(\s*")
+R6_SCOPED_RE = re.compile(r"\bScopedSpan\s+\w+\s*\(\s*[^,()]+,\s*")
+
+
+def check_telemetry_names(path: str, raw: str, code: str) -> List[Finding]:
+    """`code` must come from strip_code(keep_strings=True): comments blanked,
+    literals intact."""
+    findings = []
+    raw_lines = raw.splitlines()
+
+    def check_at(pos: int, what: str) -> None:
+        lineno = code[:pos].count("\n") + 1
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if "R6" in allowed_rules(raw_line):
+            return
+        literal = re.match(r'"([^"]*)"', code[pos:])
+        if not literal:
+            findings.append(Finding(
+                "R6", path, lineno,
+                f"{what} name must be a snake_case string literal so the "
+                f"series is grep-able and exporter-safe"))
+        elif not R6_NAME_RE.match(literal.group(1)):
+            findings.append(Finding(
+                "R6", path, lineno,
+                f"{what} name \"{literal.group(1)}\" is not snake_case "
+                f"([a-z][a-z0-9_]*)"))
+
+    for m in R6_CALL_RE.finditer(code):
+        check_at(m.end(), f"`{m.group(1)}`")
+    for m in R6_SCOPED_RE.finditer(code):
+        check_at(m.end(), "`ScopedSpan`")
+    return findings
+
+
 # --- R5: nodiscard on Status / Result ---------------------------------------
 
 def check_nodiscard(root: str) -> List[Finding]:
@@ -246,6 +304,12 @@ def check_nodiscard(root: str) -> List[Finding]:
 RNG_FACADE_FILES = {os.path.join("src", "util", "random.h"),
                     os.path.join("src", "util", "random.cc")}
 UTIL_PREFIX = os.path.join("src", "util") + os.sep
+# The exporter module is the single library file sanctioned to do file IO
+# (WriteTextFile); everything else reports through Status.
+IO_EXEMPT_FILES = {os.path.join("src", "obs", "export.cc")}
+# src/obs declares the telemetry API (string_view parameters, exporters);
+# R6 polices the *call sites* elsewhere.
+OBS_PREFIX = os.path.join("src", "obs") + os.sep
 
 
 def iter_source_files(root: str, subdir: str):
@@ -267,14 +331,19 @@ def lint_repo(root: str) -> List[Finding]:
         findings += check_no_exceptions(rel, raw, code)
         if rel not in RNG_FACADE_FILES:
             findings += check_seeded_rng(rel, raw, code)
-        if not rel.startswith(UTIL_PREFIX):
+        if not rel.startswith(UTIL_PREFIX) and rel not in IO_EXEMPT_FILES:
             findings += check_io_discipline(rel, raw, code)
+        if not rel.startswith(OBS_PREFIX):
+            findings += check_telemetry_names(
+                rel, raw, strip_code(raw, keep_strings=True))
         if rel.endswith((".h", ".hpp")):
             findings += check_header_guard(rel, raw)
         elif rel.endswith(".cc"):
             findings += check_cc_header_pairing(root, rel, raw)
-    # The seeded-RNG rule also covers tests and benches: a bare std::mt19937
-    # in a test silently undermines determinism_test's guarantees.
+    # The seeded-RNG and telemetry-naming rules also cover tests and benches:
+    # a bare std::mt19937 in a test silently undermines determinism_test's
+    # guarantees, and a non-literal metric name dodges the exporters' checks
+    # until some export path happens to run.
     for subdir in ("tests", "bench"):
         if not os.path.isdir(os.path.join(root, subdir)):
             continue
@@ -283,6 +352,8 @@ def lint_repo(root: str) -> List[Finding]:
                 raw = f.read()
             code = strip_code(raw)
             findings += check_seeded_rng(rel, raw, code)
+            findings += check_telemetry_names(
+                rel, raw, strip_code(raw, keep_strings=True))
     findings += check_nodiscard(root)
     return findings
 
@@ -343,6 +414,34 @@ def self_test() -> int:
     expect("R3 std::snprintf in expr", run(check_io_discipline,
                                            "n = std::snprintf(b, s, f);"),
            None)
+
+    # R6 fires on bad or non-literal telemetry names, stays quiet on good
+    # literals (including wrapped calls), comments, and allowances.
+    def run_r6(snippet: str) -> List[Finding]:
+        return check_telemetry_names(
+            "src/core/fake.cc", snippet,
+            strip_code(snippet, keep_strings=True))
+
+    expect("R6 good counter",
+           run_r6('obs.GetCounter("unis_draws_total").Increment();'), None)
+    expect("R6 good wrapped call",
+           run_r6('obs.GetHistogram(\n    "drift_ratio", kB).Observe(x);'),
+           None)
+    expect("R6 good span",
+           run_r6('ScopedSpan span(obs.trace, "cio_greedy");'), None)
+    expect("R6 camel name",
+           run_r6('obs.GetCounter("DrawsTotal").Increment();'), "R6")
+    expect("R6 kebab span",
+           run_r6('ScopedSpan span(obs.trace, "cio-greedy");'), "R6")
+    expect("R6 non-literal",
+           run_r6("obs.GetGauge(name).Set(1.0);"), "R6")
+    expect("R6 bad begin_span",
+           run_r6('trace.BeginSpan("Bad Name");'), "R6")
+    expect("R6 comment",
+           run_r6('// call obs.GetCounter("NotChecked") here\nint x;'), None)
+    expect("R6 allow",
+           run_r6('trace.BeginSpan("BadName");'
+                  '  // lint-invariants: allow(R6)'), None)
 
     # R4 guard style.
     good_guard = ("#ifndef VASTATS_CORE_FAKE_H_\n"
