@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 
 #include "vastats/vastats.h"
 #include "workloads.h"
@@ -108,6 +109,107 @@ void BM_EndToEndExtract(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndExtract)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 
+void BM_ParallelSamplePool(benchmark::State& state) {
+  ThreadPool pool;
+  ParallelSampleOptions options;
+  options.pool = &pool;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelUniSSample(D2Sampler(), n, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSamplePool)->Arg(400)->Arg(4000);
+
+void BM_ParallelSampleThreadPerCall(benchmark::State& state) {
+  ParallelSampleOptions options;  // num_threads = 0 -> hardware concurrency
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelUniSSample(D2Sampler(), n, options));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSampleThreadPerCall)->Arg(400)->Arg(4000);
+
+// Times one `fn()` run with the span-free stopwatch.
+double MeasureSeconds(const std::function<void()>& fn) {
+  Stopwatch stopwatch;
+  fn();
+  return stopwatch.ElapsedSeconds();
+}
+
+// Appends the pool-vs-thread-per-call dispatch comparison: the same 4000
+// chunk-indexed draws (bit-identical outputs by construction, verified
+// here) through the serial, thread-per-call, and persistent-pool modes,
+// plus serial vs pooled bootstrap replicate evaluation.
+bool AppendPoolComparison(JsonWriter& out) {
+  constexpr int kDraws = 4000;
+  ThreadPool* pool = DefaultThreadPool();
+
+  ParallelSampleOptions serial_options;
+  serial_options.num_threads = 1;
+  Result<std::vector<double>> serial = Status::Internal("unset");
+  const double serial_seconds = MeasureSeconds([&] {
+    serial = ParallelUniSSample(D2Sampler(), kDraws, serial_options);
+  });
+  ParallelSampleOptions per_call_options;  // 0 -> hardware concurrency
+  Result<std::vector<double>> per_call = Status::Internal("unset");
+  const double per_call_seconds = MeasureSeconds([&] {
+    per_call = ParallelUniSSample(D2Sampler(), kDraws, per_call_options);
+  });
+  ParallelSampleOptions pool_options;
+  pool_options.pool = pool;
+  Result<std::vector<double>> pooled = Status::Internal("unset");
+  const double pool_seconds = MeasureSeconds(
+      [&] { pooled = ParallelUniSSample(D2Sampler(), kDraws, pool_options); });
+  if (!serial.ok() || !per_call.ok() || !pooled.ok()) return false;
+  // The three dispatch modes must agree bit for bit.
+  if (serial.value() != per_call.value() || serial.value() != pooled.value()) {
+    std::fprintf(stderr, "dispatch modes disagree on the sampled bits\n");
+    return false;
+  }
+
+  BootstrapOptions bootstrap;
+  bootstrap.num_sets = 200;
+  Result<std::vector<double>> boot_serial = Status::Internal("unset");
+  const double boot_serial_seconds = MeasureSeconds([&] {
+    Rng rng(23);
+    boot_serial = BootstrapReplicates(
+        serial.value(), MomentStatisticFn(MomentStatistic::kVariance),
+        bootstrap, rng);
+  });
+  Result<std::vector<double>> boot_pooled = Status::Internal("unset");
+  const double boot_pool_seconds = MeasureSeconds([&] {
+    Rng rng(23);
+    boot_pooled = BootstrapReplicates(
+        serial.value(), MomentStatisticFn(MomentStatistic::kVariance),
+        bootstrap, rng, pool);
+  });
+  if (!boot_serial.ok() || !boot_pooled.ok() ||
+      boot_serial.value() != boot_pooled.value()) {
+    return false;
+  }
+
+  out.Key("pool_comparison");
+  out.BeginObject();
+  out.KeyValue("draws", static_cast<int64_t>(kDraws));
+  out.KeyValue("pool_threads", static_cast<int64_t>(pool->num_threads()));
+  out.Key("sampling_seconds");
+  out.BeginObject();
+  out.KeyValue("serial", serial_seconds);
+  out.KeyValue("thread_per_call", per_call_seconds);
+  out.KeyValue("pool", pool_seconds);
+  out.EndObject();
+  out.KeyValue("bootstrap_sets", static_cast<int64_t>(bootstrap.num_sets));
+  out.Key("bootstrap_seconds");
+  out.BeginObject();
+  out.KeyValue("serial", boot_serial_seconds);
+  out.KeyValue("pool", boot_pool_seconds);
+  out.EndObject();
+  out.EndObject();
+  return true;
+}
+
 // One fully instrumented extraction; the JSON breakdown comes from the
 // recorded spans (the same measurement PhaseTimings reports).
 int RunJsonBreakdown() {
@@ -143,6 +245,10 @@ int RunJsonBreakdown() {
   }
   out.EndObject();
   out.KeyValue("total_seconds", trace.TotalSecondsOf("extract"));
+  if (!AppendPoolComparison(out)) {
+    std::fprintf(stderr, "pool comparison failed\n");
+    return 1;
+  }
   out.Key("counters");
   out.BeginObject();
   for (const CounterSample& counter : metrics.Snapshot().counters) {

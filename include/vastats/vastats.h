@@ -70,5 +70,6 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 #endif  // VASTATS_VASTATS_H_

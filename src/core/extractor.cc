@@ -1,6 +1,7 @@
 #include "core/extractor.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "stats/descriptive.h"
@@ -42,13 +43,20 @@ Result<AnswerStatisticsExtractor> AnswerStatisticsExtractor::Create(
   return AnswerStatisticsExtractor(std::move(sampler), std::move(options));
 }
 
+int ResolveSamplingThreads(int sampling_threads, unsigned hardware_concurrency) {
+  if (sampling_threads > 0) return sampling_threads;
+  return static_cast<int>(std::max(1u, hardware_concurrency));
+}
+
 Result<PointEstimate> AnswerStatisticsExtractor::EstimatePoint(
     MomentStatistic statistic, std::span<const double> samples,
     std::span<const std::vector<double>> sets) const {
-  // Replicates over the shared bootstrap sets, bagged into the estimate.
+  // Replicates over the shared bootstrap sets, bagged into the estimate
+  // (evaluated as pool tasks when a pool is attached).
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<double> replicates,
-      ReplicatesFromSets(sets, MomentStatisticFn(statistic)));
+      ReplicatesFromSets(sets, MomentStatisticFn(statistic), options_.pool,
+                         options_.obs.metrics));
   PointEstimate estimate;
   VASTATS_ASSIGN_OR_RETURN(estimate.value,
                            Bag(replicates, options_.bag_aggregator));
@@ -94,10 +102,15 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
         AdaptiveSamplingResult adaptive,
         AdaptiveUniSSampling(sampler_, *options_.adaptive, rng, obs));
     samples = std::move(adaptive.samples);
-  } else if (options_.sampling_threads != 1) {
+  } else if (ResolveSamplingThreads(options_.sampling_threads,
+                                    std::thread::hardware_concurrency()) > 1) {
+    // A request that resolves to a single worker (including
+    // sampling_threads = 0 on a 1-core host) falls through to the serial
+    // sampler below instead of paying the parallel dispatch machinery.
     ParallelSampleOptions parallel;
     parallel.num_threads = options_.sampling_threads;
     parallel.seed = options_.seed ^ 0xfeedfaceULL;
+    parallel.pool = options_.pool;
     parallel.obs = obs;
     VASTATS_ASSIGN_OR_RETURN(
         samples, ParallelUniSSample(sampler_, options_.initial_sample_size,
@@ -145,6 +158,7 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   // Close() of the phase's own span, so the Figure 6 table and an exported
   // trace are two views of one measurement.
   ScopedSpan bootstrap_span(obs.trace, "bootstrap");
+  bootstrap_span.Annotate("pool", options_.pool != nullptr);
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<std::vector<double>> sets,
       BootstrapSets(stats.samples, options_.bootstrap, rng));
@@ -169,7 +183,7 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   ScopedSpan kde_span(obs.trace, "kde");
   VASTATS_ASSIGN_OR_RETURN(
       const BaggedKde kde,
-      EstimateBaggedKde(sets, stats.samples, options_.kde, obs));
+      EstimateBaggedKde(sets, stats.samples, options_.kde, obs, options_.pool));
   stats.density = kde.density;
   stats.timings.kde_seconds = kde_span.Close();
 

@@ -47,10 +47,18 @@ struct ExtractorOptions {
   std::optional<AdaptiveSamplingOptions> adaptive;
   // uniS worker threads for the sampling phase: 1 = in-line (default),
   // 0 = hardware concurrency, k = k threads. Ignored under `adaptive`
-  // (whose growth loop is inherently sequential). Thread counts other than
-  // 1 change the RNG stream partitioning, so results match only runs with
-  // the same thread count.
+  // (whose growth loop is inherently sequential). The parallel sampler's
+  // RNG streams are chunk-indexed, so the drawn samples are identical for
+  // every thread count > 1 (and for any pool size); only the dispatch
+  // differs. A request that resolves to one worker collapses onto the
+  // serial sampler (note its samples come from the serial seed stream, not
+  // the chunk-indexed one).
   int sampling_threads = 1;
+  // Borrowed persistent worker pool (optional, may be null). When set, the
+  // parallel sampling phase, the per-set bootstrap statistic evaluations,
+  // and the per-set KDE fits run as pool tasks instead of spawning threads
+  // per call. Results are bit-identical with or without a pool.
+  ThreadPool* pool = nullptr;
   // RNG seed; runs with equal seeds and options are bit-identical.
   uint64_t seed = 0x5eed;
   // Optional telemetry sinks (borrowed, may both be null = disabled). With a
@@ -82,6 +90,12 @@ struct PhaseTimings {
            kde_seconds + cio_seconds + stability_seconds;
   }
 };
+
+// Resolves ExtractorOptions.sampling_threads against a hardware concurrency
+// reading: k > 0 stays k; 0 becomes max(1, hardware_concurrency). Exposed so
+// the "resolved width 1 equals the serial sampler" routing is testable on
+// any host.
+int ResolveSamplingThreads(int sampling_threads, unsigned hardware_concurrency);
 
 // Guards the Figure 6 invariant that the per-phase breakdown never exceeds
 // the measured wall time of the whole pipeline (a phase counted twice would

@@ -2,19 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "util/thread_pool.h"
 
 namespace vastats {
 
 Result<BaggedKde> EstimateBaggedKde(
     std::span<const std::vector<double>> sets,
     std::span<const double> reference_samples, const KdeOptions& options,
-    const ObsOptions& obs) {
+    const ObsOptions& obs, ThreadPool* pool) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
   if (sets.empty()) {
     return Status::InvalidArgument("EstimateBaggedKde needs >= 1 sample set");
   }
   ScopedSpan span(obs.trace, "bagged_kde");
   span.Annotate("sets", static_cast<int64_t>(sets.size()));
+  span.Annotate("pool", pool != nullptr);
   obs.GetCounter("bagged_kde_sets_total")
       .Increment(static_cast<uint64_t>(sets.size()));
   for (const std::vector<double>& set : sets) {
@@ -44,6 +48,29 @@ Result<BaggedKde> EstimateBaggedKde(
     per_set.x_max = hi + options.padding_fraction * span;
   }
 
+  // Fit every set (the fits are independent; pooled mode runs them as
+  // tasks), then accumulate in set order so pooled and serial results are
+  // bit-identical.
+  std::vector<std::optional<Kde>> fits(sets.size());
+  if (pool != nullptr) {
+    // The Trace may only be driven from the calling thread; worker tasks
+    // report through the sharded metrics registry only.
+    ObsOptions worker_obs;
+    worker_obs.metrics = obs.metrics;
+    auto task = [&](int s) -> Status {
+      VASTATS_ASSIGN_OR_RETURN(
+          fits[static_cast<size_t>(s)],
+          EstimateKde(sets[static_cast<size_t>(s)], per_set, worker_obs));
+      return Status::Ok();
+    };
+    VASTATS_RETURN_IF_ERROR(
+        pool->ParallelFor(static_cast<int>(sets.size()), task, obs.metrics));
+  } else {
+    for (size_t s = 0; s < sets.size(); ++s) {
+      VASTATS_ASSIGN_OR_RETURN(fits[s], EstimateKde(sets[s], per_set, obs));
+    }
+  }
+
   BaggedKde out{GridDensity::Create(per_set.x_min, per_set.x_max,
                                     std::vector<double>(options.grid_size, 0.0))
                     .value(),
@@ -51,10 +78,9 @@ Result<BaggedKde> EstimateBaggedKde(
                 {}};
   out.set_bandwidths.reserve(sets.size());
   const double weight = 1.0 / static_cast<double>(sets.size());
-  for (const std::vector<double>& set : sets) {
-    VASTATS_ASSIGN_OR_RETURN(Kde kde, EstimateKde(set, per_set, obs));
-    out.set_bandwidths.push_back(kde.bandwidth);
-    out.density.AccumulateScaled(kde.density, weight);
+  for (const std::optional<Kde>& kde : fits) {
+    out.set_bandwidths.push_back(kde->bandwidth);
+    out.density.AccumulateScaled(kde->density, weight);
   }
   VASTATS_RETURN_IF_ERROR(out.density.Normalize());
 

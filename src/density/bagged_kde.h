@@ -16,6 +16,8 @@
 
 namespace vastats {
 
+class ThreadPool;
+
 struct BaggedKde {
   GridDensity density;
   // Bandwidth selected on the pooled/original sample (reported as the h of
@@ -31,10 +33,16 @@ struct BaggedKde {
 // the first set is used. Any fixed range in `options` is honored. `obs`
 // (optional) records a `bagged_kde` span with one `kde_estimate` child per
 // set, plus the set counter.
+//
+// With a `pool`, the per-set fits run as pool tasks and the results are
+// accumulated in set order afterwards, so the estimate is bit-identical to
+// the serial path. Worker tasks cannot drive the single-threaded Trace:
+// in pooled mode the per-set fits report metrics only (no `kde_estimate`
+// child spans), and the `bagged_kde` span is annotated `pool=true`.
 Result<BaggedKde> EstimateBaggedKde(
     std::span<const std::vector<double>> sets,
     std::span<const double> reference_samples, const KdeOptions& options,
-    const ObsOptions& obs = {});
+    const ObsOptions& obs = {}, ThreadPool* pool = nullptr);
 
 }  // namespace vastats
 

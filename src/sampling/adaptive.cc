@@ -36,7 +36,8 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
                            sampler.Sample(options.initial_size, rng, obs));
   for (;;) {
     obs.GetCounter("adaptive_rounds_total").Increment();
-    const double mean = ComputeMoments(result.samples).mean();
+    const Moments moments = ComputeMoments(result.samples);
+    const double mean = moments.mean();
     VASTATS_ASSIGN_OR_RETURN(
         const std::vector<double> replicates,
         BootstrapReplicates(result.samples,
@@ -56,8 +57,13 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
 
     double target = options.target_ci_length;
     if (options.target_relative_length > 0.0) {
-      const double relative =
-          options.target_relative_length * std::fabs(mean);
+      // Floor |mean| by the sample std-dev: on zero-centered data |mean|
+      // alone drives the relative target to ~0 and the loop can never
+      // satisfy it (it just burns draws until max_size).
+      const double sd = moments.SampleStdDev();
+      const double scale = std::max(std::fabs(mean), sd);
+      if (std::fabs(mean) < sd) result.relative_target_floored = true;
+      const double relative = options.target_relative_length * scale;
       target = (target > 0.0) ? std::min(target, relative) : relative;
     }
     if (ci.Length() <= target) {
@@ -76,6 +82,7 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
   span.Annotate("rounds", static_cast<int64_t>(result.trace.size()));
   span.Annotate("final_size", static_cast<int64_t>(result.samples.size()));
   span.Annotate("satisfied", result.satisfied);
+  span.Annotate("relative_target_floored", result.relative_target_floored);
   return result;
 }
 

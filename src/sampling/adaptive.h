@@ -24,7 +24,11 @@ struct AdaptiveSamplingOptions {
   // Hard budget on |S_uniS|.
   int max_size = 4000;
   // Stop once len(CI_mean) <= target_ci_length (absolute units), or — when
-  // target_relative_length > 0 — once len <= target_relative_length * |mean|.
+  // target_relative_length > 0 — once len <= target_relative_length * scale,
+  // where scale = max(|mean|, sample std-dev). Flooring the scale by the
+  // std-dev keeps the relative target meaningful on zero-centered data,
+  // where |mean| alone collapses the target to ~0 and the loop would burn
+  // straight to max_size.
   double target_ci_length = 0.0;
   double target_relative_length = 0.0;
   double confidence_level = 0.90;
@@ -44,6 +48,11 @@ struct AdaptiveSamplingResult {
   std::vector<AdaptiveStep> trace;
   // Whether the length target was met within the budget.
   bool satisfied = false;
+  // True when the relative target was computed from the std-dev floor
+  // instead of |mean| in at least one round (|mean| < std-dev, e.g.
+  // zero-centered data). Also surfaced as the `relative_target_floored`
+  // span annotation.
+  bool relative_target_floored = false;
 };
 
 // Runs the grow-bootstrap-check loop against `sampler`. `obs` (optional)

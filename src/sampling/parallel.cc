@@ -1,93 +1,118 @@
 #include "sampling/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <thread>
 
 namespace vastats {
+namespace {
+
+// Stream-splitting constant (same odd 64-bit golden-ratio multiplier the
+// Rng seeder uses); chunk streams are decorrelated by the splitmix64
+// expansion inside Rng's constructor.
+constexpr uint64_t kStreamStride = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+Result<std::vector<double>> ParallelChunkedSample(
+    int n, const ParallelSampleOptions& options,
+    const ChunkSampleFn& chunk_fn) {
+  if (n <= 0) {
+    return Status::InvalidArgument("ParallelChunkedSample requires n > 0");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options.chunk_draws <= 0) {
+    return Status::InvalidArgument("chunk_draws must be > 0");
+  }
+  const int chunk = options.chunk_draws;
+  const int num_chunks = (n + chunk - 1) / chunk;
+  const bool pooled = options.pool != nullptr;
+  int workers;  // parallelism actually applied, for telemetry
+  if (pooled) {
+    workers = std::min(options.pool->num_threads() + 1, num_chunks);
+  } else {
+    workers = options.num_threads == 0
+                  ? static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency()))
+                  : options.num_threads;
+    workers = std::min(workers, num_chunks);
+  }
+
+  const ObsOptions& obs = options.obs;
+  ScopedSpan span(obs.trace, "parallel_sample");
+  span.Annotate("draws", static_cast<int64_t>(n));
+  span.Annotate("chunks", static_cast<int64_t>(num_chunks));
+  span.Annotate("threads", static_cast<int64_t>(workers));
+  span.Annotate("pool", pooled);
+
+  std::vector<double> values(static_cast<size_t>(n));
+  auto task = [&](int chunk_index) -> Status {
+    // Chunk-indexed stream: the seed depends on the chunk index only, so
+    // scheduling and execution width cannot change the output.
+    Rng rng(options.seed +
+            kStreamStride * (static_cast<uint64_t>(chunk_index) + 1));
+    const int begin = chunk_index * chunk;
+    const int count = std::min(chunk, n - begin);
+    return chunk_fn(chunk_index, rng,
+                    std::span<double>(values).subspan(
+                        static_cast<size_t>(begin),
+                        static_cast<size_t>(count)));
+  };
+
+  const Status status =
+      pooled ? options.pool->ParallelFor(num_chunks, task, obs.metrics)
+             : ThreadPerCallParallelFor(num_chunks, workers, task);
+
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("parallel_sampler_runs_total").Increment();
+    obs.GetGauge("parallel_sampler_threads").Set(static_cast<double>(workers));
+    if (!status.ok()) {
+      obs.GetCounter("parallel_sampler_failures_total").Increment();
+    }
+  }
+  VASTATS_RETURN_IF_ERROR(status);
+  return values;
+}
 
 Result<std::vector<double>> ParallelUniSSample(
     const UniSSampler& sampler, int n,
     const ParallelSampleOptions& options) {
-  if (n <= 0) {
-    return Status::InvalidArgument("ParallelUniSSample requires n > 0");
-  }
-  int num_threads = options.num_threads;
-  if (num_threads < 0) {
-    return Status::InvalidArgument("num_threads must be >= 0");
-  }
-  if (num_threads == 0) {
-    num_threads =
-        std::max(1u, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, n);
-
   const ObsOptions& obs = options.obs;
-  ScopedSpan span(obs.trace, "parallel_sample");
-  span.Annotate("threads", static_cast<int64_t>(num_threads));
-  span.Annotate("draws", static_cast<int64_t>(n));
-  // Doubling buckets over per-thread draw counts; a lopsided distribution
-  // here means the static slice partitioning is imbalanced.
+  // Doubling buckets over per-chunk draw counts; all buckets below
+  // chunk_draws collect only the tail chunk and failed chunks.
   static constexpr double kDrawBuckets[] = {1,  2,   4,   8,   16,  32,
                                             64, 128, 256, 512, 1024};
-
-  std::vector<double> values(static_cast<size_t>(n));
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&](int thread_index) {
-    Rng rng(options.seed + 0x9e3779b97f4a7c15ULL *
-                               static_cast<uint64_t>(thread_index + 1));
-    // Contiguous slice [begin, end) for this thread.
-    const int base = n / num_threads;
-    const int extra = n % num_threads;
-    const int begin = thread_index * base + std::min(thread_index, extra);
-    const int count = base + (thread_index < extra ? 1 : 0);
+  auto chunk_fn = [&](int /*chunk_index*/, Rng& rng,
+                      std::span<double> out) -> Status {
+    Status status;
     uint64_t draws = 0;
     uint64_t visits = 0;
     uint64_t contributing = 0;
-    for (int i = 0; i < count && !failed.load(std::memory_order_relaxed);
-         ++i) {
+    for (double& slot : out) {
       const auto sample = sampler.SampleOne(rng);
       if (!sample.ok()) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = sample.status();
+        status = sample.status();
         break;
       }
-      values[static_cast<size_t>(begin + i)] = sample->value;
+      slot = sample->value;
       ++draws;
       visits += static_cast<uint64_t>(sample->sources_visited);
       contributing += static_cast<uint64_t>(sample->sources_contributing);
     }
-    // Flushed from the worker thread on purpose: each worker lands in its
-    // own registry shard, keeping the parallel path contention-free.
+    // Flushed from the executing thread on purpose: each worker lands in
+    // its own registry shard, keeping the parallel path contention-free.
     if (obs.metrics != nullptr) {
       obs.GetCounter("unis_draws_total").Increment(draws);
       obs.GetCounter("unis_source_visits_total").Increment(visits);
       obs.GetCounter("unis_contributing_sources_total")
           .Increment(contributing);
-      obs.GetHistogram("parallel_sampler_draws_per_thread", kDrawBuckets)
+      obs.GetHistogram("parallel_sampler_draws_per_chunk", kDrawBuckets)
           .Observe(static_cast<double>(draws));
     }
+    return status;
   };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-  for (std::thread& thread : threads) thread.join();
-
-  if (obs.metrics != nullptr) {
-    obs.GetCounter("parallel_sampler_runs_total").Increment();
-    obs.GetGauge("parallel_sampler_threads")
-        .Set(static_cast<double>(num_threads));
-    if (failed.load()) {
-      obs.GetCounter("parallel_sampler_failures_total").Increment();
-    }
-  }
-  if (failed.load()) return first_error;
-  return values;
+  return ParallelChunkedSample(n, options, chunk_fn);
 }
 
 }  // namespace vastats

@@ -2,37 +2,73 @@
 // as samples are obtained independently. Future work should examine how the
 // algorithm scales when parallelized."
 //
-// Each worker thread owns an independent RNG stream derived from the master
-// seed and fills a pre-assigned slice of the output, so the result is
-// bit-identical for a given (seed, num_threads) regardless of scheduling.
-// Note the determinism contract: the stream partitioning depends on
-// num_threads, so runs with different thread counts produce different (but
-// equally valid) samples.
+// Determinism contract (thread-count-invariant): the n requested draws are
+// partitioned into fixed-size chunks of `chunk_draws` samples, and every
+// chunk owns an independent RNG stream derived from the master seed and the
+// *chunk index* — never from a thread id. Workers (pool or thread-per-call)
+// only decide which chunk they execute next, not what that chunk produces,
+// so the output is bit-identical for a fixed (seed, n, chunk_draws) across
+// ANY execution width: serial, 1/2/4/k thread-per-call workers, or a
+// persistent pool of any size. (This deliberately replaces the seed's old
+// contract, where the stream partitioning depended on num_threads and
+// different thread counts produced different samples.)
+//
+// Execution modes:
+//  * options.pool != nullptr — chunks run as tasks on the persistent
+//    worker pool; no threads are created by this call.
+//  * options.pool == nullptr — legacy thread-per-call dispatch
+//    (options.num_threads workers are spawned and joined; <= 1 resolved
+//    workers runs inline on the calling thread).
+// Both modes produce identical samples; `bench/micro_pipeline --json`
+// compares their dispatch cost.
 
 #ifndef VASTATS_SAMPLING_PARALLEL_H_
 #define VASTATS_SAMPLING_PARALLEL_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "obs/obs.h"
 #include "sampling/unis.h"
+#include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace vastats {
 
 struct ParallelSampleOptions {
-  // 0 means std::thread::hardware_concurrency() (at least 1).
+  // Thread-per-call mode width; 0 means hardware_concurrency (at least 1).
+  // Ignored when `pool` is set (the pool's width applies).
   int num_threads = 0;
   uint64_t seed = 0x5eed;
+  // Draws per chunk — the determinism granule. Part of the output contract:
+  // changing it changes which stream produces which slot (but the result
+  // stays independent of thread count and pool size).
+  int chunk_draws = 64;
+  // Borrowed persistent pool; null selects thread-per-call dispatch.
+  ThreadPool* pool = nullptr;
   // Optional telemetry. The span is recorded from the calling thread only;
   // workers report through the (sharded, thread-safe) metrics registry:
-  // the shared uniS draw/visit counters plus a per-thread draw-count
-  // histogram that makes scheduling imbalance visible.
+  // the shared uniS draw/visit counters plus a per-chunk draw-count
+  // histogram, and the pool adds its queue/task/latency series.
   ObsOptions obs;
 };
 
-// Draws `n` viable answers from `sampler` using multiple threads. The
+// Fills one chunk of the output: `rng` is seeded from the chunk index and
+// `out` is the chunk's slot range. Invoked concurrently for distinct chunks.
+using ChunkSampleFn =
+    std::function<Status(int chunk_index, Rng& rng, std::span<double> out)>;
+
+// Generic chunk-indexed sampling driver: partitions n slots into chunks,
+// derives one RNG stream per chunk, and executes `chunk_fn` per chunk on
+// the pool (or thread-per-call workers). On any chunk failure the error of
+// the lowest failing chunk index is returned and no partial result leaks.
+Result<std::vector<double>> ParallelChunkedSample(
+    int n, const ParallelSampleOptions& options, const ChunkSampleFn& chunk_fn);
+
+// Draws `n` viable answers from `sampler` using the chunked driver. The
 // sampler is shared read-only across threads (UniSSampler::SampleOne is
 // const and carries no mutable state).
 Result<std::vector<double>> ParallelUniSSample(

@@ -6,6 +6,14 @@
 // replicates, and bags (aggregates) the ensemble into a single, lower
 // variance estimate. The replicates also feed the confidence-interval
 // machinery in stats/confidence.h.
+//
+// Batched form: `BootstrapIndexSets` draws all resampling indices up front
+// through `Rng::ResampleIndices` (the bootstrap resampling primitive), so
+// the RNG stream is consumed in one deterministic pass and the per-set
+// statistic evaluations become independent tasks. Every evaluation entry
+// point accepts an optional persistent `ThreadPool`; the pooled result is
+// bit-identical to the serial one (replicate `s` is always the statistic of
+// set `s` — only the execution order changes).
 
 #ifndef VASTATS_STATS_BOOTSTRAP_H_
 #define VASTATS_STATS_BOOTSTRAP_H_
@@ -19,6 +27,9 @@
 
 namespace vastats {
 
+class MetricsRegistry;
+class ThreadPool;
+
 struct BootstrapOptions {
   // Number of bootstrap sample sets, |S_boot| (paper default 50).
   int num_sets = 50;
@@ -28,20 +39,37 @@ struct BootstrapOptions {
   Status Validate() const;
 };
 
+// Draws the resampling indices for `options.num_sets` bootstrap sets over a
+// data vector of `data_size` points (one index vector per set, built on
+// Rng::ResampleIndices). The index stream is identical to the value stream
+// of BootstrapSets under the same seed.
+Result<std::vector<std::vector<int>>> BootstrapIndexSets(
+    int data_size, const BootstrapOptions& options, Rng& rng);
+
 // Draws `options.num_sets` bootstrap sample sets from `data`.
 Result<std::vector<std::vector<double>>> BootstrapSets(
     std::span<const double> data, const BootstrapOptions& options, Rng& rng);
 
 // Evaluates `statistic` on each bootstrap set of `data` and returns the
-// ensemble of replicates (one value per set).
-Result<std::vector<double>> BootstrapReplicates(std::span<const double> data,
-                                                const StatisticFn& statistic,
-                                                const BootstrapOptions& options,
-                                                Rng& rng);
+// ensemble of replicates (one value per set). With a `pool`, the per-set
+// evaluations run as pool tasks after the indices are drawn in one batch;
+// `metrics` (optional, borrowed) receives the pool's task telemetry.
+Result<std::vector<double>> BootstrapReplicates(
+    std::span<const double> data, const StatisticFn& statistic,
+    const BootstrapOptions& options, Rng& rng, ThreadPool* pool = nullptr,
+    MetricsRegistry* metrics = nullptr);
 
 // Evaluates `statistic` on already-materialized bootstrap sets.
 Result<std::vector<double>> ReplicatesFromSets(
-    std::span<const std::vector<double>> sets, const StatisticFn& statistic);
+    std::span<const std::vector<double>> sets, const StatisticFn& statistic,
+    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr);
+
+// Index-based twin of ReplicatesFromSets: evaluates `statistic` on the set
+// gathered from `data` by each index vector, without materializing the sets.
+Result<std::vector<double>> ReplicatesFromIndexSets(
+    std::span<const double> data,
+    std::span<const std::vector<int>> index_sets, const StatisticFn& statistic,
+    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr);
 
 // How the replicate ensemble is bagged into a single estimate.
 enum class BagAggregator { kMean, kMedian };

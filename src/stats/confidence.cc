@@ -104,8 +104,11 @@ Result<ConfidenceInterval> BcaCi(std::span<const double> replicates,
   auto adjusted = [&](double z) {
     const double num = z0 + z;
     const double denom = 1.0 - a * num;
-    // Degenerate acceleration: fall back to the unadjusted percentile.
-    if (denom == 0.0) return NormalCdf(num);
+    // The BCa map is only monotone while 1 - a*(z0+z) > 0. At or past the
+    // pole (denom <= 0, reachable for |z0| + |z| >~ 1/|a| under heavy skew)
+    // the adjusted quantile flips to the wrong tail, so fall back to the
+    // a = 0 bias-corrected percentile endpoint Phi(2*z0 + z).
+    if (denom <= 0.0) return NormalCdf(z0 + num);
     return NormalCdf(z0 + num / denom);
   };
   double alpha1 = adjusted(z_lo);

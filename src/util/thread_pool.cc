@@ -1,0 +1,219 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace vastats {
+
+// One ParallelFor call. Lives on the caller's stack: ParallelFor only
+// returns after `completed == num_tasks` and the batch left the queue, so
+// workers never touch a dead batch. All fields below `metrics` are guarded
+// by the owning pool's mutex_.
+struct ThreadPool::Batch {
+  int num_tasks = 0;
+  const std::function<Status(int)>* fn = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  int next_claim = 0;  // tasks are claimed strictly in index order
+  int completed = 0;   // finished + cancelled-before-claim
+  bool cancelled = false;
+  bool queued = false;
+  int error_index = -1;
+  Status error;
+};
+
+ThreadPool::ThreadPool(ThreadPoolOptions options)
+    : num_threads_(options.num_threads > 0
+                       ? options.num_threads
+                       : static_cast<int>(std::max(
+                             1u, std::thread::hardware_concurrency()))) {}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::started() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+int ThreadPool::ClaimLocked(Batch* batch) {
+  if (batch->cancelled && batch->next_claim < batch->num_tasks) {
+    // A task failed: everything not yet claimed is skipped. Tasks are
+    // claimed in index order, so the lowest failing index has always been
+    // claimed (and run) by the time anything gets skipped — the aggregated
+    // error below is scheduling-independent.
+    batch->completed += batch->num_tasks - batch->next_claim;
+    batch->next_claim = batch->num_tasks;
+    if (batch->completed == batch->num_tasks) done_cv_.notify_all();
+  }
+  if (batch->next_claim >= batch->num_tasks) {
+    if (batch->queued) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), batch));
+      batch->queued = false;
+    }
+    return -1;
+  }
+  return batch->next_claim++;
+}
+
+void ThreadPool::RunTask(Batch* batch, int index,
+                         std::unique_lock<std::mutex>& lock) {
+  MetricsRegistry* metrics = batch->metrics;
+  const std::function<Status(int)>& fn = *batch->fn;
+  lock.unlock();
+  Stopwatch watch;
+  Status status = fn(index);
+  if (metrics != nullptr) {
+    metrics->GetCounter("thread_pool_tasks_total").Increment();
+    metrics->GetHistogram("thread_pool_task_latency_seconds")
+        .Observe(watch.ElapsedSeconds());
+  }
+  lock.lock();
+  ++batch->completed;
+  if (!status.ok()) {
+    batch->cancelled = true;
+    if (batch->error_index < 0 || index < batch->error_index) {
+      batch->error_index = index;
+      batch->error = std::move(status);
+    }
+  }
+  if (batch->completed == batch->num_tasks) done_cv_.notify_all();
+}
+
+void ThreadPool::DrainBatchLocked(Batch* batch,
+                                  std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    const int index = ClaimLocked(batch);
+    if (index < 0) return;
+    RunTask(batch, index, lock);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // queue drained before exiting
+      continue;
+    }
+    Batch* batch = queue_.front();
+    const int index = ClaimLocked(batch);
+    if (index < 0) continue;
+    RunTask(batch, index, lock);
+  }
+}
+
+Status ThreadPool::ParallelFor(int num_tasks,
+                               const std::function<Status(int)>& fn,
+                               MetricsRegistry* metrics) {
+  if (num_tasks < 0) {
+    return Status::InvalidArgument("ParallelFor requires num_tasks >= 0");
+  }
+  if (num_tasks == 0) return Status::Ok();
+
+  Batch batch;
+  batch.num_tasks = num_tasks;
+  batch.fn = &fn;
+  batch.metrics = metrics;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return Status::FailedPrecondition(
+        "ThreadPool::ParallelFor called after Shutdown");
+  }
+  if (!started_) {
+    // Lazy start: a pool that is never submitted to never spawns a thread.
+    started_ = true;
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (int t = 0; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  batch.queued = true;
+  queue_.push_back(&batch);
+  if (metrics != nullptr) {
+    metrics->GetGauge("thread_pool_queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_all();
+
+  // The caller drains its own batch alongside the workers, then waits for
+  // stragglers still running claimed tasks.
+  DrainBatchLocked(&batch, lock);
+  done_cv_.wait(lock, [&] { return batch.completed == batch.num_tasks; });
+  if (batch.error_index >= 0) return batch.error;
+  return Status::Ok();
+}
+
+void ThreadPool::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+}
+
+ThreadPool* DefaultThreadPool() {
+  // Deliberately leaked: worker threads must not be joined from a static
+  // destructor (they may hold the queue mutex while other statics die).
+  static ThreadPool* const pool = new ThreadPool();
+  return pool;
+}
+
+Status ThreadPerCallParallelFor(int num_tasks, int num_threads,
+                                const std::function<Status(int)>& fn) {
+  if (num_tasks < 0) {
+    return Status::InvalidArgument(
+        "ThreadPerCallParallelFor requires num_tasks >= 0");
+  }
+  if (num_tasks == 0) return Status::Ok();
+  if (num_threads <= 0) {
+    num_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  num_threads = std::min(num_threads, num_tasks);
+  if (num_threads <= 1) {
+    for (int i = 0; i < num_tasks; ++i) {
+      VASTATS_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  int error_index = -1;
+  Status error;
+  auto worker = [&] {
+    for (;;) {
+      // Same cancellation rule as the pool: stop claiming after a failure;
+      // claims are in index order so the lowest failing index always ran.
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) return;
+      Status status = fn(i);
+      if (!status.ok()) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        cancelled.store(true, std::memory_order_relaxed);
+        if (error_index < 0 || i < error_index) {
+          error_index = i;
+          error = std::move(status);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& thread : threads) thread.join();
+  if (error_index >= 0) return error;
+  return Status::Ok();
+}
+
+}  // namespace vastats

@@ -1,0 +1,115 @@
+// Persistent worker pool for the parallel substrate of the library.
+//
+// The paper's §7 observes that uniS "can be fully parallelized as samples
+// are obtained independently"; the same holds for bootstrap replicate
+// evaluation and per-set bagged-KDE fits. All three fan-out sites share
+// this pool instead of spawning (and joining) threads per call: workers are
+// started lazily on the first submit, park on a condition variable between
+// batches, and pull tasks off a shared queue.
+//
+// `ParallelFor` is the only submit form: it runs `fn(0) .. fn(n-1)`,
+// blocks until every task finished (the calling thread participates in
+// draining its own batch, so a busy pool never deadlocks a caller — and
+// nested ParallelFor from inside a task is safe for the same reason), and
+// returns the per-task `Status` aggregated deterministically: the error of
+// the *lowest failing task index* wins, independent of scheduling. A
+// failing task cancels tasks that have not been claimed yet; because tasks
+// are claimed in index order, the lowest failing index is always executed,
+// so the returned Status is reproducible.
+//
+// No exceptions anywhere (library policy): tasks report through Status.
+// The pool is TSan-clean; disjoint output slots indexed by task id are the
+// intended result-passing idiom.
+//
+// Telemetry is per-call and borrowed, matching the rest of the pipeline: a
+// non-null `MetricsRegistry*` receives a `thread_pool_tasks_total` counter,
+// a `thread_pool_queue_depth` gauge, and a `thread_pool_task_latency_seconds`
+// histogram.
+
+#ifndef VASTATS_UTIL_THREAD_POOL_H_
+#define VASTATS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct ThreadPoolOptions {
+  // 0 means std::thread::hardware_concurrency() (at least 1).
+  int num_threads = 0;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions options = {});
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of worker threads this pool runs once started.
+  int num_threads() const { return num_threads_; }
+
+  // True once the workers have been spawned (first ParallelFor).
+  bool started() const;
+
+  // Runs fn(i) for every i in [0, num_tasks) across the workers plus the
+  // calling thread and blocks until all tasks completed (or were cancelled
+  // by an earlier failure). Returns OK when every task returned OK,
+  // otherwise the Status of the lowest failing task index. num_tasks == 0
+  // is a no-op; num_tasks < 0 is an error. Fails with FailedPrecondition
+  // after Shutdown(). Safe to call from several threads at once and from
+  // inside a running task.
+  Status ParallelFor(int num_tasks, const std::function<Status(int)>& fn,
+                     MetricsRegistry* metrics = nullptr);
+
+  // Drains in-flight batches, stops the workers, and joins them. Idempotent.
+  // Subsequent ParallelFor calls fail.
+  void Shutdown();
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  // Claims the next task of `batch` (queue mutex held); returns -1 when the
+  // batch has no claimable tasks left, removing it from the queue.
+  int ClaimLocked(Batch* batch);
+  void RunTask(Batch* batch, int index, std::unique_lock<std::mutex>& lock);
+  // Runs claimable tasks of `batch` until it is exhausted or cancelled.
+  void DrainBatchLocked(Batch* batch, std::unique_lock<std::mutex>& lock);
+
+  int num_threads_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers park here
+  std::condition_variable done_cv_;  // ParallelFor callers park here
+  std::deque<Batch*> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+// Process-wide default pool at hardware concurrency. Lazily constructed on
+// first use and intentionally never destroyed (worker threads must not be
+// joined from static destructors).
+ThreadPool* DefaultThreadPool();
+
+// One-shot thread-per-call fan-out with the same task semantics and error
+// aggregation as ThreadPool::ParallelFor (tasks claimed in index order off
+// a shared counter, lowest failing index wins). This is the legacy
+// dispatch mode the pool replaces; it is kept for the pool-vs-thread-per-call
+// benchmark comparison and as the fallback when no pool is attached.
+// `num_threads` <= 1 runs inline on the calling thread.
+Status ThreadPerCallParallelFor(int num_tasks, int num_threads,
+                                const std::function<Status(int)>& fn);
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_THREAD_POOL_H_

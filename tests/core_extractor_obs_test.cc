@@ -15,6 +15,13 @@
 namespace vastats {
 namespace {
 
+std::string FindAnnotation(const SpanRecord& span, std::string_view key) {
+  for (const SpanAnnotation& annotation : span.annotations) {
+    if (annotation.key == key) return annotation.value;
+  }
+  return "";
+}
+
 ExtractorOptions SmallOptions() {
   ExtractorOptions options;
   options.initial_sample_size = 40;
@@ -113,10 +120,12 @@ TEST(ExtractorObsTest, PopulatesPipelineMetrics) {
   EXPECT_TRUE(SnapshotToPrometheus(snapshot).ok());
 }
 
-TEST(ExtractorObsTest, ParallelSamplingReportsPerThread) {
+TEST(ExtractorObsTest, ParallelSamplingReportsPerChunk) {
   Trace trace;
   MetricsRegistry metrics;
   ExtractorOptions options = SmallOptions();
+  // 200 draws over the default 64-draw chunks -> 4 chunks (3 full + 1 tail).
+  options.initial_sample_size = 200;
   options.sampling_threads = 4;
   const auto stats = RunInstrumented(&trace, &metrics, options);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
@@ -124,15 +133,50 @@ TEST(ExtractorObsTest, ParallelSamplingReportsPerThread) {
   EXPECT_EQ(trace.CountOf("parallel_sample"), 1);
   const MetricsSnapshot snapshot = metrics.Snapshot();
   EXPECT_EQ(snapshot.FindCounter("parallel_sampler_runs_total")->value, 1u);
+  // Applied parallelism: 4 requested workers over 4 chunks.
   EXPECT_EQ(snapshot.FindGauge("parallel_sampler_threads")->value, 4.0);
   // Worker threads flush their draw counts into their own shards; the merged
-  // histogram must see one observation per worker and all 40 draws.
-  const HistogramSample* per_thread =
-      snapshot.FindHistogram("parallel_sampler_draws_per_thread");
-  ASSERT_NE(per_thread, nullptr);
-  EXPECT_EQ(per_thread->count, 4u);
-  EXPECT_DOUBLE_EQ(per_thread->sum, 40.0);
-  EXPECT_EQ(snapshot.FindCounter("unis_draws_total")->value, 45u);
+  // histogram must see one observation per chunk and all 200 draws.
+  const HistogramSample* per_chunk =
+      snapshot.FindHistogram("parallel_sampler_draws_per_chunk");
+  ASSERT_NE(per_chunk, nullptr);
+  EXPECT_EQ(per_chunk->count, 4u);
+  EXPECT_DOUBLE_EQ(per_chunk->sum, 200.0);
+  // 200 pipeline draws plus the 5 weight probes.
+  EXPECT_EQ(snapshot.FindCounter("unis_draws_total")->value, 205u);
+}
+
+TEST(ExtractorObsTest, PoolRunReportsPoolTelemetry) {
+  Trace trace;
+  MetricsRegistry metrics;
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 2});
+  ExtractorOptions options = SmallOptions();
+  options.initial_sample_size = 200;
+  options.sampling_threads = 4;
+  options.pool = &pool;
+  const auto stats = RunInstrumented(&trace, &metrics, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  // Pool task accounting: 4 sampling chunks + 4 x 10 bootstrap statistic
+  // evaluations + 10 KDE fits, all with latency observations.
+  const CounterSample* tasks = snapshot.FindCounter("thread_pool_tasks_total");
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_EQ(tasks->value, 54u);
+  const HistogramSample* latency =
+      snapshot.FindHistogram("thread_pool_task_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 54u);
+  ASSERT_NE(snapshot.FindGauge("thread_pool_queue_depth"), nullptr);
+  // The spans that dispatched onto the pool say so.
+  const SpanRecord* sample_span = trace.Find("parallel_sample");
+  ASSERT_NE(sample_span, nullptr);
+  EXPECT_EQ(FindAnnotation(*sample_span, "pool"), "true");
+  const SpanRecord* kde_span = trace.Find("bagged_kde");
+  ASSERT_NE(kde_span, nullptr);
+  EXPECT_EQ(FindAnnotation(*kde_span, "pool"), "true");
+  // Pooled KDE fits report metrics only (Trace is single-threaded).
+  EXPECT_EQ(trace.CountOf("kde_estimate"), 0);
 }
 
 TEST(ExtractorObsTest, TelemetryDoesNotPerturbResults) {

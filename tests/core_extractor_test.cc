@@ -1,6 +1,7 @@
 #include "core/extractor.h"
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -205,8 +206,8 @@ TEST(ExtractorTest, ParallelSamplingPathProducesSaneStatistics) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(parallel->samples.size(), 200u);
-  // Different stream partitioning, same distribution: means agree within a
-  // few standard errors.
+  // Different seed stream than the serial sampler, same distribution: means
+  // agree within a few standard errors.
   const double se = std::sqrt(serial->variance.value / 200.0);
   EXPECT_NEAR(parallel->mean.value, serial->mean.value, 6.0 * se);
   // Invalid thread counts are rejected.
@@ -214,6 +215,97 @@ TEST(ExtractorTest, ParallelSamplingPathProducesSaneStatistics) {
   bad.sampling_threads = -2;
   EXPECT_FALSE(
       AnswerStatisticsExtractor::Create(&sources, query, bad).ok());
+}
+
+TEST(ExtractorTest, ResolveSamplingThreads) {
+  EXPECT_EQ(ResolveSamplingThreads(1, 8), 1);
+  EXPECT_EQ(ResolveSamplingThreads(3, 1), 3);
+  EXPECT_EQ(ResolveSamplingThreads(0, 8), 8);
+  EXPECT_EQ(ResolveSamplingThreads(0, 1), 1);
+  // hardware_concurrency() may legitimately report 0 ("unknown").
+  EXPECT_EQ(ResolveSamplingThreads(0, 0), 1);
+}
+
+TEST(ExtractorTest, ParallelSamplingIsThreadCountInvariant) {
+  // The chunk-indexed parallel sampler must hand Extract() the same bits
+  // for every thread count > 1, with or without a pool attached.
+  const auto mixture = MakeD2(53);
+  SyntheticSourceSetOptions source_options;
+  source_options.num_sources = 30;
+  source_options.num_components = 40;
+  source_options.seed = 54;
+  SourceSet sources = BuildSyntheticSourceSet(*mixture, source_options).value();
+  const AggregateQuery query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 40);
+
+  ExtractorOptions base;
+  base.initial_sample_size = 200;
+  base.weight_probes = 10;
+  base.sampling_threads = 2;
+  const auto reference =
+      AnswerStatisticsExtractor::Create(&sources, query, base)->Extract();
+  ASSERT_TRUE(reference.ok());
+
+  ExtractorOptions four = base;
+  four.sampling_threads = 4;
+  const auto with_four =
+      AnswerStatisticsExtractor::Create(&sources, query, four)->Extract();
+  ASSERT_TRUE(with_four.ok());
+  EXPECT_EQ(with_four->samples, reference->samples);
+  EXPECT_EQ(with_four->mean.value, reference->mean.value);
+
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 2});
+  ExtractorOptions pooled = four;
+  pooled.pool = &pool;
+  const auto with_pool =
+      AnswerStatisticsExtractor::Create(&sources, query, pooled)->Extract();
+  ASSERT_TRUE(with_pool.ok());
+  EXPECT_EQ(with_pool->samples, reference->samples);
+  // The whole pipeline — not just sampling — is pool-invariant.
+  EXPECT_EQ(with_pool->mean.value, reference->mean.value);
+  EXPECT_EQ(with_pool->variance.value, reference->variance.value);
+  EXPECT_EQ(with_pool->skewness.value, reference->skewness.value);
+  const auto reference_density = reference->density.values();
+  const auto pooled_density = with_pool->density.values();
+  ASSERT_EQ(pooled_density.size(), reference_density.size());
+  for (size_t i = 0; i < reference_density.size(); ++i) {
+    EXPECT_EQ(pooled_density[i], reference_density[i]);
+  }
+}
+
+TEST(ExtractorTest, ResolvedSingleWorkerUsesTheSerialSampler) {
+  // sampling_threads = 0 on a 1-core host resolves to one worker; Extract()
+  // must then take the serial path and reproduce sampling_threads = 1
+  // exactly. On multi-core hosts 0 resolves to > 1 workers, where the two
+  // modes legitimately differ (chunked vs serial seed stream), so the
+  // assertion is gated on the resolved width.
+  const auto mixture = MakeD2(55);
+  SyntheticSourceSetOptions source_options;
+  source_options.num_sources = 30;
+  source_options.num_components = 40;
+  source_options.seed = 56;
+  SourceSet sources = BuildSyntheticSourceSet(*mixture, source_options).value();
+  const AggregateQuery query =
+      MakeRangeQuery("sum", AggregateKind::kSum, 0, 40);
+
+  ExtractorOptions serial;
+  serial.initial_sample_size = 150;
+  serial.weight_probes = 10;
+  serial.sampling_threads = 1;
+  ExtractorOptions zero = serial;
+  zero.sampling_threads = 0;
+  const auto one =
+      AnswerStatisticsExtractor::Create(&sources, query, serial)->Extract();
+  const auto resolved =
+      AnswerStatisticsExtractor::Create(&sources, query, zero)->Extract();
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(resolved.ok());
+  if (ResolveSamplingThreads(0, std::thread::hardware_concurrency()) == 1) {
+    EXPECT_EQ(resolved->samples, one->samples);
+    EXPECT_EQ(resolved->mean.value, one->mean.value);
+  } else {
+    EXPECT_EQ(resolved->samples.size(), one->samples.size());
+  }
 }
 
 TEST(ExtractorTest, QuantileAggregateEndToEnd) {

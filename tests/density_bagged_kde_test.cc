@@ -8,6 +8,7 @@
 #include "stats/descriptive.h"
 #include "test_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace vastats {
 namespace {
@@ -95,6 +96,26 @@ TEST(BaggedKdeTest, EmptyReferenceFallsBackToFirstSet) {
   const auto bagged = EstimateBaggedKde(sets, {}, KdeOptions{});
   ASSERT_TRUE(bagged.ok());
   EXPECT_GT(bagged->bandwidth, 0.0);
+}
+
+TEST(BaggedKdeTest, PooledFitsAreBitIdenticalToSerial) {
+  const std::vector<double> data = testing::NormalSample(400, 11, 2.0, 1.0);
+  const auto sets = MakeSets(data, 25, 12);
+  const auto serial = EstimateBaggedKde(sets, data, KdeOptions{});
+  ASSERT_TRUE(serial.ok());
+  for (const int size : {1, 2, 4}) {
+    ThreadPool pool(ThreadPoolOptions{.num_threads = size});
+    const auto pooled =
+        EstimateBaggedKde(sets, data, KdeOptions{}, {}, &pool);
+    ASSERT_TRUE(pooled.ok());
+    EXPECT_EQ(pooled->set_bandwidths, serial->set_bandwidths)
+        << "pool size " << size;
+    EXPECT_EQ(pooled->bandwidth, serial->bandwidth);
+    ASSERT_EQ(pooled->density.values().size(), serial->density.values().size());
+    for (size_t i = 0; i < serial->density.values().size(); ++i) {
+      EXPECT_EQ(pooled->density.values()[i], serial->density.values()[i]);
+    }
+  }
 }
 
 }  // namespace

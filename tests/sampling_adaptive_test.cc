@@ -109,6 +109,35 @@ TEST_F(AdaptiveSamplingTest, RelativeTargetUsesMeanScale) {
   }
 }
 
+TEST_F(AdaptiveSamplingTest, RelativeTargetSurvivesZeroCenteredData) {
+  // True component values ~ 0, so the viable sum is centered at ~0 and its
+  // spread comes entirely from the per-source conflict noise. Pre-fix,
+  // target = target_relative_length * |mean| ~ 0 could never be met, so
+  // every such run burned straight to max_size; the std-dev floor makes the
+  // relative target meaningful again.
+  const NormalDistribution centered(0.0, 0.01);
+  SyntheticSourceSetOptions source_options;
+  source_options.num_sources = 30;
+  source_options.num_components = 50;
+  source_options.seed = 13;
+  SourceSet sources = BuildSyntheticSourceSet(centered, source_options).value();
+  const AggregateQuery query = MakeRangeQuery("sum", AggregateKind::kSum, 0, 50);
+  const auto sampler = UniSSampler::Create(&sources, query);
+  ASSERT_TRUE(sampler.ok());
+
+  AdaptiveSamplingOptions options;
+  options.initial_size = 100;
+  options.increment = 100;
+  options.max_size = 4000;
+  options.target_relative_length = 0.5;  // of max(|mean|, std-dev)
+  Rng rng(7);
+  const auto result = AdaptiveUniSSampling(*sampler, options, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->relative_target_floored);
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_LT(result->samples.size(), static_cast<size_t>(options.max_size));
+}
+
 TEST_F(AdaptiveSamplingTest, TraceSizesIncrease) {
   AdaptiveSamplingOptions options;
   options.initial_size = 20;

@@ -1,7 +1,9 @@
 #include "sampling/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -52,25 +54,102 @@ TEST_F(ParallelSamplingTest, DeterministicForFixedSeedAndThreads) {
   EXPECT_EQ(a.value(), b.value());
 }
 
-TEST_F(ParallelSamplingTest, SingleThreadMatchesMultiThreadDistribution) {
+TEST_F(ParallelSamplingTest, BitIdenticalAcrossThreadCounts) {
+  // The chunk-indexed streams make the output a function of (seed, n,
+  // chunk_draws) only: every execution width must produce the same bits.
   ParallelSampleOptions one;
   one.num_threads = 1;
   one.seed = 88;
-  ParallelSampleOptions four;
-  four.num_threads = 4;
-  four.seed = 88;
-  const auto serial = ParallelUniSSample(*sampler_, 2000, one);
-  const auto parallel = ParallelUniSSample(*sampler_, 2000, four);
-  ASSERT_TRUE(serial.ok());
-  ASSERT_TRUE(parallel.ok());
-  // Not bit-identical (different stream partitioning) but statistically the
-  // same distribution.
-  const Moments ms = ComputeMoments(*serial);
-  const Moments mp = ComputeMoments(*parallel);
-  const double se = ms.SampleStdDev() / std::sqrt(2000.0);
-  EXPECT_NEAR(ms.mean(), mp.mean(), 6.0 * se);
-  EXPECT_NEAR(ms.SampleStdDev(), mp.SampleStdDev(),
-              0.2 * ms.SampleStdDev());
+  const auto reference = ParallelUniSSample(*sampler_, 2000, one);
+  ASSERT_TRUE(reference.ok());
+
+  const int hardware =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int threads : {2, 4, hardware}) {
+    ParallelSampleOptions options;
+    options.num_threads = threads;
+    options.seed = 88;
+    const auto samples = ParallelUniSSample(*sampler_, 2000, options);
+    ASSERT_TRUE(samples.ok());
+    EXPECT_EQ(samples.value(), reference.value())
+        << "thread-per-call width " << threads;
+  }
+}
+
+TEST_F(ParallelSamplingTest, BitIdenticalAcrossPoolSizes) {
+  ParallelSampleOptions serial;
+  serial.num_threads = 1;
+  serial.seed = 88;
+  const auto reference = ParallelUniSSample(*sampler_, 2000, serial);
+  ASSERT_TRUE(reference.ok());
+
+  const int hardware =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int size : {1, 2, 4, hardware}) {
+    ThreadPool pool(ThreadPoolOptions{.num_threads = size});
+    ParallelSampleOptions options;
+    options.seed = 88;
+    options.pool = &pool;
+    const auto samples = ParallelUniSSample(*sampler_, 2000, options);
+    ASSERT_TRUE(samples.ok());
+    EXPECT_EQ(samples.value(), reference.value()) << "pool size " << size;
+  }
+}
+
+TEST_F(ParallelSamplingTest, PoolRunsAreRepeatable) {
+  ThreadPool pool;
+  ParallelSampleOptions options;
+  options.seed = 77;
+  options.pool = &pool;
+  const auto a = ParallelUniSSample(*sampler_, 500, options);
+  const auto b = ParallelUniSSample(*sampler_, 500, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST_F(ParallelSamplingTest, ChunkedDriverPropagatesLowestChunkError) {
+  // Chunks 3 and 1 both fail; the reported error must be chunk 1's,
+  // independent of which worker hits which chunk first.
+  ParallelSampleOptions options;
+  options.num_threads = 4;
+  options.chunk_draws = 8;
+  auto chunk_fn = [](int chunk_index, Rng&, std::span<double> out) -> Status {
+    if (chunk_index == 1 || chunk_index == 3) {
+      return Status::Internal("chunk " + std::to_string(chunk_index) +
+                              " failed");
+    }
+    std::fill(out.begin(), out.end(), 1.0);
+    return Status::Ok();
+  };
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    const auto result = ParallelChunkedSample(64, options, chunk_fn);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "chunk 1 failed");
+  }
+}
+
+TEST_F(ParallelSamplingTest, FailingChunkYieldsNoPartialResult) {
+  // The sampler errors after a few draws of chunk 2; the call must surface
+  // that error and hand back no samples at all.
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 2});
+  ParallelSampleOptions options;
+  options.chunk_draws = 8;
+  options.pool = &pool;
+  std::atomic<int> draws{0};
+  auto chunk_fn = [&](int chunk_index, Rng& rng,
+                      std::span<double> out) -> Status {
+    for (double& slot : out) {
+      if (chunk_index == 2 && draws.fetch_add(1) >= 3) {
+        return Status::NotFound("source went away");
+      }
+      slot = rng.Uniform01();
+    }
+    return Status::Ok();
+  };
+  const auto result = ParallelChunkedSample(64, options, chunk_fn);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(ParallelSamplingTest, UnevenSplitCoversAllSlots) {
@@ -104,6 +183,9 @@ TEST_F(ParallelSamplingTest, Validation) {
   ParallelSampleOptions options;
   EXPECT_FALSE(ParallelUniSSample(*sampler_, 0, options).ok());
   options.num_threads = -1;
+  EXPECT_FALSE(ParallelUniSSample(*sampler_, 10, options).ok());
+  options.num_threads = 1;
+  options.chunk_draws = 0;
   EXPECT_FALSE(ParallelUniSSample(*sampler_, 10, options).ok());
 }
 

@@ -8,6 +8,7 @@
 
 #include "stats/descriptive.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace vastats {
 namespace {
@@ -97,6 +98,96 @@ TEST(BootstrapReplicatesTest, MatchesReplicatesFromSets) {
   for (size_t i = 0; i < direct->size(); ++i) {
     EXPECT_DOUBLE_EQ((*direct)[i], (*via_sets)[i]);
   }
+}
+
+TEST(BootstrapIndexSetsTest, MatchesBootstrapSetsUnderSameSeed) {
+  // The index stream is the value stream: gathering the index sets must
+  // reproduce BootstrapSets bit for bit.
+  const std::vector<double> data = testing::NormalSample(50, 13);
+  BootstrapOptions options;
+  options.num_sets = 20;
+  Rng rng_a(99), rng_b(99);
+  const auto index_sets =
+      BootstrapIndexSets(static_cast<int>(data.size()), options, rng_a);
+  const auto sets = BootstrapSets(data, options, rng_b);
+  ASSERT_TRUE(index_sets.ok());
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(index_sets->size(), sets->size());
+  for (size_t s = 0; s < sets->size(); ++s) {
+    const std::vector<int>& indices = (*index_sets)[s];
+    ASSERT_EQ(indices.size(), (*sets)[s].size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(data[static_cast<size_t>(indices[i])], (*sets)[s][i]);
+    }
+  }
+}
+
+TEST(BootstrapIndexSetsTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(BootstrapIndexSets(0, BootstrapOptions{}, rng).ok());
+  BootstrapOptions bad;
+  bad.num_sets = 0;
+  EXPECT_FALSE(BootstrapIndexSets(10, bad, rng).ok());
+}
+
+TEST(ReplicatesFromIndexSetsTest, MatchesReplicatesFromSets) {
+  const std::vector<double> data = testing::NormalSample(80, 17);
+  BootstrapOptions options;
+  options.num_sets = 30;
+  Rng rng_a(5), rng_b(5);
+  const auto index_sets =
+      BootstrapIndexSets(static_cast<int>(data.size()), options, rng_a);
+  const auto sets = BootstrapSets(data, options, rng_b);
+  ASSERT_TRUE(index_sets.ok());
+  ASSERT_TRUE(sets.ok());
+  const auto via_indices = ReplicatesFromIndexSets(
+      data, *index_sets, MomentStatisticFn(MomentStatistic::kSkewness));
+  const auto via_sets = ReplicatesFromSets(
+      *sets, MomentStatisticFn(MomentStatistic::kSkewness));
+  ASSERT_TRUE(via_indices.ok());
+  ASSERT_TRUE(via_sets.ok());
+  EXPECT_EQ(via_indices.value(), via_sets.value());
+}
+
+TEST(ReplicatesFromIndexSetsTest, RejectsOutOfRangeIndices) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const std::vector<std::vector<int>> bad = {{0, 1, 3}};
+  EXPECT_EQ(ReplicatesFromIndexSets(data, bad,
+                                    MomentStatisticFn(MomentStatistic::kMean))
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  const std::vector<std::vector<int>> negative = {{0, -1}};
+  EXPECT_FALSE(ReplicatesFromIndexSets(
+                   data, negative, MomentStatisticFn(MomentStatistic::kMean))
+                   .ok());
+}
+
+TEST(BootstrapPoolTest, PooledReplicatesAreBitIdenticalToSerial) {
+  const std::vector<double> data = testing::NormalSample(120, 23);
+  BootstrapOptions options;
+  options.num_sets = 40;
+  Rng rng_serial(31), rng_pooled(31);
+  const auto serial = BootstrapReplicates(
+      data, MomentStatisticFn(MomentStatistic::kVariance), options,
+      rng_serial);
+  ThreadPool pool(ThreadPoolOptions{.num_threads = 4});
+  const auto pooled = BootstrapReplicates(
+      data, MomentStatisticFn(MomentStatistic::kVariance), options,
+      rng_pooled, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(serial.value(), pooled.value());
+
+  const auto sets = BootstrapSets(data, options, rng_serial);
+  ASSERT_TRUE(sets.ok());
+  const auto from_sets_serial =
+      ReplicatesFromSets(*sets, MomentStatisticFn(MomentStatistic::kMean));
+  const auto from_sets_pooled = ReplicatesFromSets(
+      *sets, MomentStatisticFn(MomentStatistic::kMean), &pool);
+  ASSERT_TRUE(from_sets_serial.ok());
+  ASSERT_TRUE(from_sets_pooled.ok());
+  EXPECT_EQ(from_sets_serial.value(), from_sets_pooled.value());
 }
 
 TEST(ReplicatesFromSetsTest, RejectsEmptyInput) {

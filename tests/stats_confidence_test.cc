@@ -146,6 +146,29 @@ TEST(BcaTest, ShiftsIntervalOnSkewedStatistic) {
   EXPECT_GT(bca->hi, pct->hi);
 }
 
+TEST(BcaTest, DegenerateAccelerationFallsBackToBiasCorrectedPercentile) {
+  // Regression test for the BCa pole: with heavy skew, 1 - a*(z0 + z) can
+  // go negative, which used to flip the adjusted quantile to the wrong tail
+  // (alpha1 ~ 1 -> the "lower" endpoint landed at the replicate maximum).
+  // Replicates 1..10000 with a point estimate below all of them clamp the
+  // below-fraction to 0.5/b, so z0 ~ -3.89; at level 0.9999, z_lo ~ -3.89;
+  // the jackknife ensemble below gives a ~ -0.14, making the lower-endpoint
+  // denominator 1 - a*(z0 + z_lo) ~ -0.09 < 0.
+  std::vector<double> replicates(10000);
+  for (size_t i = 0; i < replicates.size(); ++i) {
+    replicates[i] = static_cast<double>(i + 1);
+  }
+  std::vector<double> jackknife(10, 0.0);
+  jackknife.back() = 10.0;
+  const auto ci = BcaCi(replicates, 0.0, 0.9999, jackknife);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LE(ci->lo, ci->hi);
+  // Pre-fix both endpoints collapsed onto the extreme upper tail
+  // (hi = 10000). The bias-corrected percentile fallback keeps the interval
+  // in the far lower tail where z0 points.
+  EXPECT_LT(ci->hi, 100.0);
+}
+
 TEST(BcaTest, CoverageNearNominalOnSkewedStatistic) {
   // Empirical coverage of the BCa interval for the variance of exponential
   // data should be near 90% — and clearly better than catastrophic.
