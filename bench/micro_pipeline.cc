@@ -210,6 +210,93 @@ bool AppendPoolComparison(JsonWriter& out) {
   return true;
 }
 
+// Appends the KDE fast-path comparison: the same 400-draw sample fitted
+// repeatedly through the binned DCT default and the direct-summation
+// oracle (per-fit wall time for each), plus a per-set vs shared bandwidth
+// bagged run, with the Botev evaluation and plan-cache counters that
+// explain the timings.
+bool AppendKdeSection(JsonWriter& out) {
+  constexpr int kDraws = 400;
+  constexpr int kFits = 50;
+  Rng rng(17);
+  const auto sample = D2Sampler().Sample(kDraws, rng);
+  if (!sample.ok()) return false;
+
+  MetricsRegistry metrics;
+  ObsOptions obs;
+  obs.metrics = &metrics;
+  DctPlan plan;
+  KdeOptions binned_options;  // production default: binned DCT, Botev
+  KdeOptions direct_options = binned_options;
+  direct_options.binned = false;
+
+  // Warm the transform tables so the binned loop times steady-state fits.
+  if (!EstimateKde(sample.value(), binned_options, obs, &plan).ok()) {
+    return false;
+  }
+  bool ok = true;
+  const double binned_seconds = MeasureSeconds([&] {
+    for (int i = 0; i < kFits && ok; ++i) {
+      ok = EstimateKde(sample.value(), binned_options, obs, &plan).ok();
+    }
+  });
+  const uint64_t botev_iterations =
+      metrics.Snapshot().FindCounter("kde_botev_iterations_total")->value;
+  const double direct_seconds = MeasureSeconds([&] {
+    for (int i = 0; i < kFits && ok; ++i) {
+      ok = EstimateKde(sample.value(), direct_options, obs, &plan).ok();
+    }
+  });
+  if (!ok) return false;
+
+  // Selector amortization: per-set vs shared bandwidth over 50 bootstrap
+  // sets of the same sample.
+  BootstrapOptions bootstrap;
+  bootstrap.num_sets = kFits;
+  Rng boot_rng(18);
+  const auto sets = BootstrapSets(sample.value(), bootstrap, boot_rng);
+  if (!sets.ok()) return false;
+  BaggedKdeOptions per_set;
+  Result<BaggedKde> bagged = Status::Internal("unset");
+  const double per_set_seconds = MeasureSeconds([&] {
+    bagged = EstimateBaggedKde(sets.value(), sample.value(), per_set);
+  });
+  if (!bagged.ok()) return false;
+  BaggedKdeOptions shared;
+  shared.bandwidth_mode = BandwidthMode::kShared;
+  const double shared_seconds = MeasureSeconds([&] {
+    bagged = EstimateBaggedKde(sets.value(), sample.value(), shared);
+  });
+  if (!bagged.ok()) return false;
+
+  out.Key("kde");
+  out.BeginObject();
+  out.KeyValue("sample_size", static_cast<int64_t>(kDraws));
+  out.KeyValue("grid_size",
+               static_cast<int64_t>(binned_options.grid_size));
+  out.KeyValue("fits_per_path", static_cast<int64_t>(kFits));
+  out.Key("seconds_per_fit");
+  out.BeginObject();
+  out.KeyValue("binned", binned_seconds / kFits);
+  out.KeyValue("direct", direct_seconds / kFits);
+  out.EndObject();
+  out.KeyValue("direct_to_binned_ratio", direct_seconds / binned_seconds);
+  out.KeyValue("botev_iterations_per_fit",
+               static_cast<double>(botev_iterations) /
+                   static_cast<double>(kFits + 1));
+  out.KeyValue("plan_cache_hits", static_cast<int64_t>(plan.cache_hits()));
+  out.KeyValue("plan_cache_misses",
+               static_cast<int64_t>(plan.cache_misses()));
+  out.KeyValue("bagged_sets", static_cast<int64_t>(bootstrap.num_sets));
+  out.Key("bagged_seconds");
+  out.BeginObject();
+  out.KeyValue("per_set_bandwidth", per_set_seconds);
+  out.KeyValue("shared_bandwidth", shared_seconds);
+  out.EndObject();
+  out.EndObject();
+  return true;
+}
+
 // One fully instrumented extraction; the JSON breakdown comes from the
 // recorded spans (the same measurement PhaseTimings reports).
 int RunJsonBreakdown() {
@@ -247,6 +334,10 @@ int RunJsonBreakdown() {
   out.KeyValue("total_seconds", trace.TotalSecondsOf("extract"));
   if (!AppendPoolComparison(out)) {
     std::fprintf(stderr, "pool comparison failed\n");
+    return 1;
+  }
+  if (!AppendKdeSection(out)) {
+    std::fprintf(stderr, "kde comparison failed\n");
     return 1;
   }
   out.Key("counters");

@@ -181,9 +181,13 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
 
   // Phase 5: bagged density estimation (line 6).
   ScopedSpan kde_span(obs.trace, "kde");
+  BaggedKdeOptions bagged_options;
+  bagged_options.kde = options_.kde;
+  bagged_options.bandwidth_mode = options_.kde_bandwidth_mode;
   VASTATS_ASSIGN_OR_RETURN(
       const BaggedKde kde,
-      EstimateBaggedKde(sets, stats.samples, options_.kde, obs, options_.pool));
+      EstimateBaggedKde(sets, stats.samples, bagged_options, obs,
+                        options_.pool));
   stats.density = kde.density;
   stats.timings.kde_seconds = kde_span.Close();
 

@@ -37,6 +37,11 @@ struct ExtractorOptions {
   CiMethod ci_method = CiMethod::kBca;  // paper uses BCa
   BagAggregator bag_aggregator = BagAggregator::kMean;
   KdeOptions kde;                       // 4096-point grid, Botev bandwidth
+  // How the bagged density picks per-set bandwidths: kPerSet (paper
+  // fidelity, one selector run per bootstrap set) or kShared (one selector
+  // run on S_uniS reused across all sets — eliminates ~|S_boot| Botev runs
+  // per extraction). Bit-identical across pool widths either way.
+  BandwidthMode kde_bandwidth_mode = BandwidthMode::kPerSet;
   CioOptions cio;                       // theta = 0.9
   // Stability parameters: r sources removed, c_r estimator, probes used to
   // estimate the per-answer weight y.

@@ -155,6 +155,10 @@ Result<double> SimulateStability(const UniSSampler& sampler,
   kde.x_min = base_density.x_min();
   kde.x_max = base_density.x_max();
   kde.grid_size = base_density.size();
+  // The inherited grid size need not be a power of two (the base density
+  // may come from anywhere); the binned DCT path requires one, so route
+  // such grids through direct summation.
+  if (kde.binned && !IsPowerOfTwo(kde.grid_size)) kde.binned = false;
 
   double total = 0.0;
   int completed = 0;

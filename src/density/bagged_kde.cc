@@ -10,7 +10,7 @@ namespace vastats {
 
 Result<BaggedKde> EstimateBaggedKde(
     std::span<const std::vector<double>> sets,
-    std::span<const double> reference_samples, const KdeOptions& options,
+    std::span<const double> reference_samples, const BaggedKdeOptions& options,
     const ObsOptions& obs, ThreadPool* pool) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
   if (sets.empty()) {
@@ -19,6 +19,9 @@ Result<BaggedKde> EstimateBaggedKde(
   ScopedSpan span(obs.trace, "bagged_kde");
   span.Annotate("sets", static_cast<int64_t>(sets.size()));
   span.Annotate("pool", pool != nullptr);
+  span.Annotate("bandwidth_mode",
+                options.bandwidth_mode == BandwidthMode::kShared ? "shared"
+                                                                 : "per_set");
   obs.GetCounter("bagged_kde_sets_total")
       .Increment(static_cast<uint64_t>(sets.size()));
   for (const std::vector<double>& set : sets) {
@@ -29,8 +32,8 @@ Result<BaggedKde> EstimateBaggedKde(
   }
 
   // Common grid across all sets (unless the caller fixed one).
-  KdeOptions per_set = options;
-  if (!(options.x_min < options.x_max)) {
+  KdeOptions per_set = options.kde;
+  if (!(per_set.x_min < per_set.x_max)) {
     double lo = sets[0][0];
     double hi = sets[0][0];
     for (const std::vector<double>& set : sets) {
@@ -44,8 +47,28 @@ Result<BaggedKde> EstimateBaggedKde(
     }
     double span = hi - lo;
     if (!(span > 0.0)) span = std::max(std::fabs(lo), 1.0) * 1e-6;
-    per_set.x_min = lo - options.padding_fraction * span;
-    per_set.x_max = hi + options.padding_fraction * span;
+    per_set.x_min = lo - per_set.padding_fraction * span;
+    per_set.x_max = hi + per_set.padding_fraction * span;
+  }
+
+  const std::span<const double> reference =
+      reference_samples.empty() ? std::span<const double>(sets[0])
+                                : reference_samples;
+
+  // The serial fit loop and the reported-bandwidth selection share one
+  // transform plan; pooled workers each hold their own (thread-local, so
+  // pool threads reuse their tables across batches without locking).
+  DctPlan serial_plan;
+
+  // Under kShared the selector runs once, on the calling thread, before any
+  // fan-out — so pooled and serial runs see the identical h.
+  double shared_bandwidth = 0.0;
+  if (options.bandwidth_mode == BandwidthMode::kShared) {
+    VASTATS_ASSIGN_OR_RETURN(
+        shared_bandwidth,
+        SelectBandwidth(reference, options.kde, obs, &serial_plan));
+    per_set.bandwidth = shared_bandwidth;
+    obs.GetCounter("bagged_kde_shared_bandwidth_total").Increment();
   }
 
   // Fit every set (the fits are independent; pooled mode runs them as
@@ -58,21 +81,25 @@ Result<BaggedKde> EstimateBaggedKde(
     ObsOptions worker_obs;
     worker_obs.metrics = obs.metrics;
     auto task = [&](int s) -> Status {
+      thread_local DctPlan worker_plan;
       VASTATS_ASSIGN_OR_RETURN(
           fits[static_cast<size_t>(s)],
-          EstimateKde(sets[static_cast<size_t>(s)], per_set, worker_obs));
+          EstimateKde(sets[static_cast<size_t>(s)], per_set, worker_obs,
+                      &worker_plan));
       return Status::Ok();
     };
     VASTATS_RETURN_IF_ERROR(
         pool->ParallelFor(static_cast<int>(sets.size()), task, obs.metrics));
   } else {
     for (size_t s = 0; s < sets.size(); ++s) {
-      VASTATS_ASSIGN_OR_RETURN(fits[s], EstimateKde(sets[s], per_set, obs));
+      VASTATS_ASSIGN_OR_RETURN(fits[s],
+                               EstimateKde(sets[s], per_set, obs, &serial_plan));
     }
   }
 
   BaggedKde out{GridDensity::Create(per_set.x_min, per_set.x_max,
-                                    std::vector<double>(options.grid_size, 0.0))
+                                    std::vector<double>(
+                                        options.kde.grid_size, 0.0))
                     .value(),
                 0.0,
                 {}};
@@ -84,14 +111,26 @@ Result<BaggedKde> EstimateBaggedKde(
   }
   VASTATS_RETURN_IF_ERROR(out.density.Normalize());
 
-  // Report the bandwidth of the reference sample (or the first set).
-  const std::span<const double> reference =
-      reference_samples.empty() ? std::span<const double>(sets[0])
-                                : reference_samples;
-  VASTATS_ASSIGN_OR_RETURN(out.bandwidth,
-                           SelectBandwidth(reference, options, obs));
+  // Report the bandwidth of the reference sample (or the first set) — under
+  // kShared it is already selected, so no extra selector run is spent.
+  if (options.bandwidth_mode == BandwidthMode::kShared) {
+    out.bandwidth = shared_bandwidth;
+  } else {
+    VASTATS_ASSIGN_OR_RETURN(
+        out.bandwidth,
+        SelectBandwidth(reference, options.kde, obs, &serial_plan));
+  }
   span.Annotate("bandwidth", out.bandwidth);
   return out;
+}
+
+Result<BaggedKde> EstimateBaggedKde(
+    std::span<const std::vector<double>> sets,
+    std::span<const double> reference_samples, const KdeOptions& options,
+    const ObsOptions& obs, ThreadPool* pool) {
+  BaggedKdeOptions bagged;
+  bagged.kde = options;
+  return EstimateBaggedKde(sets, reference_samples, bagged, obs, pool);
 }
 
 }  // namespace vastats

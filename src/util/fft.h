@@ -10,24 +10,98 @@
 //   Dct2: y[k] = sum_n x[n] * cos(pi*(n+0.5)*k/N)     (unnormalized)
 //   Dct3: x[n] = 0.5*y[0] + sum_{k>=1} y[k]*cos(pi*k*(n+0.5)/N)
 // so Dct3(Dct2(x)) == (N/2) * x.
+//
+// Hot callers (the binned KDE path runs one Dct2 + one Dct3 per bagged fit,
+// the Botev selector one more Dct2) should hold a `DctPlan`: it caches the
+// FFT root/twiddle tables and scratch buffers per transform size, so
+// repeated transforms of one size pay the trig setup once. Plans are
+// caller-owned and deliberately unsynchronized — one plan per thread (each
+// pooled bagged-KDE worker holds its own), never shared across threads.
+// The plan-free `Dct2`/`Dct3` functions below are thin wrappers that build
+// a throwaway plan, and are bit-identical to the plan path by construction.
 
 #ifndef VASTATS_UTIL_FFT_H_
 #define VASTATS_UTIL_FFT_H_
 
 #include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
 
 namespace vastats {
 
+// Reusable workspace for DCT-II / DCT-III transforms. Tables are built
+// lazily per size on first use and kept for the lifetime of the plan
+// (`cache_hits/misses` expose the reuse rate for benchmarks). Transform
+// results are a pure function of the input — identical across plan
+// instances and identical to the plan-free `Dct2`/`Dct3` wrappers — so
+// per-thread plans cannot break bit-level reproducibility.
+//
+// Power-of-two sizes >= 4 run the O(N log N) FFT path from the cached
+// tables; other sizes fall back to the O(N^2) naive evaluation (no tables).
+class DctPlan {
+ public:
+  DctPlan() = default;
+
+  // The cached tables are not sharable state; moving is fine, copying a
+  // plan would silently duplicate the caches.
+  DctPlan(const DctPlan&) = delete;
+  DctPlan& operator=(const DctPlan&) = delete;
+  DctPlan(DctPlan&&) = default;
+  DctPlan& operator=(DctPlan&&) = default;
+
+  // DCT-II of `input` into `output` (resized; may alias nothing). Errors on
+  // empty input.
+  Status Dct2(std::span<const double> input, std::vector<double>& output);
+
+  // DCT-III of `input` into `output` (see the convention above).
+  Status Dct3(std::span<const double> input, std::vector<double>& output);
+
+  // Table-cache telemetry: a hit is a transform that found its size's
+  // tables already built.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  // Per-size root/twiddle tables plus the FFT scratch buffers. A size-n
+  // DCT runs over an n/2-point complex FFT (the real Makhoul sequence is
+  // packed two-to-a-complex and unpacked with the n-th roots), so the
+  // bit-reversal table and scratch cover n/2 points.
+  struct SizeTables {
+    size_t n = 0;
+    // Bit-reversal permutation of [0, n/2).
+    std::vector<size_t> bit_reversal;
+    // roots[k] = exp(-2*pi*i*k/n) for k in [0, n/2): every butterfly
+    // twiddle of every stage of the half-size FFT is a strided read of
+    // this one table, and the real-FFT unpack reads it directly.
+    std::vector<std::complex<double>> roots;
+    // twiddle[k] = exp(-i*pi*k/(2n)); Makhoul's DCT-II post-twiddle (its
+    // conjugate is the DCT-III pre-twiddle).
+    std::vector<std::complex<double>> twiddle;
+    std::vector<std::complex<double>> scratch;   // n/2 FFT points
+    std::vector<std::complex<double>> spectrum;  // n/2 + 1 unpacked bins
+  };
+
+  // Returns the tables for size `n`, building them on first request.
+  SizeTables& TablesFor(size_t n);
+  // In-place n/2-point FFT of `tables.scratch` using the cached tables.
+  static void PlanFft(SizeTables& tables, bool inverse);
+
+  std::vector<std::unique_ptr<SizeTables>> tables_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
 // In-place FFT of `data`; size must be a power of two (and non-empty).
 // When `inverse` is true, computes the unnormalized inverse transform
 // (divide by N afterwards to invert Fft).
 Status Fft(std::vector<std::complex<double>>& data, bool inverse);
 
-// DCT-II of `input`. Uses the O(N log N) FFT path for power-of-two sizes and
-// an O(N^2) direct evaluation otherwise.
+// DCT-II of `input`. Thin wrapper over a throwaway DctPlan: O(N log N) for
+// power-of-two sizes, O(N^2) direct evaluation otherwise.
 Result<std::vector<double>> Dct2(const std::vector<double>& input);
 
 // DCT-III of `input` (see the convention above).

@@ -106,8 +106,8 @@ TEST(ExtractorObsTest, PopulatesPipelineMetrics) {
   EXPECT_EQ(draws->value, 45u);
   EXPECT_EQ(snapshot.FindCounter("extractions_total")->value, 1u);
   EXPECT_EQ(snapshot.FindCounter("bagged_kde_sets_total")->value, 10u);
-  // One KDE per bootstrap set, all on the direct path by default.
-  EXPECT_EQ(snapshot.FindCounter("kde_direct_path_total")->value, 10u);
+  // One KDE per bootstrap set, all on the binned DCT path by default.
+  EXPECT_EQ(snapshot.FindCounter("kde_binned_path_total")->value, 10u);
   EXPECT_EQ(snapshot.FindCounter("cio_runs_total")->value, 1u);
   ASSERT_NE(snapshot.FindCounter("kde_botev_iterations_total"), nullptr);
   EXPECT_GT(snapshot.FindCounter("kde_botev_iterations_total")->value, 0u);

@@ -98,6 +98,64 @@ TEST(BaggedKdeTest, EmptyReferenceFallsBackToFirstSet) {
   EXPECT_GT(bagged->bandwidth, 0.0);
 }
 
+// ---- Determinism matrix: bandwidth_mode x pool width. Every cell must
+// reproduce the serial result bit for bit — densities and per-set
+// bandwidths — regardless of how many workers raced over the sets.
+class BaggedKdeDeterminismMatrix
+    : public ::testing::TestWithParam<BandwidthMode> {};
+
+TEST_P(BaggedKdeDeterminismMatrix, BitIdenticalAcrossPoolWidths) {
+  const BandwidthMode mode = GetParam();
+  const std::vector<double> data = testing::NormalSample(400, 21, 3.0, 1.5);
+  const auto sets = MakeSets(data, 30, 22);
+  BaggedKdeOptions options;
+  options.bandwidth_mode = mode;
+  const auto serial = EstimateBaggedKde(sets, data, options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->set_bandwidths.size(), 30u);
+  if (mode == BandwidthMode::kShared) {
+    // One selector run: every set reuses the reference-sample h (the
+    // per-fit grid clamp cannot trigger on this well-spread sample).
+    for (const double h : serial->set_bandwidths) {
+      EXPECT_EQ(h, serial->set_bandwidths[0]);
+    }
+  }
+  for (const int width : {1, 4, 16}) {
+    ThreadPool pool(ThreadPoolOptions{.num_threads = width});
+    const auto pooled = EstimateBaggedKde(sets, data, options, {}, &pool);
+    ASSERT_TRUE(pooled.ok()) << "width " << width;
+    EXPECT_EQ(pooled->bandwidth, serial->bandwidth) << "width " << width;
+    EXPECT_EQ(pooled->set_bandwidths, serial->set_bandwidths)
+        << "width " << width;
+    ASSERT_EQ(pooled->density.values().size(),
+              serial->density.values().size());
+    for (size_t i = 0; i < serial->density.values().size(); ++i) {
+      ASSERT_EQ(pooled->density.values()[i], serial->density.values()[i])
+          << "width " << width << " grid point " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BandwidthModes, BaggedKdeDeterminismMatrix,
+    ::testing::Values(BandwidthMode::kPerSet, BandwidthMode::kShared),
+    [](const ::testing::TestParamInfo<BandwidthMode>& info) {
+      return info.param == BandwidthMode::kPerSet ? "per_set" : "shared";
+    });
+
+TEST(BaggedKdeTest, SharedModeMatchesPerSetGridAndMass) {
+  // kShared changes the per-set bandwidths, not the estimator contract:
+  // same grid, unit mass, and the reported h equals the per-set h.
+  const std::vector<double> data = testing::NormalSample(300, 23, 4.0, 1.0);
+  const auto sets = MakeSets(data, 15, 24);
+  BaggedKdeOptions shared;
+  shared.bandwidth_mode = BandwidthMode::kShared;
+  const auto bagged = EstimateBaggedKde(sets, data, shared);
+  ASSERT_TRUE(bagged.ok());
+  EXPECT_NEAR(bagged->density.TotalMass(), 1.0, 1e-9);
+  EXPECT_EQ(bagged->set_bandwidths[0], bagged->bandwidth);
+}
+
 TEST(BaggedKdeTest, PooledFitsAreBitIdenticalToSerial) {
   const std::vector<double> data = testing::NormalSample(400, 11, 2.0, 1.0);
   const auto sets = MakeSets(data, 25, 12);

@@ -147,5 +147,100 @@ TEST(DctTest, ConstantSignalHasOnlyDcCoefficient) {
   }
 }
 
+// ---- DctPlan golden tests: the cached-table fast path against the free
+// wrappers (bit-identical by construction) and the O(N^2) references.
+
+TEST(DctPlanTest, BitIdenticalToFreeFunctions) {
+  DctPlan plan;
+  std::vector<double> plan_out;
+  for (const size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    const std::vector<double> input = RandomReal(n, 3 * n + 1);
+    ASSERT_TRUE(plan.Dct2(input, plan_out).ok());
+    const auto free_fn = Dct2(input);
+    ASSERT_TRUE(free_fn.ok());
+    // Bitwise equality, not closeness: the plan and the wrappers must run
+    // the identical arithmetic (per-thread plans may never perturb results).
+    EXPECT_EQ(plan_out, free_fn.value()) << "Dct2 n=" << n;
+    ASSERT_TRUE(plan.Dct3(input, plan_out).ok());
+    const auto free3 = Dct3(input);
+    ASSERT_TRUE(free3.ok());
+    EXPECT_EQ(plan_out, free3.value()) << "Dct3 n=" << n;
+  }
+}
+
+TEST(DctPlanTest, MatchesNaiveReferenceAcrossSizes) {
+  DctPlan plan;
+  std::vector<double> out;
+  for (const size_t n : {16u, 128u, 1024u, 4096u}) {
+    const std::vector<double> input = RandomReal(n, 5 * n + 7);
+    // Coefficients reach O(sqrt(n)); scale the tolerance with the naive
+    // sum's own rounding growth.
+    const double tol = 1e-12 * static_cast<double>(n);
+    ASSERT_TRUE(plan.Dct2(input, out).ok());
+    const std::vector<double> expected2 = NaiveDct2(input);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(out[i], expected2[i], tol) << "Dct2 n=" << n << " i=" << i;
+    }
+    ASSERT_TRUE(plan.Dct3(input, out).ok());
+    const std::vector<double> expected3 = NaiveDct3(input);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(out[i], expected3[i], tol) << "Dct3 n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(DctPlanTest, RoundTripAtPipelineGridSize) {
+  DctPlan plan;
+  const size_t n = 4096;
+  const std::vector<double> input = RandomReal(n, 11);
+  std::vector<double> forward, back;
+  ASSERT_TRUE(plan.Dct2(input, forward).ok());
+  ASSERT_TRUE(plan.Dct3(forward, back).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(back[i], input[i] * static_cast<double>(n) / 2.0, 1e-9);
+  }
+}
+
+TEST(DctPlanTest, CachesTablesPerSize) {
+  DctPlan plan;
+  std::vector<double> out;
+  const std::vector<double> small = RandomReal(256, 1);
+  const std::vector<double> large = RandomReal(4096, 2);
+  ASSERT_TRUE(plan.Dct2(small, out).ok());
+  EXPECT_EQ(plan.cache_misses(), 1u);
+  EXPECT_EQ(plan.cache_hits(), 0u);
+  // Same size again (either transform direction) hits.
+  ASSERT_TRUE(plan.Dct3(small, out).ok());
+  ASSERT_TRUE(plan.Dct2(small, out).ok());
+  EXPECT_EQ(plan.cache_misses(), 1u);
+  EXPECT_EQ(plan.cache_hits(), 2u);
+  // A new size builds its own tables without evicting the old ones.
+  ASSERT_TRUE(plan.Dct2(large, out).ok());
+  EXPECT_EQ(plan.cache_misses(), 2u);
+  ASSERT_TRUE(plan.Dct2(small, out).ok());
+  ASSERT_TRUE(plan.Dct2(large, out).ok());
+  EXPECT_EQ(plan.cache_misses(), 2u);
+  EXPECT_EQ(plan.cache_hits(), 4u);
+}
+
+TEST(DctPlanTest, NaiveFallbackSizesBypassTheCache) {
+  DctPlan plan;
+  std::vector<double> out;
+  // Non-power-of-two and tiny sizes use the O(N^2) reference directly.
+  const std::vector<double> odd = RandomReal(12, 3);
+  ASSERT_TRUE(plan.Dct2(odd, out).ok());
+  const std::vector<double> expected = NaiveDct2(odd);
+  for (size_t i = 0; i < odd.size(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-9);
+  }
+  const std::vector<double> tiny = RandomReal(2, 4);
+  ASSERT_TRUE(plan.Dct3(tiny, out).ok());
+  EXPECT_EQ(plan.cache_misses(), 0u);
+  EXPECT_EQ(plan.cache_hits(), 0u);
+  std::vector<double> empty_out;
+  EXPECT_FALSE(plan.Dct2({}, empty_out).ok());
+  EXPECT_FALSE(plan.Dct3({}, empty_out).ok());
+}
+
 }  // namespace
 }  // namespace vastats
