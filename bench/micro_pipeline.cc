@@ -5,6 +5,11 @@
 // With --json, instead of running the google-benchmark suite, one
 // telemetry-enabled extraction is profiled and its span-derived phase
 // breakdown (plus the metrics counters) is emitted as a JSON document.
+//
+// With --chaos, a fault-injected extraction is profiled instead: the seam
+// overhead against the untouched default path, bit-identity of the chaos
+// run across dispatch widths, and the degradation/access telemetry of the
+// reference run are emitted as JSON (committed as BENCH_chaos.json).
 
 #include <benchmark/benchmark.h>
 
@@ -351,6 +356,208 @@ int RunJsonBreakdown() {
   return 0;
 }
 
+// --- chaos mode -----------------------------------------------------------
+
+// A redundant synthetic universe for the fault-injection run: with >= 3
+// copies per component a 20% scheduled outage still leaves every component
+// reachable, so Extract degrades instead of failing.
+Result<SourceSet> BuildChaosSources() {
+  SyntheticSourceSetOptions options;
+  options.num_sources = 60;
+  options.num_components = 120;
+  options.min_copies = 3;
+  options.max_copies = 5;
+  options.seed = 51;
+  const auto d2 = MakeD2(52);
+  return BuildSyntheticSourceSet(*d2, options);
+}
+
+FaultModelOptions ChaosFaultOptions() {
+  FaultModelOptions fault;
+  fault.transient_failure_prob = 0.15;
+  fault.failure_spread_sigma = 0.5;
+  fault.corrupt_value_prob = 0.02;
+  fault.latency_jitter_sigma = 0.3;
+  fault.outage_fraction = 0.2;
+  fault.outage_epoch = 64;
+  fault.seed = 31337;
+  return fault;
+}
+
+bool SameChaosResult(const AnswerStatistics& a, const AnswerStatistics& b) {
+  if (a.samples != b.samples || a.mean.value != b.mean.value) return false;
+  const DegradationReport& x = a.degradation;
+  const DegradationReport& y = b.degradation;
+  return x.draws_requested == y.draws_requested &&
+         x.draws_kept == y.draws_kept && x.draws_dropped == y.draws_dropped &&
+         x.min_coverage == y.min_coverage &&
+         x.mean_coverage == y.mean_coverage &&
+         x.access.visits == y.access.visits &&
+         x.access.attempts == y.access.attempts &&
+         x.access.retries == y.access.retries &&
+         x.access.transient_failures == y.access.transient_failures &&
+         x.access.failed_visits == y.access.failed_visits &&
+         x.access.breaker_open_skips == y.access.breaker_open_skips &&
+         x.access.corrupt_values_rejected == y.access.corrupt_values_rejected &&
+         x.access.virtual_ms == y.access.virtual_ms &&
+         x.access.breaker_severity == y.access.breaker_severity;
+}
+
+// One fault-injected extraction profiled three ways: overhead of the seam
+// against the untouched default path, bit-identity of the chaos run across
+// dispatch widths, and the DegradationReport/AccessStats telemetry of the
+// reference run.
+int RunChaosJson() {
+  constexpr int kDraws = 400;
+  const auto set = BuildChaosSources();
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  const AggregateQuery query =
+      MakeRangeQuery("chaos", AggregateKind::kAverage, 0, 120);
+  const auto model = FaultModel::Create(60, ChaosFaultOptions());
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  MetricsRegistry metrics;
+  const auto extract = [&](const FaultModel* fault_model, bool use_seam,
+                           int sampling_threads, ThreadPool* pool,
+                           MetricsRegistry* sink) -> Result<AnswerStatistics> {
+    ExtractorOptions options;
+    options.initial_sample_size = kDraws;
+    options.weight_probes = 10;
+    options.sampling_threads = sampling_threads;
+    options.pool = pool;
+    options.obs.metrics = sink;
+    if (use_seam) {
+      FaultToleranceOptions fault;
+      fault.model = fault_model;
+      fault.min_draw_coverage = 0.3;
+      options.fault_tolerance = fault;
+    }
+    VASTATS_ASSIGN_OR_RETURN(
+        const AnswerStatisticsExtractor extractor,
+        AnswerStatisticsExtractor::Create(&*set, query, options));
+    return extractor.Extract();
+  };
+
+  // Overhead: the default path (no fault_tolerance at all), the seam with a
+  // null model (plumbing only), and the full chaos model.
+  Result<AnswerStatistics> baseline = Status::Internal("unset");
+  const double baseline_seconds = MeasureSeconds(
+      [&] { baseline = extract(nullptr, false, 1, nullptr, nullptr); });
+  Result<AnswerStatistics> null_seam = Status::Internal("unset");
+  const double null_seam_seconds = MeasureSeconds(
+      [&] { null_seam = extract(nullptr, true, 1, nullptr, nullptr); });
+  Result<AnswerStatistics> chaos = Status::Internal("unset");
+  const double chaos_seconds = MeasureSeconds(
+      [&] { chaos = extract(&*model, true, 1, nullptr, &metrics); });
+  if (!baseline.ok() || !null_seam.ok() || !chaos.ok()) {
+    std::fprintf(stderr, "chaos extraction failed\n");
+    return 1;
+  }
+  if (baseline->degradation.degraded || !chaos->degradation.degraded) {
+    std::fprintf(stderr, "unexpected degradation flags\n");
+    return 1;
+  }
+  // The null-model seam must never degrade: every visit succeeds instantly.
+  if (null_seam->degradation.degraded ||
+      null_seam->degradation.draws_dropped != 0 ||
+      null_seam->degradation.min_coverage != 1.0) {
+    std::fprintf(stderr, "null-model seam reported degradation\n");
+    return 1;
+  }
+
+  // Determinism: the same chaos run through wider dispatch modes must
+  // reproduce the reference bit for bit (samples, report, and counters).
+  double threads_seconds = 0.0;
+  for (const int threads : {4, 16}) {
+    Result<AnswerStatistics> got = Status::Internal("unset");
+    threads_seconds = MeasureSeconds(
+        [&] { got = extract(&*model, true, threads, nullptr, nullptr); });
+    if (!got.ok() || !SameChaosResult(*chaos, *got)) {
+      std::fprintf(stderr, "chaos run diverged at %d threads\n", threads);
+      return 1;
+    }
+  }
+  ThreadPool* pool = DefaultThreadPool();
+  Result<AnswerStatistics> pooled = Status::Internal("unset");
+  const double pool_seconds = MeasureSeconds(
+      [&] { pooled = extract(&*model, true, 1, pool, nullptr); });
+  if (!pooled.ok() || !SameChaosResult(*chaos, *pooled)) {
+    std::fprintf(stderr, "chaos run diverged on the persistent pool\n");
+    return 1;
+  }
+
+  const DegradationReport& report = chaos->degradation;
+  JsonWriter out;
+  out.BeginObject();
+  out.KeyValue("benchmark", "micro_pipeline_chaos");
+  out.Key("workload");
+  out.BeginObject();
+  out.KeyValue("sources", static_cast<int64_t>(set->NumSources()));
+  out.KeyValue("components", static_cast<int64_t>(120));
+  out.KeyValue("draws", static_cast<int64_t>(kDraws));
+  out.KeyValue("transient_failure_prob", 0.15);
+  out.KeyValue("outage_fraction", 0.2);
+  out.EndObject();
+  out.Key("seconds");
+  out.BeginObject();
+  out.KeyValue("baseline_no_seam", baseline_seconds);
+  out.KeyValue("seam_null_model", null_seam_seconds);
+  out.KeyValue("chaos_serial", chaos_seconds);
+  out.KeyValue("chaos_threads_16", threads_seconds);
+  out.KeyValue("chaos_pool", pool_seconds);
+  out.EndObject();
+  out.KeyValue("seam_overhead_ratio", null_seam_seconds / baseline_seconds);
+  out.KeyValue("bit_identical_across_widths", true);
+  out.Key("degradation");
+  out.BeginObject();
+  out.KeyValue("degraded", report.degraded);
+  out.KeyValue("draws_requested", static_cast<int64_t>(report.draws_requested));
+  out.KeyValue("draws_kept", static_cast<int64_t>(report.draws_kept));
+  out.KeyValue("draws_dropped", static_cast<int64_t>(report.draws_dropped));
+  out.KeyValue("min_coverage", report.min_coverage);
+  out.KeyValue("mean_coverage", report.mean_coverage);
+  out.EndObject();
+  out.Key("access");
+  out.BeginObject();
+  out.KeyValue("visits", static_cast<int64_t>(report.access.visits));
+  out.KeyValue("attempts", static_cast<int64_t>(report.access.attempts));
+  out.KeyValue("retries", static_cast<int64_t>(report.access.retries));
+  out.KeyValue("transient_failures",
+               static_cast<int64_t>(report.access.transient_failures));
+  out.KeyValue("failed_visits",
+               static_cast<int64_t>(report.access.failed_visits));
+  out.KeyValue("breaker_open_skips",
+               static_cast<int64_t>(report.access.breaker_open_skips));
+  out.KeyValue("corrupt_values_rejected",
+               static_cast<int64_t>(report.access.corrupt_values_rejected));
+  out.KeyValue("breaker_transitions",
+               static_cast<int64_t>(report.access.breaker_transitions));
+  out.KeyValue("deadline_truncated_draws",
+               static_cast<int64_t>(report.access.deadline_truncated_draws));
+  out.KeyValue("virtual_ms", report.access.virtual_ms);
+  out.KeyValue("backoff_ms", report.access.backoff_ms);
+  out.KeyValue("sources_open", static_cast<int64_t>(report.access.SourcesOpen()));
+  out.KeyValue("sources_half_open",
+               static_cast<int64_t>(report.access.SourcesHalfOpen()));
+  out.EndObject();
+  out.KeyValue("mean", chaos->mean.value);
+  out.Key("counters");
+  out.BeginObject();
+  for (const CounterSample& counter : metrics.Snapshot().counters) {
+    out.KeyValue(counter.name, static_cast<int64_t>(counter.value));
+  }
+  out.EndObject();
+  out.EndObject();
+  std::printf("%s\n", std::move(out).Finish().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace vastats::bench
 
@@ -358,6 +565,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       return vastats::bench::RunJsonBreakdown();
+    }
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      return vastats::bench::RunChaosJson();
     }
   }
   benchmark::Initialize(&argc, argv);

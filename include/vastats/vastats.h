@@ -36,10 +36,12 @@
 #include "integration/component.h"
 #include "integration/data_source.h"
 #include "integration/cost_model.h"
+#include "integration/fault_model.h"
 #include "integration/hierarchy.h"
 #include "integration/io.h"
 #include "integration/mediated_schema.h"
 #include "integration/record_mapper.h"
+#include "integration/source_accessor.h"
 #include "integration/source_set.h"
 #include "integration/stratification.h"
 #include "obs/export.h"

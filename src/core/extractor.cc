@@ -9,6 +9,15 @@
 
 namespace vastats {
 
+Status FaultToleranceOptions::Validate() const {
+  VASTATS_RETURN_IF_ERROR(retry.Validate());
+  VASTATS_RETURN_IF_ERROR(breaker.Validate());
+  if (!(min_draw_coverage >= 0.0 && min_draw_coverage <= 1.0)) {
+    return Status::InvalidArgument("min_draw_coverage must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
 Status ExtractorOptions::Validate() const {
   if (initial_sample_size < 8) {
     return Status::InvalidArgument(
@@ -28,6 +37,9 @@ Status ExtractorOptions::Validate() const {
   }
   if (adaptive.has_value()) {
     VASTATS_RETURN_IF_ERROR(adaptive->Validate());
+  }
+  if (fault_tolerance.has_value()) {
+    VASTATS_RETURN_IF_ERROR(fault_tolerance->Validate());
   }
   if (sampling_threads < 0) {
     return Status::InvalidArgument("sampling_threads must be >= 0");
@@ -97,7 +109,11 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
   // Phase 1: uniS sampling (Algorithm 1 line 2).
   ScopedSpan sampling_span(obs.trace, "sampling");
   std::vector<double> samples;
-  if (options_.adaptive.has_value()) {
+  DegradationReport degradation;
+  if (options_.fault_tolerance.has_value()) {
+    VASTATS_ASSIGN_OR_RETURN(degradation,
+                             SampleDegradedPhase(rng, &samples));
+  } else if (options_.adaptive.has_value()) {
     VASTATS_ASSIGN_OR_RETURN(
         AdaptiveSamplingResult adaptive,
         AdaptiveUniSSampling(sampler_, *options_.adaptive, rng, obs));
@@ -124,12 +140,89 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
   VASTATS_ASSIGN_OR_RETURN(AnswerStatistics stats,
                            ExtractFromSamples(std::move(samples), rng));
   stats.timings.sampling_seconds = sampling_seconds;
+  stats.degradation = std::move(degradation);
 
   const double total_seconds = extract_span.Close();
   if (!ReconcilePhaseTimings(stats.timings, total_seconds)) {
     obs.GetCounter("phase_timing_clamps_total").Increment();
   }
   return stats;
+}
+
+Result<DegradationReport> AnswerStatisticsExtractor::SampleDegradedPhase(
+    Rng& rng, std::vector<double>* samples) const {
+  const FaultToleranceOptions& fault = *options_.fault_tolerance;
+  const ObsOptions& obs = options_.obs;
+  VASTATS_ASSIGN_OR_RETURN(
+      const SourceAccessor accessor,
+      SourceAccessor::Create(sampler_.sources().NumSources(), fault.model,
+                             fault.retry, fault.breaker));
+
+  DegradationReport report;
+  std::vector<double> coverages;
+  if (options_.adaptive.has_value()) {
+    // The adaptive growth loop is inherently sequential: one session spans
+    // the whole phase, and epochs advance per draw.
+    AccessSession session = accessor.StartSession(obs.metrics);
+    VASTATS_ASSIGN_OR_RETURN(
+        AdaptiveSamplingResult adaptive,
+        AdaptiveUniSSamplingDegraded(sampler_, *options_.adaptive, session,
+                                     fault.min_draw_coverage, rng, obs));
+    *samples = std::move(adaptive.samples);
+    coverages = std::move(adaptive.coverages);
+    report.draws_requested = adaptive.draws_requested;
+    report.draws_dropped = adaptive.dropped_draws;
+    report.access = session.Finish();
+  } else {
+    // Chaos runs route through the chunk-indexed driver at EVERY width —
+    // including a resolved width of one — so the drawn samples, the fault
+    // schedule, and the breaker transitions are bit-identical across
+    // serial, thread-per-call, and pooled execution.
+    ParallelSampleOptions parallel;
+    parallel.num_threads = options_.sampling_threads;
+    parallel.seed = options_.seed ^ 0xfeedfaceULL;
+    parallel.pool = options_.pool;
+    parallel.obs = obs;
+    VASTATS_ASSIGN_OR_RETURN(
+        FaultAwareSampleResult result,
+        ParallelUniSSampleWithFaults(sampler_, options_.initial_sample_size,
+                                     accessor, fault.min_draw_coverage,
+                                     parallel));
+    *samples = std::move(result.values);
+    coverages = std::move(result.coverages);
+    report.draws_requested = options_.initial_sample_size;
+    report.draws_dropped = result.dropped_draws;
+    report.access = std::move(result.access);
+  }
+
+  report.draws_kept = static_cast<int>(samples->size());
+  if (!coverages.empty()) {
+    double min_cov = 1.0;
+    double sum = 0.0;
+    for (const double c : coverages) {
+      min_cov = std::min(min_cov, c);
+      sum += c;
+    }
+    report.min_coverage = min_cov;
+    report.mean_coverage = sum / static_cast<double>(coverages.size());
+  }
+  report.degraded = report.draws_dropped > 0 || report.min_coverage < 1.0 ||
+                    report.access.failed_visits > 0 ||
+                    report.access.transient_failures > 0 ||
+                    report.access.breaker_open_skips > 0 ||
+                    report.access.deadline_truncated_draws > 0;
+  if (obs.metrics != nullptr && report.degraded) {
+    obs.GetCounter("extract_degraded_total").Increment();
+  }
+  if (samples->size() < 8) {
+    // The one way a degraded extraction still fails: not even a minimal
+    // answer sample survived (e.g. some component lost every live source).
+    return Status::FailedPrecondition(
+        "degraded sampling kept only " + std::to_string(samples->size()) +
+        " of " + std::to_string(report.draws_requested) +
+        " draws (>= 8 needed); sources too degraded to extract");
+  }
+  return report;
 }
 
 Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
@@ -148,7 +241,8 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
       .stability = {},
       .samples = std::move(samples),
       .answer_weight_y = 0.0,
-      .timings = {}};
+      .timings = {},
+      .degradation = {}};
   const ObsOptions& obs = options_.obs;
   ScopedSpan pipeline_span(obs.trace, "extract_from_samples");
   pipeline_span.Annotate("samples", static_cast<int64_t>(stats.samples.size()));

@@ -29,6 +29,24 @@
 
 namespace vastats {
 
+// Fault-tolerant sampling configuration (see integration/source_accessor.h).
+// Attached to ExtractorOptions.fault_tolerance; when absent the sampling
+// phase never touches the access seam and pays nothing for it existing.
+struct FaultToleranceOptions {
+  // Borrowed fault model driving the injected chaos; may be null, in which
+  // case the seam still applies (visits always succeed instantly, breakers
+  // never trip) — useful for exercising the degraded plumbing alone.
+  const FaultModel* model = nullptr;
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+  // Draws whose component coverage falls below this floor are dropped
+  // instead of entering S_uniS; draws at or above it are kept as partial
+  // viable answers (the paper's require_full_coverage = false path).
+  double min_draw_coverage = 0.5;
+
+  Status Validate() const;
+};
+
 struct ExtractorOptions {
   // |S_uniS| (Table 2 default 400); ignored when `adaptive` is set.
   int initial_sample_size = 400;
@@ -50,6 +68,15 @@ struct ExtractorOptions {
   int weight_probes = 20;
   // Optional adaptive sample growth (§4.2) replacing the fixed initial size.
   std::optional<AdaptiveSamplingOptions> adaptive;
+  // Optional fault-tolerant sampling: when set, phase 1 routes every source
+  // visit through the SourceAccessor seam (retry/backoff, per-source
+  // circuit breakers, corruption rejection) and the pipeline degrades to
+  // partial draws instead of failing when sources misbehave. The resulting
+  // AnswerStatistics carries a DegradationReport. Chaos runs use the
+  // chunk-indexed driver at every execution width, so with a fixed seed the
+  // extraction is bit-identical across serial, thread-per-call, and pooled
+  // sampling of any width.
+  std::optional<FaultToleranceOptions> fault_tolerance;
   // uniS worker threads for the sampling phase: 1 = in-line (default),
   // 0 = hardware concurrency, k = k threads. Ignored under `adaptive`
   // (whose growth loop is inherently sequential). The parallel sampler's
@@ -111,6 +138,24 @@ int ResolveSamplingThreads(int sampling_threads, unsigned hardware_concurrency);
 bool ReconcilePhaseTimings(PhaseTimings& timings, double total_elapsed_seconds,
                            double tolerance_fraction = 0.05);
 
+// How degraded an extraction ran. Populated only on the fault-tolerant
+// path; a default-constructed report (degraded == false, coverage == 1)
+// means the extraction never touched the access seam.
+struct DegradationReport {
+  // True when anything fell short of the fault-free ideal: dropped draws,
+  // partial coverage, failed visits, breaker activity, or truncation.
+  bool degraded = false;
+  int draws_requested = 0;
+  int draws_kept = 0;
+  int draws_dropped = 0;
+  // Coverage over the KEPT draws (min and mean); 1.0 when all were full.
+  double min_coverage = 1.0;
+  double mean_coverage = 1.0;
+  // Merged access telemetry: retries, failures, breaker transitions and
+  // per-source worst breaker severity (feeds the monitor's prioritization).
+  AccessStats access;
+};
+
 // Everything Algorithm 1 returns (its grey-shaded outputs in Figure 3).
 struct AnswerStatistics {
   PointEstimate mean;
@@ -126,6 +171,7 @@ struct AnswerStatistics {
   std::vector<double> samples;  // S_uniS
   double answer_weight_y = 0.0;
   PhaseTimings timings;
+  DegradationReport degradation;
 };
 
 class AnswerStatisticsExtractor {
@@ -153,6 +199,11 @@ class AnswerStatisticsExtractor {
   Result<PointEstimate> EstimatePoint(
       MomentStatistic statistic, std::span<const double> samples,
       std::span<const std::vector<double>> sets) const;
+
+  // Phase 1 under options_.fault_tolerance: draws S_uniS through the access
+  // seam (adaptive loop or chunk-indexed driver) and fills the report.
+  Result<DegradationReport> SampleDegradedPhase(
+      Rng& rng, std::vector<double>* samples) const;
 
   UniSSampler sampler_;
   ExtractorOptions options_;

@@ -4,6 +4,30 @@
 #include <utility>
 
 namespace vastats {
+namespace {
+
+// Quarantine span after the k-th consecutive failure: 0, 1, 2, 4, ...
+// ticks. A single failure may be transient, so it costs nothing; repeat
+// failures back off exponentially, capped so a long-broken query is still
+// re-probed regularly.
+constexpr int kMaxQuarantineShift = 6;  // cap: 64 ticks
+
+int64_t QuarantineTicks(int consecutive_failures) {
+  if (consecutive_failures <= 1) return 0;
+  const int shift = std::min(consecutive_failures - 2, kMaxQuarantineShift);
+  return int64_t{1} << shift;
+}
+
+// Refresh urgency of an entry, most urgent first: 0 = the last extraction
+// ended with breakers still open (statistics computed against dark
+// sources), 1 = it degraded in any other way, 2 = clean.
+int DegradationRank(const AnswerStatistics& statistics) {
+  if (statistics.degradation.access.SourcesOpen() > 0) return 0;
+  if (statistics.degradation.degraded) return 1;
+  return 2;
+}
+
+}  // namespace
 
 ContinuousQueryMonitor::ContinuousQueryMonitor(const SourceSet* sources,
                                                ExtractorOptions base_options)
@@ -55,8 +79,12 @@ std::vector<QueryId> ContinuousQueryMonitor::RefreshOrder() const {
     order[i] = static_cast<QueryId>(i);
   }
   std::sort(order.begin(), order.end(), [this](QueryId a, QueryId b) {
-    return entries_[static_cast<size_t>(a)].statistics.stability.stab_l2 <
-           entries_[static_cast<size_t>(b)].statistics.stability.stab_l2;
+    const AnswerStatistics& sa = entries_[static_cast<size_t>(a)].statistics;
+    const AnswerStatistics& sb = entries_[static_cast<size_t>(b)].statistics;
+    const int rank_a = DegradationRank(sa);
+    const int rank_b = DegradationRank(sb);
+    if (rank_a != rank_b) return rank_a < rank_b;
+    return sa.stability.stab_l2 < sb.stability.stab_l2;
   });
   return order;
 }
@@ -74,18 +102,31 @@ Status ContinuousQueryMonitor::Refresh(QueryId id) {
   // observed.
   auto extractor =
       AnswerStatisticsExtractor::Create(sources_, entry.query, options);
-  if (!extractor.ok()) {
-    obs.GetCounter("monitor_refresh_failures_total").Increment();
-    return extractor.status();
-  }
-  auto stats = extractor->Extract();
+  auto stats = extractor.ok() ? extractor->Extract() : extractor.status();
   if (!stats.ok()) {
     obs.GetCounter("monitor_refresh_failures_total").Increment();
+    // Exponential quarantine backoff: 1, 2, 4, ... ticks (capped), so a
+    // persistently failing query sits out RefreshLeastStable rounds.
+    ++entry.consecutive_failures;
+    entry.quarantined_until_tick =
+        tick_ + QuarantineTicks(entry.consecutive_failures);
+    obs.GetGauge("monitor_quarantined_queries")
+        .Set(static_cast<double>(std::count_if(
+            entries_.begin(), entries_.end(), [this](const Entry& e) {
+              return e.quarantined_until_tick > tick_;
+            })));
     return stats.status();
   }
   entry.statistics = std::move(stats).value();
   ++entry.refreshes;
+  // Decay, not reset: one lucky refresh of a flaky query halves the streak
+  // so its next failure re-quarantines with history intact.
+  entry.consecutive_failures /= 2;
+  entry.quarantined_until_tick = 0;
   obs.GetCounter("monitor_refreshes_total").Increment();
+  if (obs.metrics != nullptr && entry.statistics.degradation.degraded) {
+    obs.GetCounter("monitor_degraded_refreshes_total").Increment();
+  }
   return Status::Ok();
 }
 
@@ -132,9 +173,15 @@ Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
   const ObsOptions& obs = base_options_.obs;
   ScopedSpan span(obs.trace, "monitor_refresh_least_stable");
   span.Annotate("budget", static_cast<int64_t>(budget));
+  ++tick_;
+  int quarantine_skips = 0;
   std::vector<QueryId> refreshed;
   for (const QueryId id : RefreshOrder()) {
     if (static_cast<int>(refreshed.size()) >= budget) break;
+    if (entries_[static_cast<size_t>(id)].quarantined_until_tick >= tick_) {
+      ++quarantine_skips;
+      continue;
+    }
     const Status status = Refresh(id);
     if (status.ok()) {
       refreshed.push_back(id);
@@ -142,13 +189,28 @@ Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
       failed->push_back(id);
     }
   }
+  if (obs.metrics != nullptr && quarantine_skips > 0) {
+    obs.GetCounter("monitor_quarantine_skips_total")
+        .Increment(static_cast<uint64_t>(quarantine_skips));
+  }
   span.Annotate("refreshed", static_cast<int64_t>(refreshed.size()));
+  span.Annotate("quarantine_skips", static_cast<int64_t>(quarantine_skips));
   return refreshed;
 }
 
 Result<int> ContinuousQueryMonitor::RefreshCount(QueryId id) const {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
   return entries_[static_cast<size_t>(id)].refreshes;
+}
+
+Result<int> ContinuousQueryMonitor::ConsecutiveFailures(QueryId id) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  return entries_[static_cast<size_t>(id)].consecutive_failures;
+}
+
+Result<bool> ContinuousQueryMonitor::Quarantined(QueryId id) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  return entries_[static_cast<size_t>(id)].quarantined_until_tick > tick_;
 }
 
 }  // namespace vastats

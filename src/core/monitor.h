@@ -43,7 +43,11 @@ class ContinuousQueryMonitor {
   // Latest stability score of a registered query.
   Result<double> Stability(QueryId id) const;
 
-  // Query ids ordered least stable first — the refresh priority.
+  // Query ids in refresh priority order. Within the queue, queries whose
+  // last extraction saw open circuit breakers come first (their statistics
+  // were computed against partially dark sources and are the most suspect),
+  // then queries that degraded at all, then everything else — each group
+  // ordered least stable first (the paper's §4.4 priority).
   std::vector<QueryId> RefreshOrder() const;
 
   // Re-extracts one query (e.g. after source churn). Queries whose coverage
@@ -59,18 +63,33 @@ class ContinuousQueryMonitor {
 
   // Refreshes the `budget` least stable queries; returns the ids refreshed
   // (queries that fail to refresh are skipped and not counted against the
-  // budget result, but are reported in `failed` when non-null).
+  // budget result, but are reported in `failed` when non-null). Each call
+  // advances the quarantine clock by one tick: queries that failed their
+  // recent refreshes are quarantined for exponentially growing tick spans
+  // (capped) and skipped here without consuming budget, so one persistently
+  // broken query cannot starve the healthy ones. A successful refresh
+  // decays the failure streak (halves it) rather than erasing it.
   Result<std::vector<QueryId>> RefreshLeastStable(
       int budget, std::vector<QueryId>* failed = nullptr);
 
   // How often each query has been (re-)extracted.
   Result<int> RefreshCount(QueryId id) const;
 
+  // Consecutive-failure streak driving the quarantine backoff.
+  Result<int> ConsecutiveFailures(QueryId id) const;
+
+  // True while the query sits out RefreshLeastStable rounds.
+  Result<bool> Quarantined(QueryId id) const;
+
  private:
   struct Entry {
     AggregateQuery query;
     AnswerStatistics statistics;
     int refreshes = 0;
+    // Consecutive Refresh() failures (decays on success).
+    int consecutive_failures = 0;
+    // RefreshLeastStable tick until which the query is quarantined.
+    int64_t quarantined_until_tick = 0;
   };
 
   Status CheckId(QueryId id) const;
@@ -78,6 +97,8 @@ class ContinuousQueryMonitor {
   const SourceSet* sources_;
   ExtractorOptions base_options_;
   std::vector<Entry> entries_;
+  // Advances once per RefreshLeastStable call — the quarantine clock.
+  int64_t tick_ = 0;
 };
 
 }  // namespace vastats

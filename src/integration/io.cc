@@ -1,6 +1,7 @@
 #include "integration/io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -18,6 +19,12 @@ Result<double> ParseDouble(const std::string& text) {
   if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
     return Status::InvalidArgument("not a number: '" + text + "'");
   }
+  // A NaN or Inf binding would silently poison every partial aggregate it
+  // enters; reject it at the boundary instead.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("non-finite value: '" + text +
+                                   "' (NaN/Inf bindings are rejected)");
+  }
   return value;
 }
 
@@ -29,6 +36,13 @@ Result<ComponentId> ParseComponentId(const std::string& text) {
     return Status::InvalidArgument("not a component id: '" + text + "'");
   }
   return static_cast<ComponentId>(value);
+}
+
+// Prefixes a parse failure with the 1-based CSV row and the column name, so
+// a bad cell in a large file is locatable from the error alone.
+Status RowContext(size_t row, const char* column, const Status& status) {
+  return Status(status.code(), "row " + std::to_string(row) + ", column '" +
+                                   column + "': " + status.message());
 }
 
 }  // namespace
@@ -61,9 +75,21 @@ Result<SourceSet> SourceSetFromCsv(const std::string& csv_text) {
   for (size_t r = 1; r < rows.size(); ++r) {
     const CsvRow& row = rows[r];
     if (row.size() != 3) {
-      return Status::InvalidArgument("row " + std::to_string(r) +
-                                     " does not have 3 fields");
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " + std::to_string(row.size()) +
+          " fields, expected 3 (source,component,value)");
     }
+    if (row[0].empty()) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     ", column 'source': empty source name");
+    }
+    const auto component = ParseComponentId(row[1]);
+    if (!component.ok()) {
+      return RowContext(r, "component", component.status());
+    }
+    const auto value = ParseDouble(row[2]);
+    if (!value.ok()) return RowContext(r, "value", value.status());
+
     int index;
     const auto it = source_index.find(row[0]);
     if (it == source_index.end()) {
@@ -72,15 +98,12 @@ Result<SourceSet> SourceSetFromCsv(const std::string& csv_text) {
     } else {
       index = it->second;
     }
-    VASTATS_ASSIGN_OR_RETURN(const ComponentId component,
-                             ParseComponentId(row[1]));
-    VASTATS_ASSIGN_OR_RETURN(const double value, ParseDouble(row[2]));
-    if (sources.source(index).Has(component)) {
+    if (sources.source(index).Has(*component)) {
       return Status::InvalidArgument(
-          "duplicate binding for source '" + row[0] + "', component " +
-          row[1]);
+          "row " + std::to_string(r) + ": duplicate binding for source '" +
+          row[0] + "', component " + row[1]);
     }
-    sources.mutable_source(index).Bind(component, value);
+    sources.mutable_source(index).Bind(*component, *value);
   }
   return sources;
 }

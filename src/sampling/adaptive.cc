@@ -6,6 +6,50 @@
 #include "stats/jackknife.h"
 
 namespace vastats {
+namespace {
+
+// One bootstrap-and-check round shared by the plain and degraded loops:
+// bootstraps the mean CI and resolves the (possibly relative) length target.
+struct RoundCheck {
+  ConfidenceInterval ci;
+  double target = 0.0;
+  bool floored = false;
+};
+
+Result<RoundCheck> CheckRound(const std::vector<double>& samples,
+                              const AdaptiveSamplingOptions& options,
+                              Rng& rng) {
+  RoundCheck round;
+  const Moments moments = ComputeMoments(samples);
+  const double mean = moments.mean();
+  VASTATS_ASSIGN_OR_RETURN(
+      const std::vector<double> replicates,
+      BootstrapReplicates(samples, MomentStatisticFn(MomentStatistic::kMean),
+                          options.bootstrap, rng));
+  std::vector<double> jackknife;
+  if (options.ci_method == CiMethod::kBca) {
+    VASTATS_ASSIGN_OR_RETURN(jackknife,
+                             JackknifeMoment(samples, MomentStatistic::kMean));
+  }
+  VASTATS_ASSIGN_OR_RETURN(
+      round.ci, ComputeBootstrapCi(options.ci_method, replicates, mean,
+                                   options.confidence_level, jackknife));
+  round.target = options.target_ci_length;
+  if (options.target_relative_length > 0.0) {
+    // Floor |mean| by the sample std-dev: on zero-centered data |mean|
+    // alone drives the relative target to ~0 and the loop can never
+    // satisfy it (it just burns draws until max_size).
+    const double sd = moments.SampleStdDev();
+    const double scale = std::max(std::fabs(mean), sd);
+    if (std::fabs(mean) < sd) round.floored = true;
+    const double relative = options.target_relative_length * scale;
+    round.target =
+        (round.target > 0.0) ? std::min(round.target, relative) : relative;
+  }
+  return round;
+}
+
+}  // namespace
 
 Status AdaptiveSamplingOptions::Validate() const {
   if (initial_size < 4) {
@@ -36,37 +80,13 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
                            sampler.Sample(options.initial_size, rng, obs));
   for (;;) {
     obs.GetCounter("adaptive_rounds_total").Increment();
-    const Moments moments = ComputeMoments(result.samples);
-    const double mean = moments.mean();
-    VASTATS_ASSIGN_OR_RETURN(
-        const std::vector<double> replicates,
-        BootstrapReplicates(result.samples,
-                            MomentStatisticFn(MomentStatistic::kMean),
-                            options.bootstrap, rng));
-    std::vector<double> jackknife;
-    if (options.ci_method == CiMethod::kBca) {
-      VASTATS_ASSIGN_OR_RETURN(
-          jackknife, JackknifeMoment(result.samples, MomentStatistic::kMean));
-    }
-    VASTATS_ASSIGN_OR_RETURN(
-        const ConfidenceInterval ci,
-        ComputeBootstrapCi(options.ci_method, replicates, mean,
-                           options.confidence_level, jackknife));
+    VASTATS_ASSIGN_OR_RETURN(const RoundCheck round,
+                             CheckRound(result.samples, options, rng));
     result.trace.push_back(
-        AdaptiveStep{static_cast<int>(result.samples.size()), ci});
+        AdaptiveStep{static_cast<int>(result.samples.size()), round.ci});
+    if (round.floored) result.relative_target_floored = true;
 
-    double target = options.target_ci_length;
-    if (options.target_relative_length > 0.0) {
-      // Floor |mean| by the sample std-dev: on zero-centered data |mean|
-      // alone drives the relative target to ~0 and the loop can never
-      // satisfy it (it just burns draws until max_size).
-      const double sd = moments.SampleStdDev();
-      const double scale = std::max(std::fabs(mean), sd);
-      if (std::fabs(mean) < sd) result.relative_target_floored = true;
-      const double relative = options.target_relative_length * scale;
-      target = (target > 0.0) ? std::min(target, relative) : relative;
-    }
-    if (ci.Length() <= target) {
+    if (round.ci.Length() <= round.target) {
       result.satisfied = true;
       break;
     }
@@ -81,6 +101,75 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
   }
   span.Annotate("rounds", static_cast<int64_t>(result.trace.size()));
   span.Annotate("final_size", static_cast<int64_t>(result.samples.size()));
+  span.Annotate("satisfied", result.satisfied);
+  span.Annotate("relative_target_floored", result.relative_target_floored);
+  return result;
+}
+
+Result<AdaptiveSamplingResult> AdaptiveUniSSamplingDegraded(
+    const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
+    AccessSession& session, double min_draw_coverage, Rng& rng,
+    const ObsOptions& obs) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  if (!(min_draw_coverage >= 0.0 && min_draw_coverage <= 1.0)) {
+    return Status::InvalidArgument("min_draw_coverage must be in [0, 1]");
+  }
+
+  ScopedSpan span(obs.trace, "adaptive_sampling_degraded");
+  AdaptiveSamplingResult result;
+
+  const auto draw_batch = [&](int count) -> Status {
+    const auto batch = sampler.SampleDegraded(count, rng, session, obs);
+    if (!batch.ok()) return batch.status();
+    result.draws_requested += count;
+    for (const UniSSample& s : *batch) {
+      if (s.coverage < min_draw_coverage) {
+        ++result.dropped_draws;
+        continue;
+      }
+      result.samples.push_back(s.value);
+      result.coverages.push_back(s.coverage);
+    }
+    // Zero-coverage and budget-abandoned draws never made it into the batch.
+    result.dropped_draws += count - static_cast<int>(batch->size());
+    return Status::Ok();
+  };
+
+  VASTATS_RETURN_IF_ERROR(draw_batch(options.initial_size));
+  for (;;) {
+    const int budget_left = options.max_size - result.draws_requested;
+    if (static_cast<int>(result.samples.size()) < 4) {
+      // Not enough usable draws to bootstrap yet: keep growing, or give up
+      // when the budget cannot produce a checkable sample at all.
+      if (budget_left <= 0 || session.SessionBudgetExhausted()) {
+        return Status::FailedPrecondition(
+            "degraded adaptive sampling could not obtain 4 usable draws "
+            "within the budget (sources too degraded)");
+      }
+      VASTATS_RETURN_IF_ERROR(
+          draw_batch(std::min(options.increment, budget_left)));
+      continue;
+    }
+
+    obs.GetCounter("adaptive_rounds_total").Increment();
+    VASTATS_ASSIGN_OR_RETURN(const RoundCheck round,
+                             CheckRound(result.samples, options, rng));
+    result.trace.push_back(
+        AdaptiveStep{static_cast<int>(result.samples.size()), round.ci});
+    if (round.floored) result.relative_target_floored = true;
+
+    if (round.ci.Length() <= round.target) {
+      result.satisfied = true;
+      break;
+    }
+    if (budget_left <= 0 || session.SessionBudgetExhausted()) break;
+    VASTATS_RETURN_IF_ERROR(
+        draw_batch(std::min(options.increment, budget_left)));
+  }
+  span.Annotate("rounds", static_cast<int64_t>(result.trace.size()));
+  span.Annotate("final_size", static_cast<int64_t>(result.samples.size()));
+  span.Annotate("requested", static_cast<int64_t>(result.draws_requested));
+  span.Annotate("dropped", static_cast<int64_t>(result.dropped_draws));
   span.Annotate("satisfied", result.satisfied);
   span.Annotate("relative_target_floored", result.relative_target_floored);
   return result;

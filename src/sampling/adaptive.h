@@ -53,6 +53,13 @@ struct AdaptiveSamplingResult {
   // zero-centered data). Also surfaced as the `relative_target_floored`
   // span annotation.
   bool relative_target_floored = false;
+  // Degraded-mode accounting (empty/zero on the fault-free path).
+  // coverages[i] is the coverage of samples[i]; draws_requested counts
+  // source-touching draw attempts (the quantity max_size budgets), and
+  // dropped_draws the requested draws that produced no usable answer.
+  std::vector<double> coverages;
+  int draws_requested = 0;
+  int dropped_draws = 0;
 };
 
 // Runs the grow-bootstrap-check loop against `sampler`. `obs` (optional)
@@ -61,6 +68,18 @@ struct AdaptiveSamplingResult {
 Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
     const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
     Rng& rng, const ObsOptions& obs = {});
+
+// The grow-bootstrap-check loop with every source visit routed through the
+// fault-tolerant access seam. Draws whose coverage falls below
+// `min_draw_coverage` (or that covered nothing) are dropped rather than
+// failing the round, so the loop keeps growing on whatever the surviving
+// sources can supply; `options.max_size` budgets *requested* draws, since
+// dropped draws still touched sources. Fails only when the budget cannot
+// even produce the >= 4 usable draws bootstrapping needs.
+Result<AdaptiveSamplingResult> AdaptiveUniSSamplingDegraded(
+    const UniSSampler& sampler, const AdaptiveSamplingOptions& options,
+    AccessSession& session, double min_draw_coverage, Rng& rng,
+    const ObsOptions& obs = {});
 
 }  // namespace vastats
 

@@ -115,4 +115,119 @@ Result<std::vector<double>> ParallelUniSSample(
   return ParallelChunkedSample(n, options, chunk_fn);
 }
 
+Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
+    const UniSSampler& sampler, int n, const SourceAccessor& accessor,
+    double min_coverage, const ParallelSampleOptions& options) {
+  if (n <= 0) {
+    return Status::InvalidArgument(
+        "ParallelUniSSampleWithFaults requires n > 0");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (options.chunk_draws <= 0) {
+    return Status::InvalidArgument("chunk_draws must be > 0");
+  }
+  if (!(min_coverage >= 0.0 && min_coverage <= 1.0)) {
+    return Status::InvalidArgument("min_coverage must be in [0, 1]");
+  }
+  if (accessor.num_sources() < sampler.sources().NumSources()) {
+    return Status::InvalidArgument(
+        "SourceAccessor covers fewer sources than the sampler visits");
+  }
+  const int chunk = options.chunk_draws;
+  const int num_chunks = (n + chunk - 1) / chunk;
+  const bool pooled = options.pool != nullptr;
+  int workers;
+  if (pooled) {
+    workers = std::min(options.pool->num_threads() + 1, num_chunks);
+  } else {
+    workers = options.num_threads == 0
+                  ? static_cast<int>(
+                        std::max(1u, std::thread::hardware_concurrency()))
+                  : options.num_threads;
+    workers = std::min(workers, num_chunks);
+  }
+
+  const ObsOptions& obs = options.obs;
+  ScopedSpan span(obs.trace, "parallel_sample_degraded");
+  span.Annotate("draws", static_cast<int64_t>(n));
+  span.Annotate("chunks", static_cast<int64_t>(num_chunks));
+  span.Annotate("threads", static_cast<int64_t>(workers));
+  span.Annotate("pool", pooled);
+
+  // Dense slot arrays filled by the chunks, compacted in slot order after
+  // the join — so "which slot was kept" is part of the deterministic state.
+  std::vector<double> slot_values(static_cast<size_t>(n), 0.0);
+  std::vector<double> slot_coverages(static_cast<size_t>(n), 0.0);
+  std::vector<char> slot_kept(static_cast<size_t>(n), 0);
+  std::vector<AccessStats> chunk_stats(static_cast<size_t>(num_chunks));
+
+  auto task = [&](int chunk_index) -> Status {
+    Rng rng(options.seed +
+            kStreamStride * (static_cast<uint64_t>(chunk_index) + 1));
+    AccessSession session = accessor.StartSession(obs.metrics);
+    const int begin = chunk_index * chunk;
+    const int count = std::min(chunk, n - begin);
+    Status status;
+    uint64_t draws = 0;
+    uint64_t kept = 0;
+    for (int i = 0; i < count; ++i) {
+      if (session.SessionBudgetExhausted()) break;
+      const int slot = begin + i;
+      // Fault epochs are GLOBAL slot indices: the fault schedule a draw
+      // sees depends on which draw it is, never on scheduling.
+      session.BeginDraw(slot);
+      const auto sample = sampler.SampleOneDegraded(rng, session);
+      if (!sample.ok()) {
+        status = sample.status();
+        break;
+      }
+      ++draws;
+      if (!sample->value_valid || sample->coverage < min_coverage) continue;
+      slot_values[static_cast<size_t>(slot)] = sample->value;
+      slot_coverages[static_cast<size_t>(slot)] = sample->coverage;
+      slot_kept[static_cast<size_t>(slot)] = 1;
+      ++kept;
+    }
+    chunk_stats[static_cast<size_t>(chunk_index)] = session.Finish();
+    if (obs.metrics != nullptr) {
+      obs.GetCounter("unis_draws_total").Increment(draws);
+      obs.GetCounter("unis_degraded_draws_kept_total").Increment(kept);
+      obs.GetCounter("unis_degraded_draws_dropped_total")
+          .Increment(draws - kept);
+    }
+    return status;
+  };
+
+  const Status status =
+      pooled ? options.pool->ParallelFor(num_chunks, task, obs.metrics)
+             : ThreadPerCallParallelFor(num_chunks, workers, task);
+  if (obs.metrics != nullptr) {
+    obs.GetCounter("parallel_sampler_runs_total").Increment();
+    obs.GetGauge("parallel_sampler_threads").Set(static_cast<double>(workers));
+    if (!status.ok()) {
+      obs.GetCounter("parallel_sampler_failures_total").Increment();
+    }
+  }
+  VASTATS_RETURN_IF_ERROR(status);
+
+  FaultAwareSampleResult result;
+  result.values.reserve(static_cast<size_t>(n));
+  result.coverages.reserve(static_cast<size_t>(n));
+  for (int slot = 0; slot < n; ++slot) {
+    if (!slot_kept[static_cast<size_t>(slot)]) {
+      ++result.dropped_draws;
+      continue;
+    }
+    result.values.push_back(slot_values[static_cast<size_t>(slot)]);
+    result.coverages.push_back(slot_coverages[static_cast<size_t>(slot)]);
+  }
+  // Merge in chunk order so the combined stats are schedule-independent.
+  for (const AccessStats& stats : chunk_stats) result.access.Merge(stats);
+  span.Annotate("kept", static_cast<int64_t>(result.values.size()));
+  span.Annotate("dropped", static_cast<int64_t>(result.dropped_draws));
+  return result;
+}
+
 }  // namespace vastats

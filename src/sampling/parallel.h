@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "integration/source_accessor.h"
 #include "obs/obs.h"
 #include "sampling/unis.h"
 #include "util/random.h"
@@ -73,6 +74,31 @@ Result<std::vector<double>> ParallelChunkedSample(
 // const and carries no mutable state).
 Result<std::vector<double>> ParallelUniSSample(
     const UniSSampler& sampler, int n, const ParallelSampleOptions& options);
+
+// Result of a fault-injected (or merely fault-tolerant) sampling run.
+// `values[i]` and `coverages[i]` describe the i-th KEPT draw, compacted in
+// global slot order, so the array is itself deterministic.
+struct FaultAwareSampleResult {
+  std::vector<double> values;
+  std::vector<double> coverages;  // per kept draw, in (0, 1]
+  // Requested draws that produced nothing usable: zero coverage, coverage
+  // below the floor, or abandonment after the session budget ran out.
+  int dropped_draws = 0;
+  // Access telemetry merged across all chunk sessions, in chunk order.
+  AccessStats access;
+};
+
+// Draws `n` answers through the fault-tolerant access seam using the same
+// chunk-indexed determinism contract as ParallelUniSSample: chunk RNG
+// streams are keyed by chunk index, fault epochs are global slot indices,
+// and every chunk owns a private AccessSession (breaker state and virtual
+// clock confined to one stream). Output — kept values, coverages, dropped
+// count, and merged AccessStats — is bit-identical across serial (pool ==
+// nullptr, num_threads == 1), thread-per-call, and pool execution of any
+// width. Draws with coverage < `min_coverage` are dropped, not errors.
+Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
+    const UniSSampler& sampler, int n, const SourceAccessor& accessor,
+    double min_coverage, const ParallelSampleOptions& options);
 
 }  // namespace vastats
 

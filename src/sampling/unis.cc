@@ -121,6 +121,93 @@ Result<UniSSample> UniSSampler::SampleOne(
   return sample;
 }
 
+Result<UniSSample> UniSSampler::SampleOneDegraded(
+    Rng& rng, AccessSession& session, std::span<const char> excluded) const {
+  const int num_sources = sources_->NumSources();
+  const int m = NumComponents();
+
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    if (!excluded.empty() && excluded[static_cast<size_t>(s)]) continue;
+    order.push_back(s);
+  }
+  rng.Shuffle(order);
+
+  std::vector<char> covered(static_cast<size_t>(m), 0);
+  int num_covered = 0;
+  const std::unique_ptr<PartialAggregator> partial =
+      NewAggregator(query_.kind, query_.quantile_q);
+
+  UniSSample sample;
+  sample.visits.reserve(order.size());
+  for (const int s : order) {
+    if (session.DrawDeadlineExhausted()) {
+      sample.truncated_by_deadline = true;
+      session.RecordDeadlineTruncation();
+      break;
+    }
+    const AccessSession::VisitOutcome outcome =
+        session.Visit(s, static_cast<int>(per_source_[static_cast<size_t>(s)]
+                                              .size()));
+    if (outcome.skipped_breaker_open) {
+      ++sample.sources_skipped_open;
+      continue;
+    }
+    ++sample.sources_visited;
+    if (!outcome.ok) {
+      ++sample.sources_failed;
+      sample.visits.push_back(UniSVisit{s, 0});
+      continue;
+    }
+    int taken = 0;
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (covered[static_cast<size_t>(pos)]) continue;
+      if (session.ValueCorrupted(s, pos)) continue;
+      covered[static_cast<size_t>(pos)] = 1;
+      ++num_covered;
+      partial->Add(value);
+      ++taken;
+    }
+    sample.visits.push_back(UniSVisit{s, taken});
+    if (taken > 0) ++sample.sources_contributing;
+    if (num_covered == m) break;
+  }
+
+  sample.coverage = static_cast<double>(num_covered) / static_cast<double>(m);
+  if (num_covered == 0) {
+    // Nothing bound: no answer to finalize. Degraded, not an error — the
+    // caller drops the draw and keeps sampling.
+    sample.value_valid = false;
+    return sample;
+  }
+  VASTATS_ASSIGN_OR_RETURN(sample.value, partial->Finalize());
+  return sample;
+}
+
+Result<std::vector<UniSSample>> UniSSampler::SampleDegraded(
+    int n, Rng& rng, AccessSession& session, const ObsOptions& obs) const {
+  if (n <= 0) return Status::InvalidArgument("SampleDegraded requires n > 0");
+  ScopedSpan span(obs.trace, "unis_sample_degraded");
+  BatchCounters batch;
+  uint64_t draws = 0;
+  std::vector<UniSSample> samples;
+  samples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (session.SessionBudgetExhausted()) break;
+    session.BeginNextDraw();
+    VASTATS_ASSIGN_OR_RETURN(UniSSample s, SampleOneDegraded(rng, session));
+    ++draws;
+    if (obs.metrics != nullptr) batch.Record(s);
+    if (!s.value_valid) continue;
+    samples.push_back(std::move(s));
+  }
+  batch.Flush(obs, draws);
+  span.Annotate("draws", static_cast<int64_t>(draws));
+  span.Annotate("kept", static_cast<int64_t>(samples.size()));
+  return samples;
+}
+
 Result<std::vector<double>> UniSSampler::Sample(int n, Rng& rng,
                                                 const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");

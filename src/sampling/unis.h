@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "integration/source_accessor.h"
 #include "integration/source_set.h"
 #include "obs/obs.h"
 #include "query/aggregate_query.h"
@@ -49,6 +50,13 @@ struct UniSSample {
   // Number of sources that contributed at least one component — the
   // per-answer weight y of the stability analysis (Theorem 4.2).
   int sources_contributing = 0;
+  // False when a degraded draw covered nothing at all (value is then
+  // meaningless and must be discarded by the caller).
+  bool value_valid = true;
+  // Degraded-mode accounting (zero on the fault-free paths).
+  int sources_failed = 0;        // visits that exhausted their retries
+  int sources_skipped_open = 0;  // sources skipped on an open breaker
+  bool truncated_by_deadline = false;
   // The visits in order (drives the cost model in integration/cost_model.h).
   std::vector<UniSVisit> visits;
 };
@@ -66,6 +74,24 @@ class UniSSampler {
   // be visited (used by the stability simulations); it may be empty.
   Result<UniSSample> SampleOne(Rng& rng,
                                std::span<const char> excluded = {}) const;
+
+  // Draws one answer through the fault-tolerant access seam: every source
+  // visit goes through `session` (retry/backoff, circuit breakers, corrupt
+  // value rejection, deadline budgets). Partial coverage never fails —
+  // the draw finalizes over what it covered and reports the coverage; only
+  // a draw that covered *nothing* comes back with value_valid == false.
+  // The caller must have called session.BeginDraw()/BeginNextDraw() first.
+  Result<UniSSample> SampleOneDegraded(
+      Rng& rng, AccessSession& session,
+      std::span<const char> excluded = {}) const;
+
+  // Draws `n` answers through the access seam, auto-advancing the session
+  // epoch per draw. Draws that covered nothing are dropped; draws cut short
+  // by the session budget are abandoned. Serial counterpart of
+  // ParallelUniSSampleWithFaults.
+  Result<std::vector<UniSSample>> SampleDegraded(
+      int n, Rng& rng, AccessSession& session,
+      const ObsOptions& obs = {}) const;
 
   // Draws `n` viable answer values. `obs` (optional) records a
   // `unis_sample` span plus draw/visit/take-over counters and the

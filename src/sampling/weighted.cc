@@ -141,6 +141,88 @@ Result<double> WeightedUniSSampler::SampleOne(Rng& rng) const {
   return partial->Finalize();
 }
 
+Result<UniSSample> WeightedUniSSampler::SampleOneDegraded(
+    Rng& rng, AccessSession& session) const {
+  const int num_sources = sources_->NumSources();
+  const int m = static_cast<int>(query_.components.size());
+
+  std::vector<std::pair<double, int>> keyed(
+      static_cast<size_t>(num_sources));
+  for (int s = 0; s < num_sources; ++s) {
+    keyed[static_cast<size_t>(s)] = {
+        rng.Exponential(weights_[static_cast<size_t>(s)]), s};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<char> covered(static_cast<size_t>(m), 0);
+  int num_covered = 0;
+  const std::unique_ptr<PartialAggregator> partial =
+      NewAggregator(query_.kind, query_.quantile_q);
+  UniSSample sample;
+  sample.visits.reserve(keyed.size());
+  for (const auto& [key, s] : keyed) {
+    if (session.DrawDeadlineExhausted()) {
+      sample.truncated_by_deadline = true;
+      session.RecordDeadlineTruncation();
+      break;
+    }
+    const AccessSession::VisitOutcome outcome =
+        session.Visit(s, static_cast<int>(per_source_[static_cast<size_t>(s)]
+                                              .size()));
+    if (outcome.skipped_breaker_open) {
+      ++sample.sources_skipped_open;
+      continue;
+    }
+    ++sample.sources_visited;
+    if (!outcome.ok) {
+      ++sample.sources_failed;
+      sample.visits.push_back(UniSVisit{s, 0});
+      continue;
+    }
+    int taken = 0;
+    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+      if (covered[static_cast<size_t>(pos)]) continue;
+      if (session.ValueCorrupted(s, pos)) continue;
+      covered[static_cast<size_t>(pos)] = 1;
+      ++num_covered;
+      partial->Add(value);
+      ++taken;
+    }
+    sample.visits.push_back(UniSVisit{s, taken});
+    if (taken > 0) ++sample.sources_contributing;
+    if (num_covered == m) break;
+  }
+
+  sample.coverage = static_cast<double>(num_covered) / static_cast<double>(m);
+  if (num_covered == 0) {
+    sample.value_valid = false;
+    return sample;
+  }
+  VASTATS_ASSIGN_OR_RETURN(sample.value, partial->Finalize());
+  return sample;
+}
+
+Result<std::vector<UniSSample>> WeightedUniSSampler::SampleDegraded(
+    int n, Rng& rng, AccessSession& session, const ObsOptions& obs) const {
+  if (n <= 0) return Status::InvalidArgument("SampleDegraded requires n > 0");
+  ScopedSpan span(obs.trace, "weighted_sample_degraded");
+  uint64_t draws = 0;
+  std::vector<UniSSample> samples;
+  samples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (session.SessionBudgetExhausted()) break;
+    session.BeginNextDraw();
+    VASTATS_ASSIGN_OR_RETURN(UniSSample s, SampleOneDegraded(rng, session));
+    ++draws;
+    if (!s.value_valid) continue;
+    samples.push_back(std::move(s));
+  }
+  obs.GetCounter("weighted_draws_total").Increment(draws);
+  span.Annotate("draws", static_cast<int64_t>(draws));
+  span.Annotate("kept", static_cast<int64_t>(samples.size()));
+  return samples;
+}
+
 Result<std::vector<double>> WeightedUniSSampler::Sample(
     int n, Rng& rng, const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");

@@ -19,9 +19,11 @@
 #include <span>
 #include <vector>
 
+#include "integration/source_accessor.h"
 #include "integration/source_set.h"
 #include "obs/obs.h"
 #include "query/aggregate_query.h"
+#include "sampling/unis.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -60,6 +62,22 @@ class WeightedUniSSampler {
   // span and the weighted draw counter.
   Result<std::vector<double>> Sample(int n, Rng& rng,
                                      const ObsOptions& obs = {}) const;
+
+  // Draws one answer through the fault-tolerant access seam: the weighted
+  // visiting order is drawn as usual, but every visit goes through
+  // `session` (retries, breakers, corruption rejection, deadlines).
+  // Partial coverage finalizes over what was covered; a draw that covered
+  // nothing returns with value_valid == false. The caller must have called
+  // session.BeginDraw()/BeginNextDraw() first.
+  Result<UniSSample> SampleOneDegraded(Rng& rng,
+                                       AccessSession& session) const;
+
+  // Draws `n` answers through the seam, auto-advancing the session epoch
+  // per draw; zero-coverage draws are dropped and budget exhaustion stops
+  // the batch early.
+  Result<std::vector<UniSSample>> SampleDegraded(
+      int n, Rng& rng, AccessSession& session,
+      const ObsOptions& obs = {}) const;
 
   const std::vector<double>& weights() const { return weights_; }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
+#include "integration/fault_model.h"
 #include "obs/metrics.h"
 #include "test_util.h"
 
@@ -197,6 +199,118 @@ TEST_F(MonitorTest, RefreshWithDriftFlagsStructuralChange) {
   EXPECT_GT(report->ratio, 3.0);
   // Broken ids still rejected.
   EXPECT_FALSE(monitor.RefreshWithDrift(99).ok());
+}
+
+TEST_F(MonitorTest, RepeatedFailuresQuarantineAndDecay) {
+  MetricsRegistry metrics;
+  ExtractorOptions options = base_options_;
+  options.obs.metrics = &metrics;
+  ContinuousQueryMonitor monitor(&sources_, options);
+  const QueryId broken =
+      monitor.Register(MakeRangeQuery("broken", AggregateKind::kSum, 0, 30))
+          .value();
+  const QueryId healthy =
+      monitor
+          .Register(MakeRangeQuery("healthy", AggregateKind::kSum, 30, 30))
+          .value();
+  // Break the first query's coverage; the second stays refreshable.
+  std::vector<std::pair<int, double>> saved;
+  for (int s = 0; s < sources_.NumSources(); ++s) {
+    DataSource& source = sources_.mutable_source(s);
+    const auto value = source.Value(5);
+    if (value.ok()) {
+      saved.emplace_back(s, *value);
+      source.Unbind(5);
+    }
+  }
+
+  // Failure #1 costs no quarantine (it may be transient); failure #2 does.
+  EXPECT_FALSE(monitor.Refresh(broken).ok());
+  EXPECT_EQ(monitor.ConsecutiveFailures(broken).value(), 1);
+  EXPECT_FALSE(monitor.Quarantined(broken).value());
+  EXPECT_FALSE(monitor.Refresh(broken).ok());
+  EXPECT_EQ(monitor.ConsecutiveFailures(broken).value(), 2);
+  EXPECT_TRUE(monitor.Quarantined(broken).value());
+
+  // While quarantined, RefreshLeastStable must skip it entirely: not
+  // refreshed, not reported failed, and no budget spent on it.
+  std::vector<QueryId> failed;
+  const auto round = monitor.RefreshLeastStable(2, &failed);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, (std::vector<QueryId>{healthy}));
+  EXPECT_TRUE(failed.empty());
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  const auto* skips = snapshot.FindCounter("monitor_quarantine_skips_total");
+  ASSERT_NE(skips, nullptr);
+  EXPECT_EQ(skips->value, 1u);
+
+  // Restore the bindings: once the quarantine lapses, the query refreshes
+  // again and the streak decays instead of resetting.
+  for (const auto& [s, value] : saved) {
+    sources_.mutable_source(s).Bind(5, value);
+  }
+  while (monitor.Quarantined(broken).value()) {
+    ASSERT_TRUE(monitor.RefreshLeastStable(1).ok());
+  }
+  ASSERT_TRUE(monitor.Refresh(broken).ok());
+  EXPECT_EQ(monitor.ConsecutiveFailures(broken).value(), 1);  // 2 / 2
+  EXPECT_FALSE(monitor.Quarantined(broken).value());
+}
+
+TEST_F(MonitorTest, QuarantineBackoffGrowsWithStreak) {
+  ContinuousQueryMonitor monitor(&sources_, base_options_);
+  const QueryId id =
+      monitor.Register(MakeRangeQuery("q", AggregateKind::kSum, 0, 30))
+          .value();
+  for (int s = 0; s < sources_.NumSources(); ++s) {
+    sources_.mutable_source(s).Unbind(5);
+  }
+  // Four straight failures: streak 4 => quarantine 1 << (4 - 2) = 4 ticks.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(monitor.Refresh(id).ok());
+  }
+  EXPECT_EQ(monitor.ConsecutiveFailures(id).value(), 4);
+  int skipped_rounds = 0;
+  while (monitor.Quarantined(id).value()) {
+    ASSERT_TRUE(monitor.RefreshLeastStable(1).ok());
+    ++skipped_rounds;
+    ASSERT_LT(skipped_rounds, 100);
+  }
+  EXPECT_EQ(skipped_rounds, 4);
+}
+
+TEST_F(MonitorTest, DegradedQueriesRefreshBeforeStableCleanOnes) {
+  FaultModelOptions fault_options;
+  fault_options.transient_failure_prob = 0.25;
+  fault_options.seed = 17;
+  const auto model = FaultModel::Create(30, fault_options);
+  ASSERT_TRUE(model.ok());
+  ExtractorOptions options = base_options_;
+  FaultToleranceOptions fault;
+  fault.model = &*model;
+  fault.min_draw_coverage = 0.3;
+  options.fault_tolerance = fault;
+  ContinuousQueryMonitor monitor(&sources_, options);
+  std::vector<QueryId> ids;
+  for (int q = 0; q < 3; ++q) {
+    ids.push_back(
+        monitor
+            .Register(MakeRangeQuery(std::string("q") + std::to_string(q),
+                                     AggregateKind::kSum, q * 20, 20))
+            .value());
+  }
+  // Every extraction saw transient failures, so every entry is degraded and
+  // outranks a clean entry regardless of stability. Within the same rank,
+  // the order stays least-stable-first.
+  const std::vector<QueryId> order = monitor.RefreshOrder();
+  ASSERT_EQ(order.size(), 3u);
+  for (const QueryId id : order) {
+    EXPECT_TRUE(monitor.Statistics(id)->degradation.degraded);
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(monitor.Stability(order[i - 1]).value(),
+              monitor.Stability(order[i]).value());
+  }
 }
 
 TEST_F(MonitorTest, InvalidIdsRejected) {

@@ -1,0 +1,165 @@
+#include "integration/fault_model.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace {
+
+FaultModelOptions BaseOptions() {
+  FaultModelOptions options;
+  options.transient_failure_prob = 0.3;
+  options.latency_base_ms = 1.0;
+  options.latency_per_component_ms = 0.1;
+  options.seed = 42;
+  return options;
+}
+
+TEST(FaultModelTest, ValidateRejectsBadOptions) {
+  FaultModelOptions options = BaseOptions();
+  options.transient_failure_prob = 1.5;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  options = BaseOptions();
+  options.corrupt_value_prob = -0.1;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  options = BaseOptions();
+  options.outage_fraction = 2.0;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  options = BaseOptions();
+  options.latency_base_ms = -1.0;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  options = BaseOptions();
+  options.failure_spread_sigma = -0.5;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  options = BaseOptions();
+  options.outage_epoch = -3;
+  EXPECT_FALSE(FaultModel::Create(4, options).ok());
+  EXPECT_FALSE(FaultModel::Create(0, BaseOptions()).ok());
+  EXPECT_TRUE(FaultModel::Create(4, BaseOptions()).ok());
+}
+
+TEST(FaultModelTest, KeyedDecisionsAreDeterministicAcrossInstances) {
+  FaultModelOptions options = BaseOptions();
+  options.corrupt_value_prob = 0.2;
+  options.latency_jitter_sigma = 0.5;
+  options.failure_spread_sigma = 0.7;
+  const auto a = FaultModel::Create(8, options);
+  const auto b = FaultModel::Create(8, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(a->TransientFailureProb(s), b->TransientFailureProb(s));
+    for (int64_t e = 0; e < 16; ++e) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        EXPECT_EQ(a->AttemptFails(s, e, attempt),
+                  b->AttemptFails(s, e, attempt));
+        EXPECT_DOUBLE_EQ(a->AttemptLatencyMs(s, e, attempt, 5),
+                         b->AttemptLatencyMs(s, e, attempt, 5));
+        EXPECT_DOUBLE_EQ(a->BackoffJitterU01(s, e, attempt),
+                         b->BackoffJitterU01(s, e, attempt));
+      }
+      EXPECT_EQ(a->ValueCorrupted(s, e, 3), b->ValueCorrupted(s, e, 3));
+    }
+  }
+}
+
+TEST(FaultModelTest, DecisionsVaryAcrossIdentifiers) {
+  const auto model = FaultModel::Create(8, BaseOptions());
+  ASSERT_TRUE(model.ok());
+  // With p = 0.3 over 8 sources x 64 epochs, both outcomes must appear,
+  // and the empirical rate must sit near p.
+  int failures = 0;
+  const int trials = 8 * 64;
+  for (int s = 0; s < 8; ++s) {
+    for (int64_t e = 0; e < 64; ++e) {
+      failures += model->AttemptFails(s, e, 0) ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(failures) / trials;
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.4);
+}
+
+TEST(FaultModelTest, FailureSpreadVariesPerSource) {
+  FaultModelOptions options = BaseOptions();
+  options.failure_spread_sigma = 1.0;
+  const auto model = FaultModel::Create(16, options);
+  ASSERT_TRUE(model.ok());
+  std::set<double> distinct;
+  for (int s = 0; s < 16; ++s) {
+    const double p = model->TransientFailureProb(s);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    distinct.insert(p);
+  }
+  EXPECT_GT(distinct.size(), 8u);
+}
+
+TEST(FaultModelTest, ScheduledOutageStartsAtEpoch) {
+  FaultModelOptions options = BaseOptions();
+  options.transient_failure_prob = 0.0;
+  options.outage_fraction = 0.5;
+  options.outage_epoch = 10;
+  const auto model = FaultModel::Create(10, options);
+  ASSERT_TRUE(model.ok());
+  const std::vector<int>& out = model->outage_sources();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  const std::set<int> out_set(out.begin(), out.end());
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_FALSE(model->PermanentlyOut(s, 0));
+    EXPECT_FALSE(model->PermanentlyOut(s, 9));
+    EXPECT_EQ(model->PermanentlyOut(s, 10), out_set.count(s) > 0);
+    EXPECT_EQ(model->PermanentlyOut(s, 1000), out_set.count(s) > 0);
+  }
+}
+
+TEST(FaultModelTest, LatencyIsBasePlusPerComponentWithoutJitter) {
+  FaultModelOptions options = BaseOptions();
+  const auto model = FaultModel::Create(4, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->AttemptLatencyMs(0, 0, 0, 10), 1.0 + 0.1 * 10);
+  EXPECT_DOUBLE_EQ(model->AttemptLatencyMs(3, 7, 2, 0), 1.0);
+}
+
+TEST(FaultModelTest, LatencyJitterStaysPositive) {
+  FaultModelOptions options = BaseOptions();
+  options.latency_jitter_sigma = 1.0;
+  const auto model = FaultModel::Create(4, options);
+  ASSERT_TRUE(model.ok());
+  std::set<double> distinct;
+  for (int64_t e = 0; e < 32; ++e) {
+    const double latency = model->AttemptLatencyMs(0, e, 0, 5);
+    EXPECT_GT(latency, 0.0);
+    distinct.insert(latency);
+  }
+  EXPECT_GT(distinct.size(), 16u);
+}
+
+TEST(FaultModelTest, MixFaultKeyDecorrelatesIdentifiers) {
+  std::set<uint64_t> keys;
+  for (uint64_t a = 0; a < 8; ++a) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      for (uint64_t c = 0; c < 4; ++c) {
+        keys.insert(MixFaultKey(42, a, b, c));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 8u * 8u * 4u);  // no collisions on a small grid
+  EXPECT_NE(MixFaultKey(1, 0, 0, 0), MixFaultKey(2, 0, 0, 0));
+}
+
+TEST(VirtualClockTest, AdvancesAndIgnoresNegatives) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  clock.AdvanceMs(2.5);
+  clock.AdvanceMs(-100.0);  // must never rewind
+  clock.AdvanceMs(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 3.0);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -36,6 +36,50 @@ TEST(SourceSetIoTest, MalformedRowsRejected) {
   EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,1.5\nD1,1,2.5\n").ok());
 }
 
+TEST(SourceSetIoTest, NonFiniteValuesRejected) {
+  const std::string header = "source,component,value\n";
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,nan\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,NaN\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,inf\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,-inf\n").ok());
+  EXPECT_FALSE(SourceSetFromCsv(header + "D1,1,1e999\n").ok());
+  // Large-but-finite values are still fine.
+  EXPECT_TRUE(SourceSetFromCsv(header + "D1,1,1e300\n").ok());
+}
+
+TEST(SourceSetIoTest, ParseErrorsCarryRowAndColumnContext) {
+  const std::string header = "source,component,value\n";
+  const auto bad_value = SourceSetFromCsv(header + "D1,1,5.0\nD2,2,oops\n");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("row 2, column 'value'"),
+            std::string::npos)
+      << bad_value.status().ToString();
+  const auto bad_component = SourceSetFromCsv(header + "D1,x,5.0\n");
+  ASSERT_FALSE(bad_component.ok());
+  EXPECT_NE(bad_component.status().message().find("row 1, column 'component'"),
+            std::string::npos)
+      << bad_component.status().ToString();
+  const auto bad_fields = SourceSetFromCsv(header + "D1,1\n");
+  ASSERT_FALSE(bad_fields.ok());
+  EXPECT_NE(bad_fields.status().message().find("row 1 has 2 fields"),
+            std::string::npos)
+      << bad_fields.status().ToString();
+  const auto nan_value = SourceSetFromCsv(header + "D1,1,nan\n");
+  ASSERT_FALSE(nan_value.ok());
+  EXPECT_NE(nan_value.status().message().find("non-finite"),
+            std::string::npos)
+      << nan_value.status().ToString();
+}
+
+TEST(SourceSetIoTest, EmptySourceNameRejected) {
+  const std::string header = "source,component,value\n";
+  const auto empty_name = SourceSetFromCsv(header + ",1,5.0\n");
+  ASSERT_FALSE(empty_name.ok());
+  EXPECT_NE(empty_name.status().message().find("empty source name"),
+            std::string::npos)
+      << empty_name.status().ToString();
+}
+
 TEST(SourceSetIoTest, ScatteredSourceRowsMerge) {
   const auto set = SourceSetFromCsv(
       "source,component,value\nA,1,10\nB,1,11\nA,2,12\n");

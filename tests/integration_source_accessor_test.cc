@@ -1,0 +1,356 @@
+#include "integration/source_accessor.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "integration/fault_model.h"
+#include "obs/metrics.h"
+
+namespace vastats {
+namespace {
+
+Result<FaultModel> AlwaysFailModel(int num_sources) {
+  FaultModelOptions options;
+  options.transient_failure_prob = 1.0;
+  options.latency_base_ms = 1.0;
+  options.latency_per_component_ms = 0.0;
+  return FaultModel::Create(num_sources, options);
+}
+
+Result<FaultModel> NeverFailModel(int num_sources) {
+  FaultModelOptions options;
+  options.transient_failure_prob = 0.0;
+  options.latency_base_ms = 1.0;
+  options.latency_per_component_ms = 0.0;
+  return FaultModel::Create(num_sources, options);
+}
+
+TEST(SourceAccessorTest, CreateValidatesConfiguration) {
+  const auto model = NeverFailModel(4);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(SourceAccessor::Create(0, nullptr).ok());
+  // The model must cover at least the accessor's sources.
+  EXPECT_FALSE(SourceAccessor::Create(8, &*model).ok());
+  RetryPolicy bad_retry;
+  bad_retry.max_attempts = 0;
+  EXPECT_FALSE(SourceAccessor::Create(4, &*model, bad_retry).ok());
+  bad_retry = RetryPolicy{};
+  bad_retry.backoff_jitter = 1.5;
+  EXPECT_FALSE(SourceAccessor::Create(4, &*model, bad_retry).ok());
+  CircuitBreakerOptions bad_breaker;
+  bad_breaker.window = 65;
+  EXPECT_FALSE(SourceAccessor::Create(4, &*model, {}, bad_breaker).ok());
+  bad_breaker = CircuitBreakerOptions{};
+  bad_breaker.open_failure_rate = 0.0;
+  EXPECT_FALSE(SourceAccessor::Create(4, &*model, {}, bad_breaker).ok());
+  EXPECT_TRUE(SourceAccessor::Create(4, &*model).ok());
+  EXPECT_TRUE(SourceAccessor::Create(8, nullptr).ok());
+}
+
+TEST(SourceAccessorTest, NullModelVisitsSucceedInstantly) {
+  const auto accessor = SourceAccessor::Create(4, nullptr);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  session.BeginNextDraw();
+  for (int s = 0; s < 4; ++s) {
+    const auto outcome = session.Visit(s, 5);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_FALSE(outcome.skipped_breaker_open);
+    EXPECT_EQ(outcome.attempts, 1);
+    EXPECT_FALSE(session.ValueCorrupted(s, 0));
+  }
+  EXPECT_DOUBLE_EQ(session.clock().NowMs(), 0.0);
+  const AccessStats stats = session.Finish();
+  EXPECT_EQ(stats.visits, 4u);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failed_visits, 0u);
+  EXPECT_DOUBLE_EQ(stats.virtual_ms, 0.0);
+  EXPECT_EQ(stats.SourcesOpen(), 0);
+}
+
+TEST(SourceAccessorTest, RetriesExhaustAgainstAlwaysFailingSource) {
+  const auto model = AlwaysFailModel(2);
+  ASSERT_TRUE(model.ok());
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_base_ms = 10.0;
+  const auto accessor = SourceAccessor::Create(2, &*model, retry);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  session.BeginNextDraw();
+  const auto outcome = session.Visit(0, 3);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_FALSE(outcome.skipped_breaker_open);
+  EXPECT_EQ(outcome.attempts, 3);
+  // Two backoffs happened (before retries 1 and 2) plus three 1 ms attempt
+  // latencies — the virtual clock must have moved past both.
+  EXPECT_GT(session.clock().NowMs(), 3.0);
+  const AccessStats stats = session.Finish();
+  EXPECT_EQ(stats.visits, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.transient_failures, 3u);
+  EXPECT_EQ(stats.failed_visits, 1u);
+  EXPECT_GT(stats.backoff_ms, 0.0);
+  EXPECT_GE(stats.virtual_ms, stats.backoff_ms + 3.0);
+}
+
+TEST(SourceAccessorTest, BreakerOpensAndSkipsFurtherVisits) {
+  const auto model = AlwaysFailModel(2);
+  ASSERT_TRUE(model.ok());
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  CircuitBreakerOptions breaker;
+  breaker.window = 8;
+  breaker.min_samples = 4;
+  breaker.open_failure_rate = 0.5;
+  breaker.cooldown_ms = 1e9;  // effectively never half-opens in this test
+  const auto accessor = SourceAccessor::Create(2, &*model, retry, breaker);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  for (int64_t draw = 0; draw < 4; ++draw) {
+    session.BeginDraw(draw);
+    EXPECT_FALSE(session.Visit(0, 1).ok);
+  }
+  EXPECT_EQ(session.breaker_state(0), BreakerState::kOpen);
+  EXPECT_EQ(session.breaker_state(1), BreakerState::kClosed);
+  session.BeginDraw(4);
+  const auto skipped = session.Visit(0, 1);
+  EXPECT_FALSE(skipped.ok);
+  EXPECT_TRUE(skipped.skipped_breaker_open);
+  EXPECT_EQ(skipped.attempts, 0);
+  const AccessStats stats = session.Finish();
+  EXPECT_EQ(stats.breaker_open_skips, 1u);
+  EXPECT_GE(stats.breaker_transitions, 1u);
+  EXPECT_EQ(stats.SourcesOpen(), 1);
+  ASSERT_EQ(stats.breaker_severity.size(), 2u);
+  EXPECT_EQ(stats.breaker_severity[0], 2);
+  EXPECT_EQ(stats.breaker_severity[1], 0);
+}
+
+// Opens source 0's breaker with failing epochs, burns the cooldown on
+// another source's visits, then probes half-open with a deterministically
+// failing or succeeding epoch (chosen by introspecting the pure model).
+class BreakerProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultModelOptions options;
+    options.transient_failure_prob = 0.6;
+    options.latency_base_ms = 1.0;
+    options.latency_per_component_ms = 0.0;
+    options.seed = 7;
+    auto model = FaultModel::Create(8, options);
+    ASSERT_TRUE(model.ok());
+    model_.emplace(std::move(model).value());
+    for (int64_t e = 0; e < 4096; ++e) {
+      if (model_->AttemptFails(0, e, 0)) {
+        failing_epochs_.push_back(e);
+      } else {
+        succeeding_epochs_.push_back(e);
+      }
+    }
+    ASSERT_GE(failing_epochs_.size(), 8u);
+    ASSERT_GE(succeeding_epochs_.size(), 2u);
+  }
+
+  AccessSession OpenBreakerThenCoolDown(const SourceAccessor& accessor) {
+    AccessSession session = accessor.StartSession();
+    for (size_t i = 0; i < 4; ++i) {
+      session.BeginDraw(failing_epochs_[i]);
+      session.Visit(0, 1);
+    }
+    EXPECT_EQ(session.breaker_state(0), BreakerState::kOpen);
+    // Burn the cooldown on the other sources: every executed visit costs at
+    // least 1 ms of simulated latency, and with only two visits per helper
+    // source no helper breaker can gather the min_samples outcomes it would
+    // need to open (which would stall the clock on skips).
+    for (int round = 0; round < 2; ++round) {
+      for (int helper = 1; helper < 8; ++helper) {
+        session.BeginDraw(static_cast<int64_t>(10000 + round * 8 + helper));
+        session.Visit(helper, 1);
+      }
+    }
+    return session;
+  }
+
+  std::optional<FaultModel> model_;
+  std::vector<int64_t> failing_epochs_;
+  std::vector<int64_t> succeeding_epochs_;
+};
+
+TEST_F(BreakerProbeTest, HalfOpenProbeSuccessClosesBreaker) {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  CircuitBreakerOptions breaker;
+  breaker.window = 8;
+  breaker.min_samples = 4;
+  breaker.open_failure_rate = 0.5;
+  breaker.cooldown_ms = 5.0;
+  breaker.half_open_successes = 1;
+  const auto accessor = SourceAccessor::Create(8, &*model_, retry, breaker);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = OpenBreakerThenCoolDown(*accessor);
+  session.BeginDraw(succeeding_epochs_[0]);
+  const auto probe = session.Visit(0, 1);
+  EXPECT_TRUE(probe.ok);
+  EXPECT_FALSE(probe.skipped_breaker_open);
+  EXPECT_EQ(session.breaker_state(0), BreakerState::kClosed);
+  // The window was reset on close: the next single failure cannot re-trip.
+  session.BeginDraw(failing_epochs_[7]);
+  session.Visit(0, 1);
+  EXPECT_EQ(session.breaker_state(0), BreakerState::kClosed);
+}
+
+TEST_F(BreakerProbeTest, HalfOpenProbeFailureReopensBreaker) {
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  CircuitBreakerOptions breaker;
+  breaker.window = 8;
+  breaker.min_samples = 4;
+  breaker.open_failure_rate = 0.5;
+  breaker.cooldown_ms = 5.0;
+  const auto accessor = SourceAccessor::Create(8, &*model_, retry, breaker);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = OpenBreakerThenCoolDown(*accessor);
+  session.BeginDraw(failing_epochs_[6]);
+  const auto probe = session.Visit(0, 1);
+  EXPECT_FALSE(probe.ok);
+  EXPECT_FALSE(probe.skipped_breaker_open);  // the probe itself ran
+  EXPECT_EQ(session.breaker_state(0), BreakerState::kOpen);
+  // Immediately after reopening, the cooldown restarts: next visit skips.
+  session.BeginDraw(failing_epochs_[7]);
+  EXPECT_TRUE(session.Visit(0, 1).skipped_breaker_open);
+}
+
+TEST(SourceAccessorTest, DrawDeadlineTruncatesDraw) {
+  const auto model = NeverFailModel(8);
+  ASSERT_TRUE(model.ok());
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.draw_deadline_ms = 2.5;  // each visit costs 1 ms of latency
+  const auto accessor = SourceAccessor::Create(8, &*model, retry);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  session.BeginNextDraw();
+  int visited = 0;
+  for (int s = 0; s < 8; ++s) {
+    if (session.DrawDeadlineExhausted()) break;
+    EXPECT_TRUE(session.Visit(s, 1).ok);
+    ++visited;
+  }
+  EXPECT_EQ(visited, 3);
+  session.RecordDeadlineTruncation();
+  // A fresh draw gets a fresh deadline budget.
+  session.BeginNextDraw();
+  EXPECT_FALSE(session.DrawDeadlineExhausted());
+  const AccessStats stats = session.Finish();
+  EXPECT_EQ(stats.deadline_truncated_draws, 1u);
+}
+
+TEST(SourceAccessorTest, SessionBudgetStopsFurtherDraws) {
+  const auto model = NeverFailModel(4);
+  ASSERT_TRUE(model.ok());
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  retry.session_deadline_ms = 2.5;
+  const auto accessor = SourceAccessor::Create(4, &*model, retry);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  int draws = 0;
+  while (!session.SessionBudgetExhausted() && draws < 100) {
+    session.BeginNextDraw();
+    session.Visit(0, 1);
+    ++draws;
+  }
+  EXPECT_EQ(draws, 3);  // 1 ms per draw against a 2.5 ms budget
+}
+
+TEST(SourceAccessorTest, CorruptValuesAreFlaggedAndCounted) {
+  FaultModelOptions options;
+  options.corrupt_value_prob = 1.0;
+  options.latency_base_ms = 0.0;
+  const auto model = FaultModel::Create(2, options);
+  ASSERT_TRUE(model.ok());
+  const auto accessor = SourceAccessor::Create(2, &*model);
+  ASSERT_TRUE(accessor.ok());
+  AccessSession session = accessor->StartSession();
+  session.BeginNextDraw();
+  ASSERT_TRUE(session.Visit(0, 3).ok);
+  for (int pos = 0; pos < 3; ++pos) {
+    EXPECT_TRUE(session.ValueCorrupted(0, pos));
+  }
+  const AccessStats stats = session.Finish();
+  EXPECT_EQ(stats.corrupt_values_rejected, 3u);
+}
+
+TEST(AccessStatsTest, MergeSumsCountersAndMaxesSeverity) {
+  AccessStats a;
+  a.visits = 3;
+  a.attempts = 5;
+  a.retries = 2;
+  a.transient_failures = 4;
+  a.failed_visits = 1;
+  a.breaker_open_skips = 1;
+  a.corrupt_values_rejected = 2;
+  a.breaker_transitions = 3;
+  a.deadline_truncated_draws = 1;
+  a.virtual_ms = 10.0;
+  a.backoff_ms = 4.0;
+  a.breaker_severity = {2, 0, 1};
+  AccessStats b;
+  b.visits = 7;
+  b.attempts = 9;
+  b.virtual_ms = 2.5;
+  b.breaker_severity = {1, 1, 0};
+  a.Merge(b);
+  EXPECT_EQ(a.visits, 10u);
+  EXPECT_EQ(a.attempts, 14u);
+  EXPECT_EQ(a.retries, 2u);
+  EXPECT_DOUBLE_EQ(a.virtual_ms, 12.5);
+  EXPECT_DOUBLE_EQ(a.backoff_ms, 4.0);
+  ASSERT_EQ(a.breaker_severity.size(), 3u);
+  EXPECT_EQ(a.breaker_severity[0], 2);
+  EXPECT_EQ(a.breaker_severity[1], 1);
+  EXPECT_EQ(a.breaker_severity[2], 1);
+  EXPECT_EQ(a.SourcesOpen(), 1);
+  EXPECT_EQ(a.SourcesHalfOpen(), 2);
+
+  AccessStats empty;
+  empty.Merge(b);
+  ASSERT_EQ(empty.breaker_severity.size(), 3u);
+  EXPECT_EQ(empty.breaker_severity[1], 1);
+}
+
+TEST(SourceAccessorTest, FinishFlushesCountersToMetrics) {
+  const auto model = AlwaysFailModel(2);
+  ASSERT_TRUE(model.ok());
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  const auto accessor = SourceAccessor::Create(2, &*model, retry);
+  ASSERT_TRUE(accessor.ok());
+  MetricsRegistry metrics;
+  AccessSession session = accessor->StartSession(&metrics);
+  session.BeginNextDraw();
+  session.Visit(0, 1);
+  session.Visit(1, 1);
+  const AccessStats stats = session.Finish();
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  const auto* visits = snapshot.FindCounter("source_access_visits_total");
+  ASSERT_NE(visits, nullptr);
+  EXPECT_EQ(visits->value, stats.visits);
+  const auto* attempts = snapshot.FindCounter("source_access_attempts_total");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(attempts->value, 4u);
+  const auto* failed =
+      snapshot.FindCounter("source_access_failed_visits_total");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->value, 2u);
+  const auto* backoff = snapshot.FindHistogram("source_access_backoff_ms");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_GT(backoff->count, 0u);
+}
+
+}  // namespace
+}  // namespace vastats

@@ -26,6 +26,12 @@ Enforces policies that clang-tidy cannot express (stdlib-only, no pip deps):
       the exporters total (they reject bad names at runtime, but only on
       the paths a test happens to exercise) and make every series
       grep-able. src/obs itself (declarations, exporters) is exempt.
+  R7  virtual time: `std::chrono::*_clock::now()` (steady, system,
+      high_resolution) is forbidden outside src/util/stopwatch.* — fault
+      injection, retry backoff, breaker cooldowns, and deadline budgets run
+      on the VirtualClock (src/integration/fault_model.h), so chaos runs
+      are bit-reproducible and tests never sleep. Wall time is read only by
+      the Stopwatch used for phase timings.
 
   IO allowlist: src/obs/export.cc is the one library file sanctioned to
   touch the filesystem (`WriteTextFile`); R3 skips it.
@@ -185,6 +191,23 @@ def check_io_discipline(path: str, raw: str, code: str) -> List[Finding]:
                     f"callers (snprintf into a buffer is fine)")
 
 
+# --- R7: wall clocks stay behind the Stopwatch -------------------------------
+
+R7_PATTERN = re.compile(
+    r"std::chrono::\w*_clock::now\s*\("
+    r"|(?<![\w:])(?:steady_clock|system_clock|high_resolution_clock)"
+    r"::now\s*\(")
+
+
+def check_virtual_time(path: str, raw: str, code: str) -> List[Finding]:
+    return scan_lines(
+        path, raw, code, "R7", R7_PATTERN,
+        lambda tok: f"`{tok.strip('( ')}` reads a wall clock; simulated "
+                    f"time flows through VirtualClock "
+                    f"(src/integration/fault_model.h) and wall time through "
+                    f"Stopwatch (src/util/stopwatch.h) only")
+
+
 # --- R4: header guards and .cc/.h pairing -----------------------------------
 
 def expected_guard(rel_header: str) -> str:
@@ -303,6 +326,9 @@ def check_nodiscard(root: str) -> List[Finding]:
 
 RNG_FACADE_FILES = {os.path.join("src", "util", "random.h"),
                     os.path.join("src", "util", "random.cc")}
+# The Stopwatch is the single sanctioned wall-clock reader (phase timings).
+CLOCK_FACADE_FILES = {os.path.join("src", "util", "stopwatch.h"),
+                      os.path.join("src", "util", "stopwatch.cc")}
 UTIL_PREFIX = os.path.join("src", "util") + os.sep
 # The exporter module is the single library file sanctioned to do file IO
 # (WriteTextFile); everything else reports through Status.
@@ -331,6 +357,8 @@ def lint_repo(root: str) -> List[Finding]:
         findings += check_no_exceptions(rel, raw, code)
         if rel not in RNG_FACADE_FILES:
             findings += check_seeded_rng(rel, raw, code)
+        if rel not in CLOCK_FACADE_FILES:
+            findings += check_virtual_time(rel, raw, code)
         if not rel.startswith(UTIL_PREFIX) and rel not in IO_EXEMPT_FILES:
             findings += check_io_discipline(rel, raw, code)
         if not rel.startswith(OBS_PREFIX):
@@ -340,10 +368,11 @@ def lint_repo(root: str) -> List[Finding]:
             findings += check_header_guard(rel, raw)
         elif rel.endswith(".cc"):
             findings += check_cc_header_pairing(root, rel, raw)
-    # The seeded-RNG and telemetry-naming rules also cover tests and benches:
-    # a bare std::mt19937 in a test silently undermines determinism_test's
-    # guarantees, and a non-literal metric name dodges the exporters' checks
-    # until some export path happens to run.
+    # The seeded-RNG, wall-clock, and telemetry-naming rules also cover tests
+    # and benches: a bare std::mt19937 in a test silently undermines
+    # determinism_test's guarantees, a clock read makes a chaos test flaky,
+    # and a non-literal metric name dodges the exporters' checks until some
+    # export path happens to run.
     for subdir in ("tests", "bench"):
         if not os.path.isdir(os.path.join(root, subdir)):
             continue
@@ -352,6 +381,7 @@ def lint_repo(root: str) -> List[Finding]:
                 raw = f.read()
             code = strip_code(raw)
             findings += check_seeded_rng(rel, raw, code)
+            findings += check_virtual_time(rel, raw, code)
             findings += check_telemetry_names(
                 rel, raw, strip_code(raw, keep_strings=True))
     findings += check_nodiscard(root)
@@ -414,6 +444,29 @@ def self_test() -> int:
     expect("R3 std::snprintf in expr", run(check_io_discipline,
                                            "n = std::snprintf(b, s, f);"),
            None)
+
+    # R7 fires on every wall-clock spelling, ignores VirtualClock reads,
+    # comments, and allowances.
+    expect("R7 chrono steady", run(check_virtual_time,
+                                   "auto t = std::chrono::steady_clock::now();"),
+           "R7")
+    expect("R7 chrono system", run(check_virtual_time,
+                                   "auto t = std::chrono::system_clock::now();"),
+           "R7")
+    expect("R7 chrono hires",
+           run(check_virtual_time,
+               "auto t = std::chrono::high_resolution_clock::now();"), "R7")
+    expect("R7 using-decl clock", run(check_virtual_time,
+                                      "auto t = steady_clock::now();"), "R7")
+    expect("R7 virtual clock", run(check_virtual_time,
+                                   "const double t = clock_.NowMs();"), None)
+    expect("R7 comment", run(check_virtual_time,
+                             "// never call steady_clock::now() here\nint x;"),
+           None)
+    expect("R7 allow",
+           run(check_virtual_time,
+               "auto t = std::chrono::steady_clock::now();"
+               "  // lint-invariants: allow(R7)"), None)
 
     # R6 fires on bad or non-literal telemetry names, stays quiet on good
     # literals (including wrapped calls), comments, and allowances.
