@@ -33,26 +33,26 @@
 #include "density/grid_density.h"
 #include "density/histogram.h"
 #include "density/kde.h"
-#include "integration/component.h"
-#include "integration/data_source.h"
+#include "datagen/component.h"
+#include "datagen/data_source.h"
 #include "integration/cost_model.h"
-#include "integration/fault_model.h"
+#include "datagen/fault_model.h"
 #include "integration/hierarchy.h"
 #include "integration/io.h"
 #include "integration/mediated_schema.h"
 #include "integration/record_mapper.h"
-#include "integration/source_accessor.h"
-#include "integration/source_set.h"
+#include "datagen/source_accessor.h"
+#include "datagen/source_set.h"
 #include "integration/stratification.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
-#include "query/aggregate.h"
-#include "query/aggregate_query.h"
-#include "query/grouped_query.h"
+#include "stats/aggregate.h"
+#include "stats/aggregate_query.h"
+#include "integration/grouped_query.h"
 #include "query/mediated_query.h"
-#include "query/query_processor.h"
+#include "sampling/query_processor.h"
 #include "sampling/adaptive.h"
 #include "sampling/exhaustive.h"
 #include "sampling/multi.h"

@@ -29,7 +29,7 @@
 
 namespace vastats {
 
-// Fault-tolerant sampling configuration (see integration/source_accessor.h).
+// Fault-tolerant sampling configuration (see datagen/source_accessor.h).
 // Attached to ExtractorOptions.fault_tolerance; when absent the sampling
 // phase never touches the access seam and pays nothing for it existing.
 struct FaultToleranceOptions {

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "core/extractor.h"
-#include "query/grouped_query.h"
+#include "integration/grouped_query.h"
 
 namespace vastats {
 

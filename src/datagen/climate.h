@@ -16,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
 #include "util/status.h"
 
 namespace vastats {

@@ -1,0 +1,32 @@
+// Components — the conceptual data points an aggregate needs (paper §4.2:
+// "we use the term component to indicate a data point that an aggregate
+// requires, e.g. the temperature for Vancouver on 06/11/2006").
+//
+// A ComponentId is a global identifier assigned after schema- and
+// instance-level heterogeneity have been resolved by the mediator's mapping
+// meta-information (which the paper, following [25], assumes available).
+// Value-level heterogeneity — several sources binding *different* values to
+// the same ComponentId — is exactly what this library models.
+
+#ifndef VASTATS_DATAGEN_COMPONENT_H_
+#define VASTATS_DATAGEN_COMPONENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vastats {
+
+using ComponentId = int64_t;
+
+// Optional human-readable descriptor for a component, e.g.
+// {id, "Vancouver", "2006-06-11", "temperature"}.
+struct ComponentInfo {
+  ComponentId id = 0;
+  std::string entity;     // e.g. city or station district
+  std::string time_key;   // e.g. date or month
+  std::string attribute;  // e.g. "temp"
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_COMPONENT_H_

@@ -1,0 +1,42 @@
+#include "datagen/data_source.h"
+
+#include <algorithm>
+
+namespace vastats {
+
+void DataSource::Bind(ComponentId component, double value) {
+  bindings_[component] = value;
+}
+
+bool DataSource::Unbind(ComponentId component) {
+  return bindings_.erase(component) > 0;
+}
+
+Result<double> DataSource::Value(ComponentId component) const {
+  const auto it = bindings_.find(component);
+  if (it == bindings_.end()) {
+    return Status::NotFound("source '" + name_ +
+                            "' has no binding for component " +
+                            std::to_string(component));
+  }
+  return it->second;
+}
+
+std::vector<ComponentId> DataSource::SortedComponents() const {
+  std::vector<ComponentId> ids;
+  ids.reserve(bindings_.size());
+  for (const auto& [id, value] : bindings_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::pair<ComponentId, double>> DataSource::SortedBindings()
+    const {
+  std::vector<std::pair<ComponentId, double>> entries;
+  entries.reserve(bindings_.size());
+  for (const auto& entry : bindings_) entries.push_back(entry);
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+}  // namespace vastats

@@ -1,0 +1,66 @@
+// A single data source in the heterogeneous information system.
+//
+// After the mediator's mapping/binding meta-information has aligned schemas
+// and instances, a source is — for the purposes of aggregate answering — a
+// partial function from global ComponentId to a numeric value. Different
+// sources may bind different values to the same component (value-level
+// heterogeneity), and each source typically covers only a subset of the
+// components a query needs.
+
+#ifndef VASTATS_DATAGEN_DATA_SOURCE_H_
+#define VASTATS_DATAGEN_DATA_SOURCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "datagen/component.h"
+#include "util/status.h"
+
+namespace vastats {
+
+class DataSource {
+ public:
+  explicit DataSource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Binds `value` to `component`, replacing any previous binding.
+  void Bind(ComponentId component, double value);
+
+  // Removes the binding for `component` if present; returns whether one
+  // existed.
+  bool Unbind(ComponentId component);
+
+  bool Has(ComponentId component) const {
+    return bindings_.find(component) != bindings_.end();
+  }
+
+  // The value this source holds for `component`.
+  Result<double> Value(ComponentId component) const;
+
+  size_t NumBindings() const { return bindings_.size(); }
+
+  const std::unordered_map<ComponentId, double>& bindings() const {
+    return bindings_;
+  }
+
+  // All bound component ids, ascending (deterministic iteration order for
+  // reproducible experiments).
+  std::vector<ComponentId> SortedComponents() const;
+
+  // All (component, value) bindings ordered by ascending component id — the
+  // sorted snapshot consumers must iterate instead of `bindings()` whenever
+  // iteration order can reach an accumulator, a sampler's draw sequence, or
+  // exported output (determinism rule A2).
+  std::vector<std::pair<ComponentId, double>> SortedBindings() const;
+
+ private:
+  std::string name_;
+  std::unordered_map<ComponentId, double> bindings_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_DATA_SOURCE_H_

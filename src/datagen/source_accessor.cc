@@ -1,0 +1,322 @@
+#include "datagen/source_accessor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vastats {
+namespace {
+
+// Histogram buckets (simulated ms) for per-visit latency and per-retry
+// backoff waits — doubling steps spanning sub-ms cache hits to multi-second
+// outage-probe stalls.
+constexpr double kLatencyBucketsMs[] = {0.5, 1, 2, 4,  8,   16,  32,
+                                        64,  128, 256, 512, 1024, 4096};
+
+uint8_t Severity(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return 0;
+    case BreakerState::kHalfOpen:
+      return 1;
+    case BreakerState::kOpen:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string_view BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("RetryPolicy.max_attempts must be >= 1");
+  }
+  if (backoff_base_ms < 0.0) {
+    return Status::InvalidArgument("backoff_base_ms must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("backoff_multiplier must be >= 1");
+  }
+  if (backoff_jitter < 0.0 || backoff_jitter > 1.0) {
+    return Status::InvalidArgument("backoff_jitter must be in [0, 1]");
+  }
+  if (draw_deadline_ms < 0.0 || session_deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline budgets must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Status CircuitBreakerOptions::Validate() const {
+  if (window < 1 || window > 64) {
+    return Status::InvalidArgument(
+        "CircuitBreakerOptions.window must be in [1, 64]");
+  }
+  if (min_samples < 1 || min_samples > window) {
+    return Status::InvalidArgument("min_samples must be in [1, window]");
+  }
+  if (!(open_failure_rate > 0.0 && open_failure_rate <= 1.0)) {
+    return Status::InvalidArgument("open_failure_rate must be in (0, 1]");
+  }
+  if (cooldown_ms < 0.0) {
+    return Status::InvalidArgument("cooldown_ms must be >= 0");
+  }
+  if (half_open_successes < 1) {
+    return Status::InvalidArgument("half_open_successes must be >= 1");
+  }
+  return Status::Ok();
+}
+
+int AccessStats::SourcesOpen() const {
+  return static_cast<int>(
+      std::count(breaker_severity.begin(), breaker_severity.end(), 2));
+}
+
+int AccessStats::SourcesHalfOpen() const {
+  return static_cast<int>(
+      std::count(breaker_severity.begin(), breaker_severity.end(), 1));
+}
+
+void AccessStats::Merge(const AccessStats& other) {
+  visits += other.visits;
+  attempts += other.attempts;
+  retries += other.retries;
+  transient_failures += other.transient_failures;
+  failed_visits += other.failed_visits;
+  breaker_open_skips += other.breaker_open_skips;
+  corrupt_values_rejected += other.corrupt_values_rejected;
+  breaker_transitions += other.breaker_transitions;
+  deadline_truncated_draws += other.deadline_truncated_draws;
+  virtual_ms += other.virtual_ms;
+  backoff_ms += other.backoff_ms;
+  if (breaker_severity.size() < other.breaker_severity.size()) {
+    breaker_severity.resize(other.breaker_severity.size(), 0);
+  }
+  for (size_t s = 0; s < other.breaker_severity.size(); ++s) {
+    breaker_severity[s] =
+        std::max(breaker_severity[s], other.breaker_severity[s]);
+  }
+}
+
+Result<SourceAccessor> SourceAccessor::Create(int num_sources,
+                                              const FaultModel* model,
+                                              RetryPolicy retry,
+                                              CircuitBreakerOptions breaker) {
+  if (num_sources <= 0) {
+    return Status::InvalidArgument("SourceAccessor requires num_sources > 0");
+  }
+  if (model != nullptr && model->num_sources() < num_sources) {
+    return Status::InvalidArgument(
+        "FaultModel covers fewer sources than the accessor needs");
+  }
+  VASTATS_RETURN_IF_ERROR(retry.Validate());
+  VASTATS_RETURN_IF_ERROR(breaker.Validate());
+  return SourceAccessor(num_sources, model, retry, breaker);
+}
+
+AccessSession SourceAccessor::StartSession(MetricsRegistry* metrics) const {
+  return AccessSession(this, metrics);
+}
+
+AccessSession::AccessSession(const SourceAccessor* config,
+                             MetricsRegistry* metrics)
+    : config_(config),
+      metrics_(metrics),
+      breakers_(static_cast<size_t>(config->num_sources())) {}
+
+void AccessSession::BeginDraw(int64_t epoch) {
+  epoch_ = epoch;
+  next_auto_epoch_ = epoch + 1;
+  draw_started_ms_ = clock_.NowMs();
+}
+
+int64_t AccessSession::BeginNextDraw() {
+  BeginDraw(next_auto_epoch_);
+  return epoch_;
+}
+
+bool AccessSession::DrawDeadlineExhausted() const {
+  const double budget = config_->retry().draw_deadline_ms;
+  if (budget <= 0.0) return SessionBudgetExhausted();
+  return clock_.NowMs() - draw_started_ms_ >= budget ||
+         SessionBudgetExhausted();
+}
+
+bool AccessSession::SessionBudgetExhausted() const {
+  const double budget = config_->retry().session_deadline_ms;
+  return budget > 0.0 && clock_.NowMs() >= budget;
+}
+
+void AccessSession::TransitionTo(Breaker& breaker, BreakerState next) {
+  if (breaker.state == next) return;
+  breaker.state = next;
+  ++stats_.breaker_transitions;
+}
+
+void AccessSession::PushWindow(Breaker& breaker, bool failure) {
+  const CircuitBreakerOptions& options = config_->breaker();
+  const uint64_t evict_mask = uint64_t{1}
+                              << (static_cast<unsigned>(options.window) - 1);
+  if (breaker.window_size == options.window) {
+    if ((breaker.window_bits & evict_mask) != 0) --breaker.window_failures;
+  } else {
+    ++breaker.window_size;
+  }
+  breaker.window_bits = (breaker.window_bits << 1) & ((evict_mask << 1) - 1);
+  if (failure) {
+    breaker.window_bits |= 1;
+    ++breaker.window_failures;
+  }
+}
+
+void AccessSession::RecordOutcome(int source, bool success) {
+  Breaker& breaker = breakers_[static_cast<size_t>(source)];
+  const CircuitBreakerOptions& options = config_->breaker();
+  switch (breaker.state) {
+    case BreakerState::kHalfOpen:
+      if (success) {
+        if (++breaker.half_open_successes >= options.half_open_successes) {
+          // Probe quota met: close and start from a clean window.
+          TransitionTo(breaker, BreakerState::kClosed);
+          breaker.window_bits = 0;
+          breaker.window_size = 0;
+          breaker.window_failures = 0;
+        }
+      } else {
+        // A failing probe re-opens immediately for another cooldown.
+        TransitionTo(breaker, BreakerState::kOpen);
+        breaker.reopen_at_ms = clock_.NowMs() + options.cooldown_ms;
+        breaker.half_open_successes = 0;
+      }
+      break;
+    case BreakerState::kClosed: {
+      PushWindow(breaker, !success);
+      const double rate = static_cast<double>(breaker.window_failures) /
+                          static_cast<double>(breaker.window_size);
+      if (breaker.window_size >= options.min_samples &&
+          rate >= options.open_failure_rate) {
+        TransitionTo(breaker, BreakerState::kOpen);
+        breaker.reopen_at_ms = clock_.NowMs() + options.cooldown_ms;
+        breaker.half_open_successes = 0;
+      }
+      break;
+    }
+    case BreakerState::kOpen:
+      // Unreachable from Visit (open sources are skipped or probed via
+      // half-open), kept total for safety.
+      break;
+  }
+}
+
+AccessSession::VisitOutcome AccessSession::Visit(int source,
+                                                 int num_components) {
+  VisitOutcome outcome;
+  Breaker& breaker = breakers_[static_cast<size_t>(source)];
+  if (breaker.state == BreakerState::kOpen) {
+    if (clock_.NowMs() < breaker.reopen_at_ms) {
+      ++stats_.breaker_open_skips;
+      outcome.skipped_breaker_open = true;
+      return outcome;
+    }
+    // Cooldown elapsed: admit this visit as the half-open probe.
+    TransitionTo(breaker, BreakerState::kHalfOpen);
+    breaker.half_open_successes = 0;
+  }
+
+  const FaultModel* model = config_->model();
+  const RetryPolicy& retry = config_->retry();
+  ++stats_.visits;
+  bool success = false;
+  const double visit_started_ms = clock_.NowMs();
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    ++outcome.attempts;
+    if (model == nullptr) {
+      success = true;
+      break;
+    }
+    clock_.AdvanceMs(
+        model->AttemptLatencyMs(source, epoch_, attempt, num_components));
+    const bool failed = model->PermanentlyOut(source, epoch_) ||
+                        model->AttemptFails(source, epoch_, attempt);
+    if (!failed) {
+      success = true;
+      break;
+    }
+    ++stats_.transient_failures;
+    if (attempt + 1 >= retry.max_attempts || DrawDeadlineExhausted()) break;
+    // Exponential backoff with deterministic jitter before the retry.
+    double backoff = retry.backoff_base_ms;
+    for (int i = 0; i < attempt; ++i) backoff *= retry.backoff_multiplier;
+    if (retry.backoff_jitter > 0.0) {
+      const double u = model->BackoffJitterU01(source, epoch_, attempt);
+      backoff *= 1.0 + retry.backoff_jitter * (2.0 * u - 1.0);
+    }
+    clock_.AdvanceMs(backoff);
+    stats_.backoff_ms += backoff;
+    ++stats_.retries;
+    if (metrics_ != nullptr) {
+      metrics_->GetHistogram("source_access_backoff_ms", kLatencyBucketsMs)
+          .Observe(backoff);
+    }
+  }
+  if (!success) ++stats_.failed_visits;
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("source_access_visit_ms", kLatencyBucketsMs)
+        .Observe(clock_.NowMs() - visit_started_ms);
+  }
+  RecordOutcome(source, success);
+  outcome.ok = success;
+  return outcome;
+}
+
+bool AccessSession::ValueCorrupted(int source, int component_pos) {
+  const FaultModel* model = config_->model();
+  if (model == nullptr) return false;
+  if (!model->ValueCorrupted(source, epoch_, component_pos)) return false;
+  ++stats_.corrupt_values_rejected;
+  return true;
+}
+
+void AccessSession::RecordDeadlineTruncation() {
+  ++stats_.deadline_truncated_draws;
+}
+
+AccessStats AccessSession::Finish() {
+  if (finished_) return stats_;
+  finished_ = true;
+  stats_.virtual_ms = clock_.NowMs();
+  stats_.breaker_severity.resize(breakers_.size(), 0);
+  for (size_t s = 0; s < breakers_.size(); ++s) {
+    stats_.breaker_severity[s] = Severity(breakers_[s].state);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("source_access_visits_total")
+        .Increment(stats_.visits);
+    metrics_->GetCounter("source_access_attempts_total")
+        .Increment(stats_.attempts);
+    metrics_->GetCounter("source_access_retries_total")
+        .Increment(stats_.retries);
+    metrics_->GetCounter("source_access_failed_visits_total")
+        .Increment(stats_.failed_visits);
+    metrics_->GetCounter("source_breaker_open_skips_total")
+        .Increment(stats_.breaker_open_skips);
+    metrics_->GetCounter("source_breaker_transitions_total")
+        .Increment(stats_.breaker_transitions);
+    metrics_->GetCounter("source_corrupt_values_total")
+        .Increment(stats_.corrupt_values_rejected);
+  }
+  return stats_;
+}
+
+}  // namespace vastats

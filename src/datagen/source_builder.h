@@ -7,7 +7,7 @@
 #define VASTATS_DATAGEN_SOURCE_BUILDER_H_
 
 #include "datagen/distributions.h"
-#include "integration/source_set.h"
+#include "datagen/source_set.h"
 #include "util/status.h"
 
 namespace vastats {

@@ -1,0 +1,97 @@
+#include "datagen/source_set.h"
+
+#include <algorithm>
+#include <string>
+
+namespace vastats {
+
+int SourceSet::AddSource(DataSource source) {
+  sources_.push_back(std::move(source));
+  index_valid_ = false;
+  return static_cast<int>(sources_.size()) - 1;
+}
+
+void SourceSet::EnsureIndex() const {
+  if (index_valid_) return;
+  coverage_.clear();
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    for (const auto& [component, value] : sources_[s].SortedBindings()) {
+      coverage_[component].push_back(static_cast<int>(s));
+    }
+  }
+  for (auto& [component, list] : coverage_) {
+    std::sort(list.begin(), list.end());
+  }
+  index_valid_ = true;
+}
+
+std::vector<int> SourceSet::Covering(ComponentId component) const {
+  EnsureIndex();
+  const auto it = coverage_.find(component);
+  if (it == coverage_.end()) return {};
+  return it->second;
+}
+
+int SourceSet::CoverageCount(ComponentId component) const {
+  EnsureIndex();
+  const auto it = coverage_.find(component);
+  return it == coverage_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::vector<ComponentId> SourceSet::Universe() const {
+  EnsureIndex();
+  std::vector<ComponentId> ids;
+  ids.reserve(coverage_.size());
+  for (const auto& [component, list] : coverage_) ids.push_back(component);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status SourceSet::ValidateCoverage(
+    std::span<const ComponentId> required) const {
+  EnsureIndex();
+  for (const ComponentId component : required) {
+    if (CoverageCount(component) == 0) {
+      return Status::FailedPrecondition(
+          "component " + std::to_string(component) +
+          " is not bound by any source");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> SourceSet::AverageCoverage(
+    std::span<const ComponentId> components) const {
+  if (components.empty()) {
+    return Status::InvalidArgument("AverageCoverage of empty component list");
+  }
+  double total = 0.0;
+  for (const ComponentId component : components) {
+    total += static_cast<double>(CoverageCount(component));
+  }
+  return total / static_cast<double>(components.size());
+}
+
+Result<std::pair<double, double>> SourceSet::ValueRange(
+    ComponentId component) const {
+  const std::vector<int> covering = Covering(component);
+  if (covering.empty()) {
+    return Status::NotFound("component " + std::to_string(component) +
+                            " is not bound by any source");
+  }
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (const int s : covering) {
+    VASTATS_ASSIGN_OR_RETURN(const double v, source(s).Value(component));
+    if (first) {
+      lo = hi = v;
+      first = false;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace vastats

@@ -1,0 +1,73 @@
+// SourceSet — the set of data sources D available to answer a query,
+// together with the coverage index derived from their bindings.
+//
+// The coverage index (component -> list of source indices that bind it) is
+// the integration meta-information the samplers use; it also yields the
+// duplication statistics the stability analysis needs (the average number of
+// sources per component backs the weight y in Theorem 4.2's change-ratio
+// estimate).
+
+#ifndef VASTATS_DATAGEN_SOURCE_SET_H_
+#define VASTATS_DATAGEN_SOURCE_SET_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/data_source.h"
+#include "util/status.h"
+
+namespace vastats {
+
+class SourceSet {
+ public:
+  SourceSet() = default;
+
+  // Adds a source and returns its index within this set.
+  int AddSource(DataSource source);
+
+  int NumSources() const { return static_cast<int>(sources_.size()); }
+
+  const DataSource& source(int index) const {
+    return sources_[static_cast<size_t>(index)];
+  }
+  // Grants mutable access to a source; invalidates the coverage index.
+  DataSource& mutable_source(int index) {
+    index_valid_ = false;
+    return sources_[static_cast<size_t>(index)];
+  }
+  const std::vector<DataSource>& sources() const { return sources_; }
+
+  // Indices of the sources binding `component` (empty when uncovered).
+  // Ascending order.
+  std::vector<int> Covering(ComponentId component) const;
+
+  // Number of distinct sources binding `component`.
+  int CoverageCount(ComponentId component) const;
+
+  // All component ids bound by at least one source, ascending.
+  std::vector<ComponentId> Universe() const;
+
+  // OK when every component in `required` is bound by >= 1 source.
+  Status ValidateCoverage(std::span<const ComponentId> required) const;
+
+  // Mean number of sources binding each component of `components`
+  // (the duplication factor; >= 1 when coverage is valid).
+  Result<double> AverageCoverage(std::span<const ComponentId> components) const;
+
+  // Lower/upper envelope of values each source holds for `component`.
+  // Errors when the component is uncovered.
+  Result<std::pair<double, double>> ValueRange(ComponentId component) const;
+
+ private:
+  void EnsureIndex() const;
+
+  std::vector<DataSource> sources_;
+  // Lazily built coverage index; invalidated when sources are added.
+  mutable bool index_valid_ = false;
+  mutable std::unordered_map<ComponentId, std::vector<int>> coverage_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_DATAGEN_SOURCE_SET_H_

@@ -81,15 +81,18 @@ Result<BaggedKde> EstimateBaggedKde(
     ObsOptions worker_obs;
     worker_obs.metrics = obs.metrics;
     auto task = [&](int s) -> Status {
-      thread_local DctPlan worker_plan;
+      // Thread-confined plan cache; never shared across workers, so the
+      // mutable static storage cannot leak state between extractions.
+      thread_local DctPlan worker_plan;  // lint-invariants: allow(A5)
       VASTATS_ASSIGN_OR_RETURN(
           fits[static_cast<size_t>(s)],
           EstimateKde(sets[static_cast<size_t>(s)], per_set, worker_obs,
                       &worker_plan));
       return Status::Ok();
     };
-    VASTATS_RETURN_IF_ERROR(
-        pool->ParallelFor(static_cast<int>(sets.size()), task, obs.metrics));
+    PoolMetricsObserver pool_observer(obs.metrics);
+    VASTATS_RETURN_IF_ERROR(pool->ParallelFor(static_cast<int>(sets.size()),
+                                              task, &pool_observer));
   } else {
     for (size_t s = 0; s < sets.size(); ++s) {
       VASTATS_ASSIGN_OR_RETURN(fits[s],

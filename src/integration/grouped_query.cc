@@ -1,0 +1,64 @@
+#include "integration/grouped_query.h"
+
+#include <unordered_map>
+
+namespace vastats {
+
+bool HavingClause::Test(double value) const {
+  switch (comparator) {
+    case HavingComparator::kGreater:
+      return value > threshold;
+    case HavingComparator::kGreaterEqual:
+      return value >= threshold;
+    case HavingComparator::kLess:
+      return value < threshold;
+    case HavingComparator::kLessEqual:
+      return value <= threshold;
+  }
+  return false;
+}
+
+Status GroupedAggregateQuery::Validate() const {
+  if (groups.empty()) {
+    return Status::InvalidArgument("grouped query '" + name +
+                                   "' has no groups");
+  }
+  for (const QueryGroup& group : groups) {
+    if (group.components.empty()) {
+      return Status::InvalidArgument("group '" + group.key +
+                                     "' has no components");
+    }
+  }
+  return Status::Ok();
+}
+
+AggregateQuery GroupedAggregateQuery::GroupQuery(size_t group_index) const {
+  const QueryGroup& group = groups[group_index];
+  AggregateQuery query;
+  query.name = name + "/" + group.key;
+  query.kind = aggregate;
+  query.components = group.components;
+  return query;
+}
+
+GroupedAggregateQuery GroupComponentsBy(
+    std::string name, AggregateKind aggregate,
+    const std::vector<ComponentId>& components,
+    const std::vector<std::string>& keys) {
+  GroupedAggregateQuery query;
+  query.name = std::move(name);
+  query.aggregate = aggregate;
+  std::unordered_map<std::string, size_t> index;
+  for (size_t i = 0; i < components.size() && i < keys.size(); ++i) {
+    const auto it = index.find(keys[i]);
+    if (it == index.end()) {
+      index[keys[i]] = query.groups.size();
+      query.groups.push_back(QueryGroup{keys[i], {components[i]}});
+    } else {
+      query.groups[it->second].components.push_back(components[i]);
+    }
+  }
+  return query;
+}
+
+}  // namespace vastats

@@ -1,0 +1,71 @@
+// Grouped aggregate queries over the mediated schema — the query shape of
+// the paper's introduction:
+//
+//   SELECT Average(Temp), Month(Date), Province(Location)
+//   FROM SemIS
+//   GROUP BY Province(Location), Month(Date)
+//   HAVING Average(Temp) > 20
+//
+// A GroupedAggregateQuery partitions the component universe into groups
+// (one per GROUP BY key) and evaluates the aggregate per group. In the
+// viable-answer setting each group's answer is a *distribution*, so the
+// HAVING predicate is itself probabilistic: a group may satisfy it for some
+// source combinations and not others. The evaluator therefore reports, per
+// group, the full answer statistics plus the probability that the HAVING
+// predicate holds (the fraction of viable answers passing it).
+
+#ifndef VASTATS_INTEGRATION_GROUPED_QUERY_H_
+#define VASTATS_INTEGRATION_GROUPED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// One GROUP BY bucket: a key (e.g. "BC/June") and the components whose
+// values feed this group's aggregate.
+struct QueryGroup {
+  std::string key;
+  std::vector<ComponentId> components;
+};
+
+// Comparison operator of the HAVING clause.
+enum class HavingComparator { kGreater, kGreaterEqual, kLess, kLessEqual };
+
+struct HavingClause {
+  // Aggregate the predicate applies to (usually the SELECT aggregate).
+  AggregateKind aggregate = AggregateKind::kAverage;
+  HavingComparator comparator = HavingComparator::kGreater;
+  double threshold = 0.0;
+
+  // Evaluates the predicate on a single aggregate value.
+  bool Test(double value) const;
+};
+
+struct GroupedAggregateQuery {
+  std::string name;
+  AggregateKind aggregate = AggregateKind::kAverage;
+  std::vector<QueryGroup> groups;
+  // Optional HAVING clause; inactive when `has_having` is false.
+  bool has_having = false;
+  HavingClause having;
+
+  Status Validate() const;
+
+  // The flat AggregateQuery for one group (for feeding samplers/extractors).
+  AggregateQuery GroupQuery(size_t group_index) const;
+};
+
+// Convenience builder: groups components by an integer key function applied
+// to the component id (e.g. "month of component" for climate data).
+GroupedAggregateQuery GroupComponentsBy(
+    std::string name, AggregateKind aggregate,
+    const std::vector<ComponentId>& components,
+    const std::vector<std::string>& keys);
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_GROUPED_QUERY_H_

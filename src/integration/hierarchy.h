@@ -17,9 +17,9 @@
 
 #include <vector>
 
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
-#include "query/query_processor.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
+#include "sampling/query_processor.h"
 #include "util/random.h"
 #include "util/status.h"
 

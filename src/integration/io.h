@@ -11,7 +11,7 @@
 
 #include <string>
 
-#include "integration/source_set.h"
+#include "datagen/source_set.h"
 #include "util/status.h"
 
 namespace vastats {

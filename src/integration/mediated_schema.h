@@ -21,7 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "integration/component.h"
+#include "datagen/component.h"
 #include "util/status.h"
 
 namespace vastats {

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "integration/mediated_schema.h"
-#include "integration/source_set.h"
+#include "datagen/source_set.h"
 #include "util/status.h"
 
 namespace vastats {

@@ -15,7 +15,7 @@
 #include <span>
 #include <vector>
 
-#include "integration/source_set.h"
+#include "datagen/source_set.h"
 #include "util/status.h"
 
 namespace vastats {

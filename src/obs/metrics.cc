@@ -209,4 +209,17 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
+void PoolMetricsObserver::OnBatchQueued(int queue_depth) {
+  if (metrics_ == nullptr) return;
+  metrics_->GetGauge("thread_pool_queue_depth")
+      .Set(static_cast<double>(queue_depth));
+}
+
+void PoolMetricsObserver::OnTaskComplete(double latency_seconds) {
+  if (metrics_ == nullptr) return;
+  metrics_->GetCounter("thread_pool_tasks_total").Increment();
+  metrics_->GetHistogram("thread_pool_task_latency_seconds")
+      .Observe(latency_seconds);
+}
+
 }  // namespace vastats

@@ -37,6 +37,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace vastats {
 
 class MetricsRegistry;
@@ -117,6 +119,28 @@ struct MetricsSnapshot {
   const CounterSample* FindCounter(std::string_view name) const;
   const GaugeSample* FindGauge(std::string_view name) const;
   const HistogramSample* FindHistogram(std::string_view name) const;
+};
+
+// Routes ThreadPool telemetry into a MetricsRegistry: the
+// `thread_pool_tasks_total` counter, `thread_pool_queue_depth` gauge, and
+// `thread_pool_task_latency_seconds` histogram. The registry lookups happen
+// on the reporting thread, so writes land in that thread's shard like every
+// other instrumentation site. A null registry makes the observer a no-op
+// sink, so call sites can construct one unconditionally.
+//
+// This adapter is obs's side of the ThreadPoolObserver seam
+// (util/thread_pool.h): the pool stays metrics-agnostic so util never
+// includes obs (layer rule A1).
+class PoolMetricsObserver final : public ThreadPoolObserver {
+ public:
+  explicit PoolMetricsObserver(MetricsRegistry* metrics)
+      : metrics_(metrics) {}
+
+  void OnBatchQueued(int queue_depth) override;
+  void OnTaskComplete(double latency_seconds) override;
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 class MetricsRegistry {

@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "integration/mediated_schema.h"
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
 #include "util/status.h"
 
 namespace vastats {

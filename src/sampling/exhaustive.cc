@@ -4,7 +4,7 @@
 #include <string>
 #include <unordered_map>
 
-#include "query/query_processor.h"
+#include "sampling/query_processor.h"
 
 namespace vastats {
 namespace {
@@ -29,7 +29,7 @@ Result<QueryIndex> BuildIndex(const SourceSet& sources,
   index.per_source.assign(static_cast<size_t>(sources.NumSources()), {});
   index.covering.assign(m, {});
   for (int s = 0; s < sources.NumSources(); ++s) {
-    for (const auto& [component, value] : sources.source(s).bindings()) {
+    for (const auto& [component, value] : sources.source(s).SortedBindings()) {
       const auto it = position.find(component);
       if (it == position.end()) continue;
       index.per_source[static_cast<size_t>(s)].emplace_back(it->second, value);

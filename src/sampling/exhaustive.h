@@ -18,8 +18,8 @@
 #include <utility>
 #include <vector>
 
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
 #include "util/status.h"
 
 namespace vastats {

@@ -46,7 +46,7 @@ void MultiAggregateSampler::BuildIndex() {
   }
   per_source_.assign(static_cast<size_t>(sources_->NumSources()), {});
   for (int s = 0; s < sources_->NumSources(); ++s) {
-    for (const auto& [component, value] : sources_->source(s).bindings()) {
+    for (const auto& [component, value] : sources_->source(s).SortedBindings()) {
       const auto it = position.find(component);
       if (it == position.end()) continue;
       per_source_[static_cast<size_t>(s)].emplace_back(it->second, value);

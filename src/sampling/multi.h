@@ -14,8 +14,8 @@
 
 #include <vector>
 
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
 #include "util/random.h"
 #include "util/status.h"
 

@@ -60,8 +60,9 @@ Result<std::vector<double>> ParallelChunkedSample(
                         static_cast<size_t>(count)));
   };
 
+  PoolMetricsObserver pool_observer(obs.metrics);
   const Status status =
-      pooled ? options.pool->ParallelFor(num_chunks, task, obs.metrics)
+      pooled ? options.pool->ParallelFor(num_chunks, task, &pool_observer)
              : ThreadPerCallParallelFor(num_chunks, workers, task);
 
   if (obs.metrics != nullptr) {
@@ -200,8 +201,9 @@ Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
     return status;
   };
 
+  PoolMetricsObserver pool_observer(obs.metrics);
   const Status status =
-      pooled ? options.pool->ParallelFor(num_chunks, task, obs.metrics)
+      pooled ? options.pool->ParallelFor(num_chunks, task, &pool_observer)
              : ThreadPerCallParallelFor(num_chunks, workers, task);
   if (obs.metrics != nullptr) {
     obs.GetCounter("parallel_sampler_runs_total").Increment();

@@ -30,7 +30,7 @@
 #include <span>
 #include <vector>
 
-#include "integration/source_accessor.h"
+#include "datagen/source_accessor.h"
 #include "obs/obs.h"
 #include "sampling/unis.h"
 #include "util/random.h"

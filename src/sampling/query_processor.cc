@@ -1,0 +1,38 @@
+#include "sampling/query_processor.h"
+
+#include <string>
+
+namespace vastats {
+
+Result<double> QueryProcessor::Evaluate(const SourceSet& sources,
+                                        const AggregateQuery& query,
+                                        const Assignment& assignment) const {
+  VASTATS_RETURN_IF_ERROR(query.Validate());
+  if (assignment.size() != query.components.size()) {
+    return Status::InvalidArgument(
+        "assignment arity " + std::to_string(assignment.size()) +
+        " does not match query arity " +
+        std::to_string(query.components.size()));
+  }
+  const std::unique_ptr<PartialAggregator> agg =
+      NewAggregator(query.kind, query.quantile_q);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const int source_index = assignment[i];
+    if (source_index < 0 || source_index >= sources.NumSources()) {
+      return Status::OutOfRange("assignment names invalid source index " +
+                                std::to_string(source_index));
+    }
+    VASTATS_ASSIGN_OR_RETURN(
+        const double value,
+        sources.source(source_index).Value(query.components[i]));
+    agg->Add(value);
+  }
+  return agg->Finalize();
+}
+
+Result<double> QueryProcessor::EvaluateValues(
+    const AggregateQuery& query, std::span<const double> values) const {
+  return EvaluateAggregate(query.kind, values, query.quantile_q);
+}
+
+}  // namespace vastats

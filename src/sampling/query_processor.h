@@ -1,0 +1,40 @@
+// QueryProcessor — evaluates an aggregate query under a concrete value
+// assignment (the "QP" system parameter of Algorithm 1).
+//
+// An Assignment fixes, for every component of the query, which source
+// supplies its value. Evaluating a query under an assignment produces one
+// *viable answer*; the samplers in src/sampling generate random assignments.
+
+#ifndef VASTATS_SAMPLING_QUERY_PROCESSOR_H_
+#define VASTATS_SAMPLING_QUERY_PROCESSOR_H_
+
+#include <vector>
+
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
+#include "util/status.h"
+
+namespace vastats {
+
+// assignment[i] is the index (within the SourceSet) of the source supplying
+// query.components[i].
+using Assignment = std::vector<int>;
+
+class QueryProcessor {
+ public:
+  // Evaluates `query` over `sources` using `assignment`.
+  // Fails when the assignment has the wrong arity, names an invalid source,
+  // or names a source that does not bind the component.
+  Result<double> Evaluate(const SourceSet& sources,
+                          const AggregateQuery& query,
+                          const Assignment& assignment) const;
+
+  // Evaluates `query.kind` over explicit component values (used when the
+  // sampler has already resolved values).
+  Result<double> EvaluateValues(const AggregateQuery& query,
+                                std::span<const double> values) const;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_SAMPLING_QUERY_PROCESSOR_H_

@@ -66,7 +66,7 @@ void UniSSampler::BuildIndex() {
   for (int s = 0; s < num_sources; ++s) {
     const DataSource& source = sources_->source(s);
     auto& list = per_source_[static_cast<size_t>(s)];
-    for (const auto& [component, value] : source.bindings()) {
+    for (const auto& [component, value] : source.SortedBindings()) {
       const auto it = position.find(component);
       if (it == position.end()) continue;
       list.emplace_back(it->second, value);

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "query/aggregate.h"
+#include "stats/aggregate.h"
 #include "stats/descriptive.h"
 
 namespace vastats {
@@ -103,7 +103,7 @@ void WeightedUniSSampler::BuildIndex() {
   }
   per_source_.assign(static_cast<size_t>(sources_->NumSources()), {});
   for (int s = 0; s < sources_->NumSources(); ++s) {
-    for (const auto& [component, value] : sources_->source(s).bindings()) {
+    for (const auto& [component, value] : sources_->source(s).SortedBindings()) {
       const auto it = position.find(component);
       if (it == position.end()) continue;
       per_source_[static_cast<size_t>(s)].emplace_back(it->second, value);

@@ -19,10 +19,10 @@
 #include <span>
 #include <vector>
 
-#include "integration/source_accessor.h"
-#include "integration/source_set.h"
+#include "datagen/source_accessor.h"
+#include "datagen/source_set.h"
 #include "obs/obs.h"
-#include "query/aggregate_query.h"
+#include "stats/aggregate_query.h"
 #include "sampling/unis.h"
 #include "util/random.h"
 #include "util/status.h"

@@ -1,0 +1,264 @@
+#include "stats/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace vastats {
+namespace {
+
+Status KindMismatch(AggregateKind expected, AggregateKind got) {
+  return Status::InvalidArgument(
+      std::string("cannot merge aggregator of kind ") +
+      std::string(AggregateKindToString(got)) + " into " +
+      std::string(AggregateKindToString(expected)));
+}
+
+Status EmptyAggregate(AggregateKind kind) {
+  return Status::FailedPrecondition(
+      std::string(AggregateKindToString(kind)) +
+      " aggregate over zero values is undefined");
+}
+
+// Sum / count / average / variance / stddev share (sum, sum_sq, count)
+// partial state.
+class MomentAggregator : public PartialAggregator {
+ public:
+  explicit MomentAggregator(AggregateKind kind) : kind_(kind) {}
+
+  void Add(double value) override {
+    sum_ += value;
+    sum_sq_ += value * value;
+    ++count_;
+  }
+
+  Status Merge(const PartialAggregator& other) override {
+    if (other.kind() != kind_) return KindMismatch(kind_, other.kind());
+    const auto& rhs = static_cast<const MomentAggregator&>(other);
+    sum_ += rhs.sum_;
+    sum_sq_ += rhs.sum_sq_;
+    count_ += rhs.count_;
+    return Status::Ok();
+  }
+
+  int64_t Count() const override { return count_; }
+
+  Result<double> Finalize() const override {
+    if (kind_ == AggregateKind::kCount) return static_cast<double>(count_);
+    if (count_ == 0) return EmptyAggregate(kind_);
+    const double n = static_cast<double>(count_);
+    switch (kind_) {
+      case AggregateKind::kSum:
+        return sum_;
+      case AggregateKind::kAverage:
+        return sum_ / n;
+      case AggregateKind::kVariance:
+        return std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n));
+      case AggregateKind::kStdDev:
+        return std::sqrt(
+            std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n)));
+      case AggregateKind::kCount:
+        return static_cast<double>(count_);  // handled above; kept exhaustive
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+      case AggregateKind::kMedian:
+      case AggregateKind::kQuantile:
+        return Status::Internal("MomentAggregator: unexpected kind");
+    }
+    return Status::Internal("MomentAggregator: unexpected kind");
+  }
+
+  std::unique_ptr<PartialAggregator> NewEmpty() const override {
+    return std::make_unique<MomentAggregator>(kind_);
+  }
+
+  AggregateKind kind() const override { return kind_; }
+
+ private:
+  AggregateKind kind_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  int64_t count_ = 0;
+};
+
+class ExtremeAggregator : public PartialAggregator {
+ public:
+  explicit ExtremeAggregator(AggregateKind kind) : kind_(kind) {}
+
+  void Add(double value) override {
+    if (count_ == 0) {
+      extreme_ = value;
+    } else if (kind_ == AggregateKind::kMin) {
+      extreme_ = std::min(extreme_, value);
+    } else {
+      extreme_ = std::max(extreme_, value);
+    }
+    ++count_;
+  }
+
+  Status Merge(const PartialAggregator& other) override {
+    if (other.kind() != kind_) return KindMismatch(kind_, other.kind());
+    const auto& rhs = static_cast<const ExtremeAggregator&>(other);
+    if (rhs.count_ == 0) return Status::Ok();
+    if (count_ == 0) {
+      extreme_ = rhs.extreme_;
+    } else if (kind_ == AggregateKind::kMin) {
+      extreme_ = std::min(extreme_, rhs.extreme_);
+    } else {
+      extreme_ = std::max(extreme_, rhs.extreme_);
+    }
+    count_ += rhs.count_;
+    return Status::Ok();
+  }
+
+  int64_t Count() const override { return count_; }
+
+  Result<double> Finalize() const override {
+    if (count_ == 0) return EmptyAggregate(kind_);
+    return extreme_;
+  }
+
+  std::unique_ptr<PartialAggregator> NewEmpty() const override {
+    return std::make_unique<ExtremeAggregator>(kind_);
+  }
+
+  AggregateKind kind() const override { return kind_; }
+
+ private:
+  AggregateKind kind_;
+  double extreme_ = 0.0;
+  int64_t count_ = 0;
+};
+
+// Holistic aggregates (median / arbitrary quantile): keep the raw values.
+class QuantileAggregator : public PartialAggregator {
+ public:
+  QuantileAggregator(AggregateKind kind, double q) : kind_(kind), q_(q) {}
+
+  void Add(double value) override { values_.push_back(value); }
+
+  Status Merge(const PartialAggregator& other) override {
+    if (other.kind() != kind_) {
+      return KindMismatch(kind_, other.kind());
+    }
+    const auto& rhs = static_cast<const QuantileAggregator&>(other);
+    values_.insert(values_.end(), rhs.values_.begin(), rhs.values_.end());
+    return Status::Ok();
+  }
+
+  int64_t Count() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+
+  Result<double> Finalize() const override {
+    if (values_.empty()) return EmptyAggregate(kind_);
+    return Quantile(values_, q_);
+  }
+
+  std::unique_ptr<PartialAggregator> NewEmpty() const override {
+    return std::make_unique<QuantileAggregator>(kind_, q_);
+  }
+
+  AggregateKind kind() const override { return kind_; }
+
+ private:
+  AggregateKind kind_;
+  double q_;
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAverage:
+      return "avg";
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kVariance:
+      return "var";
+    case AggregateKind::kStdDev:
+      return "stddev";
+    case AggregateKind::kMedian:
+      return "median";
+    case AggregateKind::kQuantile:
+      return "quantile";
+  }
+  return "unknown";
+}
+
+Result<AggregateKind> ParseAggregateKind(std::string_view text) {
+  if (text == "sum") return AggregateKind::kSum;
+  if (text == "avg" || text == "average") return AggregateKind::kAverage;
+  if (text == "count") return AggregateKind::kCount;
+  if (text == "min") return AggregateKind::kMin;
+  if (text == "max") return AggregateKind::kMax;
+  if (text == "var" || text == "variance") return AggregateKind::kVariance;
+  if (text == "stddev" || text == "std") return AggregateKind::kStdDev;
+  if (text == "median") return AggregateKind::kMedian;
+  if (text == "quantile") return AggregateKind::kQuantile;
+  return Status::InvalidArgument("unknown aggregate kind: " +
+                                 std::string(text));
+}
+
+std::unique_ptr<PartialAggregator> NewAggregator(AggregateKind kind,
+                                                 double quantile_q) {
+  switch (kind) {
+    case AggregateKind::kSum:
+    case AggregateKind::kAverage:
+    case AggregateKind::kCount:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStdDev:
+      return std::make_unique<MomentAggregator>(kind);
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return std::make_unique<ExtremeAggregator>(kind);
+    case AggregateKind::kMedian:
+      return std::make_unique<QuantileAggregator>(kind, 0.5);
+    case AggregateKind::kQuantile:
+      return std::make_unique<QuantileAggregator>(
+          kind, std::clamp(quantile_q, 0.0, 1.0));
+  }
+  return nullptr;
+}
+
+Result<double> EvaluateAggregate(AggregateKind kind,
+                                 std::span<const double> values,
+                                 double quantile_q) {
+  const std::unique_ptr<PartialAggregator> agg =
+      NewAggregator(kind, quantile_q);
+  for (const double v : values) agg->Add(v);
+  return agg->Finalize();
+}
+
+bool IsAlgebraic(AggregateKind kind) {
+  return kind != AggregateKind::kMedian && kind != AggregateKind::kQuantile;
+}
+
+bool IsComponentwiseMonotone(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+    case AggregateKind::kAverage:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+    case AggregateKind::kMedian:
+    case AggregateKind::kQuantile:
+      return true;
+    case AggregateKind::kCount:
+    case AggregateKind::kVariance:
+    case AggregateKind::kStdDev:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace vastats

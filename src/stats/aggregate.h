@@ -1,0 +1,87 @@
+// Aggregate functions with partial-final decomposition (paper §4.2).
+//
+// uniS maintains a *partial* aggregate incrementally as it visits sources
+// and finalizes it once the component set is covered — e.g. for a final
+// avg() the partial aggregate is (sum, count). Algebraic aggregates
+// (sum/avg/count/min/max/variance/stddev) carry O(1) partial state and merge
+// in O(1); the holistic median buffers its inputs.
+
+#ifndef VASTATS_STATS_AGGREGATE_H_
+#define VASTATS_STATS_AGGREGATE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace vastats {
+
+// The aggregate functions the paper considers (§3: sum, average, median,
+// variance, standard deviation), plus count/min/max which fall out of the
+// same machinery.
+enum class AggregateKind {
+  kSum,
+  kAverage,
+  kCount,
+  kMin,
+  kMax,
+  kVariance,  // population variance, matching Eq. (1.1)-style averaging
+  kStdDev,
+  kMedian,
+  // Arbitrary quantile (parameterized by AggregateQuery::quantile_q or the
+  // factory argument); kMedian is the 0.5 special case.
+  kQuantile,
+};
+
+std::string_view AggregateKindToString(AggregateKind kind);
+
+// Parses "sum", "avg"/"average", "median", ... (case-sensitive, lowercase).
+Result<AggregateKind> ParseAggregateKind(std::string_view text);
+
+// Incrementally maintained partial aggregate.
+class PartialAggregator {
+ public:
+  virtual ~PartialAggregator() = default;
+
+  // Incorporates one component value.
+  virtual void Add(double value) = 0;
+
+  // Merges another partial aggregate of the same kind into this one.
+  // Returns InvalidArgument on kind mismatch.
+  virtual Status Merge(const PartialAggregator& other) = 0;
+
+  // Number of values absorbed so far.
+  virtual int64_t Count() const = 0;
+
+  // Final aggregate value; errors when no value was added (except kCount).
+  virtual Result<double> Finalize() const = 0;
+
+  // Fresh empty aggregator of the same kind.
+  virtual std::unique_ptr<PartialAggregator> NewEmpty() const = 0;
+
+  virtual AggregateKind kind() const = 0;
+};
+
+// Factory for the aggregator implementing `kind`. `quantile_q` applies to
+// kQuantile only (clamped to [0, 1]).
+std::unique_ptr<PartialAggregator> NewAggregator(AggregateKind kind,
+                                                 double quantile_q = 0.5);
+
+// One-shot evaluation of `kind` over `values` (reference semantics used by
+// tests and by exhaustive enumeration).
+Result<double> EvaluateAggregate(AggregateKind kind,
+                                 std::span<const double> values,
+                                 double quantile_q = 0.5);
+
+// True when the aggregate decomposes into bounded partial state (everything
+// except the holistic median).
+bool IsAlgebraic(AggregateKind kind);
+
+// True when per-component min/max envelopes give the aggregate's exact
+// viable range (monotone in each component value): sum, average, min, max.
+bool IsComponentwiseMonotone(AggregateKind kind);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_AGGREGATE_H_

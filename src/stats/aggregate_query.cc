@@ -1,0 +1,17 @@
+#include "stats/aggregate_query.h"
+
+namespace vastats {
+
+AggregateQuery MakeRangeQuery(std::string name, AggregateKind kind,
+                              ComponentId first_id, int count) {
+  AggregateQuery query;
+  query.name = std::move(name);
+  query.kind = kind;
+  query.components.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    query.components.push_back(first_id + i);
+  }
+  return query;
+}
+
+}  // namespace vastats

@@ -1,0 +1,44 @@
+// An aggregate query over a set of components, e.g. "Sum(Temp) for all
+// (district, month) pairs in BC during June 2006". The component list is the
+// set C of data points the aggregate requires; which source supplies each
+// component is decided at sampling time.
+
+#ifndef VASTATS_STATS_AGGREGATE_QUERY_H_
+#define VASTATS_STATS_AGGREGATE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/component.h"
+#include "stats/aggregate.h"
+#include "util/status.h"
+
+namespace vastats {
+
+struct AggregateQuery {
+  std::string name;  // label used in experiment output
+  AggregateKind kind = AggregateKind::kSum;
+  std::vector<ComponentId> components;
+  // Quantile level for kind == kQuantile (ignored otherwise).
+  double quantile_q = 0.5;
+
+  Status Validate() const {
+    if (components.empty()) {
+      return Status::InvalidArgument("query '" + name +
+                                     "' has no components");
+    }
+    if (!(quantile_q >= 0.0 && quantile_q <= 1.0)) {
+      return Status::InvalidArgument("query '" + name +
+                                     "' has quantile_q outside [0,1]");
+    }
+    return Status::Ok();
+  }
+};
+
+// Builds a query over components [first_id, first_id + count).
+AggregateQuery MakeRangeQuery(std::string name, AggregateKind kind,
+                              ComponentId first_id, int count);
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_AGGREGATE_QUERY_H_

@@ -1,5 +1,6 @@
 #include "stats/bootstrap.h"
 
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 #include "util/thread_pool.h"
 
@@ -18,7 +19,8 @@ Result<std::vector<double>> EvaluateReplicates(
     return Status::Ok();
   };
   if (pool != nullptr) {
-    VASTATS_RETURN_IF_ERROR(pool->ParallelFor(num_sets, task, metrics));
+    PoolMetricsObserver pool_observer(metrics);
+    VASTATS_RETURN_IF_ERROR(pool->ParallelFor(num_sets, task, &pool_observer));
   } else {
     for (int s = 0; s < num_sets; ++s) {
       VASTATS_RETURN_IF_ERROR(task(s));

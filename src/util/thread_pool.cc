@@ -10,12 +10,12 @@ namespace vastats {
 
 // One ParallelFor call. Lives on the caller's stack: ParallelFor only
 // returns after `completed == num_tasks` and the batch left the queue, so
-// workers never touch a dead batch. All fields below `metrics` are guarded
+// workers never touch a dead batch. All fields below `observer` are guarded
 // by the owning pool's mutex_.
 struct ThreadPool::Batch {
   int num_tasks = 0;
   const std::function<Status(int)>* fn = nullptr;
-  MetricsRegistry* metrics = nullptr;
+  ThreadPoolObserver* observer = nullptr;
 
   int next_claim = 0;  // tasks are claimed strictly in index order
   int completed = 0;   // finished + cancelled-before-claim
@@ -60,15 +60,13 @@ int ThreadPool::ClaimLocked(Batch* batch) {
 
 void ThreadPool::RunTask(Batch* batch, int index,
                          std::unique_lock<std::mutex>& lock) {
-  MetricsRegistry* metrics = batch->metrics;
+  ThreadPoolObserver* observer = batch->observer;
   const std::function<Status(int)>& fn = *batch->fn;
   lock.unlock();
   Stopwatch watch;
   Status status = fn(index);
-  if (metrics != nullptr) {
-    metrics->GetCounter("thread_pool_tasks_total").Increment();
-    metrics->GetHistogram("thread_pool_task_latency_seconds")
-        .Observe(watch.ElapsedSeconds());
+  if (observer != nullptr) {
+    observer->OnTaskComplete(watch.ElapsedSeconds());
   }
   lock.lock();
   ++batch->completed;
@@ -108,7 +106,7 @@ void ThreadPool::WorkerLoop() {
 
 Status ThreadPool::ParallelFor(int num_tasks,
                                const std::function<Status(int)>& fn,
-                               MetricsRegistry* metrics) {
+                               ThreadPoolObserver* observer) {
   if (num_tasks < 0) {
     return Status::InvalidArgument("ParallelFor requires num_tasks >= 0");
   }
@@ -117,7 +115,7 @@ Status ThreadPool::ParallelFor(int num_tasks,
   Batch batch;
   batch.num_tasks = num_tasks;
   batch.fn = &fn;
-  batch.metrics = metrics;
+  batch.observer = observer;
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (shutdown_) {
@@ -134,9 +132,8 @@ Status ThreadPool::ParallelFor(int num_tasks,
   }
   batch.queued = true;
   queue_.push_back(&batch);
-  if (metrics != nullptr) {
-    metrics->GetGauge("thread_pool_queue_depth")
-        .Set(static_cast<double>(queue_.size()));
+  if (observer != nullptr) {
+    observer->OnBatchQueued(static_cast<int>(queue_.size()));
   }
   work_cv_.notify_all();
 

@@ -22,9 +22,12 @@
 // intended result-passing idiom.
 //
 // Telemetry is per-call and borrowed, matching the rest of the pipeline: a
-// non-null `MetricsRegistry*` receives a `thread_pool_tasks_total` counter,
-// a `thread_pool_queue_depth` gauge, and a `thread_pool_task_latency_seconds`
-// histogram.
+// non-null `ThreadPoolObserver*` receives per-batch and per-task events.
+// The observer seam keeps util below obs in the layer DAG (A1): the pool
+// knows nothing about metrics; obs provides `PoolMetricsObserver`, which
+// forwards the events into a `MetricsRegistry` under the usual
+// `thread_pool_tasks_total` / `thread_pool_queue_depth` /
+// `thread_pool_task_latency_seconds` names.
 
 #ifndef VASTATS_UTIL_THREAD_POOL_H_
 #define VASTATS_UTIL_THREAD_POOL_H_
@@ -36,10 +39,25 @@
 #include <thread>
 #include <vector>
 
-#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace vastats {
+
+// Telemetry seam for the pool. Callbacks fire on the thread that produced
+// the event (OnTaskComplete runs on the worker that ran the task), so
+// observer implementations that shard state per thread keep their locality.
+// Implementations must be thread-safe.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+
+  // A ParallelFor batch was enqueued; `queue_depth` counts batches in the
+  // queue including this one.
+  virtual void OnBatchQueued(int queue_depth) = 0;
+
+  // One task finished executing (successfully or not).
+  virtual void OnTaskComplete(double latency_seconds) = 0;
+};
 
 struct ThreadPoolOptions {
   // 0 means std::thread::hardware_concurrency() (at least 1).
@@ -68,7 +86,7 @@ class ThreadPool {
   // after Shutdown(). Safe to call from several threads at once and from
   // inside a running task.
   Status ParallelFor(int num_tasks, const std::function<Status(int)>& fn,
-                     MetricsRegistry* metrics = nullptr);
+                     ThreadPoolObserver* observer = nullptr);
 
   // Drains in-flight batches, stops the workers, and joins them. Idempotent.
   // Subsequent ParallelFor calls fail.

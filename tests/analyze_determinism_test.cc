@@ -1,0 +1,60 @@
+// The analyzer must be bit-identical at any pool width: findings land in
+// per-file slots and merge in walk order, so 1, 4, and 16 workers (and the
+// shared default pool) all render the same report.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine.h"
+#include "rules.h"
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+std::string RenderedReport(const std::string& root, int threads) {
+  AnalyzeOptions options;
+  options.root = root;
+  options.threads = threads;
+  Result<AnalysisReport> report = AnalyzeRepo(options);
+  EXPECT_TRUE(report.ok()) << report.status().message();
+  if (!report.ok()) return "";
+  std::string out;
+  for (const Finding& finding : report.value().findings) {
+    out += Render(finding) + "\n";
+  }
+  return out;
+}
+
+TEST(AnalyzeDeterminism, FixtureTreeBitIdenticalAcrossThreadCounts) {
+  const std::string root =
+      std::string(VASTATS_REPO_ROOT) + "/tools/analyze/testdata/repo";
+  const std::string baseline = RenderedReport(root, 1);
+  ASSERT_FALSE(baseline.empty());  // the fixture tree has planted findings
+  EXPECT_EQ(RenderedReport(root, 4), baseline);
+  EXPECT_EQ(RenderedReport(root, 16), baseline);
+  EXPECT_EQ(RenderedReport(root, 0), baseline);  // shared default pool
+}
+
+TEST(AnalyzeDeterminism, RealTreeBitIdenticalAcrossThreadCounts) {
+  const std::string root = VASTATS_REPO_ROOT;
+  const std::string baseline = RenderedReport(root, 1);
+  EXPECT_EQ(RenderedReport(root, 4), baseline);
+  EXPECT_EQ(RenderedReport(root, 16), baseline);
+  EXPECT_EQ(RenderedReport(root, 0), baseline);
+}
+
+TEST(AnalyzeDeterminism, RepeatedRunsAreStable) {
+  const std::string root =
+      std::string(VASTATS_REPO_ROOT) + "/tools/analyze/testdata/repo";
+  const std::string first = RenderedReport(root, 8);
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(RenderedReport(root, 8), first);
+  }
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace vastats

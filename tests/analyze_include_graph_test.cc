@@ -1,0 +1,106 @@
+// Include-graph and layer-DAG tests for the analyzer's RepoIndex: edge
+// resolution, layer ranks, include chains, and fact merging.
+
+#include "repo_index.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "source.h"
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+RepoIndex IndexOf(std::vector<std::pair<std::string, std::string>> files) {
+  std::vector<SourceFile> sources;
+  for (auto& [path, text] : files) {
+    sources.push_back(MakeSourceFile(path, std::move(text)));
+  }
+  return BuildRepoIndex(std::move(sources));
+}
+
+TEST(AnalyzeIncludeGraph, LayerRanks) {
+  EXPECT_EQ(LayerRank("util"), 0);
+  EXPECT_EQ(LayerRank("obs"), 1);
+  EXPECT_EQ(LayerRank("stats"), 2);
+  EXPECT_EQ(LayerRank("density"), 2);
+  EXPECT_EQ(LayerRank("sampling"), 2);
+  EXPECT_EQ(LayerRank("datagen"), 2);
+  EXPECT_EQ(LayerRank("integration"), 3);
+  EXPECT_EQ(LayerRank("core"), 4);
+  EXPECT_EQ(LayerRank("fusion"), 4);
+  EXPECT_EQ(LayerRank("query"), 5);
+  EXPECT_EQ(LayerRank("unknown"), -1);
+}
+
+TEST(AnalyzeIncludeGraph, ResolvesQuotedIncludesSrcRelative) {
+  const RepoIndex index = IndexOf(
+      {{"src/core/a.cc",
+        "#include \"core/a.h\"\n#include \"util/b.h\"\n"
+        "#include <vector>\n#include \"missing/x.h\"\n"},
+       {"src/core/a.h", "int A();\n"},
+       {"src/util/b.h", "int B();\n"}});
+  const int a_cc = index.by_path.at("src/core/a.cc");
+  ASSERT_EQ(index.includes[static_cast<size_t>(a_cc)].size(), 2u);
+  EXPECT_EQ(index.includes[static_cast<size_t>(a_cc)][0].to,
+            index.by_path.at("src/core/a.h"));
+  EXPECT_EQ(index.includes[static_cast<size_t>(a_cc)][0].line, 1);
+  EXPECT_EQ(index.includes[static_cast<size_t>(a_cc)][1].to,
+            index.by_path.at("src/util/b.h"));
+  EXPECT_EQ(index.includes[static_cast<size_t>(a_cc)][1].line, 2);
+}
+
+TEST(AnalyzeIncludeGraph, IncludeChainReachesNearestCc) {
+  // a.cc -> mid.h -> deep.h: the chain for deep.h walks back to a.cc.
+  const RepoIndex index = IndexOf(
+      {{"src/core/a.cc", "#include \"core/mid.h\"\n"},
+       {"src/core/mid.h", "#include \"core/deep.h\"\n"},
+       {"src/core/deep.h", "int D();\n"}});
+  const std::vector<std::string> chain =
+      index.IncludeChain(index.by_path.at("src/core/deep.h"));
+  const std::vector<std::string> want = {"src/core/a.cc", "src/core/mid.h",
+                                         "src/core/deep.h"};
+  EXPECT_EQ(chain, want);
+}
+
+TEST(AnalyzeIncludeGraph, IncludeChainWithoutIncluderIsSelf) {
+  const RepoIndex index = IndexOf({{"src/core/lone.h", "int L();\n"}});
+  const std::vector<std::string> chain =
+      index.IncludeChain(index.by_path.at("src/core/lone.h"));
+  EXPECT_EQ(chain, std::vector<std::string>{"src/core/lone.h"});
+}
+
+TEST(AnalyzeIncludeGraph, MergesEnumAndStatusFacts) {
+  const RepoIndex index = IndexOf(
+      {{"src/core/a.h",
+        "enum class Kind { kOne, kTwo };\nStatus Commit();\n"},
+       {"src/util/b.h",
+        "class C {\n  std::unordered_map<int, int>& table();\n};\n"}});
+  ASSERT_EQ(index.enums_by_name.count("Kind"), 1u);
+  EXPECT_EQ(index.enums_by_name.at("Kind")->enumerators.size(), 2u);
+  EXPECT_EQ(index.enum_of_enumerator.at("kTwo"), "Kind");
+  EXPECT_EQ(index.status_functions.count("Commit"), 1u);
+  EXPECT_EQ(index.unordered_methods.count("table"), 1u);
+}
+
+TEST(AnalyzeIncludeGraph, VoidOverloadRemovesStatusFunction) {
+  const RepoIndex index = IndexOf(
+      {{"src/core/a.h", "Status Rebuild(int n);\n"},
+       {"src/core/b.h", "class C {\n  void Rebuild();\n};\n"}});
+  EXPECT_EQ(index.status_functions.count("Rebuild"), 0u);
+}
+
+TEST(AnalyzeIncludeGraph, TestsDoNotContributeFacts) {
+  // Facts merge from src/ only; a tests/ enum must not enter the registry.
+  const RepoIndex index = IndexOf(
+      {{"tests/a_test.cc", "enum class Fake { kA };\n"}});
+  EXPECT_EQ(index.enums_by_name.count("Fake"), 0u);
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,144 @@
+// Golden tests for the analyzer's token stream: kinds, line numbers,
+// comment/string stripping, raw strings, directive capture, and the
+// allow-comment parser.
+
+#include "lexer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+std::vector<std::string> TokenTexts(const LexedSource& lex) {
+  std::vector<std::string> texts;
+  for (const Token& t : lex.tokens) texts.push_back(t.text);
+  return texts;
+}
+
+TEST(AnalyzeLexer, GoldenTokenStream) {
+  const LexedSource lex = Lex("int F(double x) { return x <= 3 ? 1 : 0; }");
+  const std::vector<std::string> want = {"int", "F", "(", "double", "x", ")",
+                                         "{",   "return", "x", "<=", "3",
+                                         "?",   "1", ":", "0", ";", "}"};
+  EXPECT_EQ(TokenTexts(lex), want);
+  EXPECT_EQ(lex.tokens[9].kind, TokenKind::kPunct);  // <= fused
+  EXPECT_EQ(lex.tokens[10].kind, TokenKind::kNumber);
+}
+
+TEST(AnalyzeLexer, FusesMultiCharPunctuators) {
+  const LexedSource lex = Lex("a::b->c <<= 1; x >>= 2; p <=> q;");
+  const std::vector<std::string> texts = TokenTexts(lex);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "::"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "->"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "<<="), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), ">>="), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "<=>"), texts.end());
+}
+
+TEST(AnalyzeLexer, CommentsAreStrippedButLinesKept) {
+  const LexedSource lex = Lex("a\n/* two\nlines */ b\n// tail\nc\n");
+  ASSERT_EQ(lex.tokens.size(), 3u);
+  EXPECT_EQ(lex.tokens[0].text, "a");
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[1].text, "b");
+  EXPECT_EQ(lex.tokens[1].line, 3);  // block comment spans two lines
+  EXPECT_EQ(lex.tokens[2].text, "c");
+  EXPECT_EQ(lex.tokens[2].line, 5);
+  EXPECT_EQ(lex.num_lines, 5);
+}
+
+TEST(AnalyzeLexer, StringAndCharLiterals) {
+  const LexedSource lex = Lex("auto s = \"a \\\" b\"; char c = '\\n';");
+  bool saw_string = false, saw_char = false;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokenKind::kString) {
+      saw_string = true;
+      EXPECT_EQ(t.text, "a \\\" b");  // inner content, escapes kept verbatim
+    }
+    if (t.kind == TokenKind::kChar) saw_char = true;
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(AnalyzeLexer, RawStringsDoNotLeakTokens) {
+  const LexedSource lex = Lex("auto s = R\"x(throw \"y\" })x\"; int z;");
+  bool saw_raw = false;
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "throw");
+    if (t.kind == TokenKind::kRawString) {
+      saw_raw = true;
+      EXPECT_EQ(t.text, "throw \"y\" }");
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+}
+
+TEST(AnalyzeLexer, DirectiveCapture) {
+  const LexedSource lex =
+      Lex("#ifndef GUARD_H_\n#define GUARD_H_\n#include \"util/x.h\"\n"
+          "#include <vector>\n  #include \"indented.h\"\n#endif\n");
+  ASSERT_EQ(lex.directives.size(), 6u);
+  EXPECT_EQ(lex.directives[0].keyword, "ifndef");
+  EXPECT_EQ(lex.directives[0].argument, "GUARD_H_");
+  EXPECT_TRUE(lex.directives[0].canonical_spelling);
+  EXPECT_EQ(lex.directives[2].keyword, "include");
+  EXPECT_EQ(lex.directives[2].argument, "util/x.h");
+  EXPECT_TRUE(lex.directives[2].quoted);
+  EXPECT_EQ(lex.directives[2].line, 3);
+  EXPECT_EQ(lex.directives[3].argument, "vector");
+  EXPECT_FALSE(lex.directives[3].quoted);
+  // Indented `#include` is captured but not canonical (python used ^#).
+  EXPECT_FALSE(lex.directives[4].canonical_spelling);
+}
+
+TEST(AnalyzeLexer, StructuralViewSkipsDirectiveTokens) {
+  const LexedSource lex = Lex("#define BAD {\nint x;\n");
+  // The `{` from the macro body must not reach the structural view.
+  for (const int idx : lex.structural) {
+    EXPECT_FALSE(lex.tokens[static_cast<size_t>(idx)].from_directive);
+    EXPECT_NE(lex.tokens[static_cast<size_t>(idx)].text, "{");
+  }
+  // But the text-level rules still see it in the main stream.
+  bool saw_brace = false;
+  for (const Token& t : lex.tokens) {
+    if (t.text == "{") saw_brace = true;
+  }
+  EXPECT_TRUE(saw_brace);
+}
+
+TEST(AnalyzeLexer, BackslashNewlineContinuation) {
+  // A continued #define stays one directive; its body tokens remain in
+  // the main stream (the text rules must see macro bodies).
+  const LexedSource lex = Lex("#define PI 3.14 \\\n  + 0.0\nint after;\n");
+  ASSERT_EQ(lex.directives.size(), 1u);
+  EXPECT_EQ(lex.directives[0].keyword, "define");
+  EXPECT_EQ(lex.directives[0].argument, "PI");
+  bool saw_plus = false;
+  for (const Token& t : lex.tokens) {
+    if (t.text == "+" && t.from_directive) saw_plus = true;
+  }
+  EXPECT_TRUE(saw_plus);
+  // `after` follows the continued directive on physical line 3.
+  const Token& last = lex.tokens[lex.tokens.size() - 2];
+  EXPECT_EQ(last.text, "after");
+  EXPECT_EQ(last.line, 3);
+}
+
+TEST(AnalyzeLexer, AllowedRulesParsing) {
+  EXPECT_EQ(AllowedRules("x; // lint-invariants: allow(R1)"),
+            (std::vector<std::string>{"R1"}));
+  EXPECT_EQ(AllowedRules("x; // lint-invariants: allow(R1, A2)"),
+            (std::vector<std::string>{"R1", "A2"}));
+  EXPECT_TRUE(AllowedRules("x; // ordinary comment").empty());
+  EXPECT_TRUE(AllowedRules("plain code").empty());
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace vastats

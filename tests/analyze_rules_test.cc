@@ -1,0 +1,127 @@
+// End-to-end rule tests over the committed fixture tree
+// (tools/analyze/testdata/repo): every rule fires exactly where planted,
+// allow-comments suppress, and the baseline absorbs rendered findings.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline.h"
+#include "engine.h"
+#include "rules.h"
+#include "selftest.h"
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+const char kFixtureRoot[] = VASTATS_REPO_ROOT "/tools/analyze/testdata/repo";
+
+AnalysisReport FixtureReport() {
+  AnalyzeOptions options;
+  options.root = kFixtureRoot;
+  Result<AnalysisReport> report = AnalyzeRepo(options);
+  EXPECT_TRUE(report.ok()) << report.status().message();
+  return report.ok() ? report.value() : AnalysisReport{};
+}
+
+TEST(AnalyzeRules, SelfTestCorpusPasses) {
+  const std::vector<std::string> failures = RunSelfTest();
+  for (const std::string& failure : failures) {
+    ADD_FAILURE() << failure;
+  }
+}
+
+TEST(AnalyzeRules, FixtureTreeFindsEveryPlantedViolation) {
+  const AnalysisReport report = FixtureReport();
+  std::vector<std::string> got;
+  for (const Finding& finding : report.findings) {
+    got.push_back(finding.rule + " " + finding.path + ":" +
+                  std::to_string(finding.line));
+  }
+  const std::vector<std::string> want = {
+      "R4 src/core/badguard.h:1",
+      "R1 src/core/throws.cc:6",
+      "R2 src/density/random_use.cc:6",
+      "A2 src/integration/hazard.cc:9",
+      "A3 src/integration/hazard.cc:28",
+      "A4 src/integration/hazard.cc:16",
+      "A5 src/integration/hazard.cc:5",
+      "R4 src/sampling/orphan.cc:0",
+      "R7 src/stats/io_use.cc:10",
+      "R3 src/stats/io_use.cc:9",
+      "R6 tests/telemetry_test.cc:4",
+      "A1 src/util/uplink.h:4",
+      "A1 src/stats/cycle_a.h:4",
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(AnalyzeRules, AllowCommentsSuppress) {
+  // The fixture plants a suppressed twin next to several violations
+  // (throws.cc:10 R1, random_use.cc:10 R2, hazard.cc:29 A3); none may
+  // appear in the report.
+  const AnalysisReport report = FixtureReport();
+  for (const Finding& finding : report.findings) {
+    EXPECT_FALSE(finding.path == "src/core/throws.cc" && finding.line == 10)
+        << Render(finding);
+    EXPECT_FALSE(finding.path == "src/density/random_use.cc" &&
+                 finding.line == 10)
+        << Render(finding);
+    EXPECT_FALSE(finding.path == "src/integration/hazard.cc" &&
+                 finding.line == 29)
+        << Render(finding);
+  }
+}
+
+TEST(AnalyzeRules, MessagesNameTheRemedy) {
+  const AnalysisReport report = FixtureReport();
+  bool saw_a1 = false, saw_a4 = false;
+  for (const Finding& finding : report.findings) {
+    if (finding.rule == "A1" && finding.path == "src/util/uplink.h") {
+      saw_a1 = true;
+      EXPECT_NE(finding.message.find("layering back-edge"),
+                std::string::npos);
+      EXPECT_NE(finding.message.find(
+                    "include chain: src/util/uplink.h -> src/core/throws.h"),
+                std::string::npos);
+    }
+    if (finding.rule == "A4") {
+      saw_a4 = true;
+      EXPECT_NE(finding.message.find("unhandled: kRun, kDrain"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_a1);
+  EXPECT_TRUE(saw_a4);
+}
+
+TEST(AnalyzeRules, BaselineAbsorbsRenderedFindings) {
+  const AnalysisReport report = FixtureReport();
+  ASSERT_FALSE(report.findings.empty());
+  // Baseline the first two findings; they move to `baselined`, the rest
+  // stay fresh, order preserved.
+  const Baseline baseline = ParseBaseline(
+      "# comment line\n" + Render(report.findings[0]) + "\n" +
+      Render(report.findings[1]) + "\n");
+  const BaselineSplit split = ApplyBaseline(report.findings, baseline);
+  EXPECT_EQ(split.baselined.size(), 2u);
+  EXPECT_EQ(split.fresh.size(), report.findings.size() - 2);
+  EXPECT_EQ(Render(split.baselined[0]), Render(report.findings[0]));
+  EXPECT_EQ(Render(split.fresh[0]), Render(report.findings[2]));
+}
+
+TEST(AnalyzeRules, RealTreeIsCleanAgainstCommittedBaseline) {
+  AnalyzeOptions options;
+  options.root = VASTATS_REPO_ROOT;
+  Result<AnalysisReport> report = AnalyzeRepo(options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  for (const Finding& finding : report.value().findings) {
+    ADD_FAILURE() << Render(finding);
+  }
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace vastats

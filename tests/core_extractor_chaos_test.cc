@@ -7,8 +7,8 @@
 #include "core/extractor.h"
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
-#include "integration/fault_model.h"
-#include "query/aggregate_query.h"
+#include "datagen/fault_model.h"
+#include "stats/aggregate_query.h"
 #include "test_util.h"
 #include "util/thread_pool.h"
 

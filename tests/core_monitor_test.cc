@@ -9,7 +9,7 @@
 
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
-#include "integration/fault_model.h"
+#include "datagen/fault_model.h"
 #include "obs/metrics.h"
 #include "test_util.h"
 

@@ -8,7 +8,7 @@
 #include "datagen/climate.h"
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
-#include "query/aggregate_query.h"
+#include "stats/aggregate_query.h"
 #include "sampling/unis.h"
 #include "stats/descriptive.h"
 #include "util/csv.h"

@@ -1,4 +1,4 @@
-#include "integration/fault_model.h"
+#include "datagen/fault_model.h"
 
 #include <cmath>
 #include <set>

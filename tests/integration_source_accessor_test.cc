@@ -1,10 +1,10 @@
-#include "integration/source_accessor.h"
+#include "datagen/source_accessor.h"
 
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "integration/fault_model.h"
+#include "datagen/fault_model.h"
 #include "obs/metrics.h"
 
 namespace vastats {

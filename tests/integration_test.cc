@@ -3,8 +3,8 @@
 
 #include <gtest/gtest.h>
 
-#include "integration/data_source.h"
-#include "integration/source_set.h"
+#include "datagen/data_source.h"
+#include "datagen/source_set.h"
 #include "test_util.h"
 
 namespace vastats {

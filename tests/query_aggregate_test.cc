@@ -1,4 +1,4 @@
-#include "query/aggregate.h"
+#include "stats/aggregate.h"
 
 #include <cmath>
 #include <memory>

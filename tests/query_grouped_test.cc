@@ -1,4 +1,4 @@
-#include "query/grouped_query.h"
+#include "integration/grouped_query.h"
 
 #include <vector>
 

@@ -1,4 +1,4 @@
-#include "query/query_processor.h"
+#include "sampling/query_processor.h"
 
 #include <vector>
 

@@ -5,9 +5,9 @@
 
 #include "datagen/distributions.h"
 #include "datagen/source_builder.h"
-#include "integration/fault_model.h"
-#include "integration/source_accessor.h"
-#include "query/aggregate_query.h"
+#include "datagen/fault_model.h"
+#include "datagen/source_accessor.h"
+#include "stats/aggregate_query.h"
 #include "sampling/adaptive.h"
 #include "sampling/parallel.h"
 #include "sampling/unis.h"

@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "density/grid_density.h"
-#include "integration/source_set.h"
-#include "query/aggregate_query.h"
+#include "datagen/source_set.h"
+#include "stats/aggregate_query.h"
 #include "util/math.h"
 #include "util/random.h"
 

@@ -121,8 +121,9 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
 TEST(ThreadPoolTest, RecordsTaskTelemetry) {
   ThreadPool pool(ThreadPoolOptions{.num_threads = 2});
   MetricsRegistry metrics;
+  PoolMetricsObserver observer(&metrics);
   ASSERT_TRUE(
-      pool.ParallelFor(8, [](int) { return Status::Ok(); }, &metrics).ok());
+      pool.ParallelFor(8, [](int) { return Status::Ok(); }, &observer).ok());
   const MetricsSnapshot snapshot = metrics.Snapshot();
   EXPECT_EQ(snapshot.FindCounter("thread_pool_tasks_total")->value, 8u);
   const HistogramSample* latency =

@@ -1,0 +1,56 @@
+#include "baseline.h"
+
+namespace vastats {
+namespace analyze {
+
+Baseline ParseBaseline(const std::string& text) {
+  Baseline baseline;
+  std::string line;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != '\n') {
+      line += text[i];
+      continue;
+    }
+    // Trim trailing carriage return, leading/trailing spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    size_t start = 0;
+    while (start < line.size() && line[start] == ' ') ++start;
+    if (start < line.size() && line[start] != '#') {
+      ++baseline.entries[line.substr(start)];
+    }
+    line.clear();
+  }
+  return baseline;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# vastats_analyze baseline: tolerated findings, one rendered "
+      "finding per line.\n"
+      "# Keep this file empty for src/core; shrink it, never grow it.\n";
+  for (const Finding& finding : findings) {
+    out += Render(finding) + "\n";
+  }
+  return out;
+}
+
+BaselineSplit ApplyBaseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline) {
+  BaselineSplit split;
+  std::map<std::string, int> remaining = baseline.entries;
+  for (const Finding& finding : findings) {
+    const auto it = remaining.find(Render(finding));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      split.baselined.push_back(finding);
+    } else {
+      split.fresh.push_back(finding);
+    }
+  }
+  return split;
+}
+
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,44 @@
+// Baseline support: a committed text file of rendered findings that are
+// tolerated (grandfathered) without failing the build. Format: one
+// rendered finding per line ("path:line: [rule] message"), `#` comments
+// and blank lines ignored. Matching is exact-line, multiset semantics —
+// two identical baselined findings absorb at most two occurrences.
+//
+// The repo's committed baseline (tools/analyze/baseline.txt) is empty by
+// policy: src/ analyzes clean, and new debt must not be silently added.
+
+#ifndef VASTATS_TOOLS_ANALYZE_BASELINE_H_
+#define VASTATS_TOOLS_ANALYZE_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace vastats {
+namespace analyze {
+
+struct Baseline {
+  std::map<std::string, int> entries;  // rendered line -> tolerated count
+};
+
+// Parses baseline text (not a path; the caller reads the file).
+Baseline ParseBaseline(const std::string& text);
+
+// Serializes findings into baseline-file text.
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+struct BaselineSplit {
+  std::vector<Finding> fresh;      // not in the baseline: these fail the run
+  std::vector<Finding> baselined;  // absorbed by the baseline
+};
+
+// Splits `findings` against `baseline`, preserving order within each part.
+BaselineSplit ApplyBaseline(const std::vector<Finding>& findings,
+                            const Baseline& baseline);
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_BASELINE_H_

@@ -1,0 +1,295 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Raw-string prefixes: the identifier directly before a `"` that switches
+// the literal into raw mode.
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+// Multi-character punctuators, longest first so greedy matching is correct.
+constexpr const char* kPuncts3[] = {"<<=", ">>=", "<=>", "->*", "..."};
+constexpr const char* kPuncts2[] = {"::", "->", "<<", ">>", "<=", ">=",
+                                    "==", "!=", "&&", "||", "+=", "-=",
+                                    "*=", "/=", "%=", "&=", "|=", "^=",
+                                    "++", "--", "##"};
+
+}  // namespace
+
+std::vector<std::string> AllowedRules(const std::string& raw_line) {
+  // Mirrors the Python ALLOW_RE:  //\s*lint-invariants:\s*allow\((...)\)
+  std::vector<std::string> rules;
+  const std::string marker = "lint-invariants:";
+  for (size_t i = 0; i + 1 < raw_line.size(); ++i) {
+    if (raw_line[i] != '/' || raw_line[i + 1] != '/') continue;
+    size_t p = i + 2;
+    while (p < raw_line.size() &&
+           std::isspace(static_cast<unsigned char>(raw_line[p]))) {
+      ++p;
+    }
+    if (raw_line.compare(p, marker.size(), marker) != 0) continue;
+    p += marker.size();
+    while (p < raw_line.size() &&
+           std::isspace(static_cast<unsigned char>(raw_line[p]))) {
+      ++p;
+    }
+    if (raw_line.compare(p, 6, "allow(") != 0) continue;
+    p += 6;
+    const size_t close = raw_line.find(')', p);
+    if (close == std::string::npos) continue;
+    // Split the comma-separated rule list, trimming whitespace.
+    std::string current;
+    for (size_t q = p; q <= close; ++q) {
+      const char c = raw_line[q];
+      if (c == ',' || c == ')') {
+        if (!current.empty()) rules.push_back(current);
+        current.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        current += c;
+      }
+    }
+    return rules;
+  }
+  return rules;
+}
+
+LexedSource Lex(const std::string& text) {
+  LexedSource out;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  size_t line_start = 0;
+  bool line_has_token = false;  // any non-whitespace seen on this line
+
+  bool in_directive = false;
+  Directive directive;
+  size_t directive_first_token = 0;  // index into out.tokens of the `#`
+  size_t hash_offset = 0;
+
+  auto finalize_directive = [&]() {
+    if (!in_directive) return;
+    in_directive = false;
+    // keyword = first identifier token after `#`.
+    size_t k = directive_first_token + 1;
+    if (k < out.tokens.size() &&
+        out.tokens[k].kind == TokenKind::kIdentifier) {
+      directive.keyword = out.tokens[k].text;
+      if (directive.keyword == "include") {
+        for (size_t t = k + 1; t < out.tokens.size(); ++t) {
+          if (out.tokens[t].kind == TokenKind::kString) {
+            directive.argument = out.tokens[t].text;
+            directive.quoted = true;
+            break;
+          }
+          if (out.tokens[t].kind == TokenKind::kPunct &&
+              out.tokens[t].text == "<") {
+            // Reassemble the <...> path from the tokens between the angle
+            // brackets.
+            std::string path;
+            for (size_t u = t + 1; u < out.tokens.size(); ++u) {
+              if (out.tokens[u].kind == TokenKind::kPunct &&
+                  out.tokens[u].text == ">") {
+                break;
+              }
+              path += out.tokens[u].text;
+            }
+            directive.argument = path;
+            directive.quoted = false;
+            break;
+          }
+        }
+      } else if (k + 1 < out.tokens.size()) {
+        directive.argument = out.tokens[k + 1].text;
+      }
+    }
+    out.directives.push_back(directive);
+    directive = Directive();
+  };
+
+  auto push = [&](TokenKind kind, std::string tok_text, int tok_line) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(tok_text);
+    t.line = tok_line;
+    t.from_directive = in_directive;
+    if (!in_directive) {
+      out.structural.push_back(static_cast<int>(out.tokens.size()));
+    }
+    out.tokens.push_back(std::move(t));
+  };
+
+  auto newline = [&]() {
+    finalize_directive();
+    ++line;
+    line_start = i;  // caller advances i past the '\n' first
+    line_has_token = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    const char nxt = i + 1 < n ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      ++i;
+      newline();
+      continue;
+    }
+    if (c == '\\' && (nxt == '\n' || (nxt == '\r' && i + 2 < n &&
+                                      text[i + 2] == '\n'))) {
+      // Line continuation: the logical line (and any directive) continues.
+      i += nxt == '\r' ? 3 : 2;
+      ++line;
+      line_start = i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && nxt == '/') {  // line comment
+      const size_t j = text.find('\n', i);
+      i = j == std::string::npos ? n : j;
+      continue;
+    }
+    if (c == '/' && nxt == '*') {  // block comment
+      size_t j = text.find("*/", i + 2);
+      j = j == std::string::npos ? n : j + 2;
+      for (size_t p = i; p < j; ++p) {
+        if (text[p] == '\n') ++line;
+      }
+      i = j;
+      continue;
+    }
+    if (c == '#' && !line_has_token && !in_directive) {
+      in_directive = true;
+      directive.line = line;
+      hash_offset = i;
+      directive_first_token = out.tokens.size();
+      line_has_token = true;
+      push(TokenKind::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+    line_has_token = true;
+
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      std::string ident = text.substr(i, j - i);
+      if (j < n && text[j] == '"' && IsRawStringPrefix(ident)) {
+        // Raw string literal R"delim( ... )delim".
+        size_t d = j + 1;
+        while (d < n && text[d] != '(' && text[d] != '\n') ++d;
+        const std::string delim = text.substr(j + 1, d - (j + 1));
+        const std::string close = ")" + delim + "\"";
+        const size_t body = d < n ? d + 1 : n;
+        size_t end = text.find(close, body);
+        const size_t stop = end == std::string::npos ? n : end;
+        end = end == std::string::npos ? n : end + close.size();
+        const int tok_line = line;
+        for (size_t p = i; p < end; ++p) {
+          if (text[p] == '\n') ++line;
+        }
+        push(TokenKind::kRawString, text.substr(body, stop - body), tok_line);
+        i = end;
+        continue;
+      }
+      // Record whether the directive keyword is glued to a column-zero `#`
+      // (the only spelling the retired Python linter's anchors accepted).
+      if (in_directive && out.tokens.size() == directive_first_token + 1) {
+        directive.canonical_spelling =
+            hash_offset == line_start && i == hash_offset + 1;
+      }
+      push(TokenKind::kIdentifier, std::move(ident), line);
+      i = j;
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && IsDigit(nxt))) {
+      // pp-number: digits, idents, dots, digit separators, exponent signs.
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = text[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && IsIdentChar(text[j + 1])) {
+          j += 2;
+        } else if ((d == '+' || d == '-') &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && text[j] != quote && text[j] != '\n') {
+        j += text[j] == '\\' ? 2 : 1;
+      }
+      const size_t stop = j > n ? n : j;
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+           text.substr(i + 1, stop - (i + 1)), line);
+      i = stop < n && text[stop] == quote ? stop + 1 : stop;
+      continue;
+    }
+    // Punctuator: longest match wins.
+    bool matched = false;
+    if (i + 2 < n) {
+      const std::string three = text.substr(i, 3);
+      for (const char* p : kPuncts3) {
+        if (three == p) {
+          push(TokenKind::kPunct, three, line);
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      for (const char* p : kPuncts2) {
+        if (two == p) {
+          push(TokenKind::kPunct, two, line);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push(TokenKind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  finalize_directive();
+  // Python's splitlines convention: a trailing newline does not open a
+  // final empty line, and empty text has zero lines (feeds the R6 EOF
+  // fallback, which must match the retired linter).
+  out.num_lines = text.empty() ? 0 : (text.back() == '\n' ? line - 1 : line);
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,79 @@
+// Comment- and string-aware C++ token stream for the vastats static
+// analyzer.
+//
+// This is not a compiler front end: it produces exactly the view the rules
+// need — identifiers, punctuators, numbers, and string/char literals, with
+// comments stripped but their `// lint-invariants: allow(...)` suppressions
+// retained per line, and preprocessor directives captured as structured
+// records (the tokens of a directive line still appear in the main stream,
+// flagged `from_directive`, because the text-level rules R1-R3/R6/R7 must
+// see macro bodies just like the retired Python linter did; the structural
+// rules A2-A5 skip them).
+//
+// Line numbers are 1-based. Backslash-newline continuations extend a
+// directive's logical line and are treated as whitespace elsewhere.
+
+#ifndef VASTATS_TOOLS_ANALYZE_LEXER_H_
+#define VASTATS_TOOLS_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace vastats {
+namespace analyze {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (throw, try, const, ...)
+  kNumber,
+  kString,      // ordinary "..." literal; text is the *inner* content
+  kRawString,   // R"delim(...)delim" literal; text is the inner content
+  kChar,        // '...' literal; text is the inner content
+  kPunct,       // operators and punctuation, multi-char forms fused
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;             // 1-based line of the token's first character
+  bool from_directive = false;
+};
+
+// One preprocessor directive (`#` first non-whitespace on its line).
+struct Directive {
+  std::string keyword;      // "include", "ifndef", "define", ...
+  // For #include: the include path; quoted is true for "..." includes,
+  // false for <...>. For #ifndef / #define: the first token after the
+  // keyword. Empty when absent.
+  std::string argument;
+  bool quoted = false;
+  int line = 0;             // line of the `#`
+  // True when the directive is spelled `#keyword` with the `#` at column
+  // zero and no space before the keyword — the spelling the Python
+  // linter's `^#ifndef` / `^#include` anchors accepted.
+  bool canonical_spelling = false;
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  // Indices into `tokens` of the non-directive tokens, in order — the view
+  // the structural rules (A2-A5) walk so macro bodies cannot confuse
+  // brace/statement tracking.
+  std::vector<int> structural;
+  int num_lines = 0;
+};
+
+// Tokenizes `text`. Never fails: unrecognized bytes become single-character
+// punctuators so the rules can keep walking.
+LexedSource Lex(const std::string& text);
+
+// Parses the trailing `// lint-invariants: allow(R1, A2)` suppression of a
+// raw source line into rule names. Mirrors the Python linter's ALLOW_RE so
+// the existing allow-comments keep working unchanged; the same syntax
+// suppresses the analyzer-only rules (A1-A5).
+std::vector<std::string> AllowedRules(const std::string& raw_line);
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_LEXER_H_

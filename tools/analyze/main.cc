@@ -1,0 +1,209 @@
+// vastats_analyze: self-contained static analysis for the vastats tree.
+//
+// Exit codes: 0 clean (or baselined only), 1 fresh findings or self-test
+// failure, 2 usage / IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+#include "engine.h"
+#include "output.h"
+#include "selftest.h"
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: vastats_analyze [options]\n"
+    "  --root DIR            repo root to analyze (default: .)\n"
+    "  --format FMT          text | compat | json | sarif (default: text)\n"
+    "  --output FILE         write the report to FILE instead of stdout\n"
+    "  --baseline FILE       tolerate findings listed in FILE\n"
+    "  --write-baseline FILE write current findings as a new baseline and "
+    "exit 0\n"
+    "  --threads N           worker threads (0 = shared default pool)\n"
+    "  --no-structural       run only the ported R1-R7 rules\n"
+    "  --list-rules          print rule ids and summaries, then exit\n"
+    "  --self-test           run the in-memory rule corpus, then exit\n";
+
+struct CliOptions {
+  AnalyzeOptions analyze;
+  std::string format = "text";
+  std::string output_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool list_rules = false;
+  bool self_test = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* cli, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        *error = arg + " requires a value";
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!value(&cli->analyze.root)) return false;
+    } else if (arg == "--format") {
+      if (!value(&cli->format)) return false;
+      if (cli->format != "text" && cli->format != "compat" &&
+          cli->format != "json" && cli->format != "sarif") {
+        *error = "unknown --format " + cli->format;
+        return false;
+      }
+    } else if (arg == "--output") {
+      if (!value(&cli->output_path)) return false;
+    } else if (arg == "--baseline") {
+      if (!value(&cli->baseline_path)) return false;
+    } else if (arg == "--write-baseline") {
+      if (!value(&cli->write_baseline_path)) return false;
+    } else if (arg == "--threads") {
+      std::string n;
+      if (!value(&n)) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(n.c_str(), &end, 10);
+      if (end == n.c_str() || *end != '\0' || parsed < 0 || parsed > 256) {
+        *error = "--threads wants an integer in [0, 256], got " + n;
+        return false;
+      }
+      cli->analyze.threads = static_cast<int>(parsed);
+    } else if (arg == "--no-structural") {
+      cli->analyze.structural_rules = false;
+    } else if (arg == "--list-rules") {
+      cli->list_rules = true;
+    } else if (arg == "--self-test") {
+      cli->self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else {
+      *error = "unknown argument " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteOrPrint(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "vastats_analyze: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  CliOptions cli;
+  std::string error;
+  if (!ParseArgs(argc, argv, &cli, &error)) {
+    std::fprintf(stderr, "vastats_analyze: %s\n%s", error.c_str(), kUsage);
+    return 2;
+  }
+
+  if (cli.list_rules) {
+    std::string out;
+    for (const RuleInfo& rule : Rules()) {
+      out += std::string(rule.id) + "  " + rule.summary + "\n";
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+
+  if (cli.self_test) {
+    const std::vector<std::string> failures = RunSelfTest();
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "self-test FAIL: %s\n", failure.c_str());
+    }
+    if (failures.empty()) {
+      std::fputs("vastats_analyze: self-test passed\n", stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "vastats_analyze: %zu self-test failure(s)\n",
+                 failures.size());
+    return 1;
+  }
+
+  Baseline baseline;
+  if (!cli.baseline_path.empty()) {
+    std::ifstream in(cli.baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "vastats_analyze: cannot read baseline %s\n",
+                   cli.baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    baseline = ParseBaseline(text.str());
+  }
+
+  Result<AnalysisReport> report = AnalyzeRepo(cli.analyze);
+  if (!report.ok()) {
+    std::fprintf(stderr, "vastats_analyze: %s\n",
+                 report.status().message().c_str());
+    return 2;
+  }
+
+  if (!cli.write_baseline_path.empty()) {
+    return WriteOrPrint(cli.write_baseline_path,
+                        FormatBaseline(report.value().findings))
+               ? 0
+               : 2;
+  }
+
+  if (cli.format == "compat") {
+    // Byte-compatible with the retired tools/lint_invariants.py: R-rules
+    // only, findings to stderr, no baseline applied.
+    std::string out_text, err_text;
+    const int code =
+        RenderCompat(CompatView(report.value().findings), &out_text,
+                     &err_text);
+    std::fputs(err_text.c_str(), stderr);
+    std::fputs(out_text.c_str(), stdout);
+    return code;
+  }
+
+  const BaselineSplit split =
+      ApplyBaseline(report.value().findings, baseline);
+  std::string rendered;
+  if (cli.format == "json") {
+    rendered = RenderJson(split.fresh, split.baselined);
+  } else if (cli.format == "sarif") {
+    rendered = RenderSarif(split.fresh, split.baselined);
+  } else {
+    rendered =
+        RenderText(split.fresh, static_cast<int>(split.baselined.size()));
+  }
+  if (!WriteOrPrint(cli.output_path, rendered)) return 2;
+  if (!cli.output_path.empty()) {
+    // Keep the terminal summary when the report goes to a file.
+    std::fputs(RenderText(split.fresh, static_cast<int>(
+                                           split.baselined.size()))
+                   .c_str(),
+               stderr);
+  }
+  return split.fresh.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace vastats
+
+int main(int argc, char** argv) { return vastats::analyze::Run(argc, argv); }

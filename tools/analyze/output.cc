@@ -1,0 +1,209 @@
+#include "output.h"
+
+#include "util/json_writer.h"
+
+namespace vastats {
+namespace analyze {
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"R1", "no exceptions in library code (Status/Result<T> instead)"},
+      {"R2", "all randomness flows through the seeded Rng facade"},
+      {"R3", "no console IO from library code"},
+      {"R4", "canonical include guards and .cc/.h pairing"},
+      {"R5", "Status and Result are declared [[nodiscard]]"},
+      {"R6", "telemetry names are snake_case string literals"},
+      {"R7", "wall clocks stay behind Stopwatch; simulated time uses "
+             "VirtualClock"},
+      {"A1", "includes follow the layer DAG and are acyclic"},
+      {"A2", "unordered-container iteration must not feed order-sensitive "
+             "sinks"},
+      {"A3", "Status/Result values must not be discarded"},
+      {"A4", "switches over repo enums name every enumerator, no default"},
+      {"A5", "no mutable static-storage state outside the sanctioned "
+             "facades"},
+  };
+  return kRules;
+}
+
+std::string RenderText(const std::vector<Finding>& fresh, int baselined) {
+  std::string out;
+  for (const Finding& finding : fresh) {
+    out += Render(finding) + "\n";
+  }
+  const std::string suffix =
+      baselined > 0 ? " (" + std::to_string(baselined) + " baselined)" : "";
+  if (fresh.empty()) {
+    out += "vastats_analyze: clean" + suffix + "\n";
+  } else {
+    out += "vastats_analyze: " + std::to_string(fresh.size()) +
+           " finding(s)" + suffix + "\n";
+  }
+  return out;
+}
+
+std::vector<Finding> CompatView(const std::vector<Finding>& findings) {
+  std::vector<Finding> compat;
+  for (const Finding& finding : findings) {
+    if (!finding.rule.empty() && finding.rule[0] == 'R') {
+      compat.push_back(finding);
+    }
+  }
+  return compat;
+}
+
+int RenderCompat(const std::vector<Finding>& findings,
+                 std::string* stdout_text, std::string* stderr_text) {
+  stdout_text->clear();
+  stderr_text->clear();
+  for (const Finding& finding : findings) {
+    *stderr_text += Render(finding) + "\n";
+  }
+  if (!findings.empty()) {
+    *stderr_text += "lint_invariants: " + std::to_string(findings.size()) +
+                    " finding(s)\n";
+    return 1;
+  }
+  *stdout_text = "lint_invariants: clean\n";
+  return 0;
+}
+
+namespace {
+
+void WriteFindingJson(JsonWriter* json, const Finding& finding,
+                      bool baselined) {
+  json->BeginObject();
+  json->KeyValue("rule", finding.rule);
+  json->KeyValue("path", finding.path);
+  json->KeyValue("line", static_cast<int64_t>(finding.line));
+  json->KeyValue("message", finding.message);
+  json->KeyValue("baselined", baselined);
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Finding>& fresh,
+                       const std::vector<Finding>& baselined) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("tool", "vastats_analyze");
+  json.KeyValue("schema_version", static_cast<int64_t>(1));
+  json.Key("summary");
+  json.BeginObject();
+  json.KeyValue("fresh", static_cast<int64_t>(fresh.size()));
+  json.KeyValue("baselined", static_cast<int64_t>(baselined.size()));
+  json.EndObject();
+  json.Key("findings");
+  json.BeginArray();
+  for (const Finding& finding : fresh) {
+    WriteFindingJson(&json, finding, false);
+  }
+  for (const Finding& finding : baselined) {
+    WriteFindingJson(&json, finding, true);
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Finish() + "\n";
+}
+
+namespace {
+
+void WriteSarifResult(JsonWriter* json, const Finding& finding,
+                      bool baselined) {
+  json->BeginObject();
+  json->KeyValue("ruleId", finding.rule);
+  json->KeyValue("level", baselined ? "note" : "error");
+  json->Key("message");
+  json->BeginObject();
+  json->KeyValue("text", finding.message);
+  json->EndObject();
+  json->Key("locations");
+  json->BeginArray();
+  json->BeginObject();
+  json->Key("physicalLocation");
+  json->BeginObject();
+  json->Key("artifactLocation");
+  json->BeginObject();
+  json->KeyValue("uri", finding.path);
+  json->KeyValue("uriBaseId", "SRCROOT");
+  json->EndObject();
+  if (finding.line > 0) {
+    json->Key("region");
+    json->BeginObject();
+    json->KeyValue("startLine", static_cast<int64_t>(finding.line));
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+  json->EndArray();
+  if (baselined) {
+    json->Key("suppressions");
+    json->BeginArray();
+    json->BeginObject();
+    json->KeyValue("kind", "external");
+    json->KeyValue("justification", "tools/analyze/baseline.txt");
+    json->EndObject();
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<Finding>& fresh,
+                        const std::vector<Finding>& baselined) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  json.KeyValue("version", "2.1.0");
+  json.Key("runs");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("tool");
+  json.BeginObject();
+  json.Key("driver");
+  json.BeginObject();
+  json.KeyValue("name", "vastats_analyze");
+  json.KeyValue("version", "1.0.0");
+  json.KeyValue("informationUri",
+                "https://github.com/vastats/vastats/blob/main/"
+                "CONTRIBUTING.md");
+  json.Key("rules");
+  json.BeginArray();
+  for (const RuleInfo& rule : Rules()) {
+    json.BeginObject();
+    json.KeyValue("id", rule.id);
+    json.Key("shortDescription");
+    json.BeginObject();
+    json.KeyValue("text", rule.summary);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.EndObject();
+  json.Key("originalUriBaseIds");
+  json.BeginObject();
+  json.Key("SRCROOT");
+  json.BeginObject();
+  json.KeyValue("uri", "file:///");
+  json.EndObject();
+  json.EndObject();
+  json.Key("results");
+  json.BeginArray();
+  for (const Finding& finding : fresh) {
+    WriteSarifResult(&json, finding, false);
+  }
+  for (const Finding& finding : baselined) {
+    WriteSarifResult(&json, finding, true);
+  }
+  json.EndArray();
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Finish() + "\n";
+}
+
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,49 @@
+// Report rendering: human text, Python-linter-compatible text (used for
+// the byte-for-byte migration cross-check), machine JSON, and SARIF 2.1.0
+// for code-scanning upload in CI.
+
+#ifndef VASTATS_TOOLS_ANALYZE_OUTPUT_H_
+#define VASTATS_TOOLS_ANALYZE_OUTPUT_H_
+
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace vastats {
+namespace analyze {
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+// Metadata for every rule, R1..R7 then A1..A5 (drives SARIF `rules` and
+// `--list-rules`).
+const std::vector<RuleInfo>& Rules();
+
+// Human-readable report: one rendered finding per line (fresh only),
+// then a summary line.
+std::string RenderText(const std::vector<Finding>& fresh, int baselined);
+
+// Python lint_invariants-compatible rendering of an R-rule-only findings
+// list: `*stderr_text` receives the findings and (on failure) the summary,
+// `*stdout_text` the clean line; returns the process exit code.
+int RenderCompat(const std::vector<Finding>& findings,
+                 std::string* stdout_text, std::string* stderr_text);
+
+// Filters a report down to the Python linter's rules (R1-R7), preserving
+// order — the compat view.
+std::vector<Finding> CompatView(const std::vector<Finding>& findings);
+
+std::string RenderJson(const std::vector<Finding>& fresh,
+                       const std::vector<Finding>& baselined);
+
+// SARIF 2.1.0; baselined findings carry a suppression and level "note".
+std::string RenderSarif(const std::vector<Finding>& fresh,
+                        const std::vector<Finding>& baselined);
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_OUTPUT_H_

@@ -1,0 +1,111 @@
+#include "repo_index.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace vastats {
+namespace analyze {
+
+int LayerRank(const std::string& dir) {
+  if (dir == "util") return 0;
+  if (dir == "obs") return 1;
+  if (dir == "stats" || dir == "density" || dir == "sampling" ||
+      dir == "datagen") {
+    return 2;
+  }
+  if (dir == "integration") return 3;
+  if (dir == "core" || dir == "fusion") return 4;
+  if (dir == "query") return 5;
+  return -1;
+}
+
+std::vector<std::string> RepoIndex::IncludeChain(int target) const {
+  // Reverse-BFS from `target` through "is included by" edges; neighbor
+  // order is file order, so the chain is deterministic. The first .cc
+  // reached wins; otherwise the farthest header root found.
+  std::vector<std::vector<int>> included_by(files.size());
+  for (size_t from = 0; from < includes.size(); ++from) {
+    for (const IncludeEdge& e : includes[from]) {
+      included_by[static_cast<size_t>(e.to)].push_back(
+          static_cast<int>(from));
+    }
+  }
+  std::vector<int> parent(files.size(), -2);  // -2 unvisited, -1 root
+  parent[static_cast<size_t>(target)] = -1;
+  std::deque<int> frontier{target};
+  int best_root = target;
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    best_root = node;
+    const std::string& path = files[static_cast<size_t>(node)].rel_path;
+    const bool is_cc =
+        path.size() >= 3 && path.compare(path.size() - 3, 3, ".cc") == 0;
+    if (is_cc) {
+      std::vector<std::string> chain;
+      for (int at = node; at != -1; at = parent[static_cast<size_t>(at)]) {
+        chain.push_back(files[static_cast<size_t>(at)].rel_path);
+      }
+      return chain;
+    }
+    for (const int prev : included_by[static_cast<size_t>(node)]) {
+      if (parent[static_cast<size_t>(prev)] == -2) {
+        parent[static_cast<size_t>(prev)] = node;
+        frontier.push_back(prev);
+      }
+    }
+  }
+  std::vector<std::string> chain;
+  for (int at = best_root; at != -1; at = parent[static_cast<size_t>(at)]) {
+    chain.push_back(files[static_cast<size_t>(at)].rel_path);
+  }
+  return chain;
+}
+
+RepoIndex BuildRepoIndex(std::vector<SourceFile> files) {
+  RepoIndex index;
+  index.files = std::move(files);
+  for (size_t i = 0; i < index.files.size(); ++i) {
+    index.by_path[index.files[i].rel_path] = static_cast<int>(i);
+  }
+
+  index.includes.resize(index.files.size());
+  for (size_t i = 0; i < index.files.size(); ++i) {
+    const SourceFile& f = index.files[i];
+    if (f.rel_path.compare(0, 4, "src/") != 0) continue;
+    for (const IncludeRef& inc : f.quoted_includes) {
+      // Repo convention: quoted includes are src/-relative.
+      const auto it = index.by_path.find("src/" + inc.path);
+      if (it == index.by_path.end()) continue;  // umbrella/system header
+      index.includes[i].push_back(IncludeEdge{it->second, inc.line});
+    }
+
+    for (const EnumDef& def : f.enums) {
+      if (index.enums_by_name.emplace(def.name, &def).second) {
+        for (const std::string& enumerator : def.enumerators) {
+          auto [pos, inserted] =
+              index.enum_of_enumerator.emplace(enumerator, def.name);
+          if (!inserted && pos->second != def.name) pos->second = "";
+        }
+      }
+    }
+    index.status_functions.insert(f.status_functions.begin(),
+                                  f.status_functions.end());
+    index.unordered_methods.insert(f.unordered_methods.begin(),
+                                   f.unordered_methods.end());
+  }
+  // A name also declared `void Name(` somewhere is ambiguous under
+  // name-based matching (e.g. a private `void BuildIndex()` member next to
+  // a free `Result<T> BuildIndex(...)`) — drop it rather than flag calls
+  // to the void overload.
+  for (const SourceFile& f : index.files) {
+    if (f.rel_path.compare(0, 4, "src/") != 0) continue;
+    for (const std::string& name : f.void_functions) {
+      index.status_functions.erase(name);
+    }
+  }
+  return index;
+}
+
+}  // namespace analyze
+}  // namespace vastats

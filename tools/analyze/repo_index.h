@@ -1,0 +1,66 @@
+// Whole-repo facts the per-file rules consult: the analyzed file set, the
+// quoted-include graph over src/, the layer rank of every src/
+// subdirectory, and the merged registries (enums, Status-returning
+// functions, unordered-container accessors).
+
+#ifndef VASTATS_TOOLS_ANALYZE_REPO_INDEX_H_
+#define VASTATS_TOOLS_ANALYZE_REPO_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+namespace vastats {
+namespace analyze {
+
+// The dependency DAG over src/ subdirectories. Rank increases with layer
+// height; a file may only include files of strictly lower rank or of the
+// same rank (lateral includes inside a rank group), never higher.
+//
+//   util(0) -> obs(1) -> {stats, density, sampling, datagen}(2)
+//           -> integration(3) -> {core, fusion}(4) -> query(5)
+//
+// Returns -1 for directories outside the DAG (they are exempt from A1).
+int LayerRank(const std::string& dir);
+
+struct IncludeEdge {
+  int to = -1;    // index into RepoIndex::files
+  int line = 0;   // line of the #include in the including file
+};
+
+struct RepoIndex {
+  std::vector<SourceFile> files;     // enumeration order (sorted walk)
+  std::map<std::string, int> by_path;
+
+  // Quoted-include graph over the src/ files (indices parallel `files`;
+  // non-src files have empty edge lists). Include paths are resolved
+  // src/-relative, matching the repo convention.
+  std::vector<std::vector<IncludeEdge>> includes;
+
+  std::map<std::string, const EnumDef*> enums_by_name;
+  // Enumerator -> enum name; enumerators claimed by several enums resolve
+  // to "" (ambiguous, unusable for unqualified case labels).
+  std::map<std::string, std::string> enum_of_enumerator;
+  std::set<std::string> status_functions;
+  std::set<std::string> unordered_methods;
+
+  bool HasFile(const std::string& rel_path) const {
+    return by_path.find(rel_path) != by_path.end();
+  }
+
+  // Shortest include chain "a.cc -> b.h -> target" ending at file index
+  // `target`, preferring a .cc root (the chain a build actually
+  // instantiates). Falls back to the target alone when nothing includes it.
+  std::vector<std::string> IncludeChain(int target) const;
+};
+
+// Merges per-file facts and resolves the include graph. `files` is moved in.
+RepoIndex BuildRepoIndex(std::vector<SourceFile> files);
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_REPO_INDEX_H_

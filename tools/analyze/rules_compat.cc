@@ -1,0 +1,392 @@
+// R1-R7: token-stream ports of tools/lint_invariants.py. The matching and
+// message text deliberately mirror the Python regexes — including their
+// quirks (one finding per line per rule, leftmost match wins, a suppressed
+// leftmost match silences the rest of the line, `->rand()` matching where
+// `.rand()` does not) — so the migration was verifiable byte-for-byte.
+
+#include "rules.h"
+
+#include <cctype>
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+const Token& TokenAt(const std::vector<Token>& toks, size_t i) {
+  static const Token kEnd;
+  return i < toks.size() ? toks[i] : kEnd;
+}
+
+// Emits a finding unless the raw line carries an allow(<rule>) comment.
+void Emit(const SourceFile& f, const std::string& rule, int line,
+          std::string message, std::vector<Finding>* out) {
+  if (f.Allowed(rule, line)) return;
+  out->push_back(Finding{rule, f.rel_path, line, std::move(message)});
+}
+
+// Per-line single-finding scan driver: `match(i, &token_text)` decides
+// whether a match starts at token i and produces the reported spelling.
+// Once a line matched (suppressed or not), the rest of the line is skipped,
+// matching the Python per-line `pattern.search`.
+template <typename MatchFn, typename MessageFn>
+void ScanPerLine(const SourceFile& f, const std::string& rule, MatchFn match,
+                 MessageFn message, std::vector<Finding>* out) {
+  int done_line = 0;
+  for (size_t i = 0; i < f.lex.tokens.size(); ++i) {
+    const int line = f.lex.tokens[i].line;
+    if (line == done_line) continue;
+    std::string tok;
+    if (!match(i, &tok)) continue;
+    done_line = line;
+    Emit(f, rule, line, message(tok), out);
+  }
+}
+
+}  // namespace
+
+std::string Render(const Finding& finding) {
+  std::string out = finding.path;
+  if (finding.line != 0) {
+    out += ":";
+    out += std::to_string(finding.line);
+  }
+  out += ": [";
+  out += finding.rule;
+  out += "] ";
+  out += finding.message;
+  return out;
+}
+
+std::string ExpectedGuard(const std::string& rel_header) {
+  std::string stem = rel_header;
+  if (stem.compare(0, 4, "src/") == 0) stem = stem.substr(4);
+  for (const char* ext : {".hpp", ".hh", ".h"}) {
+    const std::string e(ext);
+    if (stem.size() >= e.size() &&
+        stem.compare(stem.size() - e.size(), e.size(), e) == 0) {
+      stem = stem.substr(0, stem.size() - e.size());
+      break;
+    }
+  }
+  std::string guard = "VASTATS_";
+  for (const char c : stem) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  return guard + "_H_";
+}
+
+void CheckR1NoExceptions(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& T = f.lex.tokens;
+  ScanPerLine(
+      f, "R1",
+      [&](size_t i, std::string* tok) {
+        const Token& t = T[i];
+        if (t.kind != TokenKind::kIdentifier) return false;
+        if (t.text != "throw" && t.text != "try" && t.text != "catch") {
+          return false;
+        }
+        *tok = t.text;
+        return true;
+      },
+      [](const std::string& tok) {
+        return "`" + tok +
+               "` is forbidden in library code; return a Status/Result<T> "
+               "instead (src/util/status.h)";
+      },
+      out);
+}
+
+void CheckR2SeededRng(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& T = f.lex.tokens;
+  auto is_adhoc_engine = [](const std::string& name) {
+    return name == "random_device" || name == "mt19937" ||
+           name == "mt19937_64" || name == "minstd_rand" ||
+           name == "minstd_rand0" || name == "default_random_engine" ||
+           name == "knuth_b" || name.compare(0, 6, "ranlux") == 0;
+  };
+  ScanPerLine(
+      f, "R2",
+      [&](size_t i, std::string* tok) {
+        const Token& t = T[i];
+        if (t.kind != TokenKind::kIdentifier) return false;
+        if (t.text == "std" && IsPunct(TokenAt(T, i + 1), "::")) {
+          const Token& name = TokenAt(T, i + 2);
+          if (name.kind != TokenKind::kIdentifier) return false;
+          if (name.text == "rand" || is_adhoc_engine(name.text)) {
+            *tok = "std::" + name.text;
+            return true;
+          }
+          return false;
+        }
+        if (t.text == "rand" || t.text == "srand") {
+          // Python lookbehind (?<![\w:.]) — a preceding `::` or `.` token
+          // supplies the excluded character; `->` ends in `>` and matches.
+          if (i > 0 && (IsPunct(T[i - 1], "::") || IsPunct(T[i - 1], "."))) {
+            return false;
+          }
+          if (!IsPunct(TokenAt(T, i + 1), "(")) return false;
+          *tok = t.text;
+          return true;
+        }
+        return false;
+      },
+      [](const std::string& tok) {
+        return "`" + tok +
+               "` bypasses the seeded Rng facade; use vastats::Rng "
+               "(src/util/random.h) so streams stay deterministic";
+      },
+      out);
+}
+
+void CheckR3IoDiscipline(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& T = f.lex.tokens;
+  auto is_print_fn = [](const std::string& name) {
+    return name == "printf" || name == "fprintf" || name == "puts" ||
+           name == "fputs";
+  };
+  ScanPerLine(
+      f, "R3",
+      [&](size_t i, std::string* tok) {
+        const Token& t = T[i];
+        if (t.kind != TokenKind::kIdentifier) return false;
+        if (t.text == "std" && IsPunct(TokenAt(T, i + 1), "::")) {
+          const Token& name = TokenAt(T, i + 2);
+          if (IsIdent(name, "cout") || IsIdent(name, "cerr") ||
+              IsIdent(name, "clog")) {
+            *tok = "std::" + name.text;
+            return true;
+          }
+          return false;
+        }
+        if (!is_print_fn(t.text)) return false;
+        // Python lookbehind (?<![\w.]) — `.printf` is member access, not
+        // the C function; `::printf` still matches (tok keeps the `std::`
+        // spelling only for the literal std namespace, as in the regex).
+        if (i > 0 && IsPunct(T[i - 1], ".")) return false;
+        if (!IsPunct(TokenAt(T, i + 1), "(")) return false;
+        const bool std_qualified = i >= 2 && IsPunct(T[i - 1], "::") &&
+                                   IsIdent(T[i - 2], "std");
+        *tok = (std_qualified ? "std::" : "") + t.text;
+        return true;
+      },
+      [](const std::string& tok) {
+        return "`" + tok +
+               "` writes to the console from library code; report failures "
+               "via Status and leave IO to callers (snprintf into a buffer "
+               "is fine)";
+      },
+      out);
+}
+
+void CheckR7VirtualTime(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& T = f.lex.tokens;
+  auto is_named_clock = [](const std::string& name) {
+    return name == "steady_clock" || name == "system_clock" ||
+           name == "high_resolution_clock";
+  };
+  ScanPerLine(
+      f, "R7",
+      [&](size_t i, std::string* tok) {
+        const Token& t = T[i];
+        if (t.kind != TokenKind::kIdentifier) return false;
+        if (t.text == "std" && IsPunct(TokenAt(T, i + 1), "::") &&
+            IsIdent(TokenAt(T, i + 2), "chrono") &&
+            IsPunct(TokenAt(T, i + 3), "::")) {
+          const Token& clock = TokenAt(T, i + 4);
+          const std::string suffix = "_clock";
+          if (clock.kind == TokenKind::kIdentifier &&
+              clock.text.size() >= suffix.size() &&
+              clock.text.compare(clock.text.size() - suffix.size(),
+                                 suffix.size(), suffix) == 0 &&
+              IsPunct(TokenAt(T, i + 5), "::") &&
+              IsIdent(TokenAt(T, i + 6), "now") &&
+              IsPunct(TokenAt(T, i + 7), "(")) {
+            *tok = "std::chrono::" + clock.text + "::now";
+            return true;
+          }
+          return false;
+        }
+        if (is_named_clock(t.text)) {
+          // Python lookbehind (?<![\w:]) — a preceding `::` disqualifies
+          // the bare spelling (the std::chrono:: alternative covers it).
+          if (i > 0 && IsPunct(T[i - 1], "::")) return false;
+          if (IsPunct(TokenAt(T, i + 1), "::") &&
+              IsIdent(TokenAt(T, i + 2), "now") &&
+              IsPunct(TokenAt(T, i + 3), "(")) {
+            *tok = t.text + "::now";
+            return true;
+          }
+        }
+        return false;
+      },
+      [](const std::string& tok) {
+        return "`" + tok +
+               "` reads a wall clock; simulated time flows through "
+               "VirtualClock (src/datagen/fault_model.h) and wall time "
+               "through Stopwatch (src/util/stopwatch.h) only";
+      },
+      out);
+}
+
+void CheckR6TelemetryNames(const SourceFile& f, std::vector<Finding>* out) {
+  const std::vector<Token>& T = f.lex.tokens;
+  auto snake_case = [](const std::string& name) {
+    if (name.empty()) return false;
+    if (!std::islower(static_cast<unsigned char>(name[0]))) return false;
+    for (const char c : name) {
+      if (!std::islower(static_cast<unsigned char>(c)) &&
+          !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  };
+  // The name argument sits at `target`; findings report that position
+  // (matching the Python `m.end()` after `(\s*` / `,\s*`).
+  auto check_at = [&](size_t target, const std::string& what) {
+    const int line =
+        target < T.size() ? T[target].line : f.lex.num_lines;
+    if (f.Allowed("R6", line)) return;
+    if (target >= T.size() || T[target].kind != TokenKind::kString) {
+      out->push_back(Finding{
+          "R6", f.rel_path, line,
+          what + " name must be a snake_case string literal so the series "
+                 "is grep-able and exporter-safe"});
+      return;
+    }
+    const std::string& name = T[target].text;
+    if (!snake_case(name)) {
+      out->push_back(Finding{"R6", f.rel_path, line,
+                             what + " name \"" + name +
+                                 "\" is not snake_case ([a-z][a-z0-9_]*)"});
+    }
+  };
+  // Pass 1: registry getters / BeginSpan — name is the first argument.
+  for (size_t i = 0; i < T.size(); ++i) {
+    const Token& t = T[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text != "GetCounter" && t.text != "GetGauge" &&
+        t.text != "GetHistogram" && t.text != "BeginSpan") {
+      continue;
+    }
+    if (!IsPunct(TokenAt(T, i + 1), "(")) continue;
+    check_at(i + 2, "`" + t.text + "`");
+  }
+  // Pass 2: ScopedSpan declarations — name is the second argument. The
+  // Python regex required a paren-free first argument; keep that.
+  for (size_t i = 0; i < T.size(); ++i) {
+    if (!IsIdent(T[i], "ScopedSpan")) continue;
+    if (TokenAt(T, i + 1).kind != TokenKind::kIdentifier) continue;
+    if (!IsPunct(TokenAt(T, i + 2), "(")) continue;
+    size_t j = i + 3;
+    bool found_comma = false;
+    for (; j < T.size(); ++j) {
+      if (IsPunct(T[j], "(") || IsPunct(T[j], ")")) break;
+      if (IsPunct(T[j], ",")) {
+        found_comma = true;
+        break;
+      }
+    }
+    if (!found_comma || j == i + 3) continue;
+    check_at(j + 1, "`ScopedSpan`");
+  }
+}
+
+void CheckR4HeaderGuard(const SourceFile& f, std::vector<Finding>* out) {
+  const std::string guard = ExpectedGuard(f.rel_path);
+  const Directive* ifndef = nullptr;
+  const Directive* define = nullptr;
+  for (const Directive& d : f.lex.directives) {
+    if (!d.canonical_spelling) continue;
+    if (ifndef == nullptr && d.keyword == "ifndef") ifndef = &d;
+    if (define == nullptr && d.keyword == "define") define = &d;
+  }
+  if (ifndef == nullptr || define == nullptr) {
+    out->push_back(Finding{"R4", f.rel_path, 1,
+                           "missing include guard; expected `#ifndef " +
+                               guard + "`"});
+    return;
+  }
+  if (ifndef->argument != guard || define->argument != guard) {
+    out->push_back(Finding{"R4", f.rel_path, ifndef->line,
+                           "include guard `" + ifndef->argument +
+                               "` does not match the canonical style; "
+                               "expected `" +
+                               guard + "`"});
+  }
+}
+
+void CheckR4CcPairing(const SourceFile& f, const RepoIndex& index,
+                      std::vector<Finding>* out) {
+  std::string rel_h = f.rel_path;
+  rel_h.replace(rel_h.size() - 3, 3, ".h");
+  if (!index.HasFile(rel_h)) {
+    out->push_back(Finding{
+        "R4", f.rel_path, 0,
+        "no sibling header `" + rel_h +
+            "`; every src/ .cc pairs with a header that declares its "
+            "interface"});
+    return;
+  }
+  const Directive* first = nullptr;
+  for (const Directive& d : f.lex.directives) {
+    if (d.keyword == "include" && d.quoted && d.canonical_spelling) {
+      first = &d;
+      break;
+    }
+  }
+  const std::string want = rel_h.substr(4);  // include path is src/-relative
+  if (first == nullptr || first->argument != want) {
+    const std::string got = first != nullptr ? first->argument : "<none>";
+    out->push_back(Finding{"R4", f.rel_path, first != nullptr ? first->line : 1,
+                           "first include must be the paired header \"" +
+                               want + "\" (got \"" + got + "\")"});
+  }
+}
+
+void CheckR5Nodiscard(const RepoIndex& index, std::vector<Finding>* out) {
+  const std::string status_h = "src/util/status.h";
+  const auto it = index.by_path.find(status_h);
+  if (it == index.by_path.end()) {
+    out->push_back(
+        Finding{"R5", status_h, 0, "src/util/status.h is missing"});
+    return;
+  }
+  const std::vector<Token>& T =
+      index.files[static_cast<size_t>(it->second)].lex.tokens;
+  auto declared_nodiscard = [&](const char* name) {
+    for (size_t i = 0; i + 6 < T.size(); ++i) {
+      if (IsIdent(T[i], "class") && IsPunct(T[i + 1], "[") &&
+          IsPunct(T[i + 2], "[") && IsIdent(T[i + 3], "nodiscard") &&
+          IsPunct(T[i + 4], "]") && IsPunct(T[i + 5], "]") &&
+          IsIdent(T[i + 6], name)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!declared_nodiscard("Status")) {
+    out->push_back(
+        Finding{"R5", status_h, 0,
+                "`Status` must be declared `class [[nodiscard]] Status`"});
+  }
+  if (!declared_nodiscard("Result")) {
+    out->push_back(
+        Finding{"R5", status_h, 0,
+                "`Result` must be declared `class [[nodiscard]] Result`"});
+  }
+}
+
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,22 @@
+// In-memory self-test corpus: every rule must fire on an injected
+// violation and stay quiet on clean code. Ports the retired Python
+// linter's self-test cases verbatim (same snippets, same expectations) and
+// extends them with A1-A5 cases. No files are written.
+
+#ifndef VASTATS_TOOLS_ANALYZE_SELFTEST_H_
+#define VASTATS_TOOLS_ANALYZE_SELFTEST_H_
+
+#include <string>
+#include <vector>
+
+namespace vastats {
+namespace analyze {
+
+// Runs the corpus; returns human-readable failure descriptions (empty on
+// success).
+std::vector<std::string> RunSelfTest();
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_SELFTEST_H_

@@ -1,0 +1,270 @@
+#include "source.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace vastats {
+namespace analyze {
+namespace {
+
+bool IsUnorderedContainer(const std::string& ident) {
+  return ident == "unordered_map" || ident == "unordered_set" ||
+         ident == "unordered_multimap" || ident == "unordered_multiset";
+}
+
+// Structural-token helpers. `view` holds indices into `tokens`.
+const Token& At(const std::vector<Token>& tokens, const std::vector<int>& view,
+                size_t i) {
+  static const Token kEnd;
+  return i < view.size() ? tokens[static_cast<size_t>(view[i])] : kEnd;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// Returns the view index just past the `>` matching the `<` at `open`, or
+// `open + 1` when no match is found within a sane window. `>>` closes two
+// levels; angle counting is suspended inside parentheses.
+size_t SkipTemplateArgs(const std::vector<Token>& tokens,
+                        const std::vector<int>& view, size_t open) {
+  int angle = 0;
+  int paren = 0;
+  const size_t limit = std::min(view.size(), open + 256);
+  for (size_t i = open; i < limit; ++i) {
+    const Token& t = At(tokens, view, i);
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    if (t.text == ")") --paren;
+    if (paren > 0) continue;
+    if (t.text == "<") ++angle;
+    if (t.text == ">") --angle;
+    if (t.text == ">>") angle -= 2;
+    if (angle <= 0) return i + 1;
+  }
+  return open + 1;
+}
+
+// Extracts enum definitions: `enum [class|struct] Name [: type] { ... }`.
+void ExtractEnums(SourceFile* f) {
+  const std::vector<Token>& toks = f->lex.tokens;
+  const std::vector<int>& view = f->lex.structural;
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (!IsIdent(At(toks, view, i), "enum")) continue;
+    size_t j = i + 1;
+    if (IsIdent(At(toks, view, j), "class") ||
+        IsIdent(At(toks, view, j), "struct")) {
+      ++j;
+    }
+    const Token& name = At(toks, view, j);
+    if (name.kind != TokenKind::kIdentifier) continue;  // anonymous
+    EnumDef def;
+    def.name = name.text;
+    def.path = f->rel_path;
+    def.line = name.line;
+    ++j;
+    // Skip an optional underlying-type clause up to `{`; `;` means a
+    // forward declaration.
+    while (j < view.size() && !IsPunct(At(toks, view, j), "{") &&
+           !IsPunct(At(toks, view, j), ";")) {
+      ++j;
+    }
+    if (!IsPunct(At(toks, view, j), "{")) continue;
+    ++j;
+    // Enumerators: identifier [ = expr ] separated by `,` at depth 0.
+    bool expect_name = true;
+    int depth = 0;
+    for (; j < view.size(); ++j) {
+      const Token& t = At(toks, view, j);
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "]") --depth;
+        if (t.text == "}") {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (t.text == "," && depth == 0) expect_name = true;
+        continue;
+      }
+      if (expect_name && t.kind == TokenKind::kIdentifier) {
+        def.enumerators.push_back(t.text);
+        expect_name = false;
+      }
+    }
+    if (!def.enumerators.empty()) f->enums.push_back(def);
+    i = j;
+  }
+}
+
+// Extracts names of functions declared to return Status or Result<...>:
+// `Status Name(` / `Result<T> Ns::Name(`. Heuristic by design — it feeds
+// rule A3, which only ever *adds* checks for names found here. `void
+// Name(` declarations are collected too: a name declared with BOTH return
+// types somewhere in the tree is ambiguous (registry matching is by name,
+// not overload), and the index drops it from the A3 set.
+void ExtractStatusFunctions(SourceFile* f) {
+  const std::vector<Token>& toks = f->lex.tokens;
+  const std::vector<int>& view = f->lex.structural;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const Token& t = At(toks, view, i);
+    const bool is_status = IsIdent(t, "Status");
+    const bool is_result = IsIdent(t, "Result");
+    const bool is_void = IsIdent(t, "void");
+    if (!is_status && !is_result && !is_void) continue;
+    size_t j = i + 1;
+    if (is_result) {
+      if (!IsPunct(At(toks, view, j), "<")) continue;
+      j = SkipTemplateArgs(toks, view, j);
+    }
+    // Qualified declarator chain: id (:: id)* followed by `(`.
+    std::string last;
+    while (At(toks, view, j).kind == TokenKind::kIdentifier) {
+      last = At(toks, view, j).text;
+      if (!IsPunct(At(toks, view, j + 1), "::")) {
+        ++j;
+        break;
+      }
+      j += 2;
+    }
+    if (!last.empty() && IsPunct(At(toks, view, j), "(")) {
+      (is_void ? f->void_functions : f->status_functions).push_back(last);
+    }
+  }
+}
+
+// Extracts, from unordered-container mentions:
+//  - accessor methods whose return type is unordered (`...unordered_map<>&
+//    bindings() const`), which make call sites iteration hazards, and
+//  - declared variable/member names of unordered type (including through
+//    same-file `using` aliases), which rule A2 tracks locally.
+void ExtractUnordered(SourceFile* f) {
+  const std::vector<Token>& toks = f->lex.tokens;
+  const std::vector<int>& view = f->lex.structural;
+
+  // Pass 1: same-file aliases of unordered types.
+  std::unordered_set<std::string> aliases;
+  for (size_t i = 0; i + 2 < view.size(); ++i) {
+    if (!IsIdent(At(toks, view, i), "using")) continue;
+    const Token& name = At(toks, view, i + 1);
+    if (name.kind != TokenKind::kIdentifier ||
+        !IsPunct(At(toks, view, i + 2), "=")) {
+      continue;
+    }
+    for (size_t j = i + 3; j < view.size(); ++j) {
+      const Token& t = At(toks, view, j);
+      if (IsPunct(t, ";")) break;
+      if (t.kind == TokenKind::kIdentifier && IsUnorderedContainer(t.text)) {
+        aliases.insert(name.text);
+        break;
+      }
+    }
+  }
+
+  // Pass 2: declarations. After the container type (template args skipped)
+  // and any `&`/`*`, an identifier followed by `(` declares an accessor;
+  // otherwise it names a variable/member.
+  for (size_t i = 0; i < view.size(); ++i) {
+    const Token& t = At(toks, view, i);
+    if (t.kind != TokenKind::kIdentifier) continue;
+    size_t j;
+    if (IsUnorderedContainer(t.text)) {
+      j = i + 1;
+      if (IsPunct(At(toks, view, j), "<")) {
+        j = SkipTemplateArgs(toks, view, j);
+      }
+    } else if (aliases.count(t.text) != 0 &&
+               !(i >= 2 && IsIdent(At(toks, view, i - 2), "using"))) {
+      j = i + 1;
+    } else {
+      continue;
+    }
+    while (IsPunct(At(toks, view, j), "&") || IsPunct(At(toks, view, j), "*") ||
+           IsIdent(At(toks, view, j), "const")) {
+      ++j;
+    }
+    const Token& name = At(toks, view, j);
+    if (name.kind != TokenKind::kIdentifier) continue;
+    if (IsPunct(At(toks, view, j + 1), "(")) {
+      f->unordered_methods.push_back(name.text);
+    } else {
+      f->unordered_vars.push_back(name.text);
+    }
+  }
+}
+
+void ExtractFacts(SourceFile* f) {
+  for (const Directive& d : f->lex.directives) {
+    if (d.keyword == "include" && d.quoted) {
+      f->quoted_includes.push_back(IncludeRef{d.argument, d.line});
+    }
+  }
+  ExtractEnums(f);
+  ExtractStatusFunctions(f);
+  ExtractUnordered(f);
+}
+
+}  // namespace
+
+bool SourceFile::IsHeader() const {
+  auto ends_with = [this](const char* suffix) {
+    const std::string s(suffix);
+    return rel_path.size() >= s.size() &&
+           rel_path.compare(rel_path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".h") || ends_with(".hpp") || ends_with(".hh");
+}
+
+const std::string& SourceFile::Line(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || static_cast<size_t>(line) > lines.size()) return kEmpty;
+  return lines[static_cast<size_t>(line - 1)];
+}
+
+bool SourceFile::Allowed(const std::string& rule, int line) const {
+  const std::vector<std::string> rules = AllowedRules(Line(line));
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+SourceFile MakeSourceFile(std::string rel_path, std::string text) {
+  SourceFile f;
+  f.rel_path = std::move(rel_path);
+  if (f.rel_path.compare(0, 4, "src/") == 0) {
+    const size_t slash = f.rel_path.find('/', 4);
+    if (slash != std::string::npos) {
+      f.layer_dir = f.rel_path.substr(4, slash - 4);
+    }
+  }
+  f.raw = std::move(text);
+  std::string current;
+  for (const char c : f.raw) {
+    if (c == '\n') {
+      f.lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  f.lines.push_back(current);
+  f.lex = Lex(f.raw);
+  ExtractFacts(&f);
+  return f;
+}
+
+bool LoadSourceFile(const std::string& root, const std::string& rel_path,
+                    SourceFile* out) {
+  std::ifstream in(root + "/" + rel_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = MakeSourceFile(rel_path, buffer.str());
+  return true;
+}
+
+}  // namespace analyze
+}  // namespace vastats

@@ -1,0 +1,67 @@
+// A loaded source file plus the per-file facts the analyzer extracts in
+// the parallel front-end phase: the token stream, the quoted includes, the
+// enums it defines, the Status/Result-returning functions it declares, and
+// the accessors that expose unordered containers. The facts from every
+// file are merged into a RepoIndex before the rule phase runs.
+
+#ifndef VASTATS_TOOLS_ANALYZE_SOURCE_H_
+#define VASTATS_TOOLS_ANALYZE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace vastats {
+namespace analyze {
+
+struct IncludeRef {
+  std::string path;  // as written, e.g. "util/status.h"
+  int line = 0;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;  // in declaration order
+  std::string path;                      // defining file (repo-relative)
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string rel_path;  // repo-relative, forward slashes ("src/util/x.h")
+  std::string layer_dir;  // second path component under src/ ("util"), else ""
+  std::string raw;
+  std::vector<std::string> lines;  // raw split on '\n' (no terminators)
+  LexedSource lex;
+
+  // Facts for the repo index.
+  std::vector<IncludeRef> quoted_includes;
+  std::vector<EnumDef> enums;
+  std::vector<std::string> status_functions;   // names returning Status/Result
+  std::vector<std::string> void_functions;     // names declared returning void
+  std::vector<std::string> unordered_methods;  // accessors returning unordered
+  std::vector<std::string> unordered_vars;     // file-local unordered names
+
+  bool IsHeader() const;
+
+  // Raw text of 1-based `line`, or "" past the end.
+  const std::string& Line(int line) const;
+
+  // True when `rule` is suppressed on `line` via
+  // `// lint-invariants: allow(<rule>)`.
+  bool Allowed(const std::string& rule, int line) const;
+};
+
+// Builds a SourceFile from in-memory text (the path is not read; tests and
+// the self-test corpus feed snippets through this).
+SourceFile MakeSourceFile(std::string rel_path, std::string text);
+
+// Reads `root`/`rel_path` and builds the SourceFile. Returns false when the
+// file cannot be read.
+bool LoadSourceFile(const std::string& root, const std::string& rel_path,
+                    SourceFile* out);
+
+}  // namespace analyze
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_ANALYZE_SOURCE_H_

@@ -1,0 +1,3 @@
+#ifndef BADGUARD_H
+#define BADGUARD_H
+#endif  // BADGUARD_H

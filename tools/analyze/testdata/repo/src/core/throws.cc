@@ -1,0 +1,13 @@
+#include "core/throws.h"
+
+namespace vastats {
+
+Status Commit() {
+  throw 1;
+}
+
+void Retry() {
+  throw 2;  // lint-invariants: allow(R1)
+}
+
+}  // namespace vastats

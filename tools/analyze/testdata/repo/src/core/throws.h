@@ -1,0 +1,12 @@
+#ifndef VASTATS_CORE_THROWS_H_
+#define VASTATS_CORE_THROWS_H_
+
+#include "util/status.h"
+
+namespace vastats {
+
+Status Commit();
+
+}  // namespace vastats
+
+#endif  // VASTATS_CORE_THROWS_H_

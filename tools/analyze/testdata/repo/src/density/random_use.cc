@@ -1,0 +1,13 @@
+#include "density/random_use.h"
+
+namespace vastats {
+
+int Draw() {
+  return rand();
+}
+
+int DrawSeeded() {
+  return rand();  // lint-invariants: allow(R2)
+}
+
+}  // namespace vastats

@@ -1,0 +1,11 @@
+#ifndef VASTATS_DENSITY_RANDOM_USE_H_
+#define VASTATS_DENSITY_RANDOM_USE_H_
+
+namespace vastats {
+
+int Draw();
+int DrawSeeded();
+
+}  // namespace vastats
+
+#endif  // VASTATS_DENSITY_RANDOM_USE_H_

@@ -1,0 +1,25 @@
+#ifndef VASTATS_INTEGRATION_HAZARD_H_
+#define VASTATS_INTEGRATION_HAZARD_H_
+
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace vastats {
+
+enum class Phase { kWarm, kRun, kDrain };
+
+Status Flush();
+
+class Hazard {
+ public:
+  double Total() const;
+  int Label(Phase phase) const;
+
+ private:
+  std::unordered_map<int, double> weights_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_INTEGRATION_HAZARD_H_

@@ -1,0 +1,5 @@
+namespace vastats {
+
+int OrphanSeed() { return 7; }
+
+}  // namespace vastats

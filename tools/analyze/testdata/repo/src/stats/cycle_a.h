@@ -1,0 +1,12 @@
+#ifndef VASTATS_STATS_CYCLE_A_H_
+#define VASTATS_STATS_CYCLE_A_H_
+
+#include "stats/cycle_b.h"
+
+namespace vastats {
+
+int CycleA();
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_CYCLE_A_H_

@@ -1,0 +1,12 @@
+#ifndef VASTATS_STATS_CYCLE_B_H_
+#define VASTATS_STATS_CYCLE_B_H_
+
+#include "stats/cycle_a.h"
+
+namespace vastats {
+
+int CycleB();
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_CYCLE_B_H_

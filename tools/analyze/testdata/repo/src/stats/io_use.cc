@@ -1,0 +1,14 @@
+#include "stats/io_use.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace vastats {
+
+void Report() {
+  printf("done\n");
+  auto t = std::chrono::steady_clock::now();
+  static_cast<void>(t);
+}
+
+}  // namespace vastats

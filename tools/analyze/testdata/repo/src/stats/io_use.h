@@ -1,0 +1,10 @@
+#ifndef VASTATS_STATS_IO_USE_H_
+#define VASTATS_STATS_IO_USE_H_
+
+namespace vastats {
+
+void Report();
+
+}  // namespace vastats
+
+#endif  // VASTATS_STATS_IO_USE_H_

@@ -1,0 +1,19 @@
+#ifndef VASTATS_UTIL_STATUS_H_
+#define VASTATS_UTIL_STATUS_H_
+
+namespace vastats {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_STATUS_H_

@@ -1,0 +1,12 @@
+#ifndef VASTATS_UTIL_UPLINK_H_
+#define VASTATS_UTIL_UPLINK_H_
+
+#include "core/throws.h"
+
+namespace vastats {
+
+int Uplink();
+
+}  // namespace vastats
+
+#endif  // VASTATS_UTIL_UPLINK_H_

@@ -1,0 +1,6 @@
+#include "obs/metrics.h"
+
+void Probe(vastats::Observability& obs) {
+  obs.GetCounter("BadName").Increment();
+  obs.GetCounter("good_name").Increment();
+}
