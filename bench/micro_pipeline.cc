@@ -10,6 +10,10 @@
 // overhead against the untouched default path, bit-identity of the chaos
 // run across dispatch widths, and the degradation/access telemetry of the
 // reference run are emitted as JSON (committed as BENCH_chaos.json).
+//
+// With --trace-out FILE, one pool-backed extraction is journaled into a
+// flight recorder and exported as Chrome trace-event JSON for
+// chrome://tracing / ui.perfetto.dev.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +26,11 @@
 
 namespace vastats::bench {
 namespace {
+
+// Stamped into every JSON document this binary emits and into the
+// committed BENCH_*.json baselines; tools/benchdiff refuses to compare
+// dumps whose versions disagree. Bump when a key changes meaning or moves.
+constexpr int64_t kBenchSchemaVersion = 1;
 
 const Workload& D2() {
   static const Workload* workload = new Workload(MakeD2Workload());
@@ -326,6 +335,7 @@ int RunJsonBreakdown() {
 
   JsonWriter out;
   out.BeginObject();
+  out.KeyValue("schema_version", kBenchSchemaVersion);
   out.KeyValue("benchmark", "micro_pipeline");
   out.KeyValue("sample_size",
                static_cast<int64_t>(options.initial_sample_size));
@@ -495,6 +505,7 @@ int RunChaosJson() {
   const DegradationReport& report = chaos->degradation;
   JsonWriter out;
   out.BeginObject();
+  out.KeyValue("schema_version", kBenchSchemaVersion);
   out.KeyValue("benchmark", "micro_pipeline_chaos");
   out.Key("workload");
   out.BeginObject();
@@ -558,6 +569,42 @@ int RunChaosJson() {
   return 0;
 }
 
+// One fully journaled extraction exported as a Chrome trace. Sampling is
+// forced through the persistent pool in 4 chunks so the trace carries
+// per-worker tracks and pool queue-wait spans even on single-core hosts.
+int RunTraceExport(const char* path) {
+  MetricsRegistry metrics;
+  FlightRecorder recorder;
+  ExtractorOptions options;
+  options.initial_sample_size = 400;
+  options.weight_probes = 10;
+  options.sampling_threads = 4;
+  options.pool = DefaultThreadPool();
+  options.obs.metrics = &metrics;
+  options.obs.recorder = &recorder;
+  const auto extractor = AnswerStatisticsExtractor::Create(
+      D2().sources.get(), D2().query, options);
+  if (!extractor.ok()) {
+    std::fprintf(stderr, "%s\n", extractor.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats = extractor->Extract();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const FlightSnapshot snapshot = recorder.Drain();
+  const Status written = ExportChromeTraceToFile(snapshot, path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu events across %zu tracks (%llu dropped) to %s\n",
+               snapshot.events.size(), static_cast<size_t>(snapshot.num_tracks),
+               static_cast<unsigned long long>(snapshot.TotalDropped()), path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace vastats::bench
 
@@ -568,6 +615,13 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--chaos") == 0) {
       return vastats::bench::RunChaosJson();
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a file path\n");
+        return 2;
+      }
+      return vastats::bench::RunTraceExport(argv[i + 1]);
     }
   }
   benchmark::Initialize(&argc, argv);

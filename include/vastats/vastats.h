@@ -67,6 +67,7 @@
 #include "stats/ks_test.h"
 #include "util/csv.h"
 #include "util/fft.h"
+#include "util/json_reader.h"
 #include "util/json_writer.h"
 #include "util/math.h"
 #include "util/random.h"

@@ -217,7 +217,7 @@ Result<CoverageResult> GreedyCio(const GridDensity& density,
                            SelectModes(density, options));
   const size_t t = modes.size();
 
-  ScopedSpan span(obs.trace, "cio_greedy");
+  ScopedSpan span(obs, "cio_greedy");
   span.Annotate("modes", static_cast<int64_t>(t));
   span.Annotate("theta", options.theta);
 
@@ -316,7 +316,7 @@ Result<CoverageResult> SlicingCio(const GridDensity& density, double theta,
   if (num_slices < 2) {
     return Status::InvalidArgument("SlicingCio requires num_slices >= 2");
   }
-  ScopedSpan span(obs.trace, "cio_slicing");
+  ScopedSpan span(obs, "cio_slicing");
   span.Annotate("slices", static_cast<int64_t>(num_slices));
   span.Annotate("theta", theta);
   const double width = density.range() / static_cast<double>(num_slices);

@@ -68,7 +68,7 @@ Result<PointEstimate> AnswerStatisticsExtractor::EstimatePoint(
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<double> replicates,
       ReplicatesFromSets(sets, MomentStatisticFn(statistic), options_.pool,
-                         options_.obs.metrics));
+                         options_.obs.metrics, options_.obs.recorder));
   PointEstimate estimate;
   VASTATS_ASSIGN_OR_RETURN(estimate.value,
                            Bag(replicates, options_.bag_aggregator));
@@ -103,11 +103,11 @@ bool ReconcilePhaseTimings(PhaseTimings& timings, double total_elapsed_seconds,
 
 Result<AnswerStatistics> AnswerStatisticsExtractor::Extract() const {
   const ObsOptions& obs = options_.obs;
-  ScopedSpan extract_span(obs.trace, "extract");
+  ScopedSpan extract_span(obs, "extract");
   Rng rng(options_.seed);
 
   // Phase 1: uniS sampling (Algorithm 1 line 2).
-  ScopedSpan sampling_span(obs.trace, "sampling");
+  ScopedSpan sampling_span(obs, "sampling");
   std::vector<double> samples;
   DegradationReport degradation;
   if (options_.fault_tolerance.has_value()) {
@@ -163,7 +163,7 @@ Result<DegradationReport> AnswerStatisticsExtractor::SampleDegradedPhase(
   if (options_.adaptive.has_value()) {
     // The adaptive growth loop is inherently sequential: one session spans
     // the whole phase, and epochs advance per draw.
-    AccessSession session = accessor.StartSession(obs.metrics);
+    AccessSession session = accessor.StartSession(obs.metrics, obs.recorder);
     VASTATS_ASSIGN_OR_RETURN(
         AdaptiveSamplingResult adaptive,
         AdaptiveUniSSamplingDegraded(sampler_, *options_.adaptive, session,
@@ -244,14 +244,14 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
       .timings = {},
       .degradation = {}};
   const ObsOptions& obs = options_.obs;
-  ScopedSpan pipeline_span(obs.trace, "extract_from_samples");
+  ScopedSpan pipeline_span(obs, "extract_from_samples");
   pipeline_span.Annotate("samples", static_cast<int64_t>(stats.samples.size()));
   obs.GetCounter("extractions_total").Increment();
 
   // Phase 2: bootstrap resampling (line 3). Each PhaseTimings entry is the
   // Close() of the phase's own span, so the Figure 6 table and an exported
   // trace are two views of one measurement.
-  ScopedSpan bootstrap_span(obs.trace, "bootstrap");
+  ScopedSpan bootstrap_span(obs, "bootstrap");
   bootstrap_span.Annotate("pool", options_.pool != nullptr);
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<std::vector<double>> sets,
@@ -259,7 +259,7 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   stats.timings.bootstrap_seconds = bootstrap_span.Close();
 
   // Phases 3-4: bagged point statistics + confidence intervals (lines 4-5).
-  ScopedSpan point_span(obs.trace, "point_statistics");
+  ScopedSpan point_span(obs, "point_statistics");
   VASTATS_ASSIGN_OR_RETURN(
       stats.mean, EstimatePoint(MomentStatistic::kMean, stats.samples, sets));
   VASTATS_ASSIGN_OR_RETURN(
@@ -274,7 +274,7 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   stats.timings.point_statistics_seconds = point_span.Close();
 
   // Phase 5: bagged density estimation (line 6).
-  ScopedSpan kde_span(obs.trace, "kde");
+  ScopedSpan kde_span(obs, "kde");
   BaggedKdeOptions bagged_options;
   bagged_options.kde = options_.kde;
   bagged_options.bandwidth_mode = options_.kde_bandwidth_mode;
@@ -286,13 +286,13 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   stats.timings.kde_seconds = kde_span.Close();
 
   // Phase 6: high coverage intervals (line 7).
-  ScopedSpan cio_span(obs.trace, "cio");
+  ScopedSpan cio_span(obs, "cio");
   VASTATS_ASSIGN_OR_RETURN(stats.coverage,
                            GreedyCio(stats.density, options_.cio, obs));
   stats.timings.cio_seconds = cio_span.Close();
 
   // Phase 7: stability score (line 8) — analytic, no removal simulation.
-  ScopedSpan stability_span(obs.trace, "stability");
+  ScopedSpan stability_span(obs, "stability");
   VASTATS_ASSIGN_OR_RETURN(
       stats.answer_weight_y,
       sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng, obs));

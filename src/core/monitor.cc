@@ -45,7 +45,7 @@ Result<QueryId> ContinuousQueryMonitor::Register(AggregateQuery query) {
     return Status::FailedPrecondition("monitor has no source set");
   }
   const ObsOptions& obs = base_options_.obs;
-  ScopedSpan span(obs.trace, "monitor_register");
+  ScopedSpan span(obs, "monitor_register");
   const QueryId id = NumQueries();
   span.Annotate("query_id", static_cast<int64_t>(id));
   ExtractorOptions options = base_options_;
@@ -92,7 +92,7 @@ std::vector<QueryId> ContinuousQueryMonitor::RefreshOrder() const {
 Status ContinuousQueryMonitor::Refresh(QueryId id) {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
   const ObsOptions& obs = base_options_.obs;
-  ScopedSpan span(obs.trace, "monitor_refresh");
+  ScopedSpan span(obs, "monitor_refresh");
   span.Annotate("query_id", static_cast<int64_t>(id));
   Entry& entry = entries_[static_cast<size_t>(id)];
   ExtractorOptions options = base_options_;
@@ -134,7 +134,7 @@ Result<DriftReport> ContinuousQueryMonitor::RefreshWithDrift(
     QueryId id, const DriftOptions& options) {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
   const ObsOptions& obs = base_options_.obs;
-  ScopedSpan span(obs.trace, "monitor_refresh_with_drift");
+  ScopedSpan span(obs, "monitor_refresh_with_drift");
   span.Annotate("query_id", static_cast<int64_t>(id));
   // Snapshot what the drift must be measured against before refreshing.
   const GridDensity previous_density =
@@ -171,7 +171,7 @@ Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(
     return Status::InvalidArgument("RefreshLeastStable needs budget > 0");
   }
   const ObsOptions& obs = base_options_.obs;
-  ScopedSpan span(obs.trace, "monitor_refresh_least_stable");
+  ScopedSpan span(obs, "monitor_refresh_least_stable");
   span.Annotate("budget", static_cast<int64_t>(budget));
   ++tick_;
   int quarantine_skips = 0;

@@ -124,15 +124,22 @@ Result<SourceAccessor> SourceAccessor::Create(int num_sources,
   return SourceAccessor(num_sources, model, retry, breaker);
 }
 
-AccessSession SourceAccessor::StartSession(MetricsRegistry* metrics) const {
-  return AccessSession(this, metrics);
+AccessSession SourceAccessor::StartSession(MetricsRegistry* metrics,
+                                           FlightRecorder* recorder) const {
+  return AccessSession(this, metrics, recorder);
 }
 
 AccessSession::AccessSession(const SourceAccessor* config,
-                             MetricsRegistry* metrics)
+                             MetricsRegistry* metrics,
+                             FlightRecorder* recorder)
     : config_(config),
       metrics_(metrics),
-      breakers_(static_cast<size_t>(config->num_sources())) {}
+      recorder_(recorder),
+      breakers_(static_cast<size_t>(config->num_sources())) {
+  if (recorder_ != nullptr) {
+    transition_name_id_ = recorder_->InternName("breaker_transition");
+  }
+}
 
 void AccessSession::BeginDraw(int64_t epoch) {
   epoch_ = epoch;
@@ -159,6 +166,16 @@ bool AccessSession::SessionBudgetExhausted() const {
 
 void AccessSession::TransitionTo(Breaker& breaker, BreakerState next) {
   if (breaker.state == next) return;
+  if (recorder_ != nullptr) {
+    // Breakers live in the session-owned vector, so the index recovers the
+    // source id without widening every call site's signature.
+    const int source = static_cast<int>(&breaker - breakers_.data());
+    recorder_->Record(
+        FlightEventKind::kBreakerTransition, transition_name_id_,
+        clock_.NowMs(),
+        PackBreakerTransition(source, static_cast<int>(breaker.state),
+                              static_cast<int>(next)));
+  }
   breaker.state = next;
   ++stats_.breaker_transitions;
 }

@@ -119,8 +119,11 @@ class SourceAccessor {
   // Starts a session for one sampling stream. `metrics` (nullable,
   // borrowed) receives per-visit latency/backoff histograms and the merged
   // counters on Finish(); worker sessions write to their own registry
-  // shards, so chunked streams stay contention-free.
-  AccessSession StartSession(MetricsRegistry* metrics = nullptr) const;
+  // shards, so chunked streams stay contention-free. `recorder` (nullable,
+  // borrowed) journals breaker state transitions, stamped with both the
+  // recorder's real clock and the session's VirtualClock ms.
+  AccessSession StartSession(MetricsRegistry* metrics = nullptr,
+                             FlightRecorder* recorder = nullptr) const;
 
  private:
   SourceAccessor(int num_sources, const FaultModel* model, RetryPolicy retry,
@@ -195,8 +198,8 @@ class AccessSession {
     int half_open_successes = 0;
   };
 
-  explicit AccessSession(const SourceAccessor* config,
-                         MetricsRegistry* metrics);
+  AccessSession(const SourceAccessor* config, MetricsRegistry* metrics,
+                FlightRecorder* recorder);
 
   void RecordOutcome(int source, bool success);
   void PushWindow(Breaker& breaker, bool failure);
@@ -204,6 +207,8 @@ class AccessSession {
 
   const SourceAccessor* config_;
   MetricsRegistry* metrics_;  // borrowed; may be null
+  FlightRecorder* recorder_ = nullptr;  // borrowed; may be null
+  uint32_t transition_name_id_ = 0;     // interned when recorder_ != null
   VirtualClock clock_;
   std::vector<Breaker> breakers_;
   AccessStats stats_;

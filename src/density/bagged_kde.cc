@@ -16,7 +16,7 @@ Result<BaggedKde> EstimateBaggedKde(
   if (sets.empty()) {
     return Status::InvalidArgument("EstimateBaggedKde needs >= 1 sample set");
   }
-  ScopedSpan span(obs.trace, "bagged_kde");
+  ScopedSpan span(obs, "bagged_kde");
   span.Annotate("sets", static_cast<int64_t>(sets.size()));
   span.Annotate("pool", pool != nullptr);
   span.Annotate("bandwidth_mode",
@@ -90,7 +90,7 @@ Result<BaggedKde> EstimateBaggedKde(
                       &worker_plan));
       return Status::Ok();
     };
-    PoolMetricsObserver pool_observer(obs.metrics);
+    PoolMetricsObserver pool_observer(obs);
     VASTATS_RETURN_IF_ERROR(pool->ParallelFor(static_cast<int>(sets.size()),
                                               task, &pool_observer));
   } else {

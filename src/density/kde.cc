@@ -435,7 +435,7 @@ Result<Kde> EstimateKde(std::span<const double> samples,
       return Status::InvalidArgument("EstimateKde samples must be finite");
     }
   }
-  ScopedSpan span(obs.trace, "kde_estimate");
+  ScopedSpan span(obs, "kde_estimate");
   span.Annotate("samples", static_cast<int64_t>(samples.size()));
   span.Annotate("grid_size", static_cast<int64_t>(options.grid_size));
   span.Annotate("path", options.binned ? "binned_dct" : "direct");

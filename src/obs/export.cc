@@ -1,7 +1,9 @@
 #include "obs/export.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "util/csv.h"
@@ -26,6 +28,19 @@ std::string RenderUint64(uint64_t value) {
   std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
   return buf;
 }
+
+// Prometheus' text format spells non-finite values `NaN`, `+Inf`, `-Inf`
+// (printf would emit `nan`/`inf`, which scrapers reject).
+std::string RenderPrometheusDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return RenderDouble(value);
+}
+
+// The quantiles surfaced alongside histogram buckets (summary-style).
+constexpr double kSummaryQuantiles[] = {0.5, 0.9, 0.99};
+constexpr const char* kSummaryQuantileLabels[] = {"0.5", "0.9", "0.99"};
+constexpr const char* kSummaryQuantileKeys[] = {"p50", "p90", "p99"};
 
 Status CheckName(std::string_view kind, std::string_view name) {
   if (!IsSnakeCaseName(name)) {
@@ -139,6 +154,12 @@ Result<std::string> SnapshotToJson(const MetricsSnapshot& snapshot) {
     json.EndArray();
     json.KeyValue("count", static_cast<int64_t>(sample.count));
     json.KeyValue("sum", sample.sum);
+    // Estimated quantiles; null when the histogram is empty (JSON has no
+    // NaN).
+    for (size_t qi = 0; qi < std::size(kSummaryQuantiles); ++qi) {
+      json.KeyValue(kSummaryQuantileKeys[qi],
+                    sample.EstimateQuantile(kSummaryQuantiles[qi]));
+    }
     json.EndObject();
   }
   json.EndObject();
@@ -187,7 +208,7 @@ Result<std::string> SnapshotToPrometheus(const MetricsSnapshot& snapshot) {
   for (const GaugeSample& sample : snapshot.gauges) {
     VASTATS_RETURN_IF_ERROR(CheckName("gauge", sample.name));
     out += "# TYPE " + sample.name + " gauge\n";
-    out += sample.name + " " + RenderDouble(sample.value) + "\n";
+    out += sample.name + " " + RenderPrometheusDouble(sample.value) + "\n";
   }
   for (const HistogramSample& sample : snapshot.histograms) {
     VASTATS_RETURN_IF_ERROR(CheckName("histogram", sample.name));
@@ -196,15 +217,223 @@ Result<std::string> SnapshotToPrometheus(const MetricsSnapshot& snapshot) {
     for (size_t b = 0; b < sample.bucket_counts.size(); ++b) {
       cumulative += sample.bucket_counts[b];
       const std::string le = b < sample.upper_bounds.size()
-                                 ? RenderDouble(sample.upper_bounds[b])
+                                 ? RenderPrometheusDouble(sample.upper_bounds[b])
                                  : std::string("+Inf");
       out += sample.name + "_bucket{le=\"" + le + "\"} " +
              RenderUint64(cumulative) + "\n";
     }
-    out += sample.name + "_sum " + RenderDouble(sample.sum) + "\n";
+    // Summary-style estimated quantiles next to the buckets. Prometheus'
+    // format spells an unanswerable quantile (empty histogram) as NaN.
+    for (size_t qi = 0; qi < std::size(kSummaryQuantiles); ++qi) {
+      out += sample.name + "{quantile=\"" +
+             std::string(kSummaryQuantileLabels[qi]) + "\"} " +
+             RenderPrometheusDouble(
+                 sample.EstimateQuantile(kSummaryQuantiles[qi])) +
+             "\n";
+    }
+    out += sample.name + "_sum " + RenderPrometheusDouble(sample.sum) + "\n";
     out += sample.name + "_count " + RenderUint64(sample.count) + "\n";
   }
   return out;
+}
+
+namespace {
+
+// Microseconds since the recorder epoch — the trace-event time unit.
+double ToTraceMicros(double seconds) { return seconds * 1e6; }
+
+std::string TrackName(uint32_t track) {
+  return track == 0 ? std::string("main")
+                    : "worker_" + std::to_string(track);
+}
+
+std::string_view BreakerStateName(int state) {
+  // Mirrors datagen's BreakerState enumerators; obs sits below datagen in
+  // the layer DAG, so the spelling is duplicated here instead of included.
+  switch (state) {
+    case 0:
+      return "closed";
+    case 1:
+      return "open";
+    case 2:
+      return "half_open";
+    default:
+      return "unknown";
+  }
+}
+
+// Emits the common head of one trace event. The caller finishes the object.
+void BeginTraceEvent(JsonWriter& json, std::string_view name,
+                     std::string_view phase, uint32_t track, double ts_micros) {
+  json.BeginObject();
+  json.KeyValue("name", name);
+  json.KeyValue("ph", phase);
+  json.KeyValue("ts", ts_micros);
+  json.KeyValue("pid", int64_t{1});
+  json.KeyValue("tid", static_cast<int64_t>(track));
+}
+
+}  // namespace
+
+Result<std::string> ExportChromeTrace(const FlightSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+
+  // Thread-name metadata, one per track, so Perfetto labels the lanes.
+  for (int track = 0; track < snapshot.num_tracks; ++track) {
+    json.BeginObject();
+    json.KeyValue("name", "thread_name");
+    json.KeyValue("ph", "M");
+    json.KeyValue("pid", int64_t{1});
+    json.KeyValue("tid", static_cast<int64_t>(track));
+    json.Key("args");
+    json.BeginObject();
+    json.KeyValue("name",
+                  std::string_view(TrackName(static_cast<uint32_t>(track))));
+    json.EndObject();
+    json.EndObject();
+  }
+
+  // Span begin/end matching is per track: events arrive sorted by
+  // (track, seq), so a stack per track pairs each end with the innermost
+  // open begin of the same name id. Orphans (the partner record was
+  // overwritten by a ring wrap, or the span is still open) are skipped.
+  struct OpenSpan {
+    uint32_t name_id = 0;
+    double begin_seconds = 0.0;
+  };
+  std::vector<OpenSpan> open_stack;
+  uint32_t stack_track = 0;
+  uint64_t orphaned = 0;
+
+  for (const EventRecord& event : snapshot.events) {
+    if (event.track != stack_track) {
+      orphaned += open_stack.size();
+      open_stack.clear();
+      stack_track = event.track;
+    }
+    switch (event.kind) {
+      case FlightEventKind::kSpanBegin:
+        open_stack.push_back(OpenSpan{event.name_id, event.time_seconds});
+        break;
+      case FlightEventKind::kSpanEnd: {
+        // Pop to the matching begin; mismatched names mean the begin was
+        // lost to a wrap, so everything above it is orphaned too.
+        int match = -1;
+        for (int i = static_cast<int>(open_stack.size()) - 1; i >= 0; --i) {
+          if (open_stack[static_cast<size_t>(i)].name_id == event.name_id) {
+            match = i;
+            break;
+          }
+        }
+        if (match < 0) {
+          ++orphaned;
+          break;
+        }
+        const OpenSpan& begin = open_stack[static_cast<size_t>(match)];
+        BeginTraceEvent(json, snapshot.NameOf(event), "X", event.track,
+                        ToTraceMicros(begin.begin_seconds));
+        json.KeyValue("dur",
+                      ToTraceMicros(event.time_seconds - begin.begin_seconds));
+        json.KeyValue("cat", "span");
+        json.EndObject();
+        orphaned += open_stack.size() - static_cast<size_t>(match) - 1;
+        open_stack.resize(static_cast<size_t>(match));
+        break;
+      }
+      case FlightEventKind::kCounterSample:
+      case FlightEventKind::kGaugeSample: {
+        BeginTraceEvent(json, snapshot.NameOf(event), "C", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("value", event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kTaskEnqueue: {
+        BeginTraceEvent(json, snapshot.NameOf(event), "i", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "t");
+        json.KeyValue("cat", "pool");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("num_tasks", static_cast<int64_t>(event.aux));
+        json.KeyValue("queue_depth", event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kTaskDequeue: {
+        // The claim happened at `time_seconds` after `value` seconds of
+        // queue wait: render the wait as the interval leading up to it.
+        BeginTraceEvent(json, "pool_queue_wait", "X", event.track,
+                        ToTraceMicros(event.time_seconds - event.value));
+        json.KeyValue("dur", ToTraceMicros(event.value));
+        json.KeyValue("cat", "pool");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("task_index", static_cast<int64_t>(event.aux));
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kTaskComplete: {
+        BeginTraceEvent(json, "pool_task_run", "X", event.track,
+                        ToTraceMicros(event.time_seconds - event.value));
+        json.KeyValue("dur", ToTraceMicros(event.value));
+        json.KeyValue("cat", "pool");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("task_index", static_cast<int64_t>(event.aux));
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kBreakerTransition: {
+        int source = 0;
+        int from_state = 0;
+        int to_state = 0;
+        UnpackBreakerTransition(event.aux, &source, &from_state, &to_state);
+        BeginTraceEvent(json, "breaker_transition", "i", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "g");
+        json.KeyValue("cat", "breaker");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("source", static_cast<int64_t>(source));
+        json.KeyValue("from", BreakerStateName(from_state));
+        json.KeyValue("to", BreakerStateName(to_state));
+        json.KeyValue("virtual_ms", event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+    }
+  }
+  orphaned += open_stack.size();
+
+  json.EndArray();
+  json.KeyValue("displayTimeUnit", "ms");
+  json.Key("otherData");
+  json.BeginObject();
+  json.KeyValue("num_tracks", static_cast<int64_t>(snapshot.num_tracks));
+  json.KeyValue("dropped_events",
+                static_cast<int64_t>(snapshot.TotalDropped()));
+  json.KeyValue("orphaned_events", static_cast<int64_t>(orphaned));
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+Status ExportChromeTraceToFile(const FlightSnapshot& snapshot,
+                               const std::string& path) {
+  VASTATS_ASSIGN_OR_RETURN(const std::string trace,
+                           ExportChromeTrace(snapshot));
+  return WriteTextFile(path, trace);
 }
 
 Status WriteTextFile(const std::string& path, std::string_view content) {

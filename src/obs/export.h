@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -44,8 +45,28 @@ Result<std::string> SnapshotToCsv(const MetricsSnapshot& snapshot);
 
 // Snapshot in the Prometheus text exposition format (version 0.0.4):
 // `# TYPE` comments, `_bucket{le="..."}` series for histograms with
-// cumulative counts, `_sum` / `_count` series.
+// cumulative counts, `_sum` / `_count` series, plus summary-style
+// `{quantile="0.5|0.9|0.99"}` lines estimated from the buckets. Non-finite
+// values render as the format's `NaN` / `+Inf` / `-Inf` spellings.
 Result<std::string> SnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+// A drained flight-recorder snapshot as Chrome trace-event JSON — the
+// format Perfetto and chrome://tracing open directly:
+//   {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+// One thread track per recorder track ("main" for track 0, "worker_<k>"
+// after), named via "M" thread_name metadata. Span begin/end pairs become
+// "X" duration events; pool task dequeue/complete become "pool_queue_wait"
+// and "pool_task_run" duration events on the claiming worker's track;
+// counter/gauge samples become "C" counter events; breaker transitions
+// become "i" instant events. Records orphaned by a ring wrap (an end whose
+// begin was overwritten, or vice versa) are skipped and tallied in
+// otherData alongside the per-track drop counts.
+Result<std::string> ExportChromeTrace(const FlightSnapshot& snapshot);
+
+// ExportChromeTrace + WriteTextFile in one call, for `--trace-out` style
+// flags.
+Status ExportChromeTraceToFile(const FlightSnapshot& snapshot,
+                               const std::string& path);
 
 // Writes `content` to `path`, replacing any existing file.
 Status WriteTextFile(const std::string& path, std::string_view content);

@@ -1,0 +1,164 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vastats {
+namespace {
+
+// Recorder uids start at 1 so 0 can never match a cache entry (shared
+// convention with MetricsRegistry's shard cache).
+std::atomic<uint64_t> g_next_recorder_uid{1};
+
+struct TlsRingEntry {
+  uint64_t recorder_uid = 0;
+  void* ring = nullptr;
+};
+
+// Per-thread cache of (recorder uid -> ring). Entries for destroyed
+// recorders go stale but are never matched again (uids are not reused),
+// and the pointers they hold are never dereferenced.
+thread_local std::vector<TlsRingEntry> g_tls_rings;
+
+constexpr int kMinRingCapacity = 16;
+
+}  // namespace
+
+std::string_view FlightEventKindToString(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSpanBegin:
+      return "span_begin";
+    case FlightEventKind::kSpanEnd:
+      return "span_end";
+    case FlightEventKind::kCounterSample:
+      return "counter";
+    case FlightEventKind::kGaugeSample:
+      return "gauge";
+    case FlightEventKind::kTaskEnqueue:
+      return "task_enqueue";
+    case FlightEventKind::kTaskDequeue:
+      return "task_dequeue";
+    case FlightEventKind::kTaskComplete:
+      return "task_complete";
+    case FlightEventKind::kBreakerTransition:
+      return "breaker_transition";
+  }
+  return "unknown";
+}
+
+uint64_t PackBreakerTransition(int source, int from_state, int to_state) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(source)) << 16) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(from_state)) << 8) |
+         static_cast<uint64_t>(static_cast<uint8_t>(to_state));
+}
+
+void UnpackBreakerTransition(uint64_t aux, int* source, int* from_state,
+                             int* to_state) {
+  if (source != nullptr) *source = static_cast<int>(aux >> 16);
+  if (from_state != nullptr) *from_state = static_cast<int>((aux >> 8) & 0xff);
+  if (to_state != nullptr) *to_state = static_cast<int>(aux & 0xff);
+}
+
+uint64_t FlightSnapshot::TotalDropped() const {
+  uint64_t total = 0;
+  for (const uint64_t dropped : dropped_by_track) total += dropped;
+  return total;
+}
+
+std::string_view FlightSnapshot::NameOf(const EventRecord& event) const {
+  if (event.name_id >= names.size()) return {};
+  return names[event.name_id];
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : uid_(g_next_recorder_uid.fetch_add(1, std::memory_order_relaxed)),
+      ring_capacity_(std::max(options.ring_capacity, kMinRingCapacity)) {}
+
+uint32_t FlightRecorder::InternName(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<uint32_t>(names_.size() - 1);
+}
+
+FlightRecorder::Ring& FlightRecorder::LocalRing() {
+  for (const TlsRingEntry& entry : g_tls_rings) {
+    if (entry.recorder_uid == uid_) {
+      return *static_cast<Ring*>(entry.ring);
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rings_.push_back(std::make_unique<Ring>());
+  Ring* ring = rings_.back().get();
+  ring->track = static_cast<uint32_t>(rings_.size() - 1);
+  ring->records.resize(static_cast<size_t>(ring_capacity_));
+  g_tls_rings.push_back(TlsRingEntry{uid_, ring});
+  return *ring;
+}
+
+void FlightRecorder::Record(FlightEventKind kind, uint32_t name_id,
+                            double value, uint64_t aux) {
+  const double now = epoch_.ElapsedSeconds();
+  Ring& ring = LocalRing();
+  const std::lock_guard<std::mutex> lock(ring.mutex);
+  const int capacity = static_cast<int>(ring.records.size());
+  int slot;
+  if (ring.size < capacity) {
+    slot = ring.head + ring.size;
+    if (slot >= capacity) slot -= capacity;
+    ++ring.size;
+  } else {
+    // Ring is full: overwrite the oldest live record and account for it.
+    slot = ring.head;
+    ring.head = ring.head + 1 == capacity ? 0 : ring.head + 1;
+    ++ring.dropped;
+  }
+  EventRecord& record = ring.records[static_cast<size_t>(slot)];
+  record.seq = ring.next_seq++;
+  record.time_seconds = now;
+  record.value = value;
+  record.aux = aux;
+  record.name_id = name_id;
+  record.track = ring.track;
+  record.kind = kind;
+}
+
+FlightSnapshot FlightRecorder::Drain() {
+  FlightSnapshot snapshot;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.names = names_;
+  snapshot.num_tracks = static_cast<int>(rings_.size());
+  snapshot.dropped_by_track.reserve(rings_.size());
+  size_t total = 0;
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += static_cast<size_t>(ring->size);
+  }
+  snapshot.events.reserve(total);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const int capacity = static_cast<int>(ring->records.size());
+    for (int i = 0; i < ring->size; ++i) {
+      int slot = ring->head + i;
+      if (slot >= capacity) slot -= capacity;
+      snapshot.events.push_back(ring->records[static_cast<size_t>(slot)]);
+    }
+    snapshot.dropped_by_track.push_back(ring->dropped);
+    ring->size = 0;
+    ring->head = 0;
+    ring->dropped = 0;
+  }
+  // Rings are visited in registration order and each ring's records are
+  // already seq-ascending, so this sort is a deterministic merge by
+  // (track, seq) whatever order the threads appended in.
+  std::sort(snapshot.events.begin(), snapshot.events.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              if (a.track != b.track) return a.track < b.track;
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+}  // namespace vastats

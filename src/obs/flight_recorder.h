@@ -1,0 +1,173 @@
+// Flight recorder: an always-available, bounded-memory event journal for
+// whole-run, per-thread timelines (observability layer).
+//
+// Where the `Trace` span tree aggregates *how long* each phase took on the
+// driving thread and the `MetricsRegistry` aggregates *how often* things
+// happened, the flight recorder answers *when* each worker did *what*: every
+// thread that records lands fixed-size binary `EventRecord`s in its own ring
+// buffer (single producer — the thread; single consumer — the drain), so the
+// hot path never contends with other writers. Rings are bounded: when one
+// wraps, the oldest records are overwritten and counted as dropped, so a
+// long run keeps its most recent history at a fixed memory cost.
+//
+// Event kinds cover span begin/end (with thread-track and per-track sequence
+// ids), counter/gauge samples, pool task enqueue/dequeue/complete, and
+// circuit-breaker state transitions. Real timestamps come from the
+// recorder's `Stopwatch` epoch; simulated-clock sites (breaker transitions)
+// additionally carry their `VirtualClock` milliseconds in the record value.
+//
+// `Drain()` snapshots and clears every ring; the merged view is ordered by
+// `(track, seq)` — deterministic for a fixed set of recorded events, however
+// the threads interleaved. `ExportChromeTrace` (obs/export.h) turns a
+// snapshot into a Chrome trace-event JSON that opens in Perfetto or
+// chrome://tracing with one track per worker.
+//
+// Null-sink contract: every instrumentation site takes a nullable
+// `FlightRecorder*` (via ObsOptions) and degenerates to one pointer check
+// when it is null, matching the <2% disabled-overhead budget of the rest of
+// src/obs. Enabled, a record is a clock read plus an uncontended ring write.
+//
+// The recorder must outlive every thread that records into it... is too
+// strong: like MetricsRegistry, ring storage is owned by the recorder and
+// the thread-local lookup keys on a never-reused uid, so threads may outlive
+// the recorder and recorders may outlive the threads.
+
+#ifndef VASTATS_OBS_FLIGHT_RECORDER_H_
+#define VASTATS_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace vastats {
+
+// What one record describes. Values are stable — they are written into
+// exported artifacts.
+enum class FlightEventKind : uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kCounterSample = 2,     // value = cumulative or per-batch count
+  kGaugeSample = 3,       // value = sampled gauge
+  kTaskEnqueue = 4,       // aux = tasks in the batch; value = queue depth
+  kTaskDequeue = 5,       // aux = task index; value = queue-wait seconds
+  kTaskComplete = 6,      // aux = task index; value = run seconds
+  kBreakerTransition = 7, // aux = packed (source, from, to); value = virtual ms
+};
+
+std::string_view FlightEventKindToString(FlightEventKind kind);
+
+// Fixed-size binary journal record. `track` is the recording thread's
+// journal track (0 = first thread that recorded, usually the driver);
+// `seq` increases by one per record within a track and never resets, so
+// `(track, seq)` totally orders a drained snapshot.
+struct EventRecord {
+  uint64_t seq = 0;
+  double time_seconds = 0.0;  // since the recorder's construction (epoch)
+  double value = 0.0;         // kind-specific, see FlightEventKind
+  uint64_t aux = 0;           // kind-specific payload (task index, ...)
+  uint32_t name_id = 0;       // index into the interned name table
+  uint32_t track = 0;
+  FlightEventKind kind = FlightEventKind::kSpanBegin;
+  uint8_t padding[7] = {};    // keeps the record layout an explicit 48 bytes
+};
+static_assert(sizeof(EventRecord) == 48, "EventRecord layout drifted");
+
+// Packs a breaker transition into EventRecord::aux. States use the
+// BreakerState enumerator values (0 closed, 1 open, 2 half-open).
+uint64_t PackBreakerTransition(int source, int from_state, int to_state);
+void UnpackBreakerTransition(uint64_t aux, int* source, int* from_state,
+                             int* to_state);
+
+// One drained journal: every ring's records merged and sorted by
+// (track, seq), plus the interned names and per-track drop accounting.
+struct FlightSnapshot {
+  std::vector<EventRecord> events;
+  std::vector<std::string> names;          // index = name_id
+  std::vector<uint64_t> dropped_by_track;  // records lost to ring wraps
+  int num_tracks = 0;
+
+  uint64_t TotalDropped() const;
+  // Convenience for tests: name of an event (empty when out of range).
+  std::string_view NameOf(const EventRecord& event) const;
+};
+
+struct FlightRecorderOptions {
+  // Ring capacity in records per recording thread. Values < 16 are
+  // clamped up; the default keeps a thread's ring under 400 KiB.
+  int ring_capacity = 8192;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  ~FlightRecorder() = default;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Interns `name` and returns its id; repeated calls with one name return
+  // the same id. Safe from any thread. Instrumentation sites intern once
+  // (construction / first use) and record with the id afterwards.
+  uint32_t InternName(std::string_view name);
+
+  // Appends one record to the calling thread's ring (allocating the ring on
+  // first use). The timestamp is taken here, from the recorder's epoch.
+  void Record(FlightEventKind kind, uint32_t name_id, double value = 0.0,
+              uint64_t aux = 0);
+
+  // Convenience wrappers used by the instrumentation seams.
+  void RecordSpanBegin(uint32_t name_id) {
+    Record(FlightEventKind::kSpanBegin, name_id);
+  }
+  void RecordSpanEnd(uint32_t name_id, double elapsed_seconds) {
+    Record(FlightEventKind::kSpanEnd, name_id, elapsed_seconds);
+  }
+  void RecordCounterSample(uint32_t name_id, double value) {
+    Record(FlightEventKind::kCounterSample, name_id, value);
+  }
+  void RecordGaugeSample(uint32_t name_id, double value) {
+    Record(FlightEventKind::kGaugeSample, name_id, value);
+  }
+
+  // Snapshots and clears every ring. Sequence counters and track ids are
+  // NOT reset, so records straddling two drains stay totally ordered.
+  FlightSnapshot Drain();
+
+  // Seconds since the recorder was constructed, on its own epoch.
+  double NowSeconds() const { return epoch_.ElapsedSeconds(); }
+
+  int ring_capacity() const { return ring_capacity_; }
+
+ private:
+  // One thread's journal. Only the owning thread appends; the drain locks
+  // the same mutex, which is uncontended in steady state.
+  struct Ring {
+    std::mutex mutex;
+    std::vector<EventRecord> records;  // capacity-sized circular storage
+    uint64_t next_seq = 0;             // also counts total appends
+    uint64_t dropped = 0;              // overwritten before a drain
+    uint32_t track = 0;
+    int size = 0;   // live records
+    int head = 0;   // index of the oldest live record
+  };
+
+  Ring& LocalRing();
+
+  const uint64_t uid_;  // never reused; keys the thread-local ring cache
+  const int ring_capacity_;
+  Stopwatch epoch_;
+
+  // Guards the name table and the ring list (not the per-ring payloads).
+  mutable std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace vastats
+
+#endif  // VASTATS_OBS_FLIGHT_RECORDER_H_

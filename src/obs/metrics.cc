@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
 
 namespace vastats {
 namespace {
@@ -42,6 +46,31 @@ void Histogram::Observe(double value) {
       std::lower_bound(bounds_->begin(), bounds_->end(), value) -
       bounds_->begin());
   registry_->HistogramObserve(id_, bucket, bounds_->size() + 1, value);
+}
+
+double HistogramSample::EstimateQuantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0) || count == 0 || bucket_counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(bucket_counts[b]);
+    cumulative += in_bucket;
+    if (cumulative < target || in_bucket == 0.0) continue;
+    if (b >= upper_bounds.size()) {
+      // Overflow bucket: the best bounded answer is the last finite edge.
+      return upper_bounds.empty()
+                 ? std::numeric_limits<double>::quiet_NaN()
+                 : upper_bounds.back();
+    }
+    const double upper = upper_bounds[b];
+    const double lower = b == 0 ? std::min(0.0, upper) : upper_bounds[b - 1];
+    const double rank_in_bucket = target - (cumulative - in_bucket);
+    return lower + (upper - lower) * (rank_in_bucket / in_bucket);
+  }
+  // count > 0 guarantees some bucket crossed the target; not reachable.
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 const CounterSample* MetricsSnapshot::FindCounter(
@@ -209,17 +238,80 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
-void PoolMetricsObserver::OnBatchQueued(int queue_depth) {
-  if (metrics_ == nullptr) return;
-  metrics_->GetGauge("thread_pool_queue_depth")
-      .Set(static_cast<double>(queue_depth));
+PoolMetricsObserver::PoolMetricsObserver(MetricsRegistry* metrics,
+                                         FlightRecorder* recorder)
+    : metrics_(metrics), recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    batch_name_id_ = recorder_->InternName("pool_batch");
+    task_name_id_ = recorder_->InternName("pool_task");
+    utilization_name_id_ =
+        recorder_->InternName("thread_pool_worker_utilization");
+  }
 }
 
-void PoolMetricsObserver::OnTaskComplete(double latency_seconds) {
-  if (metrics_ == nullptr) return;
-  metrics_->GetCounter("thread_pool_tasks_total").Increment();
-  metrics_->GetHistogram("thread_pool_task_latency_seconds")
-      .Observe(latency_seconds);
+PoolMetricsObserver::PoolMetricsObserver(const ObsOptions& obs)
+    : PoolMetricsObserver(obs.metrics, obs.recorder) {}
+
+std::span<const double> PoolMetricsObserver::ImbalanceRatioBuckets() {
+  static const double kBuckets[] = {1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0};
+  return kBuckets;
+}
+
+void PoolMetricsObserver::OnBatchQueued(int num_tasks, int queue_depth) {
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("thread_pool_queue_depth")
+        .Set(static_cast<double>(queue_depth));
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(FlightEventKind::kTaskEnqueue, batch_name_id_,
+                      static_cast<double>(queue_depth),
+                      static_cast<uint64_t>(num_tasks));
+  }
+}
+
+void PoolMetricsObserver::OnTaskStart(const TaskTiming& timing) {
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("thread_pool_task_queue_wait_seconds")
+        .Observe(timing.queue_wait_seconds);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(FlightEventKind::kTaskDequeue, task_name_id_,
+                      timing.queue_wait_seconds,
+                      static_cast<uint64_t>(timing.task_index));
+  }
+}
+
+void PoolMetricsObserver::OnTaskComplete(const TaskTiming& timing) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("thread_pool_tasks_total").Increment();
+    metrics_->GetHistogram("thread_pool_task_latency_seconds")
+        .Observe(timing.run_seconds);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(FlightEventKind::kTaskComplete, task_name_id_,
+                      timing.run_seconds,
+                      static_cast<uint64_t>(timing.task_index));
+  }
+}
+
+void PoolMetricsObserver::OnBatchComplete(const BatchTiming& timing) {
+  const double budget =
+      timing.elapsed_seconds * static_cast<double>(timing.max_workers);
+  const double utilization =
+      budget > 0.0 ? timing.total_run_seconds / budget : 0.0;
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("thread_pool_worker_utilization").Set(utilization);
+    if (timing.num_tasks > 0 && timing.total_run_seconds > 0.0) {
+      const double mean_run =
+          timing.total_run_seconds / static_cast<double>(timing.num_tasks);
+      metrics_->GetHistogram("thread_pool_chunk_imbalance_ratio",
+                             ImbalanceRatioBuckets())
+          .Observe(timing.max_run_seconds / mean_run);
+    }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->RecordGaugeSample(utilization_name_id_, utilization);
+  }
 }
 
 }  // namespace vastats

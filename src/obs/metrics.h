@@ -107,6 +107,16 @@ struct HistogramSample {
   std::vector<uint64_t> bucket_counts;
   uint64_t count = 0;
   double sum = 0.0;
+
+  // Estimates the `q`-quantile (q in [0, 1]) from the bucket counts the way
+  // PromQL's histogram_quantile does: find the bucket holding the q·count-th
+  // observation and interpolate linearly inside it. The first bucket's
+  // lower edge is 0 when its bound is positive (latency-style ladders),
+  // else the bound itself (no interpolation). Observations landing in the
+  // +inf overflow bucket clamp to the last finite bound. Returns NaN when
+  // the sample is empty or q is outside [0, 1] — bucketed data cannot
+  // answer either.
+  double EstimateQuantile(double q) const;
 };
 
 // A merged, name-sorted view of every registered metric.
@@ -121,26 +131,53 @@ struct MetricsSnapshot {
   const HistogramSample* FindHistogram(std::string_view name) const;
 };
 
-// Routes ThreadPool telemetry into a MetricsRegistry: the
-// `thread_pool_tasks_total` counter, `thread_pool_queue_depth` gauge, and
-// `thread_pool_task_latency_seconds` histogram. The registry lookups happen
-// on the reporting thread, so writes land in that thread's shard like every
-// other instrumentation site. A null registry makes the observer a no-op
-// sink, so call sites can construct one unconditionally.
+class FlightRecorder;
+struct ObsOptions;
+
+// Routes ThreadPool telemetry into a MetricsRegistry and, when attached,
+// the flight-recorder event journal:
+//   - `thread_pool_tasks_total` counter, `thread_pool_queue_depth` gauge,
+//     `thread_pool_task_latency_seconds` histogram (run time);
+//   - `thread_pool_task_queue_wait_seconds` histogram — enqueue-to-claim
+//     wait per task, split from run time;
+//   - `thread_pool_worker_utilization` gauge — fraction of the batch's
+//     (elapsed × workers) budget spent running tasks;
+//   - `thread_pool_chunk_imbalance_ratio` histogram — slowest task over
+//     mean task run time per ParallelFor, the chunk-imbalance signal;
+//   - journal events for batch enqueue, task dequeue/complete, and the
+//     utilization sample, so pool contention shows up on the Perfetto
+//     timeline per worker.
+// The registry lookups happen on the reporting thread, so writes land in
+// that thread's shard like every other instrumentation site. Null sinks
+// make the observer a no-op, so call sites construct one unconditionally.
 //
 // This adapter is obs's side of the ThreadPoolObserver seam
 // (util/thread_pool.h): the pool stays metrics-agnostic so util never
 // includes obs (layer rule A1).
 class PoolMetricsObserver final : public ThreadPoolObserver {
  public:
-  explicit PoolMetricsObserver(MetricsRegistry* metrics)
-      : metrics_(metrics) {}
+  explicit PoolMetricsObserver(MetricsRegistry* metrics,
+                               FlightRecorder* recorder = nullptr);
+  // Convenience: pulls both sinks out of an ObsOptions (defined in
+  // metrics.cc; obs.h cannot be included here).
+  explicit PoolMetricsObserver(const ObsOptions& obs);
 
-  void OnBatchQueued(int queue_depth) override;
-  void OnTaskComplete(double latency_seconds) override;
+  void OnBatchQueued(int num_tasks, int queue_depth) override;
+  void OnTaskStart(const TaskTiming& timing) override;
+  void OnTaskComplete(const TaskTiming& timing) override;
+  void OnBatchComplete(const BatchTiming& timing) override;
+
+  // Bucket ladder for `thread_pool_chunk_imbalance_ratio` (1 = perfectly
+  // balanced chunks).
+  static std::span<const double> ImbalanceRatioBuckets();
 
  private:
   MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  // Interned once at construction so the per-task hot path records by id.
+  uint32_t batch_name_id_ = 0;
+  uint32_t task_name_id_ = 0;
+  uint32_t utilization_name_id_ = 0;
 };
 
 class MetricsRegistry {

@@ -1,10 +1,11 @@
 // Observability context threaded through the extraction pipeline.
 //
-// `ObsOptions` bundles the two telemetry sinks — a hierarchical `Trace` and
-// a sharded `MetricsRegistry` — as borrowed, nullable pointers. A
-// default-constructed ObsOptions disables telemetry: spans degenerate to a
-// stopwatch read and metric handles to a null check, so the instrumented
-// hot paths stay within noise of the uninstrumented build.
+// `ObsOptions` bundles the three telemetry sinks — a hierarchical `Trace`,
+// a sharded `MetricsRegistry`, and a per-thread `FlightRecorder` event
+// journal — as borrowed, nullable pointers. A default-constructed
+// ObsOptions disables telemetry: spans degenerate to a stopwatch read and
+// metric handles to a null check, so the instrumented hot paths stay
+// within noise of the uninstrumented build.
 //
 // Usage (per-run opt-in through ExtractorOptions):
 //
@@ -23,16 +24,22 @@
 #ifndef VASTATS_OBS_OBS_H_
 #define VASTATS_OBS_OBS_H_
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace vastats {
 
 struct ObsOptions {
-  Trace* trace = nullptr;             // borrowed; null = tracing off
+  Trace* trace = nullptr;              // borrowed; null = tracing off
   MetricsRegistry* metrics = nullptr;  // borrowed; null = metrics off
+  // Borrowed; null = no event journal. Unlike the Trace, the recorder is
+  // thread-safe: worker threads journal into their own rings.
+  FlightRecorder* recorder = nullptr;
 
-  bool enabled() const { return trace != nullptr || metrics != nullptr; }
+  bool enabled() const {
+    return trace != nullptr || metrics != nullptr || recorder != nullptr;
+  }
 
   // Handle getters that tolerate a null registry; instrumentation sites
   // call these unconditionally and get no-op handles when disabled.

@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
+
 namespace vastats {
 namespace {
 
@@ -69,6 +72,21 @@ void Trace::Annotate(int id, std::string_view key, int64_t value) {
 void Trace::Annotate(int id, std::string_view key, bool value) {
   Annotate(id, key, value ? std::string_view("true")
                           : std::string_view("false"));
+}
+
+ScopedSpan::ScopedSpan(const ObsOptions& obs, std::string_view name)
+    : trace_(obs.trace), recorder_(obs.recorder) {
+  if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
+  if (recorder_ != nullptr) {
+    recorder_name_id_ = recorder_->InternName(name);
+    recorder_->RecordSpanBegin(recorder_name_id_);
+  }
+}
+
+void ScopedSpan::RecordEnd() {
+  // Only reachable with recorder_ set, i.e. after a matching RecordSpanBegin
+  // in the obs-aware constructor.
+  recorder_->RecordSpanEnd(recorder_name_id_, elapsed_);
 }
 
 const SpanRecord* Trace::Find(std::string_view name) const {

@@ -27,6 +27,9 @@
 
 namespace vastats {
 
+class FlightRecorder;
+struct ObsOptions;
+
 // One key/value fact attached to a span. Values are stored pre-rendered;
 // numeric annotations keep enough digits to round-trip.
 struct SpanAnnotation {
@@ -106,7 +109,7 @@ class Trace {
 // RAII span handle. Always measures elapsed time (null-trace fast path is a
 // stopwatch read); records into the trace only when one is attached.
 //
-//   ScopedSpan span(obs.trace, "kde");
+//   ScopedSpan span(obs, "kde");  // or ScopedSpan(obs.trace, "kde")
 //   ... work ...
 //   span.Annotate("grid_size", int64_t{4096});
 //   double seconds = span.Close();  // or let the destructor close it
@@ -115,6 +118,11 @@ class ScopedSpan {
   ScopedSpan(Trace* trace, std::string_view name) : trace_(trace) {
     if (trace_ != nullptr) id_ = trace_->BeginSpan(name);
   }
+
+  // Obs-aware form: drives the trace like the pointer form AND journals a
+  // span begin/end event pair into the flight recorder when one is
+  // attached. Defined in trace.cc (obs.h cannot be included here).
+  ScopedSpan(const ObsOptions& obs, std::string_view name);
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -129,6 +137,7 @@ class ScopedSpan {
     closed_ = true;
     elapsed_ = (trace_ != nullptr) ? trace_->EndSpan(id_)
                                    : watch_.ElapsedSeconds();
+    if (recorder_ != nullptr) RecordEnd();
     return elapsed_;
   }
 
@@ -157,7 +166,13 @@ class ScopedSpan {
   bool recording() const { return trace_ != nullptr; }
 
  private:
+  // Out-of-line flight-recorder journaling (trace.cc; the header cannot
+  // see the FlightRecorder definition).
+  void RecordEnd();
+
   Trace* trace_;
+  FlightRecorder* recorder_ = nullptr;
+  uint32_t recorder_name_id_ = 0;
   int id_ = -1;
   Stopwatch watch_;
   bool closed_ = false;

@@ -74,7 +74,7 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSampling(
     Rng& rng, const ObsOptions& obs) {
   VASTATS_RETURN_IF_ERROR(options.Validate());
 
-  ScopedSpan span(obs.trace, "adaptive_sampling");
+  ScopedSpan span(obs, "adaptive_sampling");
   AdaptiveSamplingResult result;
   VASTATS_ASSIGN_OR_RETURN(result.samples,
                            sampler.Sample(options.initial_size, rng, obs));
@@ -115,7 +115,7 @@ Result<AdaptiveSamplingResult> AdaptiveUniSSamplingDegraded(
     return Status::InvalidArgument("min_draw_coverage must be in [0, 1]");
   }
 
-  ScopedSpan span(obs.trace, "adaptive_sampling_degraded");
+  ScopedSpan span(obs, "adaptive_sampling_degraded");
   AdaptiveSamplingResult result;
 
   const auto draw_batch = [&](int count) -> Status {

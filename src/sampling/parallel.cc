@@ -40,7 +40,7 @@ Result<std::vector<double>> ParallelChunkedSample(
   }
 
   const ObsOptions& obs = options.obs;
-  ScopedSpan span(obs.trace, "parallel_sample");
+  ScopedSpan span(obs, "parallel_sample");
   span.Annotate("draws", static_cast<int64_t>(n));
   span.Annotate("chunks", static_cast<int64_t>(num_chunks));
   span.Annotate("threads", static_cast<int64_t>(workers));
@@ -60,7 +60,7 @@ Result<std::vector<double>> ParallelChunkedSample(
                         static_cast<size_t>(count)));
   };
 
-  PoolMetricsObserver pool_observer(obs.metrics);
+  PoolMetricsObserver pool_observer(obs);
   const Status status =
       pooled ? options.pool->ParallelFor(num_chunks, task, &pool_observer)
              : ThreadPerCallParallelFor(num_chunks, workers, task);
@@ -151,7 +151,7 @@ Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
   }
 
   const ObsOptions& obs = options.obs;
-  ScopedSpan span(obs.trace, "parallel_sample_degraded");
+  ScopedSpan span(obs, "parallel_sample_degraded");
   span.Annotate("draws", static_cast<int64_t>(n));
   span.Annotate("chunks", static_cast<int64_t>(num_chunks));
   span.Annotate("threads", static_cast<int64_t>(workers));
@@ -167,7 +167,7 @@ Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
   auto task = [&](int chunk_index) -> Status {
     Rng rng(options.seed +
             kStreamStride * (static_cast<uint64_t>(chunk_index) + 1));
-    AccessSession session = accessor.StartSession(obs.metrics);
+    AccessSession session = accessor.StartSession(obs.metrics, obs.recorder);
     const int begin = chunk_index * chunk;
     const int count = std::min(chunk, n - begin);
     Status status;
@@ -201,7 +201,7 @@ Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
     return status;
   };
 
-  PoolMetricsObserver pool_observer(obs.metrics);
+  PoolMetricsObserver pool_observer(obs);
   const Status status =
       pooled ? options.pool->ParallelFor(num_chunks, task, &pool_observer)
              : ThreadPerCallParallelFor(num_chunks, workers, task);

@@ -188,7 +188,7 @@ Result<UniSSample> UniSSampler::SampleOneDegraded(
 Result<std::vector<UniSSample>> UniSSampler::SampleDegraded(
     int n, Rng& rng, AccessSession& session, const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("SampleDegraded requires n > 0");
-  ScopedSpan span(obs.trace, "unis_sample_degraded");
+  ScopedSpan span(obs, "unis_sample_degraded");
   BatchCounters batch;
   uint64_t draws = 0;
   std::vector<UniSSample> samples;
@@ -211,7 +211,7 @@ Result<std::vector<UniSSample>> UniSSampler::SampleDegraded(
 Result<std::vector<double>> UniSSampler::Sample(int n, Rng& rng,
                                                 const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
-  ScopedSpan span(obs.trace, "unis_sample");
+  ScopedSpan span(obs, "unis_sample");
   Histogram visited =
       obs.GetHistogram("unis_sources_visited_per_draw", kVisitBuckets);
   BatchCounters batch;
@@ -263,7 +263,7 @@ Result<std::vector<double>> UniSSampler::SampleExcluding(
     }
     mask[static_cast<size_t>(s)] = 1;
   }
-  ScopedSpan span(obs.trace, "unis_sample_excluding");
+  ScopedSpan span(obs, "unis_sample_excluding");
   BatchCounters batch;
   std::vector<double> values;
   values.reserve(static_cast<size_t>(n));
@@ -304,7 +304,7 @@ Result<double> UniSSampler::EstimateSourcesPerAnswer(
   if (probes <= 0) {
     return Status::InvalidArgument("EstimateSourcesPerAnswer needs probes > 0");
   }
-  ScopedSpan span(obs.trace, "unis_estimate_weight");
+  ScopedSpan span(obs, "unis_estimate_weight");
   BatchCounters batch;
   double total = 0.0;
   for (int i = 0; i < probes; ++i) {

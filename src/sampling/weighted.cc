@@ -205,7 +205,7 @@ Result<UniSSample> WeightedUniSSampler::SampleOneDegraded(
 Result<std::vector<UniSSample>> WeightedUniSSampler::SampleDegraded(
     int n, Rng& rng, AccessSession& session, const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("SampleDegraded requires n > 0");
-  ScopedSpan span(obs.trace, "weighted_sample_degraded");
+  ScopedSpan span(obs, "weighted_sample_degraded");
   uint64_t draws = 0;
   std::vector<UniSSample> samples;
   samples.reserve(static_cast<size_t>(n));
@@ -226,7 +226,7 @@ Result<std::vector<UniSSample>> WeightedUniSSampler::SampleDegraded(
 Result<std::vector<double>> WeightedUniSSampler::Sample(
     int n, Rng& rng, const ObsOptions& obs) const {
   if (n <= 0) return Status::InvalidArgument("Sample requires n > 0");
-  ScopedSpan span(obs.trace, "weighted_sample");
+  ScopedSpan span(obs, "weighted_sample");
   std::vector<double> values;
   values.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {

@@ -1,5 +1,6 @@
 #include "stats/bootstrap.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "stats/descriptive.h"
 #include "util/thread_pool.h"
@@ -12,14 +13,14 @@ namespace {
 // distinct s (it only reads shared data and writes its own slot).
 Result<std::vector<double>> EvaluateReplicates(
     int num_sets, ThreadPool* pool, MetricsRegistry* metrics,
-    const std::function<double(int)>& evaluate) {
+    FlightRecorder* recorder, const std::function<double(int)>& evaluate) {
   std::vector<double> replicates(static_cast<size_t>(num_sets));
   auto task = [&](int s) -> Status {
     replicates[static_cast<size_t>(s)] = evaluate(s);
     return Status::Ok();
   };
   if (pool != nullptr) {
-    PoolMetricsObserver pool_observer(metrics);
+    PoolMetricsObserver pool_observer(metrics, recorder);
     VASTATS_RETURN_IF_ERROR(pool->ParallelFor(num_sets, task, &pool_observer));
   } else {
     for (int s = 0; s < num_sets; ++s) {
@@ -76,11 +77,10 @@ Result<std::vector<std::vector<double>>> BootstrapSets(
   return sets;
 }
 
-Result<std::vector<double>> BootstrapReplicates(std::span<const double> data,
-                                                const StatisticFn& statistic,
-                                                const BootstrapOptions& options,
-                                                Rng& rng, ThreadPool* pool,
-                                                MetricsRegistry* metrics) {
+Result<std::vector<double>> BootstrapReplicates(
+    std::span<const double> data, const StatisticFn& statistic,
+    const BootstrapOptions& options, Rng& rng, ThreadPool* pool,
+    MetricsRegistry* metrics, FlightRecorder* recorder) {
   if (data.empty()) {
     return Status::InvalidArgument(
         "BootstrapReplicates requires non-empty data");
@@ -88,12 +88,13 @@ Result<std::vector<double>> BootstrapReplicates(std::span<const double> data,
   VASTATS_ASSIGN_OR_RETURN(
       const std::vector<std::vector<int>> index_sets,
       BootstrapIndexSets(static_cast<int>(data.size()), options, rng));
-  return ReplicatesFromIndexSets(data, index_sets, statistic, pool, metrics);
+  return ReplicatesFromIndexSets(data, index_sets, statistic, pool, metrics,
+                                 recorder);
 }
 
 Result<std::vector<double>> ReplicatesFromSets(
     std::span<const std::vector<double>> sets, const StatisticFn& statistic,
-    ThreadPool* pool, MetricsRegistry* metrics) {
+    ThreadPool* pool, MetricsRegistry* metrics, FlightRecorder* recorder) {
   if (sets.empty()) {
     return Status::InvalidArgument("ReplicatesFromSets requires >= 1 set");
   }
@@ -103,14 +104,14 @@ Result<std::vector<double>> ReplicatesFromSets(
     }
   }
   return EvaluateReplicates(
-      static_cast<int>(sets.size()), pool, metrics,
+      static_cast<int>(sets.size()), pool, metrics, recorder,
       [&](int s) { return statistic(sets[static_cast<size_t>(s)]); });
 }
 
 Result<std::vector<double>> ReplicatesFromIndexSets(
     std::span<const double> data,
     std::span<const std::vector<int>> index_sets, const StatisticFn& statistic,
-    ThreadPool* pool, MetricsRegistry* metrics) {
+    ThreadPool* pool, MetricsRegistry* metrics, FlightRecorder* recorder) {
   if (data.empty()) {
     return Status::InvalidArgument(
         "ReplicatesFromIndexSets requires non-empty data");
@@ -132,7 +133,7 @@ Result<std::vector<double>> ReplicatesFromIndexSets(
     }
   }
   return EvaluateReplicates(
-      static_cast<int>(index_sets.size()), pool, metrics, [&](int s) {
+      static_cast<int>(index_sets.size()), pool, metrics, recorder, [&](int s) {
         const std::vector<int>& indices = index_sets[static_cast<size_t>(s)];
         // Gathered into a task-local buffer so concurrent evaluations never
         // share scratch space.

@@ -27,6 +27,7 @@
 
 namespace vastats {
 
+class FlightRecorder;
 class MetricsRegistry;
 class ThreadPool;
 
@@ -53,23 +54,26 @@ Result<std::vector<std::vector<double>>> BootstrapSets(
 // Evaluates `statistic` on each bootstrap set of `data` and returns the
 // ensemble of replicates (one value per set). With a `pool`, the per-set
 // evaluations run as pool tasks after the indices are drawn in one batch;
-// `metrics` (optional, borrowed) receives the pool's task telemetry.
+// `metrics` and `recorder` (optional, borrowed) receive the pool's task
+// telemetry.
 Result<std::vector<double>> BootstrapReplicates(
     std::span<const double> data, const StatisticFn& statistic,
     const BootstrapOptions& options, Rng& rng, ThreadPool* pool = nullptr,
-    MetricsRegistry* metrics = nullptr);
+    MetricsRegistry* metrics = nullptr, FlightRecorder* recorder = nullptr);
 
 // Evaluates `statistic` on already-materialized bootstrap sets.
 Result<std::vector<double>> ReplicatesFromSets(
     std::span<const std::vector<double>> sets, const StatisticFn& statistic,
-    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr);
+    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr,
+    FlightRecorder* recorder = nullptr);
 
 // Index-based twin of ReplicatesFromSets: evaluates `statistic` on the set
 // gathered from `data` by each index vector, without materializing the sets.
 Result<std::vector<double>> ReplicatesFromIndexSets(
     std::span<const double> data,
     std::span<const std::vector<int>> index_sets, const StatisticFn& statistic,
-    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr);
+    ThreadPool* pool = nullptr, MetricsRegistry* metrics = nullptr,
+    FlightRecorder* recorder = nullptr);
 
 // How the replicate ensemble is bagged into a single estimate.
 enum class BagAggregator { kMean, kMedian };

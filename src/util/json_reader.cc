@@ -1,0 +1,292 @@
+#include "util/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vastats {
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    VASTATS_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting deeper than 128 levels");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonKind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!ConsumeWord("true")) return Fail("expected `true`");
+        out->kind = JsonKind::kBool;
+        out->bool_value = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeWord("false")) return Fail("expected `false`");
+        out->kind = JsonKind::kBool;
+        out->bool_value = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeWord("null")) return Fail("expected `null`");
+        out->kind = JsonKind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->kind = JsonKind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected a quoted object key");
+      }
+      std::string key;
+      VASTATS_RETURN_IF_ERROR(ParseString(&key));
+      for (const auto& [existing, unused] : out->members) {
+        if (existing == key) return Fail("duplicate object key `" + key + "`");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected `:` after object key");
+      SkipWhitespace();
+      JsonValue value;
+      VASTATS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected `,` or `}` in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->kind = JsonKind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      VASTATS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected `,` or `]` in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          VASTATS_RETURN_IF_ERROR(ParseUnicodeEscape(out));
+          break;
+        }
+        default:
+          return Fail("invalid escape sequence");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("non-hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    // UTF-8 encode the BMP code point (surrogate halves pass through
+    // encoded individually; see the header's scope note).
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Fail("expected a value");
+    }
+    if (Consume('.')) {
+      const size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) return Fail("expected digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp) return Fail("expected digits in exponent");
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    out->kind = JsonKind::kNumber;
+    out->number_value = std::strtod(literal.c_str(), nullptr);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != JsonKind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindNumber(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindArray(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_array()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::FindObject(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_object()) ? v : nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace vastats

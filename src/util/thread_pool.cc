@@ -16,6 +16,9 @@ struct ThreadPool::Batch {
   int num_tasks = 0;
   const std::function<Status(int)>* fn = nullptr;
   ThreadPoolObserver* observer = nullptr;
+  // Restarted at enqueue; task claims read it for their queue wait and the
+  // caller reads it once more for the batch's wall-clock elapsed time.
+  Stopwatch watch;
 
   int next_claim = 0;  // tasks are claimed strictly in index order
   int completed = 0;   // finished + cancelled-before-claim
@@ -23,6 +26,8 @@ struct ThreadPool::Batch {
   bool queued = false;
   int error_index = -1;
   Status error;
+  double total_run_seconds = 0.0;
+  double max_run_seconds = 0.0;
 };
 
 ThreadPool::ThreadPool(ThreadPoolOptions options)
@@ -62,13 +67,20 @@ void ThreadPool::RunTask(Batch* batch, int index,
                          std::unique_lock<std::mutex>& lock) {
   ThreadPoolObserver* observer = batch->observer;
   const std::function<Status(int)>& fn = *batch->fn;
+  TaskTiming timing;
+  timing.task_index = index;
+  // The claim just happened (under the lock we still hold), so the batch
+  // stopwatch currently reads this task's queue wait.
+  timing.queue_wait_seconds = batch->watch.ElapsedSeconds();
   lock.unlock();
+  if (observer != nullptr) observer->OnTaskStart(timing);
   Stopwatch watch;
   Status status = fn(index);
-  if (observer != nullptr) {
-    observer->OnTaskComplete(watch.ElapsedSeconds());
-  }
+  timing.run_seconds = watch.ElapsedSeconds();
+  if (observer != nullptr) observer->OnTaskComplete(timing);
   lock.lock();
+  batch->total_run_seconds += timing.run_seconds;
+  batch->max_run_seconds = std::max(batch->max_run_seconds, timing.run_seconds);
   ++batch->completed;
   if (!status.ok()) {
     batch->cancelled = true;
@@ -131,18 +143,34 @@ Status ThreadPool::ParallelFor(int num_tasks,
     }
   }
   batch.queued = true;
+  batch.watch.Restart();  // queue waits and batch elapsed count from here
   queue_.push_back(&batch);
-  if (observer != nullptr) {
-    observer->OnBatchQueued(static_cast<int>(queue_.size()));
-  }
+  const int queue_depth = static_cast<int>(queue_.size());
   work_cv_.notify_all();
+  if (observer != nullptr) {
+    // Callbacks never run under the pool lock; the workers may already be
+    // claiming tasks of this batch while the observer runs.
+    lock.unlock();
+    observer->OnBatchQueued(num_tasks, queue_depth);
+    lock.lock();
+  }
 
   // The caller drains its own batch alongside the workers, then waits for
   // stragglers still running claimed tasks.
   DrainBatchLocked(&batch, lock);
   done_cv_.wait(lock, [&] { return batch.completed == batch.num_tasks; });
-  if (batch.error_index >= 0) return batch.error;
-  return Status::Ok();
+
+  BatchTiming batch_timing;
+  batch_timing.num_tasks = num_tasks;
+  batch_timing.elapsed_seconds = batch.watch.ElapsedSeconds();
+  batch_timing.total_run_seconds = batch.total_run_seconds;
+  batch_timing.max_run_seconds = batch.max_run_seconds;
+  batch_timing.max_workers = num_threads_ + 1;  // workers + this caller
+  Status result = batch.error_index >= 0 ? std::move(batch.error)
+                                         : Status::Ok();
+  lock.unlock();
+  if (observer != nullptr) observer->OnBatchComplete(batch_timing);
+  return result;
 }
 
 void ThreadPool::Shutdown() {

@@ -22,12 +22,13 @@
 // intended result-passing idiom.
 //
 // Telemetry is per-call and borrowed, matching the rest of the pipeline: a
-// non-null `ThreadPoolObserver*` receives per-batch and per-task events.
-// The observer seam keeps util below obs in the layer DAG (A1): the pool
-// knows nothing about metrics; obs provides `PoolMetricsObserver`, which
-// forwards the events into a `MetricsRegistry` under the usual
-// `thread_pool_tasks_total` / `thread_pool_queue_depth` /
-// `thread_pool_task_latency_seconds` names.
+// non-null `ThreadPoolObserver*` receives per-batch and per-task events
+// with queue-wait vs run-time split out per task and utilization/imbalance
+// aggregates per batch. The observer seam keeps util below obs in the
+// layer DAG (A1): the pool knows nothing about metrics; obs provides
+// `PoolMetricsObserver`, which forwards the events into a
+// `MetricsRegistry` (and, when attached, the flight-recorder event
+// journal) under the usual `thread_pool_*` names.
 
 #ifndef VASTATS_UTIL_THREAD_POOL_H_
 #define VASTATS_UTIL_THREAD_POOL_H_
@@ -43,20 +44,50 @@
 
 namespace vastats {
 
+// Timing of one task of a batch, measured by the pool.
+struct TaskTiming {
+  int task_index = 0;
+  // Batch enqueue -> this task claimed. Tasks claimed by the caller's own
+  // drain wait too: a deep queue delays them the same way.
+  double queue_wait_seconds = 0.0;
+  // Claim -> fn returned. 0 in OnTaskStart (the task has not run yet).
+  double run_seconds = 0.0;
+};
+
+// Whole-batch aggregates, delivered once per ParallelFor on the caller.
+struct BatchTiming {
+  int num_tasks = 0;
+  // Enqueue -> every task completed (wall clock on the calling thread).
+  double elapsed_seconds = 0.0;
+  double total_run_seconds = 0.0;  // sum over tasks of run_seconds
+  double max_run_seconds = 0.0;    // slowest single task
+  // Threads that could have run tasks: the workers plus the caller.
+  int max_workers = 0;
+};
+
 // Telemetry seam for the pool. Callbacks fire on the thread that produced
-// the event (OnTaskComplete runs on the worker that ran the task), so
-// observer implementations that shard state per thread keep their locality.
-// Implementations must be thread-safe.
+// the event (OnTaskStart/OnTaskComplete run on the thread that claimed the
+// task, OnBatchComplete on the ParallelFor caller), so observer
+// implementations that shard state per thread keep their locality.
+// Implementations must be thread-safe; no pool lock is held during any
+// callback (but re-entering the pool from one is still a bad idea).
 class ThreadPoolObserver {
  public:
   virtual ~ThreadPoolObserver() = default;
 
-  // A ParallelFor batch was enqueued; `queue_depth` counts batches in the
-  // queue including this one.
-  virtual void OnBatchQueued(int queue_depth) = 0;
+  // A ParallelFor batch of `num_tasks` tasks was enqueued; `queue_depth`
+  // counts batches in the queue including this one.
+  virtual void OnBatchQueued(int num_tasks, int queue_depth) = 0;
+
+  // A task was claimed and is about to run. `timing.run_seconds` is 0.
+  virtual void OnTaskStart(const TaskTiming& timing) { (void)timing; }
 
   // One task finished executing (successfully or not).
-  virtual void OnTaskComplete(double latency_seconds) = 0;
+  virtual void OnTaskComplete(const TaskTiming& timing) = 0;
+
+  // Every task of a batch completed (or was cancelled); fired on the
+  // calling thread just before ParallelFor returns.
+  virtual void OnBatchComplete(const BatchTiming& timing) { (void)timing; }
 };
 
 struct ThreadPoolOptions {

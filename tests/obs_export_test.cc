@@ -1,13 +1,17 @@
 #include "obs/export.h"
 
 #include <array>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/json_reader.h"
 
 namespace vastats {
 namespace {
@@ -132,6 +136,112 @@ TEST(SnapshotExportTest, BadMetricNameFailsEveryExporter) {
   EXPECT_FALSE(SnapshotToJson(snapshot).ok());
   EXPECT_FALSE(SnapshotToCsv(snapshot).ok());
   EXPECT_FALSE(SnapshotToPrometheus(snapshot).ok());
+}
+
+TEST(SnapshotExportTest, PrometheusEmitsEstimatedQuantiles) {
+  // visits: bounds {1, 2}, observations {0.5, 1.5, 9} -> counts [1, 1, 1].
+  // p50 interpolates inside the (1, 2] bucket; p90/p99 land in the overflow
+  // bucket and clamp to the last finite edge.
+  const auto text = SnapshotToPrometheus(PopulatedRegistry().Snapshot());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_TRUE(Contains(*text, "visits{quantile=\"0.5\"} 1.5\n"));
+  EXPECT_TRUE(Contains(*text, "visits{quantile=\"0.9\"} 2\n"));
+  EXPECT_TRUE(Contains(*text, "visits{quantile=\"0.99\"} 2\n"));
+  // Quantile lines sit between the buckets and the _sum/_count tail.
+  EXPECT_LT(text->find("visits_bucket{le=\"+Inf\"}"),
+            text->find("visits{quantile=\"0.5\"}"));
+  EXPECT_LT(text->find("visits{quantile=\"0.99\"}"), text->find("visits_sum"));
+}
+
+TEST(SnapshotExportTest, JsonEmitsEstimatedQuantiles) {
+  const auto json = SnapshotToJson(PopulatedRegistry().Snapshot());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(Contains(*json, "\"p50\":1.5"));
+  EXPECT_TRUE(Contains(*json, "\"p90\":2"));
+  EXPECT_TRUE(Contains(*json, "\"p99\":2"));
+  // The document must survive its own reader.
+  EXPECT_TRUE(ParseJson(*json).ok());
+}
+
+TEST(SnapshotExportTest, EmptyHistogramQuantilesAreNanAndNull) {
+  MetricsRegistry registry;
+  constexpr std::array<double, 2> kBounds = {1.0, 2.0};
+  registry.GetHistogram("idle_waits", kBounds);  // registered, never observed
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const auto prometheus = SnapshotToPrometheus(snapshot);
+  ASSERT_TRUE(prometheus.ok()) << prometheus.status().ToString();
+  EXPECT_TRUE(Contains(*prometheus, "idle_waits{quantile=\"0.5\"} NaN\n"));
+  EXPECT_TRUE(Contains(*prometheus, "idle_waits_count 0\n"));
+
+  // JSON has no NaN literal, so empty-histogram quantiles render as null.
+  const auto json = SnapshotToJson(snapshot);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(Contains(*json, "\"p50\":null"));
+  EXPECT_TRUE(ParseJson(*json).ok());
+}
+
+TEST(SnapshotExportTest, PrometheusSpellsNonFiniteValues) {
+  MetricsRegistry registry;
+  registry.GetGauge("ratio_upper").Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("ratio_lower").Set(
+      -std::numeric_limits<double>::infinity());
+  registry.GetGauge("ratio_undefined")
+      .Set(std::numeric_limits<double>::quiet_NaN());
+
+  const auto text = SnapshotToPrometheus(registry.Snapshot());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_TRUE(Contains(*text, "ratio_upper +Inf\n"));
+  EXPECT_TRUE(Contains(*text, "ratio_lower -Inf\n"));
+  EXPECT_TRUE(Contains(*text, "ratio_undefined NaN\n"));
+}
+
+TEST(ObsExportChromeTraceTest, EmptySnapshotIsAValidTrace) {
+  const FlightSnapshot snapshot;
+  const auto text = ExportChromeTrace(snapshot);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto doc = ParseJson(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->FindArray("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->items.empty());
+  const JsonValue* other = doc->FindObject("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->FindNumber("num_tracks")->number_value, 0.0);
+  EXPECT_EQ(other->FindNumber("dropped_events")->number_value, 0.0);
+  EXPECT_EQ(other->FindNumber("orphaned_events")->number_value, 0.0);
+}
+
+TEST(ObsExportChromeTraceTest, RingWrapShowsUpAsDroppedAndOrphaned) {
+  FlightRecorderOptions options;
+  options.ring_capacity = 16;
+  FlightRecorder recorder(options);
+  const uint32_t name = recorder.InternName("wrapped_span");
+  // 17 begins then 17 ends: the ring keeps only the last 16 ends, so every
+  // surviving end lost its begin to the wrap.
+  for (int i = 0; i < 17; ++i) recorder.RecordSpanBegin(name);
+  for (int i = 0; i < 17; ++i) recorder.RecordSpanEnd(name, 0.001);
+
+  const FlightSnapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 16u);
+  EXPECT_EQ(snapshot.TotalDropped(), 18u);
+
+  const auto text = ExportChromeTrace(snapshot);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto doc = ParseJson(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* other = doc->FindObject("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->FindNumber("dropped_events")->number_value, 18.0);
+  EXPECT_EQ(other->FindNumber("orphaned_events")->number_value, 16.0);
+  // No complete events can be reconstructed from orphaned ends.
+  const JsonValue* events = doc->FindArray("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const JsonValue& event : events->items) {
+    const JsonValue* phase = event.FindString("ph");
+    ASSERT_NE(phase, nullptr);
+    EXPECT_NE(phase->string_value, "X");
+  }
 }
 
 TEST(WriteTextFileTest, RoundTripsContent) {

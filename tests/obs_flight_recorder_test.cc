@@ -1,0 +1,307 @@
+// Flight-recorder tests: ring-wrap drop accounting, (track, seq) drain
+// order, sequence continuity across drains, and — the observability
+// contract the exporter leans on — a drained journal whose *structure* is
+// identical however wide the pool that produced it was.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "util/json_reader.h"
+#include "util/thread_pool.h"
+
+namespace vastats {
+namespace {
+
+TEST(ObsFlightRecorderTest, InternNameIsIdempotent) {
+  FlightRecorder recorder;
+  const uint32_t a = recorder.InternName("pool_task");
+  const uint32_t b = recorder.InternName("pool_batch");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(recorder.InternName("pool_task"), a);
+  EXPECT_EQ(recorder.InternName("pool_batch"), b);
+}
+
+TEST(ObsFlightRecorderTest, TinyCapacityIsClampedUp) {
+  FlightRecorderOptions options;
+  options.ring_capacity = 1;
+  FlightRecorder recorder(options);
+  EXPECT_GE(recorder.ring_capacity(), 16);
+}
+
+TEST(ObsFlightRecorderTest, RingWrapKeepsNewestAndCountsDropped) {
+  FlightRecorderOptions options;
+  options.ring_capacity = 16;
+  FlightRecorder recorder(options);
+  const uint32_t name = recorder.InternName("wrap_probe");
+  const int total = 40;
+  for (int i = 0; i < total; ++i) {
+    recorder.RecordCounterSample(name, static_cast<double>(i));
+  }
+
+  const FlightSnapshot snapshot = recorder.Drain();
+  ASSERT_EQ(snapshot.events.size(), 16u);
+  ASSERT_EQ(snapshot.num_tracks, 1);
+  ASSERT_EQ(snapshot.dropped_by_track.size(), 1u);
+  EXPECT_EQ(snapshot.dropped_by_track[0], 24u);
+  EXPECT_EQ(snapshot.TotalDropped(), 24u);
+  // The survivors are exactly the newest records, oldest-first.
+  for (size_t i = 0; i < snapshot.events.size(); ++i) {
+    EXPECT_EQ(snapshot.events[i].seq, 24 + i);
+    EXPECT_DOUBLE_EQ(snapshot.events[i].value, 24.0 + static_cast<double>(i));
+  }
+  EXPECT_EQ(snapshot.NameOf(snapshot.events[0]), "wrap_probe");
+}
+
+TEST(ObsFlightRecorderTest, SequenceNumbersSurviveDrain) {
+  FlightRecorder recorder;
+  const uint32_t name = recorder.InternName("drain_probe");
+  recorder.RecordSpanBegin(name);
+  recorder.RecordSpanEnd(name, 0.5);
+  const FlightSnapshot first = recorder.Drain();
+  ASSERT_EQ(first.events.size(), 2u);
+  EXPECT_EQ(first.events[0].seq, 0u);
+  EXPECT_EQ(first.events[1].seq, 1u);
+
+  recorder.RecordCounterSample(name, 3.0);
+  const FlightSnapshot second = recorder.Drain();
+  ASSERT_EQ(second.events.size(), 1u);
+  // Counters keep climbing: records straddling two drains stay ordered.
+  EXPECT_EQ(second.events[0].seq, 2u);
+  EXPECT_EQ(second.events[0].track, first.events[0].track);
+  EXPECT_EQ(second.TotalDropped(), 0u);
+  // Draining clears the rings; nothing is replayed.
+  EXPECT_TRUE(recorder.Drain().events.empty());
+}
+
+TEST(ObsFlightRecorderTest, DrainMergesTracksInTrackSeqOrder) {
+  FlightRecorder recorder;
+  const uint32_t name = recorder.InternName("multi_thread_probe");
+  recorder.RecordCounterSample(name, 0.0);  // track 0 = this thread
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, name] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.RecordCounterSample(name, static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const FlightSnapshot snapshot = recorder.Drain();
+  EXPECT_EQ(snapshot.num_tracks, kThreads + 1);
+  ASSERT_EQ(snapshot.events.size(),
+            static_cast<size_t>(kThreads * kPerThread + 1));
+  // Sorted by (track, seq): track ids never decrease, and within a track
+  // the sequence increases by exactly one.
+  for (size_t i = 1; i < snapshot.events.size(); ++i) {
+    const EventRecord& prev = snapshot.events[i - 1];
+    const EventRecord& curr = snapshot.events[i];
+    if (curr.track == prev.track) {
+      EXPECT_EQ(curr.seq, prev.seq + 1);
+    } else {
+      EXPECT_GT(curr.track, prev.track);
+    }
+  }
+}
+
+TEST(ObsFlightRecorderTest, BreakerTransitionPackingRoundTrips) {
+  const uint64_t packed = PackBreakerTransition(7, 0, 1);
+  int source = -1;
+  int from = -1;
+  int to = -1;
+  UnpackBreakerTransition(packed, &source, &from, &to);
+  EXPECT_EQ(source, 7);
+  EXPECT_EQ(from, 0);
+  EXPECT_EQ(to, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-width determinism. The extraction pipeline is bit-identical across
+// pool widths; the journal cannot be *byte*-identical (timestamps, track
+// count, and the worker that claims each chunk all vary), but its structure
+// must be: the same multiset of (kind, name, aux) events, balanced span
+// nesting on every track, and per-track sequence ordering.
+
+struct CanonicalEvent {
+  int kind;
+  std::string name;
+  uint64_t aux;
+
+  bool operator==(const CanonicalEvent&) const = default;
+  bool operator<(const CanonicalEvent& other) const {
+    return std::tie(kind, name, aux) <
+           std::tie(other.kind, other.name, other.aux);
+  }
+};
+
+// Timestamps, values, and track assignment are scheduling-dependent; what
+// happened (and, for pool tasks, to which task index) is not.
+std::vector<CanonicalEvent> Canonicalize(const FlightSnapshot& snapshot) {
+  std::vector<CanonicalEvent> out;
+  out.reserve(snapshot.events.size());
+  for (const EventRecord& event : snapshot.events) {
+    out.push_back(CanonicalEvent{static_cast<int>(event.kind),
+                                 std::string(snapshot.NameOf(event)),
+                                 event.aux});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CheckPerTrackInvariants(const FlightSnapshot& snapshot) {
+  ASSERT_EQ(snapshot.TotalDropped(), 0u) << "ring wrapped; widen the ring";
+  // Per-track: seq ascends and span begin/end pairs balance (spans are
+  // scoped objects, so no track ever ends more spans than it began).
+  std::vector<uint64_t> last_seq(static_cast<size_t>(snapshot.num_tracks), 0);
+  std::vector<int> open_spans(static_cast<size_t>(snapshot.num_tracks), 0);
+  std::vector<bool> seen(static_cast<size_t>(snapshot.num_tracks), false);
+  for (const EventRecord& event : snapshot.events) {
+    ASSERT_LT(event.track, static_cast<uint32_t>(snapshot.num_tracks));
+    const size_t track = event.track;
+    if (seen[track]) {
+      EXPECT_GT(event.seq, last_seq[track]);
+    }
+    seen[track] = true;
+    last_seq[track] = event.seq;
+    if (event.kind == FlightEventKind::kSpanBegin) ++open_spans[track];
+    if (event.kind == FlightEventKind::kSpanEnd) {
+      --open_spans[track];
+      EXPECT_GE(open_spans[track], 0)
+          << "span end without begin on track " << track;
+    }
+  }
+  for (int track = 0; track < snapshot.num_tracks; ++track) {
+    EXPECT_EQ(open_spans[static_cast<size_t>(track)], 0)
+        << "unbalanced spans on track " << track;
+  }
+}
+
+FlightSnapshot RunJournaledExtraction(ThreadPool* pool) {
+  FlightRecorder recorder;
+  MetricsRegistry metrics;
+  ExtractorOptions options;
+  options.initial_sample_size = 80;
+  options.bootstrap.num_sets = 10;
+  options.kde.grid_size = 256;
+  options.weight_probes = 5;
+  options.sampling_threads = 4;
+  options.pool = pool;
+  options.obs.metrics = &metrics;
+  options.obs.recorder = &recorder;
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const auto extractor = AnswerStatisticsExtractor::Create(
+      &sources, testing::MakeFigure1Query(AggregateKind::kSum), options);
+  EXPECT_TRUE(extractor.ok()) << extractor.status().ToString();
+  if (extractor.ok()) {
+    const auto stats = extractor->Extract();
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  return recorder.Drain();
+}
+
+TEST(FlightRecorderDeterminismTest, JournalStructureIsPoolWidthInvariant) {
+  ThreadPoolOptions one;
+  one.num_threads = 1;
+  ThreadPool pool_1(one);
+  const FlightSnapshot base = RunJournaledExtraction(&pool_1);
+  ASSERT_FALSE(base.events.empty());
+  CheckPerTrackInvariants(base);
+  const std::vector<CanonicalEvent> expected = Canonicalize(base);
+
+  for (const int width : {4, 16, 0}) {  // 0 = hardware concurrency
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = width;
+    ThreadPool pool(pool_options);
+    const FlightSnapshot snapshot = RunJournaledExtraction(&pool);
+    CheckPerTrackInvariants(snapshot);
+    EXPECT_EQ(Canonicalize(snapshot), expected)
+        << "journal structure diverged at pool width " << width;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace schema: the exported artifact of a real journaled run must
+// parse and carry the fields chrome://tracing and Perfetto rely on.
+
+TEST(ObsFlightRecorderTest, ChromeTraceExportOfRealRunMatchesSchema) {
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = 2;
+  ThreadPool pool(pool_options);
+  const FlightSnapshot snapshot = RunJournaledExtraction(&pool);
+  ASSERT_FALSE(snapshot.events.empty());
+
+  const auto text = ExportChromeTrace(snapshot);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto doc = ParseJson(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const JsonValue* display = doc->FindString("displayTimeUnit");
+  ASSERT_NE(display, nullptr);
+  EXPECT_EQ(display->string_value, "ms");
+  const JsonValue* other = doc->FindObject("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->FindNumber("num_tracks"), nullptr);
+  EXPECT_EQ(other->FindNumber("num_tracks")->number_value,
+            static_cast<double>(snapshot.num_tracks));
+  ASSERT_NE(other->FindNumber("dropped_events"), nullptr);
+  EXPECT_EQ(other->FindNumber("dropped_events")->number_value, 0.0);
+  ASSERT_NE(other->FindNumber("orphaned_events"), nullptr);
+
+  const JsonValue* events = doc->FindArray("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->items.empty());
+  int metadata = 0;
+  int queue_waits = 0;
+  int task_runs = 0;
+  bool main_thread_named = false;
+  for (const JsonValue& event : events->items) {
+    ASSERT_TRUE(event.is_object());
+    const JsonValue* phase = event.FindString("ph");
+    ASSERT_NE(phase, nullptr);
+    ASSERT_NE(event.FindNumber("pid"), nullptr);
+    ASSERT_NE(event.FindNumber("tid"), nullptr);
+    const JsonValue* name = event.FindString("name");
+    ASSERT_NE(name, nullptr);
+    if (phase->string_value == "M") {
+      ++metadata;
+      EXPECT_EQ(name->string_value, "thread_name");
+      const JsonValue* args = event.FindObject("args");
+      ASSERT_NE(args, nullptr);
+      const JsonValue* thread = args->FindString("name");
+      ASSERT_NE(thread, nullptr);
+      if (thread->string_value == "main") main_thread_named = true;
+      continue;
+    }
+    ASSERT_NE(event.FindNumber("ts"), nullptr);
+    if (phase->string_value == "X") {
+      const JsonValue* dur = event.FindNumber("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number_value, 0.0);
+      if (name->string_value == "pool_queue_wait") ++queue_waits;
+      if (name->string_value == "pool_task_run") ++task_runs;
+    }
+  }
+  EXPECT_EQ(metadata, snapshot.num_tracks);
+  EXPECT_TRUE(main_thread_named);
+  // The pooled phases must show up as per-worker contention events.
+  EXPECT_GT(queue_waits, 0);
+  EXPECT_GT(task_runs, 0);
+  EXPECT_EQ(queue_waits, task_runs);
+}
+
+}  // namespace
+}  // namespace vastats

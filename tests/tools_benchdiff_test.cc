@@ -1,0 +1,217 @@
+// benchdiff core tests: leaf flattening, timing-path classification, schema
+// gating, and the severity ladder (floor skip / improvement info / drift
+// warn / regression fail / structural fail).
+
+#include "diff.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json_reader.h"
+
+namespace vastats {
+namespace benchdiff {
+namespace {
+
+DiffReport MustDiff(const std::string& baseline, const std::string& current,
+                    const BenchDiffOptions& options = {}) {
+  const auto report = DiffBenchJsonText(baseline, current, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? *report : DiffReport{};
+}
+
+std::string WithHeader(const std::string& body) {
+  return "{\"schema_version\":1,\"benchmark\":\"micro_pipeline\"" +
+         (body.empty() ? std::string() : "," + body) + "}";
+}
+
+TEST(BenchDiffTest, FlattenLeavesUsesDottedPathsAndArrayIndices) {
+  const auto doc = ParseJson(
+      "{\"a\":{\"b\":1,\"c\":[2,{\"d\":3}]},\"e\":null,\"f\":true}");
+  ASSERT_TRUE(doc.ok());
+  const std::vector<FlatLeaf> leaves = FlattenLeaves(*doc);
+  ASSERT_EQ(leaves.size(), 5u);
+  EXPECT_EQ(leaves[0].path, "a.b");
+  EXPECT_EQ(leaves[1].path, "a.c[0]");
+  EXPECT_EQ(leaves[2].path, "a.c[1].d");
+  EXPECT_EQ(leaves[3].path, "e");
+  EXPECT_EQ(leaves[4].path, "f");
+  EXPECT_TRUE(leaves[3].value->is_null());
+  EXPECT_TRUE(leaves[4].value->is_bool());
+}
+
+TEST(BenchDiffTest, TimingPathClassification) {
+  EXPECT_TRUE(IsTimingPath("total_seconds"));
+  EXPECT_TRUE(IsTimingPath("phases_seconds.sampling"));
+  EXPECT_TRUE(IsTimingPath("pool_comparison.sampling_seconds.pool"));
+  EXPECT_TRUE(IsTimingPath("startup_ms"));
+  EXPECT_TRUE(IsTimingPath("startup_ms.cold"));
+  EXPECT_TRUE(IsTimingPath("latency_ms[3]"));
+  EXPECT_FALSE(IsTimingPath("counters.unis_draws_total"));
+  EXPECT_FALSE(IsTimingPath("pool_threads"));
+  EXPECT_FALSE(IsTimingPath("kde.direct_to_binned_ratio"));
+  // "_msg" or "ms_per" must not be mistaken for a millisecond key.
+  EXPECT_FALSE(IsTimingPath("status_msg"));
+  EXPECT_FALSE(IsTimingPath("items_per_batch"));
+}
+
+TEST(BenchDiffTest, IdenticalDocumentsProduceNoFindings) {
+  const std::string doc = WithHeader("\"total_seconds\":1.5,\"draws\":400");
+  const DiffReport report = MustDiff(doc, doc);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_FALSE(report.HasFail());
+  EXPECT_FALSE(report.HasWarn());
+  // schema_version, benchmark, total_seconds, draws all compared.
+  EXPECT_EQ(report.compared, 4);
+  EXPECT_EQ(report.skipped, 0);
+}
+
+TEST(BenchDiffTest, SchemaVersionGates) {
+  BenchDiffOptions options;
+  // Missing on either side.
+  auto report = DiffBenchJsonText("{\"a\":1}", WithHeader(""), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  // Mismatched versions.
+  report = DiffBenchJsonText("{\"schema_version\":1}",
+                             "{\"schema_version\":2}", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("schema_version mismatch"),
+            std::string::npos);
+  // Different benchmark names.
+  report = DiffBenchJsonText(
+      "{\"schema_version\":1,\"benchmark\":\"micro_pipeline\"}",
+      "{\"schema_version\":1,\"benchmark\":\"chaos\"}", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("different benchmarks"),
+            std::string::npos);
+  // Non-object documents.
+  report = DiffBenchJsonText("[1]", "[1]", options);
+  ASSERT_FALSE(report.ok());
+  // Parse errors name the side.
+  report = DiffBenchJsonText("not json", WithHeader(""), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("baseline"), std::string::npos);
+  report = DiffBenchJsonText(WithHeader(""), "not json", options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("current"), std::string::npos);
+}
+
+TEST(BenchDiffTest, TimingSeverityLadder) {
+  const std::string baseline = WithHeader("\"total_seconds\":1.0");
+  // 1.2x: inside the warn ratio — silent.
+  EXPECT_TRUE(
+      MustDiff(baseline, WithHeader("\"total_seconds\":1.2")).findings.empty());
+  // 1.6x: warns but does not fail the gate.
+  DiffReport report = MustDiff(baseline, WithHeader("\"total_seconds\":1.6"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kWarn);
+  EXPECT_EQ(report.findings[0].path, "total_seconds");
+  EXPECT_TRUE(report.HasWarn());
+  EXPECT_FALSE(report.HasFail());
+  // 2.5x: hard regression.
+  report = MustDiff(baseline, WithHeader("\"total_seconds\":2.5"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kFail);
+  EXPECT_TRUE(report.HasFail());
+  // 0.4x: a big improvement is reported as info, never gated.
+  report = MustDiff(baseline, WithHeader("\"total_seconds\":0.4"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kInfo);
+  EXPECT_FALSE(report.HasFail());
+  EXPECT_FALSE(report.HasWarn());
+}
+
+TEST(BenchDiffTest, SubFloorTimingsAreSkippedNotGated) {
+  // 4ms -> 4.9ms is a 1.2x-of-the-floor jitter band; even a 10x blowup
+  // below the floor is scheduler noise, not a regression.
+  const DiffReport report =
+      MustDiff(WithHeader("\"phases_seconds\":{\"cio\":0.0004}"),
+               WithHeader("\"phases_seconds\":{\"cio\":0.004}"));
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.skipped, 1);
+  // Crossing the floor re-arms the gate.
+  const DiffReport armed =
+      MustDiff(WithHeader("\"phases_seconds\":{\"cio\":0.004}"),
+               WithHeader("\"phases_seconds\":{\"cio\":0.04}"));
+  ASSERT_EQ(armed.findings.size(), 1u);
+  EXPECT_EQ(armed.findings[0].severity, DiffSeverity::kFail);
+}
+
+TEST(BenchDiffTest, ZeroBaselineTimingWarnsInsteadOfDividing) {
+  const DiffReport report = MustDiff(WithHeader("\"total_seconds\":0"),
+                                     WithHeader("\"total_seconds\":1.0"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiffTest, NonTimingNumericDriftOnlyWarns) {
+  // pool_threads is machine-dependent; a 16 -> 1 change must not fail CI.
+  const DiffReport report = MustDiff(WithHeader("\"pool_threads\":16"),
+                                     WithHeader("\"pool_threads\":1"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kWarn);
+  EXPECT_NE(report.findings[0].message.find("value drift"), std::string::npos);
+  EXPECT_FALSE(report.HasFail());
+}
+
+TEST(BenchDiffTest, FlippedFlagFails) {
+  const DiffReport report =
+      MustDiff(WithHeader("\"bit_identical_across_widths\":true"),
+               WithHeader("\"bit_identical_across_widths\":false"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kFail);
+  EXPECT_NE(report.findings[0].message.find("flag flipped"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, VanishedMetricFailsNewMetricWarns) {
+  const DiffReport report =
+      MustDiff(WithHeader("\"counters\":{\"unis_draws_total\":400}"),
+               WithHeader("\"counters\":{\"kde_fits_total\":10}"));
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kFail);
+  EXPECT_EQ(report.findings[0].path, "counters.unis_draws_total");
+  EXPECT_NE(report.findings[0].message.find("disappeared"), std::string::npos);
+  EXPECT_EQ(report.findings[1].severity, DiffSeverity::kWarn);
+  EXPECT_EQ(report.findings[1].path, "counters.kde_fits_total");
+  EXPECT_NE(report.findings[1].message.find("new metric"), std::string::npos);
+}
+
+TEST(BenchDiffTest, KindChangeFails) {
+  const DiffReport report = MustDiff(WithHeader("\"draws\":400"),
+                                     WithHeader("\"draws\":\"400\""));
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kFail);
+  EXPECT_NE(report.findings[0].message.find("kind changed"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, CustomRatiosAndFloorAreHonored) {
+  BenchDiffOptions options;
+  options.warn_ratio = 1.1;
+  options.fail_ratio = 1.3;
+  options.floor_seconds = 0.0;
+  const DiffReport report =
+      MustDiff(WithHeader("\"total_seconds\":0.001"),
+               WithHeader("\"total_seconds\":0.0012"), options);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, DiffSeverity::kWarn);
+}
+
+TEST(BenchDiffTest, ReportKeepsBaselineDocumentOrder) {
+  const DiffReport report = MustDiff(
+      WithHeader("\"z_seconds\":1.0,\"a_seconds\":1.0,\"m\":{\"gone\":1}"),
+      WithHeader("\"z_seconds\":9.0,\"a_seconds\":9.0"));
+  ASSERT_EQ(report.findings.size(), 3u);
+  // Findings come back in the baseline's member order, not sorted by path.
+  EXPECT_EQ(report.findings[0].path, "z_seconds");
+  EXPECT_EQ(report.findings[1].path, "a_seconds");
+  EXPECT_EQ(report.findings[2].path, "m.gone");
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace vastats

@@ -153,6 +153,7 @@ Result<AnalysisReport> AnalyzeRepo(const AnalyzeOptions& options) {
   }
   if (options.structural_rules) {
     CheckA1Layering(index, &report.findings);
+    CheckA6TelemetryNames(index, &report.findings);
   }
   CheckR5Nodiscard(index, &report.findings);
   return report;

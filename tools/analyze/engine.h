@@ -32,8 +32,9 @@ struct AnalyzeOptions {
 struct AnalysisReport {
   // Ordered: per src/ file in walk order (R-rules in the Python linter's
   // emission order, then A2-A5), then tests/ and bench/ files (R2, R7,
-  // R6), then A1 (layering), then R5 — so filtering to R-rules reproduces
-  // the Python linter's output order exactly.
+  // R6), then A1 (layering), then A6 (telemetry naming), then R5 — so
+  // filtering to R-rules reproduces the Python linter's output order
+  // exactly.
   std::vector<Finding> findings;
   int files_analyzed = 0;
 };

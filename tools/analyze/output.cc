@@ -22,6 +22,7 @@ const std::vector<RuleInfo>& Rules() {
       {"A4", "switches over repo enums name every enumerator, no default"},
       {"A5", "no mutable static-storage state outside the sanctioned "
              "facades"},
+      {"A6", "one telemetry name maps to one instrument kind across src/"},
   };
   return kRules;
 }

@@ -19,7 +19,10 @@
 //       enumerator and must not carry a `default`.
 //   A5  mutable global state: non-const static-storage declarations
 //       outside the sanctioned facades (util/thread_pool.cc,
-//       obs/metrics.cc).
+//       obs/metrics.cc, obs/flight_recorder.cc).
+//   A6  telemetry naming: one metric/span string literal must map to one
+//       instrument kind (counter, gauge, histogram, span) across src/ —
+//       reuse across kinds makes the exporters emit colliding series.
 //
 // Every rule honours `// lint-invariants: allow(<rule>)` on the reported
 // line except R4/R5, which (as in the Python linter) have no suppression.
@@ -73,6 +76,8 @@ void CheckA4ExhaustiveSwitch(const SourceFile& f, const RepoIndex& index,
 void CheckA5MutableGlobals(const SourceFile& f, std::vector<Finding>* out);
 // A1 runs over the whole include graph (back-edges and cycles).
 void CheckA1Layering(const RepoIndex& index, std::vector<Finding>* out);
+// A6 cross-checks literal telemetry registrations across every src/ file.
+void CheckA6TelemetryNames(const RepoIndex& index, std::vector<Finding>* out);
 
 }  // namespace analyze
 }  // namespace vastats

@@ -5,6 +5,7 @@
 #include "rules.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_set>
 
@@ -632,7 +633,7 @@ void AnalyzeDeclStatement(const SourceFile& f, const View& V,
            "` is mutable static-storage state; hidden cross-call coupling "
            "breaks replay determinism — make it const/constexpr, pass it "
            "explicitly, or keep such state behind the sanctioned facades "
-           "(util/thread_pool.cc, obs/metrics.cc)",
+           "(util/thread_pool.cc, obs/metrics.cc, obs/flight_recorder.cc)",
        out);
 }
 
@@ -640,7 +641,8 @@ void AnalyzeDeclStatement(const SourceFile& f, const View& V,
 
 void CheckA5MutableGlobals(const SourceFile& f, std::vector<Finding>* out) {
   if (f.rel_path == "src/util/thread_pool.cc" ||
-      f.rel_path == "src/obs/metrics.cc") {
+      f.rel_path == "src/obs/metrics.cc" ||
+      f.rel_path == "src/obs/flight_recorder.cc") {
     return;  // the sanctioned facades for process-wide state
   }
   const View V(f);
@@ -698,6 +700,37 @@ void CheckA5MutableGlobals(const SourceFile& f, std::vector<Finding>* out) {
       continue;
     }
     stmt.push_back(i);
+  }
+}
+
+// --- A6: one telemetry name, one instrument --------------------------------
+
+void CheckA6TelemetryNames(const RepoIndex& index, std::vector<Finding>* out) {
+  // First literal use of each name in walk order anchors the expected
+  // instrument; later uses with a different instrument are the findings
+  // (the exporters would emit colliding series, and a span stealing a
+  // metric name corrupts both timelines).
+  struct FirstUse {
+    const SourceFile* file = nullptr;
+    const TelemetryUse* use = nullptr;
+  };
+  std::map<std::string, FirstUse> first_by_name;
+  for (const SourceFile& f : index.files) {
+    if (f.rel_path.compare(0, 4, "src/") != 0) continue;
+    for (const TelemetryUse& use : f.telemetry_uses) {
+      const auto [it, inserted] =
+          first_by_name.emplace(use.name, FirstUse{&f, &use});
+      if (inserted || it->second.use->instrument == use.instrument) continue;
+      Emit(f, "A6", use.line,
+           "telemetry name `" + use.name + "` is registered as a " +
+               use.instrument + " here but as a " +
+               it->second.use->instrument + " at " +
+               it->second.file->rel_path + ":" +
+               std::to_string(it->second.use->line) +
+               "; one name must map to one instrument (colliding exporter "
+               "series, corrupted trace tracks) — rename one of them",
+           out);
+    }
   }
 }
 

@@ -441,6 +441,69 @@ void TestStructuralRules(Harness* h) {
             run_a5("src/core/fake.h",
                    "namespace vastats {\nStatus Connect(int retries);\n}\n"),
             "");
+
+  // A6: one telemetry name, one instrument kind, repo-wide.
+  auto run_a6 = [](std::vector<std::pair<std::string, std::string>> files) {
+    std::vector<SourceFile> sources;
+    for (auto& [path, text] : files) {
+      sources.push_back(MakeSourceFile(path, std::move(text)));
+    }
+    const RepoIndex index = BuildRepoIndex(std::move(sources));
+    std::vector<Finding> out;
+    CheckA6TelemetryNames(index, &out);
+    return out;
+  };
+  h->Expect("A6 counter vs gauge across files",
+            run_a6({{"src/stats/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment();\n}\n"},
+                    {"src/core/b.cc",
+                     "void G(MetricsRegistry* m) {\n"
+                     "  m->GetGauge(\"draws_total\").Set(1.0);\n}\n"}}),
+            "A6");
+  h->Expect("A6 histogram vs span",
+            run_a6({{"src/core/a.cc",
+                     "void F(const ObsOptions& obs) {\n"
+                     "  ScopedSpan span(obs, \"kde_fit\");\n"
+                     "  obs.metrics->GetHistogram(\"kde_fit\").Observe(1.0);\n"
+                     "}\n"}}),
+            "A6");
+  h->Expect("A6 same kind twice is fine",
+            run_a6({{"src/stats/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment();\n}\n"},
+                    {"src/core/b.cc",
+                     "void G(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment(2);\n}\n"}}),
+            "");
+  h->Expect("A6 distinct names are fine",
+            run_a6({{"src/core/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"unis_draws_total\").Increment();\n"
+                     "  m->GetGauge(\"queue_depth\").Set(2.0);\n"
+                     "  m->GetHistogram(\"task_latency_seconds\");\n}\n"}}),
+            "");
+  h->Expect("A6 variable name invisible",
+            run_a6({{"src/core/a.cc",
+                     "void F(MetricsRegistry* m, const std::string& n) {\n"
+                     "  m->GetCounter(n).Increment();\n"
+                     "  m->GetGauge(n).Set(1.0);\n}\n"}}),
+            "");
+  h->Expect("A6 tests exempt",
+            run_a6({{"src/core/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment();\n}\n"},
+                    {"tests/a_test.cc",
+                     "void G(MetricsRegistry* m) {\n"
+                     "  m->GetGauge(\"draws_total\").Set(1.0);\n}\n"}}),
+            "");
+  h->Expect("A6 allow",
+            run_a6({{"src/core/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment();\n"
+                     "  m->GetGauge(\"draws_total\")"
+                     ".Set(1.0);  // lint-invariants: allow(A6)\n}\n"}}),
+            "");
 }
 
 void TestBaseline(Harness* h) {

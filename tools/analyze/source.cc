@@ -198,6 +198,55 @@ void ExtractUnordered(SourceFile* f) {
   }
 }
 
+// Telemetry registrations by literal name: GetCounter / GetGauge /
+// GetHistogram calls, Trace::BeginSpan, and ScopedSpan constructions whose
+// name argument is a string literal. Variable-named registrations are
+// invisible here by design — rule A6 only ever *adds* checks for the
+// literals it finds.
+void ExtractTelemetry(SourceFile* f) {
+  const std::vector<Token>& toks = f->lex.tokens;
+  const std::vector<int>& view = f->lex.structural;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const Token& t = At(toks, view, i);
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const char* instrument = nullptr;
+    if (t.text == "GetCounter") {
+      instrument = "counter";
+    } else if (t.text == "GetGauge") {
+      instrument = "gauge";
+    } else if (t.text == "GetHistogram") {
+      instrument = "histogram";
+    } else if (t.text == "BeginSpan") {
+      instrument = "span";
+    }
+    if (instrument != nullptr) {
+      if (!IsPunct(At(toks, view, i + 1), "(")) continue;
+      const Token& name = At(toks, view, i + 2);
+      if (name.kind != TokenKind::kString || name.text.empty()) continue;
+      f->telemetry_uses.push_back(
+          TelemetryUse{name.text, instrument, name.line});
+      continue;
+    }
+    if (t.text != "ScopedSpan") continue;
+    // `ScopedSpan span(obs, "kde")`: the first string literal inside the
+    // constructor parens names the span.
+    size_t j = i + 1;
+    if (At(toks, view, j).kind == TokenKind::kIdentifier) ++j;
+    if (!IsPunct(At(toks, view, j), "(")) continue;
+    int depth = 0;
+    const size_t limit = std::min(view.size(), j + 16);
+    for (; j < limit; ++j) {
+      const Token& u = At(toks, view, j);
+      if (IsPunct(u, "(")) ++depth;
+      if (IsPunct(u, ")") && --depth == 0) break;
+      if (u.kind == TokenKind::kString && !u.text.empty()) {
+        f->telemetry_uses.push_back(TelemetryUse{u.text, "span", u.line});
+        break;
+      }
+    }
+  }
+}
+
 void ExtractFacts(SourceFile* f) {
   for (const Directive& d : f->lex.directives) {
     if (d.keyword == "include" && d.quoted) {
@@ -207,6 +256,7 @@ void ExtractFacts(SourceFile* f) {
   ExtractEnums(f);
   ExtractStatusFunctions(f);
   ExtractUnordered(f);
+  ExtractTelemetry(f);
 }
 
 }  // namespace

@@ -20,6 +20,15 @@ struct IncludeRef {
   int line = 0;
 };
 
+// One telemetry registration by string literal: a GetCounter / GetGauge /
+// GetHistogram call or a span opening. Feeds rule A6 (one name -> one
+// instrument, repo-wide).
+struct TelemetryUse {
+  std::string name;        // the literal, e.g. "unis_draws_total"
+  std::string instrument;  // "counter", "gauge", "histogram", or "span"
+  int line = 0;
+};
+
 struct EnumDef {
   std::string name;
   std::vector<std::string> enumerators;  // in declaration order
@@ -41,6 +50,7 @@ struct SourceFile {
   std::vector<std::string> void_functions;     // names declared returning void
   std::vector<std::string> unordered_methods;  // accessors returning unordered
   std::vector<std::string> unordered_vars;     // file-local unordered names
+  std::vector<TelemetryUse> telemetry_uses;    // literal-named registrations
 
   bool IsHeader() const;
 

@@ -1,0 +1,268 @@
+#include "diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vastats {
+namespace benchdiff {
+namespace {
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return std::string(buffer);
+}
+
+const char* KindName(JsonKind kind) {
+  switch (kind) {
+    case JsonKind::kNull:
+      return "null";
+    case JsonKind::kBool:
+      return "bool";
+    case JsonKind::kNumber:
+      return "number";
+    case JsonKind::kString:
+      return "string";
+    case JsonKind::kArray:
+      return "array";
+    case JsonKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+void FlattenInto(const JsonValue& value, const std::string& path,
+                 std::vector<FlatLeaf>* out) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.members) {
+      FlattenInto(member, path.empty() ? key : path + "." + key, out);
+    }
+    return;
+  }
+  if (value.is_array()) {
+    for (size_t i = 0; i < value.items.size(); ++i) {
+      FlattenInto(value.items[i], path + "[" + std::to_string(i) + "]", out);
+    }
+    return;
+  }
+  out->push_back(FlatLeaf{path, &value});
+}
+
+void Add(DiffReport* report, DiffSeverity severity, const std::string& path,
+         std::string message) {
+  report->findings.push_back(DiffFinding{severity, path, std::move(message)});
+}
+
+// Checks the shared document header; any mismatch here means the two dumps
+// are not comparable at all.
+Status CheckHeaders(const JsonValue& baseline, const JsonValue& current) {
+  if (!baseline.is_object() || !current.is_object()) {
+    return Status::InvalidArgument(
+        "benchdiff: both documents must be JSON objects");
+  }
+  const JsonValue* base_version = baseline.FindNumber("schema_version");
+  const JsonValue* cur_version = current.FindNumber("schema_version");
+  if (base_version == nullptr || cur_version == nullptr) {
+    return Status::InvalidArgument(
+        "benchdiff: missing numeric schema_version field (re-emit the dump "
+        "with a current bench binary, or refresh the committed baseline)");
+  }
+  if (base_version->number_value != cur_version->number_value) {
+    return Status::InvalidArgument(
+        "benchdiff: schema_version mismatch (baseline " +
+        FormatNumber(base_version->number_value) + ", current " +
+        FormatNumber(cur_version->number_value) +
+        "); refresh the committed baseline before gating on it");
+  }
+  const JsonValue* base_name = baseline.FindString("benchmark");
+  const JsonValue* cur_name = current.FindString("benchmark");
+  if (base_name != nullptr && cur_name != nullptr &&
+      base_name->string_value != cur_name->string_value) {
+    return Status::InvalidArgument(
+        "benchdiff: comparing different benchmarks (baseline \"" +
+        base_name->string_value + "\", current \"" + cur_name->string_value +
+        "\")");
+  }
+  return Status::Ok();
+}
+
+void DiffTiming(const std::string& path, double base, double cur,
+                const BenchDiffOptions& options, DiffReport* report) {
+  if (std::max(base, cur) < options.floor_seconds) {
+    ++report->skipped;
+    return;
+  }
+  ++report->compared;
+  if (base <= 0.0) {
+    Add(report, DiffSeverity::kWarn, path,
+        "baseline timing is " + FormatNumber(base) + "; cannot ratio-gate " +
+            FormatNumber(cur));
+    return;
+  }
+  const double ratio = cur / base;
+  const std::string detail = FormatNumber(base) + "s -> " + FormatNumber(cur) +
+                             "s (" + FormatNumber(ratio) + "x)";
+  if (ratio >= options.fail_ratio) {
+    Add(report, DiffSeverity::kFail, path, "timing regression: " + detail);
+  } else if (ratio >= options.warn_ratio) {
+    Add(report, DiffSeverity::kWarn, path, "timing drift: " + detail);
+  } else if (ratio <= 1.0 / options.fail_ratio) {
+    Add(report, DiffSeverity::kInfo, path, "timing improved: " + detail);
+  }
+}
+
+void DiffLeaf(const FlatLeaf& base, const FlatLeaf& cur,
+              const BenchDiffOptions& options, DiffReport* report) {
+  if (base.value->kind != cur.value->kind) {
+    Add(report, DiffSeverity::kFail, base.path,
+        std::string("kind changed: ") + KindName(base.value->kind) + " -> " +
+            KindName(cur.value->kind));
+    return;
+  }
+  switch (base.value->kind) {
+    case JsonKind::kNumber:
+      if (IsTimingPath(base.path)) {
+        DiffTiming(base.path, base.value->number_value,
+                   cur.value->number_value, options, report);
+        return;
+      }
+      ++report->compared;
+      if (base.value->number_value != cur.value->number_value) {
+        // Counts can legitimately differ across hosts (pool_threads) or
+        // after behavior-neutral retuning, so drift warns instead of
+        // failing; a reviewer decides whether the baseline needs a refresh.
+        Add(report, DiffSeverity::kWarn, base.path,
+            "value drift: " + FormatNumber(base.value->number_value) +
+                " -> " + FormatNumber(cur.value->number_value));
+      }
+      return;
+    case JsonKind::kBool:
+      ++report->compared;
+      if (base.value->bool_value != cur.value->bool_value) {
+        // Flags like bit_identical_across_widths are correctness claims.
+        Add(report, DiffSeverity::kFail, base.path,
+            std::string("flag flipped: ") +
+                (base.value->bool_value ? "true" : "false") + " -> " +
+                (cur.value->bool_value ? "true" : "false"));
+      }
+      return;
+    case JsonKind::kString:
+      ++report->compared;
+      if (base.value->string_value != cur.value->string_value) {
+        Add(report, DiffSeverity::kWarn, base.path,
+            "string changed: \"" + base.value->string_value + "\" -> \"" +
+                cur.value->string_value + "\"");
+      }
+      return;
+    case JsonKind::kNull:
+    case JsonKind::kArray:
+    case JsonKind::kObject:
+      // Null leaves carry no value to compare; arrays/objects never reach
+      // here (FlattenInto recurses through them).
+      return;
+  }
+}
+
+}  // namespace
+
+const char* DiffSeverityToString(DiffSeverity severity) {
+  switch (severity) {
+    case DiffSeverity::kInfo:
+      return "INFO";
+    case DiffSeverity::kWarn:
+      return "WARN";
+    case DiffSeverity::kFail:
+      return "FAIL";
+  }
+  return "UNKNOWN";
+}
+
+bool DiffReport::HasFail() const {
+  for (const DiffFinding& finding : findings) {
+    if (finding.severity == DiffSeverity::kFail) return true;
+  }
+  return false;
+}
+
+bool DiffReport::HasWarn() const {
+  for (const DiffFinding& finding : findings) {
+    if (finding.severity == DiffSeverity::kWarn) return true;
+  }
+  return false;
+}
+
+std::vector<FlatLeaf> FlattenLeaves(const JsonValue& root) {
+  std::vector<FlatLeaf> leaves;
+  FlattenInto(root, "", &leaves);
+  return leaves;
+}
+
+bool IsTimingPath(std::string_view path) {
+  if (path.find("seconds") != std::string_view::npos) return true;
+  if (path.size() >= 3 && path.substr(path.size() - 3) == "_ms") return true;
+  return path.find("_ms.") != std::string_view::npos ||
+         path.find("_ms[") != std::string_view::npos;
+}
+
+Result<DiffReport> DiffBenchJson(const JsonValue& baseline,
+                                 const JsonValue& current,
+                                 const BenchDiffOptions& options) {
+  VASTATS_RETURN_IF_ERROR(CheckHeaders(baseline, current));
+
+  const std::vector<FlatLeaf> base_leaves = FlattenLeaves(baseline);
+  const std::vector<FlatLeaf> cur_leaves = FlattenLeaves(current);
+  // Lookup only — iteration below walks the ordered leaf vectors, so the
+  // report stays in document order (determinism rule A2).
+  std::unordered_map<std::string_view, const FlatLeaf*> cur_by_path;
+  cur_by_path.reserve(cur_leaves.size());
+  for (const FlatLeaf& leaf : cur_leaves) {
+    cur_by_path.emplace(leaf.path, &leaf);
+  }
+
+  DiffReport report;
+  for (const FlatLeaf& base : base_leaves) {
+    const auto it = cur_by_path.find(base.path);
+    if (it == cur_by_path.end()) {
+      Add(&report, DiffSeverity::kFail, base.path,
+          "metric disappeared from the current dump");
+      continue;
+    }
+    DiffLeaf(base, *it->second, options, &report);
+  }
+
+  std::unordered_map<std::string_view, const FlatLeaf*> base_by_path;
+  base_by_path.reserve(base_leaves.size());
+  for (const FlatLeaf& leaf : base_leaves) {
+    base_by_path.emplace(leaf.path, &leaf);
+  }
+  for (const FlatLeaf& cur : cur_leaves) {
+    if (base_by_path.find(cur.path) == base_by_path.end()) {
+      Add(&report, DiffSeverity::kWarn, cur.path,
+          "new metric not in the baseline (refresh it to start gating)");
+    }
+  }
+  return report;
+}
+
+Result<DiffReport> DiffBenchJsonText(std::string_view baseline_text,
+                                     std::string_view current_text,
+                                     const BenchDiffOptions& options) {
+  Result<JsonValue> baseline = ParseJson(baseline_text);
+  if (!baseline.ok()) {
+    return Status::InvalidArgument("benchdiff: baseline does not parse: " +
+                                   baseline.status().ToString());
+  }
+  Result<JsonValue> current = ParseJson(current_text);
+  if (!current.ok()) {
+    return Status::InvalidArgument("benchdiff: current dump does not parse: " +
+                                   current.status().ToString());
+  }
+  return DiffBenchJson(baseline.value(), current.value(), options);
+}
+
+}  // namespace benchdiff
+}  // namespace vastats

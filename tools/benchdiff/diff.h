@@ -1,0 +1,93 @@
+// Core comparison logic for vastats_benchdiff: diff a fresh bench `--json`
+// dump against a committed BENCH_*.json baseline and classify every numeric
+// drift as info, warning, or hard regression.
+//
+// The comparison is baseline-driven over flattened leaves (dotted paths,
+// `a.b[2].c`). Timing leaves — any path containing "seconds" or an "_ms"
+// key — are gated by ratio with an absolute floor so micro-phases that
+// jitter by integer factors at the tens-of-microseconds scale cannot flake
+// the gate. Everything else (counters, counts, flags) is compared exactly:
+// numeric drift is a warning (machine-dependent values like pool_threads
+// must not fail CI), a flipped bool or vanished metric is a failure.
+//
+// Both documents must carry matching numeric `schema_version` fields;
+// anything else is a schema error, reported through Status so the CLI can
+// exit 2 instead of producing a nonsense diff.
+
+#ifndef VASTATS_TOOLS_BENCHDIFF_DIFF_H_
+#define VASTATS_TOOLS_BENCHDIFF_DIFF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json_reader.h"
+#include "util/status.h"
+
+namespace vastats {
+namespace benchdiff {
+
+struct BenchDiffOptions {
+  // Timing ratio current/baseline above which a leaf warns / hard-fails.
+  double warn_ratio = 1.5;
+  double fail_ratio = 2.0;
+  // Timing leaves where both sides are below this many seconds are skipped
+  // (counted, not compared): sub-floor phases are pure scheduler jitter.
+  double floor_seconds = 0.005;
+};
+
+enum class DiffSeverity {
+  kInfo = 0,  // notable but healthy (e.g. a big improvement)
+  kWarn,      // drift worth a look; does not fail the gate
+  kFail,      // hard regression or structural break
+};
+
+const char* DiffSeverityToString(DiffSeverity severity);
+
+struct DiffFinding {
+  DiffSeverity severity = DiffSeverity::kInfo;
+  std::string path;     // dotted leaf path into the JSON document
+  std::string message;  // human-readable, includes both values
+};
+
+struct DiffReport {
+  std::vector<DiffFinding> findings;  // baseline document order
+  int compared = 0;  // leaves actually compared
+  int skipped = 0;   // timing leaves under the absolute floor
+
+  bool HasFail() const;
+  bool HasWarn() const;
+};
+
+// One scalar leaf of a flattened JSON tree. Arrays and objects recurse;
+// null leaves are kept (kind mismatches against them still diagnose).
+struct FlatLeaf {
+  std::string path;
+  const JsonValue* value = nullptr;  // borrowed from the parsed tree
+};
+
+// Depth-first flatten in document order (objects preserve member order, so
+// the output — and every diff built from it — is deterministic).
+std::vector<FlatLeaf> FlattenLeaves(const JsonValue& root);
+
+// True when `path` names a wall-clock measurement (ratio-gated) rather
+// than a count or flag (exactly compared).
+bool IsTimingPath(std::string_view path);
+
+// Diffs two parsed bench dumps. Fails with InvalidArgument when either
+// document is not an object, lacks a numeric `schema_version`, or the
+// versions / `benchmark` names disagree — those are schema errors, not
+// regressions.
+Result<DiffReport> DiffBenchJson(const JsonValue& baseline,
+                                 const JsonValue& current,
+                                 const BenchDiffOptions& options);
+
+// ParseJson + DiffBenchJson; parse errors name the offending side.
+Result<DiffReport> DiffBenchJsonText(std::string_view baseline_text,
+                                     std::string_view current_text,
+                                     const BenchDiffOptions& options);
+
+}  // namespace benchdiff
+}  // namespace vastats
+
+#endif  // VASTATS_TOOLS_BENCHDIFF_DIFF_H_

@@ -1,0 +1,134 @@
+// vastats_benchdiff: the perf-regression gate. Compares a fresh bench
+// `--json` dump against a committed BENCH_*.json baseline.
+//
+// Exit codes: 0 pass (warnings allowed), 1 hard regression (>= fail-ratio
+// timing regression, vanished metric, flipped flag), 2 usage / IO / parse /
+// schema error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "diff.h"
+
+namespace vastats {
+namespace benchdiff {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: vastats_benchdiff --baseline FILE --current FILE [options]\n"
+    "  --warn-ratio R   timing ratio that warns (default 1.5)\n"
+    "  --fail-ratio R   timing ratio that hard-fails (default 2.0)\n"
+    "  --floor SECONDS  skip timings where both sides are below this\n"
+    "                   (default 0.005; sub-floor phases are jitter)\n"
+    "  --quiet          print only warnings, failures, and the summary\n";
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool ParseRatio(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(value > 0.0)) return false;
+  *out = value;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  BenchDiffOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--baseline") {
+      const char* v = value();
+      if (v == nullptr) break;
+      baseline_path = v;
+    } else if (arg == "--current") {
+      const char* v = value();
+      if (v == nullptr) break;
+      current_path = v;
+    } else if (arg == "--warn-ratio") {
+      const char* v = value();
+      if (v == nullptr || !ParseRatio(v, &options.warn_ratio)) {
+        std::fprintf(stderr, "--warn-ratio needs a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--fail-ratio") {
+      const char* v = value();
+      if (v == nullptr || !ParseRatio(v, &options.fail_ratio)) {
+        std::fprintf(stderr, "--fail-ratio needs a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--floor") {
+      const char* v = value();
+      if (v == nullptr || !ParseRatio(v, &options.floor_seconds)) {
+        std::fprintf(stderr, "--floor needs a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  std::string error;
+  if (!ReadFile(baseline_path, &baseline_text, &error) ||
+      !ReadFile(current_path, &current_text, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
+  const Result<DiffReport> result =
+      DiffBenchJsonText(baseline_text, current_text, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  const DiffReport& report = result.value();
+  int warnings = 0;
+  int failures = 0;
+  for (const DiffFinding& finding : report.findings) {
+    if (finding.severity == DiffSeverity::kWarn) ++warnings;
+    if (finding.severity == DiffSeverity::kFail) ++failures;
+    if (quiet && finding.severity == DiffSeverity::kInfo) continue;
+    std::printf("%s %s: %s\n", DiffSeverityToString(finding.severity),
+                finding.path.c_str(), finding.message.c_str());
+  }
+  std::printf(
+      "benchdiff: %d leaves compared, %d sub-floor timings skipped, "
+      "%d warnings, %d failures\n",
+      report.compared, report.skipped, warnings, failures);
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace vastats
+
+int main(int argc, char** argv) {
+  return vastats::benchdiff::Run(argc, argv);
+}
