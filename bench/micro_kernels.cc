@@ -70,14 +70,24 @@ void BM_BotevBandwidth(benchmark::State& state) {
 }
 BENCHMARK(BM_BotevBandwidth)->Range(100, 3200);
 
-void BM_MutualImpactPsi(benchmark::State& state) {
+void BM_MutualImpactPsiBinned(benchmark::State& state) {
+  const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
+  const double h = SilvermanBandwidth(samples);
+  DctPlan plan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualImpactPsiBinned(samples, h, {}, {}, &plan));
+  }
+}
+BENCHMARK(BM_MutualImpactPsiBinned)->Range(100, 3200);
+
+void BM_MutualImpactPsiSorted(benchmark::State& state) {
   const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));
   const double h = SilvermanBandwidth(samples);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(MutualImpactPsi(samples, h));
+    benchmark::DoNotOptimize(MutualImpactPsiSorted(samples, h));
   }
 }
-BENCHMARK(BM_MutualImpactPsi)->Range(100, 3200);
+BENCHMARK(BM_MutualImpactPsiSorted)->Range(100, 3200);
 
 void BM_MutualImpactPsiExact(benchmark::State& state) {
   const std::vector<double> samples = Samples(static_cast<int>(state.range(0)));

@@ -17,9 +17,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <string>
 
 #include "vastats/vastats.h"
 #include "workloads.h"
@@ -311,6 +313,95 @@ bool AppendKdeSection(JsonWriter& out) {
   return true;
 }
 
+// Appends the stability Psi scaling sweep: the binned Gauss-transform
+// default against the sorted exact oracle at |S| in {400, 1600, 6400}
+// (per-eval wall time, the relative Psi error, and the growth of each path
+// across the 16x sample sweep). The binned path works on a fixed grid, so
+// its growth stays near flat while the exact path scales quadratically —
+// the numbers behind demoting the pairwise sum to an accuracy oracle.
+bool AppendStabilitySection(JsonWriter& out) {
+  constexpr int kSizes[] = {400, 1600, 6400};
+  constexpr int kBinnedReps = 32;
+  // The exact sum is O(n^2); scale reps down so the sweep stays ~cheap.
+  constexpr int kExactReps[] = {16, 4, 1};
+  Rng rng(29);
+  DctPlan plan;
+  const StabilityOptions options;  // binned, 4096 grid
+
+  double binned_per_eval[3] = {0.0, 0.0, 0.0};
+  double exact_per_eval[3] = {0.0, 0.0, 0.0};
+  double rel_err[3] = {0.0, 0.0, 0.0};
+  bool binned_path[3] = {false, false, false};
+  for (int i = 0; i < 3; ++i) {
+    const auto sample = D2Sampler().Sample(kSizes[i], rng);
+    if (!sample.ok()) return false;
+    const double bandwidth = SilvermanBandwidth(sample.value());
+
+    Result<PsiEvaluation> binned = Status::Internal("unset");
+    // Warm the transform tables; the loop then times steady-state evals.
+    binned = EvaluateMutualImpactPsi(sample.value(), bandwidth, options, {},
+                                     &plan);
+    if (!binned.ok()) return false;
+    binned_path[i] = binned->mode == StabilityPsiMode::kBinned;
+    const double binned_seconds = MeasureSeconds([&] {
+      for (int rep = 0; rep < kBinnedReps && binned.ok(); ++rep) {
+        binned = EvaluateMutualImpactPsi(sample.value(), bandwidth, options,
+                                         {}, &plan);
+      }
+    });
+    if (!binned.ok()) return false;
+    binned_per_eval[i] = binned_seconds / kBinnedReps;
+
+    double exact_psi = 0.0;
+    const double exact_seconds = MeasureSeconds([&] {
+      for (int rep = 0; rep < kExactReps[i]; ++rep) {
+        exact_psi = MutualImpactPsiSorted(sample.value(), bandwidth);
+      }
+    });
+    exact_per_eval[i] = exact_seconds / kExactReps[i];
+    if (!(exact_psi > 0.0)) return false;
+    rel_err[i] = std::fabs(binned->psi - exact_psi) / exact_psi;
+  }
+
+  out.Key("stability");
+  out.BeginObject();
+  out.KeyValue("grid_size", static_cast<int64_t>(options.grid_size));
+  out.Key("sample_sizes");
+  out.BeginArray();
+  for (const int size : kSizes) out.Int(size);
+  out.EndArray();
+  out.Key("binned_seconds_per_eval");
+  out.BeginObject();
+  for (int i = 0; i < 3; ++i) {
+    out.KeyValue(std::to_string(kSizes[i]), binned_per_eval[i]);
+  }
+  out.EndObject();
+  out.Key("exact_seconds_per_eval");
+  out.BeginObject();
+  for (int i = 0; i < 3; ++i) {
+    out.KeyValue(std::to_string(kSizes[i]), exact_per_eval[i]);
+  }
+  out.EndObject();
+  // Growth of each path across the full 16x sample sweep; plain ratios
+  // (warn-only in benchdiff) asserted by the CI smoke instead.
+  out.KeyValue("binned_growth_400_to_6400",
+               binned_per_eval[2] / binned_per_eval[0]);
+  out.KeyValue("exact_growth_400_to_6400",
+               exact_per_eval[2] / exact_per_eval[0]);
+  out.KeyValue("exact_to_binned_ratio_6400",
+               exact_per_eval[2] / binned_per_eval[2]);
+  out.Key("psi_rel_err");
+  out.BeginObject();
+  for (int i = 0; i < 3; ++i) {
+    out.KeyValue(std::to_string(kSizes[i]), rel_err[i]);
+  }
+  out.EndObject();
+  out.KeyValue("all_sizes_took_binned_path",
+               binned_path[0] && binned_path[1] && binned_path[2]);
+  out.EndObject();
+  return true;
+}
+
 // One fully instrumented extraction; the JSON breakdown comes from the
 // recorded spans (the same measurement PhaseTimings reports).
 int RunJsonBreakdown() {
@@ -353,6 +444,10 @@ int RunJsonBreakdown() {
   }
   if (!AppendKdeSection(out)) {
     std::fprintf(stderr, "kde comparison failed\n");
+    return 1;
+  }
+  if (!AppendStabilitySection(out)) {
+    std::fprintf(stderr, "stability comparison failed\n");
     return 1;
   }
   out.Key("counters");

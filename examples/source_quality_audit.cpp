@@ -109,7 +109,7 @@ int main() {
     // Stations not binding this district's components deviate ~0; the
     // culprit dominates.
     const DeviationPoint* worst = nullptr;
-    for (const DeviationPoint& point : *map) {
+    for (const DeviationPoint& point : map->points) {
       if (worst == nullptr ||
           point.relative_deviation > worst->relative_deviation) {
         worst = &point;

@@ -32,6 +32,7 @@ Status ExtractorOptions::Validate() const {
   if (stability_r <= 0) {
     return Status::InvalidArgument("stability_r must be > 0");
   }
+  VASTATS_RETURN_IF_ERROR(stability.Validate());
   if (weight_probes <= 0) {
     return Status::InvalidArgument("weight_probes must be > 0");
   }
@@ -296,11 +297,19 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   VASTATS_ASSIGN_OR_RETURN(
       stats.answer_weight_y,
       sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng, obs));
+  thread_local DctPlan stability_plan;  // lint-invariants: allow(A5)
   VASTATS_ASSIGN_OR_RETURN(
       stats.stability,
       ComputeStability(stats.samples, kde.bandwidth, stats.answer_weight_y,
                        sampler_.sources().NumSources(), options_.stability_r,
-                       options_.change_ratio_estimator));
+                       options_.change_ratio_estimator, options_.stability,
+                       obs, &stability_plan));
+  stability_span.Annotate(
+      "psi_mode", stats.stability.psi_mode == StabilityPsiMode::kBinned
+                      ? "binned"
+                      : "exact");
+  stability_span.Annotate(
+      "psi_grid_size", static_cast<int64_t>(options_.stability.grid_size));
   stats.timings.stability_seconds = stability_span.Close();
   return stats;
 }

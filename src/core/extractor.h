@@ -62,10 +62,12 @@ struct ExtractorOptions {
   BandwidthMode kde_bandwidth_mode = BandwidthMode::kPerSet;
   CioOptions cio;                       // theta = 0.9
   // Stability parameters: r sources removed, c_r estimator, probes used to
-  // estimate the per-answer weight y.
+  // estimate the per-answer weight y, and how Psi is evaluated (binned
+  // Gauss transform by default; see core/stability.h).
   int stability_r = 1;
   ChangeRatioEstimator change_ratio_estimator = ChangeRatioEstimator::kGeometric;
   int weight_probes = 20;
+  StabilityOptions stability;
   // Optional adaptive sample growth (§4.2) replacing the fixed initial size.
   std::optional<AdaptiveSamplingOptions> adaptive;
   // Optional fault-tolerant sampling: when set, phase 1 routes every source

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "stats/descriptive.h"
 #include "util/math.h"
@@ -25,15 +26,25 @@ Result<double> ChangeRatio(double y, int num_sources, int r,
     case ChangeRatioEstimator::kGeometric:
       return 1.0 - std::pow(1.0 - y / d, static_cast<double>(r));
     case ChangeRatioEstimator::kCombinatorial: {
-      // (C(|D|,r) - C(|D|-y,r)) / C(|D|,r), with y rounded to an integer
-      // source count.
-      const int yi = static_cast<int>(std::lround(y));
-      if (num_sources - yi < r) return 1.0;  // removal always hits
+      // (C(|D|,r) - C(|D|-y,r)) / C(|D|,r). Fractional y interpolates
+      // between floor(y) and ceil(y): rounding would collapse any y < 0.5
+      // to an exactly-zero change ratio, which the L2 score's (0,1) domain
+      // then rejects for perfectly valid small-churn inputs.
       VASTATS_ASSIGN_OR_RETURN(const double log_all,
                                LogBinomial(num_sources, r));
-      VASTATS_ASSIGN_OR_RETURN(const double log_miss,
-                               LogBinomial(num_sources - yi, r));
-      return 1.0 - std::exp(log_miss - log_all);
+      const auto miss_ratio = [&](int yi) -> Result<double> {
+        if (num_sources - yi < r) return 0.0;  // removal always hits
+        VASTATS_ASSIGN_OR_RETURN(const double log_miss,
+                                 LogBinomial(num_sources - yi, r));
+        return std::exp(log_miss - log_all);
+      };
+      const int y_floor = static_cast<int>(std::floor(y));
+      VASTATS_ASSIGN_OR_RETURN(const double miss_floor, miss_ratio(y_floor));
+      const double frac = y - static_cast<double>(y_floor);
+      if (frac == 0.0) return 1.0 - miss_floor;
+      VASTATS_ASSIGN_OR_RETURN(const double miss_ceil,
+                               miss_ratio(y_floor + 1));
+      return 1.0 - ((1.0 - frac) * miss_floor + frac * miss_ceil);
     }
   }
   return Status::Internal("unknown ChangeRatioEstimator");
@@ -52,7 +63,8 @@ double MutualImpactPsiExact(std::span<const double> samples,
   return psi;
 }
 
-double MutualImpactPsi(std::span<const double> samples, double bandwidth) {
+double MutualImpactPsiSorted(std::span<const double> samples,
+                             double bandwidth) {
   // exp(-d^2/4h^2) < 1e-16 once d > ~12.14 h; such pairs are dropped.
   const double cutoff = 12.15 * bandwidth;
   std::vector<double> sorted(samples.begin(), samples.end());
@@ -76,22 +88,213 @@ Status ValidateSamplesAndBandwidth(std::span<const double> samples,
   if (samples.size() < 2) {
     return Status::InvalidArgument("stability scores require >= 2 samples");
   }
-  if (!(bandwidth > 0.0)) {
-    return Status::InvalidArgument("stability scores require bandwidth > 0");
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument(
+        "stability scores require a finite bandwidth > 0");
   }
   return Status::Ok();
 }
 
+Status ValidateFiniteSamples(std::span<const double> samples) {
+  // A NaN sample would reach LinearBinning's double->size_t cast (UB), so
+  // the binned path rejects non-finite input up front, like EstimateKde.
+  for (const double x : samples) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument("stability samples must be finite");
+    }
+  }
+  return Status::Ok();
+}
+
+// Grid geometry of the binned Gauss transform for one (samples, h) pair.
+struct PsiGrid {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;
+  // All samples coincide: Psi = C(n,2) in closed form, no transform.
+  bool coincident = false;
+};
+
+PsiGrid ComputePsiGrid(std::span<const double> samples, double bandwidth,
+                       const StabilityOptions& options) {
+  PsiGrid grid;
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  if (!(*max_it > *min_it)) {
+    grid.coincident = true;
+    return grid;
+  }
+  // The cross kernel exp(-d^2/4h^2) is a Gaussian of scale sigma = sqrt(2)h.
+  // Padding by >= 4 sigma keeps every sample >= 4 sigma from the boundary,
+  // so the DCT's reflective images (at >= 8 sigma from their originals)
+  // contribute < exp(-32) ~ 1e-14 per pair.
+  const double sigma = kSqrt2 * bandwidth;
+  const double span = *max_it - *min_it;
+  const double pad = std::max(options.padding_fraction * span, 4.0 * sigma);
+  grid.lo = *min_it - pad;
+  grid.hi = *max_it + pad;
+  grid.step = (grid.hi - grid.lo) /
+              static_cast<double>(options.grid_size - 1);
+  return grid;
+}
+
+// The binned fast Gauss transform on an already-computed grid. See
+// DESIGN.md ("Binned stability Psi") for the derivation: smoothing the raw
+// bin counts with the heat kernel of variance 2h^2 (spectral multiplier
+// exp(-0.5 k^2 pi^2 t), t = 2 (h/r)^2) and taking the self-weighted sum
+// reproduces the double cross-kernel sum up to linear-binning error.
+Result<double> BinnedPsiOnGrid(std::span<const double> samples,
+                               double bandwidth, const PsiGrid& grid,
+                               size_t m, DctPlan& plan) {
+  const double n = static_cast<double>(samples.size());
+  const std::vector<double> bins = LinearBinning(samples, grid.lo, grid.hi, m);
+  std::vector<double> dct;
+  VASTATS_RETURN_IF_ERROR(plan.Dct2(bins, dct));
+  const double r = grid.hi - grid.lo;
+  const double sigma = kSqrt2 * bandwidth;
+  const double t = (sigma / r) * (sigma / r);
+  // exp(-0.5 k^2 pi^2 t) by the same two-factor recurrence as the binned
+  // KDE smoothing; once the factor underflows the rest are exact zeros.
+  const double c = 0.5 * kPi * kPi * t;
+  const double q2 = std::exp(-2.0 * c);
+  double e = 1.0;             // exp(-c * 0^2)
+  double gap = std::exp(-c);  // e_{k+1} / e_k at k = 0
+  for (size_t k = 0; k < m; ++k) {
+    dct[k] *= e;
+    e *= gap;
+    gap *= q2;
+    if (e < 1e-300) {
+      std::fill(dct.begin() + static_cast<ptrdiff_t>(k) + 1, dct.end(), 0.0);
+      break;
+    }
+  }
+  std::vector<double> smooth;
+  VASTATS_RETURN_IF_ERROR(plan.Dct3(dct, smooth));
+  double weighted = 0.0;
+  for (size_t i = 0; i < m; ++i) weighted += bins[i] * smooth[i];
+  // Dct3(Dct2(x)) = (m/2) x, so the smoothed counts are (2/m) * smooth;
+  // they carry the *normalized* kernel N(0, sigma) times the bin width
+  // r/(m-1), while Psi's kernel is unnormalized, so the weighted sum scales
+  // by sigma * sqrt(2 pi) / step = 2 h sqrt(pi) (m-1) / r. That total
+  // counts every ordered pair including i = j; each self pair contributes
+  // exactly K(0) = 1, and the remaining cross sum double-counts Psi.
+  const double total = weighted * (2.0 / static_cast<double>(m)) *
+                       2.0 * bandwidth * std::sqrt(kPi) *
+                       static_cast<double>(m - 1) / r;
+  const double psi = 0.5 * (total - n);
+  return std::clamp(psi, 0.0, 0.5 * n * (n - 1.0));
+}
+
 }  // namespace
 
-Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
-                           double change_ratio) {
+Status StabilityOptions::Validate() const {
+  if (mode == StabilityPsiMode::kBinned &&
+      (!IsPowerOfTwo(grid_size) || grid_size < 16)) {
+    return Status::InvalidArgument(
+        "binned stability Psi requires a power-of-two grid_size >= 16");
+  }
+  if (!(padding_fraction >= 0.0)) {
+    return Status::InvalidArgument(
+        "StabilityOptions.padding_fraction must be >= 0");
+  }
+  return Status::Ok();
+}
+
+Result<PsiEvaluation> EvaluateMutualImpactPsi(std::span<const double> samples,
+                                              double bandwidth,
+                                              const StabilityOptions& options,
+                                              const ObsOptions& obs,
+                                              DctPlan* plan) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
   VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  ScopedSpan span(obs, "stability_psi");
+  span.Annotate("samples", static_cast<int64_t>(samples.size()));
+  PsiEvaluation eval;
+  if (options.mode == StabilityPsiMode::kBinned) {
+    VASTATS_RETURN_IF_ERROR(ValidateFiniteSamples(samples));
+    const PsiGrid grid = ComputePsiGrid(samples, bandwidth, options);
+    if (grid.coincident) {
+      // Every pair contributes exactly 1; cheaper and exacter than either
+      // evaluation path (the grid itself would be degenerate).
+      const double n = static_cast<double>(samples.size());
+      eval.psi = 0.5 * n * (n - 1.0);
+      eval.mode = StabilityPsiMode::kExact;
+      span.Annotate("path", "coincident");
+      return eval;
+    }
+    // A kernel narrower than ~1.5 grid cells aliases between grid points
+    // (the same resolution limit the binned KDE clamps at); h is a given
+    // here, so route such calls to the exact sum instead. Narrow kernels
+    // make the sorted cutoff near-linear anyway.
+    if (bandwidth >= 1.5 * grid.step) {
+      DctPlan local_plan;
+      DctPlan& dct_plan = plan != nullptr ? *plan : local_plan;
+      VASTATS_ASSIGN_OR_RETURN(
+          eval.psi,
+          BinnedPsiOnGrid(samples, bandwidth, grid, options.grid_size,
+                          dct_plan));
+      eval.mode = StabilityPsiMode::kBinned;
+      span.Annotate("path", "binned");
+      span.Annotate("grid_size", static_cast<int64_t>(options.grid_size));
+      obs.GetCounter("stability_psi_binned_total").Increment();
+      return eval;
+    }
+    span.Annotate("resolution_fallback", true);
+    obs.GetCounter("stability_psi_resolution_fallbacks_total").Increment();
+  }
+  eval.psi = MutualImpactPsiSorted(samples, bandwidth);
+  eval.mode = StabilityPsiMode::kExact;
+  span.Annotate("path", "exact");
+  obs.GetCounter("stability_psi_exact_total").Increment();
+  return eval;
+}
+
+Result<double> MutualImpactPsi(std::span<const double> samples,
+                               double bandwidth,
+                               const StabilityOptions& options,
+                               const ObsOptions& obs, DctPlan* plan) {
+  VASTATS_ASSIGN_OR_RETURN(
+      const PsiEvaluation eval,
+      EvaluateMutualImpactPsi(samples, bandwidth, options, obs, plan));
+  return eval.psi;
+}
+
+Result<double> MutualImpactPsiBinned(std::span<const double> samples,
+                                     double bandwidth,
+                                     const StabilityOptions& options,
+                                     const ObsOptions& obs, DctPlan* plan) {
+  StabilityOptions binned = options;
+  binned.mode = StabilityPsiMode::kBinned;
+  VASTATS_RETURN_IF_ERROR(binned.Validate());
+  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  VASTATS_RETURN_IF_ERROR(ValidateFiniteSamples(samples));
+  const PsiGrid grid = ComputePsiGrid(samples, bandwidth, binned);
+  if (grid.coincident) {
+    const double n = static_cast<double>(samples.size());
+    return 0.5 * n * (n - 1.0);
+  }
+  ScopedSpan span(obs, "stability_psi");
+  span.Annotate("samples", static_cast<int64_t>(samples.size()));
+  span.Annotate("path", "binned");
+  span.Annotate("grid_size", static_cast<int64_t>(binned.grid_size));
+  obs.GetCounter("stability_psi_binned_total").Increment();
+  DctPlan local_plan;
+  DctPlan& dct_plan = plan != nullptr ? *plan : local_plan;
+  return BinnedPsiOnGrid(samples, bandwidth, grid, binned.grid_size,
+                         dct_plan);
+}
+
+Result<double> StabilityL2FromPsi(double n, double bandwidth,
+                                  double change_ratio, double psi) {
+  if (!(n >= 2.0)) {
+    return Status::InvalidArgument("stability scores require >= 2 samples");
+  }
+  if (!(bandwidth > 0.0)) {
+    return Status::InvalidArgument("stability scores require bandwidth > 0");
+  }
   if (!(change_ratio > 0.0 && change_ratio < 1.0)) {
     return Status::InvalidArgument("change_ratio must be in (0,1)");
   }
-  const double n = static_cast<double>(samples.size());
-  const double psi = MutualImpactPsi(samples, bandwidth);
   // Eq. (4.3); the factor (1 - 2 Psi / (n(n-1))) is 0 when every sample
   // coincides, in which case the distribution cannot change -> +inf score.
   const double spread = 1.0 - 2.0 * psi / (n * (n - 1.0));
@@ -104,33 +307,74 @@ Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
   return -0.5 * std::log(expected_sq_distance);
 }
 
-Result<double> StabilityBhattacharyya(std::span<const double> samples,
-                                      double bandwidth) {
-  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
-  const double n = static_cast<double>(samples.size());
-  const double psi = MutualImpactPsi(samples, bandwidth);
+Result<double> StabilityBhattacharyyaFromPsi(double n, double bandwidth,
+                                             double psi) {
+  if (!(n >= 2.0)) {
+    return Status::InvalidArgument("stability scores require >= 2 samples");
+  }
+  if (!(bandwidth > 0.0)) {
+    return Status::InvalidArgument("stability scores require bandwidth > 0");
+  }
   // Eq. (4.4).
   const double value = 1.0 / (2.0 * n * bandwidth * std::sqrt(kPi)) +
                        psi / (n * n * bandwidth * std::sqrt(kPi));
   return -std::log(value);
 }
 
+Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
+                           double change_ratio,
+                           const StabilityOptions& options,
+                           const ObsOptions& obs, DctPlan* plan) {
+  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  if (!(change_ratio > 0.0 && change_ratio < 1.0)) {
+    return Status::InvalidArgument("change_ratio must be in (0,1)");
+  }
+  VASTATS_ASSIGN_OR_RETURN(
+      const double psi, MutualImpactPsi(samples, bandwidth, options, obs,
+                                        plan));
+  return StabilityL2FromPsi(static_cast<double>(samples.size()), bandwidth,
+                            change_ratio, psi);
+}
+
+Result<double> StabilityBhattacharyya(std::span<const double> samples,
+                                      double bandwidth,
+                                      const StabilityOptions& options,
+                                      const ObsOptions& obs, DctPlan* plan) {
+  VASTATS_RETURN_IF_ERROR(ValidateSamplesAndBandwidth(samples, bandwidth));
+  VASTATS_ASSIGN_OR_RETURN(
+      const double psi, MutualImpactPsi(samples, bandwidth, options, obs,
+                                        plan));
+  return StabilityBhattacharyyaFromPsi(static_cast<double>(samples.size()),
+                                       bandwidth, psi);
+}
+
 Result<StabilityReport> ComputeStability(std::span<const double> samples,
                                          double bandwidth, double y,
                                          int num_sources, int r,
-                                         ChangeRatioEstimator estimator) {
+                                         ChangeRatioEstimator estimator,
+                                         const StabilityOptions& options,
+                                         const ObsOptions& obs,
+                                         DctPlan* plan) {
   StabilityReport report;
   report.bandwidth = bandwidth;
   report.y = y;
   report.r = r;
   VASTATS_ASSIGN_OR_RETURN(report.change_ratio,
                            ChangeRatio(y, num_sources, r, estimator));
-  report.psi = MutualImpactPsi(samples, bandwidth);
-  VASTATS_ASSIGN_OR_RETURN(report.stab_l2,
-                           StabilityL2(samples, bandwidth,
-                                       report.change_ratio));
-  VASTATS_ASSIGN_OR_RETURN(report.stab_bh,
-                           StabilityBhattacharyya(samples, bandwidth));
+  // One Psi evaluation feeds both scores (the former per-score calls
+  // re-evaluated the identical cross sum three times).
+  VASTATS_ASSIGN_OR_RETURN(
+      const PsiEvaluation psi,
+      EvaluateMutualImpactPsi(samples, bandwidth, options, obs, plan));
+  report.psi = psi.psi;
+  report.psi_mode = psi.mode;
+  const double n = static_cast<double>(samples.size());
+  VASTATS_ASSIGN_OR_RETURN(
+      report.stab_l2,
+      StabilityL2FromPsi(n, bandwidth, report.change_ratio, report.psi));
+  VASTATS_ASSIGN_OR_RETURN(
+      report.stab_bh,
+      StabilityBhattacharyyaFromPsi(n, bandwidth, report.psi));
   return report;
 }
 
@@ -203,19 +447,25 @@ Result<double> SimulateStability(const UniSSampler& sampler,
   return squared ? -0.5 * std::log(expected) : -std::log(expected);
 }
 
-Result<std::vector<DeviationPoint>> DeviationMap(const UniSSampler& sampler,
-                                                 double base_mean,
-                                                 int samples_per_removal,
-                                                 Rng& rng) {
+Result<DeviationMapResult> DeviationMap(const UniSSampler& sampler,
+                                        double base_mean,
+                                        int samples_per_removal, Rng& rng) {
   if (samples_per_removal <= 0) {
     return Status::InvalidArgument(
         "DeviationMap requires samples_per_removal > 0");
   }
-  if (base_mean == 0.0) {
+  if (!std::isfinite(base_mean)) {
     return Status::InvalidArgument(
-        "DeviationMap: base mean of 0 makes relative deviation undefined");
+        "DeviationMap requires a finite base mean");
   }
-  std::vector<DeviationPoint> points;
+  // Per-removal means are collected first; the denominator is only chosen
+  // once the pooled sample spread is known, so a near-zero base mean (which
+  // would inflate relative deviations astronomically) can be detected
+  // against the data's own scale instead of an exact-zero check.
+  std::vector<std::pair<int, double>> means;
+  double pooled_count = 0.0;
+  double pooled_mean = 0.0;
+  double pooled_m2 = 0.0;
   const int num_sources = sampler.sources().NumSources();
   for (int s = 0; s < num_sources; ++s) {
     const int removed[] = {s};
@@ -223,11 +473,37 @@ Result<std::vector<DeviationPoint>> DeviationMap(const UniSSampler& sampler,
     VASTATS_ASSIGN_OR_RETURN(
         const std::vector<double> samples,
         sampler.SampleExcluding(samples_per_removal, removed, rng));
-    const double mean = ComputeMoments(samples).mean();
-    points.push_back(DeviationPoint{
-        s, std::fabs(mean - base_mean) / std::fabs(base_mean)});
+    means.emplace_back(s, ComputeMoments(samples).mean());
+    for (const double x : samples) {
+      pooled_count += 1.0;
+      const double delta = x - pooled_mean;
+      pooled_mean += delta / pooled_count;
+      pooled_m2 += delta * (x - pooled_mean);
+    }
   }
-  return points;
+  const double spread =
+      pooled_count > 1.0 ? std::sqrt(pooled_m2 / (pooled_count - 1.0)) : 0.0;
+
+  DeviationMapResult result;
+  result.denominator = std::fabs(base_mean);
+  // A base mean below a billionth of the sample spread is numerically zero
+  // at this data's scale; fall back to the spread as the unit.
+  constexpr double kMeanFloorVsSpread = 1e-9;
+  if (result.denominator <= kMeanFloorVsSpread * spread) {
+    result.denominator = spread;
+    result.spread_fallback = true;
+  }
+  if (!(result.denominator > 0.0)) {
+    return Status::InvalidArgument(
+        "DeviationMap: base mean and sample spread are both zero; "
+        "deviation is undefined");
+  }
+  result.points.reserve(means.size());
+  for (const auto& [source, mean] : means) {
+    result.points.push_back(DeviationPoint{
+        source, std::fabs(mean - base_mean) / result.denominator});
+  }
+  return result;
 }
 
 }  // namespace vastats

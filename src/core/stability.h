@@ -14,6 +14,16 @@
 //   Stab_Bh = -log( 1/(2nh*sqrt(pi)) + Psi/(n^2 h sqrt(pi)) ).
 // Neither requires simulating source removal; a simulation baseline and the
 // Figure 8 deviation map are provided for validation.
+//
+// Psi itself has two evaluation paths, mirroring the binned-vs-direct KDE
+// split in density/kde.h:
+//  * binned (the production default): the cross-kernel sum is a Gauss
+//    transform, so linear binning + one Dct2/Dct3 round trip evaluates it in
+//    O(grid log grid) regardless of |S| (see DESIGN.md for the derivation
+//    and the self-pair correction);
+//  * exact: the sorted cutoff-truncated pairwise sum, O(|S|^2) worst case —
+//    kept as the accuracy oracle, and the automatic fallback when the
+//    kernel is too narrow for the grid to resolve.
 
 #ifndef VASTATS_CORE_STABILITY_H_
 #define VASTATS_CORE_STABILITY_H_
@@ -23,7 +33,9 @@
 
 #include "density/distance.h"
 #include "density/kde.h"
+#include "obs/obs.h"
 #include "sampling/unis.h"
+#include "util/fft.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -36,7 +48,9 @@ enum class ChangeRatioEstimator {
   // c_r = 1 - (1 - y/|D|)^r (uniform contribution assumption; the paper's
   // primary estimate).
   kGeometric,
-  // c_r = (C(|D|,r) - C(|D|-y,r)) / C(|D|,r).
+  // c_r = (C(|D|,r) - C(|D|-y,r)) / C(|D|,r); fractional y interpolates
+  // linearly between floor(y) and ceil(y) so a small answer weight does not
+  // round down to an exactly-zero change ratio.
   kCombinatorial,
 };
 
@@ -45,23 +59,99 @@ enum class ChangeRatioEstimator {
 Result<double> ChangeRatio(double y, int num_sources, int r,
                            ChangeRatioEstimator estimator);
 
-// Psi = sum_{i<j} exp(-(x_i - x_j)^2 / (4 h^2)). Sorts a copy and truncates
-// pairs farther apart than ~12h (contribution < 1e-16), giving near-linear
-// cost on well-spread data.
-double MutualImpactPsi(std::span<const double> samples, double bandwidth);
+// How the mutual impact factor Psi is evaluated.
+enum class StabilityPsiMode {
+  // Linear binning + DCT Gauss transform on a shared power-of-two grid,
+  // O(grid log grid). Falls back to kExact when the kernel scale drops
+  // below ~1.5 grid cells (the binned sum can no longer resolve it).
+  kBinned,
+  // Sorted cutoff-truncated pairwise sum; the accuracy oracle.
+  kExact,
+};
 
-// Exact O(n^2) evaluation, kept for validation.
+// Evaluation seam for the analytic stability scores.
+struct StabilityOptions {
+  StabilityPsiMode mode = StabilityPsiMode::kBinned;
+  // Grid of the binned Gauss transform (power of two; the KDE default).
+  size_t grid_size = 4096;
+  // Fraction of the sample span padded on each side of the grid. The binned
+  // path additionally pads by >= 4 kernel scales so the DCT's reflective
+  // images contribute < 1e-14 per pair.
+  double padding_fraction = 0.1;
+
+  Status Validate() const;
+};
+
+// Which path an evaluation actually took, plus the value.
+struct PsiEvaluation {
+  double psi = 0.0;
+  // kBinned only when the binned transform actually ran; a resolution
+  // fallback reports kExact.
+  StabilityPsiMode mode = StabilityPsiMode::kExact;
+};
+
+// Psi = sum_{i<j} exp(-(x_i - x_j)^2 / (4 h^2)), evaluated per
+// `options.mode` (with the resolution fallback above). Requires n >= 2 and
+// h > 0. `obs` (optional) records a `stability_psi` span annotated with the
+// path and grid size plus the path counters; `plan` (optional, borrowed,
+// per-thread) caches the DCT tables across calls.
+Result<PsiEvaluation> EvaluateMutualImpactPsi(std::span<const double> samples,
+                                              double bandwidth,
+                                              const StabilityOptions& options,
+                                              const ObsOptions& obs = {},
+                                              DctPlan* plan = nullptr);
+
+// Convenience wrapper over EvaluateMutualImpactPsi returning only the value.
+Result<double> MutualImpactPsi(std::span<const double> samples,
+                               double bandwidth,
+                               const StabilityOptions& options = {},
+                               const ObsOptions& obs = {},
+                               DctPlan* plan = nullptr);
+
+// Forced binned evaluation (no resolution fallback): bins the samples onto
+// the power-of-two grid, smooths the counts with the Gaussian cross-kernel
+// via one Dct2 + one Dct3, and recovers Psi as half the self-excluded
+// weighted sum. Accuracy degrades once h drops below ~1.5 grid cells; the
+// dispatcher above falls back to the exact sum there.
+Result<double> MutualImpactPsiBinned(std::span<const double> samples,
+                                     double bandwidth,
+                                     const StabilityOptions& options = {},
+                                     const ObsOptions& obs = {},
+                                     DctPlan* plan = nullptr);
+
+// Accuracy oracle: sorts a copy and truncates pairs farther apart than ~12h
+// (contribution < 1e-16). O(|S|^2) worst case, near-linear on well-spread
+// data with a narrow kernel.
+double MutualImpactPsiSorted(std::span<const double> samples,
+                             double bandwidth);
+
+// Plain O(n^2) all-pairs evaluation, kept for validating the oracle itself.
 double MutualImpactPsiExact(std::span<const double> samples,
                             double bandwidth);
+
+// Theorem 4.2 / Corollary 4.1 closed forms from an already-evaluated Psi.
+// Requires n >= 2, h > 0 (and change_ratio in (0, 1) for the L2 score).
+// StabilityL2FromPsi returns +infinity when the expected squared distance
+// vanishes (every sample coincides).
+Result<double> StabilityL2FromPsi(double n, double bandwidth,
+                                  double change_ratio, double psi);
+Result<double> StabilityBhattacharyyaFromPsi(double n, double bandwidth,
+                                             double psi);
 
 // Theorem 4.2. Returns +infinity when all samples coincide (zero distance).
 // Requires n >= 2, h > 0, and change_ratio in (0, 1).
 Result<double> StabilityL2(std::span<const double> samples, double bandwidth,
-                           double change_ratio);
+                           double change_ratio,
+                           const StabilityOptions& options = {},
+                           const ObsOptions& obs = {},
+                           DctPlan* plan = nullptr);
 
 // Corollary 4.1. Requires n >= 2 and h > 0.
 Result<double> StabilityBhattacharyya(std::span<const double> samples,
-                                      double bandwidth);
+                                      double bandwidth,
+                                      const StabilityOptions& options = {},
+                                      const ObsOptions& obs = {},
+                                      DctPlan* plan = nullptr);
 
 struct StabilityReport {
   double stab_l2 = 0.0;
@@ -70,16 +160,22 @@ struct StabilityReport {
   double y = 0.0;          // average sources per answer
   double bandwidth = 0.0;  // h used
   double psi = 0.0;
+  // The path Psi actually took (kBinned only when the transform ran).
+  StabilityPsiMode psi_mode = StabilityPsiMode::kExact;
   int r = 1;
 };
 
 // Computes both analytic scores from a sample set, its KDE bandwidth, and
-// the sampler-estimated weight y.
+// the sampler-estimated weight y. Psi is evaluated once (per
+// `options.mode`) and shared by both scores.
 Result<StabilityReport> ComputeStability(std::span<const double> samples,
                                          double bandwidth, double y,
                                          int num_sources, int r,
                                          ChangeRatioEstimator estimator =
-                                             ChangeRatioEstimator::kGeometric);
+                                             ChangeRatioEstimator::kGeometric,
+                                         const StabilityOptions& options = {},
+                                         const ObsOptions& obs = {},
+                                         DctPlan* plan = nullptr);
 
 struct SimulatedStabilityOptions {
   int r = 1;                  // sources removed per trial
@@ -102,17 +198,28 @@ Result<double> SimulateStability(const UniSSampler& sampler,
 // One point of the Figure 8 deviation map.
 struct DeviationPoint {
   int source = 0;
-  // |mu^{D\{s}} - mu^D| / |mu^D|.
+  // |mu^{D\{s}} - mu^D| / denominator (see DeviationMapResult).
   double relative_deviation = 0.0;
+};
+
+// The deviation map plus the denominator it was normalized by.
+struct DeviationMapResult {
+  std::vector<DeviationPoint> points;
+  // Normally |base_mean|. When the base mean is zero or negligible against
+  // the pooled sample spread (|base_mean| < 1e-9 * spread), relative
+  // deviations would explode, so the spread itself is used instead and
+  // `spread_fallback` is set.
+  double denominator = 0.0;
+  bool spread_fallback = false;
 };
 
 // Removes each source in turn (skipping removals that break coverage),
 // draws `samples_per_removal` answers from the remainder, and reports the
-// relative shift of the sample mean.
-Result<std::vector<DeviationPoint>> DeviationMap(const UniSSampler& sampler,
-                                                 double base_mean,
-                                                 int samples_per_removal,
-                                                 Rng& rng);
+// shift of the sample mean relative to `base_mean` (or to the pooled sample
+// spread when the base mean is degenerate — see DeviationMapResult).
+Result<DeviationMapResult> DeviationMap(const UniSSampler& sampler,
+                                        double base_mean,
+                                        int samples_per_removal, Rng& rng);
 
 }  // namespace vastats
 

@@ -49,6 +49,14 @@ std::string_view DistanceKindToString(DistanceKind kind) {
 
 Result<double> DensityDistance(const GridDensity& p, const GridDensity& q,
                                DistanceKind kind) {
+  // IntegratePair divides by max(|p|, |q|) - 1 and interpolates both
+  // grids; a density with < 2 points is malformed on either side.
+  // GridDensity::Create already rejects such grids, so this guards against
+  // densities constructed through any future path.
+  if (std::min(p.size(), q.size()) < 2) {
+    return Status::InvalidArgument(
+        "DensityDistance requires grids with >= 2 points");
+  }
   switch (kind) {
     case DistanceKind::kSquaredL2:
       return IntegratePair(p, q, [](double a, double b) {

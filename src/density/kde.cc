@@ -31,25 +31,6 @@ double DegenerateFloor(std::span<const double> samples) {
   return std::max(scale, 1.0) * kDegenerateBandwidthFloor;
 }
 
-// Counts of `samples` linearly split over `grid_size` bins spanning
-// [lo, hi]; each sample contributes weight 1 shared between its two
-// neighboring bin centers.
-std::vector<double> LinearBinning(std::span<const double> samples, double lo,
-                                  double hi, size_t grid_size) {
-  std::vector<double> bins(grid_size, 0.0);
-  const double step = (hi - lo) / static_cast<double>(grid_size - 1);
-  for (const double x : samples) {
-    double pos = (x - lo) / step;
-    pos = std::clamp(pos, 0.0, static_cast<double>(grid_size - 1));
-    const size_t idx =
-        std::min(static_cast<size_t>(pos), grid_size - 2);
-    const double frac = pos - static_cast<double>(idx);
-    bins[idx] += 1.0 - frac;
-    bins[idx + 1] += frac;
-  }
-  return bins;
-}
-
 // x^s for small non-negative integer s by repeated multiplication (the
 // inner loops below would otherwise spend most of their time in pow()).
 inline double IntPow(double x, int s) {
@@ -57,7 +38,6 @@ inline double IntPow(double x, int s) {
   while (s-- > 0) result *= x;
   return result;
 }
-
 // The seven-stage constants of Botev's fixed-point map depend only on the
 // stage index s: K0(s) = (2s-1)!!/sqrt(2*pi), c(s) = (1 + 0.5^(s+0.5))/3,
 // the plug-in exponent 2/(3+2s), and pi^(2s). Computed once instead of
@@ -335,6 +315,22 @@ Result<double> BotevFromDct(std::span<const double> dct,
 }
 
 }  // namespace
+
+std::vector<double> LinearBinning(std::span<const double> samples, double lo,
+                                  double hi, size_t grid_size) {
+  std::vector<double> bins(grid_size, 0.0);
+  const double step = (hi - lo) / static_cast<double>(grid_size - 1);
+  for (const double x : samples) {
+    double pos = (x - lo) / step;
+    pos = std::clamp(pos, 0.0, static_cast<double>(grid_size - 1));
+    const size_t idx =
+        std::min(static_cast<size_t>(pos), grid_size - 2);
+    const double frac = pos - static_cast<double>(idx);
+    bins[idx] += 1.0 - frac;
+    bins[idx + 1] += frac;
+  }
+  return bins;
+}
 
 Status KdeOptions::Validate() const {
   if (grid_size < 16) {

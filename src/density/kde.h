@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "density/grid_density.h"
 #include "obs/obs.h"
@@ -65,6 +66,15 @@ struct Kde {
   GridDensity density;
   double bandwidth = 0.0;
 };
+
+// Counts of `samples` linearly split over `grid_size` bins spanning
+// [lo, hi]: each sample contributes weight 1 shared between its two
+// neighboring bin centers (out-of-range samples clamp to the end bins).
+// Requires grid_size >= 2, lo < hi, and finite samples — callers validate.
+// Shared by the binned KDE path, the Botev selector, and the binned
+// stability Psi (core/stability.h).
+std::vector<double> LinearBinning(std::span<const double> samples, double lo,
+                                  double hi, size_t grid_size);
 
 // Rule-of-thumb selectors. Return a small positive floor for degenerate
 // (constant) samples so downstream code stays finite.

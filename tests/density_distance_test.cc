@@ -163,6 +163,39 @@ TEST_P(DistanceTriangleProperty, L2AndHellingerSatisfyTriangle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DistanceTriangleProperty,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
+constexpr DistanceKind kAllKinds[] = {
+    DistanceKind::kL2,
+    DistanceKind::kSquaredL2,
+    DistanceKind::kBhattacharyyaCoefficient,
+    DistanceKind::kBhattacharyyaDistance,
+    DistanceKind::kHellinger,
+    DistanceKind::kTotalVariation,
+    DistanceKind::kKlDivergence,
+};
+
+TEST(DistanceTest, MinimalTwoPointGridsSupported) {
+  // Two points is the smallest grid GridDensity::Create admits; every kind
+  // must integrate it without dividing by zero (IntegratePair steps by
+  // (hi-lo)/(n-1)).
+  const GridDensity p = GridDensity::Create(0.0, 1.0, {0.6, 1.4}).value();
+  const GridDensity q = GridDensity::Create(0.0, 1.0, {1.0, 1.0}).value();
+  for (const DistanceKind kind : kAllKinds) {
+    const auto distance = DensityDistance(p, q, kind);
+    ASSERT_TRUE(distance.ok()) << DistanceKindToString(kind);
+    EXPECT_TRUE(std::isfinite(distance.value()))
+        << DistanceKindToString(kind);
+  }
+}
+
+TEST(DistanceTest, SinglePointGridsRejectedAtConstruction) {
+  // GridDensity::Create refuses one- and zero-point grids, so nothing a
+  // caller can build reaches IntegratePair's divide by n - 1;
+  // DensityDistance carries its own min-size guard as defense in depth for
+  // densities constructed through any future path.
+  EXPECT_FALSE(GridDensity::Create(0.0, 1.0, {1.0}).ok());
+  EXPECT_FALSE(GridDensity::Create(0.0, 1.0, {}).ok());
+}
+
 TEST(DistanceKindToStringTest, AllNamed) {
   EXPECT_EQ(DistanceKindToString(DistanceKind::kL2), "L2");
   EXPECT_EQ(DistanceKindToString(DistanceKind::kSquaredL2), "L2^2");

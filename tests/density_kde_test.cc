@@ -13,15 +13,6 @@
 namespace vastats {
 namespace {
 
-std::vector<double> BimodalSample(int n, uint64_t seed, double gap = 10.0) {
-  Rng rng(seed);
-  std::vector<double> values(static_cast<size_t>(n));
-  for (double& v : values) {
-    v = rng.Bernoulli(0.5) ? rng.Normal(0.0, 1.0) : rng.Normal(gap, 1.0);
-  }
-  return values;
-}
-
 TEST(KdeTest, NonFiniteInputsRejected) {
   // A NaN would otherwise reach LinearBinning's double->size_t cast (UB).
   const double nan = std::nan("");
@@ -85,7 +76,7 @@ TEST(BandwidthTest, BotevOnGaussianNearRuleOfThumb) {
 TEST(BandwidthTest, BotevSmallerOnBimodalData) {
   // Rule-of-thumb bandwidths oversmooth mixtures; the diffusion selector
   // should pick a clearly smaller h than Silverman's sd-driven value.
-  const std::vector<double> samples = BimodalSample(2000, 4, 20.0);
+  const std::vector<double> samples = testing::BimodalSample(2000, 4, 20.0);
   const auto botev = BotevBandwidth(samples);
   ASSERT_TRUE(botev.ok());
   EXPECT_LT(botev.value(), ScottBandwidth(samples));
@@ -123,7 +114,7 @@ TEST(KdeTest, RecoversGaussianShape) {
 }
 
 TEST(KdeTest, DirectAndBinnedAgree) {
-  const std::vector<double> samples = BimodalSample(800, 8);
+  const std::vector<double> samples = testing::BimodalSample(800, 8);
   KdeOptions direct;
   direct.rule = BandwidthRule::kSilverman;
   KdeOptions binned = direct;
@@ -143,7 +134,7 @@ TEST(KdeTest, DirectAndBinnedAgree) {
 }
 
 TEST(KdeTest, SeparatesWellSpacedModes) {
-  const std::vector<double> samples = BimodalSample(2000, 9, 10.0);
+  const std::vector<double> samples = testing::BimodalSample(2000, 9, 10.0);
   KdeOptions options;
   const auto kde = EstimateKde(samples, options);
   ASSERT_TRUE(kde.ok());
@@ -181,7 +172,7 @@ TEST(KdeTest, RejectsTinySamples) {
 }
 
 TEST(KdeTest, LargerBandwidthSmoothsAwayModes) {
-  const std::vector<double> samples = BimodalSample(1000, 12, 6.0);
+  const std::vector<double> samples = testing::BimodalSample(1000, 12, 6.0);
   KdeOptions narrow;
   narrow.bandwidth = 0.3;
   KdeOptions wide;
@@ -232,39 +223,6 @@ struct AgreementCase {
   double l1;
 };
 
-std::vector<double> UnimodalSample(uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> values(600);
-  for (double& v : values) v = rng.Normal(3.0, 1.2);
-  return values;
-}
-
-std::vector<double> BimodalAgreementSample(uint64_t seed) {
-  return BimodalSample(600, seed, 8.0);
-}
-
-std::vector<double> HeavyTailSample(uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> values(600);
-  // Exponential with a slow rate: long right tail stresses the padding and
-  // the reflective boundary handling.
-  for (double& v : values) v = rng.Exponential(0.25);
-  return values;
-}
-
-std::vector<double> NearDiscreteSample(uint64_t seed) {
-  // Three atoms (Figure 1 style answer multiset) plus light jitter: the
-  // plug-in bandwidth collapses and both paths must apply the same
-  // grid-resolution clamp.
-  Rng rng(seed);
-  std::vector<double> values(400);
-  for (size_t i = 0; i < values.size(); ++i) {
-    const double atom = (i % 3 == 0) ? 89.0 : (i % 3 == 1 ? 93.0 : 96.0);
-    values[i] = atom + rng.Uniform(-1e-3, 1e-3);
-  }
-  return values;
-}
-
 class KdeBinnedDirectAgreement
     : public ::testing::TestWithParam<AgreementCase> {};
 
@@ -300,10 +258,10 @@ TEST_P(KdeBinnedDirectAgreement, PathsAgreeWithinBinningError) {
 INSTANTIATE_TEST_SUITE_P(
     Shapes, KdeBinnedDirectAgreement,
     ::testing::Values(
-        AgreementCase{"unimodal", UnimodalSample, 5e-3, 5e-3},
-        AgreementCase{"bimodal", BimodalAgreementSample, 5e-3, 5e-3},
-        AgreementCase{"heavy_tailed", HeavyTailSample, 5e-3, 5e-3},
-        AgreementCase{"near_discrete", NearDiscreteSample, 0.05, 0.05}),
+        AgreementCase{"unimodal", testing::UnimodalSample, 5e-3, 5e-3},
+        AgreementCase{"bimodal", testing::BimodalAgreementSample, 5e-3, 5e-3},
+        AgreementCase{"heavy_tailed", testing::HeavyTailSample, 5e-3, 5e-3},
+        AgreementCase{"near_discrete", testing::NearDiscreteSample, 0.05, 0.05}),
     [](const ::testing::TestParamInfo<AgreementCase>& info) {
       return info.param.name;
     });

@@ -63,6 +63,57 @@ inline std::vector<double> NormalSample(int n, uint64_t seed,
   return values;
 }
 
+// Equal mixture of N(0,1) and N(gap,1).
+inline std::vector<double> BimodalSample(int n, uint64_t seed,
+                                         double gap = 10.0) {
+  Rng rng(seed);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) {
+    v = rng.Bernoulli(0.5) ? rng.Normal(0.0, 1.0) : rng.Normal(gap, 1.0);
+  }
+  return values;
+}
+
+// ---- Shape fixtures shared by the binned-vs-direct KDE agreement matrix
+// (density_kde_test.cc) and the binned-vs-exact stability Psi agreement
+// matrix (core_stability_test.cc): one smooth unimodal shape, one bimodal,
+// one heavy tail (stresses padding / reflective boundaries), and one
+// near-discrete multiset (collapses the plug-in bandwidth to the grid
+// resolution clamp).
+
+inline std::vector<double> UnimodalSample(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(600);
+  for (double& v : values) v = rng.Normal(3.0, 1.2);
+  return values;
+}
+
+inline std::vector<double> BimodalAgreementSample(uint64_t seed) {
+  return BimodalSample(600, seed, 8.0);
+}
+
+inline std::vector<double> HeavyTailSample(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values(600);
+  // Exponential with a slow rate: long right tail stresses the padding and
+  // the reflective boundary handling.
+  for (double& v : values) v = rng.Exponential(0.25);
+  return values;
+}
+
+inline std::vector<double> NearDiscreteSample(uint64_t seed) {
+  // Three atoms (Figure 1 style answer multiset) plus light jitter: the
+  // plug-in bandwidth collapses and the binned paths must fall back to (or
+  // clamp at) their grid-resolution limits.
+  Rng rng(seed);
+  std::vector<double> values(400);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double atom = (i % 3 == 0) ? 89.0 : (i % 3 == 1 ? 93.0 : 96.0);
+    values[i] = atom + rng.Uniform(-1e-3, 1e-3);
+  }
+  return values;
+}
+
 // A GridDensity tabulating an analytic pdf over [lo, hi].
 template <typename Fn>
 GridDensity MakeAnalyticDensity(double lo, double hi, size_t points, Fn&& pdf) {
