@@ -59,6 +59,10 @@
 #include "sampling/parallel.h"
 #include "sampling/unis.h"
 #include "sampling/weighted.h"
+#include "serving/caches.h"
+#include "serving/fingerprint.h"
+#include "serving/scheduler.h"
+#include "serving/server.h"
 #include "stats/bootstrap.h"
 #include "stats/confidence.h"
 #include "stats/descriptive.h"

@@ -279,10 +279,31 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
   BaggedKdeOptions bagged_options;
   bagged_options.kde = options_.kde;
   bagged_options.bandwidth_mode = options_.kde_bandwidth_mode;
+  bagged_options.plan_provider = options_.cache_hooks.plan_provider;
+  // Bandwidth cache seam: only the shared-bandwidth mode runs the selector
+  // exactly once on S_uniS, so only there can a cached h stand in for the
+  // whole selector run. A hit is injected as a manual override — the
+  // selector returns overrides verbatim, so the density is bit-identical to
+  // the cold run that stored the value.
+  const bool bandwidth_cacheable =
+      options_.kde_bandwidth_mode == BandwidthMode::kShared &&
+      !(options_.kde.bandwidth > 0.0);
+  bool bandwidth_from_cache = false;
+  if (bandwidth_cacheable && options_.cache_hooks.bandwidth_lookup) {
+    if (const std::optional<double> cached =
+            options_.cache_hooks.bandwidth_lookup()) {
+      bagged_options.kde.bandwidth = *cached;
+      bandwidth_from_cache = true;
+    }
+  }
   VASTATS_ASSIGN_OR_RETURN(
       const BaggedKde kde,
       EstimateBaggedKde(sets, stats.samples, bagged_options, obs,
                         options_.pool));
+  if (bandwidth_cacheable && !bandwidth_from_cache &&
+      options_.cache_hooks.bandwidth_store) {
+    options_.cache_hooks.bandwidth_store(kde.bandwidth);
+  }
   stats.density = kde.density;
   stats.timings.kde_seconds = kde_span.Close();
 
@@ -298,12 +319,20 @@ Result<AnswerStatistics> AnswerStatisticsExtractor::ExtractFromSamples(
       stats.answer_weight_y,
       sampler_.EstimateSourcesPerAnswer(options_.weight_probes, rng, obs));
   thread_local DctPlan stability_plan;  // lint-invariants: allow(A5)
+  DctPlan* const plan = options_.cache_hooks.plan_provider
+                            ? options_.cache_hooks.plan_provider()
+                            : &stability_plan;
+  const uint64_t plan_evictions_before = plan->evictions();
   VASTATS_ASSIGN_OR_RETURN(
       stats.stability,
       ComputeStability(stats.samples, kde.bandwidth, stats.answer_weight_y,
                        sampler_.sources().NumSources(), options_.stability_r,
                        options_.change_ratio_estimator, options_.stability,
-                       obs, &stability_plan));
+                       obs, plan));
+  if (plan->evictions() > plan_evictions_before) {
+    obs.GetCounter("dct_plan_evictions_total")
+        .Increment(plan->evictions() - plan_evictions_before);
+  }
   stability_span.Annotate(
       "psi_mode", stats.stability.psi_mode == StabilityPsiMode::kBinned
                       ? "binned"

@@ -14,6 +14,7 @@
 #ifndef VASTATS_CORE_EXTRACTOR_H_
 #define VASTATS_CORE_EXTRACTOR_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,26 @@ struct FaultToleranceOptions {
   double min_draw_coverage = 0.5;
 
   Status Validate() const;
+};
+
+// Seams a serving layer uses to share work across extractions. Every hook is
+// optional (a default-constructed struct changes nothing), and every hook
+// must preserve the bit-identity contract: a bandwidth served from a cache
+// must be the exact double a cold selector run would have produced for the
+// same samples and options, and a plan provider only moves where transform
+// tables live — never what the transforms compute.
+struct ExtractionCacheHooks {
+  // Returns the DctPlan the *calling* thread should use for the KDE and
+  // stability transforms. Invoked on whichever thread runs the transform
+  // (pooled bagged-KDE workers included), so implementations must hand out
+  // one plan per thread; plans are unsynchronized by design.
+  std::function<DctPlan*()> plan_provider;
+  // Botev bandwidth cache, consulted only under BandwidthMode::kShared with
+  // no manual override. `bandwidth_lookup` returns the previously stored h
+  // for this extraction's identity (or nullopt on a miss);
+  // `bandwidth_store` publishes a freshly selected h for later hits.
+  std::function<std::optional<double>()> bandwidth_lookup;
+  std::function<void(double)> bandwidth_store;
 };
 
 struct ExtractorOptions {
@@ -95,6 +116,10 @@ struct ExtractorOptions {
   ThreadPool* pool = nullptr;
   // RNG seed; runs with equal seeds and options are bit-identical.
   uint64_t seed = 0x5eed;
+  // Optional cross-extraction sharing seams (see ExtractionCacheHooks).
+  // Default-constructed hooks are inert; results are bit-identical with or
+  // without them by contract.
+  ExtractionCacheHooks cache_hooks;
   // Optional telemetry sinks (borrowed, may both be null = disabled). With a
   // trace attached, every pipeline phase records a span under one `extract`
   // root, and PhaseTimings is derived from those same spans; with a metrics
@@ -183,7 +208,11 @@ class AnswerStatisticsExtractor {
                                                   AggregateQuery query,
                                                   ExtractorOptions options);
 
-  // Runs the full pipeline (draws fresh samples).
+  // Runs the full pipeline (draws fresh samples). Re-entrant: all mutable
+  // state is call-local, so one extractor may serve concurrent Extract()
+  // calls (the serving layer leans on this) — provided the attached obs
+  // sinks are the thread-safe ones (metrics/recorder, no Trace) and any
+  // cache hooks are themselves thread-safe.
   Result<AnswerStatistics> Extract() const;
 
   // Runs phases 2-7 on a pre-drawn viable answer sample (used by the

@@ -150,6 +150,22 @@ Result<DriftReport> ContinuousQueryMonitor::RefreshWithDrift(
   span.Annotate("realized_l2", report.realized_l2);
   span.Annotate("drift_ratio", report.ratio);
   span.Annotate("anomalous", report.anomalous);
+  if (report.anomalous && drift_listener_ != nullptr) {
+    // The drift assessment sees only the answer distribution, not which
+    // source moved it — so conservatively notify every source in the
+    // query's closure. Downstream caches over any of those sources must
+    // not serve pre-drift entries.
+    const AggregateQuery& query = entries_[static_cast<size_t>(id)].query;
+    std::vector<char> notified(
+        static_cast<size_t>(sources_->NumSources()), 0);
+    for (const ComponentId component : query.components) {
+      for (const int s : sources_->Covering(component)) {
+        if (notified[static_cast<size_t>(s)]) continue;
+        notified[static_cast<size_t>(s)] = 1;
+        VASTATS_RETURN_IF_ERROR(NotifySourceChanged(s));
+      }
+    }
+  }
   if (obs.metrics != nullptr) {
     obs.GetCounter("monitor_drift_checks_total").Increment();
     if (report.anomalous) {
@@ -163,6 +179,18 @@ Result<DriftReport> ContinuousQueryMonitor::RefreshWithDrift(
         .Observe(report.ratio);
   }
   return report;
+}
+
+Status ContinuousQueryMonitor::NotifySourceChanged(int source) {
+  if (source < 0 || source >= sources_->NumSources()) {
+    return Status::OutOfRange("NotifySourceChanged: source " +
+                              std::to_string(source) + " out of [0, " +
+                              std::to_string(sources_->NumSources()) + ")");
+  }
+  base_options_.obs.GetCounter("monitor_source_drift_notices_total")
+      .Increment();
+  if (drift_listener_ != nullptr) drift_listener_->OnSourceDrift(source);
+  return Status::Ok();
 }
 
 Result<std::vector<QueryId>> ContinuousQueryMonitor::RefreshLeastStable(

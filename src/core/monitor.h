@@ -25,6 +25,19 @@ namespace vastats {
 // Identifier of a registered continuous query.
 using QueryId = int;
 
+// Receives source-drift notifications from the monitor. The serving layer's
+// caches implement this: a drift notice on source k bumps k's epoch and
+// evicts every cached answer/bandwidth whose source closure includes k.
+// Implementations must be thread-safe (the monitor may be driven from any
+// thread) and must not call back into the monitor.
+class SourceDriftListener {
+ public:
+  virtual ~SourceDriftListener() = default;
+  // Source `source` changed (reported churn, or realized drift beyond what
+  // the previous epoch's stability predicted).
+  virtual void OnSourceDrift(int source) = 0;
+};
+
 class ContinuousQueryMonitor {
  public:
   // `sources` must outlive the monitor; `base_options` seeds each query's
@@ -72,6 +85,17 @@ class ContinuousQueryMonitor {
   Result<std::vector<QueryId>> RefreshLeastStable(
       int budget, std::vector<QueryId>* failed = nullptr);
 
+  // Attaches a drift listener (borrowed, may be null to detach). The
+  // listener outlives the monitor or is detached first.
+  void SetDriftListener(SourceDriftListener* listener) {
+    drift_listener_ = listener;
+  }
+
+  // Reports that source `source` changed (the caller observed churn —
+  // a binding update, a schema change, an upstream reload). Forwards to the
+  // attached listener and counts `monitor_source_drift_notices_total`.
+  Status NotifySourceChanged(int source);
+
   // How often each query has been (re-)extracted.
   Result<int> RefreshCount(QueryId id) const;
 
@@ -96,6 +120,7 @@ class ContinuousQueryMonitor {
 
   const SourceSet* sources_;
   ExtractorOptions base_options_;
+  SourceDriftListener* drift_listener_ = nullptr;
   std::vector<Entry> entries_;
   // Advances once per RefreshLeastStable call — the quarantine clock.
   int64_t tick_ = 0;

@@ -57,8 +57,12 @@ Result<BaggedKde> EstimateBaggedKde(
 
   // The serial fit loop and the reported-bandwidth selection share one
   // transform plan; pooled workers each hold their own (thread-local, so
-  // pool threads reuse their tables across batches without locking).
-  DctPlan serial_plan;
+  // pool threads reuse their tables across batches without locking). A
+  // plan_provider overrides both with caller-owned per-thread plans.
+  DctPlan local_plan;
+  DctPlan* const serial_plan =
+      options.plan_provider ? options.plan_provider() : &local_plan;
+  const uint64_t serial_evictions_before = serial_plan->evictions();
 
   // Under kShared the selector runs once, on the calling thread, before any
   // fan-out — so pooled and serial runs see the identical h.
@@ -66,7 +70,7 @@ Result<BaggedKde> EstimateBaggedKde(
   if (options.bandwidth_mode == BandwidthMode::kShared) {
     VASTATS_ASSIGN_OR_RETURN(
         shared_bandwidth,
-        SelectBandwidth(reference, options.kde, obs, &serial_plan));
+        SelectBandwidth(reference, options.kde, obs, serial_plan));
     per_set.bandwidth = shared_bandwidth;
     obs.GetCounter("bagged_kde_shared_bandwidth_total").Increment();
   }
@@ -82,12 +86,20 @@ Result<BaggedKde> EstimateBaggedKde(
     worker_obs.metrics = obs.metrics;
     auto task = [&](int s) -> Status {
       // Thread-confined plan cache; never shared across workers, so the
-      // mutable static storage cannot leak state between extractions.
+      // mutable static storage cannot leak state between extractions. A
+      // plan_provider substitutes its own per-thread plan.
       thread_local DctPlan worker_plan;  // lint-invariants: allow(A5)
+      DctPlan* const plan =
+          options.plan_provider ? options.plan_provider() : &worker_plan;
+      const uint64_t evictions_before = plan->evictions();
       VASTATS_ASSIGN_OR_RETURN(
           fits[static_cast<size_t>(s)],
           EstimateKde(sets[static_cast<size_t>(s)], per_set, worker_obs,
-                      &worker_plan));
+                      plan));
+      if (plan->evictions() > evictions_before) {
+        worker_obs.GetCounter("dct_plan_evictions_total")
+            .Increment(plan->evictions() - evictions_before);
+      }
       return Status::Ok();
     };
     PoolMetricsObserver pool_observer(obs);
@@ -96,7 +108,7 @@ Result<BaggedKde> EstimateBaggedKde(
   } else {
     for (size_t s = 0; s < sets.size(); ++s) {
       VASTATS_ASSIGN_OR_RETURN(fits[s],
-                               EstimateKde(sets[s], per_set, obs, &serial_plan));
+                               EstimateKde(sets[s], per_set, obs, serial_plan));
     }
   }
 
@@ -121,7 +133,11 @@ Result<BaggedKde> EstimateBaggedKde(
   } else {
     VASTATS_ASSIGN_OR_RETURN(
         out.bandwidth,
-        SelectBandwidth(reference, options.kde, obs, &serial_plan));
+        SelectBandwidth(reference, options.kde, obs, serial_plan));
+  }
+  if (serial_plan->evictions() > serial_evictions_before) {
+    obs.GetCounter("dct_plan_evictions_total")
+        .Increment(serial_plan->evictions() - serial_evictions_before);
   }
   span.Annotate("bandwidth", out.bandwidth);
   return out;

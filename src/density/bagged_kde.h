@@ -7,6 +7,7 @@
 #ifndef VASTATS_DENSITY_BAGGED_KDE_H_
 #define VASTATS_DENSITY_BAGGED_KDE_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,14 @@ enum class BandwidthMode { kPerSet, kShared };
 struct BaggedKdeOptions {
   KdeOptions kde;
   BandwidthMode bandwidth_mode = BandwidthMode::kPerSet;
+  // Optional transform-plan provider. When set, every fit asks it for the
+  // DctPlan of the *calling* thread (pooled workers included), so a serving
+  // layer can keep one bounded plan per thread alive across extractions
+  // instead of the default function-local / thread_local plans. Providers
+  // must hand out one plan per thread — plans are unsynchronized — and only
+  // move where the tables live; transform results are unchanged, so the
+  // estimate stays bit-identical with or without a provider.
+  std::function<DctPlan*()> plan_provider;
 
   Status Validate() const { return kde.Validate(); }
 };

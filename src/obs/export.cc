@@ -412,6 +412,62 @@ Result<std::string> ExportChromeTrace(const FlightSnapshot& snapshot) {
         json.EndObject();
         break;
       }
+      case FlightEventKind::kSchedulerAdmit:
+      case FlightEventKind::kSchedulerReject: {
+        // The instant marks the decision; the interned name is the
+        // in-flight gauge's, so a paired "C" sample draws the admission
+        // level as a counter track right under the instants.
+        const bool admit = event.kind == FlightEventKind::kSchedulerAdmit;
+        BeginTraceEvent(json, admit ? "scheduler_admit" : "scheduler_reject",
+                        "i", event.track, ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "t");
+        json.KeyValue("cat", "scheduler");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("query_fingerprint", static_cast<int64_t>(event.aux));
+        json.KeyValue(admit ? "in_flight" : "queued_waiters", event.value);
+        json.EndObject();
+        json.EndObject();
+        if (admit) {
+          BeginTraceEvent(json, snapshot.NameOf(event), "C", event.track,
+                          ToTraceMicros(event.time_seconds));
+          json.Key("args");
+          json.BeginObject();
+          json.KeyValue("value", event.value);
+          json.EndObject();
+          json.EndObject();
+        }
+        break;
+      }
+      case FlightEventKind::kSchedulerDeadlineExpired: {
+        BeginTraceEvent(json, "scheduler_deadline_expired", "i", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "t");
+        json.KeyValue("cat", "scheduler");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("query_fingerprint", static_cast<int64_t>(event.aux));
+        json.KeyValue("deadline_virtual_ms", event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kCacheHit:
+      case FlightEventKind::kCacheMiss: {
+        const bool hit = event.kind == FlightEventKind::kCacheHit;
+        BeginTraceEvent(json, hit ? "cache_hit" : "cache_miss", "i",
+                        event.track, ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "t");
+        json.KeyValue("cat", "cache");
+        json.Key("args");
+        json.BeginObject();
+        // The interned name says which cache ("answer_cache", ...).
+        json.KeyValue("cache", snapshot.NameOf(event));
+        json.KeyValue("query_fingerprint", static_cast<int64_t>(event.aux));
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
     }
   }
   orphaned += open_stack.size();

@@ -42,6 +42,16 @@ std::string_view FlightEventKindToString(FlightEventKind kind) {
       return "task_complete";
     case FlightEventKind::kBreakerTransition:
       return "breaker_transition";
+    case FlightEventKind::kSchedulerAdmit:
+      return "scheduler_admit";
+    case FlightEventKind::kSchedulerReject:
+      return "scheduler_reject";
+    case FlightEventKind::kSchedulerDeadlineExpired:
+      return "scheduler_deadline_expired";
+    case FlightEventKind::kCacheHit:
+      return "cache_hit";
+    case FlightEventKind::kCacheMiss:
+      return "cache_miss";
   }
   return "unknown";
 }

@@ -57,6 +57,15 @@ enum class FlightEventKind : uint8_t {
   kTaskDequeue = 5,       // aux = task index; value = queue-wait seconds
   kTaskComplete = 6,      // aux = task index; value = run seconds
   kBreakerTransition = 7, // aux = packed (source, from, to); value = virtual ms
+  // Serving-layer events (src/serving). Scheduler events intern the
+  // in-flight gauge's name so the exporter can mirror them onto one
+  // counter track; cache events intern the cache's name ("answer_cache",
+  // "bandwidth_cache", ...).
+  kSchedulerAdmit = 8,      // aux = query fingerprint; value = in-flight after
+  kSchedulerReject = 9,     // aux = query fingerprint; value = queued waiters
+  kSchedulerDeadlineExpired = 10,  // aux = fingerprint; value = deadline ms
+  kCacheHit = 11,           // aux = query fingerprint
+  kCacheMiss = 12,          // aux = query fingerprint
 };
 
 std::string_view FlightEventKindToString(FlightEventKind kind);

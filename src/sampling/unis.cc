@@ -77,6 +77,28 @@ void UniSSampler::BuildIndex() {
 
 Result<UniSSample> UniSSampler::SampleOne(
     Rng& rng, std::span<const char> excluded) const {
+  return SampleOneImpl(rng, excluded, nullptr);
+}
+
+Result<UniSSample> UniSSampler::SampleOneRecorded(
+    Rng& rng, std::vector<UniSTake>& takes,
+    std::span<const char> excluded) const {
+  takes.clear();
+  return SampleOneImpl(rng, excluded, &takes);
+}
+
+Result<double> UniSSampler::ReplayTakes(std::span<const UniSTake> takes,
+                                        AggregateKind kind,
+                                        double quantile_q) {
+  const std::unique_ptr<PartialAggregator> partial =
+      NewAggregator(kind, quantile_q);
+  for (const UniSTake& take : takes) partial->Add(take.value);
+  return partial->Finalize();
+}
+
+Result<UniSSample> UniSSampler::SampleOneImpl(
+    Rng& rng, std::span<const char> excluded,
+    std::vector<UniSTake>* takes) const {
   const int num_sources = sources_->NumSources();
   const int m = NumComponents();
 
@@ -104,6 +126,7 @@ Result<UniSSample> UniSSampler::SampleOne(
       covered[static_cast<size_t>(pos)] = 1;
       ++num_covered;
       partial->Add(value);
+      if (takes != nullptr) takes->push_back(UniSTake{pos, value});
       ++taken;
     }
     sample.visits.push_back(UniSVisit{s, taken});

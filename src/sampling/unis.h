@@ -61,6 +61,19 @@ struct UniSSample {
   std::vector<UniSVisit> visits;
 };
 
+// One component take within a uniS draw: `position` indexes
+// `query().components`, `value` is the binding taken. The take sequence of a
+// draw is a pure function of (rng state, component set, exclusions) — the
+// aggregate kind only ever consumes takes, it never touches the rng — so
+// replaying a recorded sequence through another kind's aggregator yields,
+// bit for bit, the answer that kind would have sampled itself over the same
+// component set. The serving batch path leans on this to share one pass of
+// source visits across queries.
+struct UniSTake {
+  int position = 0;
+  double value = 0.0;
+};
+
 class UniSSampler {
  public:
   // Validates that `sources` covers every component of `query` and
@@ -74,6 +87,18 @@ class UniSSampler {
   // be visited (used by the stability simulations); it may be empty.
   Result<UniSSample> SampleOne(Rng& rng,
                                std::span<const char> excluded = {}) const;
+
+  // Like SampleOne, but also records the (position, value) takes of the draw
+  // in visit order into `takes` (cleared first). Consumes exactly the same
+  // rng stream as SampleOne and returns the identical sample.
+  Result<UniSSample> SampleOneRecorded(Rng& rng, std::vector<UniSTake>& takes,
+                                       std::span<const char> excluded = {}) const;
+
+  // Finalizes a recorded take sequence through a fresh aggregator of `kind`:
+  // the value the recorded draw would have produced had it been sampled for
+  // that kind directly (see UniSTake).
+  static Result<double> ReplayTakes(std::span<const UniSTake> takes,
+                                    AggregateKind kind, double quantile_q);
 
   // Draws one answer through the fault-tolerant access seam: every source
   // visit goes through `session` (retry/backoff, circuit breakers, corrupt
@@ -129,6 +154,9 @@ class UniSSampler {
               UniSOptions options);
 
   void BuildIndex();
+
+  Result<UniSSample> SampleOneImpl(Rng& rng, std::span<const char> excluded,
+                                   std::vector<UniSTake>* takes) const;
 
   const SourceSet* sources_;
   AggregateQuery query_;

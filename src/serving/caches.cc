@@ -1,0 +1,208 @@
+#include "serving/caches.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "serving/fingerprint.h"
+
+namespace vastats {
+namespace serving {
+namespace {
+
+// Thread-local fast path of DctPlanCache: each thread keeps (cache uid →
+// plan) slots. Entries whose cache died are never looked up again — uids
+// are never reused — and the plans they point at are owned by the cache,
+// so a stale entry is dead weight, never a dangling dereference path.
+struct TlsPlanEntry {
+  uint64_t uid = 0;
+  DctPlan* plan = nullptr;
+};
+thread_local std::vector<TlsPlanEntry> g_tls_plans;
+
+std::atomic<uint64_t> g_next_plan_cache_uid{1};
+
+bool ClosureContains(std::span<const int> closure, int source) {
+  return std::binary_search(closure.begin(), closure.end(), source);
+}
+
+}  // namespace
+
+Status ExtractionCachesOptions::Validate() const {
+  if (answer_capacity == 0 || bandwidth_capacity == 0) {
+    return Status::InvalidArgument(
+        "ExtractionCachesOptions: capacities must be >= 1");
+  }
+  return Status::Ok();
+}
+
+ExtractionCaches::ExtractionCaches(int num_sources,
+                                   ExtractionCachesOptions options)
+    : options_(options),
+      epochs_(static_cast<size_t>(std::max(num_sources, 0)), 0) {}
+
+uint64_t ExtractionCaches::ClosureStampLocked(
+    std::span<const int> closure) const {
+  uint64_t stamp = FingerprintBytes("epochs", 6);
+  for (const int s : closure) {
+    const uint64_t epoch =
+        (s >= 0 && static_cast<size_t>(s) < epochs_.size())
+            ? epochs_[static_cast<size_t>(s)]
+            : 0;
+    stamp = FingerprintBytes(&epoch, sizeof(epoch), stamp);
+  }
+  return stamp;
+}
+
+template <typename Value>
+std::optional<Value> ExtractionCaches::LookupLocked(
+    Cache<Value>& cache, uint64_t fingerprint, std::span<const int> closure) {
+  for (size_t i = 0; i < cache.entries.size(); ++i) {
+    Entry<Value>& entry = cache.entries[i];
+    if (entry.fingerprint != fingerprint) continue;
+    if (entry.stamp != ClosureStampLocked(closure)) {
+      // Belt-and-braces staleness check: active drift eviction should have
+      // removed this entry already, but an epoch bump between closure
+      // computations must never serve a pre-drift value.
+      ++cache.invalidations;
+      cache.entries[i] = std::move(cache.entries.back());
+      cache.entries.pop_back();
+      break;
+    }
+    ++cache.hits;
+    entry.last_use = ++use_tick_;
+    return entry.value;
+  }
+  ++cache.misses;
+  return std::nullopt;
+}
+
+template <typename Value>
+void ExtractionCaches::StoreLocked(Cache<Value>& cache, size_t capacity,
+                                   uint64_t fingerprint,
+                                   std::span<const int> closure,
+                                   const Value& value) {
+  const uint64_t stamp = ClosureStampLocked(closure);
+  for (Entry<Value>& entry : cache.entries) {
+    if (entry.fingerprint != fingerprint) continue;
+    entry.stamp = stamp;
+    entry.closure.assign(closure.begin(), closure.end());
+    entry.value = value;
+    entry.last_use = ++use_tick_;
+    return;
+  }
+  if (cache.entries.size() >= capacity) {
+    size_t victim = 0;
+    for (size_t i = 1; i < cache.entries.size(); ++i) {
+      if (cache.entries[i].last_use < cache.entries[victim].last_use) {
+        victim = i;
+      }
+    }
+    cache.entries[victim] = std::move(cache.entries.back());
+    cache.entries.pop_back();
+    ++cache.evictions;
+  }
+  cache.entries.push_back(Entry<Value>{
+      fingerprint, stamp, ++use_tick_,
+      std::vector<int>(closure.begin(), closure.end()), value});
+}
+
+template <typename Value>
+void ExtractionCaches::InvalidateLocked(Cache<Value>& cache, int source) {
+  for (size_t i = 0; i < cache.entries.size();) {
+    if (ClosureContains(cache.entries[i].closure, source)) {
+      cache.entries[i] = std::move(cache.entries.back());
+      cache.entries.pop_back();
+      ++cache.invalidations;
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::optional<AnswerStatistics> ExtractionCaches::LookupAnswer(
+    uint64_t fingerprint, std::span<const int> closure) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupLocked(answers_, fingerprint, closure);
+}
+
+void ExtractionCaches::StoreAnswer(uint64_t fingerprint,
+                                   std::span<const int> closure,
+                                   const AnswerStatistics& statistics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreLocked(answers_, options_.answer_capacity, fingerprint, closure,
+              statistics);
+}
+
+std::optional<double> ExtractionCaches::LookupBandwidth(
+    uint64_t fingerprint, std::span<const int> closure) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LookupLocked(bandwidths_, fingerprint, closure);
+}
+
+void ExtractionCaches::StoreBandwidth(uint64_t fingerprint,
+                                      std::span<const int> closure,
+                                      double bandwidth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreLocked(bandwidths_, options_.bandwidth_capacity, fingerprint, closure,
+              bandwidth);
+}
+
+void ExtractionCaches::OnSourceDrift(int source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (source < 0 || static_cast<size_t>(source) >= epochs_.size()) return;
+  ++epochs_[static_cast<size_t>(source)];
+  InvalidateLocked(answers_, source);
+  InvalidateLocked(bandwidths_, source);
+}
+
+uint64_t ExtractionCaches::SourceEpoch(int source) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (source < 0 || static_cast<size_t>(source) >= epochs_.size()) return 0;
+  return epochs_[static_cast<size_t>(source)];
+}
+
+ExtractionCacheStats ExtractionCaches::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ExtractionCacheStats stats;
+  stats.answer_hits = answers_.hits;
+  stats.answer_misses = answers_.misses;
+  stats.answer_evictions = answers_.evictions;
+  stats.answer_invalidations = answers_.invalidations;
+  stats.bandwidth_hits = bandwidths_.hits;
+  stats.bandwidth_misses = bandwidths_.misses;
+  stats.bandwidth_evictions = bandwidths_.evictions;
+  stats.bandwidth_invalidations = bandwidths_.invalidations;
+  stats.answer_entries = answers_.entries.size();
+  stats.bandwidth_entries = bandwidths_.entries.size();
+  return stats;
+}
+
+DctPlanCache::DctPlanCache(size_t tables_per_thread)
+    : uid_(g_next_plan_cache_uid.fetch_add(1, std::memory_order_relaxed)),
+      tables_per_thread_(tables_per_thread == 0 ? 1 : tables_per_thread) {}
+
+DctPlan* DctPlanCache::ThreadLocalPlan() {
+  for (const TlsPlanEntry& entry : g_tls_plans) {
+    if (entry.uid == uid_) return entry.plan;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.push_back(std::make_unique<DctPlan>(tables_per_thread_));
+  DctPlan* plan = plans_.back().get();
+  g_tls_plans.push_back(TlsPlanEntry{uid_, plan});
+  return plan;
+}
+
+size_t DctPlanCache::NumPlans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+DctPlanCache& DefaultDctPlanCache() {
+  // Never destroyed: worker threads may outlive main and still hold fast-
+  // path slots into it (same pattern and rationale as DefaultThreadPool()).
+  static DctPlanCache* const kDefault = new DctPlanCache();
+  return *kDefault;
+}
+
+}  // namespace serving
+}  // namespace vastats

@@ -1,0 +1,181 @@
+// Shared extraction caches for the serving layer.
+//
+// Key/invalidation contract (DESIGN.md §11): every cached value is keyed by
+// `(query fingerprint, source epoch)` — concretely, the request fingerprint
+// (serving/fingerprint.h) paired with a *closure stamp*, an FNV fold of the
+// per-source epoch counters of every source the query's components can
+// touch. Drift on source k bumps k's epoch, which (a) changes the stamp of
+// every closure containing k, so stale entries can never be looked up
+// again, and (b) actively evicts exactly those entries whose recorded
+// closure contains k — entries over disjoint closures survive untouched.
+// A post-invalidation extraction therefore recomputes from the sources and
+// is bit-identical to a cold run by the extractor's determinism contract.
+//
+// Three caches live here:
+//   * AnswerStatistics — whole extraction results (the big win: a hit skips
+//     sampling, bootstrap, KDE, CIO, and stability entirely);
+//   * Botev bandwidths — a hit skips the selector run under the shared-
+//     bandwidth mode (see ExtractionCacheHooks);
+//   * DctPlans — per-thread FFT table plans, promoted from function-local
+//     thread_locals to a process-wide registry (DctPlanCache) so tables
+//     survive across extractions, queries, and servers, each plan bounded
+//     by the DctPlan LRU.
+//
+// All ExtractionCaches methods are thread-safe (one mutex per cache; the
+// values are copied out, never referenced in place). DctPlanCache hands out
+// thread-confined plans through a lock-free thread-local fast path; the
+// plans themselves are unsynchronized by design.
+
+#ifndef VASTATS_SERVING_CACHES_H_
+#define VASTATS_SERVING_CACHES_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/extractor.h"
+#include "core/monitor.h"
+#include "util/fft.h"
+
+namespace vastats {
+namespace serving {
+
+struct ExtractionCachesOptions {
+  // Entry caps; LRU-evicted beyond these. AnswerStatistics entries carry a
+  // full density grid (~grid_size doubles), so the answer cap dominates
+  // memory: 64 entries at the default 4096-point grid stay under ~4 MiB.
+  size_t answer_capacity = 64;
+  size_t bandwidth_capacity = 256;
+
+  Status Validate() const;
+};
+
+// Aggregated cache telemetry (monotonic counters + current sizes),
+// snapshot under the lock.
+struct ExtractionCacheStats {
+  uint64_t answer_hits = 0;
+  uint64_t answer_misses = 0;
+  uint64_t answer_evictions = 0;
+  uint64_t answer_invalidations = 0;
+  uint64_t bandwidth_hits = 0;
+  uint64_t bandwidth_misses = 0;
+  uint64_t bandwidth_evictions = 0;
+  uint64_t bandwidth_invalidations = 0;
+  size_t answer_entries = 0;
+  size_t bandwidth_entries = 0;
+};
+
+// The answer and bandwidth caches plus the per-source epoch registry, with
+// drift-driven invalidation (implements the monitor's listener seam, so
+// `monitor.SetDriftListener(&caches)` wires churn straight through).
+class ExtractionCaches final : public SourceDriftListener {
+ public:
+  ExtractionCaches(int num_sources, ExtractionCachesOptions options = {});
+
+  // `closure` is the sorted set of source indices the query's components
+  // can touch; lookups hit only when the entry was stored under the same
+  // fingerprint AND the same epoch stamp of that closure.
+  std::optional<AnswerStatistics> LookupAnswer(uint64_t fingerprint,
+                                               std::span<const int> closure);
+  void StoreAnswer(uint64_t fingerprint, std::span<const int> closure,
+                   const AnswerStatistics& statistics);
+
+  std::optional<double> LookupBandwidth(uint64_t fingerprint,
+                                        std::span<const int> closure);
+  void StoreBandwidth(uint64_t fingerprint, std::span<const int> closure,
+                      double bandwidth);
+
+  // Bumps `source`'s epoch and evicts every entry whose closure contains
+  // it. Out-of-range sources are ignored (the epoch registry is sized at
+  // construction).
+  void OnSourceDrift(int source) override;
+
+  uint64_t SourceEpoch(int source) const;
+  ExtractionCacheStats Stats() const;
+
+ private:
+  template <typename Value>
+  struct Entry {
+    uint64_t fingerprint = 0;
+    uint64_t stamp = 0;           // closure epoch stamp at store time
+    uint64_t last_use = 0;        // LRU recency tick
+    std::vector<int> closure;     // sorted source indices
+    Value value;
+  };
+
+  // One locked LRU map; Shard is a misnomer-avoidance name — there is one
+  // per cached value type, not per hash range.
+  template <typename Value>
+  struct Cache {
+    std::vector<Entry<Value>> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  uint64_t ClosureStampLocked(std::span<const int> closure) const;
+
+  template <typename Value>
+  std::optional<Value> LookupLocked(Cache<Value>& cache, uint64_t fingerprint,
+                                    std::span<const int> closure);
+  template <typename Value>
+  void StoreLocked(Cache<Value>& cache, size_t capacity, uint64_t fingerprint,
+                   std::span<const int> closure, const Value& value);
+  template <typename Value>
+  void InvalidateLocked(Cache<Value>& cache, int source);
+
+  const ExtractionCachesOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> epochs_;
+  uint64_t use_tick_ = 0;
+  Cache<AnswerStatistics> answers_;
+  Cache<double> bandwidths_;
+};
+
+// Process-wide registry of per-thread, LRU-bounded DctPlans: the "shared
+// plan cache with a per-thread fast path". Each recording thread gets its
+// own plan (created on first use, owned by the registry, keyed by a
+// never-reused registry uid in a thread_local slot), so the hot transform
+// path is a thread-local lookup with no locking and the tables survive
+// across extractions. Plans are intentionally not shared across threads —
+// DctPlan is unsynchronized — so "shared" means shared lifetime and
+// accounting, not shared tables.
+class DctPlanCache {
+ public:
+  explicit DctPlanCache(
+      size_t tables_per_thread = DctPlan::kDefaultMaxTables);
+  ~DctPlanCache() = default;
+
+  DctPlanCache(const DctPlanCache&) = delete;
+  DctPlanCache& operator=(const DctPlanCache&) = delete;
+
+  // The calling thread's plan (created on first call from this thread).
+  // The plan stays valid for the cache's lifetime; the per-thread counters
+  // on it (hits/misses/evictions) are safe to read only from that thread —
+  // use the `dct_plan_evictions_total` metric for cross-thread accounting.
+  DctPlan* ThreadLocalPlan();
+
+  // Number of per-thread plans created so far.
+  size_t NumPlans() const;
+  size_t tables_per_thread() const { return tables_per_thread_; }
+
+ private:
+  const uint64_t uid_;
+  const size_t tables_per_thread_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<DctPlan>> plans_;
+};
+
+// The process-wide plan cache used when a server is not given its own —
+// one of the sanctioned mutable-static facades (analyzer rule A5), like
+// DefaultThreadPool(): never destroyed, safe from any thread.
+DctPlanCache& DefaultDctPlanCache();
+
+}  // namespace serving
+}  // namespace vastats
+
+#endif  // VASTATS_SERVING_CACHES_H_

@@ -1,0 +1,49 @@
+#include "serving/fingerprint.h"
+
+#include <cstring>
+
+namespace vastats {
+namespace serving {
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+uint64_t FingerprintBytes(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint64_t>(bytes[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t ComponentSequenceFingerprint(
+    std::span<const ComponentId> components) {
+  uint64_t hash = FingerprintBytes("components", 10);
+  for (const ComponentId component : components) {
+    hash = FingerprintBytes(&component, sizeof(component), hash);
+  }
+  return hash;
+}
+
+uint64_t QueryFingerprint(const AggregateQuery& query) {
+  uint64_t hash = ComponentSequenceFingerprint(query.components);
+  const auto kind = static_cast<uint32_t>(query.kind);
+  hash = FingerprintBytes(&kind, sizeof(kind), hash);
+  // The quantile parameter only disambiguates quantile queries; hashing the
+  // raw double is exact (equal doubles hash equal, which is the contract —
+  // near-equal quantiles are different queries).
+  hash = FingerprintBytes(&query.quantile_q, sizeof(query.quantile_q), hash);
+  return hash;
+}
+
+uint64_t FoldDeadline(uint64_t fingerprint, double deadline_virtual_ms) {
+  if (!(deadline_virtual_ms > 0.0)) return fingerprint;
+  return FingerprintBytes(&deadline_virtual_ms, sizeof(deadline_virtual_ms),
+                          fingerprint ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace serving
+}  // namespace vastats

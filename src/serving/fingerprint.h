@@ -1,0 +1,54 @@
+// Stable 64-bit identities for the serving layer's cache keys and seed
+// derivation.
+//
+// Two different requests must collide only when serving them identically is
+// correct, so the fingerprints hash exactly the inputs that determine an
+// extraction's result under one server's fixed base options:
+//   * the component sequence (order-sensitive — uniS take positions index
+//     the query's component order, so only queries with the same sequence
+//     may share a sampling pass);
+//   * the aggregate kind and quantile parameter;
+//   * per-request knobs that change the sample stream (the virtual-time
+//     deadline).
+// The query *name* is deliberately excluded: "q1" and "q2" asking the same
+// aggregate over the same components are the same extraction.
+//
+// Fingerprints also derive per-query sampling seeds (base seed XOR the
+// component-sequence fingerprint), which is what makes a batched group and
+// an isolated run consume the identical rng stream.
+
+#ifndef VASTATS_SERVING_FINGERPRINT_H_
+#define VASTATS_SERVING_FINGERPRINT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "datagen/component.h"
+#include "stats/aggregate_query.h"
+
+namespace vastats {
+namespace serving {
+
+// FNV-1a over an opaque byte range. Exposed so the caches can extend keys
+// (e.g. folding per-source epochs into a closure stamp) with the same hash.
+uint64_t FingerprintBytes(const void* data, size_t size,
+                          uint64_t seed = 0xcbf29ce484222325ULL);
+
+// Order-sensitive fingerprint of a component sequence. Queries share a
+// batched sampling pass exactly when these match.
+uint64_t ComponentSequenceFingerprint(std::span<const ComponentId> components);
+
+// Full query fingerprint: component sequence + kind + quantile parameter
+// (name excluded, see above). Keys the answer and bandwidth caches.
+uint64_t QueryFingerprint(const AggregateQuery& query);
+
+// Folds a per-request virtual-time deadline into `fingerprint` (identity
+// when the deadline is unset): a deadline can truncate the sample stream,
+// so deadline-bearing requests must never share cache entries with
+// unbounded ones.
+uint64_t FoldDeadline(uint64_t fingerprint, double deadline_virtual_ms);
+
+}  // namespace serving
+}  // namespace vastats
+
+#endif  // VASTATS_SERVING_FINGERPRINT_H_

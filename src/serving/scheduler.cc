@@ -1,0 +1,86 @@
+#include "serving/scheduler.h"
+
+#include <string>
+
+#include "obs/flight_recorder.h"
+
+namespace vastats {
+namespace serving {
+
+Status SchedulerOptions::Validate() const {
+  if (max_in_flight < 1) {
+    return Status::InvalidArgument("SchedulerOptions: max_in_flight must be >= 1");
+  }
+  if (max_queue_depth < 0) {
+    return Status::InvalidArgument(
+        "SchedulerOptions: max_queue_depth must be >= 0");
+  }
+  return Status::Ok();
+}
+
+QueryScheduler::QueryScheduler(SchedulerOptions options, ObsOptions obs)
+    : options_(options), obs_(obs) {
+  if (obs_.recorder != nullptr) {
+    in_flight_name_id_ = obs_.recorder->InternName("serving_in_flight");
+  }
+}
+
+Status QueryScheduler::Admit(uint64_t query_fingerprint) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (in_flight_ >= options_.max_in_flight) {
+    if (waiting_ >= options_.max_queue_depth) {
+      const int waiting = waiting_;
+      lock.unlock();
+      obs_.GetCounter("serving_rejected_total").Increment();
+      if (obs_.recorder != nullptr) {
+        obs_.recorder->Record(FlightEventKind::kSchedulerReject,
+                              in_flight_name_id_,
+                              static_cast<double>(waiting),
+                              query_fingerprint);
+      }
+      return Status::ResourceExhausted(
+          "scheduler queue full: " + std::to_string(options_.max_in_flight) +
+          " in flight and " + std::to_string(waiting) + " queued (limit " +
+          std::to_string(options_.max_queue_depth) + ")");
+    }
+    ++waiting_;
+    slot_freed_.wait(lock,
+                     [this] { return in_flight_ < options_.max_in_flight; });
+    --waiting_;
+  }
+  ++in_flight_;
+  const int in_flight = in_flight_;
+  lock.unlock();
+  obs_.GetCounter("serving_admitted_total").Increment();
+  obs_.GetGauge("serving_in_flight").Set(static_cast<double>(in_flight));
+  if (obs_.recorder != nullptr) {
+    obs_.recorder->Record(FlightEventKind::kSchedulerAdmit,
+                          in_flight_name_id_, static_cast<double>(in_flight),
+                          query_fingerprint);
+  }
+  return Status::Ok();
+}
+
+void QueryScheduler::Release() {
+  int in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ > 0) --in_flight_;
+    in_flight = in_flight_;
+  }
+  slot_freed_.notify_one();
+  obs_.GetGauge("serving_in_flight").Set(static_cast<double>(in_flight));
+}
+
+int QueryScheduler::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+int QueryScheduler::Waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_;
+}
+
+}  // namespace serving
+}  // namespace vastats

@@ -1,0 +1,80 @@
+// Admission control for concurrent extraction serving.
+//
+// The scheduler is a counting gate with a bounded waiting room. A query is
+// in exactly one of three states:
+//
+//     submitted --admit--> in-flight --release--> done
+//         \--queue full--> rejected (ResourceExhausted)
+//          \--wait------->(queued)--admit--> in-flight
+//
+// At most `max_in_flight` queries hold an execution slot; up to
+// `max_queue_depth` more block in Admit() waiting for one; anything beyond
+// that is rejected immediately with Status::ResourceExhausted so overload
+// sheds load at the door instead of growing an unbounded backlog
+// (pipelinedb's continuous-query scheduler makes the same choice).
+//
+// Telemetry: `serving_admitted_total` / `serving_rejected_total` counters,
+// a `serving_in_flight` gauge, and flight-recorder kSchedulerAdmit/
+// kSchedulerReject instants carrying the query fingerprint — the events
+// intern the gauge's name so ExportChromeTrace can mirror the admission
+// level onto one counter track (the name is deliberately shared between
+// the gauge and the journal events; analyzer rule A6 allowlists it).
+
+#ifndef VASTATS_SERVING_SCHEDULER_H_
+#define VASTATS_SERVING_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace vastats {
+namespace serving {
+
+struct SchedulerOptions {
+  // Execution slots: queries running concurrently. The batch API admits one
+  // slot per query *group*, so a group's shared sampling pass counts once.
+  int max_in_flight = 4;
+  // Waiters allowed to block for a slot before submissions are rejected.
+  int max_queue_depth = 16;
+
+  Status Validate() const;
+};
+
+class QueryScheduler {
+ public:
+  // `obs` is borrowed (copied struct, borrowed sinks) and may hold nulls.
+  explicit QueryScheduler(SchedulerOptions options, ObsOptions obs = {});
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // Takes an execution slot, blocking while the queue has room; returns
+  // ResourceExhausted when `max_queue_depth` waiters are already queued.
+  // Safe to call from pool workers: slots are held only by running tasks,
+  // so a blocked Admit always has a running task ahead of it to release.
+  Status Admit(uint64_t query_fingerprint);
+
+  // Returns the slot taken by a successful Admit. Never blocks.
+  void Release();
+
+  int InFlight() const;
+  int Waiting() const;
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  const SchedulerOptions options_;
+  const ObsOptions obs_;
+  uint32_t in_flight_name_id_ = 0;  // interned "serving_in_flight"
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  int in_flight_ = 0;
+  int waiting_ = 0;
+};
+
+}  // namespace serving
+}  // namespace vastats
+
+#endif  // VASTATS_SERVING_SCHEDULER_H_

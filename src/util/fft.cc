@@ -77,13 +77,24 @@ DctPlan::SizeTables& DctPlan::TablesFor(size_t n) {
   for (const auto& tables : tables_) {
     if (tables->n == n) {
       ++cache_hits_;
+      tables->last_use = ++use_tick_;
       return *tables;
     }
   }
   ++cache_misses_;
+  if (tables_.size() >= max_tables_) {
+    size_t victim = 0;
+    for (size_t i = 1; i < tables_.size(); ++i) {
+      if (tables_[i]->last_use < tables_[victim]->last_use) victim = i;
+    }
+    tables_[victim] = std::move(tables_.back());
+    tables_.pop_back();
+    ++evictions_;
+  }
   const size_t m = n / 2;  // the FFT runs over n/2 packed complex points
   auto tables = std::make_unique<SizeTables>();
   tables->n = n;
+  tables->last_use = ++use_tick_;
   tables->bit_reversal.resize(m);
   for (size_t i = 1, j = 0; i < m; ++i) {
     size_t bit = m >> 1;

@@ -44,7 +44,17 @@ namespace vastats {
 // tables; other sizes fall back to the O(N^2) naive evaluation (no tables).
 class DctPlan {
  public:
+  // A plan keeps at most `max_tables` size-table entries alive; requesting a
+  // new size beyond that evicts the least-recently-used entry. The default
+  // covers one grid size plus the Botev selector's companion transforms with
+  // headroom for mixed-size serving traffic; the memory per entry is O(n)
+  // complex doubles, so an unbounded plan is a real leak when many distinct
+  // grid sizes flow through one long-lived thread.
+  static constexpr size_t kDefaultMaxTables = 8;
+
   DctPlan() = default;
+  explicit DctPlan(size_t max_tables)
+      : max_tables_(max_tables == 0 ? 1 : max_tables) {}
 
   // The cached tables are not sharable state; moving is fine, copying a
   // plan would silently duplicate the caches.
@@ -61,9 +71,13 @@ class DctPlan {
   Status Dct3(std::span<const double> input, std::vector<double>& output);
 
   // Table-cache telemetry: a hit is a transform that found its size's
-  // tables already built.
+  // tables already built; an eviction is a built table dropped to stay
+  // within `max_tables` (re-requesting that size pays the trig setup
+  // again — callers export the count as `dct_plan_evictions_total`).
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t max_tables() const { return max_tables_; }
 
  private:
   // Per-size root/twiddle tables plus the FFT scratch buffers. A size-n
@@ -72,6 +86,8 @@ class DctPlan {
   // bit-reversal table and scratch cover n/2 points.
   struct SizeTables {
     size_t n = 0;
+    // Recency stamp from `use_tick_`; the smallest stamp is the LRU victim.
+    uint64_t last_use = 0;
     // Bit-reversal permutation of [0, n/2).
     std::vector<size_t> bit_reversal;
     // roots[k] = exp(-2*pi*i*k/n) for k in [0, n/2): every butterfly
@@ -91,8 +107,11 @@ class DctPlan {
   static void PlanFft(SizeTables& tables, bool inverse);
 
   std::vector<std::unique_ptr<SizeTables>> tables_;
+  size_t max_tables_ = kDefaultMaxTables;
+  uint64_t use_tick_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 // In-place FFT of `data`; size must be a power of two (and non-empty).

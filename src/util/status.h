@@ -28,6 +28,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,
 };
 
 // Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -64,6 +65,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -49,6 +49,7 @@ TEST(AnalyzeRules, FixtureTreeFindsEveryPlantedViolation) {
       "A4 src/integration/hazard.cc:16",
       "A5 src/integration/hazard.cc:5",
       "R4 src/sampling/orphan.cc:0",
+      "A5 src/serving/rogue_cache.cc:8",
       "R7 src/stats/io_use.cc:10",
       "R3 src/stats/io_use.cc:9",
       "R6 tests/telemetry_test.cc:4",

@@ -242,5 +242,68 @@ TEST(DctPlanTest, NaiveFallbackSizesBypassTheCache) {
   EXPECT_FALSE(plan.Dct3({}, empty_out).ok());
 }
 
+// One DCT-II of size n through `plan`, asserting success.
+void RunSize(DctPlan& plan, size_t n) {
+  std::vector<double> input(n, 1.0);
+  std::vector<double> output;
+  ASSERT_TRUE(plan.Dct2(input, output).ok());
+}
+
+TEST(DctPlanLruTest, StaysWithinCapacityAndCountsEvictions) {
+  DctPlan plan(/*max_tables=*/2);
+  ASSERT_EQ(plan.max_tables(), 2u);
+  RunSize(plan, 8);
+  RunSize(plan, 16);
+  EXPECT_EQ(plan.evictions(), 0u);
+  EXPECT_EQ(plan.cache_misses(), 2u);
+  // Third size evicts the LRU entry (size 8).
+  RunSize(plan, 32);
+  EXPECT_EQ(plan.evictions(), 1u);
+  // 16 and 32 are resident: hits, no further eviction.
+  RunSize(plan, 16);
+  RunSize(plan, 32);
+  EXPECT_EQ(plan.evictions(), 1u);
+  EXPECT_EQ(plan.cache_hits(), 2u);
+  // Re-requesting the evicted size rebuilds it (a miss) and evicts again.
+  RunSize(plan, 8);
+  EXPECT_EQ(plan.evictions(), 2u);
+  EXPECT_EQ(plan.cache_misses(), 4u);
+}
+
+TEST(DctPlanLruTest, LruVictimIsLeastRecentlyUsed) {
+  DctPlan plan(/*max_tables=*/2);
+  RunSize(plan, 8);
+  RunSize(plan, 16);
+  // Touch 8 so 16 becomes the LRU victim.
+  RunSize(plan, 8);
+  RunSize(plan, 32);  // evicts 16
+  EXPECT_EQ(plan.evictions(), 1u);
+  const uint64_t hits_before = plan.cache_hits();
+  RunSize(plan, 8);  // still resident
+  EXPECT_EQ(plan.cache_hits(), hits_before + 1);
+  EXPECT_EQ(plan.evictions(), 1u);
+}
+
+TEST(DctPlanLruTest, EvictionNeverChangesTransformResults) {
+  DctPlan roomy;  // default capacity: no evictions
+  DctPlan tight(/*max_tables=*/1);
+  Rng rng(0xfeed);
+  std::vector<double> input(64);
+  for (double& v : input) v = rng.Uniform(-1.0, 1.0);
+  std::vector<double> expected;
+  ASSERT_TRUE(roomy.Dct2(input, expected).ok());
+  // Thrash the tight plan across sizes, then transform the same input: the
+  // rebuilt tables must reproduce the exact coefficients.
+  RunSize(tight, 8);
+  RunSize(tight, 128);
+  std::vector<double> actual;
+  ASSERT_TRUE(tight.Dct2(input, actual).ok());
+  EXPECT_GE(tight.evictions(), 2u);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "coefficient " << i;
+  }
+}
+
 }  // namespace
 }  // namespace vastats

@@ -16,6 +16,7 @@ int LayerRank(const std::string& dir) {
   if (dir == "integration") return 3;
   if (dir == "core" || dir == "fusion") return 4;
   if (dir == "query") return 5;
+  if (dir == "serving") return 6;
   return -1;
 }
 

@@ -68,7 +68,7 @@ std::string JoinNames(const std::vector<std::string>& names) {
 
 constexpr const char* kLayerDag =
     "util -> obs -> {stats, density, sampling, datagen} -> integration -> "
-    "{core, fusion} -> query";
+    "{core, fusion} -> query -> serving";
 
 }  // namespace
 
@@ -633,7 +633,8 @@ void AnalyzeDeclStatement(const SourceFile& f, const View& V,
            "` is mutable static-storage state; hidden cross-call coupling "
            "breaks replay determinism — make it const/constexpr, pass it "
            "explicitly, or keep such state behind the sanctioned facades "
-           "(util/thread_pool.cc, obs/metrics.cc, obs/flight_recorder.cc)",
+           "(util/thread_pool.cc, obs/metrics.cc, obs/flight_recorder.cc, "
+           "serving/caches.cc)",
        out);
 }
 
@@ -642,7 +643,8 @@ void AnalyzeDeclStatement(const SourceFile& f, const View& V,
 void CheckA5MutableGlobals(const SourceFile& f, std::vector<Finding>* out) {
   if (f.rel_path == "src/util/thread_pool.cc" ||
       f.rel_path == "src/obs/metrics.cc" ||
-      f.rel_path == "src/obs/flight_recorder.cc") {
+      f.rel_path == "src/obs/flight_recorder.cc" ||
+      f.rel_path == "src/serving/caches.cc") {
     return;  // the sanctioned facades for process-wide state
   }
   const View V(f);
@@ -715,12 +717,29 @@ void CheckA6TelemetryNames(const RepoIndex& index, std::vector<Finding>* out) {
     const TelemetryUse* use = nullptr;
   };
   std::map<std::string, FirstUse> first_by_name;
+  // Names deliberately shared between a flight-recorder journal event and
+  // exactly one metric instrument, so ExportChromeTrace can mirror the
+  // journal onto the metric's counter track. Everything else keeps the
+  // one-name-one-instrument rule.
+  static const std::set<std::string> kJournalMirrorAllowlist = {
+      "thread_pool_worker_utilization",  // pool gauge + worker journal events
+      "serving_in_flight",               // admission gauge + scheduler events
+  };
+  const auto mirror_allowed = [](const std::string& name,
+                                 const std::string& a, const std::string& b) {
+    return kJournalMirrorAllowlist.count(name) > 0 &&
+           (a == "journal_event" || b == "journal_event");
+  };
   for (const SourceFile& f : index.files) {
     if (f.rel_path.compare(0, 4, "src/") != 0) continue;
     for (const TelemetryUse& use : f.telemetry_uses) {
       const auto [it, inserted] =
           first_by_name.emplace(use.name, FirstUse{&f, &use});
       if (inserted || it->second.use->instrument == use.instrument) continue;
+      if (mirror_allowed(use.name, use.instrument,
+                         it->second.use->instrument)) {
+        continue;
+      }
       Emit(f, "A6", use.line,
            "telemetry name `" + use.name + "` is registered as a " +
                use.instrument + " here but as a " +

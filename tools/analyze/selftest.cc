@@ -441,6 +441,16 @@ void TestStructuralRules(Harness* h) {
             run_a5("src/core/fake.h",
                    "namespace vastats {\nStatus Connect(int retries);\n}\n"),
             "");
+  h->Expect("A5 serving cache facade sanctioned",
+            run_a5("src/serving/caches.cc",
+                   "namespace {\nthread_local std::vector<TlsPlanEntry> "
+                   "g_tls_plans;\nstd::atomic<uint64_t> g_next_uid{1};\n}\n"),
+            "");
+  h->Expect("A5 unsanctioned serving static still flagged",
+            run_a5("src/serving/rogue_cache.cc",
+                   "namespace {\nstatic AnswerCache* g_answers = "
+                   "new AnswerCache();\n}\n"),
+            "A5");
 
   // A6: one telemetry name, one instrument kind, repo-wide.
   auto run_a6 = [](std::vector<std::pair<std::string, std::string>> files) {
@@ -504,6 +514,25 @@ void TestStructuralRules(Harness* h) {
                      "  m->GetGauge(\"draws_total\")"
                      ".Set(1.0);  // lint-invariants: allow(A6)\n}\n"}}),
             "");
+  h->Expect("A6 journal event steals a counter name",
+            run_a6({{"src/core/a.cc",
+                     "void F(MetricsRegistry* m, FlightRecorder* r) {\n"
+                     "  m->GetCounter(\"draws_total\").Increment();\n"
+                     "  r->InternName(\"draws_total\");\n}\n"}}),
+            "A6");
+  h->Expect("A6 journal mirror allowlist",
+            run_a6({{"src/serving/a.cc",
+                     "void F(MetricsRegistry* m, FlightRecorder* r) {\n"
+                     "  m->GetGauge(\"serving_in_flight\").Set(1.0);\n"
+                     "  r->InternName(\"serving_in_flight\");\n}\n"}}),
+            "");
+  h->Expect("A6 allowlist does not cover metric pairs",
+            run_a6({{"src/serving/a.cc",
+                     "void F(MetricsRegistry* m) {\n"
+                     "  m->GetGauge(\"serving_in_flight\").Set(1.0);\n"
+                     "  m->GetCounter(\"serving_in_flight\").Increment();\n"
+                     "}\n"}}),
+            "A6");
 }
 
 void TestBaseline(Harness* h) {

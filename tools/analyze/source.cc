@@ -218,6 +218,10 @@ void ExtractTelemetry(SourceFile* f) {
       instrument = "histogram";
     } else if (t.text == "BeginSpan") {
       instrument = "span";
+    } else if (t.text == "InternName") {
+      // Flight-recorder journal names live in the same namespace as the
+      // metric/span names once ExportChromeTrace renders them.
+      instrument = "journal_event";
     }
     if (instrument != nullptr) {
       if (!IsPunct(At(toks, view, i + 1), "(")) continue;

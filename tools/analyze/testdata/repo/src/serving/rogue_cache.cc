@@ -1,0 +1,14 @@
+#include "serving/rogue_cache.h"
+
+namespace vastats {
+namespace {
+
+// Planted violation: a serving-layer cache static OUTSIDE the sanctioned
+// facade file (serving/caches.cc) must still trip A5.
+double g_rogue_answers[64] = {0.0};
+
+}  // namespace
+
+double* RogueLookup(int key) { return &g_rogue_answers[key % 64]; }
+
+}  // namespace vastats

@@ -1,0 +1,10 @@
+#ifndef VASTATS_SERVING_ROGUE_CACHE_H_
+#define VASTATS_SERVING_ROGUE_CACHE_H_
+
+namespace vastats {
+
+double* RogueLookup(int key);
+
+}  // namespace vastats
+
+#endif  // VASTATS_SERVING_ROGUE_CACHE_H_
