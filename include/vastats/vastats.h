@@ -69,6 +69,9 @@
 #include "stats/direct_inference.h"
 #include "stats/jackknife.h"
 #include "stats/ks_test.h"
+#include "transport/async_transport.h"
+#include "transport/clock_map.h"
+#include "transport/endpoint.h"
 #include "util/csv.h"
 #include "util/fft.h"
 #include "util/json_reader.h"

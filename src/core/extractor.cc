@@ -6,6 +6,7 @@
 
 #include "stats/descriptive.h"
 #include "stats/jackknife.h"
+#include "transport/async_transport.h"
 
 namespace vastats {
 
@@ -163,8 +164,15 @@ Result<DegradationReport> AnswerStatisticsExtractor::SampleDegradedPhase(
   std::vector<double> coverages;
   if (options_.adaptive.has_value()) {
     // The adaptive growth loop is inherently sequential: one session spans
-    // the whole phase, and epochs advance per draw.
-    AccessSession session = accessor.StartSession(obs.metrics, obs.recorder);
+    // the whole phase, and epochs advance per draw — so it uses one
+    // transport channel for the whole phase, too.
+    std::unique_ptr<transport::TransportChannel> channel;
+    if (fault.transport != nullptr) {
+      VASTATS_ASSIGN_OR_RETURN(
+          channel, fault.transport->OpenChannel(obs.metrics, obs.recorder));
+    }
+    AccessSession session =
+        accessor.StartSession(obs.metrics, obs.recorder, channel.get());
     VASTATS_ASSIGN_OR_RETURN(
         AdaptiveSamplingResult adaptive,
         AdaptiveUniSSamplingDegraded(sampler_, *options_.adaptive, session,
@@ -184,6 +192,21 @@ Result<DegradationReport> AnswerStatisticsExtractor::SampleDegradedPhase(
     parallel.seed = options_.seed ^ 0xfeedfaceULL;
     parallel.pool = options_.pool;
     parallel.obs = obs;
+    if (fault.transport != nullptr) {
+      // Each chunk stream opens its own channel; endpoint outcomes stay
+      // keyed by global slot epochs, so transported chunks keep the
+      // width-invariance contract. A channel that cannot open (fd
+      // exhaustion under the socket-pair backend) falls back to the
+      // simulated seam for that chunk — same keyed outcomes, no transport.
+      transport::AsyncSourceTransport* async = fault.transport;
+      parallel.transport_factory =
+          [async, &obs]() -> std::unique_ptr<VisitTransport> {
+        Result<std::unique_ptr<transport::TransportChannel>> channel =
+            async->OpenChannel(obs.metrics, obs.recorder);
+        if (!channel.ok()) return nullptr;
+        return std::move(channel).value();
+      };
+    }
     VASTATS_ASSIGN_OR_RETURN(
         FaultAwareSampleResult result,
         ParallelUniSSampleWithFaults(sampler_, options_.initial_sample_size,

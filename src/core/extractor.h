@@ -30,6 +30,10 @@
 
 namespace vastats {
 
+namespace transport {
+class AsyncSourceTransport;
+}  // namespace transport
+
 // Fault-tolerant sampling configuration (see datagen/source_accessor.h).
 // Attached to ExtractorOptions.fault_tolerance; when absent the sampling
 // phase never touches the access seam and pays nothing for it existing.
@@ -44,6 +48,15 @@ struct FaultToleranceOptions {
   // instead of entering S_uniS; draws at or above it are kept as partial
   // viable answers (the paper's require_full_coverage = false path).
   double min_draw_coverage = 0.5;
+  // Borrowed async transport (src/transport); null — the default — keeps
+  // the deterministic inline fault simulation. When set, every sampling
+  // session routes its source visits through a transport channel:
+  // prefetched pipelined requests to worker-thread endpoints, optionally
+  // hedged. Retry/backoff, breakers, and deadline budgets still run in the
+  // session; build the transport over the SAME `model` and the extraction
+  // (samples, DegradationReport, breaker transitions) is bit-identical to
+  // the simulated run. Must outlive every Extract call that uses it.
+  transport::AsyncSourceTransport* transport = nullptr;
 
   Status Validate() const;
 };

@@ -89,6 +89,19 @@ std::vector<QueryId> ContinuousQueryMonitor::RefreshOrder() const {
   return order;
 }
 
+Result<std::vector<double>> ContinuousQueryMonitor::QualityPriors(
+    QueryId id, const SourceQualityOptions& quality,
+    const BreakerSeverityPriorOptions& severity) const {
+  VASTATS_RETURN_IF_ERROR(CheckId(id));
+  const Entry& entry = entries_[static_cast<size_t>(id)];
+  VASTATS_ASSIGN_OR_RETURN(
+      std::vector<double> weights,
+      EstimateSourceQuality(*sources_, entry.query.components, quality));
+  return ApplyBreakerSeverityPriors(
+      std::move(weights),
+      entry.statistics.degradation.access.breaker_severity, severity);
+}
+
 Status ContinuousQueryMonitor::Refresh(QueryId id) {
   VASTATS_RETURN_IF_ERROR(CheckId(id));
   const ObsOptions& obs = base_options_.obs;

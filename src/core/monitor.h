@@ -19,6 +19,7 @@
 
 #include "core/drift.h"
 #include "core/extractor.h"
+#include "sampling/weighted.h"
 
 namespace vastats {
 
@@ -95,6 +96,17 @@ class ContinuousQueryMonitor {
   // a binding update, a schema change, an upstream reload). Forwards to the
   // attached listener and counts `monitor_source_drift_notices_total`.
   Status NotifySourceChanged(int source);
+
+  // Severity-adjusted quality priors for rebuilding a weighted sampler
+  // over this query's scope: EstimateSourceQuality over the query's
+  // components, discounted by the worst breaker severities the query's
+  // last extraction recorded (ApplyBreakerSeverityPriors). Sources whose
+  // breakers opened are actively avoided by the next weighted run instead
+  // of merely being refreshed first by RefreshOrder(); a query that never
+  // degraded returns the plain quality estimate unchanged.
+  Result<std::vector<double>> QualityPriors(
+      QueryId id, const SourceQualityOptions& quality = {},
+      const BreakerSeverityPriorOptions& severity = {}) const;
 
   // How often each query has been (re-)extracted.
   Result<int> RefreshCount(QueryId id) const;

@@ -125,16 +125,19 @@ Result<SourceAccessor> SourceAccessor::Create(int num_sources,
 }
 
 AccessSession SourceAccessor::StartSession(MetricsRegistry* metrics,
-                                           FlightRecorder* recorder) const {
-  return AccessSession(this, metrics, recorder);
+                                           FlightRecorder* recorder,
+                                           VisitTransport* transport) const {
+  return AccessSession(this, metrics, recorder, transport);
 }
 
 AccessSession::AccessSession(const SourceAccessor* config,
                              MetricsRegistry* metrics,
-                             FlightRecorder* recorder)
+                             FlightRecorder* recorder,
+                             VisitTransport* transport)
     : config_(config),
       metrics_(metrics),
       recorder_(recorder),
+      transport_(transport),
       breakers_(static_cast<size_t>(config->num_sources())) {
   if (recorder_ != nullptr) {
     transition_name_id_ = recorder_->InternName("breaker_transition");
@@ -150,6 +153,13 @@ void AccessSession::BeginDraw(int64_t epoch) {
 int64_t AccessSession::BeginNextDraw() {
   BeginDraw(next_auto_epoch_);
   return epoch_;
+}
+
+void AccessSession::StageVisits(std::span<const int> order,
+                                std::span<const int> counts) {
+  if (transport_ != nullptr) {
+    transport_->StageVisitOrder(epoch_, order, counts);
+  }
 }
 
 bool AccessSession::DrawDeadlineExhausted() const {
@@ -254,28 +264,45 @@ AccessSession::VisitOutcome AccessSession::Visit(int source,
   const RetryPolicy& retry = config_->retry();
   ++stats_.visits;
   bool success = false;
+  last_payload_ = {};
   const double visit_started_ms = clock_.NowMs();
   for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
     ++stats_.attempts;
     ++outcome.attempts;
-    if (model == nullptr) {
+    if (transport_ != nullptr) {
+      // External dispatch: the transport performs (or awaits the
+      // prefetched) attempt and reports the simulated cost to charge; the
+      // retry/backoff/breaker policy below is identical to the inline path.
+      const TransportAttemptResult attempt_result =
+          transport_->PerformAttempt(source, epoch_, attempt, num_components);
+      clock_.AdvanceMs(attempt_result.virtual_ms);
+      if (!attempt_result.failed) {
+        last_payload_ = attempt_result.payload;
+        success = true;
+        break;
+      }
+    } else if (model == nullptr) {
       success = true;
       break;
-    }
-    clock_.AdvanceMs(
-        model->AttemptLatencyMs(source, epoch_, attempt, num_components));
-    const bool failed = model->PermanentlyOut(source, epoch_) ||
-                        model->AttemptFails(source, epoch_, attempt);
-    if (!failed) {
-      success = true;
-      break;
+    } else {
+      clock_.AdvanceMs(
+          model->AttemptLatencyMs(source, epoch_, attempt, num_components));
+      const bool failed = model->PermanentlyOut(source, epoch_) ||
+                          model->AttemptFails(source, epoch_, attempt);
+      if (!failed) {
+        success = true;
+        break;
+      }
     }
     ++stats_.transient_failures;
     if (attempt + 1 >= retry.max_attempts || DrawDeadlineExhausted()) break;
-    // Exponential backoff with deterministic jitter before the retry.
+    // Exponential backoff with deterministic jitter before the retry. The
+    // jitter stream is client-side policy, so it comes from the session's
+    // own model on the transport path too (attach the same model on both
+    // sides for bit-parity with the simulated seam).
     double backoff = retry.backoff_base_ms;
     for (int i = 0; i < attempt; ++i) backoff *= retry.backoff_multiplier;
-    if (retry.backoff_jitter > 0.0) {
+    if (retry.backoff_jitter > 0.0 && model != nullptr) {
       const double u = model->BackoffJitterU01(source, epoch_, attempt);
       backoff *= 1.0 + retry.backoff_jitter * (2.0 * u - 1.0);
     }

@@ -26,9 +26,11 @@
 #define VASTATS_DATAGEN_SOURCE_ACCESSOR_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "datagen/component.h"
 #include "datagen/fault_model.h"
 #include "obs/obs.h"
 #include "util/status.h"
@@ -98,6 +100,61 @@ struct AccessStats {
   void Merge(const AccessStats& other);
 };
 
+// --- Transport seam --------------------------------------------------------
+//
+// The simulated path decides every attempt inline from the borrowed
+// FaultModel. A *transport* externalizes the attempt instead: requests
+// travel to source endpoints (worker threads, socket pairs, spool files —
+// see src/transport) and come back with an outcome, the transferred
+// payload, and the simulated cost to charge against the deadline budgets.
+// The session keeps ALL policy — retry, backoff, breakers, budgets, stats —
+// and only delegates "perform one attempt", so chaos semantics are
+// identical in kind on both paths, and bit-identical when the endpoint
+// derives outcomes from the same keyed FaultModel.
+
+// One (component, value) binding transferred by a transport visit, in the
+// source's sorted-binding order (DataSource::SortedBindings).
+struct TransportBinding {
+  ComponentId component = 0;
+  double value = 0.0;
+};
+
+// Outcome of one transport attempt. `payload` is borrowed from the
+// transport and stays valid until its next PerformAttempt call.
+struct TransportAttemptResult {
+  bool failed = true;
+  // Simulated cost the session charges to its VirtualClock. Model-virtual
+  // transports return the FaultModel's deterministic attempt latency
+  // (bit-parity with the simulated seam); wall-mapped transports return
+  // measured wall blocking time scaled onto the virtual budgets.
+  double virtual_ms = 0.0;
+  std::span<const TransportBinding> payload;
+};
+
+// Abstract per-stream visit dispatch. One channel serves exactly ONE
+// session (the same single-stream contract as AccessSession itself), so
+// implementations never need to lock against their caller.
+class VisitTransport {
+ public:
+  virtual ~VisitTransport() = default;
+
+  // Announces the visit order the coming draw intends (`counts[i]` is the
+  // component count of `order[i]`'s visit), letting pipelined
+  // implementations prefetch attempt-0 requests ahead of consumption. An
+  // order is a hint: sources may be skipped (breaker open) and the draw may
+  // stop early (coverage complete, deadline); the transport discards
+  // whatever was staged but never consumed.
+  virtual void StageVisitOrder(int64_t epoch, std::span<const int> order,
+                               std::span<const int> counts) = 0;
+
+  // Performs (or awaits the prefetched) attempt `attempt` of the visit to
+  // `source` in draw `epoch`, transferring `num_components` values. Blocks
+  // until an outcome is available.
+  virtual TransportAttemptResult PerformAttempt(int source, int64_t epoch,
+                                                int attempt,
+                                                int num_components) = 0;
+};
+
 class AccessSession;
 
 // Immutable access configuration over `num_sources` sources. `model` is
@@ -121,9 +178,13 @@ class SourceAccessor {
   // counters on Finish(); worker sessions write to their own registry
   // shards, so chunked streams stay contention-free. `recorder` (nullable,
   // borrowed) journals breaker state transitions, stamped with both the
-  // recorder's real clock and the session's VirtualClock ms.
+  // recorder's real clock and the session's VirtualClock ms. `transport`
+  // (nullable, borrowed, must outlive the session) routes every attempt
+  // through an external dispatch channel instead of the inline simulation;
+  // like the session itself, a channel belongs to exactly one stream.
   AccessSession StartSession(MetricsRegistry* metrics = nullptr,
-                             FlightRecorder* recorder = nullptr) const;
+                             FlightRecorder* recorder = nullptr,
+                             VisitTransport* transport = nullptr) const;
 
  private:
   SourceAccessor(int num_sources, const FaultModel* model, RetryPolicy retry,
@@ -163,6 +224,22 @@ class AccessSession {
   // True once the whole session's budget is gone.
   bool SessionBudgetExhausted() const;
 
+  // Forwards the coming draw's visit order (and per-visit component
+  // counts) to the attached transport so it can prefetch; no-op on the
+  // simulated path. Call after BeginDraw, before the draw's first Visit.
+  void StageVisits(std::span<const int> order, std::span<const int> counts);
+
+  // True when visits are served by an attached transport channel;
+  // successful visits then expose the transferred payload.
+  bool transport_attached() const { return transport_ != nullptr; }
+
+  // Payload of the most recent successful transported visit (empty on the
+  // simulated path, where callers bind from their in-memory index).
+  // Invalidated by the next Visit call.
+  std::span<const TransportBinding> last_payload() const {
+    return last_payload_;
+  }
+
   // One visit to `source` transferring `num_components` values: breaker
   // check, then up to retry().max_attempts fault-injected attempts with
   // backoff. Advances the virtual clock and updates the breaker window.
@@ -199,7 +276,7 @@ class AccessSession {
   };
 
   AccessSession(const SourceAccessor* config, MetricsRegistry* metrics,
-                FlightRecorder* recorder);
+                FlightRecorder* recorder, VisitTransport* transport);
 
   void RecordOutcome(int source, bool success);
   void PushWindow(Breaker& breaker, bool failure);
@@ -208,6 +285,8 @@ class AccessSession {
   const SourceAccessor* config_;
   MetricsRegistry* metrics_;  // borrowed; may be null
   FlightRecorder* recorder_ = nullptr;  // borrowed; may be null
+  VisitTransport* transport_ = nullptr;  // borrowed; null = simulated path
+  std::span<const TransportBinding> last_payload_;
   uint32_t transition_name_id_ = 0;     // interned when recorder_ != null
   VirtualClock clock_;
   std::vector<Breaker> breakers_;

@@ -5,14 +5,34 @@
 
 namespace vastats {
 
+SourceSet& SourceSet::operator=(const SourceSet& other) {
+  if (this != &other) {
+    sources_ = other.sources_;
+    coverage_.clear();
+    index_valid_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
+SourceSet& SourceSet::operator=(SourceSet&& other) noexcept {
+  if (this != &other) {
+    sources_ = std::move(other.sources_);
+    coverage_.clear();
+    index_valid_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
 int SourceSet::AddSource(DataSource source) {
   sources_.push_back(std::move(source));
-  index_valid_ = false;
+  index_valid_.store(false, std::memory_order_release);
   return static_cast<int>(sources_.size()) - 1;
 }
 
 void SourceSet::EnsureIndex() const {
-  if (index_valid_) return;
+  if (index_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_valid_.load(std::memory_order_relaxed)) return;
   coverage_.clear();
   for (size_t s = 0; s < sources_.size(); ++s) {
     for (const auto& [component, value] : sources_[s].SortedBindings()) {
@@ -22,7 +42,7 @@ void SourceSet::EnsureIndex() const {
   for (auto& [component, list] : coverage_) {
     std::sort(list.begin(), list.end());
   }
-  index_valid_ = true;
+  index_valid_.store(true, std::memory_order_release);
 }
 
 std::vector<int> SourceSet::Covering(ComponentId component) const {

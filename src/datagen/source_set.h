@@ -10,6 +10,8 @@
 #ifndef VASTATS_DATAGEN_SOURCE_SET_H_
 #define VASTATS_DATAGEN_SOURCE_SET_H_
 
+#include <atomic>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +25,15 @@ class SourceSet {
  public:
   SourceSet() = default;
 
+  // Copies/moves transfer the sources only; the coverage index is rebuilt
+  // lazily on the destination (its guts hold a mutex, and a copy made
+  // while another thread reads the original must not share cache state).
+  SourceSet(const SourceSet& other) : sources_(other.sources_) {}
+  SourceSet& operator=(const SourceSet& other);
+  SourceSet(SourceSet&& other) noexcept
+      : sources_(std::move(other.sources_)) {}
+  SourceSet& operator=(SourceSet&& other) noexcept;
+
   // Adds a source and returns its index within this set.
   int AddSource(DataSource source);
 
@@ -32,8 +43,11 @@ class SourceSet {
     return sources_[static_cast<size_t>(index)];
   }
   // Grants mutable access to a source; invalidates the coverage index.
+  // Mutation is NOT thread-safe against concurrent readers — freeze the
+  // set before sharing it (the samplers, servers, and transport all take
+  // it const).
   DataSource& mutable_source(int index) {
-    index_valid_ = false;
+    index_valid_.store(false, std::memory_order_release);
     return sources_[static_cast<size_t>(index)];
   }
   const std::vector<DataSource>& sources() const { return sources_; }
@@ -64,7 +78,12 @@ class SourceSet {
 
   std::vector<DataSource> sources_;
   // Lazily built coverage index; invalidated when sources are added.
-  mutable bool index_valid_ = false;
+  // Concurrent const readers may race to build it (the serving batch path
+  // fans source-closure lookups across pool workers), so the build is
+  // guarded: the flag is the double-checked fast path, the mutex
+  // serializes the one build.
+  mutable std::mutex index_mutex_;
+  mutable std::atomic<bool> index_valid_{false};
   mutable std::unordered_map<ComponentId, std::vector<int>> coverage_;
 };
 

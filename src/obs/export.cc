@@ -468,6 +468,51 @@ Result<std::string> ExportChromeTrace(const FlightSnapshot& snapshot) {
         json.EndObject();
         break;
       }
+      case FlightEventKind::kTransportPrefetchIssued:
+      case FlightEventKind::kTransportPrefetchCompleted: {
+        // The record value is the channel's in-flight request depth after
+        // the event; the interned name is the depth gauge's, so the pair of
+        // kinds draws one counter track tracing the pipeline's fill level.
+        BeginTraceEvent(json, snapshot.NameOf(event), "C", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("value", event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+      case FlightEventKind::kTransportHedgeFired:
+      case FlightEventKind::kTransportHedgeWon:
+      case FlightEventKind::kTransportHedgeCancelled: {
+        int source = 0;
+        int64_t epoch = 0;
+        int attempt = 0;
+        UnpackTransportVisit(event.aux, &source, &epoch, &attempt);
+        const char* name =
+            event.kind == FlightEventKind::kTransportHedgeFired
+                ? "transport_hedge_fired"
+                : event.kind == FlightEventKind::kTransportHedgeWon
+                      ? "transport_hedge_won"
+                      : "transport_hedge_cancelled";
+        const char* ms_key =
+            event.kind == FlightEventKind::kTransportHedgeFired
+                ? "cutoff_wall_ms"
+                : "wall_ms";
+        BeginTraceEvent(json, name, "i", event.track,
+                        ToTraceMicros(event.time_seconds));
+        json.KeyValue("s", "t");
+        json.KeyValue("cat", "transport");
+        json.Key("args");
+        json.BeginObject();
+        json.KeyValue("source", static_cast<int64_t>(source));
+        json.KeyValue("epoch", epoch);
+        json.KeyValue("attempt", static_cast<int64_t>(attempt));
+        json.KeyValue(ms_key, event.value);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
     }
   }
   orphaned += open_stack.size();

@@ -52,6 +52,16 @@ std::string_view FlightEventKindToString(FlightEventKind kind) {
       return "cache_hit";
     case FlightEventKind::kCacheMiss:
       return "cache_miss";
+    case FlightEventKind::kTransportPrefetchIssued:
+      return "transport_prefetch_issued";
+    case FlightEventKind::kTransportPrefetchCompleted:
+      return "transport_prefetch_completed";
+    case FlightEventKind::kTransportHedgeFired:
+      return "transport_hedge_fired";
+    case FlightEventKind::kTransportHedgeWon:
+      return "transport_hedge_won";
+    case FlightEventKind::kTransportHedgeCancelled:
+      return "transport_hedge_cancelled";
   }
   return "unknown";
 }
@@ -67,6 +77,21 @@ void UnpackBreakerTransition(uint64_t aux, int* source, int* from_state,
   if (source != nullptr) *source = static_cast<int>(aux >> 16);
   if (from_state != nullptr) *from_state = static_cast<int>((aux >> 8) & 0xff);
   if (to_state != nullptr) *to_state = static_cast<int>(aux & 0xff);
+}
+
+uint64_t PackTransportVisit(int source, int64_t epoch, int attempt) {
+  return (static_cast<uint64_t>(static_cast<uint16_t>(source)) << 48) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(attempt)) << 40) |
+         (static_cast<uint64_t>(epoch) & ((uint64_t{1} << 40) - 1));
+}
+
+void UnpackTransportVisit(uint64_t aux, int* source, int64_t* epoch,
+                          int* attempt) {
+  if (source != nullptr) *source = static_cast<int>(aux >> 48);
+  if (attempt != nullptr) *attempt = static_cast<int>((aux >> 40) & 0xff);
+  if (epoch != nullptr) {
+    *epoch = static_cast<int64_t>(aux & ((uint64_t{1} << 40) - 1));
+  }
 }
 
 uint64_t FlightSnapshot::TotalDropped() const {

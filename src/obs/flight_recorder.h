@@ -66,6 +66,16 @@ enum class FlightEventKind : uint8_t {
   kSchedulerDeadlineExpired = 10,  // aux = fingerprint; value = deadline ms
   kCacheHit = 11,           // aux = query fingerprint
   kCacheMiss = 12,          // aux = query fingerprint
+  // Transport-channel events (src/transport). Prefetch events intern the
+  // "transport_in_flight" gauge name so the exporter mirrors the channel's
+  // in-flight request depth onto one counter track; hedge events intern
+  // the hedge instant's own name. aux packs (source, epoch, attempt) via
+  // PackTransportVisit.
+  kTransportPrefetchIssued = 13,     // value = in-flight depth after issue
+  kTransportPrefetchCompleted = 14,  // value = in-flight depth after arrival
+  kTransportHedgeFired = 15,         // value = cutoff wall ms that tripped
+  kTransportHedgeWon = 16,           // value = wall ms the hedge took
+  kTransportHedgeCancelled = 17,     // value = wasted duplicate's wall ms
 };
 
 std::string_view FlightEventKindToString(FlightEventKind kind);
@@ -91,6 +101,12 @@ static_assert(sizeof(EventRecord) == 48, "EventRecord layout drifted");
 uint64_t PackBreakerTransition(int source, int from_state, int to_state);
 void UnpackBreakerTransition(uint64_t aux, int* source, int* from_state,
                              int* to_state);
+
+// Packs a transport visit key into EventRecord::aux: source in the top 16
+// bits, attempt in the next 8, the draw epoch's low 40 bits below.
+uint64_t PackTransportVisit(int source, int64_t epoch, int attempt);
+void UnpackTransportVisit(uint64_t aux, int* source, int64_t* epoch,
+                          int* attempt);
 
 // One drained journal: every ring's records merged and sorted by
 // (track, seq), plus the interned names and per-track drop accounting.

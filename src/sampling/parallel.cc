@@ -167,7 +167,14 @@ Result<FaultAwareSampleResult> ParallelUniSSampleWithFaults(
   auto task = [&](int chunk_index) -> Status {
     Rng rng(options.seed +
             kStreamStride * (static_cast<uint64_t>(chunk_index) + 1));
-    AccessSession session = accessor.StartSession(obs.metrics, obs.recorder);
+    // One transport channel per chunk stream, living exactly as long as
+    // the session that owns it. Outcomes stay keyed by (source, global
+    // slot epoch, attempt) endpoint-side, so transported chunks keep the
+    // width-invariance contract.
+    std::unique_ptr<VisitTransport> channel;
+    if (options.transport_factory) channel = options.transport_factory();
+    AccessSession session =
+        accessor.StartSession(obs.metrics, obs.recorder, channel.get());
     const int begin = chunk_index * chunk;
     const int count = std::min(chunk, n - begin);
     Status status;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,14 @@ struct ParallelSampleOptions {
   // the shared uniS draw/visit counters plus a per-chunk draw-count
   // histogram, and the pool adds its queue/task/latency series.
   ObsOptions obs;
+  // When set, every chunk's AccessSession routes its visits through a
+  // fresh transport channel from this factory (one channel per stream, the
+  // AccessSession contract) instead of the inline fault simulation. The
+  // factory must be thread-safe — chunks call it concurrently — and is
+  // typically AsyncSourceTransport::OpenChannel behind a lambda. Null
+  // keeps the simulated seam. Only ParallelUniSSampleWithFaults consults
+  // this; the fault-free paths never visit sources through the seam.
+  std::function<std::unique_ptr<VisitTransport>()> transport_factory;
 };
 
 // Fills one chunk of the output: `rng` is seeded from the chunk index and

@@ -55,10 +55,9 @@ Result<UniSSampler> UniSSampler::Create(const SourceSet* sources,
 
 void UniSSampler::BuildIndex() {
   const size_t m = query_.components.size();
-  std::unordered_map<ComponentId, int> position;
-  position.reserve(m);
+  position_.reserve(m);
   for (size_t i = 0; i < m; ++i) {
-    position[query_.components[i]] = static_cast<int>(i);
+    position_[query_.components[i]] = static_cast<int>(i);
   }
   const int num_sources = sources_->NumSources();
   per_source_.assign(static_cast<size_t>(num_sources), {});
@@ -67,8 +66,8 @@ void UniSSampler::BuildIndex() {
     const DataSource& source = sources_->source(s);
     auto& list = per_source_[static_cast<size_t>(s)];
     for (const auto& [component, value] : source.SortedBindings()) {
-      const auto it = position.find(component);
-      if (it == position.end()) continue;
+      const auto it = position_.find(component);
+      if (it == position_.end()) continue;
       list.emplace_back(it->second, value);
       covering_[static_cast<size_t>(it->second)].push_back(s);
     }
@@ -156,6 +155,17 @@ Result<UniSSample> UniSSampler::SampleOneDegraded(
     order.push_back(s);
   }
   rng.Shuffle(order);
+  if (session.transport_attached()) {
+    // Stage the shuffled order so a pipelined transport can prefetch the
+    // visit sequence ahead of consumption. Staging never touches the rng
+    // or the virtual clock, so the drawn sample is unchanged.
+    std::vector<int> counts(order.size(), 0);
+    for (size_t i = 0; i < order.size(); ++i) {
+      counts[i] = static_cast<int>(
+          per_source_[static_cast<size_t>(order[i])].size());
+    }
+    session.StageVisits(order, counts);
+  }
 
   std::vector<char> covered(static_cast<size_t>(m), 0);
   int num_covered = 0;
@@ -184,13 +194,31 @@ Result<UniSSample> UniSSampler::SampleOneDegraded(
       continue;
     }
     int taken = 0;
-    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
-      if (covered[static_cast<size_t>(pos)]) continue;
-      if (session.ValueCorrupted(s, pos)) continue;
-      covered[static_cast<size_t>(pos)] = 1;
-      ++num_covered;
-      partial->Add(value);
-      ++taken;
+    if (session.transport_attached()) {
+      // Bind from the transferred payload: the wire carries the source's
+      // full sorted bindings, and filtering them through the query position
+      // map reproduces per_source_'s (pos, value) sequence exactly — so a
+      // model-virtual transport draw is bit-identical to a simulated one.
+      for (const TransportBinding& binding : session.last_payload()) {
+        const auto it = position_.find(binding.component);
+        if (it == position_.end()) continue;
+        const int pos = it->second;
+        if (covered[static_cast<size_t>(pos)]) continue;
+        if (session.ValueCorrupted(s, pos)) continue;
+        covered[static_cast<size_t>(pos)] = 1;
+        ++num_covered;
+        partial->Add(binding.value);
+        ++taken;
+      }
+    } else {
+      for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+        if (covered[static_cast<size_t>(pos)]) continue;
+        if (session.ValueCorrupted(s, pos)) continue;
+        covered[static_cast<size_t>(pos)] = 1;
+        ++num_covered;
+        partial->Add(value);
+        ++taken;
+      }
     }
     sample.visits.push_back(UniSVisit{s, taken});
     if (taken > 0) ++sample.sources_contributing;

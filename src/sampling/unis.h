@@ -14,6 +14,7 @@
 #define VASTATS_SAMPLING_UNIS_H_
 
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "datagen/source_accessor.h"
@@ -166,6 +167,9 @@ class UniSSampler {
   std::vector<std::vector<std::pair<int, double>>> per_source_;
   // covering_[pos] lists the source indices binding component `pos`.
   std::vector<std::vector<int>> covering_;
+  // ComponentId -> query position, for binding transported payloads (which
+  // carry the source's full sorted bindings, not the query-filtered list).
+  std::unordered_map<ComponentId, int> position_;
 };
 
 }  // namespace vastats

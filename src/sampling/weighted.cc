@@ -65,6 +65,33 @@ Result<std::vector<double>> EstimateSourceQuality(
   return weights;
 }
 
+Result<std::vector<double>> ApplyBreakerSeverityPriors(
+    std::vector<double> weights, std::span<const uint8_t> breaker_severity,
+    const BreakerSeverityPriorOptions& options) {
+  if (!(options.half_open_factor > 0.0 && options.half_open_factor <= 1.0) ||
+      !(options.open_factor > 0.0 && options.open_factor <= 1.0)) {
+    return Status::InvalidArgument(
+        "breaker severity factors must be in (0, 1]");
+  }
+  if (!(options.min_weight > 0.0)) {
+    return Status::InvalidArgument("min_weight must be > 0");
+  }
+  if (breaker_severity.size() > weights.size()) {
+    return Status::InvalidArgument(
+        "breaker_severity covers more sources than the weight vector");
+  }
+  for (size_t s = 0; s < breaker_severity.size(); ++s) {
+    double factor = 1.0;
+    if (breaker_severity[s] == 1) {
+      factor = options.half_open_factor;
+    } else if (breaker_severity[s] >= 2) {
+      factor = options.open_factor;
+    }
+    weights[s] = std::max(options.min_weight, weights[s] * factor);
+  }
+  return weights;
+}
+
 WeightedUniSSampler::WeightedUniSSampler(const SourceSet* sources,
                                          AggregateQuery query,
                                          std::vector<double> weights)
@@ -96,16 +123,15 @@ Result<WeightedUniSSampler> WeightedUniSSampler::Create(
 
 void WeightedUniSSampler::BuildIndex() {
   const size_t m = query_.components.size();
-  std::unordered_map<ComponentId, int> position;
-  position.reserve(m);
+  position_.reserve(m);
   for (size_t i = 0; i < m; ++i) {
-    position[query_.components[i]] = static_cast<int>(i);
+    position_[query_.components[i]] = static_cast<int>(i);
   }
   per_source_.assign(static_cast<size_t>(sources_->NumSources()), {});
   for (int s = 0; s < sources_->NumSources(); ++s) {
     for (const auto& [component, value] : sources_->source(s).SortedBindings()) {
-      const auto it = position.find(component);
-      if (it == position.end()) continue;
+      const auto it = position_.find(component);
+      if (it == position_.end()) continue;
       per_source_[static_cast<size_t>(s)].emplace_back(it->second, value);
     }
   }
@@ -153,6 +179,18 @@ Result<UniSSample> WeightedUniSSampler::SampleOneDegraded(
         rng.Exponential(weights_[static_cast<size_t>(s)]), s};
   }
   std::sort(keyed.begin(), keyed.end());
+  if (session.transport_attached()) {
+    // Stage the weighted order for prefetch, exactly as UniSSampler does
+    // with its uniform shuffle (see SampleOneDegraded there).
+    std::vector<int> order(keyed.size(), 0);
+    std::vector<int> counts(keyed.size(), 0);
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      order[i] = keyed[i].second;
+      counts[i] = static_cast<int>(
+          per_source_[static_cast<size_t>(keyed[i].second)].size());
+    }
+    session.StageVisits(order, counts);
+  }
 
   std::vector<char> covered(static_cast<size_t>(m), 0);
   int num_covered = 0;
@@ -180,13 +218,29 @@ Result<UniSSample> WeightedUniSSampler::SampleOneDegraded(
       continue;
     }
     int taken = 0;
-    for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
-      if (covered[static_cast<size_t>(pos)]) continue;
-      if (session.ValueCorrupted(s, pos)) continue;
-      covered[static_cast<size_t>(pos)] = 1;
-      ++num_covered;
-      partial->Add(value);
-      ++taken;
+    if (session.transport_attached()) {
+      // Transported payloads carry the full sorted bindings; the position
+      // map filter reproduces per_source_'s sequence (see UniSSampler).
+      for (const TransportBinding& binding : session.last_payload()) {
+        const auto it = position_.find(binding.component);
+        if (it == position_.end()) continue;
+        const int pos = it->second;
+        if (covered[static_cast<size_t>(pos)]) continue;
+        if (session.ValueCorrupted(s, pos)) continue;
+        covered[static_cast<size_t>(pos)] = 1;
+        ++num_covered;
+        partial->Add(binding.value);
+        ++taken;
+      }
+    } else {
+      for (const auto& [pos, value] : per_source_[static_cast<size_t>(s)]) {
+        if (covered[static_cast<size_t>(pos)]) continue;
+        if (session.ValueCorrupted(s, pos)) continue;
+        covered[static_cast<size_t>(pos)] = 1;
+        ++num_covered;
+        partial->Add(value);
+        ++taken;
+      }
     }
     sample.visits.push_back(UniSVisit{s, taken});
     if (taken > 0) ++sample.sources_contributing;

@@ -16,7 +16,9 @@
 #ifndef VASTATS_SAMPLING_WEIGHTED_H_
 #define VASTATS_SAMPLING_WEIGHTED_H_
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "datagen/source_accessor.h"
@@ -44,6 +46,27 @@ struct SourceQualityOptions {
 Result<std::vector<double>> EstimateSourceQuality(
     const SourceSet& sources, std::span<const ComponentId> components,
     const SourceQualityOptions& options = {});
+
+// How hard breaker severity discounts a source's quality prior. Factors
+// are multiplicative and must sit in (0, 1]; `min_weight` keeps every
+// source reachable (a zero weight would starve half-open probes and the
+// breaker could never close again).
+struct BreakerSeverityPriorOptions {
+  double half_open_factor = 0.5;  // severity 1: probing after a cooldown
+  double open_factor = 0.1;       // severity 2: breaker currently open
+  double min_weight = 1e-6;
+};
+
+// Folds observed access health back into the visiting-order priors: each
+// source's weight is discounted by the worst breaker severity a previous
+// extraction recorded for it (AccessStats::breaker_severity), so degraded
+// sources are actively avoided by the next weighted run instead of merely
+// being refreshed first by the monitor. `breaker_severity` may be shorter
+// than `weights` (or empty — e.g. before any degraded run finished);
+// missing entries mean "closed" and keep their weight.
+Result<std::vector<double>> ApplyBreakerSeverityPriors(
+    std::vector<double> weights, std::span<const uint8_t> breaker_severity,
+    const BreakerSeverityPriorOptions& options = {});
 
 // uniS with a weighted-random source visiting order. With equal weights it
 // coincides with UniSSampler (in distribution).
@@ -92,6 +115,8 @@ class WeightedUniSSampler {
   std::vector<double> weights_;
   // per_source_[s] lists (query position, value) pairs, as in UniSSampler.
   std::vector<std::vector<std::pair<int, double>>> per_source_;
+  // ComponentId -> query position, for binding transported payloads.
+  std::unordered_map<ComponentId, int> position_;
 };
 
 }  // namespace vastats

@@ -1,0 +1,545 @@
+#include "transport/async_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace vastats::transport {
+namespace {
+
+bool WriteAll(int fd, std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status HedgeOptions::Validate() const {
+  if (percentile < 0.0 || percentile > 1.0) {
+    return Status::InvalidArgument(
+        "HedgeOptions.percentile must be in [0, 1]");
+  }
+  if (multiplier < 1.0) {
+    return Status::InvalidArgument("HedgeOptions.multiplier must be >= 1");
+  }
+  if (min_samples < 1) {
+    return Status::InvalidArgument("HedgeOptions.min_samples must be >= 1");
+  }
+  if (min_cutoff_ms < 0.0) {
+    return Status::InvalidArgument("HedgeOptions.min_cutoff_ms must be >= 0");
+  }
+  if (enabled && (max_hedges_per_attempt < 1 || max_hedges_per_attempt > 8)) {
+    return Status::InvalidArgument(
+        "HedgeOptions.max_hedges_per_attempt must be in [1, 8]");
+  }
+  return Status::Ok();
+}
+
+Status TransportOptions::Validate() const {
+  VASTATS_RETURN_IF_ERROR(endpoint.Validate());
+  VASTATS_RETURN_IF_ERROR(hedge.Validate());
+  if (max_in_flight < 1 || max_in_flight > 1024) {
+    return Status::InvalidArgument(
+        "TransportOptions.max_in_flight must be in [1, 1024]");
+  }
+  if (latency_mode == LatencyChargeMode::kWallMapped &&
+      virtual_ms_per_wall_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "TransportOptions.virtual_ms_per_wall_ms must be > 0 in wall-mapped "
+        "mode");
+  }
+  if (poll_quantum_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "TransportOptions.poll_quantum_ms must be > 0");
+  }
+  if (latency_window < 4) {
+    return Status::InvalidArgument(
+        "TransportOptions.latency_window must be >= 4");
+  }
+  return Status::Ok();
+}
+
+void TransportCounters::Merge(const TransportCounters& other) {
+  requests += other.requests;
+  responses += other.responses;
+  prefetches_issued += other.prefetches_issued;
+  prefetches_wasted += other.prefetches_wasted;
+  hedges_fired += other.hedges_fired;
+  hedges_won += other.hedges_won;
+  hedges_cancelled += other.hedges_cancelled;
+  bytes_received += other.bytes_received;
+  peak_in_flight = std::max(peak_in_flight, other.peak_in_flight);
+}
+
+Result<std::unique_ptr<AsyncSourceTransport>> AsyncSourceTransport::Create(
+    const SourceSet& sources, const FaultModel* model,
+    TransportOptions options) {
+  VASTATS_RETURN_IF_ERROR(options.Validate());
+  VASTATS_ASSIGN_OR_RETURN(
+      std::unique_ptr<EndpointGroup> endpoint,
+      EndpointGroup::Create(sources, model, options.endpoint));
+  return std::unique_ptr<AsyncSourceTransport>(
+      new AsyncSourceTransport(std::move(options), std::move(endpoint)));
+}
+
+AsyncSourceTransport::AsyncSourceTransport(
+    TransportOptions options, std::unique_ptr<EndpointGroup> endpoint)
+    : options_(std::move(options)), endpoint_(std::move(endpoint)) {}
+
+Result<std::unique_ptr<TransportChannel>> AsyncSourceTransport::OpenChannel(
+    MetricsRegistry* metrics, FlightRecorder* recorder) {
+  if (options_.endpoint.backend == EndpointBackend::kSocketPair) {
+    int client_fd = -1;
+    VASTATS_ASSIGN_OR_RETURN(const uint64_t id,
+                             endpoint_->RegisterChannelFd(&client_fd));
+    return std::unique_ptr<TransportChannel>(
+        new TransportChannel(this, id, client_fd, metrics, recorder));
+  }
+  // In-process: the channel itself is the response sink, so it must exist
+  // before the endpoint learns its id.
+  std::unique_ptr<TransportChannel> channel(
+      new TransportChannel(this, 0, -1, metrics, recorder));
+  channel->channel_id_ = endpoint_->RegisterChannel(channel.get());
+  return channel;
+}
+
+TransportCounters AsyncSourceTransport::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
+}
+
+void AsyncSourceTransport::MergeCounters(const TransportCounters& counters) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  merged_.Merge(counters);
+}
+
+TransportChannel::TransportChannel(AsyncSourceTransport* owner,
+                                   uint64_t channel_id, int client_fd,
+                                   MetricsRegistry* metrics,
+                                   FlightRecorder* recorder)
+    : owner_(owner),
+      channel_id_(channel_id),
+      client_fd_(client_fd),
+      metrics_(metrics),
+      recorder_(recorder),
+      budget_map_(owner->options_.virtual_ms_per_wall_ms),
+      estimator_(owner->options_.latency_window) {
+  if (client_fd_ >= 0) {
+    // Non-blocking client end: one readiness wakeup drains every buffered
+    // frame; actual waiting happens in poll().
+    const int flags = ::fcntl(client_fd_, F_GETFL, 0);
+    (void)::fcntl(client_fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  if (recorder_ != nullptr) {
+    in_flight_name_id_ = recorder_->InternName("transport_in_flight");
+    hedge_fired_name_id_ = recorder_->InternName("transport_hedge_fired");
+    hedge_won_name_id_ = recorder_->InternName("transport_hedge_won");
+    hedge_cancelled_name_id_ =
+        recorder_->InternName("transport_hedge_cancelled");
+  }
+}
+
+TransportChannel::~TransportChannel() {
+  // After UnregisterChannel returns, no endpoint thread can call
+  // DeliverFrame or write our fd; everything still outstanding is lost,
+  // which the counters record as waste.
+  owner_->endpoint_->UnregisterChannel(channel_id_);
+  if (client_fd_ >= 0) ::close(client_fd_);
+  for (const Pending& pending : pending_) {
+    if (pending.prefetch) ++counters_.prefetches_wasted;
+  }
+  for (const Orphan& orphan : orphans_) {
+    if (orphan.count_as_wasted_prefetch) ++counters_.prefetches_wasted;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("transport_requests_total")
+        .Increment(counters_.requests);
+    metrics_->GetCounter("transport_responses_total")
+        .Increment(counters_.responses);
+    metrics_->GetCounter("transport_prefetches_issued_total")
+        .Increment(counters_.prefetches_issued);
+    metrics_->GetCounter("transport_prefetches_wasted_total")
+        .Increment(counters_.prefetches_wasted);
+    metrics_->GetCounter("transport_hedges_fired_total")
+        .Increment(counters_.hedges_fired);
+    metrics_->GetCounter("transport_hedges_won_total")
+        .Increment(counters_.hedges_won);
+    metrics_->GetCounter("transport_hedges_cancelled_total")
+        .Increment(counters_.hedges_cancelled);
+    metrics_->GetCounter("transport_bytes_received_total")
+        .Increment(counters_.bytes_received);
+  }
+  owner_->MergeCounters(counters_);
+}
+
+void TransportChannel::StageVisitOrder(int64_t epoch,
+                                       std::span<const int> order,
+                                       std::span<const int> counts) {
+  IngestArrivals();
+  // Whatever the previous draw staged but never consumed is dead now.
+  std::vector<uint64_t> stale;
+  for (const Pending& pending : pending_) {
+    if (pending.prefetch) stale.push_back(pending.id);
+  }
+  for (const uint64_t id : stale) Discard(id, /*count_as_wasted=*/true);
+
+  staged_.clear();
+  staged_epoch_ = epoch;
+  if (owner_->options_.max_in_flight <= 1) return;  // sync mode: no lookahead
+  staged_.reserve(order.size());
+  for (size_t i = 0; i < order.size() && i < counts.size(); ++i) {
+    staged_.push_back(StagedVisit{order[i], counts[i], false});
+  }
+  TopUpPrefetches();
+}
+
+TransportAttemptResult TransportChannel::PerformAttempt(int source,
+                                                        int64_t epoch,
+                                                        int attempt,
+                                                        int num_components) {
+  IngestArrivals();
+
+  const auto find_pending = [&]() -> const Pending* {
+    for (const Pending& pending : pending_) {
+      if (pending.source == source && pending.epoch == epoch &&
+          pending.attempt == attempt) {
+        return &pending;
+      }
+    }
+    return nullptr;
+  };
+
+  const Pending* hit = find_pending();
+  if (hit != nullptr && hit->prefetch) {
+    // Staged prefetches issue in visit order, so any *earlier* unconsumed
+    // prefetch of this epoch belongs to a source the draw skipped (open
+    // breaker): orphan them now rather than at the draw boundary, freeing
+    // their in-flight slots for the top-up below.
+    std::vector<uint64_t> skipped;
+    for (const Pending& pending : pending_) {
+      if (pending.id == hit->id) break;
+      if (pending.prefetch && pending.epoch == epoch) {
+        skipped.push_back(pending.id);
+      }
+    }
+    for (const uint64_t id : skipped) Discard(id, /*count_as_wasted=*/true);
+    hit = find_pending();
+  }
+
+  uint64_t primary_id;
+  double primary_issued_ms;
+  if (hit != nullptr) {
+    primary_id = hit->id;
+    primary_issued_ms = hit->issued_wall_ms;
+  } else {
+    // Nothing staged for this key (sync mode, a retry attempt, or an
+    // unannounced visit): issue on demand.
+    primary_id = IssueRequest(source, epoch, attempt, num_components,
+                              /*prefetch=*/false);
+    primary_issued_ms = pending_.back().issued_wall_ms;
+  }
+
+  const HedgeOptions& hedge = owner_->options_.hedge;
+  const double cutoff_ms =
+      hedge.enabled ? estimator_.CutoffMs(hedge.percentile, hedge.multiplier,
+                                          hedge.min_samples,
+                                          hedge.min_cutoff_ms)
+                    : std::numeric_limits<double>::infinity();
+
+  std::vector<std::pair<uint64_t, double>> hedges;  // id, issued wall ms
+  const uint64_t visit_aux = PackTransportVisit(source, epoch, attempt);
+  const double wait_start_ms = wall_.NowMs();
+  double last_issue_ms = primary_issued_ms;
+
+  uint64_t winner_id = 0;
+  double winner_issued_ms = 0.0;
+  Arrived arrived;
+  while (true) {
+    int ready = FindReady(primary_id);
+    winner_id = primary_id;
+    winner_issued_ms = primary_issued_ms;
+    if (ready < 0) {
+      for (const auto& [hedge_id, issued_ms] : hedges) {
+        ready = FindReady(hedge_id);
+        if (ready >= 0) {
+          winner_id = hedge_id;
+          winner_issued_ms = issued_ms;
+          break;
+        }
+      }
+    }
+    if (ready >= 0) {
+      arrived = std::move(ready_[static_cast<size_t>(ready)].second);
+      ready_.erase(ready_.begin() + ready);
+      break;
+    }
+
+    const bool may_hedge =
+        std::isfinite(cutoff_ms) &&
+        static_cast<int>(hedges.size()) < hedge.max_hedges_per_attempt;
+    if (may_hedge && wall_.NowMs() - last_issue_ms >= cutoff_ms) {
+      const uint64_t hedge_id = IssueRequest(source, epoch, attempt,
+                                             num_components,
+                                             /*prefetch=*/false);
+      last_issue_ms = pending_.back().issued_wall_ms;
+      hedges.emplace_back(hedge_id, last_issue_ms);
+      ++counters_.hedges_fired;
+      RecordEvent(FlightEventKind::kTransportHedgeFired, hedge_fired_name_id_,
+                  cutoff_ms, visit_aux);
+    }
+
+    // With hedging armed we must wake to check the cutoff; otherwise sleep
+    // until the endpoint delivers.
+    const bool must_poll =
+        std::isfinite(cutoff_ms) &&
+        static_cast<int>(hedges.size()) < hedge.max_hedges_per_attempt;
+    AwaitArrivals(must_poll ? owner_->options_.poll_quantum_ms : -1.0);
+  }
+
+  const double now_ms = wall_.NowMs();
+  const double round_trip_ms = std::max(0.0, arrived.wall_ms - winner_issued_ms);
+  estimator_.Observe(round_trip_ms);
+
+  if (winner_id != primary_id) {
+    ++counters_.hedges_won;
+    RecordEvent(FlightEventKind::kTransportHedgeWon, hedge_won_name_id_,
+                round_trip_ms, visit_aux);
+    Discard(primary_id, /*count_as_wasted=*/false);
+  } else {
+    std::erase_if(pending_,
+                  [primary_id](const Pending& p) { return p.id == primary_id; });
+  }
+  for (const auto& [hedge_id, issued_ms] : hedges) {
+    if (hedge_id == winner_id) {
+      std::erase_if(pending_,
+                    [hedge_id](const Pending& p) { return p.id == hedge_id; });
+      continue;
+    }
+    ++counters_.hedges_cancelled;
+    RecordEvent(FlightEventKind::kTransportHedgeCancelled,
+                hedge_cancelled_name_id_, std::max(0.0, now_ms - issued_ms),
+                visit_aux);
+    Discard(hedge_id, /*count_as_wasted=*/false);
+  }
+
+  TransportAttemptResult result;
+  result.failed = arrived.response.failed;
+  if (owner_->options_.latency_mode == LatencyChargeMode::kModelVirtual) {
+    result.virtual_ms = arrived.response.virtual_ms;
+  } else {
+    // Charge only the time this visit actually blocked the stream: a
+    // prefetched response that already arrived costs (nearly) nothing,
+    // which is exactly the overlap the pipeline buys.
+    result.virtual_ms = budget_map_.ToVirtualMs(now_ms - wait_start_ms);
+  }
+  current_payload_ = std::move(arrived.response.payload);
+  if (!result.failed) {
+    result.payload = std::span<const TransportBinding>(current_payload_);
+  }
+  TopUpPrefetches();
+  return result;
+}
+
+void TransportChannel::DeliverFrame(std::string_view frame) {
+  WireResponse response;
+  const Result<size_t> consumed = DecodeResponseFrame(frame, &response);
+  if (!consumed.ok() || consumed.value() == 0) return;  // malformed: drop
+  Arrived arrived;
+  arrived.response = std::move(response);
+  arrived.wall_ms = wall_.NowMs();
+  arrived.frame_bytes = frame.size();
+  {
+    std::lock_guard<std::mutex> lock(arrivals_mutex_);
+    arrivals_.push_back(std::move(arrived));
+  }
+  arrivals_cv_.notify_one();
+}
+
+uint64_t TransportChannel::IssueRequest(int source, int64_t epoch, int attempt,
+                                        int num_components, bool prefetch) {
+  WireRequest request;
+  request.id = (channel_id_ << 40) + next_request_seq_++;
+  request.channel = channel_id_;
+  request.source = source;
+  request.epoch = epoch;
+  request.attempt = attempt;
+  request.num_components = num_components;
+
+  Pending pending;
+  pending.id = request.id;
+  pending.source = source;
+  pending.epoch = epoch;
+  pending.attempt = attempt;
+  pending.num_components = num_components;
+  pending.prefetch = prefetch;
+  pending.issued_wall_ms = wall_.NowMs();
+  pending_.push_back(pending);
+
+  ++counters_.requests;
+  SetInFlight(+1);
+
+  if (client_fd_ >= 0) {
+    tx_scratch_.clear();
+    AppendRequestFrame(request, &tx_scratch_);
+    (void)WriteAll(client_fd_, tx_scratch_);
+  } else {
+    owner_->endpoint_->Submit(request);
+  }
+  return request.id;
+}
+
+void TransportChannel::TopUpPrefetches() {
+  if (owner_->options_.max_in_flight <= 1) return;
+  for (StagedVisit& staged : staged_) {
+    if (in_flight_ >= owner_->options_.max_in_flight) break;
+    if (staged.issued) continue;
+    IssueRequest(staged.source, staged_epoch_, /*attempt=*/0,
+                 staged.num_components, /*prefetch=*/true);
+    staged.issued = true;
+    ++counters_.prefetches_issued;
+    RecordEvent(FlightEventKind::kTransportPrefetchIssued, in_flight_name_id_,
+                static_cast<double>(in_flight_),
+                PackTransportVisit(staged.source, staged_epoch_, 0));
+  }
+}
+
+void TransportChannel::IngestArrivals() { AwaitArrivals(0.0); }
+
+void TransportChannel::AwaitArrivals(double timeout_ms) {
+  if (client_fd_ >= 0) {
+    pollfd poll_fd{client_fd_, POLLIN, 0};
+    const int timeout =
+        timeout_ms < 0.0
+            ? -1
+            : static_cast<int>(std::ceil(std::max(0.0, timeout_ms)));
+    (void)::poll(&poll_fd, 1, timeout);
+    char buffer[65536];
+    while (true) {
+      const ssize_t n = ::read(client_fd_, buffer, sizeof(buffer));
+      if (n > 0) {
+        rx_buffer_.append(buffer, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EAGAIN (drained), EOF, or error
+    }
+    size_t consumed = 0;
+    while (true) {
+      WireResponse response;
+      const Result<size_t> decoded = DecodeResponseFrame(
+          std::string_view(rx_buffer_).substr(consumed), &response);
+      if (!decoded.ok()) {
+        // Unrecoverable framing corruption; drop the stream's buffer and
+        // let retry/breaker machinery absorb the stall.
+        rx_buffer_.clear();
+        return;
+      }
+      if (decoded.value() == 0) break;
+      Arrived arrived;
+      arrived.response = std::move(response);
+      arrived.wall_ms = wall_.NowMs();
+      arrived.frame_bytes = decoded.value();
+      consumed += decoded.value();
+      IngestOne(std::move(arrived));
+    }
+    if (consumed > 0) rx_buffer_.erase(0, consumed);
+    return;
+  }
+
+  std::vector<Arrived> taken;
+  {
+    std::unique_lock<std::mutex> lock(arrivals_mutex_);
+    if (arrivals_.empty() && timeout_ms != 0.0) {
+      const auto ready = [this] { return !arrivals_.empty(); };
+      if (timeout_ms < 0.0) {
+        arrivals_cv_.wait(lock, ready);
+      } else {
+        arrivals_cv_.wait_for(
+            lock, std::chrono::duration<double, std::milli>(timeout_ms),
+            ready);
+      }
+    }
+    taken.swap(arrivals_);
+  }
+  for (Arrived& arrived : taken) IngestOne(std::move(arrived));
+}
+
+void TransportChannel::IngestOne(Arrived arrived) {
+  ++counters_.responses;
+  counters_.bytes_received += arrived.frame_bytes;
+  SetInFlight(-1);
+
+  const uint64_t id = arrived.response.id;
+  for (size_t i = 0; i < orphans_.size(); ++i) {
+    if (orphans_[i].id != id) continue;
+    if (orphans_[i].count_as_wasted_prefetch) ++counters_.prefetches_wasted;
+    orphans_.erase(orphans_.begin() + static_cast<long>(i));
+    return;
+  }
+
+  for (const Pending& pending : pending_) {
+    if (pending.id != id) continue;
+    if (pending.prefetch) {
+      RecordEvent(FlightEventKind::kTransportPrefetchCompleted,
+                  in_flight_name_id_, static_cast<double>(in_flight_),
+                  PackTransportVisit(pending.source, pending.epoch,
+                                     pending.attempt));
+    }
+    break;
+  }
+  ready_.emplace_back(id, std::move(arrived));
+}
+
+void TransportChannel::Discard(uint64_t id, bool count_as_wasted_prefetch) {
+  std::erase_if(pending_, [id](const Pending& p) { return p.id == id; });
+  const int ready = FindReady(id);
+  if (ready >= 0) {
+    if (count_as_wasted_prefetch) ++counters_.prefetches_wasted;
+    ready_.erase(ready_.begin() + ready);
+    return;
+  }
+  orphans_.push_back(Orphan{id, count_as_wasted_prefetch});
+}
+
+int TransportChannel::FindReady(uint64_t id) const {
+  for (size_t i = 0; i < ready_.size(); ++i) {
+    if (ready_[i].first == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void TransportChannel::RecordEvent(FlightEventKind kind, uint32_t name_id,
+                                   double value, uint64_t aux) {
+  if (recorder_ == nullptr) return;
+  recorder_->Record(kind, name_id, value, aux);
+}
+
+void TransportChannel::SetInFlight(int delta) {
+  in_flight_ += delta;
+  if (in_flight_ < 0) in_flight_ = 0;
+  if (static_cast<uint64_t>(in_flight_) > counters_.peak_in_flight) {
+    counters_.peak_in_flight = static_cast<uint64_t>(in_flight_);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("transport_in_flight")
+        .Set(static_cast<double>(in_flight_));
+  }
+}
+
+}  // namespace vastats::transport

@@ -1,0 +1,276 @@
+// Asynchronous, pipelined source transport: the client side of the
+// VisitTransport seam.
+//
+// An AsyncSourceTransport owns an EndpointGroup (the sources' "server
+// side") and hands out TransportChannels — one per sampling stream, the
+// same one-stream-one-owner contract as AccessSession. A channel turns the
+// session's staged visit order into prefetched, pipelined attempt-0
+// requests with a bounded in-flight depth, so source latency overlaps both
+// compute and other sources' latency instead of serializing; with
+// `max_in_flight <= 1` the channel degenerates to strict synchronous
+// request/response, which is what bench/transport measures the pipeline
+// against.
+//
+// Determinism: everything the *samplers* observe — outcomes, payloads, the
+// virtual-ms deadline charges in kModelVirtual mode — is a pure function
+// of the keyed FaultModel, computed endpoint-side per (source, epoch,
+// attempt). Prefetch depth, hedging, thread scheduling, and wire
+// interleaving change only wall-clock timing and wall-side telemetry, so
+// a transported extraction is bit-identical to the simulated seam. The
+// kWallMapped mode deliberately trades that determinism away to let
+// deadline budgets meter real elapsed waiting (scaled by
+// `virtual_ms_per_wall_ms`); prefetched responses that already arrived
+// charge ~0, making overlap visible to the budget machinery.
+//
+// Hedging: once the channel has a latency picture (LatencyCutoffEstimator
+// over observed wall round-trips), an attempt that outlives the cutoff
+// percentile fires a duplicate request with a fresh id but the identical
+// (source, epoch, attempt) key. The endpoint computes the identical
+// outcome, so whichever copy arrives first is THE answer — a hedge can
+// only cut tail latency, never change results. Fired/won/cancelled edges
+// land in the flight recorder for trace inspection.
+
+#ifndef VASTATS_TRANSPORT_ASYNC_TRANSPORT_H_
+#define VASTATS_TRANSPORT_ASYNC_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/source_accessor.h"
+#include "obs/obs.h"
+#include "transport/clock_map.h"
+#include "transport/endpoint.h"
+#include "transport/wire.h"
+#include "util/status.h"
+
+namespace vastats::transport {
+
+// What one attempt charges against the session's virtual-time budgets.
+enum class LatencyChargeMode {
+  // The fault model's deterministic attempt latency, as returned by the
+  // endpoint. Bit-parity with the simulated seam; the default.
+  kModelVirtual,
+  // Measured wall time the session actually spent blocked on the attempt,
+  // scaled by TransportOptions.virtual_ms_per_wall_ms. Nondeterministic by
+  // design: budgets then meter reality, and prefetch overlap pays off as
+  // near-zero charges.
+  kWallMapped,
+};
+
+struct HedgeOptions {
+  bool enabled = false;
+  // Hedge when an attempt's wall age exceeds this percentile of observed
+  // round-trips, times `multiplier`.
+  double percentile = 0.95;
+  double multiplier = 2.0;
+  // No hedging until the estimator has this many observations.
+  int min_samples = 16;
+  // Floor for the computed cutoff, guarding against hedging storms when
+  // the observed latencies are tiny.
+  double min_cutoff_ms = 0.0;
+  int max_hedges_per_attempt = 1;
+
+  Status Validate() const;
+};
+
+struct TransportOptions {
+  EndpointOptions endpoint;
+  // Bound on requests outstanding per channel; <= 1 disables prefetching
+  // entirely (strict synchronous visits).
+  int max_in_flight = 4;
+  LatencyChargeMode latency_mode = LatencyChargeMode::kModelVirtual;
+  // kWallMapped only: virtual milliseconds charged per wall millisecond
+  // measurably spent blocked on the transport.
+  double virtual_ms_per_wall_ms = 1.0;
+  HedgeOptions hedge;
+  // Wait granularity while an attempt is outstanding and hedging is
+  // enabled (the channel must wake to check the cutoff).
+  double poll_quantum_ms = 0.2;
+  // Observation window of the per-channel latency estimator.
+  int latency_window = 128;
+
+  Status Validate() const;
+};
+
+// Channel telemetry, merged across closed channels by the transport.
+struct TransportCounters {
+  uint64_t requests = 0;            // wire requests issued (incl. hedges)
+  uint64_t responses = 0;           // wire responses ingested
+  uint64_t prefetches_issued = 0;   // staged attempt-0 requests sent early
+  uint64_t prefetches_wasted = 0;   // prefetches never consumed by a visit
+  uint64_t hedges_fired = 0;
+  uint64_t hedges_won = 0;          // duplicate beat the primary
+  uint64_t hedges_cancelled = 0;    // primary beat the duplicate
+  uint64_t bytes_received = 0;      // response frame bytes
+  uint64_t peak_in_flight = 0;      // high-water outstanding requests
+
+  void Merge(const TransportCounters& other);
+};
+
+class TransportChannel;
+
+// Owns the endpoint group and mints channels. Thread-safe; one transport
+// serves any number of concurrent streams, each through its own channel.
+class AsyncSourceTransport {
+ public:
+  // `sources` is snapshotted into endpoint payloads; `model` is borrowed
+  // (nullable = faultless instant endpoints) and must outlive the
+  // transport. For bit-parity with a simulated run, pass the SAME model
+  // here and to the SourceAccessor driving the sessions.
+  static Result<std::unique_ptr<AsyncSourceTransport>> Create(
+      const SourceSet& sources, const FaultModel* model,
+      TransportOptions options);
+
+  ~AsyncSourceTransport() = default;
+  AsyncSourceTransport(const AsyncSourceTransport&) = delete;
+  AsyncSourceTransport& operator=(const AsyncSourceTransport&) = delete;
+
+  // Opens a channel for one sampling stream. `metrics`/`recorder` are
+  // nullable and borrowed; the channel flushes its counters to `metrics`
+  // and journals transport events to `recorder`. The channel must be
+  // destroyed before the transport.
+  Result<std::unique_ptr<TransportChannel>> OpenChannel(
+      MetricsRegistry* metrics = nullptr, FlightRecorder* recorder = nullptr);
+
+  // Counters merged from every closed channel.
+  TransportCounters counters() const;
+
+  const TransportOptions& options() const { return options_; }
+
+ private:
+  friend class TransportChannel;
+
+  AsyncSourceTransport(TransportOptions options,
+                       std::unique_ptr<EndpointGroup> endpoint);
+
+  void MergeCounters(const TransportCounters& counters);
+
+  TransportOptions options_;
+  std::unique_ptr<EndpointGroup> endpoint_;
+
+  mutable std::mutex mutex_;
+  TransportCounters merged_;
+};
+
+// One stream's transport channel. NOT thread-safe on the VisitTransport
+// surface (one session per channel, like AccessSession); DeliverFrame is
+// the only cross-thread entry and is internally synchronized.
+class TransportChannel final : public VisitTransport, public ResponseSink {
+ public:
+  ~TransportChannel() override;
+  TransportChannel(const TransportChannel&) = delete;
+  TransportChannel& operator=(const TransportChannel&) = delete;
+
+  // VisitTransport:
+  void StageVisitOrder(int64_t epoch, std::span<const int> order,
+                       std::span<const int> counts) override;
+  TransportAttemptResult PerformAttempt(int source, int64_t epoch,
+                                        int attempt,
+                                        int num_components) override;
+
+  // ResponseSink (in-process delivery; called from endpoint service
+  // threads):
+  void DeliverFrame(std::string_view frame) override;
+
+  const TransportCounters& counters() const { return counters_; }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  friend class AsyncSourceTransport;
+
+  // One issued-but-unconsumed request (a staged prefetch or the demand
+  // request of an in-progress visit).
+  struct Pending {
+    uint64_t id = 0;
+    int source = 0;
+    int64_t epoch = 0;
+    int attempt = 0;
+    int num_components = 0;
+    bool prefetch = false;
+    double issued_wall_ms = 0.0;
+  };
+
+  // A response handed over by the endpoint, awaiting ingestion by the
+  // channel's owning thread.
+  struct Arrived {
+    WireResponse response;
+    double wall_ms = 0.0;
+    size_t frame_bytes = 0;
+  };
+
+  // An id whose response must be dropped on arrival: a prefetch whose
+  // visit never happened, or a hedge race's loser.
+  struct Orphan {
+    uint64_t id = 0;
+    bool count_as_wasted_prefetch = false;
+  };
+
+  // One staged visit of the current draw, in intended order.
+  struct StagedVisit {
+    int source = 0;
+    int num_components = 0;
+    bool issued = false;
+  };
+
+  TransportChannel(AsyncSourceTransport* owner, uint64_t channel_id,
+                   int client_fd, MetricsRegistry* metrics,
+                   FlightRecorder* recorder);
+
+  uint64_t IssueRequest(int source, int64_t epoch, int attempt,
+                        int num_components, bool prefetch);
+  void TopUpPrefetches();
+  // Moves endpoint-delivered (or fd-readable) responses into ready_,
+  // resolving orphans. Never blocks.
+  void IngestArrivals();
+  // Blocks up to `timeout_ms` (< 0 = indefinitely) for new arrivals.
+  void AwaitArrivals(double timeout_ms);
+  // Drops `id` from ready_/pending_ or registers it as an orphan.
+  void Discard(uint64_t id, bool count_as_wasted_prefetch);
+  // Index into ready_ for `id`, or -1.
+  int FindReady(uint64_t id) const;
+  void IngestOne(Arrived arrived);
+  void RecordEvent(FlightEventKind kind, uint32_t name_id, double value,
+                   uint64_t aux);
+  void SetInFlight(int delta);
+
+  AsyncSourceTransport* owner_;
+  uint64_t channel_id_ = 0;
+  int client_fd_ = -1;  // kSocketPair: client end, owned
+  MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+  uint32_t in_flight_name_id_ = 0;
+  uint32_t hedge_fired_name_id_ = 0;
+  uint32_t hedge_won_name_id_ = 0;
+  uint32_t hedge_cancelled_name_id_ = 0;
+
+  WallClock wall_;
+  WallBudgetMap budget_map_;
+  LatencyCutoffEstimator estimator_;
+
+  // Owning-thread state (A2: linear-scanned vectors, deterministic order).
+  std::vector<Pending> pending_;
+  std::vector<std::pair<uint64_t, Arrived>> ready_;
+  std::vector<Orphan> orphans_;
+  std::vector<StagedVisit> staged_;
+  int64_t staged_epoch_ = -1;
+  int in_flight_ = 0;
+  uint64_t next_request_seq_ = 0;
+  std::vector<TransportBinding> current_payload_;
+  std::string rx_buffer_;  // kSocketPair: partial response frames
+  std::string tx_scratch_;
+  TransportCounters counters_;
+
+  // Shared with endpoint service threads (in-process delivery).
+  std::mutex arrivals_mutex_;
+  std::condition_variable arrivals_cv_;
+  std::vector<Arrived> arrivals_;
+};
+
+}  // namespace vastats::transport
+
+#endif  // VASTATS_TRANSPORT_ASYNC_TRANSPORT_H_

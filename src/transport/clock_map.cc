@@ -1,0 +1,57 @@
+#include "transport/clock_map.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace vastats::transport {
+namespace {
+
+int64_t MonotonicNanos() {
+  // The transport's sanctioned wall-clock read (R7 allowlist entry in
+  // tools/analyze/engine.cc): hedging and wall-mapped budgets need a shared
+  // monotonic epoch that util/stopwatch's private start point cannot
+  // provide.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallClock::WallClock() : epoch_nanos_(MonotonicNanos()) {}
+
+double WallClock::NowMs() const {
+  return static_cast<double>(MonotonicNanos() - epoch_nanos_) * 1e-6;
+}
+
+LatencyCutoffEstimator::LatencyCutoffEstimator(int window_capacity)
+    : window_(static_cast<size_t>(std::max(4, window_capacity)), 0.0) {}
+
+void LatencyCutoffEstimator::Observe(double wall_ms) {
+  window_[next_] = wall_ms;
+  next_ = (next_ + 1) % window_.size();
+  ++count_;
+}
+
+double LatencyCutoffEstimator::CutoffMs(double percentile, double multiplier,
+                                        int min_samples,
+                                        double min_cutoff_ms) const {
+  const size_t filled = std::min(count_, window_.size());
+  if (count_ < static_cast<size_t>(std::max(1, min_samples))) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> sorted(window_.begin(),
+                             window_.begin() + static_cast<long>(filled));
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(percentile, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least `percentile` of the
+  // window at or below it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(filled)));
+  if (rank > 0) --rank;
+  return std::max(min_cutoff_ms, sorted[rank] * multiplier);
+}
+
+}  // namespace vastats::transport

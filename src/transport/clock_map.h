@@ -1,0 +1,86 @@
+// Wall-clock <-> virtual-time mapping for the async transport.
+//
+// The rest of the repository never reads a wall clock outside the
+// util/stopwatch facade (lint rule R7): fault simulation, deadlines, and
+// breaker cooldowns all run on the deterministic VirtualClock. A real
+// transport is the one place wall time legitimately enters the system —
+// requests spend actual microseconds in flight — so this file owns every
+// wall-clock read the transport makes (clock_map.cc carries the explicit
+// R7 allowlist entry in tools/analyze/engine.cc) and exposes only
+// millisecond arithmetic to the rest of src/transport:
+//
+//  * WallClock — monotonic milliseconds since construction, for hedge
+//    timing and latency observation;
+//  * WallBudgetMap — scales measured wall blocking time onto the virtual
+//    deadline budgets (`draw_deadline_ms`/`session_deadline_ms`), for the
+//    wall-mapped latency mode;
+//  * LatencyCutoffEstimator — a bounded window of observed request
+//    latencies with a deterministic nearest-rank percentile, deciding when
+//    a straggling visit earns a hedged duplicate.
+
+#ifndef VASTATS_TRANSPORT_CLOCK_MAP_H_
+#define VASTATS_TRANSPORT_CLOCK_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vastats::transport {
+
+// Monotonic wall milliseconds since construction. All transport
+// timestamps are relative to one channel-owned epoch, so they are small,
+// precise doubles rather than raw time_points.
+class WallClock {
+ public:
+  WallClock();
+  double NowMs() const;
+
+ private:
+  int64_t epoch_nanos_ = 0;
+};
+
+// Maps measured wall blocking time onto the virtual-ms deadline budgets.
+// With `virtual_ms_per_wall_ms` == 1 a draw's budget is literal wall
+// milliseconds spent waiting on the transport; other scales let simulated
+// budgets (tuned against the fault model's latency distribution) keep
+// their meaning when the injected endpoint latency runs compressed.
+class WallBudgetMap {
+ public:
+  explicit WallBudgetMap(double virtual_ms_per_wall_ms = 1.0)
+      : scale_(virtual_ms_per_wall_ms) {}
+
+  double ToVirtualMs(double wall_ms) const { return wall_ms * scale_; }
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+// Sliding window of observed request wall latencies with a deterministic
+// nearest-rank percentile cutoff. "Deterministic" here means: for a fixed
+// sequence of Observe calls, CutoffMs is a pure function — no randomness,
+// no clock reads — so hedge behaviour is reproducible from a latency log
+// even though wall latencies themselves are not.
+class LatencyCutoffEstimator {
+ public:
+  explicit LatencyCutoffEstimator(int window_capacity = 128);
+
+  void Observe(double wall_ms);
+  int count() const { return static_cast<int>(count_); }
+
+  // Nearest-rank `percentile` of the window, times `multiplier`, floored
+  // at `min_cutoff_ms`. Returns +infinity (never hedge) until at least
+  // `min_samples` observations arrived — hedging before the estimator has
+  // a latency picture would duplicate every request.
+  double CutoffMs(double percentile, double multiplier, int min_samples,
+                  double min_cutoff_ms) const;
+
+ private:
+  std::vector<double> window_;
+  size_t next_ = 0;
+  size_t count_ = 0;  // total observations (window holds min(count, cap))
+};
+
+}  // namespace vastats::transport
+
+#endif  // VASTATS_TRANSPORT_CLOCK_MAP_H_

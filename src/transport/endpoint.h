@@ -1,0 +1,179 @@
+// Source endpoints: the "server side" of the async transport.
+//
+// An EndpointGroup owns the sources' payloads (pre-encoded wire blobs, in
+// memory or spooled to files) and a pool of service threads that consume
+// request frames and produce response frames. Outcomes are computed
+// server-side from the SAME keyed FaultModel the simulated seam uses — a
+// request's (source, epoch, attempt) key fully determines failure and the
+// virtual-ms latency charge — so a client that drives the same visit
+// sequence over the transport reproduces the simulated seam bit-exactly,
+// no matter how requests interleave on the wire.
+//
+// Two channel media, one service path:
+//  * in-process — the channel hands request frames to Submit() and receives
+//    response frames through its ResponseSink; bytes cross a queue, not a
+//    kernel boundary;
+//  * socket pair — the channel owns one end of an AF_UNIX stream pair; a
+//    receive thread polls the endpoint ends for request frames and service
+//    threads write response frames back. Frames are identical either way.
+//
+// Wall time enters only as configured delay (service threads sleep
+// wall_ms_per_virtual_ms × the model's virtual latency, plus keyed
+// straggler stretches) — the endpoint never reads a wall clock, keeping
+// lint rule R7 confined to transport/clock_map.cc.
+
+#ifndef VASTATS_TRANSPORT_ENDPOINT_H_
+#define VASTATS_TRANSPORT_ENDPOINT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "datagen/fault_model.h"
+#include "datagen/source_set.h"
+#include "transport/wire.h"
+#include "util/status.h"
+
+namespace vastats::transport {
+
+enum class EndpointBackend {
+  // Request/response frames cross thread-safe queues inside the process.
+  kInProcess,
+  // Frames cross AF_UNIX socket pairs: real fds, real readiness polling,
+  // real partial reads.
+  kSocketPair,
+};
+
+struct EndpointOptions {
+  EndpointBackend backend = EndpointBackend::kInProcess;
+  // Service threads draining the shared request queue. More threads =
+  // more requests genuinely in flight at once.
+  int service_threads = 2;
+  // Spool payload blobs to files under a private temp directory and serve
+  // each request with a positioned read, instead of from memory.
+  bool file_backed_payloads = false;
+  // Wall milliseconds a service thread sleeps per virtual-ms of the
+  // model's attempt latency (0 = respond as fast as possible). Lets
+  // benches and hedging tests realize the model's latency distribution in
+  // actual wall time, compressed by any factor.
+  double wall_ms_per_virtual_ms = 0.0;
+  // Straggler injection: this fraction of requests (keyed by request id,
+  // so a hedged duplicate re-rolls) sleeps `straggler_multiplier` times
+  // longer. Models the long tail that hedging exists to cut.
+  double straggler_fraction = 0.0;
+  double straggler_multiplier = 8.0;
+  uint64_t straggler_seed = 0x57a661e5ULL;
+
+  Status Validate() const;
+};
+
+// Receives response frames for one in-process channel. Implementations
+// must be thread-safe: service threads call DeliverFrame concurrently.
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void DeliverFrame(std::string_view frame) = 0;
+};
+
+// A group of source endpoints sharing a service pool. Thread-safe.
+// Channels register and unregister dynamically; UnregisterChannel blocks
+// until the channel's queued and in-service requests have drained, after
+// which no thread touches the channel again.
+class EndpointGroup {
+ public:
+  // `sources` is snapshotted (payload blobs are encoded up front);
+  // `model` is borrowed (may be null = every attempt succeeds instantly)
+  // and must outlive the group.
+  static Result<std::unique_ptr<EndpointGroup>> Create(
+      const SourceSet& sources, const FaultModel* model,
+      EndpointOptions options);
+
+  ~EndpointGroup();
+
+  EndpointGroup(const EndpointGroup&) = delete;
+  EndpointGroup& operator=(const EndpointGroup&) = delete;
+
+  const EndpointOptions& options() const { return options_; }
+  int num_sources() const { return static_cast<int>(payloads_.size()); }
+
+  // Registers an in-process channel; response frames for its requests go
+  // to `sink` (borrowed; must stay valid until UnregisterChannel returns).
+  uint64_t RegisterChannel(ResponseSink* sink);
+
+  // Creates an AF_UNIX socket pair, keeps one end, and returns a channel
+  // whose other end (`client_fd`) the caller owns and must close after
+  // unregistering. Only valid on a kSocketPair group.
+  Result<uint64_t> RegisterChannelFd(int* client_fd);
+
+  // Drains and detaches a channel. After return the group holds no
+  // reference to the channel's sink or fd (the endpoint end of a socket
+  // pair is closed here; the client end is the caller's to close).
+  void UnregisterChannel(uint64_t channel);
+
+  // Enqueues one request (in-process channels; socket-pair channels write
+  // frames to their fd instead). Requests for unknown channels are
+  // dropped — the channel unregistered while requests were in flight.
+  void Submit(const WireRequest& request);
+
+ private:
+  struct Channel {
+    uint64_t id = 0;
+    ResponseSink* sink = nullptr;  // in-process delivery
+    int fd = -1;                   // socket-pair delivery (endpoint end)
+    std::string rx_buffer;         // partial request frames read from fd
+    int in_service = 0;            // requests currently being served
+    bool draining = false;         // unregister in progress: drop new work
+    std::mutex write_mutex;        // serializes response writes to fd/sink
+  };
+
+  EndpointGroup(const FaultModel* model, EndpointOptions options,
+                std::vector<std::string> payloads,
+                std::vector<int> payload_fds, std::string spool_dir);
+
+  void StartThreads();
+  void ServiceLoop();
+  void ReceiveLoop();
+
+  // Serves one request end-to-end: outcome, delay, frame, delivery.
+  void Serve(const WireRequest& request, Channel* channel);
+
+  // Reads the payload blob for `source` (memory or spool file).
+  std::string_view PayloadFor(int source, std::string* file_scratch) const;
+
+  Channel* LockedFindChannel(uint64_t id);
+  void WakeReceiver();
+
+  const FaultModel* model_;  // borrowed; may be null
+  EndpointOptions options_;
+  std::vector<std::string> payloads_;  // pre-encoded binding blobs
+  std::vector<int> payload_fds_;       // file-backed mode: one fd per blob
+  std::string spool_dir_;              // file-backed mode: temp directory
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // service threads wait here
+  std::condition_variable drain_cv_;  // UnregisterChannel waits here
+  std::deque<WireRequest> queue_;
+  // Linear-scanned vector, not a map: channel counts are small and vector
+  // scans keep iteration order deterministic (rule A2).
+  std::vector<std::unique_ptr<Channel>> channels_;
+  uint64_t next_channel_id_ = 1;
+  // Incremented by the receive thread each time it rebuilds its poll set;
+  // UnregisterChannel waits for an increment after marking a channel
+  // draining, proving the receiver will never poll that fd again.
+  uint64_t poll_generation_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> service_threads_;
+  std::thread receive_thread_;  // kSocketPair only
+  int wake_pipe_[2] = {-1, -1};
+};
+
+}  // namespace vastats::transport
+
+#endif  // VASTATS_TRANSPORT_ENDPOINT_H_

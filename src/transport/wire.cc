@@ -1,0 +1,111 @@
+#include "transport/wire.h"
+
+#include <cstring>
+
+namespace vastats::transport {
+namespace {
+
+// Distinct magics catch a reader pointed at the wrong stream direction.
+constexpr uint32_t kRequestMagic = 0x56545851u;   // "VTXQ"
+constexpr uint32_t kResponseMagic = 0x56545852u;  // "VTXR"
+
+template <typename T>
+void AppendPod(T value, std::string* out) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const char* bytes) {
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void AppendRequestFrame(const WireRequest& request, std::string* out) {
+  out->reserve(out->size() + kRequestFrameBytes);
+  AppendPod<uint32_t>(kRequestMagic, out);
+  AppendPod<int32_t>(request.source, out);
+  AppendPod<uint64_t>(request.id, out);
+  AppendPod<uint64_t>(request.channel, out);
+  AppendPod<int64_t>(request.epoch, out);
+  AppendPod<int32_t>(request.attempt, out);
+  AppendPod<int32_t>(request.num_components, out);
+}
+
+Result<size_t> DecodeRequestFrame(std::string_view bytes,
+                                  WireRequest* request) {
+  if (bytes.size() < kRequestFrameBytes) return size_t{0};
+  const char* p = bytes.data();
+  if (ReadPod<uint32_t>(p) != kRequestMagic) {
+    return Status::Internal("transport request frame has a corrupt magic");
+  }
+  request->source = ReadPod<int32_t>(p + 4);
+  request->id = ReadPod<uint64_t>(p + 8);
+  request->channel = ReadPod<uint64_t>(p + 16);
+  request->epoch = ReadPod<int64_t>(p + 24);
+  request->attempt = ReadPod<int32_t>(p + 32);
+  request->num_components = ReadPod<int32_t>(p + 36);
+  return kRequestFrameBytes;
+}
+
+void AppendResponseFrame(uint64_t id, bool failed, double virtual_ms,
+                         std::string_view payload_body, std::string* out) {
+  out->reserve(out->size() + kResponseHeaderBytes + payload_body.size());
+  AppendPod<uint32_t>(kResponseMagic, out);
+  AppendPod<uint32_t>(static_cast<uint32_t>(payload_body.size()), out);
+  AppendPod<uint64_t>(id, out);
+  AppendPod<double>(virtual_ms, out);
+  AppendPod<uint32_t>(failed ? 1u : 0u, out);
+  AppendPod<uint32_t>(
+      static_cast<uint32_t>(payload_body.size() / kBindingBytes), out);
+  AppendPod<uint64_t>(0, out);  // reserved
+  out->append(payload_body.data(), payload_body.size());
+}
+
+Result<size_t> DecodeResponseFrame(std::string_view bytes,
+                                   WireResponse* response) {
+  if (bytes.size() < kResponseHeaderBytes) return size_t{0};
+  const char* p = bytes.data();
+  if (ReadPod<uint32_t>(p) != kResponseMagic) {
+    return Status::Internal("transport response frame has a corrupt magic");
+  }
+  const size_t body_size = ReadPod<uint32_t>(p + 4);
+  if (bytes.size() < kResponseHeaderBytes + body_size) return size_t{0};
+  if (body_size % kBindingBytes != 0) {
+    return Status::Internal("transport response body is not binding-aligned");
+  }
+  response->id = ReadPod<uint64_t>(p + 8);
+  response->virtual_ms = ReadPod<double>(p + 16);
+  response->failed = ReadPod<uint32_t>(p + 24) != 0;
+  const size_t num_bindings = ReadPod<uint32_t>(p + 28);
+  if (num_bindings != body_size / kBindingBytes) {
+    return Status::Internal(
+        "transport response binding count disagrees with the body size");
+  }
+  response->payload.clear();
+  response->payload.reserve(num_bindings);
+  const char* body = p + kResponseHeaderBytes;
+  for (size_t i = 0; i < num_bindings; ++i) {
+    TransportBinding binding;
+    binding.component = ReadPod<int64_t>(body + i * kBindingBytes);
+    binding.value = ReadPod<double>(body + i * kBindingBytes + 8);
+    response->payload.push_back(binding);
+  }
+  return kResponseHeaderBytes + body_size;
+}
+
+std::string EncodeBindings(const std::vector<TransportBinding>& bindings) {
+  std::string body;
+  body.reserve(bindings.size() * kBindingBytes);
+  for (const TransportBinding& binding : bindings) {
+    AppendPod<int64_t>(binding.component, &body);
+    AppendPod<double>(binding.value, &body);
+  }
+  return body;
+}
+
+}  // namespace vastats::transport

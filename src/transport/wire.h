@@ -1,0 +1,85 @@
+// Wire framing for the async source transport.
+//
+// Both transport backends (in-process frame queues and AF_UNIX socket
+// pairs) move the same little-endian byte frames, so encode/decode is
+// exercised identically whichever medium carries them. A request names one
+// attempt of one visit — (source, epoch, attempt) is the same key the
+// FaultModel derives its decisions from, which is what makes a hedged
+// duplicate safe: it carries a fresh request id but the identical key, so
+// the endpoint computes the identical outcome and payload and the client
+// may keep whichever copy arrives first.
+//
+// Response frames are length-prefixed and self-delimiting: a stream reader
+// peeks the fixed header, learns the body size, and consumes exactly one
+// frame — partial reads simply wait for more bytes. Payload bodies are the
+// source's bindings in sorted order, 16 bytes per binding.
+
+#ifndef VASTATS_TRANSPORT_WIRE_H_
+#define VASTATS_TRANSPORT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/source_accessor.h"
+#include "util/status.h"
+
+namespace vastats::transport {
+
+// One attempt request. `id` is unique per request instance (hedged
+// duplicates get fresh ids); `channel` routes the response back to the
+// issuing channel.
+struct WireRequest {
+  uint64_t id = 0;
+  uint64_t channel = 0;
+  int32_t source = 0;
+  int64_t epoch = 0;
+  int32_t attempt = 0;
+  int32_t num_components = 0;
+};
+
+// One attempt response, decoded. `virtual_ms` is the simulated cost the
+// session charges against its deadline budgets (the fault model's
+// deterministic attempt latency); `payload` is empty when the attempt
+// failed.
+struct WireResponse {
+  uint64_t id = 0;
+  bool failed = true;
+  double virtual_ms = 0.0;
+  std::vector<TransportBinding> payload;
+};
+
+// Fixed frame sizes (see the encoders for the exact layouts).
+inline constexpr size_t kRequestFrameBytes = 40;
+inline constexpr size_t kResponseHeaderBytes = 40;
+inline constexpr size_t kBindingBytes = 16;
+
+// Appends one request frame to `out`.
+void AppendRequestFrame(const WireRequest& request, std::string* out);
+
+// Decodes one request frame from the front of `bytes`. Returns the bytes
+// consumed, or 0 when fewer than a whole frame is buffered. A corrupt
+// magic fails.
+Result<size_t> DecodeRequestFrame(std::string_view bytes,
+                                  WireRequest* request);
+
+// Appends one response frame: header plus `payload_body`, which must be a
+// blob previously produced by EncodeBindings (the per-source payload store
+// keeps these pre-encoded so serving a request is a header write plus one
+// memcpy/sendmsg of the blob).
+void AppendResponseFrame(uint64_t id, bool failed, double virtual_ms,
+                         std::string_view payload_body, std::string* out);
+
+// Decodes one response frame from the front of `bytes`. Returns the bytes
+// consumed, or 0 when the buffered prefix is shorter than the frame.
+Result<size_t> DecodeResponseFrame(std::string_view bytes,
+                                   WireResponse* response);
+
+// Encodes a binding list into a response payload body.
+std::string EncodeBindings(const std::vector<TransportBinding>& bindings);
+
+}  // namespace vastats::transport
+
+#endif  // VASTATS_TRANSPORT_WIRE_H_

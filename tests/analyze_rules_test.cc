@@ -52,6 +52,7 @@ TEST(AnalyzeRules, FixtureTreeFindsEveryPlantedViolation) {
       "A5 src/serving/rogue_cache.cc:8",
       "R7 src/stats/io_use.cc:10",
       "R3 src/stats/io_use.cc:9",
+      "R7 src/transport/rogue_clock.cc:11",
       "R6 tests/telemetry_test.cc:4",
       "A1 src/util/uplink.h:4",
       "A1 src/stats/cycle_a.h:4",

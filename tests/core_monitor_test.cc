@@ -313,6 +313,56 @@ TEST_F(MonitorTest, DegradedQueriesRefreshBeforeStableCleanOnes) {
   }
 }
 
+TEST_F(MonitorTest, QualityPriorsDownWeightOpenBreakerSources) {
+  FaultModelOptions fault_options;
+  fault_options.outage_fraction = 0.2;
+  fault_options.outage_epoch = 0;
+  fault_options.seed = 97;
+  const auto model = FaultModel::Create(30, fault_options);
+  ASSERT_TRUE(model.ok());
+  ExtractorOptions options = base_options_;
+  FaultToleranceOptions fault;
+  fault.model = &*model;
+  fault.min_draw_coverage = 0.2;
+  // Outage breakers must still be open when the session finishes, so the
+  // severity snapshot records them as severity 2 (not a half-open probe).
+  fault.breaker.cooldown_ms = 1e9;
+  options.fault_tolerance = fault;
+
+  ContinuousQueryMonitor healthy(&sources_, base_options_);
+  ContinuousQueryMonitor chaotic(&sources_, options);
+  const AggregateQuery query = MakeRangeQuery("q", AggregateKind::kSum, 0, 40);
+  const QueryId hid = healthy.Register(query).value();
+  const QueryId cid = chaotic.Register(query).value();
+
+  const auto base = healthy.QualityPriors(hid);
+  const auto adjusted = chaotic.QualityPriors(cid);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(adjusted.ok());
+  ASSERT_EQ(base->size(), 30u);
+  ASSERT_EQ(adjusted->size(), 30u);
+
+  const auto severity =
+      chaotic.Statistics(cid)->degradation.access.breaker_severity;
+  BreakerSeverityPriorOptions defaults;
+  bool saw_open = false;
+  for (size_t s = 0; s < adjusted->size(); ++s) {
+    const uint8_t sev = s < severity.size() ? severity[s] : 0;
+    if (sev >= 2) {
+      saw_open = true;
+      EXPECT_LT((*adjusted)[s], (*base)[s]);
+      EXPECT_DOUBLE_EQ((*adjusted)[s],
+                       std::max(defaults.min_weight,
+                                (*base)[s] * defaults.open_factor));
+    } else if (sev == 0) {
+      EXPECT_DOUBLE_EQ((*adjusted)[s], (*base)[s]);
+    }
+  }
+  EXPECT_TRUE(saw_open);
+  // The adjusted priors stay a valid weighted-sampler input.
+  EXPECT_TRUE(WeightedUniSSampler::Create(&sources_, query, *adjusted).ok());
+}
+
 TEST_F(MonitorTest, InvalidIdsRejected) {
   ContinuousQueryMonitor monitor(&sources_, base_options_);
   EXPECT_FALSE(monitor.Statistics(0).ok());

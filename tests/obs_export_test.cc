@@ -244,6 +244,57 @@ TEST(ObsExportChromeTraceTest, RingWrapShowsUpAsDroppedAndOrphaned) {
   }
 }
 
+TEST(ObsExportChromeTraceTest, TransportEventsRenderAsCounterAndInstants) {
+  FlightRecorder recorder{FlightRecorderOptions{}};
+  const uint32_t depth = recorder.InternName("transport_in_flight");
+  const uint64_t visit = PackTransportVisit(7, 3, 1);
+  recorder.Record(FlightEventKind::kTransportPrefetchIssued, depth, 2.0);
+  recorder.Record(FlightEventKind::kTransportPrefetchCompleted, depth, 1.0);
+  recorder.Record(FlightEventKind::kTransportHedgeFired, depth, 12.5, visit);
+  recorder.Record(FlightEventKind::kTransportHedgeWon, depth, 4.25, visit);
+  recorder.Record(FlightEventKind::kTransportHedgeCancelled, depth, 9.0,
+                  visit);
+
+  const auto text = ExportChromeTrace(recorder.Drain());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  const auto doc = ParseJson(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->FindArray("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // One thread-name metadata event for the track, then the five records.
+  ASSERT_EQ(events->items.size(), 6u);
+  EXPECT_EQ(events->items[0].FindString("ph")->string_value, "M");
+
+  // The prefetch pair draws one counter track tracing pipeline depth.
+  for (size_t i = 1; i < 3; ++i) {
+    const JsonValue& event = events->items[i];
+    EXPECT_EQ(event.FindString("ph")->string_value, "C");
+    EXPECT_EQ(event.FindString("name")->string_value, "transport_in_flight");
+    const JsonValue* args = event.FindObject("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->FindNumber("value")->number_value, i == 1 ? 2.0 : 1.0);
+  }
+
+  // Hedge lifecycle events are transport-category instants carrying the
+  // unpacked (source, epoch, attempt) visit key.
+  const char* names[] = {"transport_hedge_fired", "transport_hedge_won",
+                         "transport_hedge_cancelled"};
+  const char* ms_keys[] = {"cutoff_wall_ms", "wall_ms", "wall_ms"};
+  const double ms_values[] = {12.5, 4.25, 9.0};
+  for (size_t i = 0; i < 3; ++i) {
+    const JsonValue& event = events->items[3 + i];
+    EXPECT_EQ(event.FindString("ph")->string_value, "i");
+    EXPECT_EQ(event.FindString("cat")->string_value, "transport");
+    EXPECT_EQ(event.FindString("name")->string_value, names[i]);
+    const JsonValue* args = event.FindObject("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->FindNumber("source")->number_value, 7.0);
+    EXPECT_EQ(args->FindNumber("epoch")->number_value, 3.0);
+    EXPECT_EQ(args->FindNumber("attempt")->number_value, 1.0);
+    EXPECT_EQ(args->FindNumber(ms_keys[i])->number_value, ms_values[i]);
+  }
+}
+
 TEST(WriteTextFileTest, RoundTripsContent) {
   const std::string path =
       ::testing::TempDir() + "/vastats_obs_export_test.txt";

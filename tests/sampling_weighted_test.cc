@@ -85,6 +85,74 @@ TEST(EstimateSourceQualityTest, Validation) {
   EXPECT_FALSE(EstimateSourceQuality(sources, scope, bad).ok());
 }
 
+TEST(BreakerSeverityPriorsTest, Validation) {
+  BreakerSeverityPriorOptions bad;
+  bad.open_factor = 0.0;
+  EXPECT_FALSE(ApplyBreakerSeverityPriors({1.0}, {}, bad).ok());
+  bad = {};
+  bad.half_open_factor = 1.5;
+  EXPECT_FALSE(ApplyBreakerSeverityPriors({1.0}, {}, bad).ok());
+  const std::vector<uint8_t> severity = {0, 0};
+  EXPECT_FALSE(ApplyBreakerSeverityPriors({1.0}, severity).ok());
+}
+
+TEST(BreakerSeverityPriorsTest, OpenBreakerSourcesGetDownWeighted) {
+  const std::vector<double> weights = {0.8, 0.8, 0.8, 0.8};
+  // Source 1 is probing (half-open), source 2's breaker is open, 3 has no
+  // recorded severity (shorter vector = closed).
+  const std::vector<uint8_t> severity = {0, 1, 2};
+  const auto adjusted = ApplyBreakerSeverityPriors(weights, severity);
+  ASSERT_TRUE(adjusted.ok());
+  ASSERT_EQ(adjusted->size(), 4u);
+  EXPECT_DOUBLE_EQ((*adjusted)[0], 0.8);
+  EXPECT_DOUBLE_EQ((*adjusted)[1], 0.8 * 0.5);
+  EXPECT_DOUBLE_EQ((*adjusted)[2], 0.8 * 0.1);
+  EXPECT_DOUBLE_EQ((*adjusted)[3], 0.8);
+  EXPECT_LT((*adjusted)[2], (*adjusted)[1]);  // open hurts more than probing
+}
+
+TEST(BreakerSeverityPriorsTest, MinWeightKeepsEverySourceReachable) {
+  BreakerSeverityPriorOptions options;
+  options.open_factor = 1e-12;
+  const std::vector<uint8_t> severity = {2};
+  const auto adjusted =
+      ApplyBreakerSeverityPriors({1e-3}, severity, options);
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_DOUBLE_EQ((*adjusted)[0], options.min_weight);
+}
+
+TEST(BreakerSeverityPriorsTest, WeightedRunActivelyAvoidsOpenSource) {
+  // Regression for the ROADMAP loop: a source whose breaker opened during
+  // the previous extraction must be *avoided* by the next weighted run,
+  // not just refreshed first. With Figure 1 weights the D1-dominant answer
+  // (93) should all but vanish once D1's severity prior kicks in.
+  const SourceSet sources = testing::MakeFigure1Sources();
+  const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);
+  const std::vector<uint8_t> severity = {2, 0, 0, 0};  // D1 breaker open
+  const auto priors =
+      ApplyBreakerSeverityPriors({1.0, 1.0, 1.0, 1.0}, severity);
+  ASSERT_TRUE(priors.ok());
+  const auto uniform =
+      WeightedUniSSampler::Create(&sources, query, {1.0, 1.0, 1.0, 1.0});
+  const auto avoiding = WeightedUniSSampler::Create(&sources, query, *priors);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(avoiding.ok());
+  Rng rng_u(11), rng_a(11);
+  const auto uniform_samples = uniform->Sample(3000, rng_u);
+  const auto avoiding_samples = avoiding->Sample(3000, rng_a);
+  ASSERT_TRUE(uniform_samples.ok());
+  ASSERT_TRUE(avoiding_samples.ok());
+  const auto fraction_93 = [](const std::vector<double>& samples) {
+    int n = 0;
+    for (const double v : samples) {
+      if (v == 93.0) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples.size());
+  };
+  EXPECT_NEAR(fraction_93(*uniform_samples), 1.0 / 3.0, 0.05);
+  EXPECT_LT(fraction_93(*avoiding_samples), 0.12);
+}
+
 TEST(WeightedUniSSamplerTest, CreateValidatesWeights) {
   const SourceSet sources = testing::MakeFigure1Sources();
   const AggregateQuery query = testing::MakeFigure1Query(AggregateKind::kSum);

@@ -1,0 +1,384 @@
+// Fault-injection parity matrix: the real async transport must reproduce
+// the simulated fault seam bit-exactly. For each fault scenario (transient
+// failures, slow sources against deadline budgets, a permanent partial
+// outage, a total outage) the transported run's kept samples, coverages,
+// dropped-draw count, and merged AccessStats are compared field-for-field
+// against the simulated reference — across both endpoint backends, several
+// execution widths, and with hedging racing duplicates on the wire.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "datagen/distributions.h"
+#include "datagen/fault_model.h"
+#include "datagen/source_accessor.h"
+#include "datagen/source_builder.h"
+#include "sampling/parallel.h"
+#include "sampling/unis.h"
+#include "stats/aggregate_query.h"
+#include "test_util.h"
+#include "transport/async_transport.h"
+#include "util/thread_pool.h"
+
+namespace vastats {
+namespace {
+
+Result<SourceSet> BuildRedundantSources(uint64_t seed) {
+  SyntheticSourceSetOptions options;
+  options.num_sources = 30;
+  options.num_components = 60;
+  options.min_copies = 3;
+  options.max_copies = 5;
+  options.seed = seed;
+  const auto d2 = MakeD2(seed + 1);
+  return BuildSyntheticSourceSet(*d2, options);
+}
+
+void ExpectAccessStatsEq(const AccessStats& got, const AccessStats& want) {
+  EXPECT_EQ(got.visits, want.visits);
+  EXPECT_EQ(got.attempts, want.attempts);
+  EXPECT_EQ(got.retries, want.retries);
+  EXPECT_EQ(got.transient_failures, want.transient_failures);
+  EXPECT_EQ(got.failed_visits, want.failed_visits);
+  EXPECT_EQ(got.breaker_open_skips, want.breaker_open_skips);
+  EXPECT_EQ(got.corrupt_values_rejected, want.corrupt_values_rejected);
+  EXPECT_EQ(got.breaker_transitions, want.breaker_transitions);
+  EXPECT_EQ(got.deadline_truncated_draws, want.deadline_truncated_draws);
+  EXPECT_DOUBLE_EQ(got.virtual_ms, want.virtual_ms);
+  EXPECT_DOUBLE_EQ(got.backoff_ms, want.backoff_ms);
+  EXPECT_EQ(got.breaker_severity, want.breaker_severity);
+}
+
+void ExpectResultsEq(const FaultAwareSampleResult& got,
+                     const FaultAwareSampleResult& want) {
+  ASSERT_EQ(got.values.size(), want.values.size());
+  for (size_t i = 0; i < got.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got.values[i], want.values[i]);
+    EXPECT_DOUBLE_EQ(got.coverages[i], want.coverages[i]);
+  }
+  EXPECT_EQ(got.dropped_draws, want.dropped_draws);
+  ExpectAccessStatsEq(got.access, want.access);
+}
+
+struct ParityScenario {
+  const char* name;
+  FaultModelOptions fault;
+  RetryPolicy retry;
+  double min_coverage = 0.3;
+};
+
+std::vector<ParityScenario> ParityMatrix() {
+  std::vector<ParityScenario> scenarios;
+
+  ParityScenario transient;
+  transient.name = "transient_failures";
+  transient.fault.transient_failure_prob = 0.25;
+  transient.fault.failure_spread_sigma = 0.5;
+  transient.fault.corrupt_value_prob = 0.05;
+  transient.fault.seed = 8001;
+  scenarios.push_back(transient);
+
+  ParityScenario slow;
+  slow.name = "slow_sources_vs_deadlines";
+  slow.fault.latency_base_ms = 30.0;
+  slow.fault.latency_per_component_ms = 1.0;
+  slow.fault.latency_jitter_sigma = 0.4;
+  slow.fault.transient_failure_prob = 0.1;
+  slow.fault.seed = 8002;
+  slow.retry.draw_deadline_ms = 120.0;
+  slow.retry.session_deadline_ms = 30000.0;
+  slow.min_coverage = 0.1;
+  scenarios.push_back(slow);
+
+  ParityScenario outage;
+  outage.name = "permanent_partial_outage";
+  outage.fault.transient_failure_prob = 0.1;
+  outage.fault.outage_fraction = 0.25;
+  outage.fault.outage_epoch = 24;
+  outage.fault.seed = 8003;
+  scenarios.push_back(outage);
+
+  ParityScenario dark;
+  dark.name = "total_outage";
+  dark.fault.outage_fraction = 1.0;
+  dark.fault.outage_epoch = 0;
+  dark.fault.seed = 8004;
+  scenarios.push_back(dark);
+
+  return scenarios;
+}
+
+class TransportParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto set = BuildRedundantSources(51);
+    ASSERT_TRUE(set.ok());
+    sources_ = std::move(set).value();
+    auto sampler = UniSSampler::Create(
+        &sources_, MakeRangeQuery("parity", AggregateKind::kAverage, 0, 60));
+    ASSERT_TRUE(sampler.ok());
+    sampler_ = std::make_unique<UniSSampler>(std::move(sampler).value());
+  }
+
+  // One chaos run over the chunk-indexed driver; `transport` nullable.
+  Result<FaultAwareSampleResult> Run(const ParityScenario& scenario,
+                                     const FaultModel& model,
+                                     transport::AsyncSourceTransport* transport,
+                                     int num_threads,
+                                     ThreadPool* pool = nullptr) {
+    VASTATS_ASSIGN_OR_RETURN(
+        const SourceAccessor accessor,
+        SourceAccessor::Create(sources_.NumSources(), &model,
+                               scenario.retry));
+    ParallelSampleOptions options;
+    options.seed = 0xc0ffee;
+    options.chunk_draws = 32;
+    options.num_threads = num_threads;
+    options.pool = pool;
+    if (transport != nullptr) {
+      options.transport_factory =
+          [transport]() -> std::unique_ptr<VisitTransport> {
+        auto channel = transport->OpenChannel();
+        return channel.ok() ? std::move(channel).value() : nullptr;
+      };
+    }
+    return ParallelUniSSampleWithFaults(*sampler_, 128, accessor,
+                                        scenario.min_coverage, options);
+  }
+
+  SourceSet sources_;
+  std::unique_ptr<UniSSampler> sampler_;
+};
+
+TEST_F(TransportParityTest, MatrixMatchesSimulatedSeamAcrossBackends) {
+  for (const ParityScenario& scenario : ParityMatrix()) {
+    SCOPED_TRACE(scenario.name);
+    const auto model =
+        FaultModel::Create(sources_.NumSources(), scenario.fault);
+    ASSERT_TRUE(model.ok());
+    const auto reference = Run(scenario, *model, nullptr, 1);
+    ASSERT_TRUE(reference.ok());
+
+    for (const transport::EndpointBackend backend :
+         {transport::EndpointBackend::kInProcess,
+          transport::EndpointBackend::kSocketPair}) {
+      SCOPED_TRACE(backend == transport::EndpointBackend::kInProcess
+                       ? "in_process"
+                       : "socket_pair");
+      transport::TransportOptions options;
+      options.endpoint.backend = backend;
+      options.max_in_flight = 4;
+      auto async =
+          transport::AsyncSourceTransport::Create(sources_, &*model, options);
+      ASSERT_TRUE(async.ok());
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(threads);
+        const auto transported =
+            Run(scenario, *model, async->get(), threads);
+        ASSERT_TRUE(transported.ok());
+        ExpectResultsEq(*transported, *reference);
+      }
+    }
+  }
+}
+
+TEST_F(TransportParityTest, ScenariosActuallyExerciseTheirFaultClass) {
+  // Guard against a parity matrix that trivially passes because nothing
+  // went wrong: each scenario must visibly bite in the reference run.
+  const std::vector<ParityScenario> scenarios = ParityMatrix();
+  const auto reference = [&](const ParityScenario& scenario) {
+    const auto model =
+        FaultModel::Create(sources_.NumSources(), scenario.fault);
+    EXPECT_TRUE(model.ok());
+    auto result = Run(scenario, *model, nullptr, 1);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const FaultAwareSampleResult transient = reference(scenarios[0]);
+  EXPECT_GT(transient.access.transient_failures, 0u);
+  EXPECT_GT(transient.access.retries, 0u);
+  EXPECT_FALSE(transient.values.empty());
+
+  const FaultAwareSampleResult slow = reference(scenarios[1]);
+  EXPECT_GT(slow.access.deadline_truncated_draws, 0u);
+
+  const FaultAwareSampleResult outage = reference(scenarios[2]);
+  EXPECT_GT(outage.access.SourcesOpen(), 0);
+  EXPECT_GT(outage.access.breaker_open_skips, 0u);
+
+  const FaultAwareSampleResult dark = reference(scenarios[3]);
+  EXPECT_TRUE(dark.values.empty());
+  EXPECT_EQ(dark.dropped_draws, 128);
+}
+
+TEST_F(TransportParityTest, PooledTransportedRunMatchesToo) {
+  const ParityScenario scenario = ParityMatrix()[0];
+  const auto model = FaultModel::Create(sources_.NumSources(), scenario.fault);
+  ASSERT_TRUE(model.ok());
+  const auto reference = Run(scenario, *model, nullptr, 1);
+  ASSERT_TRUE(reference.ok());
+
+  transport::TransportOptions options;
+  auto async =
+      transport::AsyncSourceTransport::Create(sources_, &*model, options);
+  ASSERT_TRUE(async.ok());
+  ThreadPool pool(ThreadPoolOptions{4});
+  const auto transported = Run(scenario, *model, async->get(), 0, &pool);
+  ASSERT_TRUE(transported.ok());
+  ExpectResultsEq(*transported, *reference);
+}
+
+TEST_F(TransportParityTest, HedgedWallRealizedRunStaysBitIdentical) {
+  // Hedging + wall-realized latency + keyed stragglers: the wire timing is
+  // maximally nondeterministic, but in kModelVirtual mode the samplers'
+  // view must not move by a single bit.
+  const ParityScenario scenario = ParityMatrix()[0];
+  const auto model = FaultModel::Create(sources_.NumSources(), scenario.fault);
+  ASSERT_TRUE(model.ok());
+  const auto reference = Run(scenario, *model, nullptr, 1);
+  ASSERT_TRUE(reference.ok());
+
+  transport::TransportOptions options;
+  options.endpoint.service_threads = 4;
+  options.endpoint.wall_ms_per_virtual_ms = 0.02;
+  options.endpoint.straggler_fraction = 0.2;
+  options.endpoint.straggler_multiplier = 20.0;
+  options.hedge.enabled = true;
+  options.hedge.percentile = 0.5;
+  options.hedge.multiplier = 2.0;
+  options.hedge.min_samples = 8;
+  options.hedge.min_cutoff_ms = 0.2;
+  options.poll_quantum_ms = 0.05;
+  auto async =
+      transport::AsyncSourceTransport::Create(sources_, &*model, options);
+  ASSERT_TRUE(async.ok());
+  const auto transported = Run(scenario, *model, async->get(), 4);
+  ASSERT_TRUE(transported.ok());
+  ExpectResultsEq(*transported, *reference);
+}
+
+TEST(TransportExtractorParityTest, FullExtractionMatchesSimulatedRun) {
+  const auto set = BuildRedundantSources(77);
+  ASSERT_TRUE(set.ok());
+  FaultModelOptions fault_options;
+  fault_options.transient_failure_prob = 0.15;
+  fault_options.corrupt_value_prob = 0.02;
+  fault_options.outage_fraction = 0.2;
+  fault_options.outage_epoch = 16;
+  fault_options.seed = 31337;
+  const auto model = FaultModel::Create(30, fault_options);
+  ASSERT_TRUE(model.ok());
+
+  ExtractorOptions options;
+  options.initial_sample_size = 96;
+  options.bootstrap.num_sets = 20;
+  options.weight_probes = 5;
+  options.seed = 2024;
+  FaultToleranceOptions fault;
+  fault.model = &*model;
+  fault.min_draw_coverage = 0.4;
+  options.fault_tolerance = fault;
+  options.sampling_threads = 4;
+
+  const auto query = MakeRangeQuery("chaos", AggregateKind::kAverage, 0, 60);
+  const auto simulated_extractor =
+      AnswerStatisticsExtractor::Create(&*set, query, options);
+  ASSERT_TRUE(simulated_extractor.ok());
+  const auto simulated = simulated_extractor->Extract();
+  ASSERT_TRUE(simulated.ok());
+  ASSERT_TRUE(simulated->degradation.degraded);
+
+  transport::TransportOptions transport_options;
+  auto async =
+      transport::AsyncSourceTransport::Create(*set, &*model, transport_options);
+  ASSERT_TRUE(async.ok());
+  options.fault_tolerance->transport = async->get();
+  const auto transported_extractor =
+      AnswerStatisticsExtractor::Create(&*set, query, options);
+  ASSERT_TRUE(transported_extractor.ok());
+  const auto transported = transported_extractor->Extract();
+  ASSERT_TRUE(transported.ok());
+
+  ASSERT_EQ(transported->samples.size(), simulated->samples.size());
+  for (size_t i = 0; i < transported->samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(transported->samples[i], simulated->samples[i]);
+  }
+  EXPECT_EQ(transported->degradation.degraded,
+            simulated->degradation.degraded);
+  EXPECT_EQ(transported->degradation.draws_requested,
+            simulated->degradation.draws_requested);
+  EXPECT_EQ(transported->degradation.draws_kept,
+            simulated->degradation.draws_kept);
+  EXPECT_EQ(transported->degradation.draws_dropped,
+            simulated->degradation.draws_dropped);
+  EXPECT_DOUBLE_EQ(transported->degradation.min_coverage,
+                   simulated->degradation.min_coverage);
+  EXPECT_DOUBLE_EQ(transported->degradation.mean_coverage,
+                   simulated->degradation.mean_coverage);
+  ExpectAccessStatsEq(transported->degradation.access,
+                      simulated->degradation.access);
+  EXPECT_DOUBLE_EQ(transported->mean.value, simulated->mean.value);
+  EXPECT_DOUBLE_EQ(transported->variance.value, simulated->variance.value);
+  EXPECT_DOUBLE_EQ(transported->stability.stab_l2,
+                   simulated->stability.stab_l2);
+}
+
+TEST(TransportExtractorParityTest, AdaptiveSingleChannelPathMatches) {
+  const auto set = BuildRedundantSources(91);
+  ASSERT_TRUE(set.ok());
+  FaultModelOptions fault_options;
+  fault_options.transient_failure_prob = 0.2;
+  fault_options.seed = 606;
+  const auto model = FaultModel::Create(30, fault_options);
+  ASSERT_TRUE(model.ok());
+
+  ExtractorOptions options;
+  options.bootstrap.num_sets = 20;
+  options.weight_probes = 5;
+  options.seed = 515;
+  AdaptiveSamplingOptions adaptive;
+  adaptive.initial_size = 64;
+  adaptive.increment = 32;
+  adaptive.max_size = 160;
+  adaptive.target_ci_length = 1e-9;  // never satisfied: fixed growth path
+  adaptive.bootstrap.num_sets = 20;
+  options.adaptive = adaptive;
+  FaultToleranceOptions fault;
+  fault.model = &*model;
+  options.fault_tolerance = fault;
+
+  const auto query = MakeRangeQuery("adaptive", AggregateKind::kSum, 0, 60);
+  const auto simulated_extractor =
+      AnswerStatisticsExtractor::Create(&*set, query, options);
+  ASSERT_TRUE(simulated_extractor.ok());
+  const auto simulated = simulated_extractor->Extract();
+  ASSERT_TRUE(simulated.ok());
+
+  transport::TransportOptions transport_options;
+  transport_options.endpoint.backend =
+      transport::EndpointBackend::kSocketPair;
+  auto async = transport::AsyncSourceTransport::Create(*set, &*model,
+                                                       transport_options);
+  ASSERT_TRUE(async.ok());
+  options.fault_tolerance->transport = async->get();
+  const auto transported_extractor =
+      AnswerStatisticsExtractor::Create(&*set, query, options);
+  ASSERT_TRUE(transported_extractor.ok());
+  const auto transported = transported_extractor->Extract();
+  ASSERT_TRUE(transported.ok());
+
+  ASSERT_EQ(transported->samples.size(), simulated->samples.size());
+  for (size_t i = 0; i < transported->samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(transported->samples[i], simulated->samples[i]);
+  }
+  ExpectAccessStatsEq(transported->degradation.access,
+                      simulated->degradation.access);
+}
+
+}  // namespace
+}  // namespace vastats

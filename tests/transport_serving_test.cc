@@ -1,0 +1,202 @@
+// Concurrent serving over the real async transport. A server whose base
+// options route source visits through AsyncSourceTransport must, under
+// contended multi-threaded traffic, return answers bit-identical to the
+// same server running on the simulated fault seam — the wire never leaks
+// nondeterminism into cached or freshly extracted results. Run under TSan
+// this doubles as the data-race suite for transport + scheduler + caches.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "datagen/distributions.h"
+#include "datagen/fault_model.h"
+#include "datagen/source_builder.h"
+#include "serving/server.h"
+#include "stats/aggregate_query.h"
+#include "transport/async_transport.h"
+
+namespace vastats {
+namespace {
+
+using serving::ExtractionServer;
+using serving::QueryRequest;
+using serving::ServingOptions;
+
+Result<SourceSet> BuildRedundantSources(uint64_t seed) {
+  SyntheticSourceSetOptions options;
+  options.num_sources = 30;
+  options.num_components = 60;
+  options.min_copies = 3;
+  options.max_copies = 5;
+  options.seed = seed;
+  const auto d2 = MakeD2(seed + 1);
+  return BuildSyntheticSourceSet(*d2, options);
+}
+
+// Small pipeline so a chaotic extraction completes in milliseconds while
+// still exercising drops, retries, and breaker bookkeeping.
+ExtractorOptions FastChaoticBase(const FaultModel* model) {
+  ExtractorOptions options;
+  options.initial_sample_size = 96;
+  options.bootstrap.num_sets = 16;
+  options.kde.grid_size = 256;
+  options.weight_probes = 5;
+  options.seed = 0xfeed5eed;
+  options.sampling_threads = 2;
+  FaultToleranceOptions fault;
+  fault.model = model;
+  fault.min_draw_coverage = 0.3;
+  options.fault_tolerance = fault;
+  return options;
+}
+
+void ExpectBitIdentical(const AnswerStatistics& a, const AnswerStatistics& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+  }
+  EXPECT_EQ(a.mean.value, b.mean.value);
+  EXPECT_EQ(a.mean.ci.lo, b.mean.ci.lo);
+  EXPECT_EQ(a.mean.ci.hi, b.mean.ci.hi);
+  EXPECT_EQ(a.variance.value, b.variance.value);
+  EXPECT_EQ(a.stability.stab_l2, b.stability.stab_l2);
+  EXPECT_EQ(a.degradation.degraded, b.degradation.degraded);
+  EXPECT_EQ(a.degradation.draws_kept, b.degradation.draws_kept);
+  EXPECT_EQ(a.degradation.draws_dropped, b.degradation.draws_dropped);
+  EXPECT_EQ(a.degradation.access.visits, b.degradation.access.visits);
+  EXPECT_EQ(a.degradation.access.retries, b.degradation.access.retries);
+  EXPECT_EQ(a.degradation.access.transient_failures,
+            b.degradation.access.transient_failures);
+  EXPECT_EQ(a.degradation.access.breaker_severity,
+            b.degradation.access.breaker_severity);
+}
+
+class TransportServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto set = BuildRedundantSources(2027);
+    ASSERT_TRUE(set.ok()) << set.status().message();
+    sources_ = std::make_unique<SourceSet>(std::move(set).value());
+    FaultModelOptions fault_options;
+    fault_options.transient_failure_prob = 0.15;
+    fault_options.corrupt_value_prob = 0.02;
+    fault_options.outage_fraction = 0.2;
+    fault_options.outage_epoch = 16;
+    fault_options.seed = 4242;
+    auto model = FaultModel::Create(sources_->NumSources(), fault_options);
+    ASSERT_TRUE(model.ok()) << model.status().message();
+    model_ = std::make_unique<FaultModel>(std::move(model).value());
+  }
+
+  std::unique_ptr<ExtractionServer> MakeServer(
+      transport::AsyncSourceTransport* transport, int max_in_flight) {
+    ServingOptions options;
+    options.base = FastChaoticBase(model_.get());
+    options.base.fault_tolerance->transport = transport;
+    options.scheduler.max_in_flight = max_in_flight;
+    options.scheduler.max_queue_depth = 32;
+    Result<std::unique_ptr<ExtractionServer>> server =
+        ExtractionServer::Create(sources_.get(), std::move(options));
+    EXPECT_TRUE(server.ok()) << server.status().message();
+    return std::move(server.value());
+  }
+
+  static std::vector<QueryRequest> MixedRequests() {
+    std::vector<QueryRequest> requests;
+    QueryRequest a;
+    a.query = MakeRangeQuery("low", AggregateKind::kSum, 0, 20);
+    QueryRequest b;
+    b.query = MakeRangeQuery("mid", AggregateKind::kAverage, 20, 20);
+    QueryRequest c;
+    c.query = MakeRangeQuery("high", AggregateKind::kSum, 40, 20);
+    QueryRequest d;
+    d.query = MakeRangeQuery("wide", AggregateKind::kAverage, 0, 60);
+    requests.push_back(std::move(a));
+    requests.push_back(std::move(b));
+    requests.push_back(std::move(c));
+    requests.push_back(std::move(d));
+    return requests;
+  }
+
+  std::unique_ptr<SourceSet> sources_;
+  std::unique_ptr<FaultModel> model_;
+};
+
+TEST_F(TransportServingTest, ConcurrentTrafficMatchesSimulatedServer) {
+  // Ground truth: the same server shape on the simulated seam, serially.
+  std::unique_ptr<ExtractionServer> simulated = MakeServer(nullptr, 1);
+  const std::vector<QueryRequest> requests = MixedRequests();
+  std::vector<AnswerStatistics> expected;
+  for (const QueryRequest& request : requests) {
+    Result<AnswerStatistics> reference = simulated->Extract(request);
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+    ASSERT_TRUE(reference->degradation.degraded);  // chaos actually bites
+    expected.push_back(std::move(reference).value());
+  }
+
+  transport::TransportOptions transport_options;
+  transport_options.endpoint.service_threads = 3;
+  auto async = transport::AsyncSourceTransport::Create(
+      *sources_, model_.get(), transport_options);
+  ASSERT_TRUE(async.ok()) << async.status().message();
+  std::unique_ptr<ExtractionServer> transported =
+      MakeServer(async->get(), 4);
+
+  // 16 threads hammer 4 distinct queries: cold misses race each other
+  // through transport channels, warm hits race the cache.
+  constexpr int kThreads = 16;
+  std::vector<Result<AnswerStatistics>> got(
+      kThreads, Result<AnswerStatistics>(Status::Internal("not run")));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        got[static_cast<size_t>(t)] =
+            transported->Extract(requests[static_cast<size_t>(t) %
+                                          requests.size()]);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(got[static_cast<size_t>(t)].ok())
+        << got[static_cast<size_t>(t)].status().message();
+    ExpectBitIdentical(*got[static_cast<size_t>(t)],
+                       expected[static_cast<size_t>(t) % requests.size()]);
+  }
+  EXPECT_GT(async->get()->counters().requests, 0u);
+}
+
+TEST_F(TransportServingTest, BatchedAndRepeatRequestsStayBitIdentical) {
+  std::unique_ptr<ExtractionServer> simulated = MakeServer(nullptr, 1);
+  transport::TransportOptions transport_options;
+  transport_options.endpoint.backend = transport::EndpointBackend::kSocketPair;
+  auto async = transport::AsyncSourceTransport::Create(
+      *sources_, model_.get(), transport_options);
+  ASSERT_TRUE(async.ok()) << async.status().message();
+  std::unique_ptr<ExtractionServer> transported = MakeServer(async->get(), 4);
+
+  const std::vector<QueryRequest> requests = MixedRequests();
+  std::vector<Result<AnswerStatistics>> batch =
+      transported->ExtractBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status().message();
+    Result<AnswerStatistics> reference = simulated->Extract(requests[i]);
+    ASSERT_TRUE(reference.ok()) << reference.status().message();
+    ExpectBitIdentical(*batch[i], *reference);
+    // A warm repeat over transport serves the identical cached answer.
+    Result<AnswerStatistics> warm = transported->Extract(requests[i]);
+    ASSERT_TRUE(warm.ok()) << warm.status().message();
+    ExpectBitIdentical(*warm, *reference);
+  }
+}
+
+}  // namespace
+}  // namespace vastats

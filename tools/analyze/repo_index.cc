@@ -13,7 +13,7 @@ int LayerRank(const std::string& dir) {
       dir == "datagen") {
     return 2;
   }
-  if (dir == "integration") return 3;
+  if (dir == "integration" || dir == "transport") return 3;
   if (dir == "core" || dir == "fusion") return 4;
   if (dir == "query") return 5;
   if (dir == "serving") return 6;

@@ -67,8 +67,8 @@ std::string JoinNames(const std::vector<std::string>& names) {
 }
 
 constexpr const char* kLayerDag =
-    "util -> obs -> {stats, density, sampling, datagen} -> integration -> "
-    "{core, fusion} -> query -> serving";
+    "util -> obs -> {stats, density, sampling, datagen} -> "
+    "{integration, transport} -> {core, fusion} -> query -> serving";
 
 }  // namespace
 
@@ -724,6 +724,7 @@ void CheckA6TelemetryNames(const RepoIndex& index, std::vector<Finding>* out) {
   static const std::set<std::string> kJournalMirrorAllowlist = {
       "thread_pool_worker_utilization",  // pool gauge + worker journal events
       "serving_in_flight",               // admission gauge + scheduler events
+      "transport_in_flight",             // depth gauge + prefetch journal
   };
   const auto mirror_allowed = [](const std::string& name,
                                  const std::string& a, const std::string& b) {

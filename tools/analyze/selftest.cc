@@ -254,6 +254,20 @@ void TestStructuralRules(Harness* h) {
             RunA1({{"src/stats/a.h", "#include \"stats/b.h\"\n"},
                    {"src/stats/b.h", "#include \"stats/a.h\"\n"}}),
             "A1");
+  // transport sits beside integration (rank 3): sampling must not reach up
+  // into it, while core may reach down.
+  h->Expect("A1 sampling into transport is a back-edge",
+            RunA1({{"src/sampling/a.h",
+                    "#ifndef A_H\n#define A_H\n"
+                    "#include \"transport/b.h\"\n#endif\n"},
+                   {"src/transport/b.h", "#ifndef B_H\n#define B_H\n#endif\n"}}),
+            "A1");
+  h->Expect("A1 core over transport is clean",
+            RunA1({{"src/core/c.h",
+                    "#ifndef C_H\n#define C_H\n"
+                    "#include \"transport/b.h\"\n#endif\n"},
+                   {"src/transport/b.h", "#ifndef B_H\n#define B_H\n#endif\n"}}),
+            "");
 
   // A2: unordered iteration feeding an accumulator / RNG / unsorted output.
   h->Expect("A2 accumulate",
@@ -525,6 +539,12 @@ void TestStructuralRules(Harness* h) {
                      "void F(MetricsRegistry* m, FlightRecorder* r) {\n"
                      "  m->GetGauge(\"serving_in_flight\").Set(1.0);\n"
                      "  r->InternName(\"serving_in_flight\");\n}\n"}}),
+            "");
+  h->Expect("A6 transport in-flight mirror allowlisted",
+            run_a6({{"src/transport/a.cc",
+                     "void F(MetricsRegistry* m, FlightRecorder* r) {\n"
+                     "  m->GetGauge(\"transport_in_flight\").Set(1.0);\n"
+                     "  r->InternName(\"transport_in_flight\");\n}\n"}}),
             "");
   h->Expect("A6 allowlist does not cover metric pairs",
             run_a6({{"src/serving/a.cc",

@@ -1,0 +1,14 @@
+#include "transport/clock_map.h"
+
+#include <chrono>
+
+namespace vastats {
+
+// Sanctioned: transport/clock_map.cc is the transport's one allowed
+// wall-clock read (engine.cc R7 gate), so this must produce NO finding.
+double WallNowMs() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+}  // namespace vastats

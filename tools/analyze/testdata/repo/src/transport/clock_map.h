@@ -1,0 +1,10 @@
+#ifndef VASTATS_TRANSPORT_CLOCK_MAP_H_
+#define VASTATS_TRANSPORT_CLOCK_MAP_H_
+
+namespace vastats {
+
+double WallNowMs();
+
+}  // namespace vastats
+
+#endif  // VASTATS_TRANSPORT_CLOCK_MAP_H_

@@ -1,0 +1,15 @@
+#include "transport/rogue_clock.h"
+
+#include <chrono>
+
+namespace vastats {
+
+// Planted violation: a wall-clock read in any transport file OTHER than
+// clock_map.cc must still trip R7 — the sanction covers one file, not the
+// directory.
+double RogueNowMs() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(now).count();
+}
+
+}  // namespace vastats

@@ -1,0 +1,10 @@
+#ifndef VASTATS_TRANSPORT_ROGUE_CLOCK_H_
+#define VASTATS_TRANSPORT_ROGUE_CLOCK_H_
+
+namespace vastats {
+
+double RogueNowMs();
+
+}  // namespace vastats
+
+#endif  // VASTATS_TRANSPORT_ROGUE_CLOCK_H_
